@@ -1,0 +1,1 @@
+bench/ablation.ml: Array Dmll Dmll_apps Dmll_backend Dmll_data Dmll_interp Dmll_ir Dmll_opt Dmll_util Float List Printf

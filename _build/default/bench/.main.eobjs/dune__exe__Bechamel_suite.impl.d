@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Array Bechamel Benchmark Dmll Dmll_apps Dmll_backend Dmll_data Dmll_graph Dmll_interp Dmll_util Hashtbl Instance List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/datasets.ml: Array Dmll_data Dmll_graph Dmll_interp Lazy

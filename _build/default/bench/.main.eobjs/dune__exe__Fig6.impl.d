@@ -1,0 +1,1 @@
+bench/fig6.ml: Datasets Dmll Dmll_apps Dmll_data Dmll_interp Dmll_machine Dmll_opt Dmll_runtime Dmll_util Lazy List

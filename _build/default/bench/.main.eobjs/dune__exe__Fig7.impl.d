@@ -1,0 +1,1 @@
+bench/fig7.ml: Datasets Dmll Dmll_apps Dmll_baselines Dmll_data Dmll_graph Dmll_interp Dmll_ir Dmll_machine Dmll_opt Dmll_runtime Dmll_util Lazy List Printf

@@ -1,0 +1,1 @@
+bench/fig8.ml: Array Datasets Dmll Dmll_apps Dmll_baselines Dmll_data Dmll_graph Dmll_interp Dmll_machine Dmll_runtime Dmll_util Lazy List Printf

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Bechamel_suite Dmll_util Fig6 Fig7 Fig8 List Printf String Sys Table1 Table2

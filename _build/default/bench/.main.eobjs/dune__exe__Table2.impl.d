@@ -1,0 +1,1 @@
+bench/table2.ml: Array Datasets Dmll Dmll_apps Dmll_backend Dmll_data Dmll_graph Dmll_interp Dmll_ir Dmll_util Lazy List Printf Stdlib String

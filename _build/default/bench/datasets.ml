@@ -1,0 +1,61 @@
+(* Shared benchmark datasets, generated once per process.
+
+   Scales are reduced from the paper's (which used a terabyte-class NUMA
+   box); EXPERIMENTS.md records the mapping.  Everything is deterministic
+   (seeded SplitMix64). *)
+
+module V = Dmll_interp.Value
+
+(* ---------------- machine-learning matrices ---------------- *)
+
+let ml_rows = 20_000
+let ml_cols = 20
+let kmeans_k = 10
+
+let ml_data = lazy (Dmll_data.Gaussian.generate ~rows:ml_rows ~cols:ml_cols ~classes:kmeans_k ())
+
+let centroids = lazy (Dmll_data.Gaussian.random_centroids ~k:kmeans_k (Lazy.force ml_data))
+
+let theta0 = Array.make ml_cols 0.05
+
+(* smaller instance for the many-configuration sweeps (Figure 7) *)
+let ml_rows_small = 8_000
+let ml_small =
+  lazy (Dmll_data.Gaussian.generate ~rows:ml_rows_small ~cols:ml_cols ~classes:kmeans_k ())
+
+let centroids_small =
+  lazy (Dmll_data.Gaussian.random_centroids ~k:kmeans_k (Lazy.force ml_small))
+
+(* a 10x dataset for the Figure-8 size sweep *)
+let ml_big = lazy (Dmll_data.Gaussian.generate ~rows:(4 * ml_rows) ~cols:ml_cols ~classes:kmeans_k ())
+
+(* ---------------- TPC-H ---------------- *)
+
+let q1_rows = 40_000
+let q1_table = lazy (Dmll_data.Tpch.generate ~rows:q1_rows ())
+
+(* ---------------- genes ---------------- *)
+
+let gene_reads = 60_000
+let genes = lazy (Dmll_data.Genes.generate ~reads:gene_reads ~barcodes:2_000 ())
+
+(* ---------------- graphs ---------------- *)
+
+let pr_graph =
+  lazy (Dmll_graph.Csr.of_edges (Dmll_data.Rmat.generate ~scale:13 ~edge_factor:8 ()))
+
+let tri_graph =
+  lazy
+    (Dmll_graph.Csr.of_edges
+       (Dmll_data.Rmat.symmetrize (Dmll_data.Rmat.generate ~scale:10 ~edge_factor:4 ())))
+
+(* ---------------- factor graph ---------------- *)
+
+let gibbs_vars = 30_000
+let factor_graph =
+  lazy (Dmll_data.Factor_graph.generate ~vars:gibbs_vars ~factors:(3 * gibbs_vars) ())
+
+let gibbs_state = lazy (Dmll_data.Factor_graph.initial_state (Lazy.force factor_graph))
+
+let gibbs_rand ~replicas =
+  Dmll_data.Factor_graph.sweep_randoms ~sweeps:replicas (Lazy.force factor_graph)

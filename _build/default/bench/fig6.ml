@@ -1,0 +1,121 @@
+(* Figure 6: impact of the nested pattern transformations.
+
+   Left: GPU speedups for logistic regression and k-means from the input
+   transpose, the Row-to-Column ("scalar reduce") lowering, and both —
+   on the modeled Tesla C2050.
+
+   Right: CPU speedups of the transformed program over the program as
+   written, on 1 socket (12 threads) and 4 sockets (48 threads) of the
+   modeled 4-socket machine, for Query 1, logistic regression, and
+   k-means.  The paper's headline: k-means gains little on one socket but
+   ~3x on four ("they are not simply performance optimizations"), while
+   Q1 and LogReg gain even on one socket. *)
+
+module V = Dmll_interp.Value
+module R = Dmll_runtime
+module T = Dmll_util.Table
+
+(* ---------------- GPU (left) ---------------- *)
+
+let gpu_time ~options program inputs =
+  let r = R.Sim_gpu.run ~options ~inputs program in
+  r.R.Sim_gpu.kernel_seconds
+
+let gpu_rows () =
+  let ml = Lazy.force Datasets.ml_small in
+  let rows = Datasets.ml_rows_small and cols = Datasets.ml_cols in
+  let cases =
+    [ ( "LogReg",
+        Dmll_apps.Logreg.program ~rows ~cols ~alpha:0.01 (),
+        Dmll_apps.Logreg.inputs ml ~theta:Datasets.theta0 );
+      ( "k-means",
+        Dmll_apps.Kmeans.program ~rows ~cols ~k:Datasets.kmeans_k (),
+        Dmll_apps.Kmeans.inputs ml
+          ~centroids:(Lazy.force Datasets.centroids_small) );
+    ]
+  in
+  List.map
+    (fun (name, program, inputs) ->
+      (* CPU-optimized program, as the GPU backend receives it *)
+      let base = (Dmll.compile program).Dmll.final in
+      let t opts = gpu_time ~options:opts base inputs in
+      let none = t { R.Sim_gpu.transpose = false; row_to_column = false } in
+      let transpose = t { R.Sim_gpu.transpose = true; row_to_column = false } in
+      let scalar = t { R.Sim_gpu.transpose = false; row_to_column = true } in
+      let both = t { R.Sim_gpu.transpose = true; row_to_column = true } in
+      (name, none /. transpose, none /. scalar, none /. both))
+    cases
+
+(* ---------------- CPU (right) ---------------- *)
+
+(* The program "as written": generic pipeline only, no nested-pattern
+   rules, no partitioning-driven rewrites (what a fusion-only compiler
+   like stock Delite produces). *)
+let untransformed program =
+  (Dmll_opt.Pipeline.optimize program).Dmll_opt.Pipeline.program
+
+let transformed program = (Dmll.compile program).Dmll.final
+
+let numa_time ~threads program inputs =
+  let config =
+    { R.Sim_numa.machine = Dmll_machine.Machine.stanford_numa;
+      threads;
+      mode = R.Sim_numa.Numa_aware;
+    }
+  in
+  R.Sim_numa.time ~config ~inputs program
+
+let cpu_rows () =
+  let ml = Lazy.force Datasets.ml_small in
+  let rows = Datasets.ml_rows_small and cols = Datasets.ml_cols in
+  let q1 = Dmll_data.Tpch.generate ~rows:20_000 () in
+  let cases =
+    [ ( "Query 1",
+        Dmll_apps.Tpch_q1.program (),
+        Dmll_apps.Tpch_q1.aos_inputs q1 @ Dmll_apps.Tpch_q1.soa_inputs q1 );
+      ( "LogReg",
+        Dmll_apps.Logreg.program ~rows ~cols ~alpha:0.01 (),
+        Dmll_apps.Logreg.inputs ml ~theta:Datasets.theta0 );
+      ( "k-means",
+        Dmll_apps.Kmeans.program ~rows ~cols ~k:Datasets.kmeans_k (),
+        Dmll_apps.Kmeans.inputs ml
+          ~centroids:(Lazy.force Datasets.centroids_small) );
+    ]
+  in
+  List.map
+    (fun (name, program, inputs) ->
+      let u = untransformed program and t = transformed program in
+      let s12 = numa_time ~threads:12 u inputs /. numa_time ~threads:12 t inputs in
+      let s48 = numa_time ~threads:48 u inputs /. numa_time ~threads:48 t inputs in
+      (name, s12, s48))
+    cases
+
+let run () =
+  let gpu = gpu_rows () in
+  let tbl =
+    T.create ~title:"Figure 6 (left): GPU speedup from nested pattern transformations"
+      ~header:[ "App"; "transpose"; "scalar reduce"; "both" ]
+      ~aligns:[ T.Left; T.Right; T.Right; T.Right ]
+      ()
+  in
+  List.iter
+    (fun (name, tr, sc, both) ->
+      T.add_row tbl
+        [ name; T.fmt_speedup tr; T.fmt_speedup sc; T.fmt_speedup both ])
+    gpu;
+  T.print tbl;
+  let cpu = cpu_rows () in
+  let tbl2 =
+    T.create
+      ~title:
+        "Figure 6 (right): CPU speedup of transformed over as-written (simulated NUMA)"
+      ~header:[ "App"; "1 socket (12t)"; "4 sockets (48t)" ]
+      ~aligns:[ T.Left; T.Right; T.Right ]
+      ()
+  in
+  List.iter
+    (fun (name, s12, s48) ->
+      T.add_row tbl2 [ name; T.fmt_speedup s12; T.fmt_speedup s48 ])
+    cpu;
+  T.print tbl2;
+  (gpu, cpu)

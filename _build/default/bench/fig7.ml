@@ -1,0 +1,155 @@
+(* Figure 7: NUMA scalability of DMLL vs Delite, Spark, and PowerGraph on
+   the modeled 4-socket, 48-core machine.
+
+   For each application and thread count we report speedup over
+   sequential DMLL (threads = 1, NUMA-aware), exactly the y-axis of the
+   paper's figure:
+
+   - Delite       = the program without distribution transforms, unpinned
+                    runtime (stock shared-memory Delite);
+   - DMLL Pin-only = transformed program, pinned threads + thread-local
+                    heaps, but the dataset on one socket;
+   - DMLL          = transformed program, partitioned arrays;
+   - Spark / PowerGraph = the MiniSpark / MiniGraph baselines on the same
+                    box (JVM: no NUMA placement). *)
+
+module V = Dmll_interp.Value
+module R = Dmll_runtime
+module T = Dmll_util.Table
+module B = Dmll_baselines
+
+let thread_counts = [ 1; 12; 24; 48 ]
+
+type sys = Delite | Pin_only | Numa_aware | Spark | PowerGraph
+
+let sys_name = function
+  | Delite -> "Delite"
+  | Pin_only -> "DMLL Pin-only"
+  | Numa_aware -> "DMLL"
+  | Spark -> "Spark"
+  | PowerGraph -> "PowerGraph"
+
+type app = {
+  aname : string;
+  program : Dmll_ir.Exp.exp;  (** fully compiled (DMLL) *)
+  program_delite : Dmll_ir.Exp.exp;  (** generic pipeline only *)
+  inputs : (string * V.t) list;
+  spark : (threads:int -> float) option;  (** simulated seconds *)
+  powergraph : (threads:int -> float) option;
+}
+
+let numa_time ~mode ~threads program inputs =
+  let config =
+    { R.Sim_numa.machine = Dmll_machine.Machine.stanford_numa; threads; mode }
+  in
+  R.Sim_numa.time ~config ~inputs program
+
+let make_apps () : app list =
+  let ml = Lazy.force Datasets.ml_small in
+  let rows = Datasets.ml_rows_small and cols = Datasets.ml_cols in
+  let cents = Lazy.force Datasets.centroids_small in
+  let q1 = Dmll_data.Tpch.generate ~rows:20_000 () in
+  let genes = Dmll_data.Genes.generate ~reads:300_000 ~barcodes:5_000 () in
+  let pr = Lazy.force Datasets.pr_graph in
+  let tri =
+    Dmll_graph.Csr.of_edges
+      (Dmll_data.Rmat.symmetrize (Dmll_data.Rmat.generate ~scale:12 ~edge_factor:5 ()))
+  in
+  let labels = Dmll_data.Gaussian.binary_labels ml in
+  ignore labels;
+  let app ?spark ?powergraph aname program inputs =
+    { aname;
+      program = (Dmll.compile program).Dmll.final;
+      program_delite = (Dmll_opt.Pipeline.optimize program).Dmll_opt.Pipeline.program;
+      inputs;
+      spark;
+      powergraph;
+    }
+  in
+  [ app "TPCHQ1" (Dmll_apps.Tpch_q1.program ())
+      (Dmll_apps.Tpch_q1.aos_inputs q1 @ Dmll_apps.Tpch_q1.soa_inputs q1)
+      ~spark:(fun ~threads ->
+        let _, ctx = B.Spark_apps.q1 (B.Minispark.numa_platform ~threads ()) q1 in
+        ctx.B.Minispark.sim_seconds);
+    app "Gene" (Dmll_apps.Gene.program ())
+      (Dmll_apps.Gene.aos_inputs genes @ Dmll_apps.Gene.soa_inputs genes)
+      ~spark:(fun ~threads ->
+        let _, ctx = B.Spark_apps.gene (B.Minispark.numa_platform ~threads ()) genes in
+        ctx.B.Minispark.sim_seconds);
+    app "GDA"
+      (Dmll_apps.Gda.program ~rows ~cols ())
+      (Dmll_apps.Gda.inputs ml)
+      ~spark:(fun ~threads ->
+        let _, ctx = B.Spark_apps.gda (B.Minispark.numa_platform ~threads ()) ml in
+        ctx.B.Minispark.sim_seconds);
+    app "LogReg"
+      (Dmll_apps.Logreg.program ~rows ~cols ~alpha:0.01 ())
+      (Dmll_apps.Logreg.inputs ml ~theta:Datasets.theta0)
+      ~spark:(fun ~threads ->
+        let _, ctx =
+          B.Spark_apps.logreg_step (B.Minispark.numa_platform ~threads ()) ml
+            ~theta:Datasets.theta0 ~alpha:0.01
+        in
+        ctx.B.Minispark.sim_seconds);
+    app "k-means"
+      (Dmll_apps.Kmeans.program ~rows ~cols ~k:Datasets.kmeans_k ())
+      (Dmll_apps.Kmeans.inputs ml ~centroids:cents)
+      ~spark:(fun ~threads ->
+        let _, ctx =
+          B.Spark_apps.kmeans_iteration (B.Minispark.numa_platform ~threads ()) ml
+            ~centroids:cents ~k:Datasets.kmeans_k
+        in
+        ctx.B.Minispark.sim_seconds);
+    app "Triangle" (Dmll_apps.Tricount.program ()) (Dmll_apps.Tricount.inputs tri)
+      ~powergraph:(fun ~threads ->
+        let ctx = B.Minigraph.new_ctx (B.Minigraph.numa_platform ~threads ()) in
+        ignore (B.Minigraph.triangle_count ctx tri);
+        ctx.B.Minigraph.sim_seconds);
+    app "PageRank"
+      (Dmll_apps.Pagerank.program_pull ~nv:pr.Dmll_graph.Csr.nv ())
+      (Dmll_apps.Pagerank.inputs pr ~ranks:(Dmll_apps.Pagerank.initial_ranks pr))
+      ~powergraph:(fun ~threads ->
+        let ctx = B.Minigraph.new_ctx (B.Minigraph.numa_platform ~threads ()) in
+        ignore (B.Minigraph.pagerank_step ctx pr (Dmll_apps.Pagerank.initial_ranks pr));
+        ctx.B.Minigraph.sim_seconds);
+  ]
+
+(* speedups over sequential DMLL, per system, per thread count *)
+let speedups (a : app) : (sys * (int * float) list) list =
+  let base = numa_time ~mode:R.Sim_numa.Numa_aware ~threads:1 a.program a.inputs in
+  let dmll_like mode program =
+    List.map
+      (fun t -> (t, base /. numa_time ~mode ~threads:t program a.inputs))
+      thread_counts
+  in
+  let baseline f = List.map (fun t -> (t, base /. f ~threads:t)) thread_counts in
+  [ (Delite, dmll_like R.Sim_numa.Delite a.program_delite);
+    (Pin_only, dmll_like R.Sim_numa.Pin_only a.program);
+    (Numa_aware, dmll_like R.Sim_numa.Numa_aware a.program);
+  ]
+  @ (match a.spark with Some f -> [ (Spark, baseline f) ] | None -> [])
+  @ (match a.powergraph with Some f -> [ (PowerGraph, baseline f) ] | None -> [])
+
+let run () =
+  let apps = make_apps () in
+  let results = List.map (fun a -> (a.aname, speedups a)) apps in
+  List.iter
+    (fun (aname, rows) ->
+      let tbl =
+        T.create
+          ~title:
+            (Printf.sprintf "Figure 7: %s — speedup over sequential DMLL (simulated)"
+               aname)
+          ~header:
+            ("System" :: List.map (fun t -> Printf.sprintf "%dt" t) thread_counts)
+          ~aligns:(T.Left :: List.map (fun _ -> T.Right) thread_counts)
+          ()
+      in
+      List.iter
+        (fun (sys, points) ->
+          T.add_row tbl
+            (sys_name sys :: List.map (fun (_, s) -> T.fmt_speedup s) points))
+        rows;
+      T.print tbl)
+    results;
+  results

@@ -1,0 +1,114 @@
+(* dmll_run: compile and execute a benchmark application on a chosen
+   target, reporting the (real or simulated) execution time. *)
+
+module V = Dmll_interp.Value
+
+type prepared = { program : Dmll_ir.Exp.exp; inputs : (string * V.t) list }
+
+let prepare (app : string) ~(scale : int) : prepared =
+  match app with
+  | "kmeans" ->
+      let rows = 2000 * scale and cols = 16 and k = 8 in
+      let d = Dmll_data.Gaussian.generate ~rows ~cols ~classes:k () in
+      let c = Dmll_data.Gaussian.random_centroids ~k d in
+      { program = Dmll_apps.Kmeans.program ~rows ~cols ~k ();
+        inputs = Dmll_apps.Kmeans.inputs d ~centroids:c;
+      }
+  | "logreg" ->
+      let rows = 2000 * scale and cols = 16 in
+      let d = Dmll_data.Gaussian.generate ~rows ~cols ~classes:2 () in
+      { program = Dmll_apps.Logreg.program ~rows ~cols ~alpha:0.01 ();
+        inputs = Dmll_apps.Logreg.inputs d ~theta:(Array.make cols 0.1);
+      }
+  | "gda" ->
+      let rows = 2000 * scale and cols = 12 in
+      let d = Dmll_data.Gaussian.generate ~rows ~cols ~classes:2 () in
+      { program = Dmll_apps.Gda.program ~rows ~cols (); inputs = Dmll_apps.Gda.inputs d }
+  | "tpch_q1" ->
+      let t = Dmll_data.Tpch.generate ~rows:(20000 * scale) () in
+      { program = Dmll_apps.Tpch_q1.program ();
+        inputs = Dmll_apps.Tpch_q1.aos_inputs t @ Dmll_apps.Tpch_q1.soa_inputs t;
+      }
+  | "gene" ->
+      let r = Dmll_data.Genes.generate ~reads:(20000 * scale) ~barcodes:500 () in
+      { program = Dmll_apps.Gene.program ();
+        inputs = Dmll_apps.Gene.aos_inputs r @ Dmll_apps.Gene.soa_inputs r;
+      }
+  | "pagerank" ->
+      let g =
+        Dmll_graph.Csr.of_edges
+          (Dmll_data.Rmat.generate ~scale:(10 + scale) ~edge_factor:8 ())
+      in
+      { program = Dmll_apps.Pagerank.program_pull ~nv:g.Dmll_graph.Csr.nv ();
+        inputs = Dmll_apps.Pagerank.inputs g ~ranks:(Dmll_apps.Pagerank.initial_ranks g);
+      }
+  | "tricount" ->
+      let g =
+        Dmll_graph.Csr.of_edges
+          (Dmll_data.Rmat.symmetrize
+             (Dmll_data.Rmat.generate ~scale:(8 + scale) ~edge_factor:4 ()))
+      in
+      { program = Dmll_apps.Tricount.program (); inputs = Dmll_apps.Tricount.inputs g }
+  | "gibbs" ->
+      let vars = 5000 * scale in
+      let g = Dmll_data.Factor_graph.generate ~vars ~factors:(3 * vars) () in
+      { program = Dmll_apps.Gibbs.program ~nvars:vars ~replicas:4 ();
+        inputs =
+          Dmll_apps.Gibbs.inputs g
+            ~state:(Dmll_data.Factor_graph.initial_state g)
+            ~rand:(Dmll_data.Factor_graph.sweep_randoms ~sweeps:4 g);
+      }
+  | other ->
+      Printf.eprintf "unknown app %S\n" other;
+      exit 1
+
+open Cmdliner
+
+let app_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP"
+         ~doc:"kmeans, logreg, gda, tpch_q1, gene, pagerank, tricount, or gibbs")
+
+let target_arg =
+  Arg.(
+    value
+    & opt (enum [ ("seq", `Seq); ("multicore", `Multicore); ("numa", `Numa);
+                  ("gpu", `Gpu); ("cluster", `Cluster) ]) `Seq
+    & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"Execution target.")
+
+let scale_arg =
+  Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Dataset scale multiplier.")
+
+let main app target scale =
+  let { program; inputs } = prepare app ~scale in
+  let target =
+    match target with
+    | `Seq -> Dmll.Sequential
+    | `Multicore -> Dmll.Multicore 4
+    | `Numa ->
+        Dmll.Numa
+          { Dmll_runtime.Sim_numa.machine = Dmll_machine.Machine.stanford_numa;
+            threads = 48;
+            mode = Dmll_runtime.Sim_numa.Numa_aware;
+          }
+    | `Gpu -> Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true }
+    | `Cluster -> Dmll.Cluster Dmll_runtime.Sim_cluster.default_config
+  in
+  let c = Dmll.compile ~target program in
+  Printf.printf "optimizations: %s\n%!"
+    (String.concat ", " (Dmll.optimizations c));
+  let value, seconds = Dmll.timed_run c ~inputs in
+  let kind =
+    match target with
+    | Dmll.Sequential | Dmll.Multicore _ -> "wall-clock"
+    | _ -> "simulated"
+  in
+  Printf.printf "%s time: %s\n" kind (Dmll_util.Table.fmt_time seconds);
+  Printf.printf "result: %s\n"
+    (let s = V.to_string value in
+     if String.length s > 200 then String.sub s 0 200 ^ "..." else s)
+
+let cmd =
+  let doc = "compile and run a DMLL benchmark application" in
+  Cmd.v (Cmd.info "dmll_run" ~doc) Term.(const main $ app_arg $ target_arg $ scale_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,99 @@
+(* dmllc: the DMLL compiler explorer.
+
+   Shows what the compiler does to a named application, stage by stage —
+   the tooling equivalent of the paper's walk through k-means (Figures
+   1/4/5): source IR, optimized IR, partitioning layouts and stencils,
+   applied rules, and (optionally) generated C++/CUDA/Scala. *)
+
+let apps : (string * (unit -> Dmll_ir.Exp.exp)) list =
+  [ ("kmeans", fun () -> Dmll_apps.Kmeans.program ~rows:1000 ~cols:16 ~k:8 ());
+    ("logreg", fun () -> Dmll_apps.Logreg.program ~rows:1000 ~cols:16 ~alpha:0.01 ());
+    ("gda", fun () -> Dmll_apps.Gda.program ~rows:1000 ~cols:8 ());
+    ("tpch_q1", fun () -> Dmll_apps.Tpch_q1.program ());
+    ("gene", fun () -> Dmll_apps.Gene.program ());
+    ("pagerank_pull", fun () -> Dmll_apps.Pagerank.program_pull ~nv:1024 ());
+    ("pagerank_push", fun () -> Dmll_apps.Pagerank.program_push ~nv:1024 ());
+    ("tricount", fun () -> Dmll_apps.Tricount.program ());
+    ("knn", fun () -> Dmll_apps.Knn.program ~train_rows:1000 ~test_rows:100 ~cols:8 ());
+    ("naive_bayes", fun () -> Dmll_apps.Naive_bayes.program ~rows:1000 ~cols:8 ());
+    ("gibbs", fun () -> Dmll_apps.Gibbs.program ~nvars:1000 ~replicas:4 ());
+    ("ridge", fun () -> Dmll_apps.Ridge.program ~rows:1000 ~cols:16 ~alpha:0.001 ~lambda:0.1 ());
+  ]
+
+open Cmdliner
+
+let app_arg =
+  let doc =
+    Printf.sprintf "Application to compile. One of: %s."
+      (String.concat ", " (List.map fst apps))
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let show_source =
+  Arg.(value & flag & info [ "source" ] ~doc:"Print the source (staged) IR.")
+
+let show_codegen =
+  Arg.(
+    value
+    & opt (some (enum [ ("cpp", `Cpp); ("cuda", `Cuda); ("scala", `Scala) ])) None
+    & info [ "emit" ] ~docv:"LANG" ~doc:"Emit generated code (cpp, cuda, or scala).")
+
+let gpu =
+  Arg.(value & flag & info [ "gpu" ] ~doc:"Lower for GPU (Row-to-Column + transpose).")
+
+let header title = Printf.printf "\n=== %s ===\n" title
+
+let main app show_src emit gpu =
+  match List.assoc_opt app apps with
+  | None ->
+      Printf.eprintf "unknown app %S; try one of: %s\n" app
+        (String.concat ", " (List.map fst apps));
+      exit 1
+  | Some build ->
+      let source = build () in
+      let target =
+        if gpu then
+          Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true }
+        else Dmll.Sequential
+      in
+      let c = Dmll.compile ~target source in
+      if show_src then begin
+        header "Source IR";
+        print_endline (Dmll_ir.Pp.to_string c.Dmll.source)
+      end;
+      header "Optimizations applied";
+      List.iter (fun n -> Printf.printf "  - %s\n" n) (Dmll.optimizations c);
+      header "Partitioning";
+      List.iter
+        (fun (t, l) ->
+          Printf.printf "  %-24s %s\n"
+            (Dmll_analysis.Stencil.target_to_string t)
+            (match l with Dmll_ir.Exp.Partitioned -> "Partitioned" | _ -> "Local"))
+        c.Dmll.partition.Dmll_analysis.Partition.layouts;
+      header "Global read stencils";
+      List.iter
+        (fun (t, s) ->
+          Printf.printf "  %-24s %s\n"
+            (Dmll_analysis.Stencil.target_to_string t)
+            (Dmll_analysis.Stencil.to_string s))
+        c.Dmll.partition.Dmll_analysis.Partition.stencils;
+      (match Dmll.warnings c with
+      | [] -> ()
+      | ws ->
+          header "Warnings";
+          List.iter (fun w -> Printf.printf "  ! %s\n" w) ws);
+      header "Final IR";
+      print_endline (Dmll_ir.Pp.to_string c.Dmll.final);
+      (match emit with
+      | Some lang ->
+          header "Generated code";
+          print_endline (Dmll.codegen lang c)
+      | None -> ())
+
+let cmd =
+  let doc = "explore the DMLL compilation pipeline for a benchmark application" in
+  Cmd.v
+    (Cmd.info "dmllc" ~doc)
+    Term.(const main $ app_arg $ show_source $ show_codegen $ gpu)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/kmeans_pipeline.ml: Array Dmll Dmll_analysis Dmll_apps Dmll_data Dmll_interp Dmll_ir Dmll_machine Dmll_runtime Dmll_util Domain Float List Printf Stdlib String

@@ -1,0 +1,1 @@
+examples/logreg_cluster.ml: Array Dmll Dmll_apps Dmll_data Dmll_interp Dmll_runtime Dmll_util List Printf String

@@ -1,0 +1,1 @@
+examples/logreg_cluster.mli:

@@ -1,0 +1,1 @@
+examples/pagerank_graph.ml: Array Dmll Dmll_apps Dmll_data Dmll_graph Dmll_interp Dmll_machine Dmll_runtime Dmll_util Float List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dmll Dmll_dsl Dmll_interp Dmll_ir Dmll_util List Printf

@@ -1,0 +1,1 @@
+lib/analysis/cost.ml: Dmll_ir Exp Fmt List Prim Sym Typecheck Types

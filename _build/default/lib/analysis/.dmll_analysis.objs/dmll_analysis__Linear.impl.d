@@ -1,0 +1,1 @@
+lib/analysis/linear.ml: Builder Dmll_ir Exp Prim Sym

@@ -1,0 +1,1 @@
+lib/analysis/partition.ml: Dmll_ir Dmll_opt Exp Hashtbl List Option Printf Stencil Types

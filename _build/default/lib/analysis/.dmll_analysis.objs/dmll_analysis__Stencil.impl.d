@@ -1,0 +1,1 @@
+lib/analysis/stencil.ml: Dmll_ir Exp Fmt Fun Linear List Option String Sym Types

@@ -1,0 +1,194 @@
+(** Static cost analysis: per-iteration work and memory traffic of a
+    multiloop.
+
+    The machine models (NUMA / GPU / cluster simulators) convert these
+    per-element costs into simulated time using hardware parameters
+    (issue rate, memory bandwidth, link bandwidth).  The model is
+    deliberately simple — a roofline-style account of floating point work
+    and bytes moved — because the paper's scaling arguments rest on
+    bandwidth saturation and communication volume, not on micro-
+    architectural detail. *)
+
+open Dmll_ir
+open Exp
+
+type t = {
+  flops : float;  (** weighted operation count (see {!Prim.flops}) *)
+  bytes_read : float;
+  bytes_written : float;
+}
+
+let zero = { flops = 0.0; bytes_read = 0.0; bytes_written = 0.0 }
+
+let ( ++ ) a b =
+  { flops = a.flops +. b.flops;
+    bytes_read = a.bytes_read +. b.bytes_read;
+    bytes_written = a.bytes_written +. b.bytes_written;
+  }
+
+let scale k a =
+  { flops = k *. a.flops;
+    bytes_read = k *. a.bytes_read;
+    bytes_written = k *. a.bytes_written;
+  }
+
+let pp fmt c =
+  Fmt.pf fmt "{flops=%.1f; rd=%.1fB; wr=%.1fB}" c.flops c.bytes_read c.bytes_written
+
+(* Element byte-size of a collection expression, from declared types. *)
+let elem_bytes (base : exp) : float =
+  let ty =
+    match base with
+    | Var s -> Some (Sym.ty s)
+    | Input (_, t, _) -> Some t
+    | _ -> None
+  in
+  match ty with
+  | Some (Types.Arr t) -> float_of_int (Types.byte_size t)
+  | Some (Types.Map (_, v)) -> float_of_int (Types.byte_size v)
+  | _ -> 8.0
+
+(* Cost of evaluating [e] once.  [eval_size] resolves loop-size expressions
+   to element counts when it can (constants, lengths of known inputs);
+   unresolved sizes fall back to [default_size].  [locals] holds symbols
+   bound inside the enclosing per-iteration region: reads of such
+   temporaries hit registers/L1, not DRAM, so they are charged a nominal
+   byte. *)
+let rec of_exp ?(locals = Sym.Set.empty) ~(eval_size : exp -> int option)
+    ~(default_size : int) (e : exp) : t =
+  let recur = of_exp ~locals ~eval_size ~default_size in
+  let read_bytes base =
+    match base with
+    | Var s when Sym.Set.mem s locals -> 1.0
+    | _ -> elem_bytes base
+  in
+  match e with
+  | Const _ | Var _ | Input _ -> zero
+  | Prim ((Prim.Div | Prim.Mod), [ a; Const (Cint _) ]) ->
+      (* division by a constant strength-reduces to multiply+shift *)
+      recur a ++ { zero with flops = 2.0 }
+  | Prim (p, args) ->
+      List.fold_left (fun acc a -> acc ++ recur a) { zero with flops = Prim.flops p } args
+  | If (c, t, f) ->
+      (* average the branches: data-dependent branching, no static winner *)
+      recur c ++ scale 0.5 (recur t ++ recur f)
+  | Let (s, a, b) ->
+      recur a ++ of_exp ~locals:(Sym.Set.add s locals) ~eval_size ~default_size b
+  | Tuple es -> List.fold_left (fun acc a -> acc ++ recur a) zero es
+  | Proj (a, _) | Field (a, _) -> recur a
+  | Record (_, fs) -> List.fold_left (fun acc (_, v) -> acc ++ recur v) zero fs
+  | Len a -> recur a
+  | Read (base, ix) -> recur ix ++ { zero with bytes_read = read_bytes base } ++ recur_base recur base
+  | MapRead (base, k, d) ->
+      (* hashed lookup: a few ops plus the value read *)
+      recur k
+      ++ (match d with Some d -> scale 0.1 (recur d) | None -> zero)
+      ++ { zero with flops = 4.0; bytes_read = read_bytes base }
+      ++ recur_base recur base
+  | KeyAt (base, ix) -> recur ix ++ { zero with bytes_read = 8.0 } ++ recur_base recur base
+  | Extern { eargs; _ } ->
+      List.fold_left (fun acc a -> acc ++ recur a) { zero with flops = 50.0 } eargs
+  | Loop l ->
+      let n =
+        match eval_size l.size with Some n -> n | None -> default_size
+      in
+      recur l.size ++ scale (float_of_int n) (per_iter ~locals ~eval_size ~default_size l)
+
+and recur_base recur = function
+  | Var _ | Input _ -> zero
+  | b -> recur b
+
+(* Per-iteration cost of a multiloop: the sum over its generators of
+   condition + key + value evaluation plus accumulation cost. *)
+and per_iter ?(locals = Sym.Set.empty) ~eval_size ~default_size (l : loop) : t =
+  let locals = Sym.Set.add l.idx locals in
+  let recur = of_exp ~locals ~eval_size ~default_size in
+  (* sibling generators sharing a condition/key (horizontal fusion's
+     output) evaluate it once per iteration (the backends' registries);
+     charge each alpha-class once *)
+  let seen_conds : exp list ref = ref [] in
+  let seen_keys : exp list ref = ref [] in
+  let once seen e cost =
+    if List.exists (alpha_equal e) !seen then zero
+    else begin
+      seen := e :: !seen;
+      cost
+    end
+  in
+  List.fold_left
+    (fun acc g ->
+      let cond_c =
+        match gen_cond g with
+        | Some c -> once seen_conds c (recur c)
+        | None -> zero
+      in
+      (* conditional generators evaluate value/accum only when the guard
+         passes; without selectivity information assume one half *)
+      let sel = match gen_cond g with Some _ -> 0.5 | None -> 1.0 in
+      let key_c =
+        match gen_key g with
+        | Some k -> once seen_keys k (scale sel (recur k ++ { zero with flops = 4.0 }))
+        | None -> zero
+      in
+      let value_c = scale sel (recur (gen_value g)) in
+      let accum_c =
+        match g with
+        | Collect { value; _ } ->
+            (* append to output buffer *)
+            { zero with bytes_written = value_bytes value }
+        | BucketCollect { value; _ } ->
+            { zero with flops = 2.0; bytes_written = value_bytes value }
+        | Reduce { rfun; _ } -> recur rfun
+        | BucketReduce { rfun; value; _ } ->
+            recur rfun ++ { zero with bytes_written = value_bytes value; flops = 2.0 }
+      in
+      acc ++ cond_c ++ key_c ++ value_c ++ scale sel accum_c)
+    zero l.gens
+
+and value_bytes (value : exp) : float =
+  (* static type of the produced element, from declared symbol types *)
+  let ty =
+    try
+      Some
+        (Typecheck.infer
+           (Sym.Set.fold
+              (fun s acc -> Sym.Map.add s (Sym.ty s) acc)
+              (free_vars value) Sym.Map.empty)
+           value)
+    with Typecheck.Type_error _ -> None
+  in
+  match ty with Some t -> float_of_int (Types.byte_size t) | None -> 8.0
+
+(** Per-iteration cost of a loop. *)
+let loop_per_iter ?(default_size = 16) ?(eval_size = fun _ -> None) l =
+  per_iter ~eval_size ~default_size l
+
+(** Total cost of evaluating [e] once. *)
+let of_program ?(default_size = 16) ?(eval_size = fun _ -> None) e =
+  of_exp ~eval_size ~default_size e
+
+(** A size evaluator resolving constants and [Len (Input _)] via a table of
+    input lengths; composes let-bound aliases away with {!Linear.simp}. *)
+let size_evaluator (input_lens : (string * int) list) : exp -> int option =
+  let rec go e =
+    match e with
+    | Const (Cint n) -> Some n
+    | Len (Input (n, _, _)) -> List.assoc_opt n input_lens
+    | Len (Var s) -> (
+        (* symbol lengths are unknown statically; a common case is a var
+           aliasing an input, which the optimizer has usually inlined *)
+        ignore s;
+        None)
+    | Prim (Prim.Mul, [ a; b ]) -> (
+        match (go a, go b) with Some x, Some y -> Some (x * y) | _ -> None)
+    | Prim (Prim.Add, [ a; b ]) -> (
+        match (go a, go b) with Some x, Some y -> Some (x + y) | _ -> None)
+    | Prim (Prim.Sub, [ a; b ]) -> (
+        match (go a, go b) with Some x, Some y -> Some (x - y) | _ -> None)
+    | Prim (Prim.Div, [ a; b ]) -> (
+        match (go a, go b) with
+        | Some x, Some y when y <> 0 -> Some (x / y)
+        | _ -> None)
+    | _ -> None
+  in
+  go

@@ -1,0 +1,73 @@
+(** Affine (linear) form extraction for integer index expressions.
+
+    The read-stencil analysis classifies array subscripts by their affine
+    structure with respect to a loop index (paper §4.2: "standard affine
+    analysis").  Coefficients are symbolic expressions — a matrix row
+    access is [i * cols + j] where [cols] is a runtime value — so the form
+    of an expression [e] with respect to index [i] is a pair [(a, b)] of
+    expressions free of [i] with [e = a*i + b]. *)
+
+open Dmll_ir
+open Exp
+open Builder
+
+(** [in_index i e] is [Some (a, b)] with [e = a*i + b] and [a], [b] free of
+    [i]; [None] if [e] is not affine in [i]. *)
+let rec in_index (i : Sym.t) (e : exp) : (exp * exp) option =
+  if not (occurs i e) then Some (int_ 0, e)
+  else
+    match e with
+    | Var s when Sym.equal s i -> Some (int_ 1, int_ 0)
+    | Prim (Prim.Add, [ x; y ]) -> (
+        match (in_index i x, in_index i y) with
+        | Some (a1, b1), Some (a2, b2) -> Some (simp (a1 +! a2), simp (b1 +! b2))
+        | _ -> None)
+    | Prim (Prim.Sub, [ x; y ]) -> (
+        match (in_index i x, in_index i y) with
+        | Some (a1, b1), Some (a2, b2) -> Some (simp (a1 -! a2), simp (b1 -! b2))
+        | _ -> None)
+    | Prim (Prim.Mul, [ x; y ]) -> (
+        (* linear only if one side is free of i *)
+        match (occurs i x, occurs i y) with
+        | true, false -> (
+            match in_index i x with
+            | Some (a, b) -> Some (simp (a *! y), simp (b *! y))
+            | None -> None)
+        | false, true -> (
+            match in_index i y with
+            | Some (a, b) -> Some (simp (x *! a), simp (x *! b))
+            | None -> None)
+        | _ -> None)
+    | Prim (Prim.Neg, [ x ]) -> (
+        match in_index i x with
+        | Some (a, b) -> Some (simp (int_ 0 -! a), simp (int_ 0 -! b))
+        | None -> None)
+    | Let (s, bound, body) when not (occurs i bound) -> (
+        (* substitute and retry: common after let-bound strides *)
+        match in_index i (subst1 s bound body) with
+        | Some (a, b) -> Some (a, b)
+        | None -> None)
+    | _ -> None
+
+(* local constant folding so coefficient comparison by alpha-equality works
+   on the common shapes (0 + cols, 1 * cols, ...) *)
+and simp (e : exp) : exp =
+  let e = map_sub simp' e in
+  match e with
+  | Prim (Prim.Add, [ Const (Cint 0); x ]) | Prim (Prim.Add, [ x; Const (Cint 0) ]) -> x
+  | Prim (Prim.Sub, [ x; Const (Cint 0) ]) -> x
+  | Prim (Prim.Mul, [ Const (Cint 1); x ]) | Prim (Prim.Mul, [ x; Const (Cint 1) ]) -> x
+  | Prim (Prim.Mul, [ Const (Cint 0); _ ]) | Prim (Prim.Mul, [ _; Const (Cint 0) ]) ->
+      int_ 0
+  | Prim (Prim.Add, [ Const (Cint x); Const (Cint y) ]) -> int_ (x + y)
+  | Prim (Prim.Sub, [ Const (Cint x); Const (Cint y) ]) -> int_ (x - y)
+  | Prim (Prim.Mul, [ Const (Cint x); Const (Cint y) ]) -> int_ (x * y)
+  | e -> e
+
+and simp' e = simp e
+
+let is_zero e = alpha_equal (simp e) (int_ 0)
+let is_one e = alpha_equal (simp e) (int_ 1)
+
+(** Coefficient equality up to the local simplifier. *)
+let coeff_equal a b = alpha_equal (simp a) (simp b)

@@ -1,0 +1,203 @@
+(** Partitioning analysis — Algorithm 1 of the paper.
+
+    A forward dataflow pass over the program's let-spine decides, for every
+    collection, whether it should be [Local] (one memory region) or
+    [Partitioned] (spread across regions), seeded by the user's annotations
+    on data sources and propagated by "move the computation to the data":
+
+    - a parallel op (multiloop) consuming a [Partitioned] collection has
+      its own output [Partitioned] when the output is partitionable
+      (a [Collect]); reductions and bucket generators produce [Local]
+      results;
+    - sequential code consuming a [Partitioned] collection draws a warning
+      unless whitelisted (length reads, whitelisted externs);
+    - a [Partitioned] input with a non-local-friendly stencil triggers the
+      nested-pattern rewrites, tried one at a time (keeping the search
+      linear and order-independent, §4.2); if none improves the stencil the
+      runtime falls back to remote reads, with a warning. *)
+
+open Dmll_ir
+open Exp
+module R = Dmll_opt.Rewrite
+
+type warning =
+  | Sequential_on_partitioned of Stencil.target
+      (** sequential (non-multiloop) code dereferences a partitioned
+          collection: disallowed on clusters, allowed with a warning on
+          shared memory (§4.3) *)
+  | Remote_access of Stencil.target * Stencil.t
+      (** a partitioned collection is consumed with a stencil that cannot
+          be made local by any available rewrite; the runtime will fetch
+          remotely (§4.2 fallback) *)
+
+let warning_to_string = function
+  | Sequential_on_partitioned t ->
+      Printf.sprintf "sequential access to partitioned collection %s"
+        (Stencil.target_to_string t)
+  | Remote_access (t, s) ->
+      Printf.sprintf "partitioned collection %s has %s stencil: runtime data movement"
+        (Stencil.target_to_string t) (Stencil.to_string s)
+
+type report = {
+  program : exp;  (** possibly rewritten by stencil-triggered transforms *)
+  layouts : (Stencil.target * layout) list;
+  stencils : (Stencil.target * Stencil.t) list;  (** global, per collection *)
+  co_partitioned : (Stencil.target * Stencil.target) list;
+  warnings : warning list;
+  rewrites_applied : string list;
+}
+
+let layout_of (t : Stencil.target) (layouts : (Stencil.target * layout) list) : layout =
+  match List.find_opt (fun (t', _) -> Stencil.target_equal t t') layouts with
+  | Some (_, l) -> l
+  | None -> Local
+
+(* ------------------------------------------------------------------ *)
+(* Layout propagation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* All Input annotations in the program. *)
+let input_layouts (e : exp) : (Stencil.target * layout) list =
+  let tbl = Hashtbl.create 8 in
+  ignore
+    (fold
+       (fun () n ->
+         match n with
+         | Input (name, (Types.Arr _ | Types.Map _), l) -> Hashtbl.replace tbl name l
+         | _ -> ())
+       () e);
+  Hashtbl.fold (fun n l acc -> (Stencil.Tinput n, l) :: acc) tbl []
+
+(* Collection targets read anywhere inside a loop. *)
+let loop_reads (l : loop) : Stencil.target list =
+  List.map fst (Stencil.of_loop l)
+
+let is_parallel = function Loop _ -> true | _ -> false
+
+let output_partitionable (l : loop) : bool =
+  List.for_all (function Collect _ -> true | _ -> false) l.gens
+
+(* Sequential dereference census: does [e] (treated as sequential code —
+   i.e. not descending into loops, which are parallel ops) dereference any
+   partitioned collection?  [Len] and whitelisted externs are safe. *)
+let sequential_derefs (layouts : (Stencil.target * layout) list) (e : exp) :
+    Stencil.target list =
+  let hits = ref [] in
+  let note t =
+    if layout_of t layouts = Partitioned && not (List.exists (Stencil.target_equal t) !hits)
+    then hits := t :: !hits
+  in
+  let rec go e =
+    match e with
+    | Loop _ -> () (* parallel op: analyzed separately *)
+    | Len _ -> () (* whitelisted: size reads do not dereference data *)
+    | Extern { whitelisted = true; _ } -> ()
+    | Read (base, ix) | KeyAt (base, ix) ->
+        (match Stencil.target_of_exp base with Some t -> note t | None -> go base);
+        go ix
+    | MapRead (base, k, d) ->
+        (match Stencil.target_of_exp base with Some t -> note t | None -> go base);
+        go k;
+        Option.iter go d
+    | _ -> ignore (map_sub (fun s -> go s; s) e)
+  in
+  go e;
+  !hits
+
+(* Propagate layouts along the outer let-spine. *)
+let propagate (e : exp) : (Stencil.target * layout) list * warning list =
+  let layouts = ref (input_layouts e) in
+  let warnings = ref [] in
+  let set t l = layouts := (t, l) :: List.filter (fun (t', _) -> not (Stencil.target_equal t t')) !layouts in
+  let rec spine e =
+    match e with
+    | Let (s, rhs, body) ->
+        (match rhs with
+        | Loop l ->
+            let inputs = loop_reads l in
+            let partitioned =
+              List.filter (fun t -> layout_of t !layouts = Partitioned) inputs
+            in
+            if partitioned <> [] && output_partitionable l then
+              set (Stencil.Tsym s) Partitioned
+            else set (Stencil.Tsym s) Local
+        | Input (_, _, l) -> set (Stencil.Tsym s) l
+        | Var s' -> set (Stencil.Tsym s) (layout_of (Stencil.Tsym s') !layouts)
+        | _ ->
+            (* sequential right-hand side *)
+            List.iter
+              (fun t -> warnings := Sequential_on_partitioned t :: !warnings)
+              (sequential_derefs !layouts rhs);
+            set (Stencil.Tsym s) Local);
+        spine body
+    | Loop _ -> ()
+    | _ ->
+        List.iter
+          (fun t -> warnings := Sequential_on_partitioned t :: !warnings)
+          (sequential_derefs !layouts e)
+  in
+  spine e;
+  (!layouts, List.rev !warnings)
+
+(* ------------------------------------------------------------------ *)
+(* Stencil checking with transform fallback                            *)
+(* ------------------------------------------------------------------ *)
+
+(* (loop, target) pairs where a partitioned collection is consumed with a
+   non-local-friendly stencil. *)
+let bad_accesses (e : exp) (layouts : (Stencil.target * layout) list) :
+    (Stencil.target * Stencil.t) list =
+  List.concat_map
+    (fun l ->
+      List.filter_map
+        (fun (t, s) ->
+          if layout_of t layouts = Partitioned && not (Stencil.local_friendly s) then
+            Some (t, s)
+          else None)
+        (Stencil.of_loop l))
+    (Stencil.outer_loops e)
+
+(** Run the full analysis.  [transforms] defaults to the CPU set of
+    Figure-3 rules; [reoptimize] is applied after any accepted rewrite so
+    fusion can clean up (the paper's pipeline does the same for k-means:
+    Conditional Reduce is followed by re-fusion). *)
+let analyze ?(transforms = Dmll_opt.Rules_nested.cpu_rules)
+    ?(reoptimize = fun e -> (Dmll_opt.Pipeline.optimize e).Dmll_opt.Pipeline.program)
+    (e : exp) : report =
+  let rewrites = ref [] in
+  let rec fix e iters =
+    let layouts, warnings = propagate e in
+    let bad = bad_accesses e layouts in
+    if bad = [] || iters >= 8 then (e, layouts, warnings, bad)
+    else
+      (* try each rewrite rule, one at a time, linear search (§4.2) *)
+      let try_rule rule =
+        let trace = R.new_trace () in
+        let e' = R.sweep [ rule ] trace e in
+        if trace.R.applied = [] then None
+        else
+          let e' = reoptimize e' in
+          let layouts', _ = propagate e' in
+          let bad' = bad_accesses e' layouts' in
+          if List.length bad' < List.length bad then Some (e', rule.R.rname) else None
+      in
+      let rec first = function
+        | [] -> None
+        | r :: rest -> ( match try_rule r with Some x -> Some x | None -> first rest)
+      in
+      match first transforms with
+      | Some (e', name) ->
+          rewrites := !rewrites @ [ name ];
+          fix e' (iters + 1)
+      | None -> (e, layouts, warnings, bad)
+  in
+  let program, layouts, warnings, bad = fix e 0 in
+  let warnings = warnings @ List.map (fun (t, s) -> Remote_access (t, s)) bad in
+  let is_partitioned t = layout_of t layouts = Partitioned in
+  { program;
+    layouts;
+    stencils = Stencil.global program;
+    co_partitioned = Stencil.co_partition_pairs program ~is_partitioned;
+    warnings;
+    rewrites_applied = !rewrites;
+  }

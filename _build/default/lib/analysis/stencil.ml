@@ -1,0 +1,253 @@
+(** Read stencil analysis (paper §4.2).
+
+    For every multiloop and every collection it reads, classify the range
+    of the collection that one iteration of the loop may access:
+
+    - [Interval]: iteration [i] reads element [i] (or row [i] of a
+      flattened matrix).  The runtime partitions on these boundaries and
+      every access is local.
+    - [Const]: a fixed element; the runtime broadcasts it.
+    - [All]: the whole collection per iteration; the runtime broadcasts the
+      collection.
+    - [Unknown]: a data-dependent index; the runtime must replicate or
+      transfer at runtime — the trigger for the Figure-3 rewrites.
+
+    Accesses are classified by affine analysis of the subscript with
+    respect to the loop index ({!Linear}), including the row pattern
+    [i*stride + j] where [j] is an inner loop index sweeping exactly
+    [stride] elements. *)
+
+open Dmll_ir
+open Exp
+
+type t =
+  | Interval
+  | Const
+  | All
+  | Unknown
+
+let to_string = function
+  | Interval -> "Interval"
+  | Const -> "Const"
+  | All -> "All"
+  | Unknown -> "Unknown"
+
+let pp fmt s = Fmt.string fmt (to_string s)
+
+(* Lattice: Const ⊑ Interval ⊑ All ⊑ Unknown; join = max. *)
+let rank = function Const -> 0 | Interval -> 1 | All -> 2 | Unknown -> 3
+let join a b = if rank a >= rank b then a else b
+let join_all = List.fold_left join Const
+
+(** Does partitioning the collection on this stencil avoid remote reads? *)
+let local_friendly = function Interval | Const -> true | All | Unknown -> false
+
+(* ------------------------------------------------------------------ *)
+(* Access collection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** The "name" of a collection being read: a named input or a let-bound
+    symbol. *)
+type target = Tinput of string | Tsym of Sym.t
+
+let target_equal a b =
+  match (a, b) with
+  | Tinput x, Tinput y -> String.equal x y
+  | Tsym x, Tsym y -> Sym.equal x y
+  | _ -> false
+
+let target_to_string = function
+  | Tinput n -> n
+  | Tsym s -> Sym.to_string s
+
+let target_of_exp = function
+  | Input (n, _, _) -> Some (Tinput n)
+  | Var s -> Some (Tsym s)
+  | _ -> None
+
+(* One raw access site: the subscript expression, plus the stack of loop
+   indices (outermost first, starting with the analyzed loop's index) that
+   enclose the site, with their sizes. *)
+type site = { subscript : exp option; enclosing : (Sym.t * exp) list }
+(* subscript = None encodes a whole-value use (bare Var / Len is excluded
+   separately / MapRead with dynamic key). *)
+
+let sites_of_loop (l : loop) : (target * site) list =
+  let acc = ref [] in
+  let note target site = acc := (target, site) :: !acc in
+  let rec go (enclosing : (Sym.t * exp) list) (e : exp) : unit =
+    match e with
+    | Read (base, ix) -> (
+        go enclosing ix;
+        match target_of_exp base with
+        | Some t -> note t { subscript = Some ix; enclosing }
+        | None -> go enclosing base)
+    | MapRead (base, k, d) -> (
+        go enclosing k;
+        Option.iter (go enclosing) d;
+        match target_of_exp base with
+        | Some t ->
+            (* keyed access: data-dependent unless the key is loop-invariant *)
+            note t { subscript = Some k; enclosing }
+        | None -> go enclosing base)
+    | KeyAt (base, ix) -> (
+        go enclosing ix;
+        match target_of_exp base with
+        | Some t -> note t { subscript = Some ix; enclosing }
+        | None -> go enclosing base)
+    | Len _ ->
+        (* length reads never touch element data (whitelisted, §4.3) *)
+        ()
+    | Var s when (match Sym.ty s with Types.Arr _ | Types.Map _ -> true | _ -> false) ->
+        (* bare collection use outside Read/Len: conservatively a whole-value
+           use *)
+        note (Tsym s) { subscript = None; enclosing }
+    | Input (n, (Types.Arr _ | Types.Map _), _) ->
+        note (Tinput n) { subscript = None; enclosing }
+    | Loop inner ->
+        go enclosing inner.size;
+        let enclosing' = enclosing @ [ (inner.idx, inner.size) ] in
+        List.iter
+          (fun g ->
+            let parts =
+              List.filter_map Fun.id [ gen_cond g; Some (gen_value g); gen_key g ]
+            in
+            let parts =
+              match g with
+              | Reduce { rfun; init; _ } | BucketReduce { rfun; init; _ } ->
+                  rfun :: init :: parts
+              | _ -> parts
+            in
+            List.iter (go enclosing') parts)
+          inner.gens
+    | _ -> fold_sub (fun () sub -> go enclosing sub) () e
+  in
+  List.iter
+    (fun g ->
+      let parts = List.filter_map Fun.id [ gen_cond g; Some (gen_value g); gen_key g ] in
+      let parts =
+        match g with
+        | Reduce { rfun; init; _ } | BucketReduce { rfun; init; _ } ->
+            rfun :: init :: parts
+        | _ -> parts
+      in
+      List.iter (go [ (l.idx, l.size) ]) parts)
+    l.gens;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Classify one access site relative to the outermost index (the analyzed
+   loop's index, which is the head of [enclosing]). *)
+let classify_site (site : site) : t =
+  match site.enclosing with
+  | [] -> Const (* outside any loop — unreachable for loop sites *)
+  | (i, _) :: inner -> (
+      match site.subscript with
+      | None -> All
+      | Some ix -> (
+          match Linear.in_index i ix with
+          | None ->
+              (* not affine in the loop index: data-dependent *)
+              Unknown
+          | Some (a, b) ->
+              let inner_idxs = List.map fst inner in
+              let b_inner =
+                List.filter (fun j -> occurs j b) inner_idxs
+              in
+              if Linear.is_zero a then
+                match b_inner with
+                | [] -> Const
+                | _ ->
+                    (* subscription sweeps inner indices independent of i:
+                       the loop touches a fixed region every iteration *)
+                    if List.for_all (fun j -> Option.is_some (Linear.in_index j b)) b_inner
+                    then All
+                    else Unknown
+              else if Linear.is_one a && b_inner = [] then Interval
+              else
+                (* row pattern: a*i + j with one inner index j of extent a *)
+                match b_inner with
+                | [ j ] -> (
+                    match Linear.in_index j b with
+                    | Some (cj, rest)
+                      when Linear.is_one cj
+                           && (not (List.exists (fun k -> occurs k rest) inner_idxs)) ->
+                        let j_size =
+                          List.assoc_opt j (List.map (fun (s, sz) -> (s, sz)) inner)
+                        in
+                        (match j_size with
+                        | Some sz when Linear.coeff_equal sz a -> Interval
+                        | _ -> Unknown)
+                    | _ -> Unknown)
+                | [] ->
+                    (* strided access without a covering inner sweep *)
+                    Unknown
+                | _ -> Unknown))
+
+(** Stencils of every collection read by one multiloop: the join over all
+    of its access sites. *)
+let of_loop (l : loop) : (target * t) list =
+  let sites = sites_of_loop l in
+  List.fold_left
+    (fun acc (t, site) ->
+      let s = classify_site site in
+      match List.find_opt (fun (t', _) -> target_equal t t') acc with
+      | Some (_, s0) ->
+          (t, join s s0) :: List.filter (fun (t', _) -> not (target_equal t t')) acc
+      | None -> (t, s) :: acc)
+    [] sites
+
+let lookup (t : target) (stencils : (target * t) list) : t option =
+  Option.map snd (List.find_opt (fun (t', _) -> target_equal t t') stencils)
+
+(* ------------------------------------------------------------------ *)
+(* Program-level stencils                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Outermost multiloops of a program: loops not nested inside another
+    loop.  These are the units the runtime partitions across machines. *)
+let outer_loops (e : exp) : loop list =
+  let acc = ref [] in
+  let rec go e =
+    match e with
+    | Loop l -> acc := l :: !acc (* do not descend: inner loops belong to it *)
+    | _ -> ignore (map_sub (fun s -> go s; s) e)
+  in
+  go e;
+  List.rev !acc
+
+(** Global stencil per collection: the conservative join over all outer
+    loops that read it (paper §4.2: "we then compute a global stencil for
+    each collection by conservatively joining its local stencils"). *)
+let global (e : exp) : (target * t) list =
+  List.fold_left
+    (fun acc l ->
+      List.fold_left
+        (fun acc (t, s) ->
+          match List.find_opt (fun (t', _) -> target_equal t t') acc with
+          | Some (_, s0) ->
+              (t, join s s0) :: List.filter (fun (t', _) -> not (target_equal t t')) acc
+          | None -> (t, s) :: acc)
+        acc (of_loop l))
+    [] (outer_loops e)
+
+(** Pairs of partitioned collections consumed by the same loop, which the
+    runtime must co-partition (paper §4.2). *)
+let co_partition_pairs (e : exp) ~(is_partitioned : target -> bool) :
+    (target * target) list =
+  List.concat_map
+    (fun l ->
+      let ts =
+        List.filter_map
+          (fun (t, s) -> if is_partitioned t && s = Interval then Some t else None)
+          (of_loop l)
+      in
+      let rec pairs = function
+        | [] | [ _ ] -> []
+        | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+      in
+      pairs ts)
+    (outer_loops e)

@@ -1,0 +1,1 @@
+lib/apps/gene.ml: Array Dmll_data Dmll_dsl Dmll_interp Dmll_ir Hashtbl List

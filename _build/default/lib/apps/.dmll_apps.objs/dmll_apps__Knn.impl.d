@@ -1,0 +1,1 @@
+lib/apps/knn.ml: Array Dmll_data Dmll_dsl Dmll_interp Dmll_ir Exp Mat Sym Types

@@ -1,0 +1,1 @@
+lib/apps/pagerank.ml: Array Dmll_dsl Dmll_graph Dmll_interp Dmll_ir

@@ -1,0 +1,1 @@
+lib/apps/ridge.ml: Array Dmll_data Dmll_dsl Dmll_interp Dmll_ir Mat

@@ -1,0 +1,1 @@
+lib/apps/tpch_q1.ml: Array Dmll_data Dmll_dsl Dmll_interp Dmll_ir List

@@ -1,0 +1,1 @@
+lib/apps/tricount.ml: Dmll_dsl Dmll_graph Dmll_interp Dmll_ir

@@ -1,0 +1,121 @@
+(** Gaussian Discriminant Analysis.
+
+    Two passes over the dataset, matching the paper's description ("GDA is
+    similar but iterates over its dataset twice"): the first pass computes
+    the class prior and per-class feature sums (four reductions that
+    horizontal fusion merges into one traversal); the second accumulates
+    the pooled scatter matrix Σ (x_i − μ_{y_i})(x_i − μ_{y_i})ᵀ as a
+    flattened cols² vector reduce — the optimizations Table 2 lists for
+    GDA: pipeline fusion, horizontal fusion, CSE. *)
+
+module V = Dmll_interp.Value
+module Gaussian = Dmll_data.Gaussian
+
+(** Returns (phi, mu0, mu1, sigma_flat). *)
+let program ~rows ~cols () : Dmll_ir.Exp.exp =
+  let open Dmll_dsl.Dsl in
+  let x = Mat.input ~layout:Dmll_ir.Exp.Partitioned "matrix" ~rows:(int rows) ~cols:(int cols) in
+  let y = input_farr ~layout:Dmll_ir.Exp.Partitioned "y" in
+  let r = int rows and c = int cols in
+  let body =
+    let$ n1 = count_range_if r (fun i -> get y i > float 0.5) in
+    let$ n0 = count_range_if r (fun i -> not (get y i > float 0.5)) in
+    let$ sum0 =
+      reduce_range
+        ~cond:(fun i -> not (get y i > float 0.5))
+        r ~init:(vzero c)
+        (fun i -> Mat.row x i)
+        vadd
+    in
+    let$ sum1 =
+      reduce_range
+        ~cond:(fun i -> get y i > float 0.5)
+        r ~init:(vzero c)
+        (fun i -> Mat.row x i)
+        vadd
+    in
+    let$ mu0 = map sum0 (fun s -> s /. to_float (imax n0 (int 1))) in
+    let$ mu1 = map sum1 (fun s -> s /. to_float (imax n1 (int 1))) in
+    let$ sigma =
+      reduce_range r
+        ~init:(vzero (c * c))
+        (fun i ->
+          let$ d =
+            tabulate c (fun j ->
+                Mat.get x i j
+                -. if_ (get y i > float 0.5) (get mu1 j) (get mu0 j))
+          in
+          tabulate (c * c) (fun p -> get d (p / c) *. get d (p mod c)))
+        vadd
+    in
+    pair
+      (pair (to_float n1 /. to_float r) mu0)
+      (pair mu1 (map sigma (fun s -> s /. to_float r)))
+  in
+  reveal body
+
+let inputs (d : Gaussian.dataset) : (string * V.t) list =
+  [ Gaussian.matrix_input d; ("y", V.of_float_array (Gaussian.binary_labels d)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Hand-optimized reference                                            *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  phi : float;
+  mu0 : float array;
+  mu1 : float array;
+  sigma : float array;  (** cols * cols, row-major *)
+}
+
+let handopt ~(data : float array) ~(labels : float array) ~(rows : int) ~(cols : int)
+    () : result =
+  let sum0 = Array.make cols 0.0 and sum1 = Array.make cols 0.0 in
+  let n1 = ref 0 in
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    if labels.(i) > 0.5 then begin
+      incr n1;
+      for j = 0 to cols - 1 do
+        sum1.(j) <- sum1.(j) +. data.(base + j)
+      done
+    end
+    else
+      for j = 0 to cols - 1 do
+        sum0.(j) <- sum0.(j) +. data.(base + j)
+      done
+  done;
+  let n0 = rows - !n1 in
+  let mu0 = Array.map (fun s -> s /. float_of_int (Stdlib.max n0 1)) sum0 in
+  let mu1 = Array.map (fun s -> s /. float_of_int (Stdlib.max !n1 1)) sum1 in
+  let sigma = Array.make (cols * cols) 0.0 in
+  let d = Array.make cols 0.0 in
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    let mu = if labels.(i) > 0.5 then mu1 else mu0 in
+    for j = 0 to cols - 1 do
+      d.(j) <- data.(base + j) -. mu.(j)
+    done;
+    for a = 0 to cols - 1 do
+      let da = d.(a) in
+      let rowbase = a * cols in
+      for b = 0 to cols - 1 do
+        sigma.(rowbase + b) <- sigma.(rowbase + b) +. (da *. d.(b))
+      done
+    done
+  done;
+  for p = 0 to (cols * cols) - 1 do
+    sigma.(p) <- sigma.(p) /. float_of_int rows
+  done;
+  { phi = float_of_int !n1 /. float_of_int rows; mu0; mu1; sigma }
+
+(** Unpack the DMLL result tuple. *)
+let result_of_value (v : V.t) : result =
+  match v with
+  | V.Vtup [| V.Vtup [| V.Vfloat phi; mu0 |]; V.Vtup [| mu1; sigma |] |] ->
+      { phi;
+        mu0 = V.to_float_array mu0;
+        mu1 = V.to_float_array mu1;
+        sigma = V.to_float_array sigma;
+      }
+  | _ -> invalid_arg "Gda.result_of_value"

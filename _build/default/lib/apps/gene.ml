@@ -1,0 +1,74 @@
+(** Gene barcoding: per-barcode read counting with quality filtering.
+
+    Written distributed-friendly (a filter feeding grouped reductions),
+    exercising the Table 2 optimizations for this benchmark: pipeline
+    fusion (the filter disappears into the single traversal) and dead
+    field elimination (the [length] column is never read, so after
+    input-SoA it is never even loaded). *)
+
+module V = Dmll_interp.Value
+module Genes = Dmll_data.Genes
+
+let read_ty : Dmll_ir.Types.ty =
+  Dmll_ir.Types.Struct
+    ( "read",
+      [ ("barcode", Dmll_ir.Types.Int);
+        ("quality", Dmll_ir.Types.Float);
+        ("length", Dmll_ir.Types.Int);
+      ] )
+
+(** Per barcode: (count, mean quality) as a pair of maps. *)
+let program () : Dmll_ir.Exp.exp =
+  let open Dmll_dsl.Dsl in
+  let reads = input_struct_arr ~layout:Dmll_ir.Exp.Partitioned "reads" read_ty in
+  let body =
+    let$ valid = filter reads (fun r -> field r "quality" >= float Genes.min_quality) in
+    let$ counts =
+      group_reduce (length valid)
+        ~key:(fun i -> field (get valid i) "barcode")
+        ~value:(fun _ -> int 1)
+        ~init:(int 0)
+        ~combine:(fun a b -> a + b)
+    in
+    let$ qsums =
+      group_reduce (length valid)
+        ~key:(fun i -> field (get valid i) "barcode")
+        ~value:(fun i -> field (get valid i) "quality")
+        ~init:(float 0.0)
+        ~combine:(fun a b -> a +. b)
+    in
+    tabulate (buckets counts) (fun j ->
+        pair (bucket_key counts j)
+          (pair (bucket_value counts j)
+             (bucket_value qsums j /. to_float (bucket_value counts j))))
+  in
+  reveal body
+
+let aos_inputs (r : Genes.reads) : (string * V.t) list =
+  [ ("reads", Genes.aos_value r) ]
+
+let soa_inputs = Genes.columnar_inputs
+
+(* ------------------------------------------------------------------ *)
+(* Hand-optimized reference                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** (barcode, count, mean quality) in first-seen order of valid reads. *)
+let handopt (r : Genes.reads) : (int * int * float) list =
+  let tbl = Hashtbl.create 1024 in
+  let order = ref [] in
+  for i = 0 to r.Genes.n - 1 do
+    if r.Genes.quality.(i) >= Genes.min_quality then begin
+      let b = r.Genes.barcode.(i) in
+      match Hashtbl.find_opt tbl b with
+      | Some (c, q) -> Hashtbl.replace tbl b (c + 1, q +. r.Genes.quality.(i))
+      | None ->
+          Hashtbl.add tbl b (1, r.Genes.quality.(i));
+          order := b :: !order
+    end
+  done;
+  List.rev_map
+    (fun b ->
+      let c, q = Hashtbl.find tbl b in
+      (b, c, q /. float_of_int c))
+    !order

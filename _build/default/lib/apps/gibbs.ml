@@ -1,0 +1,94 @@
+(** Gibbs sampling on factor graphs (paper §6.3, the DimmWitted case
+    study).
+
+    The application's parallelization is hierarchical and {e requires}
+    nested parallelism: one model replica per socket sampled independently
+    (outer parallelism), Hogwild-style threads within a socket (inner
+    parallelism), samples averaged at the end.  The DMLL program expresses
+    exactly that nesting: an outer Collect over replicas, an inner Collect
+    over variables computing each variable's conditional from the factor
+    arrays.
+
+    Determinism/purity note (documented substitution): real Hogwild reads
+    neighbors' {e in-sweep} states racily; the pure IR reads the previous
+    sweep's state (Jacobi-style chromatic approximation).  Both are
+    standard asynchronous-Gibbs approximations with the same per-sweep
+    work and memory behaviour, which is what the Figure 8 comparison
+    measures.  Randomness is pre-drawn ([Factor_graph.sweep_randoms]) so
+    every executor computes bit-identical samples. *)
+
+module V = Dmll_interp.Value
+module Fg = Dmll_data.Factor_graph
+
+let sigmoid (z : float Dmll_dsl.Dsl.t) : float Dmll_dsl.Dsl.t =
+  let open Dmll_dsl.Dsl in
+  float 1.0 /. (float 1.0 +. exp (neg z))
+
+(** One sweep over all variables for [replicas] model replicas; returns an
+    array of per-replica new state vectors.  Replica [r] uses the random
+    slice [r * nvars ..]. *)
+let program ~nvars ~replicas () : Dmll_ir.Exp.exp =
+  let open Dmll_dsl.Dsl in
+  let var_a = input_iarr "fg.var_a" in
+  let var_b = input_iarr "fg.var_b" in
+  let weight = input_farr ~layout:Dmll_ir.Exp.Partitioned "fg.weight" in
+  let adj_off = input_iarr "fg.adj_offsets" in
+  let adj_fac = input_iarr ~layout:Dmll_ir.Exp.Partitioned "fg.adj_factors" in
+  let bias = input_farr "fg.bias" in
+  let state = input_farr "state" in
+  let rand = input_farr "rand" in
+  let body =
+    tabulate (int replicas) (fun r ->
+        tabulate (int nvars) (fun v ->
+            let activation =
+              get bias v
+              +. sum_range
+                   (get adj_off (v + int 1) - get adj_off v)
+                   (fun k ->
+                     let$ f = get adj_fac (get adj_off v + k) in
+                     let$ other =
+                       if_ (get var_a f = v) (get var_b f) (get var_a f)
+                     in
+                     get weight f *. get state other)
+            in
+            if_ (get rand ((r * int nvars) + v) < sigmoid activation)
+              (float 1.0) (float 0.0)))
+  in
+  reveal body
+
+let inputs (g : Fg.t) ~(state : float array) ~(rand : float array) :
+    (string * V.t) list =
+  ("state", V.of_float_array state) :: ("rand", V.of_float_array rand) :: Fg.inputs g
+
+(* ------------------------------------------------------------------ *)
+(* Hand-optimized reference (unwrapped arrays, like DMLL's codegen)     *)
+(* ------------------------------------------------------------------ *)
+
+(** One sweep for one replica over flat arrays, Jacobi-style like the IR
+    program, writing into [out]. *)
+let handopt_sweep (g : Fg.t) ~(state : float array) ~(rand : float array)
+    ~(rand_base : int) ~(out : float array) : unit =
+  for v = 0 to g.Fg.nvars - 1 do
+    let acc = ref g.Fg.bias.(v) in
+    for k = g.Fg.adj_offsets.(v) to g.Fg.adj_offsets.(v + 1) - 1 do
+      let f = g.Fg.adj_factors.(k) in
+      let other = if g.Fg.var_a.(f) = v then g.Fg.var_b.(f) else g.Fg.var_a.(f) in
+      acc := !acc +. (g.Fg.weight.(f) *. state.(other))
+    done;
+    let p = 1.0 /. (1.0 +. Stdlib.exp (-. !acc)) in
+    out.(v) <- (if rand.(rand_base + v) < p then 1.0 else 0.0)
+  done
+
+(** Average of per-replica states (the final model combination). *)
+let average_replicas (v : V.t) : float array =
+  let nrep = V.length v in
+  let first = V.to_float_array (V.get v 0) in
+  let n = Array.length first in
+  let acc = Array.make n 0.0 in
+  for r = 0 to nrep - 1 do
+    let s = V.to_float_array (V.get v r) in
+    for i = 0 to n - 1 do
+      acc.(i) <- acc.(i) +. s.(i)
+    done
+  done;
+  Array.map (fun x -> x /. float_of_int nrep) acc

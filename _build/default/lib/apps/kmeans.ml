@@ -1,0 +1,138 @@
+(** k-means clustering (paper Figure 1, §3.2, §4).
+
+    The DMLL program is the {e shared-memory} formulation of Figure 1's
+    first half — the one that "cannot be directly ported to typical
+    distributed programming models": assign each row to its nearest
+    centroid, then average the rows of each cluster with conditional
+    reductions over the whole dataset.  The Conditional Reduce rule turns
+    it into the Figure 5 bucketReduce form, pipeline fusion folds the
+    assignment in, and horizontal fusion merges the sum and count
+    traversals — all verified by the test suite.
+
+    [handopt] is the manually optimized reference (Table 2's "C++"
+    column): a single fused pass with unboxed accumulators. *)
+
+module V = Dmll_interp.Value
+module Gaussian = Dmll_data.Gaussian
+
+(** One k-means iteration: returns the [k] new centroids (array of
+    row-vectors). *)
+let program ~rows ~cols ~k () : Dmll_ir.Exp.exp =
+  let open Dmll_dsl.Dsl in
+  let m = Mat.input ~layout:Dmll_ir.Exp.Partitioned "matrix" ~rows:(int rows) ~cols:(int cols) in
+  let c = Mat.input "clusters" ~rows:(int k) ~cols:(int cols) in
+  let body =
+    let$ assigned =
+      tabulate (Mat.rows m) (fun i ->
+          min_index (int k) (fun kk -> Mat.dist2_rows m i c kk))
+    in
+    tabulate (int k) (fun kk ->
+        let$ sum =
+          reduce_range
+            ~cond:(fun j -> get assigned j = kk)
+            (Mat.rows m)
+            ~init:(vzero (Mat.cols m))
+            (fun j -> Mat.row m j)
+            vadd
+        in
+        let$ cnt =
+          count_range_if (Mat.rows m) (fun j -> get assigned j = kk)
+        in
+        map sum (fun s -> if_ (cnt > int 0) (s /. to_float cnt) s))
+  in
+  reveal body
+
+(** The same iteration written the {e distributed-memory} way (Figure 1's
+    second half): group the rows by their nearest centroid, then average
+    each group.  Section 3.2's claim — "after transformation and fusion
+    take place we end up with the exact same optimized code as the result
+    of applying the GroupBy-Reduce rule to the groupBy formulation" — is
+    verified by the test suite: both formulations compile to the same
+    fused bucketReduce traversal and identical results. *)
+let program_groupby ~rows ~cols ~k () : Dmll_ir.Exp.exp =
+  let open Dmll_dsl.Dsl in
+  let m = Mat.input ~layout:Dmll_ir.Exp.Partitioned "matrix" ~rows:(int rows) ~cols:(int cols) in
+  let c = Mat.input "clusters" ~rows:(int k) ~cols:(int cols) in
+  let body =
+    (* groupRowsBy: bucket the row indices by nearest centroid *)
+    let$ rows_ix = tabulate (Mat.rows m) (fun i -> i) in
+    let$ grouped =
+      group_by rows_ix ~key:(fun i -> min_index (int k) (fun kk -> Mat.dist2_rows m i c kk))
+    in
+    (* clusteredData.map(e => e.sum / e.count): vector row sums per group *)
+    tabulate (buckets grouped) (fun g ->
+        pair
+          (bucket_key grouped g)
+          (let sum =
+             reduce_range
+               (length (bucket_value grouped g))
+               ~init:(vzero (Mat.cols m))
+               (fun l -> Mat.row m (get (bucket_value grouped g) l))
+               vadd
+           in
+           map sum (fun s -> s /. to_float (length (bucket_value grouped g)))))
+  in
+  reveal body
+
+(** Flatten {!program_groupby}'s result ((key, centroid) pairs in
+    first-seen order) into the same k x cols layout as {!handopt};
+    clusters that received no rows keep their slot at zero. *)
+let groupby_result_to_flat (v : V.t) ~k ~cols : float array =
+  let out = Array.make (k * cols) 0.0 in
+  for g = 0 to V.length v - 1 do
+    match V.get v g with
+    | V.Vtup [| V.Vint key; row |] ->
+        Array.blit (V.to_float_array row) 0 out (key * cols) cols
+    | _ -> invalid_arg "Kmeans.groupby_result_to_flat"
+  done;
+  out
+
+let inputs (d : Gaussian.dataset) ~(centroids : float array) : (string * V.t) list =
+  [ Gaussian.matrix_input d; ("clusters", V.of_float_array centroids) ]
+
+(* ------------------------------------------------------------------ *)
+(* Hand-optimized reference                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** One iteration over flat arrays; returns new centroids (k x cols,
+    row-major). *)
+let handopt ~(data : float array) ~(rows : int) ~(cols : int) ~(k : int)
+    ~(centroids : float array) : float array =
+  let sums = Array.make (k * cols) 0.0 in
+  let counts = Array.make k 0 in
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    (* nearest centroid *)
+    let best = ref 0 and best_d = ref infinity in
+    for kk = 0 to k - 1 do
+      let cb = kk * cols in
+      let d = ref 0.0 in
+      for j = 0 to cols - 1 do
+        let x = data.(base + j) -. centroids.(cb + j) in
+        d := !d +. (x *. x)
+      done;
+      if !d < !best_d then begin
+        best_d := !d;
+        best := kk
+      end
+    done;
+    let sb = !best * cols in
+    for j = 0 to cols - 1 do
+      sums.(sb + j) <- sums.(sb + j) +. data.(base + j)
+    done;
+    counts.(!best) <- counts.(!best) + 1
+  done;
+  Array.init (k * cols) (fun p ->
+      let kk = p / cols in
+      if counts.(kk) > 0 then sums.(p) /. float_of_int counts.(kk) else sums.(p))
+
+(** Flatten the DMLL result (array of k row-vectors) for comparison with
+    {!handopt}. *)
+let result_to_flat (v : V.t) ~cols : float array =
+  let k = V.length v in
+  let out = Array.make (k * cols) 0.0 in
+  for kk = 0 to k - 1 do
+    let row = V.to_float_array (V.get v kk) in
+    Array.blit row 0 out (kk * cols) cols
+  done;
+  out

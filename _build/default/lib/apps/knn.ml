@@ -1,0 +1,75 @@
+(** Nearest-neighbor classification (paper §3.2 mentions kNN as another
+    instance of the GroupBy-Reduce pattern family).
+
+    For every test row we find the nearest training row (1-NN) and return
+    its label; a second program counts predictions per label with a
+    grouped reduction, the "count the fraction of k data samples per data
+    label" step of the paper's kNN. *)
+
+module V = Dmll_interp.Value
+module Gaussian = Dmll_data.Gaussian
+
+(** Predicted label per test row. *)
+let program ~train_rows ~test_rows ~cols () : Dmll_ir.Exp.exp =
+  let open Dmll_dsl.Dsl in
+  let train =
+    Mat.input ~layout:Dmll_ir.Exp.Partitioned "train" ~rows:(int train_rows)
+      ~cols:(int cols)
+  in
+  let test = Mat.input "test" ~rows:(int test_rows) ~cols:(int cols) in
+  let labels = input_iarr "train_labels" in
+  let body =
+    tabulate (Mat.rows test) (fun t ->
+        let$ nearest =
+          min_index (Mat.rows train) (fun i -> Mat.dist2_rows train i test t)
+        in
+        get labels nearest)
+  in
+  reveal body
+
+(** Histogram of predicted labels (label -> count). *)
+let label_counts_program ~train_rows ~test_rows ~cols () : Dmll_ir.Exp.exp =
+  let open Dmll_dsl.Dsl in
+  let open Dmll_ir in
+  let preds = program ~train_rows ~test_rows ~cols () in
+  let s = Sym.fresh ~name:"preds" (Types.Arr Types.Int) in
+  Exp.Let
+    ( s,
+      preds,
+      reveal
+        (group_reduce
+           (length (conceal (Exp.Var s)))
+           ~key:(fun i -> get (conceal (Exp.Var s)) i)
+           ~value:(fun _ -> int 1)
+           ~init:(int 0)
+           ~combine:(fun a b -> a + b)) )
+
+let inputs ~(train : Gaussian.dataset) ~(test : Gaussian.dataset) :
+    (string * V.t) list =
+  [ ("train", V.of_float_array train.Gaussian.data);
+    ("test", V.of_float_array test.Gaussian.data);
+    ("train_labels", V.of_int_array train.Gaussian.labels);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Hand-optimized reference                                            *)
+(* ------------------------------------------------------------------ *)
+
+let handopt ~(train : float array) ~(train_labels : int array) ~(test : float array)
+    ~(train_rows : int) ~(test_rows : int) ~(cols : int) : int array =
+  Array.init test_rows (fun t ->
+      let tb = t * cols in
+      let best = ref 0 and best_d = ref infinity in
+      for i = 0 to train_rows - 1 do
+        let ib = i * cols in
+        let d = ref 0.0 in
+        for j = 0 to cols - 1 do
+          let x = train.(ib + j) -. test.(tb + j) in
+          d := !d +. (x *. x)
+        done;
+        if !d < !best_d then begin
+          best_d := !d;
+          best := i
+        end
+      done;
+      train_labels.(!best))

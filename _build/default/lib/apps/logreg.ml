@@ -1,0 +1,63 @@
+(** Logistic regression (paper §3.2).
+
+    The DMLL program is the paper's {e textbook} formulation: for each
+    feature (column) j, a nested summation over all samples computes the
+    gradient.  As written it parallelizes over the (few) features and
+    broadcasts every sample — the Column-to-Row Reduce rule restructures
+    it to a single pass over the samples reducing a gradient {e vector},
+    after which code motion floats the per-sample hypothesis out of the
+    per-feature inner loop.  For GPUs the Row-to-Column inverse is applied
+    inside the kernel (paper: "distributing over samples (rows) and then
+    summing over features (columns) within each node"). *)
+
+module V = Dmll_interp.Value
+module Gaussian = Dmll_data.Gaussian
+
+let sigmoid (z : float Dmll_dsl.Dsl.t) : float Dmll_dsl.Dsl.t =
+  let open Dmll_dsl.Dsl in
+  float 1.0 /. (float 1.0 +. exp (neg z))
+
+(** One gradient-descent step on [theta]; returns the new theta. *)
+let program ~rows ~cols ~alpha () : Dmll_ir.Exp.exp =
+  let open Dmll_dsl.Dsl in
+  let x = Mat.input ~layout:Dmll_ir.Exp.Partitioned "matrix" ~rows:(int rows) ~cols:(int cols) in
+  let y = input_farr ~layout:Dmll_ir.Exp.Partitioned "y" in
+  let theta = input_farr "theta" in
+  let body =
+    tabulate (int cols) (fun j ->
+        let gradient =
+          sum_range (int rows) (fun i ->
+              Mat.get x i j *. (get y i -. sigmoid (Mat.dot_row x i theta)))
+        in
+        get theta j +. (float alpha *. gradient))
+  in
+  reveal body
+
+let inputs (d : Gaussian.dataset) ~(theta : float array) : (string * V.t) list =
+  [ Gaussian.matrix_input d;
+    ("y", V.of_float_array (Gaussian.binary_labels d));
+    ("theta", V.of_float_array theta);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Hand-optimized reference                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** One step over flat arrays: single pass over the samples, gradient
+    accumulated in a reused buffer. *)
+let handopt ~(data : float array) ~(labels : float array) ~(rows : int) ~(cols : int)
+    ~(alpha : float) ~(theta : float array) : float array =
+  let grad = Array.make cols 0.0 in
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    let z = ref 0.0 in
+    for j = 0 to cols - 1 do
+      z := !z +. (data.(base + j) *. theta.(j))
+    done;
+    let h = 1.0 /. (1.0 +. Stdlib.exp (-. !z)) in
+    let d = labels.(i) -. h in
+    for j = 0 to cols - 1 do
+      grad.(j) <- grad.(j) +. (data.(base + j) *. d)
+    done
+  done;
+  Array.init cols (fun j -> theta.(j) +. (alpha *. grad.(j)))

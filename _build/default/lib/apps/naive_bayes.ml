@@ -1,0 +1,70 @@
+(** Gaussian naive Bayes training.
+
+    Per-class feature means and variances via grouped vector reductions
+    keyed by the label — one of the paper's §3.2 examples of applications
+    "in which the user wishes to somehow reduce the columns of a matrix"
+    (together with ridge regression), and a second user of the
+    Row-to-Column GPU lowering. *)
+
+module V = Dmll_interp.Value
+module Gaussian = Dmll_data.Gaussian
+
+(** Returns (per-class counts, per-class feature sums, per-class feature
+    sums of squares) as three maps keyed by label; means/variances follow
+    by division. *)
+let program ~rows ~cols () : Dmll_ir.Exp.exp =
+  let open Dmll_dsl.Dsl in
+  let x = Mat.input ~layout:Dmll_ir.Exp.Partitioned "matrix" ~rows:(int rows) ~cols:(int cols) in
+  let labels = input_iarr ~layout:Dmll_ir.Exp.Partitioned "labels" in
+  let r = int rows in
+  let body =
+    let$ counts =
+      group_reduce r
+        ~key:(fun i -> get labels i)
+        ~value:(fun _ -> int 1)
+        ~init:(int 0)
+        ~combine:(fun a b -> a + b)
+    in
+    let$ sums =
+      group_reduce r
+        ~key:(fun i -> get labels i)
+        ~value:(fun i -> Mat.row x i)
+        ~init:(vzero (Mat.cols x))
+        ~combine:vadd
+    in
+    let$ sqsums =
+      group_reduce r
+        ~key:(fun i -> get labels i)
+        ~value:(fun i -> tabulate (Mat.cols x) (fun j -> Mat.get x i j *. Mat.get x i j))
+        ~init:(vzero (Mat.cols x))
+        ~combine:vadd
+    in
+    pair counts (pair sums sqsums)
+  in
+  reveal body
+
+let inputs (d : Gaussian.dataset) : (string * V.t) list =
+  [ Gaussian.matrix_input d; ("labels", V.of_int_array d.Gaussian.labels) ]
+
+(* ------------------------------------------------------------------ *)
+(* Hand-optimized reference                                            *)
+(* ------------------------------------------------------------------ *)
+
+type stats = { counts : int array; sums : float array; sqsums : float array }
+
+let handopt ~(data : float array) ~(labels : int array) ~(rows : int) ~(cols : int)
+    ~(classes : int) : stats =
+  let counts = Array.make classes 0 in
+  let sums = Array.make (classes * cols) 0.0 in
+  let sqsums = Array.make (classes * cols) 0.0 in
+  for i = 0 to rows - 1 do
+    let c = labels.(i) in
+    counts.(c) <- counts.(c) + 1;
+    let ib = i * cols and cb = c * cols in
+    for j = 0 to cols - 1 do
+      let v = data.(ib + j) in
+      sums.(cb + j) <- sums.(cb + j) +. v;
+      sqsums.(cb + j) <- sqsums.(cb + j) +. (v *. v)
+    done
+  done;
+  { counts; sums; sqsums }

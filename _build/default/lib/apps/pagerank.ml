@@ -1,0 +1,73 @@
+(** PageRank in both models the OptiGraph push-pull transformation
+    switches between (paper §6.2):
+
+    - {e pull}: each vertex gathers rank/degree from its in-neighbors —
+      the natural shared-memory formulation; reads of the rank vector are
+      data-dependent (an [Unknown] stencil — the paper's "sometimes the
+      communication is fundamental" case);
+    - {e push}: an edge-parallel BucketReduce keyed by the edge's target —
+      the distributed formulation; the big edge arrays stream with
+      [Interval] stencils and the shuffled contributions are the explicit
+      communication. *)
+
+module V = Dmll_interp.Value
+module Csr = Dmll_graph.Csr
+
+let damping = 0.85
+
+(** One pull-model iteration; returns the new rank vector. *)
+let program_pull ~nv () : Dmll_ir.Exp.exp =
+  let base_v = (1.0 -. damping) /. float_of_int nv in
+  let open Dmll_dsl.Dsl in
+  let in_offsets = input_iarr "g.in_offsets" in
+  let in_sources = input_iarr ~layout:Dmll_ir.Exp.Partitioned "g.in_sources" in
+  let out_deg = input_iarr "g.out_deg" in
+  let ranks = input_farr ~layout:Dmll_ir.Exp.Partitioned "ranks" in
+  let base = float base_v in
+  let body =
+    tabulate (int nv) (fun v ->
+        let acc =
+          sum_range
+            (get in_offsets (v + int 1) - get in_offsets v)
+            (fun e ->
+              let$ u = get in_sources (get in_offsets v + e) in
+              get ranks u /. to_float (imax (get out_deg u) (int 1)))
+        in
+        base +. (float damping *. acc))
+  in
+  reveal body
+
+(** One push-model iteration: contributions shuffled by target vertex. *)
+let program_push ~nv () : Dmll_ir.Exp.exp =
+  let base_v = (1.0 -. damping) /. float_of_int nv in
+  let open Dmll_dsl.Dsl in
+  let edge_src = input_iarr ~layout:Dmll_ir.Exp.Partitioned "g.edge_src" in
+  let edge_dst = input_iarr ~layout:Dmll_ir.Exp.Partitioned "g.out_targets" in
+  let out_deg = input_iarr "g.out_deg" in
+  let ranks = input_farr "ranks" in
+  let base = float base_v in
+  let body =
+    let$ contribs =
+      group_reduce (length edge_dst)
+        ~key:(fun e -> get edge_dst e)
+        ~value:(fun e ->
+          let$ u = get edge_src e in
+          get ranks u /. to_float (imax (get out_deg u) (int 1)))
+        ~init:(float 0.0)
+        ~combine:(fun a b -> a +. b)
+    in
+    tabulate (int nv) (fun v ->
+        base +. (float damping *. lookup_or contribs v ~default:(float 0.0)))
+  in
+  reveal body
+
+let inputs (g : Csr.t) ~(ranks : float array) : (string * V.t) list =
+  ("ranks", V.of_float_array ranks) :: Csr.inputs g
+
+let initial_ranks (g : Csr.t) : float array =
+  Array.make g.Csr.nv (1.0 /. float_of_int g.Csr.nv)
+
+(** Hand-optimized references live in {!Dmll_graph.Kernels}. *)
+let handopt_pull = Dmll_graph.Kernels.pagerank_pull_step
+
+let handopt_push = Dmll_graph.Kernels.pagerank_push_step

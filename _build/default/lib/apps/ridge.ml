@@ -1,0 +1,56 @@
+(** Ridge regression (one gradient step).
+
+    Listed in §3.2 alongside naive Bayes as an application "in which the
+    user wishes to somehow reduce the columns of a matrix": the gradient
+    of the L2-regularized least-squares objective is a per-feature sum
+    over all samples, written here in the same textbook per-column
+    orientation as logistic regression — so the Column-to-Row Reduce rule
+    restructures it identically for distribution, and Row-to-Column
+    re-inverts it inside GPU kernels. *)
+
+module V = Dmll_interp.Value
+module Gaussian = Dmll_data.Gaussian
+
+(** One step of gradient descent on [theta] for
+    ½‖Xθ − y‖² + ½λ‖θ‖²; returns the new theta. *)
+let program ~rows ~cols ~alpha ~lambda () : Dmll_ir.Exp.exp =
+  let open Dmll_dsl.Dsl in
+  let x = Mat.input ~layout:Dmll_ir.Exp.Partitioned "matrix" ~rows:(int rows) ~cols:(int cols) in
+  let y = input_farr ~layout:Dmll_ir.Exp.Partitioned "y" in
+  let theta = input_farr "theta" in
+  let body =
+    tabulate (int cols) (fun j ->
+        let residual_grad =
+          sum_range (int rows) (fun i ->
+              Mat.get x i j *. (Mat.dot_row x i theta -. get y i))
+        in
+        get theta j
+        -. (float alpha *. (residual_grad +. (float lambda *. get theta j))))
+  in
+  reveal body
+
+let inputs (d : Gaussian.dataset) ~(theta : float array) : (string * V.t) list =
+  [ Gaussian.matrix_input d;
+    ("y", V.of_float_array (Gaussian.binary_labels d));
+    ("theta", V.of_float_array theta);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Hand-optimized reference                                            *)
+(* ------------------------------------------------------------------ *)
+
+let handopt ~(data : float array) ~(labels : float array) ~(rows : int) ~(cols : int)
+    ~(alpha : float) ~(lambda : float) ~(theta : float array) : float array =
+  let grad = Array.make cols 0.0 in
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    let pred = ref 0.0 in
+    for j = 0 to cols - 1 do
+      pred := !pred +. (data.(base + j) *. theta.(j))
+    done;
+    let r = !pred -. labels.(i) in
+    for j = 0 to cols - 1 do
+      grad.(j) <- grad.(j) +. (data.(base + j) *. r)
+    done
+  done;
+  Array.init cols (fun j -> theta.(j) -. (alpha *. (grad.(j) +. (lambda *. theta.(j)))))

@@ -1,0 +1,124 @@
+(** TPC-H Query 1: the pricing summary report.
+
+    Written the way an analyst writes it — filter by shipdate, group by
+    (returnflag, linestatus), then aggregate each group — over an
+    array-of-structs input.  The compiler does the rest, reproducing the
+    full Table 2 optimization list for Q1:
+
+    - {e GroupBy-Reduce} collapses the groupBy + per-group sums into one
+      multiloop of BucketReduce generators,
+    - {e pipeline fusion} folds the shipdate filter into that traversal,
+    - {e AoS→SoA} + {e DFE} split the lineitem input into the used
+      columns only,
+    - {e CSE} shares the repeated [price * (1 - discount)] subterm. *)
+
+module V = Dmll_interp.Value
+module Tpch = Dmll_data.Tpch
+
+(* The schema carries the full set of lineitem columns Query 1 does NOT
+   touch (orderkey, partkey, suppkey, ...) so dead field elimination has
+   real work to do, as on the actual 16-column table. *)
+let lineitem_ty : Dmll_ir.Types.ty =
+  Dmll_ir.Types.Struct
+    ( "lineitem",
+      [ ("orderkey", Dmll_ir.Types.Int);
+        ("partkey", Dmll_ir.Types.Int);
+        ("suppkey", Dmll_ir.Types.Int);
+        ("linenumber", Dmll_ir.Types.Int);
+        ("returnflag", Dmll_ir.Types.Int);
+        ("linestatus", Dmll_ir.Types.Int);
+        ("quantity", Dmll_ir.Types.Float);
+        ("extendedprice", Dmll_ir.Types.Float);
+        ("discount", Dmll_ir.Types.Float);
+        ("tax", Dmll_ir.Types.Float);
+        ("shipdate", Dmll_ir.Types.Int);
+      ] )
+
+(** Per group: (key, (sum_qty, sum_base, sum_disc_price, sum_charge),
+    (avg_qty, avg_price, avg_disc), count). *)
+let program () : Dmll_ir.Exp.exp =
+  let open Dmll_dsl.Dsl in
+  let items = input_struct_arr ~layout:Dmll_ir.Exp.Partitioned "lineitem" lineitem_ty in
+  let body =
+    let$ valid =
+      filter items (fun it -> field it "shipdate" <= int Tpch.q1_cutoff)
+    in
+    let$ g =
+      group_by valid ~key:(fun it ->
+          pair (field it "returnflag") (field it "linestatus"))
+    in
+    tabulate (buckets g) (fun j ->
+        (* NOTE: the bucket is deliberately not let-bound — the
+           GroupBy-Reduce rule matches reduces over [g(j)] syntactically *)
+        let b () : 'a arr t = bucket_value g j in
+        let sum_of f = sum_range (length (b ())) (fun l -> f (get (b ()) l)) in
+        let count = to_float (length (b ())) in
+        let sum_qty = sum_of (fun it -> field it "quantity") in
+        let sum_base = sum_of (fun it -> field it "extendedprice") in
+        let sum_disc_price =
+          sum_of (fun it ->
+              field it "extendedprice" *. (float 1.0 -. field it "discount"))
+        in
+        let sum_charge =
+          sum_of (fun it ->
+              field it "extendedprice"
+              *. (float 1.0 -. field it "discount")
+              *. (float 1.0 +. field it "tax"))
+        in
+        let avg_qty = sum_of (fun it -> field it "quantity") /. count in
+        let avg_price = sum_of (fun it -> field it "extendedprice") /. count in
+        let avg_disc = sum_of (fun it -> field it "discount") /. count in
+        pair
+          (pair (bucket_key g j)
+             (pair (pair sum_qty sum_base) (pair sum_disc_price sum_charge)))
+          (pair (pair avg_qty avg_price) (pair avg_disc count)))
+  in
+  reveal body
+
+let aos_inputs (t : Tpch.table) : (string * V.t) list =
+  [ ("lineitem", Tpch.aos_value t) ]
+
+(** Inputs for the optimized (post input-SoA) program. *)
+let soa_inputs = Tpch.columnar_inputs
+
+(* ------------------------------------------------------------------ *)
+(* Hand-optimized reference                                            *)
+(* ------------------------------------------------------------------ *)
+
+type group = {
+  mutable sum_qty : float;
+  mutable sum_base : float;
+  mutable sum_disc_price : float;
+  mutable sum_charge : float;
+  mutable sum_disc : float;
+  mutable count : int;
+}
+
+(** Single pass over the columns with a direct-indexed group table
+    (6 possible (returnflag, linestatus) combinations). *)
+let handopt (t : Tpch.table) : (int * int * group) list =
+  let groups = Array.init 6 (fun _ ->
+      { sum_qty = 0.0; sum_base = 0.0; sum_disc_price = 0.0; sum_charge = 0.0;
+        sum_disc = 0.0; count = 0 }) in
+  let seen = Array.make 6 false in
+  let order = ref [] in
+  for i = 0 to t.Tpch.n - 1 do
+    if t.Tpch.shipdate.(i) <= Tpch.q1_cutoff then begin
+      let k = (t.Tpch.returnflag.(i) * 2) + t.Tpch.linestatus.(i) in
+      if not seen.(k) then begin
+        seen.(k) <- true;
+        order := k :: !order
+      end;
+      let g = groups.(k) in
+      let price = t.Tpch.extendedprice.(i) in
+      let disc = t.Tpch.discount.(i) in
+      let disc_price = price *. (1.0 -. disc) in
+      g.sum_qty <- g.sum_qty +. t.Tpch.quantity.(i);
+      g.sum_base <- g.sum_base +. price;
+      g.sum_disc_price <- g.sum_disc_price +. disc_price;
+      g.sum_charge <- g.sum_charge +. (disc_price *. (1.0 +. t.Tpch.tax.(i)));
+      g.sum_disc <- g.sum_disc +. disc;
+      g.count <- g.count + 1
+    end
+  done;
+  List.rev_map (fun k -> (k / 2, k mod 2, groups.(k))) !order |> List.rev

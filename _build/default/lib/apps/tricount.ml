@@ -1,0 +1,47 @@
+(** Triangle counting on the symmetrized graph.
+
+    The DMLL formulation builds an edge-membership map once (a grouped
+    count keyed by the (src,dst) pair) and then, edge-parallel, counts for
+    every edge (u,v) with u<v the common neighbors w>v — random reads into
+    the membership map, the paper's example of an application whose
+    "primary distributed dataset cannot be perfectly partitioned".  The
+    hand-optimized reference ({!Dmll_graph.Kernels.triangle_count}) uses
+    the sorted-adjacency merge that sequential C++ implementations use. *)
+
+module V = Dmll_interp.Value
+module Csr = Dmll_graph.Csr
+
+let program () : Dmll_ir.Exp.exp =
+  let open Dmll_dsl.Dsl in
+  let edge_src = input_iarr ~layout:Dmll_ir.Exp.Partitioned "g.edge_src" in
+  let edge_dst = input_iarr ~layout:Dmll_ir.Exp.Partitioned "g.out_targets" in
+  let offsets = input_iarr "g.out_offsets" in
+  let body =
+    (* membership: (u,v) -> 1 for every directed edge *)
+    let$ edgeset =
+      group_reduce (length edge_dst)
+        ~key:(fun e -> pair (get edge_src e) (get edge_dst e))
+        ~value:(fun _ -> int 1)
+        ~init:(int 0)
+        ~combine:(fun a b -> imax a b)
+    in
+    (* for each edge (u,v), u<v: count w in N(u) with w>v and (v,w) edge *)
+    sum_range_int (length edge_dst) (fun e ->
+        let$ u = get edge_src e in
+        let$ v = get edge_dst e in
+        if_ (u < v)
+          (sum_range_int
+             (get offsets (u + int 1) - get offsets u)
+             (fun k ->
+               let$ w = get edge_dst (get offsets u + k) in
+               if_
+                 (w > v
+                 && lookup_or edgeset (pair v w) ~default:(int 0) = int 1)
+                 (int 1) (int 0)))
+          (int 0))
+  in
+  reveal body
+
+let inputs (g : Csr.t) : (string * V.t) list = Csr.inputs g
+
+let handopt = Dmll_graph.Kernels.triangle_count

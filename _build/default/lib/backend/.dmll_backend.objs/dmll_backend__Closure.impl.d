@@ -1,0 +1,1 @@
+lib/backend/closure.ml: Array Char Dmll_interp Dmll_ir Exp Float Fmt Hashtbl List Option Prim Stdlib String Sym Typecheck Types

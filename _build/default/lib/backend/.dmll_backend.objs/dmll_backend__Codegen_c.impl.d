@@ -1,0 +1,1 @@
+lib/backend/codegen_c.ml: Buffer Dmll_ir Exp Hashtbl List Prim Printf String Sym Typecheck Types

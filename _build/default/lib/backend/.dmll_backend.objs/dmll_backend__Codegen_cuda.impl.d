@@ -1,0 +1,1 @@
+lib/backend/codegen_cuda.ml: Buffer Codegen_c Dmll_analysis Dmll_ir Exp List Prim Printf String Sym Types

@@ -1,0 +1,1 @@
+lib/backend/codegen_ocaml.ml: Buffer Dmll_ir Exp Float Fmt Hashtbl Int64 List Prim Printf String Sym Typecheck Types

@@ -1,0 +1,1 @@
+lib/backend/codegen_scala.ml: Dmll_ir Exp Hashtbl List Prim Printf String Sym Types

@@ -1,0 +1,1 @@
+lib/backend/gpu.ml: Dmll_analysis Dmll_ir Dmll_opt Exp Fmt List Printf Sym Typecheck Types

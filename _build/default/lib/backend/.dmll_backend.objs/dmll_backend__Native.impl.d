@@ -1,0 +1,1 @@
+lib/backend/native.ml: Codegen_ocaml Dmll_interp Dmll_ir Filename Fmt Lazy Marshal Printf Scanf Stdlib Sys Unix

@@ -1,0 +1,235 @@
+(** C++ code generator.
+
+    Emits a C++17 translation unit from optimized DMLL IR, in the style of
+    Delite's C++ backend that the paper reuses (§5).  The emitted code is
+    for inspection and golden-testing — it demonstrates that the IR carries
+    everything a native backend needs (types, loop structure, generator
+    decomposition) — and is not compiled inside this repository (the
+    closure backend plays the executable role; see DESIGN.md §2). *)
+
+open Dmll_ir
+open Exp
+
+let rec cty : Types.ty -> string = function
+  | Types.Unit -> "void"
+  | Types.Bool -> "bool"
+  | Types.Int -> "int64_t"
+  | Types.Float -> "double"
+  | Types.Str -> "std::string"
+  | Types.Arr t -> Printf.sprintf "std::vector<%s>" (cty t)
+  | Types.Tup ts ->
+      Printf.sprintf "std::tuple<%s>" (String.concat ", " (List.map cty ts))
+  | Types.Struct (n, _) -> n
+  | Types.Map (k, v) -> Printf.sprintf "dmll::bucket_map<%s, %s>" (cty k) (cty v)
+
+let sym_name s = Printf.sprintf "%s_%d" (Sym.name s) (Sym.id s)
+
+type emitter = { buf : Buffer.t; mutable indent : int; mutable tmp : int }
+
+let new_emitter () = { buf = Buffer.create 1024; indent = 0; tmp = 0 }
+
+let line em fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string em.buf (String.make (2 * em.indent) ' ');
+      Buffer.add_string em.buf s;
+      Buffer.add_char em.buf '\n')
+    fmt
+
+let fresh_tmp em prefix =
+  em.tmp <- em.tmp + 1;
+  Printf.sprintf "%s_%d" prefix em.tmp
+
+let prim_c (p : Prim.t) (args : string list) : string =
+  let a () = List.nth args 0 and b () = List.nth args 1 in
+  match p with
+  | Prim.Add | Fadd -> Printf.sprintf "(%s + %s)" (a ()) (b ())
+  | Sub | Fsub -> Printf.sprintf "(%s - %s)" (a ()) (b ())
+  | Mul | Fmul -> Printf.sprintf "(%s * %s)" (a ()) (b ())
+  | Div | Fdiv -> Printf.sprintf "(%s / %s)" (a ()) (b ())
+  | Mod -> Printf.sprintf "(%s %% %s)" (a ()) (b ())
+  | Neg | Fneg -> Printf.sprintf "(-%s)" (a ())
+  | Min | Fmin -> Printf.sprintf "std::min(%s, %s)" (a ()) (b ())
+  | Max | Fmax -> Printf.sprintf "std::max(%s, %s)" (a ()) (b ())
+  | Sqrt -> Printf.sprintf "std::sqrt(%s)" (a ())
+  | Exp -> Printf.sprintf "std::exp(%s)" (a ())
+  | Log -> Printf.sprintf "std::log(%s)" (a ())
+  | Fabs -> Printf.sprintf "std::abs(%s)" (a ())
+  | Pow -> Printf.sprintf "std::pow(%s, %s)" (a ()) (b ())
+  | I2f -> Printf.sprintf "static_cast<double>(%s)" (a ())
+  | F2i -> Printf.sprintf "static_cast<int64_t>(%s)" (a ())
+  | Eq -> Printf.sprintf "(%s == %s)" (a ()) (b ())
+  | Ne -> Printf.sprintf "(%s != %s)" (a ()) (b ())
+  | Lt -> Printf.sprintf "(%s < %s)" (a ()) (b ())
+  | Le -> Printf.sprintf "(%s <= %s)" (a ()) (b ())
+  | Gt -> Printf.sprintf "(%s > %s)" (a ()) (b ())
+  | Ge -> Printf.sprintf "(%s >= %s)" (a ()) (b ())
+  | And -> Printf.sprintf "(%s && %s)" (a ()) (b ())
+  | Or -> Printf.sprintf "(%s || %s)" (a ()) (b ())
+  | Not -> Printf.sprintf "(!%s)" (a ())
+  | Strcat -> Printf.sprintf "(%s + %s)" (a ()) (b ())
+  | Strlen -> Printf.sprintf "static_cast<int64_t>(%s.size())" (a ())
+  | Strget -> Printf.sprintf "static_cast<int64_t>(%s[%s])" (a ()) (b ())
+
+let ty_of_exp e =
+  try
+    Typecheck.infer
+      (Sym.Set.fold
+         (fun s acc -> Sym.Map.add s (Sym.ty s) acc)
+         (free_vars e) Sym.Map.empty)
+      e
+  with Typecheck.Type_error _ -> Types.Unit
+
+(* Emit [e]; statements go to [em], the returned string is a C++ rvalue. *)
+let rec emit_exp em (e : exp) : string =
+  match e with
+  | Const Cunit -> "/*unit*/0"
+  | Const (Cbool b) -> if b then "true" else "false"
+  | Const (Cint i) -> Printf.sprintf "INT64_C(%d)" i
+  | Const (Cfloat f) -> Printf.sprintf "%h" f
+  | Const (Cstr s) -> Printf.sprintf "std::string(%S)" s
+  | Var s -> sym_name s
+  | Prim (p, args) -> prim_c p (List.map (emit_exp em) args)
+  | If (c, t, f) ->
+      Printf.sprintf "(%s ? %s : %s)" (emit_exp em c) (emit_exp em t) (emit_exp em f)
+  | Let (s, bound, body) ->
+      let rv = emit_exp em bound in
+      line em "const %s %s = %s;" (cty (Sym.ty s)) (sym_name s) rv;
+      emit_exp em body
+  | Tuple es ->
+      Printf.sprintf "std::make_tuple(%s)"
+        (String.concat ", " (List.map (emit_exp em) es))
+  | Proj (a, i) -> Printf.sprintf "std::get<%d>(%s)" i (emit_exp em a)
+  | Record (ty, fs) ->
+      Printf.sprintf "%s{%s}" (cty ty)
+        (String.concat ", " (List.map (fun (_, v) -> emit_exp em v) fs))
+  | Field (a, n) -> Printf.sprintf "%s.%s" (emit_exp em a) n
+  | Len a -> Printf.sprintf "static_cast<int64_t>(%s.size())" (emit_exp em a)
+  | Read (a, i) -> Printf.sprintf "%s[%s]" (emit_exp em a) (emit_exp em i)
+  | MapRead (m, k, None) -> Printf.sprintf "%s.at(%s)" (emit_exp em m) (emit_exp em k)
+  | MapRead (m, k, Some d) ->
+      Printf.sprintf "%s.get_or(%s, %s)" (emit_exp em m) (emit_exp em k)
+        (emit_exp em d)
+  | KeyAt (m, i) -> Printf.sprintf "%s.key_at(%s)" (emit_exp em m) (emit_exp em i)
+  | Input (n, ty, layout) ->
+      ignore ty;
+      Printf.sprintf "inputs.%s%s" n
+        (match layout with Partitioned -> " /*partitioned*/" | Local -> "")
+  | Extern { ename; eargs; _ } ->
+      Printf.sprintf "dmll::extern_%s(%s)" ename
+        (String.concat ", " (List.map (emit_exp em) eargs))
+  | Loop l -> emit_loop em l
+
+and emit_loop em (l : loop) : string =
+  let n = fresh_tmp em "n" in
+  line em "const int64_t %s = %s;" n (emit_exp em l.size);
+  let idx = sym_name l.idx in
+  (* declare generator accumulators *)
+  let gens =
+    List.map
+      (fun g ->
+        let out = fresh_tmp em "out" in
+        (match g with
+        | Collect { value; _ } ->
+            line em "std::vector<%s> %s;" (cty (ty_of_exp value)) out;
+            line em "%s.reserve(%s);" out n
+        | Reduce { init; _ } ->
+            let rv = emit_exp em init in
+            line em "%s %s = %s;" (cty (ty_of_exp init)) out rv
+        | BucketCollect { key; value; _ } ->
+            line em "dmll::bucket_map<%s, std::vector<%s>> %s;"
+              (cty (ty_of_exp key)) (cty (ty_of_exp value)) out
+        | BucketReduce { key; value; _ } ->
+            line em "dmll::bucket_map<%s, %s> %s;" (cty (ty_of_exp key))
+              (cty (ty_of_exp value)) out);
+        (g, out))
+      l.gens
+  in
+  line em "for (int64_t %s = 0; %s < %s; ++%s) {" idx idx n idx;
+  em.indent <- em.indent + 1;
+  List.iter
+    (fun (g, out) ->
+      (match gen_cond g with
+      | Some c ->
+          let cv = emit_exp em c in
+          line em "if (%s) {" cv;
+          em.indent <- em.indent + 1
+      | None -> ());
+      (match g with
+      | Collect { value; _ } ->
+          let v = emit_exp em value in
+          line em "%s.push_back(%s);" out v
+      | Reduce { value; a; b; rfun; _ } ->
+          let v = emit_exp em value in
+          line em "const %s %s = %s;" (cty (Sym.ty a)) (sym_name a) out;
+          line em "const %s %s = %s;" (cty (Sym.ty b)) (sym_name b) v;
+          let rv = emit_exp em rfun in
+          line em "%s = %s;" out rv
+      | BucketCollect { key; value; _ } ->
+          let kv = emit_exp em key in
+          let v = emit_exp em value in
+          line em "%s.slot(%s).push_back(%s);" out kv v
+      | BucketReduce { key; value; a; b; rfun; init } ->
+          let kv = emit_exp em key in
+          let v = emit_exp em value in
+          let iv = emit_exp em init in
+          line em "auto& acc_%s = %s.slot_or(%s, %s);" out out kv iv;
+          line em "const %s %s = acc_%s;" (cty (Sym.ty a)) (sym_name a) out;
+          line em "const %s %s = %s;" (cty (Sym.ty b)) (sym_name b) v;
+          let rv = emit_exp em rfun in
+          line em "acc_%s = %s;" out rv);
+      match gen_cond g with
+      | Some _ ->
+          em.indent <- em.indent - 1;
+          line em "}"
+      | None -> ())
+    gens;
+  em.indent <- em.indent - 1;
+  line em "}";
+  match gens with
+  | [ (_, out) ] -> out
+  | gens ->
+      Printf.sprintf "std::make_tuple(%s)"
+        (String.concat ", " (List.map snd gens))
+
+(* Struct declarations used anywhere in the program. *)
+let struct_decls (e : exp) : string =
+  let tbl = Hashtbl.create 4 in
+  ignore
+    (fold
+       (fun () n ->
+         let note = function
+           | Types.Struct (name, fields) -> Hashtbl.replace tbl name fields
+           | _ -> ()
+         in
+         match n with
+         | Record (ty, _) -> note ty
+         | Var s -> note (Sym.ty s)
+         | Input (_, Types.Arr ty, _) -> note ty
+         | _ -> ())
+       () e);
+  Hashtbl.fold
+    (fun name fields acc ->
+      acc
+      ^ Printf.sprintf "struct %s {\n%s};\n\n" name
+          (String.concat ""
+             (List.map (fun (f, t) -> Printf.sprintf "  %s %s;\n" (cty t) f) fields)))
+    tbl ""
+
+(** Emit a full translation unit. *)
+let emit ?(name = "dmll_program") (e : exp) : string =
+  let em = new_emitter () in
+  em.indent <- 1;
+  let result = emit_exp em e in
+  let body = Buffer.contents em.buf in
+  let ret_ty = cty (ty_of_exp e) in
+  String.concat ""
+    [ "// Generated by the DMLL C++ backend. Do not edit.\n";
+      "#include <cstdint>\n#include <cmath>\n#include <string>\n";
+      "#include <vector>\n#include <tuple>\n#include <algorithm>\n";
+      "#include \"dmll_runtime.hpp\"  // bucket_map, extern registry\n\n";
+      struct_decls e;
+      Printf.sprintf "%s %s(const dmll::inputs_t& inputs) {\n" ret_ty name;
+      body;
+      Printf.sprintf "  return %s;\n}\n" result;
+    ]

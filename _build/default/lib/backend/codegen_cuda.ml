@@ -1,0 +1,146 @@
+(** CUDA code generator.
+
+    Emits each outer multiloop as a [__global__] kernel plus a host
+    launcher, following the lowering strategy of the paper's CUDA backend
+    (§3.1, §6): collects precompute their output size (two-pass when
+    conditional), scalar reductions use a shared-memory tree, and bucket
+    generators fall back to sort-based grouping.  Like {!Codegen_c} this
+    output is for inspection/golden tests; execution on GPU hardware is
+    modeled by [Sim_gpu]. *)
+
+open Dmll_ir
+open Exp
+
+let cty = Codegen_c.cty
+let sym_name = Codegen_c.sym_name
+
+(* Device-side expression emission reuses the C emitter (expressions are
+   the same language; only std:: helpers differ and we alias them). *)
+let emit_device_exp = Codegen_c.emit_exp
+
+let reduce_op_snippet (rfun : exp) (a : Sym.t) (b : Sym.t) : string =
+  match rfun with
+  | Prim (Prim.Fadd, [ Var x; Var y ]) when Sym.equal x a && Sym.equal y b -> "lhs + rhs"
+  | Prim (Prim.Add, [ Var x; Var y ]) when Sym.equal x a && Sym.equal y b -> "lhs + rhs"
+  | Prim (Prim.Fmax, [ Var x; Var y ]) when Sym.equal x a && Sym.equal y b ->
+      "max(lhs, rhs)"
+  | Prim (Prim.Fmin, [ Var x; Var y ]) when Sym.equal x a && Sym.equal y b ->
+      "min(lhs, rhs)"
+  | _ -> "dmll_combine(lhs, rhs) /* generic combine */"
+
+let emit_kernel (i : int) (l : loop) : string =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  let idx = sym_name l.idx in
+  (match l.gens with
+  | [ Collect { cond; value } ] ->
+      let vty = cty (Codegen_c.ty_of_exp value) in
+      add "__global__ void kernel_%d(%s* out, const dmll::device_inputs inputs, int64_t n" i vty;
+      (match cond with
+      | Some _ -> add ", const int64_t* scan /* prefix-summed guards */"
+      | None -> ());
+      add ") {\n";
+      add "  int64_t %s = blockIdx.x * blockDim.x + threadIdx.x;\n" idx;
+      add "  if (%s >= n) return;\n" idx;
+      let em = Codegen_c.new_emitter () in
+      em.Codegen_c.indent <- 1;
+      (match cond with
+      | Some c ->
+          let cv = emit_device_exp em c in
+          let v = emit_device_exp em value in
+          add "%s" (Buffer.contents em.Codegen_c.buf);
+          add "  if (%s) out[scan[%s]] = %s;  // two-pass conditional collect\n" cv idx v
+      | None ->
+          let v = emit_device_exp em value in
+          add "%s" (Buffer.contents em.Codegen_c.buf);
+          add "  out[%s] = %s;\n" idx v);
+      add "}\n"
+  | [ Reduce { value; a; b; rfun; init; cond } ] ->
+      let vty = cty (Codegen_c.ty_of_exp value) in
+      let scalar = Types.is_scalar (Codegen_c.ty_of_exp value) in
+      add "__global__ void kernel_%d(%s* out, const dmll::device_inputs inputs, int64_t n) {\n"
+        i vty;
+      if scalar then begin
+        add "  __shared__ %s sdata[256];  // scalar temporaries fit in shared memory\n" vty;
+        add "  int64_t %s = blockIdx.x * blockDim.x + threadIdx.x;\n" idx;
+        let em = Codegen_c.new_emitter () in
+        em.Codegen_c.indent <- 1;
+        let iv = emit_device_exp em init in
+        let v = emit_device_exp em value in
+        add "%s" (Buffer.contents em.Codegen_c.buf);
+        (match cond with
+        | Some c ->
+            let em2 = Codegen_c.new_emitter () in
+            let cv = emit_device_exp em2 c in
+            add "  %s x = (%s < n && (%s)) ? (%s) : (%s);\n" vty idx cv v iv
+        | None -> add "  %s x = (%s < n) ? (%s) : (%s);\n" vty idx v iv);
+        add "  sdata[threadIdx.x] = x;\n";
+        add "  __syncthreads();\n";
+        add "  for (int s = blockDim.x / 2; s > 0; s >>= 1) {\n";
+        add "    if (threadIdx.x < s) {\n";
+        add "      %s lhs = sdata[threadIdx.x], rhs = sdata[threadIdx.x + s];\n" vty;
+        add "      sdata[threadIdx.x] = %s;\n" (reduce_op_snippet rfun a b);
+        add "    }\n    __syncthreads();\n  }\n";
+        add "  if (threadIdx.x == 0) out[blockIdx.x] = sdata[0];\n"
+      end
+      else begin
+        add "  // WARNING: vector-typed reduction temporaries do not fit in\n";
+        add "  // shared memory; reduction goes through global memory.\n";
+        add "  // Apply the Row-to-Column Reduce transformation to avoid this.\n";
+        add "  int64_t %s = blockIdx.x * blockDim.x + threadIdx.x;\n" idx;
+        add "  if (%s < n) dmll::global_vector_reduce(out, inputs, %s);\n" idx idx
+      end;
+      add "}\n"
+  | gens ->
+      add "// multi-generator loop: %d fused generators share one traversal\n"
+        (List.length gens);
+      add "__global__ void kernel_%d(dmll::multi_out out, const dmll::device_inputs inputs, int64_t n) {\n" i;
+      add "  int64_t %s = blockIdx.x * blockDim.x + threadIdx.x;\n" idx;
+      add "  if (%s >= n) return;\n" idx;
+      List.iteri
+        (fun g_i g ->
+          match g with
+          | BucketReduce { key; value; _ } | BucketCollect { key; value; _ } ->
+              let em = Codegen_c.new_emitter () in
+              em.Codegen_c.indent <- 1;
+              let kv = emit_device_exp em key in
+              let v = emit_device_exp em value in
+              add "%s" (Buffer.contents em.Codegen_c.buf);
+              add "  out.bucket_%d.sorted_insert(%s, %s);  // GPU buckets by sorting\n"
+                g_i kv v
+          | Collect { value; _ } ->
+              let em = Codegen_c.new_emitter () in
+              em.Codegen_c.indent <- 1;
+              let v = emit_device_exp em value in
+              add "%s" (Buffer.contents em.Codegen_c.buf);
+              add "  out.collect_%d[%s] = %s;\n" g_i idx v
+          | Reduce _ -> add "  // generator %d: block reduction as above\n" g_i)
+        gens;
+      add "}\n");
+  Buffer.contents buf
+
+(** Emit kernels for every outer multiloop plus a host launcher. *)
+let emit ?(name = "dmll_program") (e : exp) : string =
+  let loops = Dmll_analysis.Stencil.outer_loops e in
+  let kernels = List.mapi emit_kernel loops in
+  let launches =
+    List.mapi
+      (fun i l ->
+        let em = Codegen_c.new_emitter () in
+        em.Codegen_c.indent <- 1;
+        let n = emit_device_exp em l.size in
+        Printf.sprintf
+          "%s  {\n    int64_t n = %s;\n    int64_t blocks = (n + 255) / 256;\n    kernel_%d<<<blocks, 256>>>(out_%d, dev_inputs, n);\n  }\n"
+          (Buffer.contents em.Codegen_c.buf) n i i)
+      loops
+  in
+  String.concat ""
+    ([ "// Generated by the DMLL CUDA backend. Do not edit.\n";
+       "#include <cuda_runtime.h>\n#include \"dmll_runtime.cuh\"\n\n";
+     ]
+    @ kernels
+    @ [ Printf.sprintf "\nvoid %s_host(const dmll::inputs_t& inputs) {\n" name;
+        "  dmll::device_inputs dev_inputs = dmll::transfer(inputs); // may transpose row-major matrices\n";
+      ]
+    @ launches
+    @ [ "  cudaDeviceSynchronize();\n}\n" ])

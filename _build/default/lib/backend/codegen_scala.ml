@@ -1,0 +1,158 @@
+(** Scala code generator.
+
+    Emits the IR in the Scala style the paper uses for its JVM cluster
+    experiments (§6.2: "DMLL generated Scala code and ran entirely in the
+    JVM").  Generators map onto the DMLL runtime's loop combinators, which
+    mirror Figure 2. *)
+
+open Dmll_ir
+open Exp
+
+let rec sty : Types.ty -> string = function
+  | Types.Unit -> "Unit"
+  | Types.Bool -> "Boolean"
+  | Types.Int -> "Long"
+  | Types.Float -> "Double"
+  | Types.Str -> "String"
+  | Types.Arr t -> Printf.sprintf "Array[%s]" (sty t)
+  | Types.Tup ts -> Printf.sprintf "(%s)" (String.concat ", " (List.map sty ts))
+  | Types.Struct (n, _) -> n
+  | Types.Map (k, v) -> Printf.sprintf "BucketMap[%s, %s]" (sty k) (sty v)
+
+let sym_name s = Printf.sprintf "%s%d" (Sym.name s) (Sym.id s)
+
+let prim_scala (p : Prim.t) (args : string list) : string =
+  let a () = List.nth args 0 and b () = List.nth args 1 in
+  match p with
+  | Prim.Add | Fadd -> Printf.sprintf "(%s + %s)" (a ()) (b ())
+  | Sub | Fsub -> Printf.sprintf "(%s - %s)" (a ()) (b ())
+  | Mul | Fmul -> Printf.sprintf "(%s * %s)" (a ()) (b ())
+  | Div | Fdiv -> Printf.sprintf "(%s / %s)" (a ()) (b ())
+  | Mod -> Printf.sprintf "(%s %% %s)" (a ()) (b ())
+  | Neg | Fneg -> Printf.sprintf "(-%s)" (a ())
+  | Min | Fmin -> Printf.sprintf "math.min(%s, %s)" (a ()) (b ())
+  | Max | Fmax -> Printf.sprintf "math.max(%s, %s)" (a ()) (b ())
+  | Sqrt -> Printf.sprintf "math.sqrt(%s)" (a ())
+  | Exp -> Printf.sprintf "math.exp(%s)" (a ())
+  | Log -> Printf.sprintf "math.log(%s)" (a ())
+  | Fabs -> Printf.sprintf "math.abs(%s)" (a ())
+  | Pow -> Printf.sprintf "math.pow(%s, %s)" (a ()) (b ())
+  | I2f -> Printf.sprintf "%s.toDouble" (a ())
+  | F2i -> Printf.sprintf "%s.toLong" (a ())
+  | Eq -> Printf.sprintf "(%s == %s)" (a ()) (b ())
+  | Ne -> Printf.sprintf "(%s != %s)" (a ()) (b ())
+  | Lt -> Printf.sprintf "(%s < %s)" (a ()) (b ())
+  | Le -> Printf.sprintf "(%s <= %s)" (a ()) (b ())
+  | Gt -> Printf.sprintf "(%s > %s)" (a ()) (b ())
+  | Ge -> Printf.sprintf "(%s >= %s)" (a ()) (b ())
+  | And -> Printf.sprintf "(%s && %s)" (a ()) (b ())
+  | Or -> Printf.sprintf "(%s || %s)" (a ()) (b ())
+  | Not -> Printf.sprintf "(!%s)" (a ())
+  | Strcat -> Printf.sprintf "(%s + %s)" (a ()) (b ())
+  | Strlen -> Printf.sprintf "%s.length.toLong" (a ())
+  | Strget -> Printf.sprintf "%s.charAt(%s.toInt).toLong" (a ()) (b ())
+
+let indent n s =
+  String.concat "\n"
+    (List.map (fun l -> if l = "" then l else String.make n ' ' ^ l)
+       (String.split_on_char '\n' s))
+
+let rec emit_exp (e : exp) : string =
+  match e with
+  | Const Cunit -> "()"
+  | Const (Cbool b) -> string_of_bool b
+  | Const (Cint i) -> Printf.sprintf "%dL" i
+  | Const (Cfloat f) -> Printf.sprintf "%g" f
+  | Const (Cstr s) -> Printf.sprintf "%S" s
+  | Var s -> sym_name s
+  | Prim (p, args) -> prim_scala p (List.map emit_exp args)
+  | If (c, t, f) ->
+      Printf.sprintf "(if (%s) %s else %s)" (emit_exp c) (emit_exp t) (emit_exp f)
+  | Let (s, bound, body) ->
+      Printf.sprintf "val %s: %s = %s\n%s" (sym_name s) (sty (Sym.ty s))
+        (emit_exp bound) (emit_exp body)
+  | Tuple es -> Printf.sprintf "(%s)" (String.concat ", " (List.map emit_exp es))
+  | Proj (a, i) -> Printf.sprintf "%s._%d" (emit_exp a) (i + 1)
+  | Record (Types.Struct (n, _), fs) ->
+      Printf.sprintf "%s(%s)" n (String.concat ", " (List.map (fun (_, v) -> emit_exp v) fs))
+  | Record _ -> "/* malformed record */"
+  | Field (a, n) -> Printf.sprintf "%s.%s" (emit_exp a) n
+  | Len a -> Printf.sprintf "%s.length.toLong" (emit_exp a)
+  | Read (a, i) -> Printf.sprintf "%s(%s.toInt)" (emit_exp a) (emit_exp i)
+  | MapRead (m, k, None) -> Printf.sprintf "%s(%s)" (emit_exp m) (emit_exp k)
+  | MapRead (m, k, Some d) ->
+      Printf.sprintf "%s.getOrElse(%s, %s)" (emit_exp m) (emit_exp k) (emit_exp d)
+  | KeyAt (m, i) -> Printf.sprintf "%s.keyAt(%s)" (emit_exp m) (emit_exp i)
+  | Input (n, ty, Partitioned) ->
+      Printf.sprintf "inputs.partitioned[%s](%S)" (sty ty) n
+  | Input (n, ty, Local) -> Printf.sprintf "inputs.local[%s](%S)" (sty ty) n
+  | Extern { ename; eargs; _ } ->
+      Printf.sprintf "Externs.%s(%s)" ename (String.concat ", " (List.map emit_exp eargs))
+  | Loop l -> emit_loop l
+
+and emit_loop (l : loop) : string =
+  let idx = sym_name l.idx in
+  let size = emit_exp l.size in
+  let emit_gen g =
+    let cond =
+      match gen_cond g with
+      | None -> "_ => true"
+      | Some c -> Printf.sprintf "%s => %s" idx (emit_exp c)
+    in
+    match g with
+    | Collect { value; _ } ->
+        Printf.sprintf "Collect(%s)(%s)(%s =>\n%s)" size cond idx
+          (indent 2 (emit_exp value))
+    | Reduce { value; a; b; rfun; init; _ } ->
+        Printf.sprintf "Reduce(%s)(%s)(%s =>\n%s)(%s)((%s, %s) => %s)" size cond idx
+          (indent 2 (emit_exp value))
+          (emit_exp init) (sym_name a) (sym_name b) (emit_exp rfun)
+    | BucketCollect { key; value; _ } ->
+        Printf.sprintf "BucketCollect(%s)(%s)(%s => %s)(%s =>\n%s)" size cond idx
+          (emit_exp key) idx
+          (indent 2 (emit_exp value))
+    | BucketReduce { key; value; a; b; rfun; init; _ } ->
+        Printf.sprintf "BucketReduce(%s)(%s)(%s => %s)(%s =>\n%s)(%s)((%s, %s) => %s)"
+          size cond idx (emit_exp key) idx
+          (indent 2 (emit_exp value))
+          (emit_exp init) (sym_name a) (sym_name b) (emit_exp rfun)
+  in
+  match l.gens with
+  | [ g ] -> emit_gen g
+  | gens ->
+      Printf.sprintf "multiloop(%s)(\n%s)" size
+        (String.concat ",\n" (List.map (fun g -> indent 2 (emit_gen g)) gens))
+
+(* Case-class declarations for the structs used in the program. *)
+let struct_decls (e : exp) : string =
+  let tbl = Hashtbl.create 4 in
+  ignore
+    (fold
+       (fun () n ->
+         let note = function
+           | Types.Struct (name, fields) -> Hashtbl.replace tbl name fields
+           | _ -> ()
+         in
+         match n with
+         | Record (ty, _) -> note ty
+         | Input (_, Types.Arr ty, _) -> note ty
+         | _ -> ())
+       () e);
+  Hashtbl.fold
+    (fun name fields acc ->
+      acc
+      ^ Printf.sprintf "case class %s(%s)\n" name
+          (String.concat ", "
+             (List.map (fun (f, t) -> Printf.sprintf "%s: %s" f (sty t)) fields)))
+    tbl ""
+
+(** Emit a complete Scala object. *)
+let emit ?(name = "DmllProgram") (e : exp) : string =
+  String.concat ""
+    [ "// Generated by the DMLL Scala backend. Do not edit.\n";
+      "import dmll.runtime._\n\n";
+      struct_decls e;
+      Printf.sprintf "object %s {\n  def apply(inputs: Inputs) = {\n" name;
+      indent 4 (emit_exp e);
+      "\n  }\n}\n";
+    ]

@@ -1,0 +1,154 @@
+(** GPU backend: kernel extraction and device-specific lowering.
+
+    There is no CUDA device in this environment, so the "kernel" this
+    backend produces is a descriptor consumed by the GPU device model
+    ([Dmll_runtime.Sim_gpu]): element count, per-element cost, reduction
+    kind, and memory-coalescing classification.  The two structural rules
+    the paper's Figure 6 rests on are encoded here:
+
+    - only {e scalar} reduction temporaries fit in shared memory; a
+      vector-typed reduction spills to global memory and pays
+      [gpu.vector_reduce_penalty] (paper §6: "DMLL's CUDA code generator
+      can only use local shared memory for reduction temporaries when they
+      have a fixed size");
+    - adjacent threads must read adjacent addresses for the memory
+      controller to coalesce requests; a row-major row sweep
+      ([x(i*cols+j)] parallelized over [i]) is uncoalesced unless the
+      input is transposed on transfer (§6: "the input matrix must be
+      transposed").
+
+    [lower] applies the Row-to-Column Reduce rule before extraction, the
+    always-beneficial GPU policy of §3.2. *)
+
+open Dmll_ir
+open Exp
+module Stencil = Dmll_analysis.Stencil
+module Cost = Dmll_analysis.Cost
+
+type reduce_kind =
+  | No_reduce  (** pure collects: embarrassingly parallel writes *)
+  | Scalar_reduce  (** shared-memory tree reduction *)
+  | Vector_reduce  (** non-scalar temporaries: global-memory reduction *)
+
+type access = Coalesced | Strided | Gather
+
+type kernel = {
+  kname : string;
+  size : exp;  (** outer loop extent = thread count *)
+  per_elem : Cost.t;
+  reduce : reduce_kind;
+  access : access;
+  inputs : Stencil.target list;
+}
+
+(* Scalar-ness of a generator's accumulator. *)
+let gen_reduce_kind (l : loop) : reduce_kind =
+  let value_ty v =
+    try
+      Some
+        (Typecheck.infer
+           (Sym.Set.fold
+              (fun s acc -> Sym.Map.add s (Sym.ty s) acc)
+              (free_vars v) Sym.Map.empty)
+           v)
+    with Typecheck.Type_error _ -> None
+  in
+  let kind_of g =
+    match g with
+    | Collect _ -> No_reduce
+    | Reduce { value; _ } | BucketReduce { value; _ } -> (
+        match value_ty value with
+        | Some t when Types.is_scalar t -> Scalar_reduce
+        | _ -> Vector_reduce)
+    | BucketCollect _ -> Vector_reduce (* dynamic buckets need global memory *)
+  in
+  List.fold_left
+    (fun acc g ->
+      match (acc, kind_of g) with
+      | Vector_reduce, _ | _, Vector_reduce -> Vector_reduce
+      | Scalar_reduce, _ | _, Scalar_reduce -> Scalar_reduce
+      | No_reduce, No_reduce -> No_reduce)
+    No_reduce l.gens
+
+(* Memory-access classification from the read stencils of the loop.
+   [transposed] says the host transposed row-major inputs on transfer. *)
+let gen_access ~(transposed : bool) (l : loop) : access =
+  (* only global collections (named inputs) live in device global memory;
+     loop-local temporaries sit in registers/shared memory *)
+  let stencils =
+    List.filter
+      (fun (t, _) -> match t with Stencil.Tinput _ -> true | Stencil.Tsym _ -> false)
+      (Stencil.of_loop l)
+  in
+  (* the dominant input is the one actually swept by the loop *)
+  let worst =
+    List.fold_left
+      (fun acc (_, s) ->
+        let sev = function
+          | Stencil.Const -> 0
+          | Stencil.All -> 1 (* broadcast: cached, reasonably fast *)
+          | Stencil.Interval -> 2
+          | Stencil.Unknown -> 3
+        in
+        if sev s > sev acc then s else acc)
+      Stencil.Const stencils
+  in
+  match worst with
+  | Stencil.Unknown -> Gather
+  | Stencil.Interval ->
+      (* element-stencil accesses are contiguous across threads; row-block
+         stencils are strided unless the input was transposed.  We
+         distinguish them by re-deriving the affine coefficient: a row
+         sweep has an inner loop consuming the stride. *)
+      let has_inner_sweep =
+        List.exists
+          (fun g -> exists (function Loop _ -> true | _ -> false) (gen_value g))
+          l.gens
+      in
+      if has_inner_sweep && not transposed then Strided else Coalesced
+  | Stencil.All | Stencil.Const -> Coalesced
+
+(** Extract one kernel per outer multiloop. *)
+let kernels_of ?(transposed = false) ?(eval_size = fun _ -> None) (e : exp) :
+    kernel list =
+  List.mapi
+    (fun i (l : loop) ->
+      { kname = Printf.sprintf "kernel_%d" i;
+        size = l.size;
+        per_elem = Cost.per_iter ~eval_size ~default_size:16 l;
+        reduce = gen_reduce_kind l;
+        access = gen_access ~transposed l;
+        inputs = List.map fst (Stencil.of_loop l);
+      })
+    (Stencil.outer_loops e)
+
+(** GPU lowering: apply Row-to-Column Reduce everywhere it matches — the
+    paper applies it "always ... when possible since it enables utilizing
+    shared memory" (§3.2). Returns the lowered program and whether the rule
+    fired. *)
+let lower (e : exp) : exp * bool =
+  let module R = Dmll_opt.Rewrite in
+  let trace = R.new_trace () in
+  let e' = R.fixpoint [ Dmll_opt.Rules_nested.row_to_column ] trace e in
+  let fired = R.fired trace "row-to-column" in
+  (* re-run the standard pipeline so the new loop nest re-fuses *)
+  let e' =
+    if fired then (Dmll_opt.Pipeline.optimize e').Dmll_opt.Pipeline.program else e'
+  in
+  (e', fired)
+
+let reduce_kind_to_string = function
+  | No_reduce -> "none"
+  | Scalar_reduce -> "scalar(shared-mem)"
+  | Vector_reduce -> "vector(global-mem)"
+
+let access_to_string = function
+  | Coalesced -> "coalesced"
+  | Strided -> "strided"
+  | Gather -> "gather"
+
+let pp_kernel fmt (k : kernel) =
+  Fmt.pf fmt "%s: reduce=%s access=%s cost=%a" k.kname
+    (reduce_kind_to_string k.reduce)
+    (access_to_string k.access)
+    Cost.pp k.per_elem

@@ -1,0 +1,101 @@
+(** Native backend, stage 2: compile the generated OCaml program with
+    [ocamlopt] and execute it — the full Delite-style flow the paper used
+    (generate → gcc → run), realized with the OCaml toolchain.
+
+    The child process times its own kernel (median of [runs] executions,
+    after a warmup) so compilation and input-marshalling costs never
+    pollute the measurement, and marshals its result back for the
+    correctness gate. *)
+
+module V = Dmll_interp.Value
+
+type result = { value : V.t; seconds : float }
+
+exception Native_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Native_error s)) fmt
+
+(** Is the native toolchain usable in this environment? *)
+let available =
+  lazy (Sys.command "ocamlfind ocamlopt -version > /dev/null 2>&1" = 0)
+
+let fresh_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec go i =
+    let d = Filename.concat base (Printf.sprintf "dmll_native_%d_%d" (Unix.getpid ()) i) in
+    if Sys.file_exists d then go (i + 1)
+    else begin
+      Unix.mkdir d 0o755;
+      d
+    end
+  in
+  go 0
+
+type compiled = {
+  dir : string;
+  exe : string;
+  source : string;  (** the generated OCaml source, for inspection *)
+}
+
+(** Generate and compile the program; reusable across input sets. *)
+let compile (e : Dmll_ir.Exp.exp) : compiled =
+  if not (Lazy.force available) then fail "ocamlfind/ocamlopt not available";
+  let source = Codegen_ocaml.emit_program e in
+  let dir = fresh_dir () in
+  let src_path = Filename.concat dir "prog.ml" in
+  let oc = open_out src_path in
+  output_string oc source;
+  close_out oc;
+  let log = Filename.concat dir "build.log" in
+  let cmd =
+    Printf.sprintf
+      "cd %s && ocamlfind ocamlopt -package unix -linkpkg prog.ml -o prog > %s 2>&1"
+      (Filename.quote dir) (Filename.quote log)
+  in
+  if Sys.command cmd <> 0 then begin
+    let log_contents =
+      try
+        let ic = open_in log in
+        let n = in_channel_length ic in
+        let s = really_input_string ic (Stdlib.min n 4000) in
+        close_in ic;
+        s
+      with _ -> "(no log)"
+    in
+    fail "ocamlopt failed:\n%s" log_contents
+  end;
+  { dir; exe = Filename.concat dir "prog"; source }
+
+(** Run a compiled program on [inputs]; the child reports the median
+    kernel time of [runs] executions. *)
+let execute (c : compiled) ?(runs = 3) ~(inputs : (string * V.t) list) () : result =
+  let in_path = Filename.concat c.dir "inputs.bin" in
+  let out_path = Filename.concat c.dir "result.bin" in
+  let oc = open_out_bin in_path in
+  Marshal.to_channel oc inputs [];
+  close_out oc;
+  let time_path = Filename.concat c.dir "time.txt" in
+  let cmd =
+    Printf.sprintf "%s %s %d %s > %s"
+      (Filename.quote c.exe) (Filename.quote in_path) runs (Filename.quote out_path)
+      (Filename.quote time_path)
+  in
+  if Sys.command cmd <> 0 then fail "generated program failed (%s)" c.exe;
+  let seconds =
+    let ic = open_in time_path in
+    let line = input_line ic in
+    close_in ic;
+    Scanf.sscanf line "TIME %f" (fun f -> f)
+  in
+  let value : V.t =
+    let ic = open_in_bin out_path in
+    let v = (Marshal.from_channel ic : V.t) in
+    close_in ic;
+    v
+  in
+  { value; seconds }
+
+(** One-shot: generate, compile, run, clean up nothing (temp dirs are left
+    for inspection; they live under the system temp dir). *)
+let run ?(runs = 3) ~(inputs : (string * V.t) list) (e : Dmll_ir.Exp.exp) : result =
+  execute (compile e) ~runs ~inputs ()

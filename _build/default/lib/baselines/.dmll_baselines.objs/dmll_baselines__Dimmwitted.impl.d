@@ -1,0 +1,1 @@
+lib/baselines/dimmwitted.ml: Array Dmll_data Dmll_machine List Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/minigraph.ml: Array Dmll_graph Dmll_machine Option Stdlib

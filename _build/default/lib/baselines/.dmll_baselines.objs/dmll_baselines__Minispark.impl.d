@@ -1,0 +1,1 @@
+lib/baselines/minispark.ml: Array Dmll_machine Hashtbl List Seq Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/spark_apps.ml: Array Dmll_data Minispark Stdlib

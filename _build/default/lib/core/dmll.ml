@@ -1,0 +1,137 @@
+(** The DMLL compiler driver: the public entry point tying the pipeline of
+    the paper together.
+
+    {v
+    stage (Dsl) → generic optimizations (fusion, CSE, motion, SoA/DFE)
+               → partitioning analysis (Algorithm 1)
+                  └ stencil-triggered Figure-3 rewrites
+               → target lowering (CPU / NUMA / GPU / cluster)
+               → execution (closure backend, domain executor, or a
+                 simulated heterogeneous machine)
+    v}
+
+    A {!compiled} value carries every intermediate so tools ([dmllc]) can
+    display the compilation the way the paper's figures walk through
+    k-means. *)
+
+open Dmll_ir
+module V = Dmll_interp.Value
+module Opt = Dmll_opt
+module Analysis = Dmll_analysis
+module Runtime = Dmll_runtime
+module Backend = Dmll_backend
+
+type target =
+  | Sequential  (** closure backend, one core — the Table 2 configuration *)
+  | Multicore of int  (** real OCaml domains *)
+  | Numa of Runtime.Sim_numa.config  (** simulated NUMA machine *)
+  | Gpu of Runtime.Sim_gpu.options  (** simulated GPU *)
+  | Cluster of Runtime.Sim_cluster.config  (** simulated cluster *)
+
+type compiled = {
+  source : Exp.exp;
+  generic : Exp.exp;  (** after the target-independent pipeline *)
+  final : Exp.exp;  (** after partitioning-driven rewrites + lowering *)
+  target : target;
+  partition : Analysis.Partition.report;
+  applied : string list;  (** every optimization that fired, in order *)
+  gpu_lowered : bool;
+}
+
+(** Compile a staged program for [target]. *)
+let compile ?(target = Sequential) (source : Exp.exp) : compiled =
+  (* 1. target-independent optimizations, including the CPU-beneficial
+     nested rules (GroupBy-Reduce and friends, §3.2) *)
+  let r = Opt.Pipeline.optimize_with ~extra_rules:Opt.Rules_nested.cpu_rules source in
+  let generic = r.Opt.Pipeline.program in
+  (* 2. partitioning analysis with stencil-triggered rewrites (§4) *)
+  let partition = Analysis.Partition.analyze generic in
+  let after_partition = partition.Analysis.Partition.program in
+  (* 3. target-specific lowering *)
+  let final, gpu_lowered =
+    match target with
+    | Gpu opts when opts.Runtime.Sim_gpu.row_to_column ->
+        Backend.Gpu.lower after_partition
+    | _ -> (after_partition, false)
+  in
+  { source;
+    generic;
+    final;
+    target;
+    partition;
+    applied =
+      r.Opt.Pipeline.applied @ partition.Analysis.Partition.rewrites_applied
+      @ (if gpu_lowered then [ "row-to-column" ] else []);
+    gpu_lowered;
+  }
+
+(** Distinct optimizations that fired, in first-fired order (Table 2's
+    "Optimizations" column). *)
+let optimizations (c : compiled) : string list =
+  List.fold_left (fun acc n -> if List.mem n acc then acc else acc @ [ n ]) [] c.applied
+
+(** Execute a compiled program.  All targets return the exact program
+    value; the simulated targets additionally model time, retrievable via
+    {!timed_run}. *)
+let run (c : compiled) ~(inputs : (string * V.t) list) : V.t =
+  match c.target with
+  | Sequential -> Backend.Closure.run ~inputs c.final
+  | Multicore domains -> Runtime.Exec_domains.run ~domains ~inputs c.final
+  | Numa config -> (Runtime.Sim_numa.run ~config ~inputs c.final).Runtime.Sim_common.value
+  | Gpu options -> (Runtime.Sim_gpu.run ~options ~inputs c.final).Runtime.Sim_gpu.value
+  | Cluster config ->
+      (Runtime.Sim_cluster.run ~config ~inputs c.final).Runtime.Sim_common.value
+
+(** Execute and return (value, simulated seconds).  For the real targets
+    (Sequential / Multicore) the time is measured wall-clock. *)
+let timed_run (c : compiled) ~(inputs : (string * V.t) list) : V.t * float =
+  match c.target with
+  | Sequential ->
+      let v, t = Dmll_util.Timing.time (fun () -> Backend.Closure.run ~inputs c.final) in
+      (v, t)
+  | Multicore domains ->
+      let v, t =
+        Dmll_util.Timing.time (fun () -> Runtime.Exec_domains.run ~domains ~inputs c.final)
+      in
+      (v, t)
+  | Numa config ->
+      let r = Runtime.Sim_numa.run ~config ~inputs c.final in
+      (r.Runtime.Sim_common.value, r.Runtime.Sim_common.seconds)
+  | Gpu options ->
+      let r = Runtime.Sim_gpu.run ~options ~inputs c.final in
+      (r.Runtime.Sim_gpu.value, r.Runtime.Sim_gpu.kernel_seconds)
+  | Cluster config ->
+      let r = Runtime.Sim_cluster.run ~config ~inputs c.final in
+      (r.Runtime.Sim_common.value, r.Runtime.Sim_common.seconds)
+
+(** Emit target source text from the compiled program. *)
+let codegen (lang : [ `Cpp | `Cuda | `Scala ]) (c : compiled) : string =
+  match lang with
+  | `Cpp -> Backend.Codegen_c.emit c.final
+  | `Cuda -> Backend.Codegen_cuda.emit c.final
+  | `Scala -> Backend.Codegen_scala.emit c.final
+
+(** Drive an iterative algorithm: run the compiled program [iters] times,
+    rebinding inputs between iterations via [feedback] (e.g. k-means feeds
+    the new centroids back as ["clusters"]).  Compilation happens once;
+    only the input bindings change. *)
+let iterate (c : compiled) ~(inputs : (string * V.t) list)
+    ~(feedback : V.t -> (string * V.t) list) ~(iters : int) : V.t =
+  if iters <= 0 then invalid_arg "Dmll.iterate: iters must be positive";
+  let exe = Backend.Closure.compile c.final in
+  let rec go inputs i =
+    let v = exe.Backend.Closure.run ~inputs () in
+    if i >= iters then v
+    else
+      let rebound = feedback v in
+      let inputs =
+        rebound
+        @ List.filter (fun (n, _) -> Stdlib.not (List.mem_assoc n rebound)) inputs
+      in
+      go inputs (i + 1)
+  in
+  go inputs 1
+
+(** Warnings from the partitioning analysis, human-readable. *)
+let warnings (c : compiled) : string list =
+  List.map Analysis.Partition.warning_to_string c.partition.Analysis.Partition.warnings

@@ -1,0 +1,78 @@
+(** The DMLL compiler driver: the public entry point tying the pipeline of
+    the paper together.
+
+    {v
+    stage (Dsl) → generic optimizations (fusion, CSE, motion, SoA/DFE)
+               → partitioning analysis (Algorithm 1)
+                  └ stencil-triggered Figure-3 rewrites
+               → target lowering (CPU / NUMA / GPU / cluster)
+               → execution (closure backend, domain executor, or a
+                 simulated heterogeneous machine)
+    v}
+
+    Typical use:
+
+    {[
+      let compiled = Dmll.compile ~target:Dmll.Sequential program in
+      List.iter print_endline (Dmll.optimizations compiled);
+      let value = Dmll.run compiled ~inputs in
+      ...
+    ]} *)
+
+open Dmll_ir
+module V = Dmll_interp.Value
+
+(** Execution targets.  All targets compute exact values; [Sequential] and
+    [Multicore] measure real wall-clock in {!timed_run}, the others model
+    the paper's testbeds (see [Dmll_machine.Machine]). *)
+type target =
+  | Sequential  (** closure backend, one core — the Table 2 configuration *)
+  | Multicore of int  (** real OCaml domains *)
+  | Numa of Dmll_runtime.Sim_numa.config  (** modeled NUMA machine *)
+  | Gpu of Dmll_runtime.Sim_gpu.options  (** modeled GPU *)
+  | Cluster of Dmll_runtime.Sim_cluster.config  (** modeled cluster *)
+
+(** A compiled program, carrying every intermediate so tools ([dmllc]) can
+    display the compilation the way the paper's figures walk through
+    k-means. *)
+type compiled = {
+  source : Exp.exp;
+  generic : Exp.exp;  (** after the target-independent pipeline *)
+  final : Exp.exp;  (** after partitioning-driven rewrites + lowering *)
+  target : target;
+  partition : Dmll_analysis.Partition.report;
+  applied : string list;  (** every optimization that fired, in order *)
+  gpu_lowered : bool;  (** Row-to-Column applied for a GPU target *)
+}
+
+val compile : ?target:target -> Exp.exp -> compiled
+(** Compile a staged program (default target: {!Sequential}). *)
+
+val optimizations : compiled -> string list
+(** Distinct optimizations that fired, in first-fired order — the
+    "Optimizations" column of the paper's Table 2. *)
+
+val run : compiled -> inputs:(string * V.t) list -> V.t
+(** Execute on the compiled target; always returns the exact value. *)
+
+val timed_run : compiled -> inputs:(string * V.t) list -> V.t * float
+(** Execute and return (value, seconds): wall-clock for the real targets,
+    modeled time for the simulated ones. *)
+
+val codegen : [ `Cpp | `Cuda | `Scala ] -> compiled -> string
+(** Emit target source text (for inspection; the executable backends are
+    the closure compiler and [Dmll_backend.Native]). *)
+
+val iterate :
+  compiled ->
+  inputs:(string * V.t) list ->
+  feedback:(V.t -> (string * V.t) list) ->
+  iters:int ->
+  V.t
+(** Drive an iterative algorithm: run [iters] times, rebinding inputs
+    between iterations via [feedback] (e.g. k-means feeds the new
+    centroids back as ["clusters"]); compiled once, executed many. *)
+
+val warnings : compiled -> string list
+(** Partitioning-analysis warnings (sequential access to partitioned data,
+    runtime data movement fallbacks), human-readable. *)

@@ -1,0 +1,1 @@
+lib/data/factor_graph.ml: Array Dmll_interp Dmll_util Stdlib

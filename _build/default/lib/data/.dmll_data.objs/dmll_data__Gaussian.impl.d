@@ -1,0 +1,1 @@
+lib/data/gaussian.ml: Array Dmll_interp Dmll_util

@@ -1,0 +1,1 @@
+lib/data/genes.ml: Array Dmll_interp Dmll_util Stdlib

@@ -1,0 +1,1 @@
+lib/data/rmat.ml: Array Dmll_util

@@ -1,0 +1,1 @@
+lib/data/tpch.ml: Array Dmll_interp Dmll_util

@@ -1,0 +1,82 @@
+(** Synthetic factor graphs for Gibbs sampling (paper §6.3).
+
+    DeepDive-style factor graphs for information extraction are
+    proprietary; this generator builds the same structure the DimmWitted
+    benchmark exercises: boolean variables, pairwise factors with random
+    weights and a skewed degree distribution, stored both as unwrapped
+    flat arrays (DMLL's layout) and as a pointer-linked object graph (the
+    baseline's layout; see [Dmll_baselines.Dimmwitted]). *)
+
+module Prng = Dmll_util.Prng
+module V = Dmll_interp.Value
+
+type t = {
+  nvars : int;
+  nfactors : int;
+  (* factor f connects var_a.(f) and var_b.(f) with weight w.(f) *)
+  var_a : int array;
+  var_b : int array;
+  weight : float array;
+  (* per-variable adjacency in CSR form: factors touching each variable *)
+  adj_offsets : int array;  (** nvars + 1 *)
+  adj_factors : int array;
+  bias : float array;  (** per-variable unary weight *)
+}
+
+let generate ?(seed = 0x91bb) ~vars ~factors () : t =
+  let rng = Prng.create seed in
+  let var_a = Array.make factors 0 in
+  let var_b = Array.make factors 0 in
+  let weight = Array.make factors 0.0 in
+  for f = 0 to factors - 1 do
+    (* skewed endpoint choice: entity variables touch many factors *)
+    let skewed () =
+      if Prng.float rng 1.0 < 0.2 then Prng.int rng (Stdlib.max 1 (vars / 20))
+      else Prng.int rng vars
+    in
+    var_a.(f) <- skewed ();
+    var_b.(f) <- Prng.int rng vars;
+    weight.(f) <- Prng.gaussian rng *. 0.5
+  done;
+  let deg = Array.make vars 0 in
+  for f = 0 to factors - 1 do
+    deg.(var_a.(f)) <- deg.(var_a.(f)) + 1;
+    deg.(var_b.(f)) <- deg.(var_b.(f)) + 1
+  done;
+  let adj_offsets = Array.make (vars + 1) 0 in
+  for v = 0 to vars - 1 do
+    adj_offsets.(v + 1) <- adj_offsets.(v) + deg.(v)
+  done;
+  let fill = Array.copy adj_offsets in
+  let adj_factors = Array.make adj_offsets.(vars) 0 in
+  for f = 0 to factors - 1 do
+    adj_factors.(fill.(var_a.(f))) <- f;
+    fill.(var_a.(f)) <- fill.(var_a.(f)) + 1;
+    adj_factors.(fill.(var_b.(f))) <- f;
+    fill.(var_b.(f)) <- fill.(var_b.(f)) + 1
+  done;
+  let bias = Array.init vars (fun _ -> Prng.gaussian rng *. 0.2) in
+  { nvars = vars; nfactors = factors; var_a; var_b; weight; adj_offsets; adj_factors; bias }
+
+(** Initial variable assignment (random booleans as 0/1 floats). *)
+let initial_state ?(seed = 0x57a7e) (g : t) : float array =
+  let rng = Prng.create seed in
+  Array.init g.nvars (fun _ -> if Prng.bool rng then 1.0 else 0.0)
+
+(** Pre-drawn uniform randoms, one per variable per sweep, so sampling is
+    deterministic and expressible in the pure IR. *)
+let sweep_randoms ?(seed = 0xd1ce) ~sweeps (g : t) : float array =
+  let rng = Prng.create seed in
+  Array.init (sweeps * g.nvars) (fun _ -> Prng.float rng 1.0)
+
+let inputs (g : t) : (string * V.t) list =
+  [ ("fg.var_a", V.of_int_array g.var_a);
+    ("fg.var_b", V.of_int_array g.var_b);
+    ("fg.weight", V.of_float_array g.weight);
+    ("fg.adj_offsets", V.of_int_array g.adj_offsets);
+    ("fg.adj_factors", V.of_int_array g.adj_factors);
+    ("fg.bias", V.of_float_array g.bias);
+  ]
+
+let bytes (g : t) : float =
+  float_of_int ((3 * g.nfactors * 8) + (2 * g.adj_offsets.(g.nvars) * 8) + (g.nvars * 16))

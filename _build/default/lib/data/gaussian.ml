@@ -1,0 +1,50 @@
+(** Labeled Gaussian-mixture matrices for the machine-learning benchmarks
+    (GDA, k-means, logistic regression, kNN, naive Bayes).
+
+    The paper's ML experiments run on a 500k x 100 dense matrix; we
+    generate the same shape at reduced scale: [classes] well-separated
+    Gaussian clusters in [cols] dimensions, row-major flat storage (the
+    layout the stencil analysis partitions on row boundaries). *)
+
+module V = Dmll_interp.Value
+module Prng = Dmll_util.Prng
+
+type dataset = {
+  rows : int;
+  cols : int;
+  data : float array;  (** row-major [rows * cols] *)
+  labels : int array;  (** generating component of each row *)
+}
+
+let generate ?(seed = 0x9a55) ~rows ~cols ~classes () : dataset =
+  let rng = Prng.create seed in
+  (* component means, separated on a scaled lattice *)
+  let means =
+    Array.init classes (fun _ ->
+        Array.init cols (fun _ -> Prng.float_range rng (-10.0) 10.0))
+  in
+  let data = Array.make (rows * cols) 0.0 in
+  let labels = Array.make rows 0 in
+  for i = 0 to rows - 1 do
+    let c = Prng.int rng classes in
+    labels.(i) <- c;
+    for j = 0 to cols - 1 do
+      data.((i * cols) + j) <- means.(c).(j) +. Prng.gaussian rng
+    done
+  done;
+  { rows; cols; data; labels }
+
+(** Binary labels for GDA / logistic regression: component 0 vs rest. *)
+let binary_labels (d : dataset) : float array =
+  Array.map (fun l -> if l = 0 then 0.0 else 1.0) d.labels
+
+(** Random initial centroids (k x cols, row-major), drawn from the data's
+    bounding box — the [Matrix.fromFunction(...)(math.random)] of
+    Figure 1. *)
+let random_centroids ?(seed = 0xce47) ~k (d : dataset) : float array =
+  let rng = Prng.create seed in
+  Array.init (k * d.cols) (fun _ -> Prng.float_range rng (-12.0) 12.0)
+
+let matrix_input (d : dataset) : string * V.t = ("matrix", V.of_float_array d.data)
+
+let bytes (d : dataset) : float = float_of_int (d.rows * d.cols * 8)

@@ -1,0 +1,95 @@
+(** Synthetic TPC-H [lineitem] generator.
+
+    Stands in for the paper's TPC-H SF5 dataset (DESIGN.md §2): Query 1
+    only touches seven numeric columns and two low-cardinality flag
+    columns, so a column-faithful synthetic table preserves everything the
+    benchmark measures (grouping cardinality = 4 populated (returnflag,
+    linestatus) combinations, ~98% selectivity of the shipdate filter,
+    streaming aggregation).  Column distributions follow the TPC-H
+    specification's shapes at reduced scale. *)
+
+module V = Dmll_interp.Value
+module Prng = Dmll_util.Prng
+
+type table = {
+  n : int;
+  returnflag : int array;  (** 0='A', 1='N', 2='R' *)
+  linestatus : int array;  (** 0='F', 1='O' *)
+  quantity : float array;
+  extendedprice : float array;
+  discount : float array;
+  tax : float array;
+  shipdate : int array;  (** days since the dataset's epoch *)
+}
+
+(** Rows per TPC-H scale factor (the real table has ~6M rows per SF). *)
+let rows_of_sf sf = int_of_float (6_000_000.0 *. sf)
+
+(** Query 1's shipdate cutoff: [DATE '1998-12-01' - 90 days]; with our
+    2555-day (7-year) shipdate span, the equivalent cutoff keeps ~98% of
+    the rows, matching the reference selectivity. *)
+let shipdate_span = 2555
+
+let q1_cutoff = shipdate_span - 90
+
+let generate ?(seed = 0x79c1) ~rows () : table =
+  let rng = Prng.create seed in
+  let returnflag = Array.make rows 0 in
+  let linestatus = Array.make rows 0 in
+  let quantity = Array.make rows 0.0 in
+  let extendedprice = Array.make rows 0.0 in
+  let discount = Array.make rows 0.0 in
+  let tax = Array.make rows 0.0 in
+  let shipdate = Array.make rows 0 in
+  for i = 0 to rows - 1 do
+    let d = Prng.int rng shipdate_span in
+    shipdate.(i) <- d;
+    (* linestatus is determined by shipdate in TPC-H ('F' for old orders);
+       returnflag is 'N' for recent rows, 'A'/'R' for old ones — rows just
+       before the F/O boundary are N/F, giving the reference output's four
+       populated (returnflag, linestatus) groups *)
+    linestatus.(i) <- (if d < shipdate_span / 2 then 0 else 1);
+    returnflag.(i) <-
+      (if d > (shipdate_span / 2) - 90 then 1 else if Prng.bool rng then 0 else 2);
+    quantity.(i) <- float_of_int (1 + Prng.int rng 50);
+    extendedprice.(i) <- Prng.float_range rng 900.0 105000.0;
+    discount.(i) <- float_of_int (Prng.int rng 11) /. 100.0;
+    tax.(i) <- float_of_int (Prng.int rng 9) /. 100.0
+  done;
+  { n = rows; returnflag; linestatus; quantity; extendedprice; discount; tax; shipdate }
+
+(** Columnar inputs for the post-SoA program (names follow
+    [Dmll_opt.Soa.column_name]: ["lineitem.<field>"]). *)
+let columnar_inputs (t : table) : (string * V.t) list =
+  [ ("lineitem.returnflag", V.of_int_array t.returnflag);
+    ("lineitem.linestatus", V.of_int_array t.linestatus);
+    ("lineitem.quantity", V.of_float_array t.quantity);
+    ("lineitem.extendedprice", V.of_float_array t.extendedprice);
+    ("lineitem.discount", V.of_float_array t.discount);
+    ("lineitem.tax", V.of_float_array t.tax);
+    ("lineitem.shipdate", V.of_int_array t.shipdate);
+  ]
+
+(** The same table as an array of structs (for the pre-SoA program and the
+    MiniSpark baseline, which cannot split records into columns). *)
+let aos_value (t : table) : V.t =
+  V.Varr
+    (V.Ga
+       (Array.init t.n (fun i ->
+            V.Vstruct
+              [| ("orderkey", V.Vint (i / 4));
+                 ("partkey", V.Vint ((i * 7) mod 20000));
+                 ("suppkey", V.Vint ((i * 13) mod 1000));
+                 ("linenumber", V.Vint (i mod 7));
+                 ("returnflag", V.Vint t.returnflag.(i));
+                 ("linestatus", V.Vint t.linestatus.(i));
+                 ("quantity", V.Vfloat t.quantity.(i));
+                 ("extendedprice", V.Vfloat t.extendedprice.(i));
+                 ("discount", V.Vfloat t.discount.(i));
+                 ("tax", V.Vfloat t.tax.(i));
+                 ("shipdate", V.Vint t.shipdate.(i));
+              |])))
+
+(** In-memory footprint (bytes) of the columnar table, for the cluster
+    simulator's transfer costs. *)
+let bytes (t : table) : float = float_of_int (t.n * 7 * 8)

@@ -1,0 +1,1 @@
+lib/dsl/dsl.ml: Builder Dmll_ir Exp Prim Sym Typecheck Types

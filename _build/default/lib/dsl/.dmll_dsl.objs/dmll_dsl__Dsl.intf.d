@@ -1,0 +1,1 @@
+lib/dsl/dsl.mli: Dmll_ir Exp Types

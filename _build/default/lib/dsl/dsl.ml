@@ -1,0 +1,266 @@
+(** The user-facing staged front-end: implicitly parallel collection
+    operations that build DMLL IR.
+
+    Applications are written once against this module (the paper's
+    "single-source" programming model) and the compiler decides, per
+    hardware target, how to restructure them.  Operations are staged: an
+    ['a t] is an IR expression with a phantom type; running an operation
+    here builds a multiloop, it does not compute anything.
+
+    Sharing matters when staging: OCaml [let] duplicates the staged
+    {e expression}; use {!let_} (or the [let$] binder) to create an IR
+    binding that is computed once. *)
+
+open Dmll_ir
+
+type 'a t = Exp.exp
+
+(* alias usable inside submodules that define their own [t] *)
+type 'a staged = 'a t
+
+(* phantom type parameters: staged arrays and bucket maps *)
+type 'a arr
+type ('k, 'v) map
+
+let reveal (e : 'a t) : Exp.exp = e
+let conceal (e : Exp.exp) : 'a t = e
+
+(* ---------------- scalars ---------------- *)
+
+let int n : int t = Exp.int_ n
+let float x : float t = Exp.float_ x
+let bool b : bool t = Exp.bool_ b
+let str s : string t = Exp.str_ s
+
+let ( + ) (a : int t) b : int t = Builder.(a +! b)
+let ( - ) (a : int t) b : int t = Builder.(a -! b)
+let ( * ) (a : int t) b : int t = Builder.(a *! b)
+let ( / ) (a : int t) b : int t = Builder.(a /! b)
+let ( mod ) (a : int t) b : int t = Builder.(a %! b)
+let imin (a : int t) b : int t = Builder.imin_ a b
+let imax (a : int t) b : int t = Builder.imax_ a b
+
+let ( +. ) (a : float t) b : float t = Builder.(a +. b)
+let ( -. ) (a : float t) b : float t = Builder.(a -. b)
+let ( *. ) (a : float t) b : float t = Builder.(a *. b)
+let ( /. ) (a : float t) b : float t = Builder.(a /. b)
+let sqrt (a : float t) : float t = Builder.sqrt_ a
+let exp (a : float t) : float t = Builder.exp_ a
+let log (a : float t) : float t = Builder.log_ a
+let abs_float (a : float t) : float t = Builder.fabs_ a
+let fmin (a : float t) b : float t = Builder.fmin_ a b
+let fmax (a : float t) b : float t = Builder.fmax_ a b
+let neg (a : float t) : float t = Exp.Prim (Prim.Fneg, [ a ])
+
+let to_float (a : int t) : float t = Builder.i2f a
+let to_int (a : float t) : int t = Builder.f2i a
+
+let ( = ) (a : 'a t) (b : 'a t) : bool t = Builder.(a =! b)
+let ( <> ) (a : 'a t) (b : 'a t) : bool t = Builder.(a <>! b)
+let ( < ) (a : 'a t) (b : 'a t) : bool t = Builder.(a <! b)
+let ( <= ) (a : 'a t) (b : 'a t) : bool t = Builder.(a <=! b)
+let ( > ) (a : 'a t) (b : 'a t) : bool t = Builder.(a >! b)
+let ( >= ) (a : 'a t) (b : 'a t) : bool t = Builder.(a >=! b)
+let ( && ) (a : bool t) b : bool t = Builder.(a &&! b)
+let ( || ) (a : bool t) b : bool t = Builder.(a ||! b)
+let not (a : bool t) : bool t = Builder.not_ a
+
+let if_ (c : bool t) (t : 'a t) (e : 'a t) : 'a t = Exp.If (c, t, e)
+
+(* ---------------- sharing ---------------- *)
+
+(* Staged binding requires the IR type of the bound expression; we infer it
+   from declared symbol types, which is always possible for DSL-built
+   terms. *)
+let ty_of (e : Exp.exp) : Types.ty =
+  Typecheck.infer
+    (Sym.Set.fold
+       (fun s acc -> Sym.Map.add s (Sym.ty s) acc)
+       (Exp.free_vars e) Sym.Map.empty)
+    e
+
+(** [let_ e k] computes [e] once and passes the shared binding to [k]. *)
+let let_ ?(name = "v") (e : 'a t) (k : 'a t -> 'b t) : 'b t =
+  Exp.bind ~name ~ty:(ty_of e) e k
+
+(** Binding operator: [let$ x = e in body]. *)
+let ( let$ ) (e : 'a t) (k : 'a t -> 'b t) : 'b t = let_ e k
+
+(* ---------------- arrays ---------------- *)
+
+(** Named input collection.  [layout] is the user annotation seeding the
+    partitioning analysis (paper §4.1): annotate big data sources
+    [~layout:Partitioned]. *)
+let input_farr ?(layout = Exp.Local) name : float arr t =
+  Exp.Input (name, Types.Arr Types.Float, layout)
+
+let input_iarr ?(layout = Exp.Local) name : int arr t =
+  Exp.Input (name, Types.Arr Types.Int, layout)
+
+let input_sarr ?(layout = Exp.Local) name : string arr t =
+  Exp.Input (name, Types.Arr Types.Str, layout)
+
+let input_struct_arr ?(layout = Exp.Local) name (struct_ty : Types.ty) : 'a arr t =
+  Exp.Input (name, Types.Arr struct_ty, layout)
+
+let length (a : 'a arr t) : int t = Exp.Len a
+let get (a : 'a arr t) (i : int t) : 'a t = Exp.Read (a, i)
+let field (s : 'a t) (name : string) : 'b t = Exp.Field (s, name)
+
+(** [tabulate n f] — a Collect over [0, n). *)
+let tabulate (n : int t) (f : int t -> 'a t) : 'a arr t =
+  Builder.collect ~size:n f
+
+(** [map a f] — element-wise transformation. *)
+let map (a : 'a arr t) (f : 'a t -> 'b t) : 'b arr t = Builder.map_arr a f
+
+(** [mapi a f] — like {!map} with the index. *)
+let mapi (a : 'a arr t) (f : int t -> 'a t -> 'b t) : 'b arr t =
+  Builder.collect ~size:(Exp.Len a) (fun i -> f i (Exp.Read (a, i)))
+
+(** [zip_with a b f] — element-wise combination (equal lengths assumed). *)
+let zip_with (a : 'a arr t) (b : 'b arr t) (f : 'a t -> 'b t -> 'c t) : 'c arr t =
+  Builder.zip_with a b f
+
+(** [filter a p] — keep elements satisfying [p]. *)
+let filter (a : 'a arr t) (p : 'a t -> bool t) : 'a arr t = Builder.filter a p
+
+(** [flat_map_fixed a ~width f] — flatMap where every element expands to
+    exactly [width] outputs ([f] receives the element and the inner
+    position).  The encoding is a single Collect over [length a * width]
+    with affine indexing, so stencil analysis and fusion see through it;
+    variable-width flatMap is expressed as {!group_by}/{!map_buckets}
+    pipelines instead. *)
+let flat_map_fixed (a : 'a arr t) ~(width : int t) (f : 'a t -> int t -> 'b t) :
+    'b arr t =
+  Builder.collect
+    ~size:Builder.(Exp.Len a *! width)
+    (fun i -> f (Exp.Read (a, Builder.(i /! width))) Builder.(i %! width))
+
+(** [sum_float a] / [sum_int a] — reductions with the standard monoids. *)
+let sum_float (a : float arr t) : float t =
+  Builder.fsum ~size:(Exp.Len a) (fun i -> Exp.Read (a, i))
+
+let sum_int (a : int arr t) : int t =
+  Builder.isum ~size:(Exp.Len a) (fun i -> Exp.Read (a, i))
+
+(** [sum_range n f] — Σ_{i<n} f(i) without materializing the terms. *)
+let sum_range (n : int t) (f : int t -> float t) : float t = Builder.fsum ~size:n f
+
+let sum_range_int (n : int t) (f : int t -> int t) : int t = Builder.isum ~size:n f
+
+(** Conditional sums: Σ f(i) over i with p(i) — the shape the Conditional
+    Reduce rule (Figure 3) recognizes when [p] compares against an outer
+    index. *)
+let sum_range_if (n : int t) (p : int t -> bool t) (f : int t -> float t) : float t =
+  Builder.fsum ~cond:p ~size:n f
+
+let count_range_if (n : int t) (p : int t -> bool t) : int t =
+  Builder.isum ~cond:p ~size:n (fun _ -> Exp.int_ 1)
+
+(** General reduce with an explicit monoid. *)
+let reduce (a : 'a arr t) ~(init : 'a t) (f : 'a t -> 'a t -> 'a t) : 'a t =
+  Builder.reduce ~size:(Exp.Len a) ~ty:(ty_of init) ~init
+    (fun i -> Exp.Read (a, i))
+    f
+
+(** General reduction over a range with an optional condition.  With a
+    condition comparing against an enclosing index this is the shape the
+    Conditional Reduce rule lifts; with a vector [init]/[combine] it is the
+    vector-reduce shape Row-to-Column inverts. *)
+let reduce_range ?cond (n : int t) ~(init : 'a t) (f : int t -> 'a t)
+    (combine : 'a t -> 'a t -> 'a t) : 'a t =
+  Builder.reduce ?cond ~size:n ~ty:(ty_of init) ~init f combine
+
+(** Index of the minimum of [f] over [0, n) (ties: first). *)
+let min_index (n : int t) (f : int t -> float t) : int t = Builder.min_index ~size:n f
+
+(** Average of a float array. *)
+let mean (a : float arr t) : float t =
+  let_ ~name:"arr" a (fun a -> sum_float a /. to_float (length a))
+
+(* ---------------- grouping ---------------- *)
+
+(** [group_by a ~key] — buckets of elements sharing a key (groupBy). *)
+let group_by (a : 'a arr t) ~(key : 'a t -> 'k t) : ('k, 'a arr) map t =
+  Builder.bucket_collect ~size:(Exp.Len a)
+    ~key:(fun i -> key (Exp.Read (a, i)))
+    (fun i -> Exp.Read (a, i))
+
+(** [group_reduce n ~key ~value ~init ~combine] — single-traversal grouped
+    reduction (BucketReduce). *)
+let group_reduce (n : int t) ~(key : int t -> 'k t) ~(value : int t -> 'v t)
+    ~(init : 'v t) ~(combine : 'v t -> 'v t -> 'v t) : ('k, 'v) map t =
+  Builder.bucket_reduce ~size:n ~ty:(ty_of init) ~key ~init value combine
+
+(** Number of buckets. *)
+let buckets (m : ('k, 'v) map t) : int t = Exp.Len m
+
+(** Positional access to bucket values / keys. *)
+let bucket_value (m : ('k, 'v) map t) (i : int t) : 'v t = Exp.Read (m, i)
+
+let bucket_key (m : ('k, 'v) map t) (i : int t) : 'k t = Exp.KeyAt (m, i)
+
+(** Keyed lookup with a default for absent keys. *)
+let lookup_or (m : ('k, 'v) map t) (k : 'k t) ~(default : 'v t) : 'v t =
+  Exp.MapRead (m, k, Some default)
+
+(** Map over buckets (by position). *)
+let map_buckets (m : ('k, 'v) map t) (f : 'v t -> 'w t) : 'w arr t =
+  Builder.collect ~size:(Exp.Len m) (fun i -> f (Exp.Read (m, i)))
+
+(* ---------------- tuples ---------------- *)
+
+let pair (a : 'a t) (b : 'b t) : ('a * 'b) t = Exp.Tuple [ a; b ]
+let fst_ (p : ('a * 'b) t) : 'a t = Exp.Proj (p, 0)
+let snd_ (p : ('a * 'b) t) : 'b t = Exp.Proj (p, 1)
+
+(* ---------------- vectors (float arrays as values) ---------------- *)
+
+let vzero (n : int t) : float arr t = Builder.zero_vec n
+let vadd (a : float arr t) (b : float arr t) : float arr t = Builder.vec_fadd a b
+let vscale (k : float t) (a : float arr t) : float arr t = map a (fun x -> k *. x)
+let dot (a : float arr t) (b : float arr t) : float t = Builder.dot a b
+
+(* ---------------- matrices ---------------- *)
+
+(** A dense row-major matrix: flat [Float] data plus meta-level dimensions.
+    Subscripts stay affine ([i*cols + j]) so the stencil analysis and the
+    nested-pattern rules see through every access. *)
+module Mat = struct
+  type mat = { data : float arr staged; rows : int staged; cols : int staged }
+  type nonrec t = mat
+
+  (** Matrix input backed by the flat array input [name]. *)
+  let input ?(layout = Exp.Local) name ~rows ~cols =
+    { data = input_farr ~layout name; rows; cols }
+
+  let rows m = m.rows
+  let cols m = m.cols
+
+  let get m (i : int staged) (j : int staged) : float staged =
+    Exp.Read (m.data, (i * m.cols) + j)
+
+  (** Row [i] materialized as a vector. *)
+  let row m (i : int staged) : float arr staged = tabulate m.cols (fun j -> get m i j)
+
+  (** Map over rows: [f] receives the row index and an accessor. *)
+  let map_rows m (f : int staged -> (int staged -> float staged) -> 'a staged) : 'a arr staged =
+    tabulate m.rows (fun i -> f i (fun j -> get m i j))
+
+  (** Squared Euclidean distance between row [i] and the vector [v]. *)
+  let dist2_row_vec m (i : int staged) (v : float arr staged) : float staged =
+    sum_range m.cols (fun j ->
+        let$ d = get m i j -. Exp.Read (v, j) in
+        d *. d)
+
+  (** Squared distance between row [i] of [m] and row [k] of [m2]. *)
+  let dist2_rows m (i : int staged) m2 (k : int staged) : float staged =
+    sum_range m.cols (fun j ->
+        let$ d = get m i j -. get m2 k j in
+        d *. d)
+
+  (** Dot product of row [i] with the vector [v]. *)
+  let dot_row m (i : int staged) (v : float arr staged) : float staged =
+    sum_range m.cols (fun j -> get m i j *. Exp.Read (v, j))
+end

@@ -1,0 +1,194 @@
+(** The user-facing staged front-end: implicitly parallel collection
+    operations that build DMLL IR.
+
+    Applications are written once against this module (the paper's
+    "single-source" programming model) and the compiler decides, per
+    hardware target, how to restructure them.  Operations are staged: an
+    ['a t] is an IR expression with a phantom type; calling an operation
+    here builds a multiloop, it does not compute anything — hand the
+    result of {!reveal} to [Dmll.compile].
+
+    Sharing matters when staging: OCaml [let] duplicates the staged
+    {e expression}; use {!let_} (or the [let$] binder) to create an IR
+    binding that is computed once. *)
+
+open Dmll_ir
+
+type 'a t
+(** A staged expression of (phantom) type ['a]. *)
+
+type 'a staged = 'a t
+(** Alias usable inside submodules that define their own [t]. *)
+
+type 'a arr
+(** Phantom: a staged array of ['a]. *)
+
+type ('k, 'v) map
+(** Phantom: a staged bucket map (the result of grouping). *)
+
+val reveal : 'a t -> Exp.exp
+(** The underlying IR. *)
+
+val conceal : Exp.exp -> 'a t
+(** Unsafely assign a phantom type to raw IR (for interop; the type
+    checker still validates the IR itself). *)
+
+(** {1 Scalars} *)
+
+val int : int -> int t
+val float : float -> float t
+val bool : bool -> bool t
+val str : string -> string t
+
+val ( + ) : int t -> int t -> int t
+val ( - ) : int t -> int t -> int t
+val ( * ) : int t -> int t -> int t
+val ( / ) : int t -> int t -> int t
+val ( mod ) : int t -> int t -> int t
+val imin : int t -> int t -> int t
+val imax : int t -> int t -> int t
+
+val ( +. ) : float t -> float t -> float t
+val ( -. ) : float t -> float t -> float t
+val ( *. ) : float t -> float t -> float t
+val ( /. ) : float t -> float t -> float t
+val sqrt : float t -> float t
+val exp : float t -> float t
+val log : float t -> float t
+val abs_float : float t -> float t
+val fmin : float t -> float t -> float t
+val fmax : float t -> float t -> float t
+val neg : float t -> float t
+val to_float : int t -> float t
+val to_int : float t -> int t
+
+val ( = ) : 'a t -> 'a t -> bool t
+val ( <> ) : 'a t -> 'a t -> bool t
+val ( < ) : 'a t -> 'a t -> bool t
+val ( <= ) : 'a t -> 'a t -> bool t
+val ( > ) : 'a t -> 'a t -> bool t
+val ( >= ) : 'a t -> 'a t -> bool t
+val ( && ) : bool t -> bool t -> bool t
+val ( || ) : bool t -> bool t -> bool t
+val not : bool t -> bool t
+val if_ : bool t -> 'a t -> 'a t -> 'a t
+
+(** {1 Sharing} *)
+
+val ty_of : Exp.exp -> Types.ty
+(** Static IR type of a staged expression (from declared symbol types). *)
+
+val let_ : ?name:string -> 'a t -> ('a t -> 'b t) -> 'b t
+(** [let_ e k] computes [e] once and passes the shared binding to [k]. *)
+
+val ( let$ ) : 'a t -> ('a t -> 'b t) -> 'b t
+(** Binding operator: [let$ x = e in body]. *)
+
+(** {1 Inputs} *)
+
+val input_farr : ?layout:Exp.layout -> string -> float arr t
+(** A named [float array] data source.  [~layout:Partitioned] marks it as
+    the big dataset to distribute (the user annotation of paper §4.1). *)
+
+val input_iarr : ?layout:Exp.layout -> string -> int arr t
+val input_sarr : ?layout:Exp.layout -> string -> string arr t
+
+val input_struct_arr : ?layout:Exp.layout -> string -> Types.ty -> 'a arr t
+(** An array-of-structs source; AoS→SoA will split it into columns. *)
+
+(** {1 Collections} *)
+
+val length : 'a arr t -> int t
+val get : 'a arr t -> int t -> 'a t
+val field : 'a t -> string -> 'b t
+
+val tabulate : int t -> (int t -> 'a t) -> 'a arr t
+val map : 'a arr t -> ('a t -> 'b t) -> 'b arr t
+val mapi : 'a arr t -> (int t -> 'a t -> 'b t) -> 'b arr t
+val zip_with : 'a arr t -> 'b arr t -> ('a t -> 'b t -> 'c t) -> 'c arr t
+val filter : 'a arr t -> ('a t -> bool t) -> 'a arr t
+
+val flat_map_fixed : 'a arr t -> width:int t -> ('a t -> int t -> 'b t) -> 'b arr t
+(** flatMap with a fixed expansion factor; encoded as one affine Collect
+    so fusion and the stencil analysis see through it. *)
+
+val sum_float : float arr t -> float t
+val sum_int : int arr t -> int t
+val sum_range : int t -> (int t -> float t) -> float t
+val sum_range_int : int t -> (int t -> int t) -> int t
+
+val sum_range_if : int t -> (int t -> bool t) -> (int t -> float t) -> float t
+(** Conditional sum — the shape the Conditional Reduce rule (Figure 3)
+    lifts when the predicate compares against an enclosing index. *)
+
+val count_range_if : int t -> (int t -> bool t) -> int t
+val reduce : 'a arr t -> init:'a t -> ('a t -> 'a t -> 'a t) -> 'a t
+
+val reduce_range :
+  ?cond:(int t -> bool t) ->
+  int t ->
+  init:'a t ->
+  (int t -> 'a t) ->
+  ('a t -> 'a t -> 'a t) ->
+  'a t
+(** General reduction over a range; with a vector init/combine this is the
+    shape Row-to-Column inverts for GPUs. *)
+
+val min_index : int t -> (int t -> float t) -> int t
+(** Index of the minimum of [f] over [0, n); ties keep the first. *)
+
+val mean : float arr t -> float t
+
+(** {1 Grouping} *)
+
+val group_by : 'a arr t -> key:('a t -> 'k t) -> ('k, 'a arr) map t
+(** groupBy: buckets of elements sharing a key (a [BucketCollect]). *)
+
+val group_reduce :
+  int t ->
+  key:(int t -> 'k t) ->
+  value:(int t -> 'v t) ->
+  init:'v t ->
+  combine:('v t -> 'v t -> 'v t) ->
+  ('k, 'v) map t
+(** Single-traversal grouped reduction (a [BucketReduce]). *)
+
+val buckets : ('k, 'v) map t -> int t
+val bucket_value : ('k, 'v) map t -> int t -> 'v t
+val bucket_key : ('k, 'v) map t -> int t -> 'k t
+val lookup_or : ('k, 'v) map t -> 'k t -> default:'v t -> 'v t
+val map_buckets : ('k, 'v) map t -> ('v t -> 'w t) -> 'w arr t
+
+(** {1 Tuples} *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val fst_ : ('a * 'b) t -> 'a t
+val snd_ : ('a * 'b) t -> 'b t
+
+(** {1 Vectors} *)
+
+val vzero : int t -> float arr t
+val vadd : float arr t -> float arr t -> float arr t
+val vscale : float t -> float arr t -> float arr t
+val dot : float arr t -> float arr t -> float t
+
+(** {1 Matrices} *)
+
+(** Dense row-major matrices: flat [Float] data plus meta-level
+    dimensions, so every subscript stays affine ([i*cols + j]) and the
+    stencil analysis and nested-pattern rules see through each access. *)
+module Mat : sig
+  type mat = { data : float arr staged; rows : int staged; cols : int staged }
+  type t = mat
+
+  val input : ?layout:Exp.layout -> string -> rows:int staged -> cols:int staged -> t
+  val rows : t -> int staged
+  val cols : t -> int staged
+  val get : t -> int staged -> int staged -> float staged
+  val row : t -> int staged -> float arr staged
+  val map_rows :
+    t -> (int staged -> (int staged -> float staged) -> 'a staged) -> 'a arr staged
+  val dist2_row_vec : t -> int staged -> float arr staged -> float staged
+  val dist2_rows : t -> int staged -> t -> int staged -> float staged
+  val dot_row : t -> int staged -> float arr staged -> float staged
+end

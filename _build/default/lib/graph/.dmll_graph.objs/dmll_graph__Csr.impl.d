@@ -1,0 +1,1 @@
+lib/graph/csr.ml: Array Dmll_data Dmll_interp

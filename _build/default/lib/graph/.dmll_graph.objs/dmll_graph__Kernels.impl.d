@@ -1,0 +1,1 @@
+lib/graph/kernels.ml: Array Csr Float

@@ -1,0 +1,1 @@
+lib/graph/push_pull.ml:

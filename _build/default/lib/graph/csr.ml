@@ -1,0 +1,123 @@
+(** Compressed sparse row graphs.
+
+    The substrate for the graph-analytics benchmarks: adjacency in CSR
+    form with sorted, deduplicated neighbor lists (sorted lists enable the
+    merge-based triangle counting kernel and binary-searched membership
+    tests).  Both out-edges and in-edges are materialized because the
+    push/pull transformation (paper §6.2, OptiGraph) switches between
+    them. *)
+
+module V = Dmll_interp.Value
+
+type t = {
+  nv : int;
+  ne : int;
+  (* out-edges *)
+  out_offsets : int array;  (** nv + 1 *)
+  out_targets : int array;
+  (* in-edges *)
+  in_offsets : int array;
+  in_sources : int array;
+}
+
+let out_degree g v = g.out_offsets.(v + 1) - g.out_offsets.(v)
+let in_degree g v = g.in_offsets.(v + 1) - g.in_offsets.(v)
+
+let out_neighbors g v f =
+  for e = g.out_offsets.(v) to g.out_offsets.(v + 1) - 1 do
+    f g.out_targets.(e)
+  done
+
+let in_neighbors g v f =
+  for e = g.in_offsets.(v) to g.in_offsets.(v + 1) - 1 do
+    f g.in_sources.(e)
+  done
+
+(* Build one CSR direction from (src, dst) pairs; neighbor lists sorted and
+   deduplicated, self-loops dropped. *)
+let build_direction ~nv (pairs : (int * int) array) : int array * int array =
+  let deg = Array.make nv 0 in
+  Array.iter (fun (u, v) -> if u <> v then deg.(u) <- deg.(u) + 1) pairs;
+  let offsets = Array.make (nv + 1) 0 in
+  for v = 0 to nv - 1 do
+    offsets.(v + 1) <- offsets.(v) + deg.(v)
+  done;
+  let fill = Array.copy offsets in
+  let targets = Array.make offsets.(nv) 0 in
+  Array.iter
+    (fun (u, v) ->
+      if u <> v then begin
+        targets.(fill.(u)) <- v;
+        fill.(u) <- fill.(u) + 1
+      end)
+    pairs;
+  (* sort and dedup each list *)
+  let out_offsets = Array.make (nv + 1) 0 in
+  let out = Array.make offsets.(nv) 0 in
+  let k = ref 0 in
+  for v = 0 to nv - 1 do
+    let lo = offsets.(v) and hi = offsets.(v + 1) in
+    let seg = Array.sub targets lo (hi - lo) in
+    Array.sort compare seg;
+    let prev = ref (-1) in
+    Array.iter
+      (fun w ->
+        if w <> !prev then begin
+          out.(!k) <- w;
+          incr k;
+          prev := w
+        end)
+      seg;
+    out_offsets.(v + 1) <- !k
+  done;
+  (out_offsets, Array.sub out 0 !k)
+
+(** Build a CSR graph from an edge list. *)
+let of_edges (g : Dmll_data.Rmat.edges) : t =
+  let nv = g.Dmll_data.Rmat.nv in
+  let pairs = g.Dmll_data.Rmat.edges in
+  let out_offsets, out_targets = build_direction ~nv pairs in
+  let in_offsets, in_sources =
+    build_direction ~nv (Array.map (fun (u, v) -> (v, u)) pairs)
+  in
+  { nv; ne = Array.length out_targets; out_offsets; out_targets; in_offsets; in_sources }
+
+(** Membership test on a sorted neighbor list. *)
+let has_out_edge (g : t) (u : int) (v : int) : bool =
+  let lo = ref g.out_offsets.(u) and hi = ref g.out_offsets.(u + 1) in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = g.out_targets.(mid) in
+    if w = v then found := true else if w < v then lo := mid + 1 else hi := mid
+  done;
+  !found
+
+(** Flat edge list in out-CSR order: [edge_src.(e)] is the source of the
+    edge whose target is [out_targets.(e)] — the layout the push-model
+    (edge-parallel, BucketReduce-keyed-by-target) formulation iterates. *)
+let edge_src (g : t) : int array =
+  let src = Array.make (Array.length g.out_targets) 0 in
+  for v = 0 to g.nv - 1 do
+    for e = g.out_offsets.(v) to g.out_offsets.(v + 1) - 1 do
+      src.(e) <- v
+    done
+  done;
+  src
+
+let out_degrees (g : t) : int array = Array.init g.nv (out_degree g)
+
+(** Inputs exposing the graph to DMLL programs (partitioned edge arrays,
+    local offset arrays — the offsets are the directory-like metadata). *)
+let inputs (g : t) : (string * V.t) list =
+  [ ("g.out_offsets", V.of_int_array g.out_offsets);
+    ("g.out_targets", V.of_int_array g.out_targets);
+    ("g.in_offsets", V.of_int_array g.in_offsets);
+    ("g.in_sources", V.of_int_array g.in_sources);
+    ("g.edge_src", V.of_int_array (edge_src g));
+    ("g.out_deg", V.of_int_array (out_degrees g));
+  ]
+
+let bytes (g : t) : float =
+  float_of_int
+    (8 * (Array.length g.out_targets + Array.length g.in_sources + (2 * (g.nv + 1))))

@@ -1,0 +1,87 @@
+(** Hand-optimized graph kernels: the "manually optimized C++" reference
+    implementations for the graph rows of Table 2, plus both the pull and
+    push formulations of PageRank that the OptiGraph push-pull
+    transformation switches between (paper §6.2). *)
+
+let damping = 0.85
+
+(** One pull-model PageRank iteration: every vertex gathers rank/degree
+    from its in-neighbors.  The natural shared-memory formulation: reads
+    are random, writes are disjoint. *)
+let pagerank_pull_step (g : Csr.t) (rank : float array) (out : float array) : unit =
+  let base = (1.0 -. damping) /. float_of_int g.Csr.nv in
+  for v = 0 to g.Csr.nv - 1 do
+    let acc = ref 0.0 in
+    for e = g.Csr.in_offsets.(v) to g.Csr.in_offsets.(v + 1) - 1 do
+      let u = g.Csr.in_sources.(e) in
+      let d = Csr.out_degree g u in
+      if d > 0 then acc := !acc +. (rank.(u) /. float_of_int d)
+    done;
+    out.(v) <- base +. (damping *. !acc)
+  done
+
+(** One push-model PageRank iteration: every vertex scatters its
+    contribution to its out-neighbors.  The distributed-friendly
+    formulation: reads are local, writes are scattered (accumulated). *)
+let pagerank_push_step (g : Csr.t) (rank : float array) (out : float array) : unit =
+  let base = (1.0 -. damping) /. float_of_int g.Csr.nv in
+  Array.fill out 0 g.Csr.nv 0.0;
+  for u = 0 to g.Csr.nv - 1 do
+    let d = Csr.out_degree g u in
+    if d > 0 then begin
+      let share = rank.(u) /. float_of_int d in
+      for e = g.Csr.out_offsets.(u) to g.Csr.out_offsets.(u + 1) - 1 do
+        let v = g.Csr.out_targets.(e) in
+        out.(v) <- out.(v) +. share
+      done
+    end
+  done;
+  for v = 0 to g.Csr.nv - 1 do
+    out.(v) <- base +. (damping *. out.(v))
+  done
+
+(** Run [iters] PageRank iterations (pull model). *)
+let pagerank ?(iters = 10) (g : Csr.t) : float array =
+  let n = g.Csr.nv in
+  let a = ref (Array.make n (1.0 /. float_of_int n)) in
+  let b = ref (Array.make n 0.0) in
+  for _ = 1 to iters do
+    pagerank_pull_step g !a !b;
+    let t = !a in
+    a := !b;
+    b := t
+  done;
+  !a
+
+(** Triangle counting on the symmetrized graph by sorted-list merge: for
+    each edge (u,v) with u < v, count common neighbors w > v.  Counts each
+    triangle exactly once. *)
+let triangle_count (g : Csr.t) : int =
+  let count = ref 0 in
+  for u = 0 to g.Csr.nv - 1 do
+    for e = g.Csr.out_offsets.(u) to g.Csr.out_offsets.(u + 1) - 1 do
+      let v = g.Csr.out_targets.(e) in
+      if u < v then begin
+        (* merge neighbor lists of u and v, counting matches > v *)
+        let i = ref g.Csr.out_offsets.(u) and j = ref g.Csr.out_offsets.(v) in
+        let iu = g.Csr.out_offsets.(u + 1) and jv = g.Csr.out_offsets.(v + 1) in
+        while !i < iu && !j < jv do
+          let a = g.Csr.out_targets.(!i) and b = g.Csr.out_targets.(!j) in
+          if a = b then begin
+            if a > v then incr count;
+            incr i;
+            incr j
+          end
+          else if a < b then incr i
+          else incr j
+        done
+      end
+    done
+  done;
+  !count
+
+(** L1 distance between rank vectors (convergence metric for tests). *)
+let rank_delta (a : float array) (b : float array) : float =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. b.(i))) a;
+  !acc

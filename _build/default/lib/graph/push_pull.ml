@@ -1,0 +1,28 @@
+(** OptiGraph-style push-pull model selection (paper §6.2).
+
+    The paper's graph benchmarks are written in OptiGraph, "a graph
+    analytics DSL built on top of DMLL that uses ... domain-specific
+    transformations ... to transform applications between a pull model of
+    computation (common in shared memory) to a push model of computation
+    (common in distributed systems) based on the hardware target"
+    (following Hong et al., CGO 2014).
+
+    The decision procedure is exactly that sentence: shared-memory targets
+    gather (pull — random reads are cheap, writes stay disjoint),
+    distributed targets scatter (push — reads stay partition-local and the
+    writes become an explicit, shuffleable BucketReduce). *)
+
+type model = Pull | Push
+
+type target_class = Shared_memory | Distributed
+
+let model_to_string = function Pull -> "pull" | Push -> "push"
+
+(** Which model to compile for a target class. *)
+let select = function Shared_memory -> Pull | Distributed -> Push
+
+(** A vertex program with both formulations; [for_target] picks one. *)
+type 'a both = { pull : 'a; push : 'a }
+
+let for_target (b : 'a both) (t : target_class) : 'a =
+  match select t with Pull -> b.pull | Push -> b.push

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Char Dmll_ir Exp Float Fmt Hashtbl List Prim Stdlib String Sym Value

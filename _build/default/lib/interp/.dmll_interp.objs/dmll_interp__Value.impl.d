@@ -1,0 +1,1 @@
+lib/interp/value.ml: Array Bool Float Fmt Int List Printf String

@@ -1,0 +1,286 @@
+(** Reference interpreter: the semantic ground truth.
+
+    Implements exactly the sequential semantics of Figure 2 of the paper.
+    Every optimization pass and every parallel/simulated executor is tested
+    against this interpreter on shared inputs. *)
+
+open Dmll_ir
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Hashtbl.hash
+end)
+
+exception Runtime_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Extern registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Implementations of [Extern] nodes, keyed by name.  Externs model the
+    "arbitrary sequential code" of paper §4.3; tests register their own. *)
+let extern_registry : (string, Value.t list -> Value.t) Hashtbl.t = Hashtbl.create 16
+
+let register_extern name f = Hashtbl.replace extern_registry name f
+
+let () =
+  register_extern "debug_print" (fun vs ->
+      List.iter (fun v -> print_endline (Value.to_string v)) vs;
+      Value.Vunit);
+  (* [size_hint] is the canonical whitelisted extern: reads a size field
+     without dereferencing collection data (paper §4.3). *)
+  register_extern "size_hint" (function
+    | [ v ] -> Value.Vint (Value.length v)
+    | _ -> error "size_hint: expected one argument")
+
+(* ------------------------------------------------------------------ *)
+(* Primitive evaluation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let eval_prim (p : Prim.t) (args : Value.t list) : Value.t =
+  let open Value in
+  let int2 f = match args with [ Vint a; Vint b ] -> Vint (f a b) | _ -> error "prim %s: int args expected" (Prim.name p) in
+  let flt2 f = match args with [ Vfloat a; Vfloat b ] -> Vfloat (f a b) | _ -> error "prim %s: float args expected" (Prim.name p) in
+  let flt1 f = match args with [ Vfloat a ] -> Vfloat (f a) | _ -> error "prim %s: float arg expected" (Prim.name p) in
+  let cmp f =
+    match args with
+    | [ Vint a; Vint b ] -> Vbool (f (compare a b) 0)
+    | [ Vfloat a; Vfloat b ] -> Vbool (f (compare a b) 0)
+    | [ Vbool a; Vbool b ] -> Vbool (f (compare a b) 0)
+    | [ Vstr a; Vstr b ] -> Vbool (f (compare a b) 0)
+    | _ -> error "prim %s: comparable args expected" (Prim.name p)
+  in
+  match p with
+  | Prim.Add -> int2 ( + )
+  | Sub -> int2 ( - )
+  | Mul -> int2 ( * )
+  | Div -> (
+      match args with
+      | [ Vint _; Vint 0 ] -> error "integer division by zero"
+      | _ -> int2 ( / ))
+  | Mod -> (
+      match args with
+      | [ Vint _; Vint 0 ] -> error "integer modulo by zero"
+      | _ -> int2 ( mod ))
+  | Neg -> ( match args with [ Vint a ] -> Vint (-a) | _ -> error "neg")
+  | Min -> int2 Stdlib.min
+  | Max -> int2 Stdlib.max
+  | Fadd -> flt2 ( +. )
+  | Fsub -> flt2 ( -. )
+  | Fmul -> flt2 ( *. )
+  | Fdiv -> flt2 ( /. )
+  | Fneg -> flt1 (fun x -> -.x)
+  | Fmin -> flt2 Float.min
+  | Fmax -> flt2 Float.max
+  | Sqrt -> flt1 sqrt
+  | Exp -> flt1 exp
+  | Log -> flt1 log
+  | Fabs -> flt1 Float.abs
+  | Pow -> flt2 ( ** )
+  | I2f -> ( match args with [ Vint a ] -> Vfloat (float_of_int a) | _ -> error "i2f")
+  | F2i -> ( match args with [ Vfloat a ] -> Vint (int_of_float a) | _ -> error "f2i")
+  | Eq -> cmp ( = )
+  | Ne -> cmp ( <> )
+  | Lt -> cmp ( < )
+  | Le -> cmp ( <= )
+  | Gt -> cmp ( > )
+  | Ge -> cmp ( >= )
+  | And -> ( match args with [ Vbool a; Vbool b ] -> Vbool (a && b) | _ -> error "&&")
+  | Or -> ( match args with [ Vbool a; Vbool b ] -> Vbool (a || b) | _ -> error "||")
+  | Not -> ( match args with [ Vbool a ] -> Vbool (not a) | _ -> error "!")
+  | Strcat -> ( match args with [ Vstr a; Vstr b ] -> Vstr (a ^ b) | _ -> error "strcat")
+  | Strlen -> ( match args with [ Vstr a ] -> Vint (String.length a) | _ -> error "strlen")
+  | Strget -> (
+      match args with
+      | [ Vstr a; Vint i ] ->
+          if i < 0 || i >= String.length a then error "strget: index %d out of bounds" i
+          else Vint (Char.code a.[i])
+      | _ -> error "strget")
+
+(* ------------------------------------------------------------------ *)
+(* Generator accumulators                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Mutable state of one generator during a loop traversal. *)
+type gen_state =
+  | Scollect of Value.t list ref  (** reversed *)
+  | Sreduce of Value.t ref
+  | Sbuckets of bucket_state
+
+and bucket_state = {
+  index : int Vtbl.t;  (** key -> bucket position *)
+  mutable keys : Value.t array;  (** first-seen order; grows by doubling *)
+  mutable vals : Value.t list array;
+      (** per bucket: reversed element list (collect) or singleton (reduce) *)
+  mutable nbuckets : int;
+}
+
+let new_bucket_state () =
+  { index = Vtbl.create 64; keys = [||]; vals = [||]; nbuckets = 0 }
+
+let bucket_slot (bs : bucket_state) (key : Value.t) : int =
+  match Vtbl.find_opt bs.index key with
+  | Some i -> i
+  | None ->
+      let i = bs.nbuckets in
+      if i >= Array.length bs.keys then begin
+        let cap = Stdlib.max 8 (2 * Array.length bs.keys) in
+        let keys' = Array.make cap Value.Vunit in
+        let vals' = Array.make cap [] in
+        Array.blit bs.keys 0 keys' 0 i;
+        Array.blit bs.vals 0 vals' 0 i;
+        bs.keys <- keys';
+        bs.vals <- vals'
+      end;
+      Vtbl.add bs.index key i;
+      bs.keys.(i) <- key;
+      bs.vals.(i) <- [];
+      bs.nbuckets <- i + 1;
+      i
+
+let set_bucket (bs : bucket_state) (i : int) (f : Value.t list -> Value.t list) =
+  bs.vals.(i) <- f bs.vals.(i)
+
+let finalize_buckets (bs : bucket_state) ~(collect : bool) : Value.t =
+  let keys = Array.sub bs.keys 0 bs.nbuckets in
+  let vals =
+    Array.init bs.nbuckets (fun i ->
+        let b = bs.vals.(i) in
+        if collect then Value.Varr (Value.varr_of_list (List.rev b))
+        else match b with [ v ] -> v | _ -> error "finalize_buckets: reduce bucket")
+  in
+  Value.Vmap { mkeys = keys; mvals = vals }
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type env = { vars : Value.t Sym.Map.t; inputs : string -> Value.t }
+
+let no_inputs name = error "unbound input %s" name
+
+let rec eval (env : env) (e : Exp.exp) : Value.t =
+  let open Exp in
+  match e with
+  | Const Cunit -> Vunit
+  | Const (Cbool b) -> Vbool b
+  | Const (Cint i) -> Vint i
+  | Const (Cfloat f) -> Vfloat f
+  | Const (Cstr s) -> Vstr s
+  | Var s -> (
+      match Sym.Map.find_opt s env.vars with
+      | Some v -> v
+      | None -> error "unbound variable %a" Sym.pp s)
+  | Prim (Prim.And, [ a; b ]) ->
+      (* short-circuit, so fused conditions [c1 && c2] evaluate [c2] exactly
+         when the unfused pipeline would have *)
+      if Value.as_bool (eval env a) then eval env b else Vbool false
+  | Prim (Prim.Or, [ a; b ]) ->
+      if Value.as_bool (eval env a) then Vbool true else eval env b
+  | Prim (p, args) -> eval_prim p (List.map (eval env) args)
+  | If (c, t, f) -> if Value.as_bool (eval env c) then eval env t else eval env f
+  | Let (s, a, b) ->
+      let va = eval env a in
+      eval { env with vars = Sym.Map.add s va env.vars } b
+  | Tuple es -> Vtup (Array.of_list (List.map (eval env) es))
+  | Proj (a, i) -> (
+      match eval env a with
+      | Vtup vs when i < Array.length vs -> vs.(i)
+      | _ -> error "bad projection")
+  | Record (_, fs) ->
+      Vstruct (Array.of_list (List.map (fun (n, v) -> (n, eval env v)) fs))
+  | Field (a, n) -> Value.struct_field (eval env a) n
+  | Len a -> Vint (Value.length (eval env a))
+  | Read (a, i) ->
+      let va = eval env a and vi = Value.as_int (eval env i) in
+      let n = Value.length va in
+      if vi < 0 || vi >= n then error "read index %d out of bounds [0,%d)" vi n
+      else Value.get va vi
+  | MapRead (m, k, d) -> (
+      let vm = Value.as_map (eval env m) and vk = eval env k in
+      match Value.find_bucket vm vk with
+      | Some v -> v
+      | None -> (
+          match d with
+          | Some d -> eval env d
+          | None -> error "key %s not found in map" (Value.to_string vk)))
+  | KeyAt (m, i) ->
+      let vm = Value.as_map (eval env m) and vi = Value.as_int (eval env i) in
+      if vi < 0 || vi >= Array.length vm.mkeys then error "keyAt out of bounds"
+      else vm.mkeys.(vi)
+  | Input (name, _, _) -> env.inputs name
+  | Extern { ename; eargs; _ } -> (
+      match Hashtbl.find_opt extern_registry ename with
+      | Some f -> f (List.map (eval env) eargs)
+      | None -> error "unregistered extern %s" ename)
+  | Loop { size; idx; gens } -> eval_loop env ~size ~idx ~gens
+
+and eval_loop env ~size ~idx ~gens : Value.t =
+  let open Exp in
+  let n = Value.as_int (eval env size) in
+  if n < 0 then error "negative loop size %d" n;
+  (* Reduce identities are evaluated outside the loop body (Figure 2). *)
+  let states =
+    List.map
+      (function
+        | Collect _ -> Scollect (ref [])
+        | Reduce { init; _ } -> Sreduce (ref (eval env init))
+        | BucketCollect _ -> Sbuckets (new_bucket_state ())
+        | BucketReduce _ -> Sbuckets (new_bucket_state ()))
+      gens
+  in
+  for i = 0 to n - 1 do
+    let envi = { env with vars = Sym.Map.add idx (Value.Vint i) env.vars } in
+    List.iter2
+      (fun g st ->
+        let pass =
+          match gen_cond g with None -> true | Some c -> Value.as_bool (eval envi c)
+        in
+        if pass then
+          match (g, st) with
+          | Collect { value; _ }, Scollect acc -> acc := eval envi value :: !acc
+          | Reduce { value; a; b; rfun; _ }, Sreduce acc ->
+              let v = eval envi value in
+              let vars = Sym.Map.add a !acc (Sym.Map.add b v envi.vars) in
+              acc := eval { envi with vars } rfun
+          | BucketCollect { key; value; _ }, Sbuckets bs ->
+              let slot = bucket_slot bs (eval envi key) in
+              let v = eval envi value in
+              set_bucket bs slot (fun old -> v :: old)
+          | BucketReduce { key; value; a; b; rfun; init = _; _ }, Sbuckets bs ->
+              let slot = bucket_slot bs (eval envi key) in
+              let v = eval envi value in
+              set_bucket bs slot (function
+                | [] -> [ v ]
+                | [ acc ] ->
+                    let vars = Sym.Map.add a acc (Sym.Map.add b v envi.vars) in
+                    [ eval { envi with vars } rfun ]
+                | _ -> error "reduce bucket invariant")
+          | _ -> error "generator/state mismatch")
+      gens states
+  done;
+  let results =
+    List.map2
+      (fun g st ->
+        match (g, st) with
+        | Collect _, Scollect acc -> Value.Varr (Value.varr_of_list (List.rev !acc))
+        | Reduce _, Sreduce acc -> !acc
+        | BucketCollect _, Sbuckets bs -> finalize_buckets bs ~collect:true
+        | BucketReduce _, Sbuckets bs -> finalize_buckets bs ~collect:false
+        | _ -> error "generator/state mismatch")
+      gens states
+  in
+  match results with [ v ] -> v | vs -> Vtup (Array.of_list vs)
+
+(** Evaluate a program with named inputs. *)
+let run ?(inputs = []) (e : Exp.exp) : Value.t =
+  let lookup name =
+    match List.assoc_opt name inputs with
+    | Some v -> v
+    | None -> no_inputs name
+  in
+  eval { vars = Sym.Map.empty; inputs = lookup } e

@@ -1,0 +1,177 @@
+(** Runtime values shared by the reference interpreter, the closure
+    backend, and the runtime executors.
+
+    Arrays are specialized by element type ([Fa]/[Ia] hold unboxed
+    primitives) — the runtime realization of the paper's AoS→SoA and
+    struct-unwrapping optimizations.  Code paths that cannot prove a
+    primitive element type fall back to the generic [Ga] representation,
+    which models the boxed collections of library-based systems (and is
+    exactly what the MiniSpark baseline is forced to use). *)
+
+type t =
+  | Vunit
+  | Vbool of bool
+  | Vint of int
+  | Vfloat of float
+  | Vstr of string
+  | Varr of varr
+  | Vtup of t array
+  | Vstruct of (string * t) array
+  | Vmap of vmap
+
+and varr =
+  | Fa of float array  (** unboxed float storage *)
+  | Ia of int array  (** unboxed int storage *)
+  | Ga of t array  (** generic (boxed) storage *)
+
+and vmap = { mkeys : t array; mvals : t array }
+(** Buckets in first-seen key order, the deterministic order produced by a
+    sequential bucket generator (Figure 2's [Map[K,Index]]). *)
+
+let as_bool = function Vbool b -> b | v -> invalid_arg (Printf.sprintf "Value.as_bool: got %s" (match v with Vint _ -> "int" | Vfloat _ -> "float" | _ -> "non-bool"))
+let as_int = function Vint i -> i | _ -> invalid_arg "Value.as_int"
+let as_float = function Vfloat f -> f | _ -> invalid_arg "Value.as_float"
+let as_str = function Vstr s -> s | _ -> invalid_arg "Value.as_str"
+let as_arr = function Varr a -> a | _ -> invalid_arg "Value.as_arr"
+let as_map = function Vmap m -> m | _ -> invalid_arg "Value.as_map"
+
+let arr_len = function
+  | Fa a -> Array.length a
+  | Ia a -> Array.length a
+  | Ga a -> Array.length a
+
+let arr_get a i =
+  match a with Fa a -> Vfloat a.(i) | Ia a -> Vint a.(i) | Ga a -> a.(i)
+
+let length = function
+  | Varr a -> arr_len a
+  | Vmap m -> Array.length m.mkeys
+  | _ -> invalid_arg "Value.length"
+
+(** Positional read: element [i] of an array, or the value of bucket [i] of
+    a map. *)
+let get v i =
+  match v with
+  | Varr a -> arr_get a i
+  | Vmap m -> m.mvals.(i)
+  | _ -> invalid_arg "Value.get"
+
+let of_float_array a = Varr (Fa a)
+let of_int_array a = Varr (Ia a)
+
+let to_float_array = function
+  | Varr (Fa a) -> a
+  | Varr (Ga a) -> Array.map as_float a
+  | _ -> invalid_arg "Value.to_float_array"
+
+let to_int_array = function
+  | Varr (Ia a) -> a
+  | Varr (Ga a) -> Array.map as_int a
+  | _ -> invalid_arg "Value.to_int_array"
+
+(** Build an array value from accumulated elements, specializing the
+    storage when every element is an unboxed scalar. *)
+let varr_of_list (xs : t list) : varr =
+  match xs with
+  | Vfloat _ :: _ when List.for_all (function Vfloat _ -> true | _ -> false) xs ->
+      Fa (Array.of_list (List.map as_float xs))
+  | Vint _ :: _ when List.for_all (function Vint _ -> true | _ -> false) xs ->
+      Ia (Array.of_list (List.map as_int xs))
+  | _ -> Ga (Array.of_list xs)
+
+(** Structural equality.  Float comparison is exact; tests that tolerate
+    rounding use {!approx_equal}. *)
+let rec equal (a : t) (b : t) : bool =
+  match (a, b) with
+  | Vunit, Vunit -> true
+  | Vbool x, Vbool y -> Bool.equal x y
+  | Vint x, Vint y -> Int.equal x y
+  | Vfloat x, Vfloat y -> Float.equal x y
+  | Vstr x, Vstr y -> String.equal x y
+  | Varr x, Varr y ->
+      arr_len x = arr_len y
+      && (let n = arr_len x in
+          let rec go i = i >= n || (equal (arr_get x i) (arr_get y i) && go (i + 1)) in
+          go 0)
+  | Vtup x, Vtup y -> Array.length x = Array.length y && Array.for_all2 equal x y
+  | Vstruct x, Vstruct y ->
+      Array.length x = Array.length y
+      && Array.for_all2
+           (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && equal v1 v2)
+           x y
+  | Vmap x, Vmap y ->
+      Array.length x.mkeys = Array.length y.mkeys
+      && Array.for_all2 equal x.mkeys y.mkeys
+      && Array.for_all2 equal x.mvals y.mvals
+  | _ -> false
+
+(** Equality up to a relative/absolute float tolerance; map buckets are
+    compared as key-indexed sets, since parallel execution may produce
+    buckets in a different (but still deterministic per-schedule) order. *)
+let rec approx_equal ?(eps = 1e-9) (a : t) (b : t) : bool =
+  let feq x y =
+    Float.equal x y
+    || Float.abs (x -. y) <= eps *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  in
+  match (a, b) with
+  | Vfloat x, Vfloat y -> feq x y
+  | Varr x, Varr y ->
+      arr_len x = arr_len y
+      && (let n = arr_len x in
+          let rec go i =
+            i >= n || (approx_equal ~eps (arr_get x i) (arr_get y i) && go (i + 1))
+          in
+          go 0)
+  | Vtup x, Vtup y ->
+      Array.length x = Array.length y && Array.for_all2 (approx_equal ~eps) x y
+  | Vstruct x, Vstruct y ->
+      Array.length x = Array.length y
+      && Array.for_all2
+           (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && approx_equal ~eps v1 v2)
+           x y
+  | Vmap x, Vmap y ->
+      Array.length x.mkeys = Array.length y.mkeys
+      && Array.for_all
+           (fun k ->
+             match (find_bucket x k, find_bucket y k) with
+             | Some v1, Some v2 -> approx_equal ~eps v1 v2
+             | _ -> false)
+           x.mkeys
+  | _ -> equal a b
+
+and find_bucket (m : vmap) (k : t) : t option =
+  let n = Array.length m.mkeys in
+  let rec go i =
+    if i >= n then None else if equal m.mkeys.(i) k then Some m.mvals.(i) else go (i + 1)
+  in
+  go 0
+
+let rec pp fmt = function
+  | Vunit -> Fmt.string fmt "()"
+  | Vbool b -> Fmt.bool fmt b
+  | Vint i -> Fmt.int fmt i
+  | Vfloat f -> Fmt.pf fmt "%g" f
+  | Vstr s -> Fmt.pf fmt "%S" s
+  | Varr a ->
+      Fmt.pf fmt "[%a]"
+        Fmt.(list ~sep:(any ", ") pp)
+        (List.init (arr_len a) (arr_get a))
+  | Vtup vs -> Fmt.pf fmt "(%a)" Fmt.(array ~sep:(any ", ") pp) vs
+  | Vstruct fs ->
+      Fmt.pf fmt "{%a}"
+        Fmt.(array ~sep:(any ", ") (fun fmt (n, v) -> Fmt.pf fmt "%s=%a" n pp v))
+        fs
+  | Vmap m ->
+      Fmt.pf fmt "{%a}"
+        Fmt.(list ~sep:(any ", ") (fun fmt (k, v) -> Fmt.pf fmt "%a->%a" pp k pp v))
+        (List.init (Array.length m.mkeys) (fun i -> (m.mkeys.(i), m.mvals.(i))))
+
+let to_string v = Fmt.str "%a" pp v
+
+let struct_field (v : t) (name : string) : t =
+  match v with
+  | Vstruct fs -> (
+      match Array.find_opt (fun (n, _) -> String.equal n name) fs with
+      | Some (_, v) -> v
+      | None -> invalid_arg ("Value.struct_field: no field " ^ name))
+  | _ -> invalid_arg "Value.struct_field: not a struct"

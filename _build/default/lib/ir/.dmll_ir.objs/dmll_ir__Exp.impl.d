@@ -1,0 +1,1 @@
+lib/ir/exp.ml: Bool Float Fun Int List Option Prim String Sym Types

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Exp Fmt Prim Sym Types

@@ -1,0 +1,1 @@
+lib/ir/sym.ml: Atomic Fmt Hashtbl Int Map Set Types

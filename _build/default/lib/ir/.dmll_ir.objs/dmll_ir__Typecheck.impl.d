@@ -1,0 +1,1 @@
+lib/ir/typecheck.ml: Exp Fmt List Pp Prim String Sym Types

@@ -1,0 +1,126 @@
+(** Convenience builders for DMLL IR.
+
+    The staged front-end ([Dmll_dsl]), the transformation rules, and the
+    test suite all construct IR through this module; it provides infix
+    operators and loop builders that insert the right generator shapes. *)
+
+open Exp
+
+(* -------------------- scalars -------------------- *)
+
+let ( +! ) a b = Prim (Prim.Add, [ a; b ])
+let ( -! ) a b = Prim (Prim.Sub, [ a; b ])
+let ( *! ) a b = Prim (Prim.Mul, [ a; b ])
+let ( /! ) a b = Prim (Prim.Div, [ a; b ])
+let ( %! ) a b = Prim (Prim.Mod, [ a; b ])
+let ( +. ) a b = Prim (Prim.Fadd, [ a; b ])
+let ( -. ) a b = Prim (Prim.Fsub, [ a; b ])
+let ( *. ) a b = Prim (Prim.Fmul, [ a; b ])
+let ( /. ) a b = Prim (Prim.Fdiv, [ a; b ])
+let ( =! ) a b = Prim (Prim.Eq, [ a; b ])
+let ( <>! ) a b = Prim (Prim.Ne, [ a; b ])
+let ( <! ) a b = Prim (Prim.Lt, [ a; b ])
+let ( <=! ) a b = Prim (Prim.Le, [ a; b ])
+let ( >! ) a b = Prim (Prim.Gt, [ a; b ])
+let ( >=! ) a b = Prim (Prim.Ge, [ a; b ])
+let ( &&! ) a b = Prim (Prim.And, [ a; b ])
+let ( ||! ) a b = Prim (Prim.Or, [ a; b ])
+let not_ a = Prim (Prim.Not, [ a ])
+let sqrt_ a = Prim (Prim.Sqrt, [ a ])
+let exp_ a = Prim (Prim.Exp, [ a ])
+let log_ a = Prim (Prim.Log, [ a ])
+let fabs_ a = Prim (Prim.Fabs, [ a ])
+let i2f a = Prim (Prim.I2f, [ a ])
+let f2i a = Prim (Prim.F2i, [ a ])
+let fmin_ a b = Prim (Prim.Fmin, [ a; b ])
+let fmax_ a b = Prim (Prim.Fmax, [ a; b ])
+let imin_ a b = Prim (Prim.Min, [ a; b ])
+let imax_ a b = Prim (Prim.Max, [ a; b ])
+
+let read a i = Read (a, i)
+let len a = Len a
+let field a n = Field (a, n)
+let if_ c t e = If (c, t, e)
+
+(* -------------------- loop builders -------------------- *)
+
+(** [collect ?cond ~size f] — a Collect multiloop; [f] receives the index
+    variable. *)
+let collect ?cond ~size f =
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let cond = Option.map (fun c -> c (Var idx)) cond in
+  loop1 ~size ~idx (Collect { cond; value = f (Var idx) })
+
+(** [reduce ?cond ~size ~ty ~init f r] — a Reduce multiloop over values of
+    type [ty]; [r] receives the two accumulator variables. *)
+let reduce ?cond ~size ~ty ~init f r =
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let a = Sym.fresh ~name:"a" ty and b = Sym.fresh ~name:"b" ty in
+  let cond = Option.map (fun c -> c (Var idx)) cond in
+  loop1 ~size ~idx
+    (Reduce { cond; value = f (Var idx); a; b; rfun = r (Var a) (Var b); init })
+
+(** Sum of floats produced by [f] over [0, size). *)
+let fsum ?cond ~size f =
+  reduce ?cond ~size ~ty:Types.Float ~init:(float_ 0.0) f (fun a b -> a +. b)
+
+(** Sum of ints produced by [f] over [0, size). *)
+let isum ?cond ~size f =
+  reduce ?cond ~size ~ty:Types.Int ~init:(int_ 0) f (fun a b -> a +! b)
+
+(** [bucket_collect ?cond ~size ~key f] — a groupBy-style multiloop. *)
+let bucket_collect ?cond ~size ~key f =
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let cond = Option.map (fun c -> c (Var idx)) cond in
+  loop1 ~size ~idx
+    (BucketCollect { cond; key = key (Var idx); value = f (Var idx) })
+
+(** [bucket_reduce ?cond ~size ~ty ~key ~init f r] — groupBy + on-the-fly
+    reduction in one traversal. *)
+let bucket_reduce ?cond ~size ~ty ~key ~init f r =
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let a = Sym.fresh ~name:"a" ty and b = Sym.fresh ~name:"b" ty in
+  let cond = Option.map (fun c -> c (Var idx)) cond in
+  loop1 ~size ~idx
+    (BucketReduce
+       { cond; key = key (Var idx); value = f (Var idx); a; b; rfun = r (Var a) (Var b); init })
+
+(* -------------------- derived collection ops -------------------- *)
+
+(** [map_arr arr f] — Collect over the length of [arr] applying [f] to each
+    element. *)
+let map_arr arr f = collect ~size:(len arr) (fun i -> f (read arr i))
+
+(** [zip_with a b f] — element-wise combination (requires equal lengths). *)
+let zip_with a b f = collect ~size:(len a) (fun i -> f (read a i) (read b i))
+
+(** [filter arr p] — Collect with a condition, the DMLL encoding of filter. *)
+let filter arr p =
+  collect ~cond:(fun i -> p (read arr i)) ~size:(len arr) (fun i -> read arr i)
+
+(** Vector (element-wise) float addition of two arrays — the reduction
+    function shape introduced by the Column-to-Row rule. *)
+let vec_fadd a b = zip_with a b ( +. )
+
+(** A float zero-vector of length [n]. *)
+let zero_vec n = collect ~size:n (fun _ -> float_ 0.0)
+
+(** Dot product of two float arrays. *)
+let dot a b = fsum ~size:(len a) (fun i -> read a i *. read b i)
+
+(** Index of the minimum float produced by [f] over [0, size) — the argmin
+    pattern used by k-means and kNN.  Encoded as a Reduce over (value,
+    index) pairs. *)
+let min_index ~size f =
+  let pair_ty = Types.Tup [ Types.Float; Types.Int ] in
+  let r =
+    reduce ~size ~ty:pair_ty
+      ~init:(Tuple [ float_ infinity; int_ (-1) ])
+      (fun i -> Tuple [ f i; i ])
+      (fun a b ->
+        if_ (Proj (a, 0) <=! Proj (b, 0)) a b)
+  in
+  bind ~name:"argmin" ~ty:pair_ty r (fun p -> Proj (p, 1))
+
+(** Range collect: the identity array [| 0; 1; ...; n-1 |]. *)
+let range n = collect ~size:n (fun i -> i)

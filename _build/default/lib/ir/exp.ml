@@ -1,0 +1,395 @@
+(** The DMLL expression language: multiloops over generator bundles.
+
+    A {e multiloop} ({!loop}) is a single-dimensional traversal of a
+    fixed-size integer range that may produce zero or more values per
+    iteration.  Each multiloop carries a list of {e generators} ({!gen}) —
+    [Collect], [Reduce], [BucketCollect], [BucketReduce] — which capture the
+    high-level structure of the loop body and accumulate its outputs
+    (paper §3.1, Figure 2).  A loop is built with a single generator; the
+    horizontal-fusion pass may later merge sibling loops into one multiloop
+    with several generators, whose result is then a tuple.
+
+    The component functions of a generator (condition [cond], key [key],
+    value [value], reduction [rfun]) are ordinary expressions over the
+    loop's bound index symbol (and, for [rfun], two accumulator symbols).
+    Keeping them separate — rather than composed into one opaque block — is
+    what allows the compiler to recompose them differently per hardware
+    target, e.g. two-pass allocation on GPUs versus append-to-buffer on
+    CPUs. *)
+
+type layout =
+  | Local  (** allocated entirely in one memory region *)
+  | Partitioned  (** spread across memory regions / cluster nodes *)
+
+type const =
+  | Cunit
+  | Cbool of bool
+  | Cint of int
+  | Cfloat of float
+  | Cstr of string
+
+type exp =
+  | Const of const
+  | Var of Sym.t
+  | Prim of Prim.t * exp list
+  | If of exp * exp * exp
+  | Let of Sym.t * exp * exp
+  | Tuple of exp list
+  | Proj of exp * int
+  | Record of Types.ty * (string * exp) list
+      (** struct construction; the type must be a [Types.Struct] *)
+  | Field of exp * string
+  | Len of exp  (** length of an [Arr], or bucket count of a [Map] *)
+  | Read of exp * exp
+      (** positional read: [Read (arr, i)] is the i-th element of an [Arr],
+          or the i-th bucket's value of a [Map] *)
+  | MapRead of exp * exp * exp option
+      (** keyed read of a [Map]; the optional expression is a default for
+          missing keys (used by the Conditional-Reduce rewrite) *)
+  | KeyAt of exp * exp  (** the i-th bucket's key of a [Map] *)
+  | Loop of loop
+  | Input of string * Types.ty * layout
+      (** a named data source (e.g. a file reader), annotated by the user
+          with its desired layout — the seed of the partitioning analysis *)
+  | Extern of extern
+
+and loop = { size : exp; idx : Sym.t; gens : gen list }
+
+and gen =
+  | Collect of { cond : exp option; value : exp }
+  | Reduce of reduce_gen
+  | BucketCollect of { cond : exp option; key : exp; value : exp }
+  | BucketReduce of bucket_reduce_gen
+
+and reduce_gen = {
+  cond : exp option;
+  value : exp;
+  a : Sym.t;  (** left accumulator symbol bound in [rfun] *)
+  b : Sym.t;  (** right accumulator symbol bound in [rfun] *)
+  rfun : exp;
+  init : exp;  (** identity of [rfun] *)
+}
+
+and bucket_reduce_gen = {
+  cond : exp option;
+  key : exp;
+  value : exp;
+  a : Sym.t;
+  b : Sym.t;
+  rfun : exp;
+  init : exp;
+}
+
+and extern = {
+  ename : string;
+  eargs : exp list;
+  ety : Types.ty;
+  whitelisted : bool;
+      (** whitelisted externs are known-safe on partitioned data, e.g.
+          reading a size field (paper §4.3) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let unit_ = Const Cunit
+let bool_ b = Const (Cbool b)
+let int_ i = Const (Cint i)
+let float_ f = Const (Cfloat f)
+let str_ s = Const (Cstr s)
+let var s = Var s
+
+let let_ sym bound body = Let (sym, bound, body)
+
+(** Bind [bound] to a fresh symbol and build the body from its variable. *)
+let bind ?(name = "t") ~ty bound k =
+  let s = Sym.fresh ~name ty in
+  Let (s, bound, k (Var s))
+
+let loop1 ~size ~idx gen = Loop { size; idx; gens = [ gen ] }
+
+(* ------------------------------------------------------------------ *)
+(* Generator accessors                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cond = function
+  | Collect { cond; _ } | BucketCollect { cond; _ } -> cond
+  | Reduce { cond; _ } -> cond
+  | BucketReduce { cond; _ } -> cond
+
+let gen_value = function
+  | Collect { value; _ } | BucketCollect { value; _ } -> value
+  | Reduce { value; _ } -> value
+  | BucketReduce { value; _ } -> value
+
+let gen_key = function
+  | BucketCollect { key; _ } -> Some key
+  | BucketReduce { key; _ } -> Some key
+  | Collect _ | Reduce _ -> None
+
+let gen_name = function
+  | Collect _ -> "Collect"
+  | Reduce _ -> "Reduce"
+  | BucketCollect _ -> "BucketCollect"
+  | BucketReduce _ -> "BucketReduce"
+
+(** Map [f] over the non-binding component expressions of a generator:
+    condition, key, value, init.  [rfun] is {e not} visited because its free
+    structure involves the accumulator binders; callers that must rewrite
+    [rfun] do so explicitly. *)
+let map_gen_parts f = function
+  | Collect { cond; value } -> Collect { cond = Option.map f cond; value = f value }
+  | Reduce r ->
+      Reduce { r with cond = Option.map f r.cond; value = f r.value; init = f r.init }
+  | BucketCollect { cond; key; value } ->
+      BucketCollect { cond = Option.map f cond; key = f key; value = f value }
+  | BucketReduce r ->
+      BucketReduce
+        { r with cond = Option.map f r.cond; key = f r.key; value = f r.value; init = f r.init }
+
+(* ------------------------------------------------------------------ *)
+(* Generic traversal                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Apply [f] to every immediate sub-expression (including those under
+    binders — [f] receives the body of a [Let], the generator parts of a
+    [Loop], and reduction functions).  Binding structure is preserved;
+    callers handling scoping must track binders themselves. *)
+let map_sub (f : exp -> exp) (e : exp) : exp =
+  match e with
+  | Const _ | Var _ | Input _ -> e
+  | Prim (p, args) -> Prim (p, List.map f args)
+  | If (c, t, e') -> If (f c, f t, f e')
+  | Let (s, a, b) -> Let (s, f a, f b)
+  | Tuple es -> Tuple (List.map f es)
+  | Proj (a, i) -> Proj (f a, i)
+  | Record (ty, fs) -> Record (ty, List.map (fun (n, v) -> (n, f v)) fs)
+  | Field (a, n) -> Field (f a, n)
+  | Len a -> Len (f a)
+  | Read (a, i) -> Read (f a, f i)
+  | MapRead (m, k, d) -> MapRead (f m, f k, Option.map f d)
+  | KeyAt (m, i) -> KeyAt (f m, f i)
+  | Loop { size; idx; gens } ->
+      let map_gen g =
+        let g = map_gen_parts f g in
+        match g with
+        | Reduce r -> Reduce { r with rfun = f r.rfun }
+        | BucketReduce r -> BucketReduce { r with rfun = f r.rfun }
+        | g -> g
+      in
+      Loop { size = f size; idx; gens = List.map map_gen gens }
+  | Extern ex -> Extern { ex with eargs = List.map f ex.eargs }
+
+(** Fold [f] over every immediate sub-expression. *)
+let fold_sub (f : 'a -> exp -> 'a) (acc : 'a) (e : exp) : 'a =
+  let r = ref acc in
+  let g e =
+    r := f !r e;
+    e
+  in
+  ignore (map_sub g e);
+  !r
+
+(** Fold [f] over every node of [e], top-down. *)
+let rec fold (f : 'a -> exp -> 'a) (acc : 'a) (e : exp) : 'a =
+  fold_sub (fold f) (f acc e) e
+
+(** [exists p e] — does any node of [e] satisfy [p]? *)
+let exists p e = fold (fun acc n -> acc || p n) false e
+
+(** Number of AST nodes; used as a termination measure in rewrite loops and
+    as a size proxy by the cost model. *)
+let node_count e = fold (fun n _ -> n + 1) 0 e
+
+(* ------------------------------------------------------------------ *)
+(* Free variables and substitution                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec free_vars (e : exp) : Sym.Set.t =
+  match e with
+  | Var s -> Sym.Set.singleton s
+  | Const _ | Input _ -> Sym.Set.empty
+  | Let (s, a, b) -> Sym.Set.union (free_vars a) (Sym.Set.remove s (free_vars b))
+  | Loop { size; idx; gens } ->
+      let gen_fv g =
+        let parts =
+          List.filter_map Fun.id
+            [ gen_cond g; Some (gen_value g); gen_key g ]
+        in
+        let fv =
+          List.fold_left
+            (fun acc p -> Sym.Set.union acc (free_vars p))
+            Sym.Set.empty parts
+        in
+        let fv = Sym.Set.remove idx fv in
+        match g with
+        | Reduce { a; b; rfun; init; _ } | BucketReduce { a; b; rfun; init; _ } ->
+            let rfv = Sym.Set.remove a (Sym.Set.remove b (free_vars rfun)) in
+            Sym.Set.union fv (Sym.Set.union rfv (free_vars init))
+        | _ -> fv
+      in
+      List.fold_left
+        (fun acc g -> Sym.Set.union acc (gen_fv g))
+        (free_vars size) gens
+  | _ -> fold_sub (fun acc sub -> Sym.Set.union acc (free_vars sub)) Sym.Set.empty e
+
+(** Does [s] occur free in [e]? *)
+let occurs s e = Sym.Set.mem s (free_vars e)
+
+(** Number of occurrences of [s] in [e].  Symbols are globally unique, so a
+    binder can never alias a distinct free symbol and no shadow-tracking is
+    needed. *)
+let rec count_occ s e =
+  match e with
+  | Var s' -> if Sym.equal s s' then 1 else 0
+  | _ -> fold_sub (fun acc sub -> acc + count_occ s sub) 0 e
+
+(** Capture-avoiding simultaneous substitution.  Because symbols are
+    globally unique, capture can only arise when a caller duplicates a term
+    containing binders; use {!refresh_binders} on the copy first. *)
+let rec subst (m : exp Sym.Map.t) (e : exp) : exp =
+  if Sym.Map.is_empty m then e
+  else
+    match e with
+    | Var s -> ( match Sym.Map.find_opt s m with Some e' -> e' | None -> e)
+    | Let (s, a, b) -> Let (s, subst m a, subst (Sym.Map.remove s m) b)
+    | Loop { size; idx; gens } ->
+        let m' = Sym.Map.remove idx m in
+        let sub_gen g =
+          let g = map_gen_parts (subst m') g in
+          match g with
+          | Reduce r ->
+              Reduce { r with rfun = subst (Sym.Map.remove r.a (Sym.Map.remove r.b m')) r.rfun }
+          | BucketReduce r ->
+              BucketReduce
+                { r with rfun = subst (Sym.Map.remove r.a (Sym.Map.remove r.b m')) r.rfun }
+          | g -> g
+        in
+        Loop { size = subst m size; idx; gens = List.map sub_gen gens }
+    | _ -> map_sub (subst m) e
+
+let subst1 s replacement e = subst (Sym.Map.singleton s replacement) e
+
+(** Freshen every binder in [e]; use before splicing a copy of [e] into
+    multiple program points so the global-uniqueness invariant holds. *)
+let rec refresh_binders (e : exp) : exp =
+  match e with
+  | Let (s, a, b) ->
+      let s' = Sym.refresh s in
+      Let (s', refresh_binders a, refresh_binders (subst1 s (Var s') b))
+  | Loop { size; idx; gens } ->
+      let idx' = Sym.refresh idx in
+      let refresh_gen g =
+        let g = map_gen_parts (fun p -> refresh_binders (subst1 idx (Var idx') p)) g in
+        match g with
+        | Reduce r ->
+            let a' = Sym.refresh r.a and b' = Sym.refresh r.b in
+            let rfun =
+              refresh_binders
+                (subst (Sym.Map.of_seq (List.to_seq [ (r.a, Var a'); (r.b, Var b') ])) r.rfun)
+            in
+            Reduce { r with a = a'; b = b'; rfun }
+        | BucketReduce r ->
+            let a' = Sym.refresh r.a and b' = Sym.refresh r.b in
+            let rfun =
+              refresh_binders
+                (subst (Sym.Map.of_seq (List.to_seq [ (r.a, Var a'); (r.b, Var b') ])) r.rfun)
+            in
+            BucketReduce { r with a = a'; b = b'; rfun }
+        | g -> g
+      in
+      Loop { size = refresh_binders size; idx = idx'; gens = List.map refresh_gen gens }
+  | _ -> map_sub refresh_binders e
+
+(* ------------------------------------------------------------------ *)
+(* Alpha-equality                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let const_equal a b =
+  match (a, b) with
+  | Cunit, Cunit -> true
+  | Cbool x, Cbool y -> Bool.equal x y
+  | Cint x, Cint y -> Int.equal x y
+  | Cfloat x, Cfloat y -> Float.equal x y
+  | Cstr x, Cstr y -> String.equal x y
+  | _ -> false
+
+(** Structural equality modulo alpha-renaming of binders. *)
+let alpha_equal (e1 : exp) (e2 : exp) : bool =
+  let rec go env e1 e2 =
+    match (e1, e2) with
+    | Const a, Const b -> const_equal a b
+    | Var a, Var b -> (
+        match Sym.Map.find_opt a env with
+        | Some b' -> Sym.equal b b'
+        | None -> Sym.equal a b)
+    | Prim (p, xs), Prim (q, ys) ->
+        p = q && List.length xs = List.length ys && List.for_all2 (go env) xs ys
+    | If (a, b, c), If (x, y, z) -> go env a x && go env b y && go env c z
+    | Let (s1, a1, b1), Let (s2, a2, b2) ->
+        Types.equal (Sym.ty s1) (Sym.ty s2)
+        && go env a1 a2
+        && go (Sym.Map.add s1 s2 env) b1 b2
+    | Tuple xs, Tuple ys ->
+        List.length xs = List.length ys && List.for_all2 (go env) xs ys
+    | Proj (a, i), Proj (b, j) -> i = j && go env a b
+    | Record (t1, f1), Record (t2, f2) ->
+        Types.equal t1 t2
+        && List.length f1 = List.length f2
+        && List.for_all2 (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && go env v1 v2) f1 f2
+    | Field (a, n), Field (b, m) -> String.equal n m && go env a b
+    | Len a, Len b -> go env a b
+    | Read (a, i), Read (b, j) -> go env a b && go env i j
+    | MapRead (a, k1, d1), MapRead (b, k2, d2) ->
+        go env a b && go env k1 k2
+        && (match (d1, d2) with
+           | None, None -> true
+           | Some x, Some y -> go env x y
+           | _ -> false)
+    | KeyAt (a, i), KeyAt (b, j) -> go env a b && go env i j
+    | Input (n1, t1, l1), Input (n2, t2, l2) ->
+        String.equal n1 n2 && Types.equal t1 t2 && l1 = l2
+    | Extern x, Extern y ->
+        String.equal x.ename y.ename
+        && Types.equal x.ety y.ety
+        && List.length x.eargs = List.length y.eargs
+        && List.for_all2 (go env) x.eargs y.eargs
+    | Loop l1, Loop l2 ->
+        go env l1.size l2.size
+        && List.length l1.gens = List.length l2.gens
+        && (let env' = Sym.Map.add l1.idx l2.idx env in
+            List.for_all2 (go_gen env') l1.gens l2.gens)
+    | _ -> false
+  and go_gen env g1 g2 =
+    let opt env a b =
+      match (a, b) with
+      | None, None -> true
+      | Some x, Some y -> go env x y
+      | _ -> false
+    in
+    match (g1, g2) with
+    | Collect c1, Collect c2 -> opt env c1.cond c2.cond && go env c1.value c2.value
+    | BucketCollect c1, BucketCollect c2 ->
+        opt env c1.cond c2.cond && go env c1.key c2.key && go env c1.value c2.value
+    | Reduce r1, Reduce r2 ->
+        opt env r1.cond r2.cond && go env r1.value r2.value && go env r1.init r2.init
+        && go (Sym.Map.add r1.a r2.a (Sym.Map.add r1.b r2.b env)) r1.rfun r2.rfun
+    | BucketReduce r1, BucketReduce r2 ->
+        opt env r1.cond r2.cond && go env r1.key r2.key && go env r1.value r2.value
+        && go env r1.init r2.init
+        && go (Sym.Map.add r1.a r2.a (Sym.Map.add r1.b r2.b env)) r1.rfun r2.rfun
+    | _ -> false
+  in
+  go Sym.Map.empty e1 e2
+
+(* ------------------------------------------------------------------ *)
+(* Loop census                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** All loops appearing anywhere in [e], outermost first. *)
+let loops_of e =
+  List.rev (fold (fun acc n -> match n with Loop l -> l :: acc | _ -> acc) [] e)
+
+(** Is [e] free of multiloops (i.e. straight-line scalar code)? *)
+let loop_free e = not (exists (function Loop _ -> true | _ -> false) e)

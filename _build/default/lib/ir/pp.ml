@@ -1,0 +1,71 @@
+(** Pretty-printing of DMLL IR in the paper's surface notation.
+
+    Loops print as [Collect_s(c)(f)], [Reduce_s(c)(f)(r)], etc., matching
+    Figure 2 of the paper, which makes transformation traces in [dmllc]
+    directly comparable to the rules in Figure 3. *)
+
+open Exp
+
+let pp_const fmt = function
+  | Cunit -> Fmt.string fmt "()"
+  | Cbool b -> Fmt.bool fmt b
+  | Cint i -> Fmt.int fmt i
+  | Cfloat f -> Fmt.pf fmt "%g" f
+  | Cstr s -> Fmt.pf fmt "%S" s
+
+let pp_layout fmt = function
+  | Local -> Fmt.string fmt "Local"
+  | Partitioned -> Fmt.string fmt "Partitioned"
+
+let rec pp fmt (e : exp) =
+  match e with
+  | Const c -> pp_const fmt c
+  | Var s -> Sym.pp fmt s
+  | Prim (p, [ a ]) -> Fmt.pf fmt "%s(%a)" (Prim.name p) pp a
+  | Prim (p, [ a; b ]) -> Fmt.pf fmt "(%a %s %a)" pp a (Prim.name p) pp b
+  | Prim (p, args) ->
+      Fmt.pf fmt "%s(%a)" (Prim.name p) Fmt.(list ~sep:(any ", ") pp) args
+  | If (c, t, e') -> Fmt.pf fmt "@[<hv>if %a@ then %a@ else %a@]" pp c pp t pp e'
+  | Let (s, a, b) ->
+      Fmt.pf fmt "@[<v>val %a: %a = %a@,%a@]" Sym.pp s Types.pp (Sym.ty s) pp a pp b
+  | Tuple es -> Fmt.pf fmt "(%a)" Fmt.(list ~sep:(any ", ") pp) es
+  | Proj (a, i) -> Fmt.pf fmt "%a._%d" pp a i
+  | Record (ty, fs) ->
+      Fmt.pf fmt "%a{%a}" Types.pp ty
+        Fmt.(list ~sep:(any ", ") (fun fmt (n, v) -> Fmt.pf fmt "%s=%a" n pp v))
+        fs
+  | Field (a, n) -> Fmt.pf fmt "%a.%s" pp a n
+  | Len a -> Fmt.pf fmt "len(%a)" pp a
+  | Read (a, i) -> Fmt.pf fmt "%a(%a)" pp a pp i
+  | MapRead (m, k, None) -> Fmt.pf fmt "%a[%a]" pp m pp k
+  | MapRead (m, k, Some d) -> Fmt.pf fmt "%a[%a ?: %a]" pp m pp k pp d
+  | KeyAt (m, i) -> Fmt.pf fmt "%a.keyAt(%a)" pp m pp i
+  | Input (n, ty, l) -> Fmt.pf fmt "input(%s: %a, %a)" n Types.pp ty pp_layout l
+  | Extern { ename; eargs; _ } ->
+      Fmt.pf fmt "extern %s(%a)" ename Fmt.(list ~sep:(any ", ") pp) eargs
+  | Loop { size; idx; gens = [ g ] } -> pp_gen fmt ~size ~idx g
+  | Loop { size; idx; gens } ->
+      Fmt.pf fmt "@[<v 2>multiloop(%a) {%a =>@,%a@]@,}" pp size Sym.pp idx
+        Fmt.(list ~sep:cut (fun fmt g -> pp_gen fmt ~size:unit_ ~idx g))
+        gens
+
+and pp_gen fmt ~size ~idx (g : gen) =
+  let pp_cond fmt = function None -> Fmt.string fmt "_" | Some c -> pp fmt c in
+  let pp_size fmt s = match s with Const Cunit -> () | s -> Fmt.pf fmt "(%a)" pp s in
+  match g with
+  | Collect { cond; value } ->
+      Fmt.pf fmt "@[<hv 2>Collect%a(%a)(%a =>@ %a)@]" pp_size size pp_cond cond Sym.pp
+        idx pp value
+  | Reduce { cond; value; a; b; rfun; init } ->
+      Fmt.pf fmt "@[<hv 2>Reduce%a(%a)(%a =>@ %a)(init=%a)((%a,%a) =>@ %a)@]" pp_size
+        size pp_cond cond Sym.pp idx pp value pp init Sym.pp a Sym.pp b pp rfun
+  | BucketCollect { cond; key; value } ->
+      Fmt.pf fmt "@[<hv 2>BucketCollect%a(%a)(%a =>@ key=%a,@ %a)@]" pp_size size
+        pp_cond cond Sym.pp idx pp key pp value
+  | BucketReduce { cond; key; value; a; b; rfun; init } ->
+      Fmt.pf fmt
+        "@[<hv 2>BucketReduce%a(%a)(%a =>@ key=%a,@ %a)(init=%a)((%a,%a) =>@ %a)@]"
+        pp_size size pp_cond cond Sym.pp idx pp key pp value pp init Sym.pp a Sym.pp b
+        pp rfun
+
+let to_string e = Fmt.str "@[<v>%a@]" pp e

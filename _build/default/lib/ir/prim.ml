@@ -1,0 +1,89 @@
+(** Primitive scalar operations.
+
+    Arithmetic is monomorphic (separate [Add]/[Fadd], in the style of most
+    compiler IRs) so the type checker, cost analysis, and backends never
+    need to re-infer operand types.  Comparisons are polymorphic over the
+    scalar types and always return [Bool]. *)
+
+type t =
+  (* integer *)
+  | Add | Sub | Mul | Div | Mod | Neg
+  | Min | Max
+  (* float *)
+  | Fadd | Fsub | Fmul | Fdiv | Fneg
+  | Fmin | Fmax
+  | Sqrt | Exp | Log | Fabs | Pow
+  (* conversions *)
+  | I2f | F2i
+  (* comparisons (polymorphic over Int/Float/Bool/Str operands) *)
+  | Eq | Ne | Lt | Le | Gt | Ge
+  (* boolean *)
+  | And | Or | Not
+  (* string *)
+  | Strcat | Strlen | Strget  (** [Strget s i] = code of char [i] as Int *)
+
+let arity = function
+  | Neg | Fneg | Sqrt | Exp | Log | Fabs | I2f | F2i | Not | Strlen -> 1
+  | Add | Sub | Mul | Div | Mod | Min | Max
+  | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax | Pow
+  | Eq | Ne | Lt | Le | Gt | Ge | And | Or | Strcat | Strget ->
+      2
+
+let name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Neg -> "neg" | Min -> "min" | Max -> "max"
+  | Fadd -> "+." | Fsub -> "-." | Fmul -> "*." | Fdiv -> "/."
+  | Fneg -> "fneg" | Fmin -> "fmin" | Fmax -> "fmax"
+  | Sqrt -> "sqrt" | Exp -> "exp" | Log -> "log" | Fabs -> "fabs" | Pow -> "pow"
+  | I2f -> "i2f" | F2i -> "f2i"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||" | Not -> "!"
+  | Strcat -> "strcat" | Strlen -> "strlen" | Strget -> "strget"
+
+let pp fmt p = Fmt.string fmt (name p)
+
+(** Result type given operand types; [Error] carries a human-readable
+    complaint used by the type checker. *)
+let result_ty (p : t) (args : Types.ty list) : (Types.ty, string) result =
+  let open Types in
+  let err () =
+    Error
+      (Fmt.str "prim %s does not apply to (%a)" (name p)
+         Fmt.(list ~sep:(any ", ") Types.pp)
+         args)
+  in
+  match (p, args) with
+  | (Add | Sub | Mul | Div | Mod | Min | Max), [ Int; Int ] -> Ok Int
+  | Neg, [ Int ] -> Ok Int
+  | (Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax | Pow), [ Float; Float ] -> Ok Float
+  | (Fneg | Sqrt | Exp | Log | Fabs), [ Float ] -> Ok Float
+  | I2f, [ Int ] -> Ok Float
+  | F2i, [ Float ] -> Ok Int
+  | (Eq | Ne | Lt | Le | Gt | Ge), [ a; b ]
+    when Types.equal a b && (match a with Int | Float | Bool | Str -> true | _ -> false) ->
+      Ok Bool
+  | (And | Or), [ Bool; Bool ] -> Ok Bool
+  | Not, [ Bool ] -> Ok Bool
+  | Strcat, [ Str; Str ] -> Ok Str
+  | Strlen, [ Str ] -> Ok Int
+  | Strget, [ Str; Int ] -> Ok Int
+  | _ -> err ()
+
+(** Floating-point operation count contributed by one evaluation, for the
+    machine cost models.  Transcendentals are weighted by their typical
+    latency relative to an FMA. *)
+let flops = function
+  | Fadd | Fsub | Fmul | Fneg | Fmin | Fmax | Fabs -> 1.0
+  | Fdiv | Sqrt -> 8.0
+  | Exp | Log | Pow -> 20.0
+  | I2f | F2i -> 1.0
+  | Add | Sub | Mul | Min | Max | Neg -> 0.5
+  | Div | Mod -> 8.0
+  | Eq | Ne | Lt | Le | Gt | Ge | And | Or | Not -> 0.5
+  | Strcat -> 16.0
+  | Strlen -> 0.5
+  | Strget -> 1.0
+
+(** Is [p] pure?  All current prims are pure; kept as a function so adding
+    effectful prims later forces a review of every caller. *)
+let pure (_ : t) = true

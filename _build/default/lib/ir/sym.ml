@@ -1,0 +1,41 @@
+(** Symbols: typed binders with globally unique identities.
+
+    Fresh symbols are drawn from an atomic counter so passes running on
+    different domains (the parallel runtime compiles per-chunk closures)
+    can never collide. *)
+
+type t = { id : int; name : string; ty : Types.ty }
+
+let counter = Atomic.make 0
+
+let fresh ?(name = "x") ty =
+  let id = Atomic.fetch_and_add counter 1 in
+  { id; name; ty }
+
+(** A renamed copy of [s] with a fresh identity (alpha-renaming). *)
+let refresh s = fresh ~name:s.name s.ty
+
+let equal a b = Int.equal a.id b.id
+let compare a b = Int.compare a.id b.id
+let hash s = s.id
+let ty s = s.ty
+let name s = s.name
+let id s = s.id
+
+let pp fmt s = Fmt.pf fmt "%s%d" s.name s.id
+let to_string s = Fmt.str "%a" pp s
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

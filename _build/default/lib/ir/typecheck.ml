@@ -1,0 +1,179 @@
+(** Type checking for DMLL IR.
+
+    Every compiler pass is expected to preserve well-typedness; the test
+    suite re-checks programs after each pass.  Errors carry the offending
+    sub-expression to make transformation bugs easy to localize. *)
+
+open Exp
+
+type error = { message : string; context : exp }
+
+exception Type_error of error
+
+let error context fmt =
+  Fmt.kstr (fun message -> raise (Type_error { message; context })) fmt
+
+let pp_error fmt { message; context } =
+  Fmt.pf fmt "@[<v>type error: %s@,in: %a@]" message Pp.pp context
+
+let const_ty : const -> Types.ty = function
+  | Cunit -> Types.Unit
+  | Cbool _ -> Types.Bool
+  | Cint _ -> Types.Int
+  | Cfloat _ -> Types.Float
+  | Cstr _ -> Types.Str
+
+(** Result type of one generator given the loop context. *)
+let rec gen_result_ty env (g : gen) : Types.ty =
+  match g with
+  | Collect { value; _ } -> Types.Arr (infer env value)
+  | Reduce { value; _ } -> infer env value
+  | BucketCollect { key; value; _ } ->
+      Types.Map (infer env key, Types.Arr (infer env value))
+  | BucketReduce { key; value; _ } -> Types.Map (infer env key, infer env value)
+
+and infer (env : Types.ty Sym.Map.t) (e : exp) : Types.ty =
+  match e with
+  | Const c -> const_ty c
+  | Var s -> (
+      match Sym.Map.find_opt s env with
+      | Some t ->
+          if not (Types.equal t (Sym.ty s)) then
+            error e "symbol %a bound at %a but annotated %a" Sym.pp s Types.pp t
+              Types.pp (Sym.ty s);
+          t
+      | None -> error e "unbound symbol %a" Sym.pp s)
+  | Prim (p, args) -> (
+      if List.length args <> Prim.arity p then
+        error e "prim %s expects %d arguments" (Prim.name p) (Prim.arity p);
+      let tys = List.map (infer env) args in
+      match Prim.result_ty p tys with Ok t -> t | Error msg -> error e "%s" msg)
+  | If (c, t, f) ->
+      let tc = infer env c in
+      if not (Types.equal tc Types.Bool) then
+        error e "if condition has type %a, expected Bool" Types.pp tc;
+      let tt = infer env t and tf = infer env f in
+      if not (Types.equal tt tf) then
+        error e "if branches disagree: %a vs %a" Types.pp tt Types.pp tf;
+      tt
+  | Let (s, a, b) ->
+      let ta = infer env a in
+      if not (Types.equal ta (Sym.ty s)) then
+        error e "let binds %a : %a to expression of type %a" Sym.pp s Types.pp
+          (Sym.ty s) Types.pp ta;
+      infer (Sym.Map.add s ta env) b
+  | Tuple es -> Types.Tup (List.map (infer env) es)
+  | Proj (a, i) -> (
+      match infer env a with
+      | Types.Tup ts when i >= 0 && i < List.length ts -> List.nth ts i
+      | t -> error e "projection ._%d from non-tuple %a" i Types.pp t)
+  | Record (ty, fs) -> (
+      match ty with
+      | Types.Struct (_, decl) ->
+          if List.length decl <> List.length fs then
+            error e "struct literal field count mismatch";
+          List.iter2
+            (fun (dn, dt) (n, v) ->
+              if not (String.equal dn n) then
+                error e "struct field %s given out of order (expected %s)" n dn;
+              let tv = infer env v in
+              if not (Types.equal tv dt) then
+                error e "field %s has type %a, expected %a" n Types.pp tv Types.pp dt)
+            decl fs;
+          ty
+      | t -> error e "Record with non-struct type %a" Types.pp t)
+  | Field (a, n) -> (
+      match infer env a with
+      | Types.Struct (_, _) as t -> Types.field_ty t n
+      | t -> error e "field .%s of non-struct %a" n Types.pp t)
+  | Len a -> (
+      match infer env a with
+      | Types.Arr _ | Types.Map _ -> Types.Int
+      | t -> error e "len of non-collection %a" Types.pp t)
+  | Read (a, i) -> (
+      let ti = infer env i in
+      if not (Types.equal ti Types.Int) then
+        error e "read index has type %a, expected Int" Types.pp ti;
+      match infer env a with
+      | Types.Arr t -> t
+      | Types.Map (_, v) -> v
+      | t -> error e "positional read of non-collection %a" Types.pp t)
+  | MapRead (m, k, d) -> (
+      match infer env m with
+      | Types.Map (kt, vt) ->
+          let tk = infer env k in
+          if not (Types.equal tk kt) then
+            error e "map key has type %a, expected %a" Types.pp tk Types.pp kt;
+          (match d with
+          | None -> ()
+          | Some d ->
+              let td = infer env d in
+              if not (Types.equal td vt) then
+                error e "map default has type %a, expected %a" Types.pp td Types.pp vt);
+          vt
+      | t -> error e "keyed read of non-map %a" Types.pp t)
+  | KeyAt (m, i) -> (
+      let ti = infer env i in
+      if not (Types.equal ti Types.Int) then
+        error e "keyAt index has type %a, expected Int" Types.pp ti;
+      match infer env m with
+      | Types.Map (kt, _) -> kt
+      | t -> error e "keyAt of non-map %a" Types.pp t)
+  | Input (_, ty, _) -> ty
+  | Extern { eargs; ety; _ } ->
+      List.iter (fun a -> ignore (infer env a)) eargs;
+      ety
+  | Loop { size; idx; gens } ->
+      let ts = infer env size in
+      if not (Types.equal ts Types.Int) then
+        error e "loop size has type %a, expected Int" Types.pp ts;
+      if not (Types.equal (Sym.ty idx) Types.Int) then
+        error e "loop index %a must be Int" Sym.pp idx;
+      if gens = [] then error e "multiloop with no generators";
+      let env' = Sym.Map.add idx Types.Int env in
+      let check_gen g =
+        (match gen_cond g with
+        | None -> ()
+        | Some c ->
+            let tc = infer env' c in
+            if not (Types.equal tc Types.Bool) then
+              error e "generator condition has type %a, expected Bool" Types.pp tc);
+        (match gen_key g with
+        | None -> ()
+        | Some k ->
+            let tk = infer env' k in
+            if not (Types.is_key_ty tk) then
+              error e "bucket key type %a is not a valid key type" Types.pp tk);
+        (match g with
+        | Reduce { value; a; b; rfun; init; _ }
+        | BucketReduce { value; a; b; rfun; init; _ } ->
+            let tv = infer env' value in
+            if not (Types.equal (Sym.ty a) tv && Types.equal (Sym.ty b) tv) then
+              error e "reduce accumulators must have the value type %a" Types.pp tv;
+            let env'' = Sym.Map.add a tv (Sym.Map.add b tv env') in
+            let tr = infer env'' rfun in
+            if not (Types.equal tr tv) then
+              error e "reduction function has type %a, expected %a" Types.pp tr
+                Types.pp tv;
+            (* The identity element is evaluated outside the loop body. *)
+            let ti = infer env init in
+            if not (Types.equal ti tv) then
+              error e "reduce init has type %a, expected %a" Types.pp ti Types.pp tv
+        | Collect { value; _ } | BucketCollect { value; _ } ->
+            ignore (infer env' value));
+        gen_result_ty env' g
+      in
+      let tys = List.map check_gen gens in
+      (match tys with [ t ] -> t | ts -> Types.Tup ts)
+
+(** Infer the type of a closed program (free symbols are an error). *)
+let infer_closed e = infer Sym.Map.empty e
+
+let check_closed e =
+  match infer_closed e with
+  | t -> Ok t
+  | exception Type_error err -> Error err
+
+(** The type of [e], raising {!Type_error} on ill-typed programs.  Alias of
+    {!infer_closed} under a name that reads well at call sites. *)
+let ty_of e = infer_closed e

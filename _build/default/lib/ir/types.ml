@@ -1,0 +1,91 @@
+(** DMLL types.
+
+    DMLL is a small first-order language: scalars, fixed layouts of scalars
+    (tuples and named structs), growable collections ([Arr]) and the result
+    type of bucket generators ([Map]).  Functions are not first-class — the
+    component functions of a multiloop generator (condition, key, value,
+    reduction) are expressions over distinguished bound symbols, which is
+    what lets the compiler recompose them per hardware target (paper §3.1). *)
+
+type ty =
+  | Unit
+  | Bool
+  | Int
+  | Float
+  | Str
+  | Arr of ty  (** growable ordered collection *)
+  | Tup of ty list
+  | Struct of string * (string * ty) list
+      (** nominal record; the field list is carried for structural passes
+          (AoS→SoA, dead-field elimination) *)
+  | Map of ty * ty
+      (** finite map from keys to values: the result of a bucket generator.
+          Supports keyed lookup and positional iteration over buckets. *)
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit | Bool, Bool | Int, Int | Float, Float | Str, Str -> true
+  | Arr a, Arr b -> equal a b
+  | Tup a, Tup b -> List.length a = List.length b && List.for_all2 equal a b
+  | Struct (n1, f1), Struct (n2, f2) ->
+      String.equal n1 n2
+      && List.length f1 = List.length f2
+      && List.for_all2
+           (fun (fa, ta) (fb, tb) -> String.equal fa fb && equal ta tb)
+           f1 f2
+  | Map (k1, v1), Map (k2, v2) -> equal k1 k2 && equal v1 v2
+  | _ -> false
+
+let rec pp fmt = function
+  | Unit -> Fmt.string fmt "Unit"
+  | Bool -> Fmt.string fmt "Bool"
+  | Int -> Fmt.string fmt "Int"
+  | Float -> Fmt.string fmt "Float"
+  | Str -> Fmt.string fmt "Str"
+  | Arr t -> Fmt.pf fmt "Arr[%a]" pp t
+  | Tup ts -> Fmt.pf fmt "(%a)" Fmt.(list ~sep:(any ", ") pp) ts
+  | Struct (n, _) -> Fmt.pf fmt "%s" n
+  | Map (k, v) -> Fmt.pf fmt "Map[%a,%a]" pp k pp v
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Is this a scalar (fixed-size, unboxed-representable) type?  Scalar-ness
+    drives the GPU backend: only scalar reduction temporaries fit in shared
+    memory (paper §6, Figure 6 discussion). *)
+let is_scalar = function
+  | Unit | Bool | Int | Float -> true
+  | Str | Arr _ | Tup _ | Struct _ | Map _ -> false
+
+(** Whether values of this type can serve as bucket keys. *)
+let is_key_ty = function
+  | Bool | Int | Str -> true
+  | Tup ts -> List.for_all (fun t -> match t with Bool | Int | Str -> true | _ -> false) ts
+  | _ -> false
+
+(** Approximate size in bytes of one value of this type, used by the machine
+    cost models to convert element counts into memory traffic.  Collections
+    count as a pointer here; traffic through their *contents* is accounted
+    separately by the stencil-driven cost analysis. *)
+let rec byte_size = function
+  | Unit | Bool -> 1
+  | Int -> 8
+  | Float -> 8
+  | Str -> 16 (* short-string assumption for key columns *)
+  | Arr _ | Map _ -> 8
+  | Tup ts -> List.fold_left (fun acc t -> acc + byte_size t) 0 ts
+  | Struct (_, fs) -> List.fold_left (fun acc (_, t) -> acc + byte_size t) 0 fs
+
+(** Element type of a collection-like type. *)
+let elem_ty = function
+  | Arr t -> t
+  | Map (_, v) -> v
+  | t -> invalid_arg (Fmt.str "Types.elem_ty: %a is not a collection" pp t)
+
+let struct_fields = function
+  | Struct (_, fs) -> fs
+  | t -> invalid_arg (Fmt.str "Types.struct_fields: %a is not a struct" pp t)
+
+let field_ty ty name =
+  match List.assoc_opt name (struct_fields ty) with
+  | Some t -> t
+  | None -> invalid_arg (Fmt.str "Types.field_ty: no field %s in %a" name pp ty)

@@ -1,0 +1,1 @@
+lib/opt/cse.ml: Dmll_ir Exp List Rewrite Sym Typecheck Types

@@ -1,0 +1,1 @@
+lib/opt/fusion.ml: Array Dmll_ir Exp Fun List Prim Rewrite Sym Typecheck Types

@@ -1,0 +1,1 @@
+lib/opt/motion.ml: Cse Dmll_ir Exp Fun List Rewrite Sym Typecheck Types

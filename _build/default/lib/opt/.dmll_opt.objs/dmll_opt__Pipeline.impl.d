@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Cse Dmll_ir Exp Fusion List Motion Rewrite Simplify Soa Typecheck

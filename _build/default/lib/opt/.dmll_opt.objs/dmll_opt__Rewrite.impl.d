@@ -1,0 +1,1 @@
+lib/opt/rewrite.ml: Dmll_ir Exp List Prim Sym

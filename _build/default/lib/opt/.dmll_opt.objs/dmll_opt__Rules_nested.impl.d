@@ -1,0 +1,1 @@
+lib/opt/rules_nested.ml: Dmll_ir Exp Fun Fusion List Option Prim Rewrite Sym Typecheck Types

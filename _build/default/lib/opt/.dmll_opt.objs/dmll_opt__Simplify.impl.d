@@ -1,0 +1,1 @@
+lib/opt/simplify.ml: Dmll_ir Exp Fun List Prim Rewrite Stdlib String

@@ -1,0 +1,1 @@
+lib/opt/soa.ml: Dmll_ir Exp Hashtbl List Option Rewrite String Sym Types

@@ -1,0 +1,104 @@
+(** Common subexpression elimination.
+
+    Two cooperating mechanisms, mirroring Delite's sea-of-nodes sharing in
+    our tree IR (paper §5 lists CSE among the reused optimizations):
+
+    - {e let-reuse}: inside [Let (s, e, body)], occurrences in [body] that
+      are alpha-equal to [e] are replaced by [Var s].  This never adds an
+      evaluation, so it is unconditionally safe.
+
+    - {e let-introduction}: a pure, total subexpression occurring at least
+      twice in the same once-evaluated scope is hoisted into a fresh [Let].
+      Restricted to total expressions so no failure can be introduced. *)
+
+open Dmll_ir
+open Exp
+
+(* Replace every subexpression of [body] alpha-equal to [bound] by [Var s].
+   Stop descending once a replacement happens (inner copies are covered by
+   the outer replacement). *)
+let rec replace_equal (s : Sym.t) (bound : exp) (body : exp) : exp =
+  if alpha_equal body bound then Var s
+  else map_sub (replace_equal s bound) body
+
+let worth_sharing e =
+  (* sharing pays once the expression does real work; variables, constants
+     and single reads are cheaper re-evaluated than spilled *)
+  node_count e > 3 && Rewrite.pure e
+
+let let_reuse : Rewrite.rule =
+  { rname = "cse-let-reuse";
+    apply =
+      (function
+      | Let (s, bound, body) when worth_sharing bound ->
+          let body' = replace_equal s bound body in
+          if body' == body || alpha_equal body body' then None
+          else Some (Let (s, bound, body'))
+      | _ -> None);
+  }
+
+(* Collect candidate subexpressions of [e] that are (a) total, (b) big
+   enough to share, and (c) closed with respect to [e]'s own binders — so
+   they can be hoisted above [e] without capture. *)
+let hoistable_candidates (e : exp) : exp list =
+  let binders = Rewrite.bound_syms e in
+  let ok c =
+    Rewrite.total c
+    && node_count c > 3
+    && Sym.Set.is_empty (Sym.Set.inter (free_vars c) binders)
+  in
+  (* count alpha-equivalence classes *)
+  let classes : (exp * int ref) list ref = ref [] in
+  let note c =
+    match List.find_opt (fun (r, _) -> alpha_equal r c) !classes with
+    | Some (_, n) -> incr n
+    | None -> classes := (c, ref 1) :: !classes
+  in
+  let rec go sub =
+    if ok sub then note sub;
+    (* do not descend into a noted candidate: inner copies are subsumed *)
+    ignore (map_sub (fun s -> go s; s) sub)
+  in
+  ignore (map_sub (fun s -> go s; s) e);
+  List.filter_map (fun (c, n) -> if !n >= 2 then Some c else None) !classes
+
+let introduce : Rewrite.rule =
+  { rname = "cse-introduce";
+    apply =
+      (fun e ->
+        match e with
+        (* introduce shared lets at existing let-spines only, to keep the
+           rewrite confluent and avoid re-walking every node *)
+        | Let (_, _, _) | Loop _ -> (
+            match hoistable_candidates e with
+            | [] -> None
+            | c :: _ ->
+                let ty =
+                  match Typecheck.check_closed c with
+                  | Ok t -> Some t
+                  | Error _ -> None
+                  (* candidates may have free program variables; fall back
+                     to inference with their declared types *)
+                in
+                let ty =
+                  match ty with
+                  | Some t -> t
+                  | None -> (
+                      try
+                        Typecheck.infer
+                          (Sym.Set.fold
+                             (fun s acc -> Sym.Map.add s (Sym.ty s) acc)
+                             (free_vars c) Sym.Map.empty)
+                          c
+                      with Typecheck.Type_error _ -> Types.Unit)
+                in
+                if Types.equal ty Types.Unit then None
+                else
+                  let s = Sym.fresh ~name:"cse" ty in
+                  Some (Let (s, c, replace_equal s c e)))
+        | _ -> None);
+  }
+
+let rules = [ let_reuse; introduce ]
+
+let run ?(trace = Rewrite.new_trace ()) e = Rewrite.fixpoint rules trace e

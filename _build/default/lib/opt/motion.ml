@@ -1,0 +1,133 @@
+(** Loop-invariant code motion.
+
+    Hoists total (pure, non-failing) subexpressions that do not depend on a
+    loop's index or reduction accumulators out of the loop's per-iteration
+    code into a [Let] binding above the loop.  Together with {!Cse} this
+    reproduces Delite's code-motion optimization reused by DMLL (paper §5).
+
+    Expressions hoisted from {e guarded} positions (generator conditions,
+    reduction functions, conditional generators' values) must be total
+    (pure and non-failing), because the hoisted copy may run when the
+    original would not have.  Expressions hoisted from the value/key of an
+    {e unconditional} generator run on every iteration anyway, so pure but
+    partial expressions (loop-invariant reads, divisions) may be hoisted
+    speculatively — this is what floats logistic regression's per-sample
+    hypothesis out of the per-feature inner loop after Column-to-Row. *)
+
+open Dmll_ir
+open Exp
+
+(* The largest hoistable subexpressions of [part] that (a) do not mention
+   any symbol in [blocked], and (b) do real work.  [speculate] allows
+   hoisting pure-but-partial expressions (reads, divisions): legal when the
+   source position is evaluated unconditionally on every iteration, so the
+   hoisted copy only re-evaluates what the first iteration would have
+   (modulo the size-0 corner, which production loop-invariant code motion
+   also accepts). *)
+let rec invariant_candidates ~speculate (blocked : Sym.Set.t) (part : exp) : exp list =
+  let invariant e =
+    Sym.Set.is_empty (Sym.Set.inter (free_vars e) blocked)
+  in
+  let ok = if speculate then Rewrite.pure part else Rewrite.total part in
+  if ok && invariant part && node_count part > 3 then [ part ]
+  else
+    (* Once under an If branch, evaluation is no longer unconditional. *)
+    let speculate = match part with If _ -> false | _ -> speculate in
+    fold_sub (fun acc sub -> acc @ invariant_candidates ~speculate blocked sub) [] part
+
+let gen_parts g =
+  let parts = List.filter_map Fun.id [ gen_cond g; Some (gen_value g); gen_key g ] in
+  match g with
+  | Reduce { rfun; init; _ } | BucketReduce { rfun; init; _ } -> rfun :: init :: parts
+  | _ -> parts
+
+let hoist_rule : Rewrite.rule =
+  { rname = "code-motion";
+    apply =
+      (function
+      | Loop { size; idx; gens } as loop ->
+          let blocked =
+            List.fold_left
+              (fun acc g ->
+                match g with
+                | Reduce { a; b; _ } | BucketReduce { a; b; _ } ->
+                    Sym.Set.add a (Sym.Set.add b acc)
+                | _ -> acc)
+              (Sym.Set.singleton idx) gens
+          in
+          (* Also refuse to hoist expressions mentioning symbols bound
+             inside the loop's own parts. *)
+          let blocked = Sym.Set.union blocked (Rewrite.bound_syms loop) in
+          let candidates =
+            List.concat_map
+              (fun g ->
+                (* the value/key of an unconditional generator run on every
+                   iteration: speculative hoisting is safe there *)
+                let unconditional = gen_cond g = None in
+                let strict_parts =
+                  List.filter_map Fun.id [ Some (gen_value g); gen_key g ]
+                in
+                let guarded_parts =
+                  (match gen_cond g with Some c -> [ c ] | None -> [])
+                  @
+                  match g with
+                  | Reduce { rfun; init; _ } | BucketReduce { rfun; init; _ } ->
+                      [ rfun; init ]
+                  | _ -> []
+                in
+                List.concat_map
+                  (invariant_candidates ~speculate:unconditional blocked)
+                  strict_parts
+                @ List.concat_map
+                    (invariant_candidates ~speculate:false blocked)
+                    guarded_parts)
+              gens
+          in
+          (match candidates with
+          | [] -> None
+          | c :: _ ->
+              let ty =
+                try
+                  Typecheck.infer
+                    (Sym.Set.fold
+                       (fun s acc -> Sym.Map.add s (Sym.ty s) acc)
+                       (free_vars c) Sym.Map.empty)
+                    c
+                with Typecheck.Type_error _ -> Types.Unit
+              in
+              if Types.equal ty Types.Unit then None
+              else
+                let s = Sym.fresh ~name:"inv" ty in
+                let loop' =
+                  Loop { size; idx; gens = List.map (map_gen_parts (Cse.replace_equal s c)) gens }
+                in
+                let loop' =
+                  (* rfun/init are not visited by map_gen_parts; rewrite
+                     them explicitly *)
+                  match loop' with
+                  | Loop { size; idx; gens } ->
+                      Loop
+                        { size;
+                          idx;
+                          gens =
+                            List.map
+                              (function
+                                | Reduce r ->
+                                    Reduce { r with rfun = Cse.replace_equal s c r.rfun;
+                                                    init = Cse.replace_equal s c r.init }
+                                | BucketReduce r ->
+                                    BucketReduce
+                                      { r with rfun = Cse.replace_equal s c r.rfun;
+                                               init = Cse.replace_equal s c r.init }
+                                | g -> g)
+                              gens;
+                        }
+                  | e -> e
+                in
+                Some (Let (s, c, loop')))
+      | _ -> None);
+  }
+
+let rules = [ hoist_rule ]
+
+let run ?(trace = Rewrite.new_trace ()) e = Rewrite.fixpoint rules trace e

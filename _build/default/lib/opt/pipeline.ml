@@ -1,0 +1,55 @@
+(** The optimization pass manager.
+
+    Runs the shared-memory optimization pipeline of §3 and §5 in the order
+    the paper describes, to an overall fixpoint:
+
+    {v simplify → CSE → fusion (pipeline + horizontal) → data-structure
+       (unwrap / AoS→SoA / DFE) → code motion → simplify v}
+
+    The nested-pattern rules of Figure 3 are {e not} part of this pipeline;
+    they are locality transformations driven by the stencil/partitioning
+    analyses and by per-device policies (see [Dmll_analysis.Stencil] and
+    the core driver).  {!optimize_with} lets the driver splice them in. *)
+
+open Dmll_ir
+
+type report = {
+  program : Exp.exp;
+  applied : string list;  (** rule firings, in order *)
+  iterations : int;
+}
+
+(** Distinct optimization names that fired, de-duplicated, in first-fired
+    order — the "Optimizations" column of Table 2. *)
+let distinct_applied (r : report) : string list =
+  List.fold_left
+    (fun acc n -> if List.mem n acc then acc else acc @ [ n ])
+    [] r.applied
+
+let standard_rules : Rewrite.rule list =
+  Simplify.rules @ Cse.rules @ Fusion.rules @ Soa.rules @ Motion.rules
+
+(** Optimize with the standard shared-memory pipeline plus [extra_rules]
+    (e.g. a subset of [Rules_nested.all] chosen by the driver). *)
+let optimize_with ?(extra_rules = []) (e : Exp.exp) : report =
+  let trace = Rewrite.new_trace () in
+  let rules = standard_rules @ extra_rules in
+  let rec go i e =
+    if i >= 12 then (e, i)
+    else
+      let before = List.length trace.Rewrite.applied in
+      let e = Rewrite.fixpoint rules trace e in
+      let e = fst (Soa.soa_inputs ~trace e) in
+      if List.length trace.Rewrite.applied = before then (e, i + 1) else go (i + 1) e
+  in
+  let program, iterations = go 0 e in
+  { program; applied = Rewrite.applied trace; iterations }
+
+let optimize e = optimize_with e
+
+(** Optimize and verify the result still type checks (used by tests and by
+    [dmllc --check]); raises [Typecheck.Type_error] on a compiler bug. *)
+let optimize_checked e =
+  let r = optimize e in
+  ignore (Typecheck.ty_of r.program);
+  r

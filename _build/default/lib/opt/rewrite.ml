@@ -1,0 +1,111 @@
+(** Rewrite-rule framework.
+
+    Transformations are local rules [exp -> exp option] applied bottom-up to
+    a fixpoint, in the style of the scoped-rewriting systems DMLL builds on
+    (paper §2, "Pattern Transformations").  Every application is recorded in
+    a {!trace} so the driver can report which optimizations fired — the
+    "Optimizations" column of Table 2 — and so tests can assert that a rule
+    did (or did not) fire. *)
+
+open Dmll_ir
+open Exp
+
+type rule = { rname : string; apply : exp -> exp option }
+
+type trace = { mutable applied : string list (* reverse order *) }
+
+let new_trace () = { applied = [] }
+let record trace name = trace.applied <- name :: trace.applied
+let applied trace = List.rev trace.applied
+let fired trace name = List.mem name trace.applied
+
+(* ------------------------------------------------------------------ *)
+(* Purity and totality                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** An expression is pure if re-evaluating it (zero or more times) has no
+    observable effect besides its value.  Only non-whitelisted externs are
+    impure. *)
+let rec pure (e : exp) : bool =
+  match e with
+  | Extern { whitelisted; _ } -> whitelisted && fold_sub (fun acc s -> acc && pure s) true e
+  | _ -> fold_sub (fun acc s -> acc && pure s) true e
+
+(** An expression is total if it is pure {e and} can never fail at runtime:
+    it contains no bounds-checked reads, partial arithmetic, or keyed map
+    lookups without defaults.  Only total expressions may be speculated
+    (hoisted into positions where they might be evaluated more often than
+    in the source program). *)
+let rec total (e : exp) : bool =
+  match e with
+  | Read _ | KeyAt _ -> false
+  | MapRead (_, _, None) -> false
+  | MapRead (m, k, Some d) -> total m && total k && total d
+  | Prim ((Prim.Div | Prim.Mod | Prim.Strget), _) -> false
+  | Extern _ -> false
+  | _ -> fold_sub (fun acc s -> acc && total s) true e
+
+(* ------------------------------------------------------------------ *)
+(* Binder census                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** All symbols bound anywhere inside [e] (let binders, loop indices,
+    reduction accumulators). *)
+let bound_syms (e : exp) : Sym.Set.t =
+  let acc = ref Sym.Set.empty in
+  let add s = acc := Sym.Set.add s !acc in
+  let rec go e =
+    (match e with
+    | Let (s, _, _) -> add s
+    | Loop { idx; gens; _ } ->
+        add idx;
+        List.iter
+          (function
+            | Reduce { a; b; _ } | BucketReduce { a; b; _ } ->
+                add a;
+                add b
+            | _ -> ())
+          gens
+    | _ -> ());
+    ignore (map_sub (fun s -> go s; s) e)
+  in
+  go e;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Bottom-up rewriting to fixpoint                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** One bottom-up sweep: children first, then try each rule at this node
+    (first match wins). *)
+let rec sweep (rules : rule list) (trace : trace) (e : exp) : exp =
+  let e = map_sub (sweep rules trace) e in
+  let rec try_rules = function
+    | [] -> e
+    | r :: rest -> (
+        match r.apply e with
+        | Some e' ->
+            record trace r.rname;
+            e'
+        | None -> try_rules rest)
+  in
+  try_rules rules
+
+(** Apply [rules] bottom-up repeatedly until no rule fires or [max_iters]
+    sweeps have run (a safety net against non-terminating rule sets; the
+    shipped rule sets are strictly size-reducing or fire-once). *)
+let fixpoint ?(max_iters = 40) (rules : rule list) (trace : trace) (e : exp) : exp =
+  let rec go i e =
+    if i >= max_iters then e
+    else
+      let before = List.length trace.applied in
+      let e' = sweep rules trace e in
+      if List.length trace.applied = before then e' else go (i + 1) e'
+  in
+  go 0 e
+
+(** Convenience: run rules to fixpoint with a fresh trace. *)
+let run ?max_iters rules e =
+  let trace = new_trace () in
+  let e' = fixpoint ?max_iters rules trace e in
+  (e', applied trace)

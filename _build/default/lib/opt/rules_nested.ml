@@ -1,0 +1,630 @@
+(** The nested parallel pattern transformations of Figure 3.
+
+    {v
+    (GroupBy-Reduce)
+      A = BucketCollect_s(c)(k)(f1)        H = BucketReduce_s(c)(k)(f2(f1))(r)
+      Collect_A(_)(i => Reduce_{A(i)}(_)(f2)(r))   -->   Collect_H(_)(i => H(i))
+
+    (Conditional Reduce)
+      Collect_{s1}(_)(i =>                 H = BucketReduce_{s2}(_)(g)(f)(r)
+        Reduce_{s2}(j => g(j)==h(i))(f)(r))  -->  Collect_H(_)(i => H[h(i)])
+
+    (Column-to-Row Reduce)
+      Collect_{s1}(_)(i => Reduce_{s2}(c)(f)(r))
+        -->  R = Reduce_{s2}(c)(fv)(rv);  Collect_{s1}(_)(i => R(i))
+
+    (Row-to-Column Reduce)
+      Reduce_{s1}(c)(fv)(rv : (a1,b1) => Collect_{s2}(_)(i => r(a1(i),b1(i))))
+        -->  Collect_{s2}(_)(i => Reduce_{s1}(c)(f)(r))
+    v}
+
+    Each rule matches a [Reduce] nested inside an enclosing context (the
+    "expanded lambda expression" of the paper): the surrounding code of the
+    outer Collect is preserved around the replacement.  These rules are
+    locality transformations — the driver applies them when the stencil
+    analysis reports a problematic access pattern (paper §4.2) or when a
+    target-specific policy demands them (Row-to-Column for GPUs, §3.2). *)
+
+open Dmll_ir
+open Exp
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let replace_first = Fusion.replace_first
+
+(* Would hoisting [h] out of a region whose binders are [blocked] capture
+   anything? *)
+let hoistable (blocked : Sym.Set.t) (h : exp) : bool =
+  Sym.Set.is_empty (Sym.Set.inter (free_vars h) blocked)
+
+(* Depends on symbol [s]? *)
+let depends_on s e = Sym.Set.mem s (free_vars e)
+
+let infer_with_declared_tys e =
+  try
+    Some
+      (Typecheck.infer
+         (Sym.Set.fold (fun s acc -> Sym.Map.add s (Sym.ty s) acc) (free_vars e) Sym.Map.empty)
+         e)
+  with Typecheck.Type_error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* GroupBy-Reduce                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Match at:  Let (a, BucketCollect-loop, body)
+   where all uses of [a] in [body] live inside a single consumer Collect
+   over Len(a):
+     - nested Reduces over Len(a(j)) reading bucket elements positionally
+       (one or several — Q1 computes seven aggregates per group),
+     - Len(a(j)) counts (the "as.count" of the paper's k-means),
+     - KeyAt(a, _) uses and the consumer's own Len(Var a) size node.
+   The rewrite builds ONE multiloop carrying one BucketReduce generator
+   per aggregate (counts become sum-of-ones generators) — the horizontally
+   fused single traversal of Figure 5 — and the consumer becomes an
+   identity-ish Collect over the buckets. *)
+let groupby_reduce : Rewrite.rule =
+  { rname = "groupby-reduce";
+    apply =
+      (function
+      | Let
+          ( a,
+            Loop
+              { size = bsize;
+                idx = bidx;
+                gens = [ BucketCollect { cond = bcond; key = bkey; value = bval } ];
+              },
+            body )
+        when Rewrite.pure bval && Rewrite.pure bkey ->
+          let consumers = Fusion.consumer_loops_of a body in
+          (match consumers with
+          | [ ({ idx = j; gens = [ Collect { cond = ccond; value = cval } ]; _ } as cons)
+            ] -> (
+              let bucket = Read (Var a, Var j) in
+              let elem_ty =
+                match infer_with_declared_tys (Read (bucket, int_ 0)) with
+                | Some t -> t
+                | None -> Types.Unit
+              in
+              if Types.equal elem_ty Types.Unit then None
+              else begin
+                (* Collect every aggregation site over the bucket, in
+                   pre-order.  Each site becomes one generator of H. *)
+                let sites = ref [] in
+                let rec scan e =
+                  match e with
+                  | Loop
+                      { size = Len b;
+                        idx = l;
+                        gens =
+                          [ Reduce { cond = None; value = rv; a = ra; b = rb; rfun; init } ];
+                      }
+                    when alpha_equal b bucket ->
+                      let rec uses_ok e =
+                        match e with
+                        | Read (b', Var l') when alpha_equal b' bucket -> Sym.equal l' l
+                        | _ when alpha_equal e bucket -> false
+                        | _ -> fold_sub (fun acc s -> acc && uses_ok s) true e
+                      in
+                      if uses_ok rv then
+                        sites := `Reduce (l, rv, ra, rb, rfun, init) :: !sites
+                  | Len b when alpha_equal b bucket -> sites := `Count :: !sites
+                  | _ -> ignore (map_sub (fun s -> scan s; s) e)
+                in
+                scan cval;
+                Option.iter scan ccond;
+                let sites = List.rev !sites in
+                if sites = [] then None
+                else begin
+                  (* Build one generator per site. *)
+                  let esym_of () = Sym.fresh ~name:"elem" elem_ty in
+                  let build_gen site =
+                    let cond = Option.map refresh_binders bcond in
+                    match site with
+                    | `Count ->
+                        let ca = Sym.fresh ~name:"ca" Types.Int in
+                        let cb = Sym.fresh ~name:"cb" Types.Int in
+                        Some
+                          (BucketReduce
+                             { cond;
+                               key = refresh_binders bkey;
+                               value = int_ 1;
+                               a = ca;
+                               b = cb;
+                               rfun = Prim (Prim.Add, [ Var ca; Var cb ]);
+                               init = int_ 0;
+                             })
+                    | `Reduce (l, rv, ra, rb, rfun, init) ->
+                        let esym = esym_of () in
+                        let rec sub_elem e =
+                          match e with
+                          | Read (b', Var l') when alpha_equal b' bucket && Sym.equal l' l
+                            ->
+                              Var esym
+                          | _ -> map_sub sub_elem e
+                        in
+                        let rv' = sub_elem rv in
+                        (* the aggregate body must not capture the consumer
+                           index, the element index, or anything else bound
+                           inside the consumer's value *)
+                        if
+                          depends_on j rv' || depends_on l rv'
+                          || not
+                               (Sym.Set.is_empty
+                                  (Sym.Set.inter (free_vars rv')
+                                     (Sym.Set.remove l
+                                        (Rewrite.bound_syms cval))))
+                        then None
+                        else
+                          Some
+                            (BucketReduce
+                               { cond;
+                                 key = refresh_binders bkey;
+                                 value = Let (esym, refresh_binders bval, rv');
+                                 a = ra;
+                                 b = rb;
+                                 rfun = refresh_binders rfun;
+                                 init = refresh_binders init;
+                               })
+                  in
+                  let gens = List.map build_gen sites in
+                  if List.exists Option.is_none gens then None
+                  else begin
+                    let gens = List.filter_map Fun.id gens in
+                    let hloop = Loop { size = bsize; idx = bidx; gens } in
+                    let h_ty =
+                      match infer_with_declared_tys hloop with
+                      | Some t -> t
+                      | None -> Types.Unit
+                    in
+                    if Types.equal h_ty Types.Unit then None
+                    else begin
+                      let h = Sym.fresh ~name:"H" h_ty in
+                      let multi = List.length gens > 1 in
+                      let proj k = if multi then Proj (Var h, k) else Var h in
+                      (* rewrite the consumer: the k-th site becomes a read
+                         of the k-th generator's map *)
+                      let counter = ref 0 in
+                      let rec rw e =
+                        match e with
+                        | Loop
+                            { size = Len b;
+                              gens = [ Reduce { cond = None; _ } ];
+                              _
+                            }
+                          when alpha_equal b bucket ->
+                            let k = !counter in
+                            incr counter;
+                            Read (proj k, Var j)
+                        | Len b when alpha_equal b bucket ->
+                            let k = !counter in
+                            incr counter;
+                            Read (proj k, Var j)
+                        | KeyAt (Var a', ix) when Sym.equal a' a ->
+                            KeyAt (proj 0, rw ix)
+                        | Len (Var a') when Sym.equal a' a -> Len (proj 0)
+                        | _ -> map_sub rw e
+                      in
+                      let cval' = rw cval in
+                      let ccond' = Option.map rw ccond in
+                      if !counter <> List.length sites then None
+                      else begin
+                        let new_cons =
+                          Loop
+                            { size = Len (proj 0);
+                              idx = j;
+                              gens = [ Collect { cond = ccond'; value = cval' } ];
+                            }
+                        in
+                        let body' =
+                          replace_first
+                            (function
+                              | Loop l' when l' == cons -> Some new_cons
+                              | _ -> None)
+                            body
+                        in
+                        match body' with
+                        | None -> None
+                        | Some body' ->
+                            if occurs a body' then None
+                            else if
+                              (* H must not capture consumer-scope binders *)
+                              Sym.Set.mem j (free_vars hloop)
+                            then None
+                            else Some (Let (h, hloop, body'))
+                      end
+                    end
+                  end
+                end
+              end)
+          | _ -> None)
+      | _ -> None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Conditional Reduce                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Split an equality condition into (outer-dependent, inner-dependent)
+   sides: one side must mention the inner index [j] but not [i]; the other
+   may mention [i] but not [j]. *)
+let split_eq ~i ~j cond =
+  match cond with
+  | Prim (Prim.Eq, [ l; r ]) ->
+      let dl_i = depends_on i l and dl_j = depends_on j l in
+      let dr_i = depends_on i r and dr_j = depends_on j r in
+      if dl_j && (not dl_i) && not dr_j then Some (l, r) (* g(j) == h(i) *)
+      else if dr_j && (not dr_i) && not dl_j then Some (r, l) (* h(i) == g(j) *)
+      else None
+  | _ -> None
+
+(* The rule matches an inner loop whose generators are ALL conditional
+   reduces keyed by the same g(j) == h(i) split — a single Reduce in the
+   simplest case, or the horizontally fused sum+count multiloop of k-means
+   (Figure 5).  The whole loop is hoisted as a multiloop of BucketReduce
+   generators and the original becomes (a tuple of) keyed lookups. *)
+let conditional_reduce : Rewrite.rule =
+  { rname = "conditional-reduce";
+    apply =
+      (function
+      | Loop
+          ({ size = _; idx = i; gens = [ Collect { cond = ccond; value = cval } ] } as
+           outer)
+        ->
+          let found = ref None in
+          let matcher e =
+            match e with
+            | Loop { size = s2; idx = j; gens } when !found = None && gens <> [] ->
+                (* every generator must be a Reduce conditioned on the same
+                   g(j) == h(i) equality *)
+                let splits =
+                  List.map
+                    (function
+                      | Reduce { cond = Some c2; value; a; b; rfun; init } -> (
+                          match split_eq ~i ~j c2 with
+                          | Some (g, h) -> Some (g, h, (value, a, b, rfun, init))
+                          | None -> None)
+                      | _ -> None)
+                    gens
+                in
+                if List.exists Option.is_none splits then None
+                else begin
+                  let splits = List.filter_map Fun.id splits in
+                  let g0, h0, _ = List.hd splits in
+                  if
+                    not
+                      (List.for_all
+                         (fun (g, h, _) -> alpha_equal g g0 && alpha_equal h h0)
+                         splits)
+                  then None
+                  else begin
+                    let bgens =
+                      List.map
+                        (fun (g, _, (value, a, b, rfun, init)) ->
+                          BucketReduce
+                            { cond = None;
+                              key = refresh_binders g;
+                              value;
+                              a;
+                              b;
+                              rfun;
+                              init;
+                            })
+                        splits
+                    in
+                    let hloop = Loop { size = s2; idx = j; gens = bgens } in
+                    let blocked =
+                      Sym.Set.add i (Sym.Set.remove j (Rewrite.bound_syms (Loop outer)))
+                    in
+                    let kty = infer_with_declared_tys g0 in
+                    if
+                      hoistable blocked hloop
+                      && (match kty with Some t -> Types.is_key_ty t | None -> false)
+                      && Rewrite.pure hloop
+                    then begin
+                      found :=
+                        Some (hloop, h0, List.map (fun (_, _, (_, _, _, _, init)) -> init) splits);
+                      Some unit_
+                    end
+                    else None
+                  end
+                end
+            | _ -> None
+          in
+          ignore (replace_first matcher cval);
+          (match !found with
+          | None -> None
+          | Some (hloop, h, inits) ->
+              let h_ty =
+                match infer_with_declared_tys hloop with
+                | Some t -> t
+                | None -> Types.Unit
+              in
+              if Types.equal h_ty Types.Unit then None
+              else
+                let hsym = Sym.fresh ~name:"H" h_ty in
+                let multi = List.length inits > 1 in
+                let lookups =
+                  List.mapi
+                    (fun k init ->
+                      let src = if multi then Proj (Var hsym, k) else Var hsym in
+                      MapRead (src, refresh_binders h, Some (refresh_binders init)))
+                    inits
+                in
+                let replacement =
+                  match lookups with [ l ] -> l | ls -> Tuple ls
+                in
+                let consumed = ref false in
+                let rec rw e =
+                  match e with
+                  | Loop { idx = j'; gens = (Reduce { cond = Some c2; _ } :: _); _ }
+                    when (not !consumed)
+                         && (match split_eq ~i ~j:j' c2 with Some _ -> true | None -> false)
+                    ->
+                      consumed := true;
+                      replacement
+                  | _ -> map_sub rw e
+                in
+                let cval' = rw cval in
+                if not !consumed then None
+                else
+                  Some
+                    (Let
+                       ( hsym,
+                         hloop,
+                         Loop
+                           { size = outer.size;
+                             idx = i;
+                             gens = [ Collect { cond = ccond; value = cval' } ];
+                           } )))
+      | _ -> None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Column-to-Row Reduce                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let column_to_row : Rewrite.rule =
+  { rname = "column-to-row";
+    apply =
+      (function
+      | Loop
+          ({ size = s1; idx = i; gens = [ Collect { cond = ccond; value = cval } ] } as
+           outer)
+        when Rewrite.pure s1 ->
+          let found = ref None in
+          let matcher e =
+            match e with
+            | Loop
+                { size = s2;
+                  idx = j;
+                  gens = [ Reduce { cond = c2; value = f; a; b; rfun; init } ];
+                }
+              when !found = None ->
+                (* The value must be scalar-typed and actually depend on the
+                   outer index (otherwise it is loop-invariant and code
+                   motion is the right tool).  The condition must NOT
+                   depend on the outer index — that shape belongs to the
+                   Conditional-Reduce rule. *)
+                let scalar =
+                  match infer_with_declared_tys f with
+                  | Some t -> if Types.is_scalar t then Some t else None
+                  | None -> None
+                in
+                let c2_indep =
+                  match c2 with None -> true | Some c -> not (depends_on i c)
+                in
+                (* Free variables of the hoisted reduce, ignoring the outer
+                   index (which becomes the vector dimension), must not be
+                   bound inside the outer loop. *)
+                let hoist_ok =
+                  let h_free =
+                    Sym.Set.remove i
+                      (free_vars
+                         (Loop
+                            { size = s2;
+                              idx = j;
+                              gens = [ Reduce { cond = c2; value = f; a; b; rfun; init } ];
+                            }))
+                  in
+                  let inner_binders =
+                    Sym.Set.remove j
+                      (Sym.Set.remove a
+                         (Sym.Set.remove b
+                            (Sym.Set.add i (Rewrite.bound_syms (Loop outer)))))
+                  in
+                  Sym.Set.is_empty
+                    (Sym.Set.inter h_free (Sym.Set.remove i inner_binders))
+                in
+                (match scalar with
+                | Some sty
+                  when c2_indep && depends_on i f
+                       && (not (depends_on i s2))
+                       && (not (depends_on i rfun))
+                       && (not (depends_on i init))
+                       && hoist_ok ->
+                    found := Some (s2, j, c2, f, a, b, rfun, init, sty);
+                    Some unit_
+                | _ -> None)
+            | _ -> None
+          in
+          ignore (replace_first matcher cval);
+          (match !found with
+          | None -> None
+          | Some (s2, j, c2, f, a, b, rfun, init, fty) ->
+              (* vectorized value function: fv(j) = Collect_{s1}(i' => f[i:=i']) *)
+              let i' = Sym.fresh ~name:"i" Types.Int in
+              let fv =
+                Loop
+                  { size = refresh_binders s1;
+                    idx = i';
+                    gens =
+                      [ Collect
+                          { cond = None; value = refresh_binders (subst1 i (Var i') f) };
+                      ];
+                  }
+              in
+              (* vectorized init: Collect_{s1}(_ => init) *)
+              let iv_idx = Sym.fresh ~name:"i" Types.Int in
+              let initv =
+                Loop
+                  { size = refresh_binders s1;
+                    idx = iv_idx;
+                    gens = [ Collect { cond = None; value = refresh_binders init } ];
+                  }
+              in
+              (* vectorized reduction: rv(av,bv) = zipWith r *)
+              let vty = Types.Arr fty in
+              let av = Sym.fresh ~name:"av" vty and bv = Sym.fresh ~name:"bv" vty in
+              let iz = Sym.fresh ~name:"iz" Types.Int in
+              let scalar_r =
+                refresh_binders
+                  (subst
+                     (Sym.Map.of_seq
+                        (List.to_seq
+                           [ (a, Read (Var av, Var iz)); (b, Read (Var bv, Var iz)) ]))
+                     rfun)
+              in
+              let rv =
+                Loop
+                  { size = Len (Var av);
+                    idx = iz;
+                    gens = [ Collect { cond = None; value = scalar_r } ];
+                  }
+              in
+              let rloop =
+                Loop
+                  { size = s2;
+                    idx = j;
+                    gens =
+                      [ Reduce { cond = c2; value = fv; a = av; b = bv; rfun = rv; init = initv } ];
+                  }
+              in
+              let rsym = Sym.fresh ~name:"R" vty in
+              let consumed = ref false in
+              let rec rw e =
+                match e with
+                | Loop { gens = [ Reduce { value = f'; _ } ]; _ }
+                  when (not !consumed) && alpha_equal f' f ->
+                    consumed := true;
+                    Read (Var rsym, Var i)
+                | _ -> map_sub rw e
+              in
+              let cval' = rw cval in
+              if not !consumed then None
+              else
+                Some
+                  (Let
+                     ( rsym,
+                       rloop,
+                       Loop
+                         { size = s1;
+                           idx = i;
+                           gens = [ Collect { cond = ccond; value = cval' } ];
+                         } )))
+      | _ -> None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Row-to-Column Reduce                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Top-level pure lets (introduced by code motion) are inlined back before
+   matching: GPU scalarization recomputes what the CPU schedule hoisted. *)
+let rec inline_pure_lets e =
+  match e with
+  | Let (s, b, body) when Rewrite.pure b -> inline_pure_lets (subst1 s b body)
+  | _ -> e
+
+(* Recognize a zipWith-shaped vector function: Collect over Len(Var x) (or
+   a pure size) whose value uses Read(x, idx)/Read(y, idx) only. *)
+let row_to_column : Rewrite.rule =
+  { rname = "row-to-column";
+    apply =
+      (function
+      | Loop
+          { size = s2;
+            idx = j;
+            gens = [ Reduce { cond = c2; value = fv; a = av; b = bv; rfun = rv; init = initv } ];
+          } -> (
+          (* fv must be a Collect producing the per-j vector *)
+          match (inline_pure_lets fv, inline_pure_lets rv, inline_pure_lets initv) with
+          | ( Loop { size = s1; idx = i; gens = [ Collect { cond = None; value = f } ] },
+              Loop
+                { size = rsize;
+                  idx = iz;
+                  gens = [ Collect { cond = None; value = rbody } ];
+                },
+              Loop
+                { size = s1i;
+                  idx = ii;
+                  gens = [ Collect { cond = None; value = init_scalar } ];
+                } )
+            when (not (depends_on j s1))
+                 && alpha_equal s1 s1i
+                 && (match rsize with
+                    | Len (Var x) -> Sym.equal x av || Sym.equal x bv
+                    | _ -> alpha_equal rsize s1)
+                 && not (depends_on ii init_scalar) ->
+              (* rbody must use av/bv only as Read(_, Var iz) *)
+              let rec uses_ok e =
+                match e with
+                | Read (Var x, Var k) when Sym.equal x av || Sym.equal x bv ->
+                    Sym.equal k iz
+                | Var x when Sym.equal x av || Sym.equal x bv -> false
+                | _ -> fold_sub (fun acc s -> acc && uses_ok s) true e
+              in
+              if not (uses_ok rbody) then None
+              else
+                (* scalar element type *)
+                let fty = infer_with_declared_tys f in
+                (match fty with
+                | Some sty when Types.is_scalar sty ->
+                    let a' = Sym.fresh ~name:"a" sty and b' = Sym.fresh ~name:"b" sty in
+                    let rec back e =
+                      match e with
+                      | Read (Var x, Var k) when Sym.equal x av && Sym.equal k iz -> Var a'
+                      | Read (Var x, Var k) when Sym.equal x bv && Sym.equal k iz -> Var b'
+                      | _ -> map_sub back e
+                    in
+                    let scalar_r = back rbody in
+                    let i' = Sym.fresh ~name:"i" Types.Int in
+                    let j' = Sym.fresh ~name:"j" Types.Int in
+                    let smap =
+                      Sym.Map.of_seq (List.to_seq [ (i, Var i'); (j, Var j') ])
+                    in
+                    let inner =
+                      Loop
+                        { size = refresh_binders (subst1 i (Var i') s2);
+                          idx = j';
+                          gens =
+                            [ Reduce
+                                { cond =
+                                    Option.map (fun c -> refresh_binders (subst smap c)) c2;
+                                  value = refresh_binders (subst smap f);
+                                  a = a';
+                                  b = b';
+                                  rfun = refresh_binders scalar_r;
+                                  init = refresh_binders (subst1 ii (Var i') init_scalar);
+                                };
+                            ];
+                        }
+                    in
+                    Some
+                      (Loop
+                         { size = s1;
+                           idx = i';
+                           gens = [ Collect { cond = None; value = inner } ];
+                         })
+                | _ -> None)
+          | _ -> None)
+      | _ -> None);
+  }
+
+let all = [ groupby_reduce; conditional_reduce; column_to_row; row_to_column ]
+
+(** The rules applied by default in shared-memory pipelines (Row-to-Column
+    is a device-specific inverse and is only applied by the GPU lowering). *)
+let cpu_rules = [ groupby_reduce; conditional_reduce; column_to_row ]

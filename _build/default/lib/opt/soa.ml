@@ -1,0 +1,261 @@
+(** Data structure optimizations: struct unwrapping, array-of-struct to
+    struct-of-array (AoS→SoA), and dead field elimination (paper §5).
+
+    These passes reduce complex data structures to flat arrays of
+    primitives, which (a) lets the backends use unboxed storage, (b)
+    enables vectorization, and (c) greatly simplifies the read-stencil
+    analysis, exactly as in the paper.
+
+    - {e struct unwrapping}: a let-bound struct whose uses are all field
+      projections is split into one binding per field.
+
+    - {e collect-SoA}: a loop producing an array of structs, consumed only
+      through per-element field reads, is rewritten into a multiloop with
+      one [Collect] generator per field.  Unused fields then die by
+      dead-generator elimination — dead field elimination for
+      intermediates.
+
+    - {e input-SoA}: an [Input] of array-of-struct type read only through
+      field projections is replaced by one columnar [Input] per {e used}
+      field ([name.field]) — dead field elimination at the source: unused
+      columns are never even loaded.  {!columns_needed} reports the final
+      column set so executors can supply the per-field arrays (see
+      [Value]-level splitting in the runtime). *)
+
+open Dmll_ir
+open Exp
+
+(* ------------------------------------------------------------------ *)
+(* Struct unwrapping                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* All uses of [s] in [body] are field projections [Field (Var s, _)]. *)
+let field_only s body =
+  let rec go e =
+    match e with
+    | Field (Var s', _) when Sym.equal s s' -> true
+    | Var s' when Sym.equal s s' -> false
+    | _ -> fold_sub (fun acc sub -> acc && go sub) true e
+  in
+  go body
+
+let used_struct_fields s body =
+  let acc = ref [] in
+  ignore
+    (fold
+       (fun () e ->
+         match e with
+         | Field (Var s', f) when Sym.equal s s' ->
+             if not (List.mem f !acc) then acc := f :: !acc
+         | _ -> ())
+       () body);
+  List.rev !acc
+
+let struct_unwrap : Rewrite.rule =
+  { rname = "struct-unwrap";
+    apply =
+      (function
+      | Let (s, Record (Types.Struct (_, decl) as ty, fs), body)
+        when Types.equal (Sym.ty s) ty
+             && List.for_all (fun (_, v) -> Rewrite.pure v) fs
+             && field_only s body ->
+          (* struct literal: bind each field's defining expression *)
+          let field_syms =
+            List.map (fun (n, fty) -> (n, Sym.fresh ~name:("f_" ^ n) fty)) decl
+          in
+          let rec rw e =
+            match e with
+            | Field (Var s', n) when Sym.equal s s' -> Var (List.assoc n field_syms)
+            | _ -> map_sub rw e
+          in
+          let body' = rw body in
+          Some
+            (List.fold_right
+               (fun (n, fsym) acc ->
+                 match List.assoc_opt n fs with
+                 | Some v -> Let (fsym, v, acc)
+                 | None -> acc)
+               field_syms body')
+      | Let (s, bound, body)
+        when (match Sym.ty s with Types.Struct _ -> true | _ -> false)
+             && Rewrite.pure bound && field_only s body ->
+          (* general struct-typed binding (e.g. a bucket element): replace
+             the binding by per-used-field projections, so downstream
+             passes (input-SoA, field folding) see through it *)
+          let used = used_struct_fields s body in
+          if used = [] then None
+          else begin
+            let field_syms =
+              List.map
+                (fun f -> (f, Sym.fresh ~name:("f_" ^ f) (Types.field_ty (Sym.ty s) f)))
+                used
+            in
+            let rec rw e =
+              match e with
+              | Field (Var s', n) when Sym.equal s s' -> Var (List.assoc n field_syms)
+              | _ -> map_sub rw e
+            in
+            let body' = rw body in
+            Some
+              (List.fold_right
+                 (fun (f, fsym) acc ->
+                   Let (fsym, Field (refresh_binders bound, f), acc))
+                 field_syms body')
+          end
+      | _ -> None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Collect-SoA                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let collect_soa : Rewrite.rule =
+  { rname = "aos-to-soa";
+    apply =
+      (function
+      | Let
+          ( s,
+            Loop
+              { size;
+                idx;
+                gens = [ Collect { cond; value = Record (Types.Struct (_, decl), fs) } ];
+              },
+            body )
+        when List.for_all (fun (_, v) -> Rewrite.pure v) fs ->
+          (* uses: Field (Read (Var s, ix), f) or Len (Var s) only *)
+          let rec uses_ok e =
+            match e with
+            | Field (Read (Var s', ix), _) when Sym.equal s s' -> uses_ok ix
+            | Len (Var s') when Sym.equal s s' -> true
+            | Var s' when Sym.equal s s' -> false
+            | _ -> fold_sub (fun acc sub -> acc && uses_ok sub) true e
+          in
+          if not (uses_ok body) then None
+          else begin
+            let n = List.length decl in
+            let index_of f =
+              let rec go k = function
+                | [] -> -1
+                | (fn, _) :: rest -> if String.equal fn f then k else go (k + 1) rest
+              in
+              go 0 decl
+            in
+            let tup_ty = Types.Tup (List.map (fun (_, t) -> Types.Arr t) decl) in
+            let s' = Sym.fresh ~name:(Sym.name s) tup_ty in
+            ignore n;
+            (* one Collect generator per field; each gets its own refreshed
+               copy of the shared condition (generators evaluate their
+               conditions independently) *)
+            let gens =
+              List.map
+                (fun (fn, _) ->
+                  let v = List.assoc fn fs in
+                  Collect
+                    { cond = Option.map refresh_binders cond;
+                      value = refresh_binders v;
+                    })
+                decl
+            in
+            let rec rw e =
+              match e with
+              | Field (Read (Var sv, ix), f) when Sym.equal sv s ->
+                  let k = index_of f in
+                  if k < 0 then e else Read (Proj (Var s', k), rw ix)
+              | Len (Var sv) when Sym.equal sv s -> Len (Proj (Var s', 0))
+              | _ -> map_sub rw e
+            in
+            Some (Let (s', Loop { size; idx; gens }, rw body))
+          end
+      | _ -> None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Input-SoA                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* This is a whole-program pass rather than a local rule: every occurrence
+   of the same named input must be rewritten consistently. *)
+
+let input_struct_arrays (e : exp) : (string * Types.ty * layout) list =
+  let tbl = Hashtbl.create 8 in
+  ignore
+    (fold
+       (fun () n ->
+         match n with
+         | Input (name, (Types.Arr (Types.Struct _) as ty), l) ->
+             Hashtbl.replace tbl name (ty, l)
+         | _ -> ())
+       () e);
+  Hashtbl.fold (fun name (ty, l) acc -> (name, ty, l) :: acc) tbl []
+
+(* Uses of input [name] must all be [Field (Read (input, ix), f)] or
+   [Len input].  Returns the set of used fields, or None if irregular. *)
+let used_fields (name : string) (e : exp) : string list option =
+  let fields = ref [] in
+  let ok = ref true in
+  let note f = if not (List.mem f !fields) then fields := f :: !fields in
+  let rec go e =
+    match e with
+    | Field (Read (Input (n, _, _), ix), f) when String.equal n name ->
+        note f;
+        go ix
+    | Len (Input (n, _, _)) when String.equal n name -> ()
+    | Input (n, _, _) when String.equal n name -> ok := false
+    | _ -> ignore (map_sub (fun s -> go s; s) e)
+  in
+  go e;
+  if !ok then Some (List.rev !fields) else None
+
+let column_name base field = base ^ "." ^ field
+
+(** Rewrite AoS inputs into columnar inputs.  Returns the rewritten program
+    and, per transformed input, the list of required columns (the paper's
+    dead-field-eliminated schema). *)
+let soa_inputs ?(trace = Rewrite.new_trace ()) (e : exp) :
+    exp * (string * string list) list =
+  let transformed = ref [] in
+  let result =
+    List.fold_left
+      (fun e (name, ty, layout) ->
+        match ty with
+        | Types.Arr (Types.Struct (_, decl) as sty) -> (
+            match used_fields name e with
+            | None | Some [] -> e
+            | Some used ->
+                let fty f = Types.field_ty sty f in
+                let col f = Input (column_name name f, Types.Arr (fty f), layout) in
+                let len_col = col (List.hd used) in
+                let rec rw e =
+                  match e with
+                  | Field (Read (Input (n, _, _), ix), f) when String.equal n name ->
+                      Read (col f, rw ix)
+                  | Len (Input (n, _, _)) when String.equal n name -> Len len_col
+                  | _ -> map_sub rw e
+                in
+                Rewrite.record trace "input-soa";
+                let dead = List.filter (fun (f, _) -> not (List.mem f used)) decl in
+                if dead <> [] then Rewrite.record trace "dead-field-elim";
+                transformed := (name, used) :: !transformed;
+                rw e)
+        | _ -> e)
+      e (input_struct_arrays e)
+  in
+  (result, !transformed)
+
+(** All columnar input names required by a program post-SoA. *)
+let columns_needed (e : exp) : (string * Types.ty) list =
+  let tbl = Hashtbl.create 8 in
+  ignore
+    (fold
+       (fun () n ->
+         match n with
+         | Input (name, ty, _) -> Hashtbl.replace tbl name ty
+         | _ -> ())
+       () e);
+  Hashtbl.fold (fun name ty acc -> (name, ty) :: acc) tbl []
+
+let rules = [ struct_unwrap; collect_soa ]
+
+let run ?(trace = Rewrite.new_trace ()) e =
+  let e = Rewrite.fixpoint rules trace e in
+  fst (soa_inputs ~trace e)

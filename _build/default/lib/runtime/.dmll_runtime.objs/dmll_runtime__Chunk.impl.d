@@ -1,0 +1,1 @@
+lib/runtime/chunk.ml: List Stdlib

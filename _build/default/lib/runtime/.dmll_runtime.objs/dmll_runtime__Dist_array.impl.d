@@ -1,0 +1,1 @@
+lib/runtime/dist_array.ml: Array Atomic Chunk Dmll_interp List Printf

@@ -1,0 +1,1 @@
+lib/runtime/evalenv.ml: Dmll_backend Dmll_interp Dmll_ir Exp List Printf Sym

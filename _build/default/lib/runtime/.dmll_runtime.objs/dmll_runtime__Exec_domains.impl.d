@@ -1,0 +1,1 @@
+lib/runtime/exec_domains.ml: Array Atomic Builder Chunk Dmll_interp Dmll_ir Domain Evalenv Exp List Merge Spine Stdlib Sym Types

@@ -1,0 +1,1 @@
+lib/runtime/merge.ml: Array Dmll_interp Dmll_ir Evalenv Exp Hashtbl List Sym

@@ -1,0 +1,1 @@
+lib/runtime/schedule.ml: Chunk Dmll_machine List Stdlib

@@ -1,0 +1,1 @@
+lib/runtime/sim_cluster.ml: Dmll_analysis Dmll_backend Dmll_interp Dmll_ir Dmll_machine Evalenv Exp List Sim_common Sim_gpu Sim_numa Spine Stdlib Sym Types

@@ -1,0 +1,1 @@
+lib/runtime/sim_common.ml: Array Dmll_analysis Dmll_interp Dmll_ir Evalenv Exp Hashtbl List Stdlib String Sym Types

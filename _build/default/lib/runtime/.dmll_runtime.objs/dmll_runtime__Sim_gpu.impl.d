@@ -1,0 +1,1 @@
+lib/runtime/sim_gpu.ml: Dmll_analysis Dmll_backend Dmll_interp Dmll_ir Dmll_machine Evalenv Exp List Sim_common Spine Stdlib Sym

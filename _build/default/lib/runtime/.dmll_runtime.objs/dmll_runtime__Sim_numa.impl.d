@@ -1,0 +1,1 @@
+lib/runtime/sim_numa.ml: Chunk Dmll_analysis Dmll_interp Dmll_ir Dmll_machine Evalenv Exp List Sim_common Spine Stdlib Sym Types

@@ -1,0 +1,1 @@
+lib/runtime/spine.ml: Dmll_interp Dmll_ir Evalenv Exp List Sym

@@ -1,0 +1,49 @@
+(** Range chunking for hierarchical multiloop scheduling.
+
+    The key runtime insight of the paper (§5): "a multiloop is agnostic to
+    whether it runs over the entire loop bounds or a subset of the loop
+    bounds", so the cluster master can split a loop into chunks, each
+    machine can split its chunk across sockets, and each socket across
+    cores. *)
+
+type range = { lo : int; hi : int }  (** half-open [lo, hi) *)
+
+let size r = r.hi - r.lo
+
+(** Split [0, n) into at most [k] contiguous chunks of near-equal size.
+    Fewer than [k] chunks are returned when [n < k]. *)
+let split ~k n =
+  if k <= 0 then invalid_arg "Chunk.split: k must be positive";
+  if n <= 0 then []
+  else
+    let k = Stdlib.min k n in
+    let base = n / k and extra = n mod k in
+    let rec go i lo acc =
+      if i >= k then List.rev acc
+      else
+        let len = base + if i < extra then 1 else 0 in
+        go (i + 1) (lo + len) ({ lo; hi = lo + len } :: acc)
+    in
+    go 0 0 []
+
+(** Split a range according to a directory of boundaries: chunks never
+    straddle a boundary, so Interval-stencil accesses stay local
+    (paper §5: "the range of each machine's chunk is chosen by combining
+    the input data's access stencil with the input's directory"). *)
+let split_on_boundaries ~boundaries n =
+  let bs = List.sort_uniq compare (List.filter (fun b -> b > 0 && b < n) boundaries) in
+  let rec go lo = function
+    | [] -> if lo < n then [ { lo; hi = n } ] else []
+    | b :: rest -> if b > lo then { lo; hi = b } :: go b rest else go lo rest
+  in
+  if n <= 0 then [] else go 0 bs
+
+(** Largest chunk size relative to ideal — the load-imbalance factor used
+    by the simulators ([1.0] = perfectly balanced). *)
+let imbalance ~k n =
+  match split ~k n with
+  | [] -> 1.0
+  | chunks ->
+      let max_sz = List.fold_left (fun m c -> Stdlib.max m (size c)) 0 chunks in
+      let ideal = float_of_int n /. float_of_int (List.length chunks) in
+      float_of_int max_sz /. ideal

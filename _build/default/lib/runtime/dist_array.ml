@@ -1,0 +1,105 @@
+(** Distributed arrays: local chunks plus a directory of index ranges.
+
+    Implements the runtime data structure of paper §5: a partitioned array
+    holds its local chunk plus "additional metadata for accessing the
+    remainder of the logical array".  Reads at indices that are not
+    physically present are trapped and fetched from the owning location;
+    the runtime counts those remote reads so the simulators can charge
+    them to the interconnect. *)
+
+module V = Dmll_interp.Value
+
+type location = { node : int; socket : int }
+
+(** The directory maps index ranges to locations.  Built when a
+    partitioned array is instantiated and (logically) broadcast to every
+    physical instance. *)
+type directory = { ranges : (Chunk.range * location) array; total : int }
+
+type t = {
+  dir : directory;
+  local_of : int -> V.t;  (** location-id -> that location's chunk *)
+  my_location : int;
+  remote_reads : int Atomic.t;  (** trapped non-local accesses *)
+}
+
+let location_count (d : directory) = Array.length d.ranges
+
+(** Build a directory by splitting [n] elements across [locations]
+    round-robin over nodes and sockets. *)
+let make_directory ~n ~nodes ~sockets_per_node : directory =
+  let locs = nodes * sockets_per_node in
+  let chunks = Chunk.split ~k:locs n in
+  let ranges =
+    List.mapi
+      (fun i r ->
+        (r, { node = i / sockets_per_node; socket = i mod sockets_per_node }))
+      chunks
+  in
+  { ranges = Array.of_list ranges; total = n }
+
+(** Which location owns index [i]? *)
+let owner (d : directory) (i : int) : int =
+  let rec bsearch lo hi =
+    if lo >= hi then raise Not_found
+    else
+      let mid = (lo + hi) / 2 in
+      let r, _ = d.ranges.(mid) in
+      if i < r.Chunk.lo then bsearch lo mid
+      else if i >= r.Chunk.hi then bsearch (mid + 1) hi
+      else mid
+  in
+  if i < 0 || i >= d.total then
+    invalid_arg (Printf.sprintf "Dist_array.owner: index %d out of [0,%d)" i d.total)
+  else bsearch 0 (Array.length d.ranges)
+
+(** The index range a location holds. *)
+let range_of (d : directory) (loc : int) : Chunk.range = fst d.ranges.(loc)
+
+(** Partition a concrete array value across a directory. *)
+let scatter (dir : directory) (v : V.t) : t =
+  if V.length v <> dir.total then
+    invalid_arg "Dist_array.scatter: directory size mismatch";
+  let pieces =
+    Array.map
+      (fun (r, _) ->
+        match v with
+        | V.Varr (V.Fa a) -> V.Varr (V.Fa (Array.sub a r.Chunk.lo (Chunk.size r)))
+        | V.Varr (V.Ia a) -> V.Varr (V.Ia (Array.sub a r.Chunk.lo (Chunk.size r)))
+        | V.Varr (V.Ga a) -> V.Varr (V.Ga (Array.sub a r.Chunk.lo (Chunk.size r)))
+        | _ -> invalid_arg "Dist_array.scatter: not an array")
+      dir.ranges
+  in
+  { dir;
+    local_of = (fun loc -> pieces.(loc));
+    my_location = 0;
+    remote_reads = Atomic.make 0;
+  }
+
+(** Read element [i] from the perspective of [from_loc]: local if owned,
+    otherwise a trapped remote fetch (counted). *)
+let read (t : t) ~(from_loc : int) (i : int) : V.t =
+  let loc = owner t.dir i in
+  let r = range_of t.dir loc in
+  if loc <> from_loc then Atomic.incr t.remote_reads;
+  V.get (t.local_of loc) (i - r.Chunk.lo)
+
+let remote_read_count (t : t) = Atomic.get t.remote_reads
+
+(** Reassemble the logical array (gather). *)
+let gather (t : t) : V.t =
+  let pieces = Array.init (location_count t.dir) (fun l -> t.local_of l) in
+  match pieces.(0) with
+  | V.Varr (V.Fa _) ->
+      V.Varr
+        (V.Fa (Array.concat (Array.to_list (Array.map V.to_float_array pieces))))
+  | V.Varr (V.Ia _) ->
+      V.Varr (V.Ia (Array.concat (Array.to_list (Array.map V.to_int_array pieces))))
+  | _ ->
+      let parts =
+        Array.to_list
+          (Array.map
+             (fun p -> Array.init (V.length p) (V.get p))
+             pieces)
+      in
+      V.Varr (V.Ga (Array.concat parts))

@@ -1,0 +1,49 @@
+(** Closure-backed evaluation of open expressions against a value
+    environment.
+
+    The executors walk a program's let-spine holding the values of
+    already-computed bindings; to evaluate the next right-hand side they
+    rebind its free symbols as pseudo-inputs and run the closure backend.
+    Compilation is cheap (one pass over the expression), so executors
+    compile each spine step on demand — and, importantly, each parallel
+    chunk compiles its own closures, which keeps the backend's generator
+    state domain-private. *)
+
+open Dmll_ir
+module V = Dmll_interp.Value
+
+type env = V.t Sym.Map.t
+
+let pseudo_input_name (s : Sym.t) = Printf.sprintf "__env_%d" (Sym.id s)
+
+(** Replace free occurrences of env-bound symbols with pseudo-inputs. *)
+let close_over (env : env) (e : Exp.exp) : Exp.exp * (string * V.t) list =
+  let free = Exp.free_vars e in
+  let bindings =
+    Sym.Map.fold
+      (fun s v acc -> if Sym.Set.mem s free then (s, v) :: acc else acc)
+      env []
+  in
+  let e' =
+    List.fold_left
+      (fun e (s, _) ->
+        Exp.subst1 s (Exp.Input (pseudo_input_name s, Sym.ty s, Exp.Local)) e)
+      e bindings
+  in
+  (e', List.map (fun (s, v) -> (pseudo_input_name s, v)) bindings)
+
+exception Open_expression of Sym.t
+
+(** Evaluate [e] with free symbols bound by [env] and named inputs bound by
+    [inputs].  Raises {!Open_expression} if a free symbol is not in [env]
+    (silently defaulting a slot would produce wrong values — the
+    simulators' size evaluators rely on this failing). *)
+let eval ?(inputs = []) (env : env) (e : Exp.exp) : V.t =
+  let e', pseudo = close_over env e in
+  (match Sym.Set.choose_opt (Exp.free_vars e') with
+  | Some s -> raise (Open_expression s)
+  | None -> ());
+  Dmll_backend.Closure.run ~inputs:(pseudo @ inputs) e'
+
+(** Evaluate an [Int]-typed expression (e.g. a loop size). *)
+let eval_int ?inputs env e = V.as_int (eval ?inputs env e)

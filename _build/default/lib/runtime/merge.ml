@@ -1,0 +1,99 @@
+(** Merging partial generator results from chunked multiloop execution.
+
+    A multiloop split into index chunks produces one partial result per
+    chunk; these merge functions restore exactly the sequential result:
+    collects concatenate in chunk order, reductions fold partials with the
+    loop's own (associative) reduction function, and bucket generators
+    merge per key with first-seen ordering across chunks — which equals
+    the sequential first-seen order because chunks are contiguous and
+    processed in index order. *)
+
+open Dmll_ir
+module V = Dmll_interp.Value
+
+module Vtbl = Hashtbl.Make (struct
+  type t = V.t
+
+  let equal = V.equal
+  let hash = Hashtbl.hash
+end)
+
+(** Concatenate array values, preserving unboxed storage when possible. *)
+let concat_arrays (vs : V.t list) : V.t =
+  let non_empty = List.filter (fun v -> V.length v > 0) vs in
+  match non_empty with
+  | [] -> V.Varr (V.Ga [||])
+  | all when List.for_all (function V.Varr (V.Fa _) -> true | _ -> false) all ->
+      V.Varr (V.Fa (Array.concat (List.map V.to_float_array all)))
+  | all when List.for_all (function V.Varr (V.Ia _) -> true | _ -> false) all ->
+      V.Varr (V.Ia (Array.concat (List.map V.to_int_array all)))
+  | all ->
+      V.Varr
+        (V.Ga
+           (Array.concat (List.map (fun p -> Array.init (V.length p) (V.get p)) all)))
+
+(** Fold partial reductions with the reduction function.  The first partial
+    seeds the fold: every partial already starts from the identity. *)
+let merge_reduce ~(env : Evalenv.env) ~(inputs : (string * V.t) list)
+    (r : Exp.reduce_gen) (parts : V.t list) : V.t =
+  match parts with
+  | [] -> Evalenv.eval ~inputs env r.init
+  | first :: rest ->
+      List.fold_left
+        (fun acc part ->
+          let env' = Sym.Map.add r.a acc (Sym.Map.add r.b part env) in
+          Evalenv.eval ~inputs env' r.rfun)
+        first rest
+
+(** Merge bucket maps with [combine] per key, first-seen order. *)
+let merge_bucket_maps ~(combine : V.t -> V.t -> V.t) (parts : V.t list) : V.t =
+  let tbl = Vtbl.create 64 in
+  let ks = ref (Array.make 16 V.Vunit) in
+  let vs = ref (Array.make 16 V.Vunit) in
+  let n = ref 0 in
+  let push k v =
+    if !n >= Array.length !ks then begin
+      let grow a =
+        let a' = Array.make (2 * Array.length a) V.Vunit in
+        Array.blit a 0 a' 0 !n;
+        a'
+      in
+      ks := grow !ks;
+      vs := grow !vs
+    end;
+    !ks.(!n) <- k;
+    !vs.(!n) <- v;
+    Vtbl.add tbl k !n;
+    incr n
+  in
+  List.iter
+    (fun part ->
+      let m = V.as_map part in
+      Array.iteri
+        (fun i k ->
+          let v = m.V.mvals.(i) in
+          match Vtbl.find_opt tbl k with
+          | Some j -> !vs.(j) <- combine !vs.(j) v
+          | None -> push k v)
+        m.V.mkeys)
+    parts;
+  V.Vmap { mkeys = Array.sub !ks 0 !n; mvals = Array.sub !vs 0 !n }
+
+(** Merge bucket-collect maps (per-key array concatenation in part order). *)
+let merge_bucket_collects (parts : V.t list) : V.t =
+  (* first pass as reduce with array concatenation *)
+  merge_bucket_maps ~combine:(fun a b -> concat_arrays [ a; b ]) parts
+
+(** Merge one generator's partial results. *)
+let merge_gen ~(env : Evalenv.env) ~(inputs : (string * V.t) list) (g : Exp.gen)
+    (parts : V.t list) : V.t =
+  match g with
+  | Exp.Collect _ -> concat_arrays parts
+  | Exp.Reduce r -> merge_reduce ~env ~inputs r parts
+  | Exp.BucketCollect _ -> merge_bucket_collects parts
+  | Exp.BucketReduce r ->
+      merge_bucket_maps
+        ~combine:(fun a b ->
+          let env' = Sym.Map.add r.a a (Sym.Map.add r.b b env) in
+          Evalenv.eval ~inputs env' r.rfun)
+        parts

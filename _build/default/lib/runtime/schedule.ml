@@ -1,0 +1,93 @@
+(** Hierarchical multiloop scheduling (paper §5).
+
+    "The cluster master can partition a given multiloop into chunks and
+    distribute those chunks across machines.  The range of each machine's
+    chunk is chosen by combining the input data's access stencil with the
+    input's directory ... Then each machine can further partition its
+    chunk of work across sockets, cores, and/or GPUs using similar
+    logic."
+
+    {!plan} realizes exactly that: split the iteration space over nodes
+    along the partitioned input's directory boundaries (so Interval-stencil
+    reads stay node-local), then each node's range over its sockets (again
+    boundary-aligned, for NUMA-local reads), then each socket's range over
+    its cores.  The work units drive the simulated executors' accounting
+    and are property-tested for exact coverage and alignment. *)
+
+module M = Dmll_machine.Machine
+
+type unit_of_work = {
+  node : int;
+  socket : int;
+  core : int;
+  range : Chunk.range;
+}
+
+(* Split [r] into at most [k] sub-ranges, cutting only at [boundaries]
+   when the boundaries subdivide it finely enough; otherwise split evenly
+   (the data is replicated or remote-read anyway). *)
+let split_range ~(k : int) ~(boundaries : int list) (r : Chunk.range) :
+    Chunk.range list =
+  let inner = List.filter (fun b -> b > r.Chunk.lo && b < r.Chunk.hi) boundaries in
+  if List.length inner + 1 >= k && inner <> [] then begin
+    (* group boundary-delimited pieces into k near-even runs *)
+    let pieces =
+      Chunk.split_on_boundaries
+        ~boundaries:(List.map (fun b -> b - r.Chunk.lo) inner)
+        (Chunk.size r)
+    in
+    let pieces =
+      List.map
+        (fun p -> { Chunk.lo = p.Chunk.lo + r.Chunk.lo; hi = p.Chunk.hi + r.Chunk.lo })
+        pieces
+    in
+    let np = List.length pieces in
+    let groups = Stdlib.min k np in
+    List.init groups (fun g ->
+        let lo_i = np * g / groups and hi_i = np * (g + 1) / groups in
+        let first = List.nth pieces lo_i and last = List.nth pieces (hi_i - 1) in
+        { Chunk.lo = first.Chunk.lo; hi = last.Chunk.hi })
+  end
+  else
+    List.map
+      (fun c -> { Chunk.lo = c.Chunk.lo + r.Chunk.lo; hi = c.Chunk.hi + r.Chunk.lo })
+      (Chunk.split ~k (Chunk.size r))
+
+(** Plan a loop of [n] iterations over [nodes] machines of [sockets]
+    sockets x [cores] cores, aligning node and socket cuts to
+    [boundaries] (the partitioned input's directory, when it has one). *)
+let plan ?(boundaries = []) ~(nodes : int) ~(sockets : int) ~(cores : int) (n : int) :
+    unit_of_work list =
+  let whole = { Chunk.lo = 0; hi = n } in
+  if n <= 0 then []
+  else
+    List.concat
+      (List.mapi
+         (fun node nr ->
+           List.concat
+             (List.mapi
+                (fun socket sr ->
+                  List.mapi
+                    (fun core cr -> { node; socket; core; range = cr })
+                    (split_range ~k:cores ~boundaries sr))
+                (split_range ~k:sockets ~boundaries nr)))
+         (split_range ~k:nodes ~boundaries whole))
+
+(** Plan for a NUMA machine (single node). *)
+let plan_numa ?(boundaries = []) (m : M.numa) (n : int) : unit_of_work list =
+  plan ~boundaries ~nodes:1 ~sockets:m.M.sockets ~cores:m.M.socket.M.cores n
+
+(** Plan across a cluster of NUMA nodes. *)
+let plan_cluster ?(boundaries = []) (c : M.cluster) (n : int) : unit_of_work list =
+  plan ~boundaries ~nodes:c.M.nodes ~sockets:c.M.node.M.numa.M.sockets
+    ~cores:c.M.node.M.numa.M.socket.M.cores n
+
+(** Does the plan cover [0, n) exactly, in order, without overlap? *)
+let covers (units : unit_of_work list) (n : int) : bool =
+  let ranges = List.map (fun u -> u.range) units in
+  let sorted = List.sort (fun a b -> compare a.Chunk.lo b.Chunk.lo) ranges in
+  let rec go expected = function
+    | [] -> expected = n
+    | r :: rest -> r.Chunk.lo = expected && r.Chunk.hi > r.Chunk.lo && go r.Chunk.hi rest
+  in
+  (n = 0 && units = []) || go 0 sorted

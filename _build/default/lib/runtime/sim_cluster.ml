@@ -1,0 +1,195 @@
+(** Cluster executor/simulator (paper §6.2, Figure 8).
+
+    Models the hierarchical execution of §5: the cluster master partitions
+    each outer multiloop into per-node chunks along the partitioned
+    input's directory boundaries; each node then runs its chunk on its own
+    (modeled) NUMA machine or GPU.  Costs charged per loop:
+
+    - {e compute}: the per-node NUMA (or GPU) time for [n/nodes]
+      iterations — nodes run concurrently, so the slowest node's chunk
+      bounds the phase;
+    - {e broadcast}: [Local] collections consumed by the loop are
+      serialized and sent to every node;
+    - {e replication}: if the partitioned input's stencil is not
+      local-friendly (All/Unknown survived every rewrite), the whole
+      dataset crosses the network — the §4.2 fallback, and the reason the
+      Figure-3 rewrites are "not simply performance optimizations";
+    - {e gather}: [Local]-result generators (reduce, buckets) return each
+      node's partial to the master, which merges them. *)
+
+open Dmll_ir
+module V = Dmll_interp.Value
+module Stencil = Dmll_analysis.Stencil
+module Partition = Dmll_analysis.Partition
+module M = Dmll_machine.Machine
+
+type device = Cpu | Gpu_device
+
+type config = {
+  cluster : M.cluster;
+  device : device;  (** run node chunks on cores or on the node's GPU *)
+  gpu_options : Sim_gpu.options;
+}
+
+let default_config =
+  { cluster = M.ec2_cluster; device = Cpu; gpu_options = Sim_gpu.default_options }
+
+let net_seconds (c : M.cluster) ~bytes ~messages =
+  (bytes /. (c.M.net_bw_gbs *. 1e9))
+  +. (float_of_int messages *. c.M.net_lat_us *. 1e-6)
+
+let ser_seconds (c : M.cluster) ~bytes = bytes /. (c.M.ser_gbs *. 1e9)
+
+(* Collective phases (broadcast / gather) run as pipelined trees: latency
+   scales with log2(nodes), and the wire carries ~2x the payload end to
+   end rather than one copy per receiver. *)
+let tree_depth nodes = Stdlib.max 1 (int_of_float (ceil (log (float_of_int (Stdlib.max 2 nodes)) /. log 2.0)))
+
+(* Simulated time of one outer loop on the cluster. *)
+let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
+    ~(inputs_ty : (string * Types.ty) list) ~(eval_size : Exp.exp -> int option)
+    ~(env : Evalenv.env) ~(inputs : (string * V.t) list) (l : Exp.loop) ~(n : int) :
+    float * (string * float) list =
+  let c = config.cluster in
+  let nodes = c.M.nodes in
+  let stencils = Stencil.of_loop l in
+  let partitioned =
+    List.filter (fun (t, _) -> layout_of t = Exp.Partitioned) stencils
+  in
+  let value_of_target t =
+    match t with
+    | Stencil.Tinput name -> List.assoc_opt name inputs
+    | Stencil.Tsym s -> Sym.Map.find_opt s env
+  in
+  if partitioned = [] then begin
+    (* no distributed data: the loop runs on the master node alone *)
+    let numa_cfg =
+      { Sim_numa.machine = config.cluster.M.node.M.numa;
+        threads = M.total_cores config.cluster.M.node.M.numa;
+        mode = Sim_numa.Numa_aware;
+      }
+    in
+    let dt =
+      Sim_numa.loop_time ~machine:numa_cfg.Sim_numa.machine
+        ~threads:numa_cfg.Sim_numa.threads ~mode:numa_cfg.Sim_numa.mode ~layout_of
+        ~inputs_ty ~eval_size l ~n
+    in
+    (dt, [ ("master-only", dt) ])
+  end
+  else begin
+    (* per-node compute on a 1/nodes chunk *)
+    let chunk_n = (n + nodes - 1) / nodes in
+    let compute_s =
+      match config.device with
+      | Cpu ->
+          Sim_numa.loop_time ~machine:c.M.node.M.numa
+            ~threads:(M.total_cores c.M.node.M.numa) ~mode:Sim_numa.Numa_aware
+            ~layout_of ~inputs_ty ~eval_size l ~n:chunk_n
+      | Gpu_device -> (
+          match c.M.node.M.gpu with
+          | None -> invalid_arg "Sim_cluster: node has no GPU"
+          | Some gpu -> (
+              match
+                Dmll_backend.Gpu.kernels_of
+                  ~transposed:config.gpu_options.Sim_gpu.transpose ~eval_size
+                  (Exp.Loop l)
+              with
+              | k :: _ ->
+                  Sim_gpu.kernel_time
+                    ~row_to_column:config.gpu_options.Sim_gpu.row_to_column ~gpu
+                    ~n:chunk_n k
+              | [] -> 0.0))
+    in
+    (* broadcast every Local collection the loop consumes *)
+    let broadcast_bytes =
+      List.fold_left
+        (fun acc (t, _) ->
+          if layout_of t = Exp.Local then
+            match value_of_target t with
+            | Some v -> acc +. Sim_common.value_bytes v
+            | None -> acc
+          else acc)
+        0.0 stencils
+    in
+    let broadcast_s =
+      ser_seconds c ~bytes:broadcast_bytes
+      +. net_seconds c ~bytes:(broadcast_bytes *. 2.0) ~messages:(tree_depth nodes)
+    in
+    (* replication fallback for non-local-friendly partitioned stencils *)
+    let replicate_bytes =
+      List.fold_left
+        (fun acc (t, s) ->
+          if Stencil.local_friendly s then acc
+          else
+            match value_of_target t with
+            | Some v -> acc +. Sim_common.value_bytes v
+            | None -> acc)
+        0.0 partitioned
+    in
+    let replicate_s =
+      if replicate_bytes = 0.0 then 0.0
+      else
+        ser_seconds c ~bytes:replicate_bytes
+        +. net_seconds c ~bytes:(replicate_bytes *. 2.0) ~messages:(tree_depth nodes)
+    in
+    (* gather Local results (reduce / bucket partials) from every node *)
+    let gather_bytes =
+      List.fold_left
+        (fun acc g ->
+          match g with
+          | Exp.Collect _ -> acc (* stays partitioned *)
+          | Exp.Reduce { init; _ } -> (
+              match Evalenv.eval ~inputs env init with
+              | v -> acc +. Sim_common.value_bytes v
+              | exception _ -> acc +. 64.0)
+          | Exp.BucketCollect _ | Exp.BucketReduce _ ->
+              acc +. 4096.0 (* modest per-node bucket table *))
+        0.0 l.Exp.gens
+    in
+    let gather_s =
+      ser_seconds c ~bytes:(gather_bytes *. float_of_int nodes)
+      +. net_seconds c
+           ~bytes:(gather_bytes *. float_of_int (nodes - 1))
+           ~messages:(tree_depth nodes)
+    in
+    let total = compute_s +. broadcast_s +. replicate_s +. gather_s in
+    ( total,
+      [ ("compute", compute_s); ("broadcast", broadcast_s);
+        ("replicate", replicate_s); ("gather", gather_s) ] )
+  end
+
+(** Execute [program] exactly; charge simulated time on the cluster. *)
+let run ?(config = default_config) ?layouts ~(inputs : (string * V.t) list)
+    (program : Exp.exp) : Sim_common.result =
+  let layouts =
+    match layouts with
+    | Some ls -> ls
+    | None ->
+        (Partition.analyze ~transforms:[] ~reoptimize:(fun e -> e) program)
+          .Partition.layouts
+  in
+  let layout_of t = Partition.layout_of t layouts in
+  let inputs_ty = Sim_common.program_input_tys program in
+  let time = ref 0.0 in
+  let breakdown = ref [] in
+  let value =
+    Spine.exec ~inputs
+      ~on_loop:(fun env sym l ->
+        let eval_size = Sim_common.live_size_evaluator ~inputs env in
+        let n = match eval_size l.Exp.size with Some n -> n | None -> 0 in
+        let dt, parts =
+          loop_time ~config ~layout_of ~inputs_ty ~eval_size ~env ~inputs l ~n
+        in
+        time := !time +. dt;
+        let name = match sym with Some s -> Sym.to_string s | None -> "result" in
+        breakdown := (name, dt) :: List.map (fun (p, s) -> (name ^ "/" ^ p, s)) parts @ !breakdown;
+        Evalenv.eval ~inputs env (Exp.Loop l))
+      program
+  in
+  { Sim_common.value; seconds = !time; breakdown = List.rev !breakdown }
+
+(** Simulated seconds to load/scatter the partitioned dataset initially
+    (reported separately, as the paper separates load from compute). *)
+let scatter_seconds ?(config = default_config) ~(bytes : float) () : float =
+  let c = config.cluster in
+  ser_seconds c ~bytes +. net_seconds c ~bytes ~messages:c.M.nodes

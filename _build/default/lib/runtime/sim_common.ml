@@ -1,0 +1,93 @@
+(** Shared pieces of the analytic executors.
+
+    Each simulator executes the program for real (via the closure backend,
+    so results are exact) and separately accounts {e simulated} wall-clock
+    time on a modeled machine from loop sizes, per-iteration costs, read
+    stencils, and data layouts.  Absolute times are model outputs, not
+    measurements; the benches compare {e ratios} (speedups), which is what
+    the paper's figures report. *)
+
+open Dmll_ir
+module V = Dmll_interp.Value
+module Stencil = Dmll_analysis.Stencil
+module Cost = Dmll_analysis.Cost
+
+type result = {
+  value : V.t;
+  seconds : float;
+  breakdown : (string * float) list;  (** per-phase simulated seconds *)
+}
+
+(** Approximate in-memory size of a value, for communication costs. *)
+let rec value_bytes (v : V.t) : float =
+  match v with
+  | V.Vunit | V.Vbool _ -> 1.0
+  | V.Vint _ | V.Vfloat _ -> 8.0
+  | V.Vstr s -> float_of_int (String.length s + 16)
+  | V.Varr (V.Fa a) -> 8.0 *. float_of_int (Array.length a)
+  | V.Varr (V.Ia a) -> 8.0 *. float_of_int (Array.length a)
+  | V.Varr (V.Ga a) ->
+      Array.fold_left (fun acc x -> acc +. value_bytes x) 16.0 a
+  | V.Vtup vs -> Array.fold_left (fun acc x -> acc +. value_bytes x) 0.0 vs
+  | V.Vstruct fs -> Array.fold_left (fun acc (_, x) -> acc +. value_bytes x) 0.0 fs
+  | V.Vmap m ->
+      Array.fold_left (fun acc x -> acc +. value_bytes x) 0.0 m.V.mkeys
+      +. Array.fold_left (fun acc x -> acc +. value_bytes x) 0.0 m.V.mvals
+
+(** A size evaluator backed by the live environment: resolves any
+    index-free size expression by actually evaluating it. *)
+let live_size_evaluator ~(inputs : (string * V.t) list) (env : Evalenv.env) :
+    Exp.exp -> int option =
+  fun e ->
+    match Evalenv.eval_int ~inputs env e with
+    | n -> Some n
+    | exception _ -> None
+
+(** Element byte-size of a stencil target. *)
+let target_elem_bytes ~(inputs_ty : (string * Types.ty) list) (t : Stencil.target) :
+    float =
+  let ty =
+    match t with
+    | Stencil.Tinput n -> List.assoc_opt n inputs_ty
+    | Stencil.Tsym s -> Some (Sym.ty s)
+  in
+  match ty with
+  | Some (Types.Arr t) -> float_of_int (Types.byte_size t)
+  | Some (Types.Map (_, v)) -> float_of_int (Types.byte_size v)
+  | _ -> 8.0
+
+(** Per-iteration bytes read from collections satisfying [select], with
+    inner-loop multiplicities resolved by [eval_size]. *)
+let selected_bytes_per_iter ~(eval_size : Exp.exp -> int option)
+    ~(inputs_ty : (string * Types.ty) list) ~(select : Stencil.target -> bool)
+    (l : Exp.loop) : float =
+  List.fold_left
+    (fun acc (t, (site : Stencil.site)) ->
+      if not (select t) then acc
+      else
+        match site.Stencil.subscript with
+        | None -> acc
+        | Some _ ->
+            let mult =
+              List.fold_left
+                (fun m (_, sz) ->
+                  match eval_size sz with
+                  | Some n -> m *. float_of_int (Stdlib.max 1 n)
+                  | None -> m *. 16.0)
+                1.0
+                (match site.Stencil.enclosing with [] -> [] | _ :: inner -> inner)
+            in
+            acc +. (mult *. target_elem_bytes ~inputs_ty t))
+    0.0 (Stencil.sites_of_loop l)
+
+(** Input types declared in a program. *)
+let program_input_tys (e : Exp.exp) : (string * Types.ty) list =
+  let tbl = Hashtbl.create 8 in
+  ignore
+    (Exp.fold
+       (fun () n ->
+         match n with
+         | Exp.Input (name, ty, _) -> Hashtbl.replace tbl name ty
+         | _ -> ())
+       () e);
+  Hashtbl.fold (fun n t acc -> (n, t) :: acc) tbl []

@@ -1,0 +1,154 @@
+(** NUMA machine simulator (paper §6.1, Figure 7).
+
+    Executes the program exactly (closure backend) while charging each
+    outer multiloop simulated time on a modeled multi-socket machine under
+    one of three memory policies:
+
+    - [Numa_aware] — DMLL: large partitioned arrays are spread across
+      every socket's memory, so streaming bandwidth scales with the number
+      of sockets in use;
+    - [Pin_only] — threads are pinned and allocate thread-locally, but the
+      input dataset lives on the socket that loaded it: streaming the
+      dataset is capped at one socket's memory bandwidth (plus the
+      interconnect);
+    - [Delite] — no pinning, no thread-local heaps (the stock runtime the
+      paper compares against): bandwidth stops improving past the second
+      socket and the cache-coherence traffic of unpinned threads adds a
+      fixed tax.
+
+    The model is a roofline: per loop, time = max(compute, memory) scaled
+    by chunking imbalance, plus a per-loop fork/join overhead.  Apps with
+    high arithmetic intensity scale on cores in every mode; streaming apps
+    (TPC-H Q1, gene barcoding) separate the three policies — exactly the
+    behaviour Figure 7 reports. *)
+
+open Dmll_ir
+module V = Dmll_interp.Value
+module Stencil = Dmll_analysis.Stencil
+module Cost = Dmll_analysis.Cost
+module Partition = Dmll_analysis.Partition
+
+type mode = Delite | Pin_only | Numa_aware
+
+let mode_to_string = function
+  | Delite -> "Delite"
+  | Pin_only -> "DMLL Pin-only"
+  | Numa_aware -> "DMLL"
+
+(* Per-loop fork/join + scheduling overhead, seconds. *)
+let fork_join_overhead ~threads = 4e-6 +. (2e-7 *. float_of_int threads)
+
+let loop_time ~(machine : Dmll_machine.Machine.numa) ~(threads : int) ~(mode : mode)
+    ~(layout_of : Stencil.target -> Exp.layout) ~(inputs_ty : (string * Types.ty) list)
+    ~(eval_size : Exp.exp -> int option) (l : Exp.loop) ~(n : int) : float =
+  let gather_bound =
+    (* data-dependent (Unknown-stencil) reads of partitioned data: random
+       access wastes most of each cache line and crosses sockets *)
+    List.exists
+      (fun (t, s) -> layout_of t = Exp.Partitioned && s = Stencil.Unknown)
+      (Stencil.of_loop l)
+  in
+  if n = 0 then fork_join_overhead ~threads
+  else begin
+    let sock = machine.Dmll_machine.Machine.socket in
+    let cores_per_socket = sock.Dmll_machine.Machine.cores in
+    let t = Stdlib.min threads n in
+    (* sockets actually in use: pinned threads pack cores, and a loop with
+       fewer iterations than threads leaves the extra threads idle *)
+    let s_used =
+      Stdlib.min machine.Dmll_machine.Machine.sockets
+        ((t + cores_per_socket - 1) / cores_per_socket)
+    in
+    let per_iter = Cost.per_iter ~eval_size ~default_size:16 l in
+    let fn = float_of_int n in
+    let flops_total = fn *. per_iter.Cost.flops in
+    let total_bytes = fn *. (per_iter.Cost.bytes_read +. per_iter.Cost.bytes_written) in
+    (* bytes streamed from partitioned collections *)
+    let part_bytes =
+      fn
+      *. Sim_common.selected_bytes_per_iter ~eval_size ~inputs_ty
+           ~select:(fun tgt -> layout_of tgt = Exp.Partitioned)
+           l
+    in
+    let part_bytes = Stdlib.min part_bytes total_bytes in
+    let other_bytes = Stdlib.max 0.0 (total_bytes -. part_bytes) in
+    let local_bw = sock.Dmll_machine.Machine.local_bw_gbs *. 1e9 in
+    let remote_bw = sock.Dmll_machine.Machine.remote_bw_gbs *. 1e9 in
+    let sf = float_of_int s_used in
+    (* effective bandwidth for the big partitioned dataset *)
+    let gather_div = if gather_bound then 3.0 else 1.0 in
+    let part_bw =
+      match mode with
+      | Numa_aware ->
+          if machine.Dmll_machine.Machine.malloc_numa_aware then sf *. local_bw
+          else local_bw *. 1.3 (* JVM cannot place memory; interleave at best *)
+      | Pin_only ->
+          (* dataset on one socket: its controller plus interconnect pull *)
+          if s_used <= 1 then local_bw
+          else local_bw +. Stdlib.min (local_bw *. 0.3) ((sf -. 1.0) *. remote_bw *. 0.5)
+      | Delite ->
+          (* unpinned: allocations land on the loading socket; remote
+             accesses fight over the interconnect *)
+          if s_used <= 1 then local_bw else local_bw *. 1.2
+    in
+    (* effective bandwidth for thread-local/broadcast data *)
+    let other_bw =
+      match mode with
+      | Numa_aware | Pin_only -> sf *. local_bw
+      | Delite -> if s_used <= 1 then local_bw else local_bw *. 1.6
+    in
+    (* unpinned threads pay a coherence/migration tax on compute *)
+    let compute_tax =
+      match mode with Delite when s_used > 1 -> 1.25 | _ -> 1.0 in
+    let compute_s =
+      compute_tax *. flops_total
+      /. (float_of_int t *. sock.Dmll_machine.Machine.core_gflops *. 1e9)
+    in
+    let mem_s = (part_bytes /. (part_bw /. gather_div)) +. (other_bytes /. other_bw) in
+    let imbalance = Chunk.imbalance ~k:t n in
+    (Stdlib.max compute_s mem_s *. imbalance) +. fork_join_overhead ~threads:t
+  end
+
+type config = {
+  machine : Dmll_machine.Machine.numa;
+  threads : int;
+  mode : mode;
+}
+
+(** Execute [program] exactly and return its value plus the simulated time
+    on [config].  Layouts default to the partitioning analysis of the
+    program itself. *)
+let run ?(config =
+          { machine = Dmll_machine.Machine.stanford_numa; threads = 1; mode = Numa_aware })
+    ?layouts ~(inputs : (string * V.t) list) (program : Exp.exp) : Sim_common.result =
+  let layouts =
+    match layouts with
+    | Some ls -> ls
+    | None -> (Partition.analyze ~transforms:[] ~reoptimize:(fun e -> e) program).Partition.layouts
+  in
+  let layout_of t = Partition.layout_of t layouts in
+  let inputs_ty = Sim_common.program_input_tys program in
+  let time = ref 0.0 in
+  let breakdown = ref [] in
+  let value =
+    Spine.exec ~inputs
+      ~on_loop:(fun env sym l ->
+        let eval_size = Sim_common.live_size_evaluator ~inputs env in
+        let n = match eval_size l.Exp.size with Some n -> n | None -> 0 in
+        let dt =
+          loop_time ~machine:config.machine ~threads:config.threads ~mode:config.mode
+            ~layout_of ~inputs_ty ~eval_size l ~n
+        in
+        time := !time +. dt;
+        let name =
+          match sym with Some s -> Sym.to_string s | None -> "result"
+        in
+        breakdown := (name, dt) :: !breakdown;
+        Evalenv.eval ~inputs env (Exp.Loop l))
+      program
+  in
+  { Sim_common.value; seconds = !time; breakdown = List.rev !breakdown }
+
+(** Simulated time only (value discarded). *)
+let time ?config ?layouts ~inputs program =
+  (run ?config ?layouts ~inputs program).Sim_common.seconds

@@ -1,0 +1,43 @@
+(** Let-spine walking shared by every executor.
+
+    A DMLL program after optimization is a chain of let-bound steps ending
+    in a result expression.  Executors differ only in {e how} they evaluate
+    a step whose right-hand side is a multiloop (in parallel, on a device
+    model, across a simulated cluster); everything else — scalar glue,
+    sequential steps, the final result — is shared here. *)
+
+open Dmll_ir
+module V = Dmll_interp.Value
+
+type step_kind =
+  | Parallel of Exp.loop  (** a multiloop: the executor's business *)
+  | Sequential of Exp.exp  (** everything else *)
+
+(** [exec ~inputs ~on_loop program] walks the spine.  [on_loop env sym loop]
+    must return the loop's value; sequential steps and the final expression
+    are evaluated with the closure backend. *)
+let exec ~(inputs : (string * V.t) list)
+    ~(on_loop : Evalenv.env -> Sym.t option -> Exp.loop -> V.t) (program : Exp.exp) :
+    V.t =
+  let rec go (env : Evalenv.env) (e : Exp.exp) : V.t =
+    match e with
+    | Exp.Let (s, Exp.Loop l, body) ->
+        let v = on_loop env (Some s) l in
+        go (Sym.Map.add s v env) body
+    | Exp.Let (s, rhs, body) ->
+        let v = Evalenv.eval ~inputs env rhs in
+        go (Sym.Map.add s v env) body
+    | Exp.Loop l -> on_loop env None l
+    | e -> Evalenv.eval ~inputs env e
+  in
+  go Sym.Map.empty program
+
+(** Steps of the spine, for analyses that only need the shape. *)
+let steps (program : Exp.exp) : (Sym.t option * step_kind) list =
+  let rec go acc = function
+    | Exp.Let (s, Exp.Loop l, body) -> go ((Some s, Parallel l) :: acc) body
+    | Exp.Let (s, rhs, body) -> go ((Some s, Sequential rhs) :: acc) body
+    | Exp.Loop l -> List.rev ((None, Parallel l) :: acc)
+    | e -> List.rev ((None, Sequential e) :: acc)
+  in
+  go [] program

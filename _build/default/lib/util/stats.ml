@@ -1,0 +1,54 @@
+(** Small statistics helpers used by the benchmark harness and tests. *)
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else
+    let m = mean a in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a
+    /. float_of_int (n - 1)
+
+let stddev a = sqrt (variance a)
+
+(** [percentile p a] with [p] in [\[0,100\]]; linear interpolation. *)
+let percentile p a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let s = Array.copy a in
+  Array.sort compare s;
+  if n = 1 then s.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (s.(lo) *. (1.0 -. frac)) +. (s.(hi) *. frac)
+  end
+
+let median a = percentile 50.0 a
+
+(** Geometric mean; requires strictly positive entries. *)
+let geomean a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.geomean: empty";
+  exp (Array.fold_left (fun acc x -> acc +. log x) 0.0 a /. float_of_int n)
+
+(** Histogram of [a] into [bins] equal-width buckets over [\[lo, hi)]. *)
+let histogram ~bins ~lo ~hi a =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let h = Array.make bins 0 in
+  let w = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun x ->
+      if x >= lo && x < hi then begin
+        let b = int_of_float ((x -. lo) /. w) in
+        let b = Stdlib.min b (bins - 1) in
+        h.(b) <- h.(b) + 1
+      end)
+    a;
+  h

@@ -1,0 +1,96 @@
+(** ASCII table rendering for the benchmark harness.
+
+    The benchmark binary prints one table per paper table/figure; this module
+    keeps them aligned and readable in a terminal and in [bench_output.txt]. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  header : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reverse order *)
+}
+
+let create ~title ~header ?aligns () =
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> List.length header then
+          invalid_arg "Table.create: aligns/header length mismatch";
+        a
+    | None -> List.map (fun _ -> Left) header
+  in
+  { title; header; aligns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d cells, got %d"
+         (List.length t.header) (List.length row));
+  t.rows <- row :: t.rows
+
+let addf t fmt = Printf.ksprintf (fun s -> add_row t (String.split_on_char '|' s)) fmt
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)))
+    all;
+  let pad align w s =
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let line ch =
+    "+"
+    ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) ch) widths))
+    ^ "+"
+  in
+  let render_row row =
+    "| "
+    ^ String.concat " | "
+        (List.mapi (fun i cell -> pad (List.nth t.aligns i) widths.(i) cell) row)
+    ^ " |"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '=');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (render_row r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+(** Format seconds compactly: picks ns/us/ms/s. *)
+let fmt_time s =
+  if s < 1e-6 then Printf.sprintf "%.1fns" (s *. 1e9)
+  else if s < 1e-3 then Printf.sprintf "%.2fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.3fs" s
+
+let fmt_speedup x = Printf.sprintf "%.2fx" x
+
+let fmt_pct x = Printf.sprintf "%+.1f%%" x
+
+let fmt_bytes (b : float) =
+  if b < 1024.0 then Printf.sprintf "%.0fB" b
+  else if b < 1024.0 ** 2.0 then Printf.sprintf "%.1fKB" (b /. 1024.0)
+  else if b < 1024.0 ** 3.0 then Printf.sprintf "%.1fMB" (b /. (1024.0 ** 2.0))
+  else Printf.sprintf "%.2fGB" (b /. (1024.0 ** 3.0))

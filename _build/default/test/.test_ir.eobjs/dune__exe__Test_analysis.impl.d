@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Builder Cost Dmll_analysis Dmll_interp Dmll_ir Exp Linear List Partition Stencil String Sym Types

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Dimmwitted Dmll_apps Dmll_baselines Dmll_data Dmll_graph Float List Minigraph Minispark Spark_apps

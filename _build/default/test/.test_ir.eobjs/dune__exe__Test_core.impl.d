@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Dmll Dmll_analysis Dmll_apps Dmll_data Dmll_dsl Dmll_interp Dmll_ir Dmll_machine Dmll_runtime Dmll_testgen Float List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Dmll_data Dmll_graph Dmll_util Float Hashtbl List QCheck QCheck_alcotest Stdlib

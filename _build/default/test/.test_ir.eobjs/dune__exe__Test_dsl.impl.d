@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Array Dmll_dsl Dmll_interp Dmll_ir Exp Fmt Interp List Typecheck Value

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Builder Dmll_interp Dmll_ir Dmll_testgen Exp Float Fmt Interp Prim QCheck QCheck_alcotest Sym Types Value

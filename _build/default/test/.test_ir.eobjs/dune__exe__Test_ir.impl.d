@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Dmll_ir Dmll_testgen Exp Fmt List Pp QCheck QCheck_alcotest String Sym Typecheck Types

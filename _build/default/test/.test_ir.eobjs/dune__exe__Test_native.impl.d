@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Array Dmll Dmll_apps Dmll_backend Dmll_data Dmll_graph Dmll_interp Interp Lazy Printf Value

@@ -1,0 +1,1 @@
+test/support/gen_ir.ml: Builder Dmll_ir Exp Float List Pp Prim QCheck Sym Types

@@ -1,0 +1,242 @@
+(** Random well-typed DMLL program generation for property-based tests.
+
+    The generator produces closed, well-typed expressions that always
+    evaluate without runtime errors (indices are clamped, divisions
+    guarded, reductions restricted to associative-commutative operators so
+    that chunked parallel evaluation is equivalent to sequential
+    evaluation up to float rounding).  Semantic-preservation properties
+    for every optimization pass are stated over these programs. *)
+
+open Dmll_ir
+open Exp
+
+type env = (Sym.t * Types.ty) list
+
+let gen_return = QCheck.Gen.return
+let ( let* ) = QCheck.Gen.( let* )
+
+(* Variables of type [ty] available in [env]. *)
+let vars_of env ty =
+  List.filter_map (fun (s, t) -> if Types.equal t ty then Some (Var s) else None) env
+
+(* A total read: guarded against empty arrays (a conditional Collect can
+   produce zero elements) and with the index clamped into bounds. *)
+let safe_read ~default arr idx =
+  let open Builder in
+  if_ (Len arr =! int_ 0) default (Read (arr, imax_ (int_ 0) idx %! Len arr))
+
+let int_leaf env : exp QCheck.Gen.t =
+  let open QCheck.Gen in
+  let consts = map (fun i -> int_ i) (int_range (-20) 20) in
+  match vars_of env Types.Int with
+  | [] -> consts
+  | vs -> oneof [ consts; oneofl vs ]
+
+let float_leaf env : exp QCheck.Gen.t =
+  let open QCheck.Gen in
+  let consts = map (fun f -> float_ (Float.of_int f /. 4.0)) (int_range (-40) 40) in
+  match vars_of env Types.Float with
+  | [] -> consts
+  | vs -> oneof [ consts; oneofl vs ]
+
+let bool_leaf env : exp QCheck.Gen.t =
+  let open QCheck.Gen in
+  let consts = map (fun b -> bool_ b) bool in
+  match vars_of env Types.Bool with
+  | [] -> consts
+  | vs -> oneof [ consts; oneofl vs ]
+
+(* [gen_exp env ty fuel] generates an expression of type [ty]. *)
+let rec gen_exp (env : env) (ty : Types.ty) (fuel : int) : exp QCheck.Gen.t =
+  let open QCheck.Gen in
+  if fuel <= 0 then gen_leaf env ty
+  else
+    match ty with
+    | Types.Int ->
+        let arr_reads =
+          match vars_of env (Types.Arr Types.Int) with
+          | [] -> []
+          | vs ->
+              [ (let* a = oneofl vs in
+                 let* i = gen_exp env Types.Int (fuel / 2) in
+                 gen_return (safe_read ~default:(Exp.int_ 0) a i));
+              ]
+        in
+        oneof
+          ([ gen_leaf env ty;
+             (let* p = oneofl Prim.[ Add; Sub; Mul; Min; Max ] in
+              let* a = gen_exp env Types.Int (fuel / 2) in
+              let* b = gen_exp env Types.Int (fuel / 2) in
+              gen_return (Prim (p, [ a; b ])));
+             gen_if env ty fuel;
+             gen_let env ty fuel;
+             gen_isum env fuel;
+           ]
+          @ arr_reads)
+    | Types.Float ->
+        let arr_reads =
+          match vars_of env (Types.Arr Types.Float) with
+          | [] -> []
+          | vs ->
+              [ (let* a = oneofl vs in
+                 let* i = gen_exp env Types.Int (fuel / 2) in
+                 gen_return (safe_read ~default:(Exp.float_ 0.0) a i));
+              ]
+        in
+        oneof
+          ([ gen_leaf env ty;
+             (let* p = oneofl Prim.[ Fadd; Fsub; Fmul; Fmin; Fmax ] in
+              let* a = gen_exp env Types.Float (fuel / 2) in
+              let* b = gen_exp env Types.Float (fuel / 2) in
+              gen_return (Prim (p, [ a; b ])));
+             gen_if env ty fuel;
+             gen_let env ty fuel;
+             gen_fsum env fuel;
+           ]
+          @ arr_reads)
+    | Types.Bool ->
+        oneof
+          [ gen_leaf env ty;
+            (let* p = oneofl Prim.[ Eq; Ne; Lt; Le; Gt; Ge ] in
+             let* a = gen_exp env Types.Int (fuel / 2) in
+             let* b = gen_exp env Types.Int (fuel / 2) in
+             gen_return (Prim (p, [ a; b ])));
+            (let* p = oneofl Prim.[ And; Or ] in
+             let* a = gen_exp env Types.Bool (fuel / 2) in
+             let* b = gen_exp env Types.Bool (fuel / 2) in
+             gen_return (Prim (p, [ a; b ])));
+          ]
+    | Types.Arr Types.Float -> gen_collect env Types.Float fuel
+    | Types.Arr Types.Int -> gen_collect env Types.Int fuel
+    | _ -> gen_leaf env ty
+
+and gen_leaf env ty : exp QCheck.Gen.t =
+  let open QCheck.Gen in
+  match ty with
+  | Types.Int -> int_leaf env
+  | Types.Float -> float_leaf env
+  | Types.Bool -> bool_leaf env
+  | Types.Arr elt -> (
+      match vars_of env ty with
+      | [] ->
+          (* a small constant collect *)
+          let* n = int_range 1 5 in
+          let* body = gen_leaf env elt in
+          gen_return (Builder.collect ~size:(int_ n) (fun _ -> body))
+      | vs -> oneofl vs)
+  | _ -> QCheck.Gen.return unit_
+
+and gen_if env ty fuel =
+  let* c = gen_exp env Types.Bool (fuel / 3) in
+  let* t = gen_exp env ty (fuel / 2) in
+  let* e = gen_exp env ty (fuel / 2) in
+  gen_return (If (c, t, e))
+
+and gen_let env ty fuel =
+  let open QCheck.Gen in
+  let* bty = oneofl [ Types.Int; Types.Float; Types.Arr Types.Float ] in
+  let* bound = gen_exp env bty (fuel / 2) in
+  let s = Sym.fresh ~name:"g" bty in
+  let* body = gen_exp ((s, bty) :: env) ty (fuel / 2) in
+  gen_return (Let (s, bound, body))
+
+and gen_collect env elt fuel =
+  let open QCheck.Gen in
+  let* n = int_range 1 8 in
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let env' = (idx, Types.Int) :: env in
+  let* value = gen_exp env' elt (fuel / 2) in
+  let* with_cond = bool in
+  let* cond =
+    if with_cond then
+      let* c = gen_exp env' Types.Bool (fuel / 3) in
+      gen_return (Some c)
+    else gen_return None
+  in
+  gen_return (Loop { size = int_ n; idx; gens = [ Collect { cond; value } ] })
+
+and gen_fsum env fuel =
+  let* n = QCheck.Gen.int_range 1 8 in
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let env' = (idx, Types.Int) :: env in
+  let* value = gen_exp env' Types.Float (fuel / 2) in
+  let a = Sym.fresh ~name:"a" Types.Float and b = Sym.fresh ~name:"b" Types.Float in
+  gen_return
+    (Loop
+       { size = int_ n;
+         idx;
+         gens =
+           [ Reduce
+               { cond = None;
+                 value;
+                 a;
+                 b;
+                 rfun = Prim (Prim.Fadd, [ Var a; Var b ]);
+                 init = float_ 0.0;
+               };
+           ];
+       })
+
+and gen_isum env fuel =
+  let* n = QCheck.Gen.int_range 1 8 in
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let env' = (idx, Types.Int) :: env in
+  let* value = gen_exp env' Types.Int (fuel / 2) in
+  let a = Sym.fresh ~name:"a" Types.Int and b = Sym.fresh ~name:"b" Types.Int in
+  gen_return
+    (Loop
+       { size = int_ n;
+         idx;
+         gens =
+           [ Reduce
+               { cond = None;
+                 value;
+                 a;
+                 b;
+                 rfun = Prim (Prim.Add, [ Var a; Var b ]);
+                 init = int_ 0;
+               };
+           ];
+       })
+
+(** A closed program of scalar or array type, with nested loops. *)
+let program : exp QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* ty =
+    oneofl [ Types.Int; Types.Float; Types.Arr Types.Float; Types.Arr Types.Int ]
+  in
+  let* fuel = int_range 4 24 in
+  gen_exp [] ty fuel
+
+(** A closed program together with a bucket-reduce at the top, exercising
+    the grouping generators. *)
+let bucket_program : exp QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 1 16 in
+  let* k = int_range 1 4 in
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let* value = gen_exp [ (idx, Types.Int) ] Types.Float 6 in
+  let a = Sym.fresh ~name:"a" Types.Float and b = Sym.fresh ~name:"b" Types.Float in
+  let open Builder in
+  gen_return
+    (Loop
+       { size = int_ n;
+         idx;
+         gens =
+           [ BucketReduce
+               { cond = None;
+                 key = Var idx %! int_ k;
+                 value;
+                 a;
+                 b;
+                 rfun = Var a +. Var b;
+                 init = float_ 0.0;
+               };
+           ];
+       })
+
+let arbitrary_program =
+  QCheck.make ~print:(fun e -> Pp.to_string e) program
+
+let arbitrary_bucket_program =
+  QCheck.make ~print:(fun e -> Pp.to_string e) bucket_program

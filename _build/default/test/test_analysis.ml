@@ -1,0 +1,305 @@
+(* Tests of the analysis library: affine forms, read-stencil
+   classification, Algorithm-1 partitioning with stencil-triggered
+   rewrites, and the cost model. *)
+
+open Dmll_ir
+open Dmll_analysis
+open Exp
+open Builder
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let stencil : Stencil.t Alcotest.testable =
+  Alcotest.testable Stencil.pp ( = )
+
+(* ---------------- linear ---------------- *)
+
+let test_linear_forms () =
+  let i = Sym.fresh ~name:"i" Types.Int in
+  let j = Sym.fresh ~name:"j" Types.Int in
+  let c = Sym.fresh ~name:"c" Types.Int in
+  (* i -> (1, 0) *)
+  (match Linear.in_index i (Var i) with
+  | Some (a, b) ->
+      check tbool "coeff 1" true (Linear.is_one a);
+      check tbool "offset 0" true (Linear.is_zero b)
+  | None -> Alcotest.fail "i is linear in i");
+  (* i*c + j -> (c, j) *)
+  (match Linear.in_index i ((Var i *! Var c) +! Var j) with
+  | Some (a, b) ->
+      check tbool "coeff c" true (Linear.coeff_equal a (Var c));
+      check tbool "offset j" true (Linear.coeff_equal b (Var j))
+  | None -> Alcotest.fail "row subscript is linear");
+  (* j alone -> (0, j) *)
+  (match Linear.in_index i (Var j) with
+  | Some (a, _) -> check tbool "coeff 0" true (Linear.is_zero a)
+  | None -> Alcotest.fail "free exp is linear");
+  (* i*i is not linear *)
+  check tbool "quadratic rejected" true (Linear.in_index i (Var i *! Var i) = None);
+  (* 2*i + 3 *)
+  (match Linear.in_index i ((int_ 2 *! Var i) +! int_ 3) with
+  | Some (a, b) ->
+      check tbool "coeff 2" true (Linear.coeff_equal a (int_ 2));
+      check tbool "offset 3" true (Linear.coeff_equal b (int_ 3))
+  | None -> Alcotest.fail "2i+3 is linear")
+
+(* ---------------- stencil ---------------- *)
+
+let xs = Input ("xs", Types.Arr Types.Float, Partitioned)
+
+let loop_of e = match e with Loop l -> l | _ -> Alcotest.fail "expected loop"
+
+let stencil_of_xs l =
+  match Stencil.lookup (Stencil.Tinput "xs") (Stencil.of_loop l) with
+  | Some s -> s
+  | None -> Alcotest.fail "xs not read"
+
+let test_stencil_interval () =
+  let l = loop_of (collect ~size:(Len xs) (fun i -> read xs i *. float_ 2.0)) in
+  check stencil "element access" Stencil.Interval (stencil_of_xs l)
+
+let test_stencil_const () =
+  let l = loop_of (collect ~size:(int_ 10) (fun _ -> read xs (int_ 3))) in
+  check stencil "constant access" Stencil.Const (stencil_of_xs l)
+
+let test_stencil_all () =
+  (* every iteration sums the whole array *)
+  let l =
+    loop_of
+      (collect ~size:(int_ 4) (fun _ ->
+           fsum ~size:(Len xs) (fun j -> read xs j)))
+  in
+  check stencil "whole-collection access" Stencil.All (stencil_of_xs l)
+
+let test_stencil_unknown () =
+  let perm = Input ("perm", Types.Arr Types.Int, Local) in
+  let l = loop_of (collect ~size:(Len xs) (fun i -> read xs (Read (perm, i)))) in
+  check stencil "data-dependent access" Stencil.Unknown (stencil_of_xs l)
+
+let test_stencil_row () =
+  (* row access: xs(i*cols + j) with the inner loop sweeping exactly cols *)
+  let cols = int_ 10 in
+  let l =
+    loop_of
+      (collect ~size:(int_ 50) (fun i ->
+           fsum ~size:cols (fun j -> read xs ((i *! cols) +! j))))
+  in
+  check stencil "row access" Stencil.Interval (stencil_of_xs l);
+  (* mismatched sweep: inner loop is narrower than the stride *)
+  let l2 =
+    loop_of
+      (collect ~size:(int_ 50) (fun i ->
+           fsum ~size:(int_ 5) (fun j -> read xs ((i *! cols) +! j))))
+  in
+  check stencil "partial row is not Interval" Stencil.Unknown (stencil_of_xs l2)
+
+let test_stencil_column () =
+  (* column access xs(j*cols + i): stride in the inner index — every outer
+     iteration touches the whole array *)
+  let cols = int_ 10 in
+  let l =
+    loop_of
+      (collect ~size:cols (fun i ->
+           fsum ~size:(int_ 50) (fun j -> read xs ((j *! cols) +! i))))
+  in
+  (* relative to the outer index the access is linear with coefficient 1
+     but the inner sweep has stride cols: must not be classified Interval *)
+  check tbool "column access is not Interval" true
+    (stencil_of_xs l <> Stencil.Interval)
+
+let test_stencil_join () =
+  check stencil "join const interval" Stencil.Interval
+    (Stencil.join Stencil.Const Stencil.Interval);
+  check stencil "join interval unknown" Stencil.Unknown
+    (Stencil.join Stencil.Interval Stencil.Unknown);
+  (* join is commutative, associative, idempotent *)
+  let all = Stencil.[ Interval; Const; All; Unknown ] in
+  List.iter
+    (fun a ->
+      check stencil "idempotent" a (Stencil.join a a);
+      List.iter
+        (fun b ->
+          check stencil "commutative" (Stencil.join a b) (Stencil.join b a);
+          List.iter
+            (fun c ->
+              check stencil "associative"
+                (Stencil.join a (Stencil.join b c))
+                (Stencil.join (Stencil.join a b) c))
+            all)
+        all)
+    all
+
+let test_global_join () =
+  (* one loop reads by element, another reads the whole thing: the global
+     stencil must be the join (All) *)
+  let e =
+    bind ~ty:(Types.Arr Types.Float)
+      (map_arr xs (fun v -> v *. float_ 2.0))
+      (fun _ ->
+        collect ~size:(int_ 3) (fun _ -> fsum ~size:(Len xs) (fun j -> read xs j)))
+  in
+  match Stencil.lookup (Stencil.Tinput "xs") (Stencil.global e) with
+  | Some s -> check stencil "global join" Stencil.All s
+  | None -> Alcotest.fail "xs not found globally"
+
+(* ---------------- partitioning ---------------- *)
+
+let mini_kmeans ~k =
+  (* data : partitioned; per-cluster sums via conditional reduce over the
+     whole dataset — the shared-memory k-means shape of Figure 1 *)
+  let data = Sym.fresh ~name:"data" (Types.Arr Types.Float) in
+  let asg = Sym.fresh ~name:"assigned" (Types.Arr Types.Int) in
+  Let
+    ( data,
+      Input ("data", Types.Arr Types.Float, Partitioned),
+      Let
+        ( asg,
+          collect ~size:(len (Var data)) (fun i ->
+              f2i (read (Var data) i) %! int_ k),
+          collect ~size:(int_ k) (fun kk ->
+              fsum
+                ~cond:(fun j -> read (Var asg) j =! kk)
+                ~size:(len (Var data))
+                (fun j -> read (Var data) j)) ) )
+
+let test_partition_seeds () =
+  let e = mini_kmeans ~k:3 in
+  let r = Partition.analyze ~transforms:[] e in
+  check tbool "data partitioned" true
+    (Partition.layout_of (Stencil.Tinput "data") r.Partition.layouts = Partitioned)
+
+let test_partition_propagates () =
+  (* a map over partitioned data is partitioned; a reduce is local *)
+  let data = Sym.fresh ~name:"d" (Types.Arr Types.Float) in
+  let e =
+    Let
+      ( data,
+        Input ("data", Types.Arr Types.Float, Partitioned),
+        bind ~name:"m" ~ty:(Types.Arr Types.Float)
+          (map_arr (Var data) (fun v -> v *. float_ 2.0))
+          (fun m ->
+            bind ~name:"red" ~ty:Types.Float
+              (fsum ~size:(len m) (fun i -> read m i))
+              (fun s -> s)) )
+  in
+  (* analyze the unoptimized program so the intermediate map survives *)
+  let r = Partition.analyze ~transforms:[] ~reoptimize:(fun e -> e) e in
+  let find name =
+    List.find_map
+      (fun (t, l) ->
+        match t with
+        | Stencil.Tsym s when String.equal (Sym.name s) name -> Some l
+        | _ -> None)
+      r.Partition.layouts
+  in
+  check tbool "map output partitioned" true (find "m" = Some Partitioned);
+  check tbool "reduce output local" true (find "red" = Some Local);
+  check tbool "data itself partitioned" true (find "d" = Some Partitioned)
+
+let test_partition_triggers_conditional_reduce () =
+  let e = mini_kmeans ~k:3 in
+  let r = Partition.analyze e in
+  check tbool "conditional-reduce applied" true
+    (List.mem "conditional-reduce" r.Partition.rewrites_applied);
+  (* after the rewrite no partitioned collection has a bad stencil *)
+  check tbool "no remote-access warnings" true
+    (List.for_all
+       (function Partition.Remote_access _ -> false | _ -> true)
+       r.Partition.warnings);
+  (* and the rewritten program computes the same result *)
+  let inputs = [ ("data", Dmll_interp.Value.of_float_array [| 0.; 1.; 2.; 3.; 4.; 5. |]) ] in
+  check tbool "rewritten program equivalent" true
+    (Dmll_interp.Value.approx_equal
+       (Dmll_interp.Interp.run ~inputs e)
+       (Dmll_interp.Interp.run ~inputs r.Partition.program))
+
+let test_partition_fallback_warning () =
+  (* a genuine gather: no rewrite applies, so the runtime must move data *)
+  let perm = Input ("perm", Types.Arr Types.Int, Local) in
+  let e = collect ~size:(Len xs) (fun i -> read xs (Read (perm, i))) in
+  let r = Partition.analyze e in
+  check tbool "remote access warned" true
+    (List.exists
+       (function Partition.Remote_access (Stencil.Tinput "xs", _) -> true | _ -> false)
+       r.Partition.warnings)
+
+let test_partition_sequential_warning () =
+  let e = Read (xs, int_ 0) in
+  let r = Partition.analyze ~transforms:[] e in
+  check tbool "sequential deref warned" true
+    (List.exists
+       (function Partition.Sequential_on_partitioned _ -> true | _ -> false)
+       r.Partition.warnings);
+  (* Len is whitelisted: no warning *)
+  let r2 = Partition.analyze ~transforms:[] (Len xs) in
+  check tint "len draws no warning" 0 (List.length r2.Partition.warnings)
+
+let test_co_partitioning () =
+  let ys = Input ("ys", Types.Arr Types.Float, Partitioned) in
+  let e = zip_with xs ys ( +. ) in
+  let r = Partition.analyze ~transforms:[] e in
+  check tbool "xs and ys co-partitioned" true
+    (List.exists
+       (fun (a, b) ->
+         let n = Stencil.target_to_string in
+         (n a = "xs" && n b = "ys") || (n a = "ys" && n b = "xs"))
+       r.Partition.co_partitioned)
+
+(* ---------------- cost ---------------- *)
+
+let test_cost_basics () =
+  let l = loop_of (fsum ~size:(Len xs) (fun i -> read xs i *. read xs i)) in
+  let c = Cost.loop_per_iter l in
+  check tbool "flops counted" true (c.Cost.flops > 1.0);
+  check tbool "reads counted" true (c.Cost.bytes_read >= 16.0)
+
+let test_cost_scaling () =
+  let ev = Cost.size_evaluator [ ("xs", 1000) ] in
+  let e = fsum ~size:(Len xs) (fun i -> read xs i) in
+  let c = Cost.of_program ~eval_size:ev e in
+  (* 1000 elements, 8 bytes each *)
+  check tbool "total read volume" true
+    (c.Cost.bytes_read >= 8000.0 && c.Cost.bytes_read < 16000.0);
+  let nested =
+    collect ~size:(int_ 10) (fun _ -> fsum ~size:(Len xs) (fun i -> read xs i))
+  in
+  let cn = Cost.of_program ~eval_size:ev nested in
+  check tbool "nested loop multiplies" true (cn.Cost.bytes_read >= 80000.0)
+
+let test_size_evaluator () =
+  let ev = Cost.size_evaluator [ ("xs", 42) ] in
+  check tbool "const" true (ev (int_ 7) = Some 7);
+  check tbool "len input" true (ev (Len xs) = Some 42);
+  check tbool "product" true (ev (Len xs *! int_ 2) = Some 84);
+  check tbool "unknown" true (ev (Var (Sym.fresh Types.Int)) = None)
+
+let () =
+  Alcotest.run "analysis"
+    [ ("linear", [ Alcotest.test_case "affine forms" `Quick test_linear_forms ]);
+      ( "stencil",
+        [ Alcotest.test_case "interval" `Quick test_stencil_interval;
+          Alcotest.test_case "const" `Quick test_stencil_const;
+          Alcotest.test_case "all" `Quick test_stencil_all;
+          Alcotest.test_case "unknown" `Quick test_stencil_unknown;
+          Alcotest.test_case "row" `Quick test_stencil_row;
+          Alcotest.test_case "column" `Quick test_stencil_column;
+          Alcotest.test_case "join lattice" `Quick test_stencil_join;
+          Alcotest.test_case "global join" `Quick test_global_join;
+        ] );
+      ( "partition",
+        [ Alcotest.test_case "seeds" `Quick test_partition_seeds;
+          Alcotest.test_case "propagation" `Quick test_partition_propagates;
+          Alcotest.test_case "triggers conditional-reduce" `Quick
+            test_partition_triggers_conditional_reduce;
+          Alcotest.test_case "fallback warning" `Quick test_partition_fallback_warning;
+          Alcotest.test_case "sequential warning" `Quick test_partition_sequential_warning;
+          Alcotest.test_case "co-partitioning" `Quick test_co_partitioning;
+        ] );
+      ( "cost",
+        [ Alcotest.test_case "basics" `Quick test_cost_basics;
+          Alcotest.test_case "scaling" `Quick test_cost_scaling;
+          Alcotest.test_case "size evaluator" `Quick test_size_evaluator;
+        ] );
+    ]

@@ -1,0 +1,514 @@
+(* Integration tests: every application's DMLL program — as written AND
+   after the full optimization pipeline (nested rules included) — must
+   compute the same result as its hand-optimized reference on shared
+   inputs.  Structural assertions verify the paper's Table-2 optimization
+   list actually fires per app. *)
+
+open Dmll_ir
+open Dmll_interp
+open Dmll_apps
+module Opt = Dmll_opt
+module Backend = Dmll_backend
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let farr_approx : float array Alcotest.testable =
+  Alcotest.testable
+    (fun fmt a -> Fmt.pf fmt "[|%a|]" Fmt.(array ~sep:(any "; ") float) a)
+    (fun a b ->
+      Array.length a = Array.length b
+      && Array.for_all2
+           (fun x y ->
+             Float.abs (x -. y)
+             <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y)))
+           a b)
+
+let optimize e =
+  (Opt.Pipeline.optimize_with ~extra_rules:Opt.Rules_nested.cpu_rules e)
+
+(* ---------------- k-means ---------------- *)
+
+let km_rows = 60
+let km_cols = 6
+let km_k = 3
+
+let km_data = Dmll_data.Gaussian.generate ~rows:km_rows ~cols:km_cols ~classes:km_k ()
+let km_centroids = Dmll_data.Gaussian.random_centroids ~k:km_k km_data
+
+let test_kmeans_matches_handopt () =
+  let prog = Kmeans.program ~rows:km_rows ~cols:km_cols ~k:km_k () in
+  let inputs = Kmeans.inputs km_data ~centroids:km_centroids in
+  let expected =
+    Kmeans.handopt ~data:km_data.Dmll_data.Gaussian.data ~rows:km_rows ~cols:km_cols
+      ~k:km_k ~centroids:km_centroids
+  in
+  let got = Kmeans.result_to_flat (Interp.run ~inputs prog) ~cols:km_cols in
+  check farr_approx "unoptimized DMLL = hand-optimized" expected got;
+  let r = optimize prog in
+  check tbool "conditional-reduce fired on k-means" true
+    (List.mem "conditional-reduce" r.Opt.Pipeline.applied);
+  check tbool "pipeline fusion fired" true
+    (List.mem "pipeline-fusion" r.Opt.Pipeline.applied);
+  let got' =
+    Kmeans.result_to_flat (Backend.Closure.run ~inputs r.Opt.Pipeline.program)
+      ~cols:km_cols
+  in
+  check farr_approx "optimized DMLL = hand-optimized" expected got'
+
+let test_kmeans_single_traversal_after_opt () =
+  let prog = Kmeans.program ~rows:km_rows ~cols:km_cols ~k:km_k () in
+  let r = optimize prog in
+  (* the big dataset must be traversed once: exactly one outer loop with a
+     size depending on the matrix, and it is a bucket-reduce multiloop *)
+  let outer = Dmll_analysis.Stencil.outer_loops r.Opt.Pipeline.program in
+  let over_matrix =
+    List.filter
+      (fun (l : Exp.loop) ->
+        Exp.exists
+          (function Exp.Input ("matrix", _, _) -> true | _ -> false)
+          l.Exp.size
+        ||
+        match l.Exp.size with
+        | Exp.Const (Exp.Cint n) -> n = km_rows
+        | _ -> false)
+      outer
+  in
+  check tint "one traversal of the dataset" 1 (List.length over_matrix);
+  check tbool "it is a bucketReduce multiloop" true
+    (List.for_all
+       (fun (l : Exp.loop) ->
+         List.for_all
+           (function Exp.BucketReduce _ -> true | _ -> false)
+           l.Exp.gens)
+       over_matrix)
+
+let test_kmeans_parallel () =
+  let prog = Kmeans.program ~rows:km_rows ~cols:km_cols ~k:km_k () in
+  let inputs = Kmeans.inputs km_data ~centroids:km_centroids in
+  let r = optimize prog in
+  let par = Dmll_runtime.Exec_domains.run ~domains:4 ~inputs r.Opt.Pipeline.program in
+  let expected =
+    Kmeans.handopt ~data:km_data.Dmll_data.Gaussian.data ~rows:km_rows ~cols:km_cols
+      ~k:km_k ~centroids:km_centroids
+  in
+  check farr_approx "parallel optimized k-means" expected
+    (Kmeans.result_to_flat par ~cols:km_cols)
+
+let test_kmeans_formulations_converge () =
+  (* Figure 1's two formulations: the shared-memory conditional-reduce
+     style and the distributed groupBy style.  Section 3.2: after the
+     nested-pattern rules and fusion, both become the same single
+     bucketReduce traversal of the dataset and compute the same centroids
+     (for clusters that received at least one row). *)
+  let shared = Kmeans.program ~rows:km_rows ~cols:km_cols ~k:km_k () in
+  let grouped = Kmeans.program_groupby ~rows:km_rows ~cols:km_cols ~k:km_k () in
+  let inputs = Kmeans.inputs km_data ~centroids:km_centroids in
+  let r1 = optimize shared and r2 = optimize grouped in
+  (* both end with one bucketReduce multiloop over the dataset *)
+  let dataset_loops prog =
+    List.filter
+      (fun (l : Exp.loop) ->
+        List.exists (function Exp.BucketReduce _ -> true | _ -> false) l.Exp.gens)
+      (Dmll_analysis.Stencil.outer_loops prog)
+  in
+  check tint "shared: one bucket traversal" 1
+    (List.length (dataset_loops r1.Opt.Pipeline.program));
+  check tint "groupBy: one bucket traversal" 1
+    (List.length (dataset_loops r2.Opt.Pipeline.program));
+  check tbool "groupby-reduce fired on the groupBy formulation" true
+    (List.mem "groupby-reduce" r2.Opt.Pipeline.applied);
+  check tbool "conditional-reduce fired on the shared formulation" true
+    (List.mem "conditional-reduce" r1.Opt.Pipeline.applied);
+  (* identical centroids for populated clusters *)
+  let flat1 =
+    Kmeans.result_to_flat
+      (Backend.Closure.run ~inputs r1.Opt.Pipeline.program)
+      ~cols:km_cols
+  in
+  let flat2 =
+    Kmeans.groupby_result_to_flat
+      (Backend.Closure.run ~inputs r2.Opt.Pipeline.program)
+      ~k:km_k ~cols:km_cols
+  in
+  (* compare only clusters the groupBy formulation populated (empty
+     clusters keep zeros there but inherit sums/0 in the shared one) *)
+  for p = 0 to (km_k * km_cols) - 1 do
+    if flat2.(p) <> 0.0 then
+      check tbool "same centroid coordinate" true
+        (Float.abs (flat1.(p) -. flat2.(p)) < 1e-9 *. (1.0 +. Float.abs flat2.(p)))
+  done
+
+(* ---------------- logistic regression ---------------- *)
+
+let lr_rows = 50
+let lr_cols = 5
+let lr_alpha = 0.01
+
+let lr_data = Dmll_data.Gaussian.generate ~rows:lr_rows ~cols:lr_cols ~classes:2 ()
+let lr_theta = Array.make lr_cols 0.1
+
+let test_logreg_matches_handopt () =
+  let prog = Logreg.program ~rows:lr_rows ~cols:lr_cols ~alpha:lr_alpha () in
+  let inputs = Logreg.inputs lr_data ~theta:lr_theta in
+  let expected =
+    Logreg.handopt ~data:lr_data.Dmll_data.Gaussian.data
+      ~labels:(Dmll_data.Gaussian.binary_labels lr_data) ~rows:lr_rows ~cols:lr_cols
+      ~alpha:lr_alpha ~theta:lr_theta
+  in
+  check farr_approx "unoptimized DMLL = hand-optimized" expected
+    (Value.to_float_array (Interp.run ~inputs prog));
+  let r = optimize prog in
+  check tbool "column-to-row fired on logreg" true
+    (List.mem "column-to-row" r.Opt.Pipeline.applied);
+  check farr_approx "optimized DMLL = hand-optimized" expected
+    (Value.to_float_array (Backend.Closure.run ~inputs r.Opt.Pipeline.program))
+
+let test_logreg_gpu_lowering_roundtrip () =
+  let prog = Logreg.program ~rows:lr_rows ~cols:lr_cols ~alpha:lr_alpha () in
+  let inputs = Logreg.inputs lr_data ~theta:lr_theta in
+  let cpu = (optimize prog).Opt.Pipeline.program in
+  let gpu, fired = Backend.Gpu.lower cpu in
+  check tbool "row-to-column fired for GPU" true fired;
+  let expected = Value.to_float_array (Interp.run ~inputs prog) in
+  check farr_approx "GPU-lowered program equivalent" expected
+    (Value.to_float_array (Backend.Closure.run ~inputs gpu))
+
+(* ---------------- GDA ---------------- *)
+
+let test_gda_matches_handopt () =
+  let prog = Gda.program ~rows:lr_rows ~cols:lr_cols () in
+  let inputs = Gda.inputs lr_data in
+  let expected =
+    Gda.handopt ~data:lr_data.Dmll_data.Gaussian.data
+      ~labels:(Dmll_data.Gaussian.binary_labels lr_data) ~rows:lr_rows ~cols:lr_cols ()
+  in
+  let check_result got =
+    check farr_approx "mu0" expected.Gda.mu0 got.Gda.mu0;
+    check farr_approx "mu1" expected.Gda.mu1 got.Gda.mu1;
+    check farr_approx "sigma" expected.Gda.sigma got.Gda.sigma;
+    check farr_approx "phi" [| expected.Gda.phi |] [| got.Gda.phi |]
+  in
+  check_result (Gda.result_of_value (Interp.run ~inputs prog));
+  let r = optimize prog in
+  check tbool "horizontal fusion fired on GDA" true
+    (List.mem "horizontal-fusion" r.Opt.Pipeline.applied);
+  check_result (Gda.result_of_value (Backend.Closure.run ~inputs r.Opt.Pipeline.program))
+
+(* ---------------- TPC-H Q1 ---------------- *)
+
+let q1_table = Dmll_data.Tpch.generate ~rows:3000 ()
+
+(* extract (flag, status, sums...) rows from the program result *)
+let q1_rows (v : Value.t) =
+  List.init (Value.length v) (fun j ->
+      match Value.get v j with
+      | Value.Vtup
+          [| Value.Vtup [| Value.Vtup [| Value.Vint rf; Value.Vint ls |]; sums |];
+             avgs;
+          |] -> (
+          match (sums, avgs) with
+          | ( Value.Vtup
+                [| Value.Vtup [| Value.Vfloat sq; Value.Vfloat sb |];
+                   Value.Vtup [| Value.Vfloat sd; Value.Vfloat sc |];
+                |],
+              Value.Vtup
+                [| Value.Vtup [| Value.Vfloat aq; Value.Vfloat ap |];
+                   Value.Vtup [| Value.Vfloat ad; Value.Vfloat cnt |];
+                |] ) ->
+              ((rf, ls), (sq, sb, sd, sc, aq, ap, ad, cnt))
+          | _ -> Alcotest.fail "malformed Q1 sums")
+      | _ -> Alcotest.fail "malformed Q1 row")
+
+let feq a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let check_q1 (rows : ((int * int) * (float * float * float * float * float * float * float * float)) list) =
+  let expected = Tpch_q1.handopt q1_table in
+  check tint "group count" (List.length expected) (List.length rows);
+  List.iter
+    (fun (rf, ls, (g : Tpch_q1.group)) ->
+      match List.assoc_opt (rf, ls) rows with
+      | None -> Alcotest.failf "missing group (%d,%d)" rf ls
+      | Some (sq, sb, sd, sc, aq, ap, ad, cnt) ->
+          let c = float_of_int g.Tpch_q1.count in
+          check tbool "sum_qty" true (feq sq g.Tpch_q1.sum_qty);
+          check tbool "sum_base" true (feq sb g.Tpch_q1.sum_base);
+          check tbool "sum_disc_price" true (feq sd g.Tpch_q1.sum_disc_price);
+          check tbool "sum_charge" true (feq sc g.Tpch_q1.sum_charge);
+          check tbool "avg_qty" true (feq aq (g.Tpch_q1.sum_qty /. c));
+          check tbool "avg_price" true (feq ap (g.Tpch_q1.sum_base /. c));
+          check tbool "avg_disc" true (feq ad (g.Tpch_q1.sum_disc /. c));
+          check tbool "count" true (feq cnt c))
+    expected
+
+let test_q1_matches_handopt () =
+  let prog = Tpch_q1.program () in
+  check_q1 (q1_rows (Interp.run ~inputs:(Tpch_q1.aos_inputs q1_table) prog))
+
+let test_q1_optimized () =
+  let prog = Tpch_q1.program () in
+  let r = optimize prog in
+  List.iter
+    (fun rule ->
+      check tbool (rule ^ " fired on Q1") true (List.mem rule r.Opt.Pipeline.applied))
+    [ "groupby-reduce"; "pipeline-fusion"; "input-soa"; "dead-field-elim" ];
+  (* post-SoA the program consumes columns, not structs *)
+  let cols = Dmll_opt.Soa.columns_needed r.Opt.Pipeline.program in
+  check tbool "columnar inputs" true (List.mem_assoc "lineitem.quantity" cols);
+  check_q1
+    (q1_rows
+       (Backend.Closure.run ~inputs:(Tpch_q1.soa_inputs q1_table) r.Opt.Pipeline.program))
+
+(* ---------------- gene barcoding ---------------- *)
+
+let gene_reads = Dmll_data.Genes.generate ~reads:2000 ~barcodes:50 ()
+
+let gene_rows (v : Value.t) =
+  List.init (Value.length v) (fun j ->
+      match Value.get v j with
+      | Value.Vtup [| Value.Vint bc; Value.Vtup [| Value.Vint c; Value.Vfloat q |] |] ->
+          (bc, (c, q))
+      | _ -> Alcotest.fail "malformed gene row")
+
+let check_gene rows =
+  let expected = Gene.handopt gene_reads in
+  check tint "barcode count" (List.length expected) (List.length rows);
+  List.iter
+    (fun (bc, c, q) ->
+      match List.assoc_opt bc rows with
+      | None -> Alcotest.failf "missing barcode %d" bc
+      | Some (c', q') ->
+          check tint "count" c c';
+          check tbool "mean quality" true (feq q q'))
+    expected
+
+let test_gene_matches_handopt () =
+  let prog = Gene.program () in
+  check_gene (gene_rows (Interp.run ~inputs:(Gene.aos_inputs gene_reads) prog))
+
+let test_gene_optimized_dfe () =
+  let prog = Gene.program () in
+  let r = optimize prog in
+  check tbool "dead-field-elim fired on gene" true
+    (List.mem "dead-field-elim" r.Opt.Pipeline.applied);
+  let cols = Dmll_opt.Soa.columns_needed r.Opt.Pipeline.program in
+  check tbool "length column eliminated" false (List.mem_assoc "reads.length" cols);
+  check_gene
+    (gene_rows
+       (Backend.Closure.run ~inputs:(Gene.soa_inputs gene_reads) r.Opt.Pipeline.program))
+
+(* ---------------- PageRank ---------------- *)
+
+let graph =
+  Dmll_graph.Csr.of_edges (Dmll_data.Rmat.generate ~scale:7 ~edge_factor:6 ())
+
+let test_pagerank_pull () =
+  let ranks = Pagerank.initial_ranks graph in
+  let prog = Pagerank.program_pull ~nv:graph.Dmll_graph.Csr.nv () in
+  let inputs = Pagerank.inputs graph ~ranks in
+  let expected = Array.make graph.Dmll_graph.Csr.nv 0.0 in
+  Pagerank.handopt_pull graph ranks expected;
+  check farr_approx "pull DMLL = hand-optimized" expected
+    (Value.to_float_array (Interp.run ~inputs prog));
+  (* optimized *)
+  let r = optimize prog in
+  check farr_approx "optimized pull" expected
+    (Value.to_float_array (Backend.Closure.run ~inputs r.Opt.Pipeline.program))
+
+let test_pagerank_push_equals_pull () =
+  let ranks = Pagerank.initial_ranks graph in
+  let prog = Pagerank.program_push ~nv:graph.Dmll_graph.Csr.nv () in
+  let inputs = Pagerank.inputs graph ~ranks in
+  let expected = Array.make graph.Dmll_graph.Csr.nv 0.0 in
+  Pagerank.handopt_push graph ranks expected;
+  check farr_approx "push DMLL = hand-optimized push" expected
+    (Value.to_float_array (Backend.Closure.run ~inputs prog));
+  (* push and pull compute the same ranks *)
+  let pull_out = Array.make graph.Dmll_graph.Csr.nv 0.0 in
+  Pagerank.handopt_pull graph ranks pull_out;
+  check farr_approx "push = pull" pull_out expected
+
+(* ---------------- triangle counting ---------------- *)
+
+let tri_graph =
+  Dmll_graph.Csr.of_edges
+    (Dmll_data.Rmat.symmetrize (Dmll_data.Rmat.generate ~scale:6 ~edge_factor:4 ()))
+
+let test_triangles () =
+  let expected = Tricount.handopt tri_graph in
+  check tbool "graph has triangles" true (expected > 0);
+  let prog = Tricount.program () in
+  let got = Value.as_int (Backend.Closure.run ~inputs:(Tricount.inputs tri_graph) prog) in
+  check tint "DMLL triangle count" expected got;
+  let r = optimize prog in
+  check tint "optimized triangle count" expected
+    (Value.as_int
+       (Backend.Closure.run ~inputs:(Tricount.inputs tri_graph) r.Opt.Pipeline.program))
+
+(* ---------------- kNN ---------------- *)
+
+let test_knn_label_counts () =
+  let train = Dmll_data.Gaussian.generate ~seed:1 ~rows:40 ~cols:4 ~classes:3 () in
+  let test_d = Dmll_data.Gaussian.generate ~seed:2 ~rows:12 ~cols:4 ~classes:3 () in
+  let prog = Knn.label_counts_program ~train_rows:40 ~test_rows:12 ~cols:4 () in
+  let inputs = Knn.inputs ~train ~test:test_d in
+  let preds =
+    Knn.handopt ~train:train.Dmll_data.Gaussian.data
+      ~train_labels:train.Dmll_data.Gaussian.labels ~test:test_d.Dmll_data.Gaussian.data
+      ~train_rows:40 ~test_rows:12 ~cols:4
+  in
+  match Interp.run ~inputs prog with
+  | Value.Vmap m ->
+      let total = Array.fold_left (fun a v -> a + Value.as_int v) 0 m.Value.mvals in
+      check tint "counts sum to test rows" 12 total;
+      Array.iteri
+        (fun j key ->
+          let label = Value.as_int key in
+          let expected =
+            Array.fold_left (fun a p -> if p = label then a + 1 else a) 0 preds
+          in
+          check tint "per-label count" expected (Value.as_int m.Value.mvals.(j)))
+        m.Value.mkeys
+  | v -> Alcotest.failf "expected map, got %s" (Value.to_string v)
+
+let test_knn () =
+  let train = Dmll_data.Gaussian.generate ~seed:1 ~rows:40 ~cols:4 ~classes:3 () in
+  let test_d = Dmll_data.Gaussian.generate ~seed:2 ~rows:10 ~cols:4 ~classes:3 () in
+  let prog = Knn.program ~train_rows:40 ~test_rows:10 ~cols:4 () in
+  let inputs = Knn.inputs ~train ~test:test_d in
+  let expected =
+    Knn.handopt ~train:train.Dmll_data.Gaussian.data
+      ~train_labels:train.Dmll_data.Gaussian.labels ~test:test_d.Dmll_data.Gaussian.data
+      ~train_rows:40 ~test_rows:10 ~cols:4
+  in
+  let got = Value.to_int_array (Interp.run ~inputs prog) in
+  check tbool "1-NN labels" true (expected = got);
+  let r = optimize prog in
+  check tbool "optimized 1-NN labels" true
+    (expected = Value.to_int_array (Backend.Closure.run ~inputs r.Opt.Pipeline.program))
+
+(* ---------------- naive Bayes ---------------- *)
+
+let test_naive_bayes () =
+  let d = Dmll_data.Gaussian.generate ~rows:50 ~cols:4 ~classes:3 () in
+  let prog = Naive_bayes.program ~rows:50 ~cols:4 () in
+  let inputs = Naive_bayes.inputs d in
+  let expected =
+    Naive_bayes.handopt ~data:d.Dmll_data.Gaussian.data ~labels:d.Dmll_data.Gaussian.labels
+      ~rows:50 ~cols:4 ~classes:3
+  in
+  let check_value v =
+    match v with
+    | Value.Vtup [| counts; Value.Vtup [| sums; sqsums |] |] ->
+        let counts_m = Value.as_map counts in
+        Array.iteri
+          (fun j key ->
+            let c = Value.as_int counts_m.Value.mvals.(j) in
+            let label = Value.as_int key in
+            check tint "class count" expected.Naive_bayes.counts.(label) c;
+            let s = Value.to_float_array (Value.get sums j) in
+            let sq = Value.to_float_array (Value.get sqsums j) in
+            check farr_approx "class sums"
+              (Array.sub expected.Naive_bayes.sums (label * 4) 4) s;
+            check farr_approx "class sqsums"
+              (Array.sub expected.Naive_bayes.sqsums (label * 4) 4) sq)
+          counts_m.Value.mkeys
+    | _ -> Alcotest.fail "malformed NB result"
+  in
+  check_value (Interp.run ~inputs prog);
+  let r = optimize prog in
+  check_value (Backend.Closure.run ~inputs r.Opt.Pipeline.program)
+
+(* ---------------- ridge regression ---------------- *)
+
+let test_ridge () =
+  let d = Dmll_data.Gaussian.generate ~rows:60 ~cols:5 ~classes:2 () in
+  let theta = Array.make 5 0.2 in
+  let prog = Ridge.program ~rows:60 ~cols:5 ~alpha:0.001 ~lambda:0.1 () in
+  let inputs = Ridge.inputs d ~theta in
+  let expected =
+    Ridge.handopt ~data:d.Dmll_data.Gaussian.data
+      ~labels:(Dmll_data.Gaussian.binary_labels d) ~rows:60 ~cols:5 ~alpha:0.001
+      ~lambda:0.1 ~theta
+  in
+  check farr_approx "unoptimized ridge" expected
+    (Value.to_float_array (Interp.run ~inputs prog));
+  let r = optimize prog in
+  check tbool "column-to-row fired on ridge" true
+    (List.mem "column-to-row" r.Opt.Pipeline.applied);
+  check farr_approx "optimized ridge" expected
+    (Value.to_float_array (Backend.Closure.run ~inputs r.Opt.Pipeline.program))
+
+(* ---------------- push-pull selection ---------------- *)
+
+let test_push_pull_selection () =
+  let open Dmll_graph.Push_pull in
+  check tbool "shared memory pulls" true (select Shared_memory = Pull);
+  check tbool "distributed pushes" true (select Distributed = Push);
+  let both = { pull = "pull-prog"; push = "push-prog" } in
+  check tbool "for_target pull" true (for_target both Shared_memory = "pull-prog");
+  check tbool "for_target push" true (for_target both Distributed = "push-prog")
+
+(* ---------------- Gibbs sampling ---------------- *)
+
+let test_gibbs () =
+  let g = Dmll_data.Factor_graph.generate ~vars:50 ~factors:150 () in
+  let state = Dmll_data.Factor_graph.initial_state g in
+  let rand = Dmll_data.Factor_graph.sweep_randoms ~sweeps:2 g in
+  let replicas = 2 in
+  let prog = Gibbs.program ~nvars:50 ~replicas () in
+  let inputs = Gibbs.inputs g ~state ~rand in
+  let v = Interp.run ~inputs prog in
+  check tint "replica count" replicas (Value.length v);
+  (* replica r must match the handopt sweep with the same random slice *)
+  for r = 0 to replicas - 1 do
+    let out = Array.make 50 0.0 in
+    Gibbs.handopt_sweep g ~state ~rand ~rand_base:(r * 50) ~out;
+    check farr_approx
+      (Printf.sprintf "replica %d" r)
+      out
+      (Value.to_float_array (Value.get v r))
+  done;
+  let opt = optimize prog in
+  let v' = Backend.Closure.run ~inputs opt.Opt.Pipeline.program in
+  check tbool "optimized gibbs equal" true (Value.approx_equal v v');
+  (* averaging across replicas *)
+  let avg = Gibbs.average_replicas v in
+  check tint "avg length" 50 (Array.length avg)
+
+let () =
+  Alcotest.run "apps"
+    [ ( "kmeans",
+        [ Alcotest.test_case "matches handopt" `Quick test_kmeans_matches_handopt;
+          Alcotest.test_case "single traversal" `Quick test_kmeans_single_traversal_after_opt;
+          Alcotest.test_case "parallel execution" `Quick test_kmeans_parallel;
+          Alcotest.test_case "formulations converge" `Quick test_kmeans_formulations_converge;
+        ] );
+      ( "logreg",
+        [ Alcotest.test_case "matches handopt" `Quick test_logreg_matches_handopt;
+          Alcotest.test_case "gpu lowering" `Quick test_logreg_gpu_lowering_roundtrip;
+        ] );
+      ("gda", [ Alcotest.test_case "matches handopt" `Quick test_gda_matches_handopt ]);
+      ( "tpch-q1",
+        [ Alcotest.test_case "matches handopt" `Quick test_q1_matches_handopt;
+          Alcotest.test_case "optimized + soa" `Quick test_q1_optimized;
+        ] );
+      ( "gene",
+        [ Alcotest.test_case "matches handopt" `Quick test_gene_matches_handopt;
+          Alcotest.test_case "optimized + dfe" `Quick test_gene_optimized_dfe;
+        ] );
+      ( "graph",
+        [ Alcotest.test_case "pagerank pull" `Quick test_pagerank_pull;
+          Alcotest.test_case "pagerank push" `Quick test_pagerank_push_equals_pull;
+          Alcotest.test_case "triangles" `Quick test_triangles;
+        ] );
+      ( "knn",
+        [ Alcotest.test_case "1-nn" `Quick test_knn;
+          Alcotest.test_case "label counts" `Quick test_knn_label_counts;
+        ] );
+      ("ridge", [ Alcotest.test_case "gradient step" `Quick test_ridge ]);
+      ("push-pull", [ Alcotest.test_case "selection" `Quick test_push_pull_selection ]);
+      ("naive-bayes", [ Alcotest.test_case "stats" `Quick test_naive_bayes ]);
+      ("gibbs", [ Alcotest.test_case "sweep" `Quick test_gibbs ]);
+    ]

@@ -1,0 +1,169 @@
+(* Tests of the baseline systems: MiniSpark / MiniGraph / DimmWitted must
+   compute results identical to the hand-optimized references (they are
+   real executables, not mocks), and their cost accounting must behave
+   sanely. *)
+
+open Dmll_baselines
+module Apps = Dmll_apps
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let feq ?(eps = 1e-6) a b =
+  Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let farr_eq a b = Array.length a = Array.length b && Array.for_all2 (fun x y -> feq x y) a b
+
+(* ---------------- MiniSpark ---------------- *)
+
+let platform = Minispark.numa_platform ()
+
+let test_spark_q1 () =
+  let t = Dmll_data.Tpch.generate ~rows:2000 () in
+  let rows, ctx = Spark_apps.q1 platform t in
+  let expected = Apps.Tpch_q1.handopt t in
+  check tint "group count" (List.length expected) (Array.length rows);
+  List.iter
+    (fun (rf, ls, (g : Apps.Tpch_q1.group)) ->
+      match Array.find_opt (fun ((rf', ls'), _) -> rf = rf' && ls = ls') rows with
+      | None -> Alcotest.failf "missing group (%d,%d)" rf ls
+      | Some (_, agg) ->
+          check tbool "qty" true (feq agg.Spark_apps.a_qty g.Apps.Tpch_q1.sum_qty);
+          check tbool "charge" true (feq agg.Spark_apps.a_charge g.Apps.Tpch_q1.sum_charge);
+          check tint "count" g.Apps.Tpch_q1.count agg.Spark_apps.a_cnt)
+    expected;
+  check tbool "time accounted" true (ctx.Minispark.sim_seconds > 0.0);
+  check tbool "shuffle accounted" true (ctx.Minispark.shuffled_bytes > 0.0)
+
+let test_spark_gene () =
+  let r = Dmll_data.Genes.generate ~reads:1500 ~barcodes:40 () in
+  let rows, _ctx = Spark_apps.gene platform r in
+  let expected = Apps.Gene.handopt r in
+  check tint "barcode count" (List.length expected) (Array.length rows);
+  List.iter
+    (fun (b, c, q) ->
+      match Array.find_opt (fun (b', _) -> b = b') rows with
+      | None -> Alcotest.failf "missing barcode %d" b
+      | Some (_, (c', q')) ->
+          check tint "count" c c';
+          check tbool "quality" true (feq q q'))
+    expected
+
+let test_spark_kmeans () =
+  let d = Dmll_data.Gaussian.generate ~rows:80 ~cols:5 ~classes:3 () in
+  let cents = Dmll_data.Gaussian.random_centroids ~k:3 d in
+  let got, _ = Spark_apps.kmeans_iteration platform d ~centroids:cents ~k:3 in
+  let expected =
+    Apps.Kmeans.handopt ~data:d.Dmll_data.Gaussian.data ~rows:80 ~cols:5 ~k:3
+      ~centroids:cents
+  in
+  (* Spark leaves empty clusters at zero; the reference divides only
+     non-empty ones too, so values agree cluster-by-cluster when counts>0.
+     With this dataset every cluster is populated. *)
+  check tbool "kmeans centroids" true (farr_eq expected got)
+
+let test_spark_logreg () =
+  let d = Dmll_data.Gaussian.generate ~rows:60 ~cols:5 ~classes:2 () in
+  let theta = Array.make 5 0.05 in
+  let got, _ = Spark_apps.logreg_step platform d ~theta ~alpha:0.01 in
+  let expected =
+    Apps.Logreg.handopt ~data:d.Dmll_data.Gaussian.data
+      ~labels:(Dmll_data.Gaussian.binary_labels d) ~rows:60 ~cols:5 ~alpha:0.01 ~theta
+  in
+  check tbool "logreg theta" true (farr_eq expected got)
+
+let test_spark_gda () =
+  let d = Dmll_data.Gaussian.generate ~rows:60 ~cols:4 ~classes:2 () in
+  let (phi, mu0, mu1, sigma), _ = Spark_apps.gda platform d in
+  let expected =
+    Apps.Gda.handopt ~data:d.Dmll_data.Gaussian.data
+      ~labels:(Dmll_data.Gaussian.binary_labels d) ~rows:60 ~cols:4 ()
+  in
+  check tbool "phi" true (feq phi expected.Apps.Gda.phi);
+  check tbool "mu0" true (farr_eq expected.Apps.Gda.mu0 mu0);
+  check tbool "mu1" true (farr_eq expected.Apps.Gda.mu1 mu1);
+  check tbool "sigma" true (farr_eq expected.Apps.Gda.sigma sigma)
+
+let test_spark_cost_model () =
+  (* the same job on a cluster platform incurs network shuffle time *)
+  let t = Dmll_data.Tpch.generate ~rows:2000 () in
+  let _, numa_ctx = Spark_apps.q1 (Minispark.numa_platform ()) t in
+  let _, ec2_ctx = Spark_apps.q1 (Minispark.ec2_platform ()) t in
+  check tbool "both positive" true
+    (numa_ctx.Minispark.sim_seconds > 0.0 && ec2_ctx.Minispark.sim_seconds > 0.0);
+  (* per-record overheads dominate equally; the cluster adds latency *)
+  check tbool "records counted" true (numa_ctx.Minispark.records_processed > 2000)
+
+(* ---------------- MiniGraph ---------------- *)
+
+let graph =
+  Dmll_graph.Csr.of_edges (Dmll_data.Rmat.generate ~scale:8 ~edge_factor:6 ())
+
+let test_minigraph_pagerank () =
+  let ctx = Minigraph.new_ctx (Minigraph.numa_platform ()) in
+  let got = Minigraph.pagerank ctx ~iters:5 graph in
+  let expected = Dmll_graph.Kernels.pagerank ~iters:5 graph in
+  check tbool "pagerank matches kernel" true (farr_eq expected got);
+  check tbool "time accounted" true (ctx.Minigraph.sim_seconds > 0.0)
+
+let test_minigraph_triangles () =
+  let tg =
+    Dmll_graph.Csr.of_edges
+      (Dmll_data.Rmat.symmetrize (Dmll_data.Rmat.generate ~scale:6 ~edge_factor:4 ()))
+  in
+  let ctx = Minigraph.new_ctx (Minigraph.cluster_platform ()) in
+  let got = Minigraph.triangle_count ctx tg in
+  check tint "triangles" (Dmll_graph.Kernels.triangle_count tg) got;
+  check tbool "network traffic accounted" true (ctx.Minigraph.net_bytes > 0.0)
+
+let test_replication_factor () =
+  check tbool "single node no replication" true
+    (feq (Minigraph.replication_factor ~nodes:1) 1.0);
+  check tbool "grows with nodes" true
+    (Minigraph.replication_factor ~nodes:16 > Minigraph.replication_factor ~nodes:4)
+
+(* ---------------- DimmWitted ---------------- *)
+
+let test_dimmwitted_sweep () =
+  let g = Dmll_data.Factor_graph.generate ~vars:60 ~factors:200 () in
+  let state = Dmll_data.Factor_graph.initial_state g in
+  let rand = Dmll_data.Factor_graph.sweep_randoms ~sweeps:1 g in
+  let m = Dimmwitted.of_flat g in
+  Dimmwitted.load_state m state;
+  let out_dw = Array.make 60 0.0 in
+  Dimmwitted.sweep m ~prev:state ~rand ~rand_base:0 ~out:out_dw;
+  let out_flat = Array.make 60 0.0 in
+  Dmll_apps.Gibbs.handopt_sweep g ~state ~rand ~rand_base:0 ~out:out_flat;
+  check tbool "pointer-graph sweep = flat sweep" true (farr_eq out_flat out_dw)
+
+let test_dimmwitted_scaling () =
+  let g = Dmll_data.Factor_graph.generate ~vars:1000 ~factors:4000 () in
+  let t1 = Dimmwitted.sweep_seconds ~threads:1 g in
+  let t12 = Dimmwitted.sweep_seconds ~threads:12 g in
+  let t48 = Dimmwitted.sweep_seconds ~threads:48 g in
+  check tbool "scales with threads" true (t1 > t12 && t12 > t48);
+  (* indirection factor slows the baseline proportionally *)
+  let fast = Dimmwitted.sweep_seconds ~indirection_factor:1.0 ~threads:12 g in
+  check tbool "indirection factor matters" true (t12 > 1.5 *. fast)
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "minispark",
+        [ Alcotest.test_case "q1" `Quick test_spark_q1;
+          Alcotest.test_case "gene" `Quick test_spark_gene;
+          Alcotest.test_case "kmeans" `Quick test_spark_kmeans;
+          Alcotest.test_case "logreg" `Quick test_spark_logreg;
+          Alcotest.test_case "gda" `Quick test_spark_gda;
+          Alcotest.test_case "cost model" `Quick test_spark_cost_model;
+        ] );
+      ( "minigraph",
+        [ Alcotest.test_case "pagerank" `Quick test_minigraph_pagerank;
+          Alcotest.test_case "triangles" `Quick test_minigraph_triangles;
+          Alcotest.test_case "replication" `Quick test_replication_factor;
+        ] );
+      ( "dimmwitted",
+        [ Alcotest.test_case "sweep" `Quick test_dimmwitted_sweep;
+          Alcotest.test_case "scaling" `Quick test_dimmwitted_scaling;
+        ] );
+    ]

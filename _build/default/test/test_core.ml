@@ -1,0 +1,154 @@
+(* Tests of the Dmll facade: compilation reports, target dispatch, codegen
+   entry points, and cross-target value agreement. *)
+
+module V = Dmll_interp.Value
+module R = Dmll_runtime
+module D = Dmll_dsl.Dsl
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* a small program exercising filter + groupBy + per-group aggregation *)
+let program () =
+  D.reveal
+    D.(
+      let xs = input_farr ~layout:Dmll_ir.Exp.Partitioned "xs" in
+      let$ big = filter xs (fun v -> v > float 1.0) in
+      let$ g =
+        group_reduce (length big)
+          ~key:(fun i -> to_int (get big i) mod int 3)
+          ~value:(fun i -> get big i)
+          ~init:(float 0.0)
+          ~combine:(fun a b -> a +. b)
+      in
+      map_buckets g (fun v -> v *. float 2.0))
+
+let inputs =
+  [ ("xs", V.of_float_array (Array.init 200 (fun i -> float_of_int (i mod 13)))) ]
+
+let test_compile_report () =
+  let c = Dmll.compile (program ()) in
+  let opts = Dmll.optimizations c in
+  check tbool "fusion fired" true (List.mem "pipeline-fusion" opts);
+  (* the partitioning analysis sees xs as partitioned *)
+  check tbool "xs partitioned" true
+    (Dmll_analysis.Partition.layout_of (Dmll_analysis.Stencil.Tinput "xs")
+       c.Dmll.partition.Dmll_analysis.Partition.layouts
+    = Dmll_ir.Exp.Partitioned);
+  check tbool "no warnings" true (Dmll.warnings c = [])
+
+let test_targets_agree () =
+  let reference = Dmll.run (Dmll.compile (program ())) ~inputs in
+  let targets =
+    [ Dmll.Sequential;
+      Dmll.Multicore 2;
+      Dmll.Numa
+        { R.Sim_numa.machine = Dmll_machine.Machine.stanford_numa;
+          threads = 48;
+          mode = R.Sim_numa.Numa_aware;
+        };
+      Dmll.Gpu { R.Sim_gpu.transpose = true; row_to_column = true };
+      Dmll.Cluster R.Sim_cluster.default_config;
+    ]
+  in
+  List.iter
+    (fun t ->
+      let c = Dmll.compile ~target:t (program ()) in
+      let v = Dmll.run c ~inputs in
+      check tbool "target value agrees" true (V.approx_equal ~eps:1e-9 reference v))
+    targets
+
+let test_timed_run () =
+  let c =
+    Dmll.compile
+      ~target:
+        (Dmll.Numa
+           { R.Sim_numa.machine = Dmll_machine.Machine.stanford_numa;
+             threads = 12;
+             mode = R.Sim_numa.Pin_only;
+           })
+      (program ())
+  in
+  let _, t = Dmll.timed_run c ~inputs in
+  check tbool "simulated time positive" true (t > 0.0)
+
+let test_codegen () =
+  let c = Dmll.compile (program ()) in
+  check tbool "C++ emitted" true (contains (Dmll.codegen `Cpp c) "int64_t");
+  check tbool "CUDA emitted" true (contains (Dmll.codegen `Cuda c) "__global__");
+  check tbool "Scala emitted" true (contains (Dmll.codegen `Scala c) "object")
+
+let test_warning_surface () =
+  (* a gather program draws a Remote_access warning through the facade *)
+  let p =
+    D.reveal
+      D.(
+        let xs = input_farr ~layout:Dmll_ir.Exp.Partitioned "xs" in
+        let perm = input_iarr "perm" in
+        map perm (fun i -> get xs i))
+  in
+  let c = Dmll.compile p in
+  check tbool "remote access surfaced" true
+    (List.exists (fun w -> contains w "runtime data movement") (Dmll.warnings c))
+
+let test_iterate () =
+  (* k-means to (near) convergence through the facade: centroids feed back
+     as the "clusters" input; the result matches iterating the
+     hand-optimized step the same number of times *)
+  let rows = 80 and cols = 4 and k = 3 and iters = 5 in
+  let d = Dmll_data.Gaussian.generate ~rows ~cols ~classes:k () in
+  let c0 = Dmll_data.Gaussian.random_centroids ~k d in
+  let compiled = Dmll.compile (Dmll_apps.Kmeans.program ~rows ~cols ~k ()) in
+  let final =
+    Dmll.iterate compiled
+      ~inputs:(Dmll_apps.Kmeans.inputs d ~centroids:c0)
+      ~feedback:(fun v ->
+        [ ("clusters", V.of_float_array (Dmll_apps.Kmeans.result_to_flat v ~cols)) ])
+      ~iters
+  in
+  let expected = ref c0 in
+  for _ = 1 to iters do
+    expected :=
+      Dmll_apps.Kmeans.handopt ~data:d.Dmll_data.Gaussian.data ~rows ~cols ~k
+        ~centroids:!expected
+  done;
+  let got = Dmll_apps.Kmeans.result_to_flat final ~cols in
+  Array.iteri
+    (fun i x ->
+      check tbool "converged centroids match" true
+        (Float.abs (x -. !expected.(i)) < 1e-6 *. (1.0 +. Float.abs x)))
+    got
+
+(* the whole driver — generic pipeline, partitioning-triggered rewrites,
+   target lowering, execution — preserves semantics on random programs *)
+let prop_driver_preserves =
+  QCheck.Test.make ~count:100 ~name:"Dmll.compile preserves semantics"
+    Dmll_testgen.Gen_ir.arbitrary_program (fun e ->
+      match Dmll_interp.Interp.run e with
+      | exception Dmll_interp.Interp.Runtime_error _ -> QCheck.assume_fail ()
+      | expected ->
+          List.for_all
+            (fun target ->
+              let c = Dmll.compile ~target e in
+              V.approx_equal ~eps:1e-6 expected (Dmll.run c ~inputs:[]))
+            [ Dmll.Sequential;
+              Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true };
+            ])
+
+let () =
+  Alcotest.run "core"
+    [ ( "facade",
+        [ Alcotest.test_case "compile report" `Quick test_compile_report;
+          Alcotest.test_case "targets agree" `Quick test_targets_agree;
+          Alcotest.test_case "timed run" `Quick test_timed_run;
+          Alcotest.test_case "codegen" `Quick test_codegen;
+          Alcotest.test_case "warnings" `Quick test_warning_surface;
+          Alcotest.test_case "iterate" `Quick test_iterate;
+          QCheck_alcotest.to_alcotest prop_driver_preserves;
+        ] );
+    ]

@@ -1,0 +1,245 @@
+(* Tests of the data generators and the PRNG: determinism, distribution
+   shape, and structural invariants of the synthetic datasets standing in
+   for the paper's inputs (DESIGN.md §2). *)
+
+module Prng = Dmll_util.Prng
+module Stats = Dmll_util.Stats
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* ---------------- PRNG ---------------- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check tint "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done;
+  let c = Prng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Prng.int a 1000 <> Prng.int c 1000 then differs := true
+  done;
+  check tbool "different seeds differ" true !differs
+
+let test_prng_ranges () =
+  let r = Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let i = Prng.int r 17 in
+    if i < 0 || i >= 17 then Alcotest.failf "int out of range: %d" i;
+    let f = Prng.float r 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_prng_split () =
+  let r = Prng.create 9 in
+  let s = Prng.split r in
+  (* the split stream is independent of further draws from the parent *)
+  let s_draws = Array.init 10 (fun _ -> Prng.int s 1000) in
+  let r2 = Prng.create 9 in
+  let s2 = Prng.split r2 in
+  ignore (Prng.int r2 1000);
+  let s2_draws = Array.init 10 (fun _ -> Prng.int s2 1000) in
+  check tbool "split streams deterministic" true (s_draws = s2_draws)
+
+let test_prng_gaussian () =
+  let r = Prng.create 11 in
+  let xs = Array.init 20_000 (fun _ -> Prng.gaussian r) in
+  check tbool "mean near 0" true (Float.abs (Stats.mean xs) < 0.05);
+  check tbool "stddev near 1" true (Float.abs (Stats.stddev xs -. 1.0) < 0.05)
+
+(* ---------------- stats helpers ---------------- *)
+
+let test_stats () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check tbool "mean" true (Stats.mean xs = 2.5);
+  check tbool "median" true (Stats.median xs = 2.5);
+  check tbool "p0 is min" true (Stats.percentile 0.0 xs = 1.0);
+  check tbool "p100 is max" true (Stats.percentile 100.0 xs = 4.0);
+  check tbool "geomean" true (Float.abs (Stats.geomean [| 2.0; 8.0 |] -. 4.0) < 1e-9);
+  let h = Stats.histogram ~bins:2 ~lo:0.0 ~hi:4.0 [| 0.5; 1.0; 3.0; 3.9 |] in
+  check tbool "histogram" true (h = [| 2; 2 |])
+
+(* ---------------- TPC-H ---------------- *)
+
+let test_tpch () =
+  let t = Dmll_data.Tpch.generate ~rows:5000 () in
+  check tint "row count" 5000 t.Dmll_data.Tpch.n;
+  (* determinism *)
+  let t2 = Dmll_data.Tpch.generate ~rows:5000 () in
+  check tbool "deterministic" true (t.Dmll_data.Tpch.quantity = t2.Dmll_data.Tpch.quantity);
+  (* Q1 selectivity is ~96-98% like the reference query *)
+  let selected =
+    Array.fold_left
+      (fun acc d -> if d <= Dmll_data.Tpch.q1_cutoff then acc + 1 else acc)
+      0 t.Dmll_data.Tpch.shipdate
+  in
+  let sel = float_of_int selected /. 5000.0 in
+  check tbool "selectivity ~0.96" true (sel > 0.90 && sel < 0.99);
+  (* A/R rows are always linestatus 'F' (old orders) *)
+  Array.iteri
+    (fun i rf ->
+      if rf <> 1 then check tint "A/R implies F" 0 t.Dmll_data.Tpch.linestatus.(i))
+    t.Dmll_data.Tpch.returnflag;
+  (* exactly the 4 populated groups of the reference output:
+     A/F, R/F, N/F, N/O *)
+  let groups = Hashtbl.create 8 in
+  for i = 0 to t.Dmll_data.Tpch.n - 1 do
+    Hashtbl.replace groups (t.Dmll_data.Tpch.returnflag.(i), t.Dmll_data.Tpch.linestatus.(i)) ()
+  done;
+  check tint "four groups" 4 (Hashtbl.length groups)
+
+(* ---------------- genes ---------------- *)
+
+let test_genes () =
+  let r = Dmll_data.Genes.generate ~reads:10_000 ~barcodes:100 () in
+  Array.iter
+    (fun b -> if b < 0 || b >= 100 then Alcotest.failf "barcode out of range: %d" b)
+    r.Dmll_data.Genes.barcode;
+  (* skew: the busiest decile of barcodes holds well over its share *)
+  let counts = Array.make 100 0 in
+  Array.iter (fun b -> counts.(b) <- counts.(b) + 1) r.Dmll_data.Genes.barcode;
+  let top =
+    Array.fold_left ( + ) 0 (Array.sub (Array.copy counts) 0 10)
+  in
+  check tbool "skewed to early barcodes" true (top > 10_000 * 2 / 10);
+  (* some reads fail the quality filter, most pass *)
+  let pass =
+    Array.fold_left
+      (fun acc q -> if q >= Dmll_data.Genes.min_quality then acc + 1 else acc)
+      0 r.Dmll_data.Genes.quality
+  in
+  check tbool "filter keeps 80-95%" true (pass > 8000 && pass < 9600)
+
+(* ---------------- gaussian ---------------- *)
+
+let test_gaussian_data () =
+  let d = Dmll_data.Gaussian.generate ~rows:2000 ~cols:8 ~classes:4 () in
+  check tint "flat size" (2000 * 8) (Array.length d.Dmll_data.Gaussian.data);
+  Array.iter
+    (fun l -> if l < 0 || l >= 4 then Alcotest.failf "label out of range %d" l)
+    d.Dmll_data.Gaussian.labels;
+  (* rows of the same class cluster: within-class variance ~1 per dim *)
+  let labels = d.Dmll_data.Gaussian.labels in
+  let cls = ref [] in
+  Array.iteri (fun i l -> if l = 0 then cls := i :: !cls) labels;
+  let dim0 =
+    Array.of_list (List.map (fun i -> d.Dmll_data.Gaussian.data.(i * 8)) !cls)
+  in
+  check tbool "within-class stddev ~1" true (Stats.stddev dim0 < 1.6);
+  let bl = Dmll_data.Gaussian.binary_labels d in
+  Array.iteri
+    (fun i l ->
+      check tbool "binary labels" true (bl.(i) = if l = 0 then 0.0 else 1.0))
+    labels
+
+(* ---------------- R-MAT ---------------- *)
+
+let test_rmat () =
+  let g = Dmll_data.Rmat.generate ~scale:10 ~edge_factor:8 () in
+  check tint "vertex count" 1024 g.Dmll_data.Rmat.nv;
+  check tint "edge count" (1024 * 8) (Array.length g.Dmll_data.Rmat.edges);
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= 1024 || v < 0 || v >= 1024 then Alcotest.fail "edge out of range")
+    g.Dmll_data.Rmat.edges;
+  (* degree skew: the max out-degree far exceeds the average *)
+  let deg = Array.make 1024 0 in
+  Array.iter (fun (u, _) -> deg.(u) <- deg.(u) + 1) g.Dmll_data.Rmat.edges;
+  let dmax = Array.fold_left Stdlib.max 0 deg in
+  check tbool "power-law-ish skew" true (dmax > 8 * 6);
+  (* symmetrize doubles the edge list *)
+  let s = Dmll_data.Rmat.symmetrize g in
+  check tint "symmetrized" (2 * Array.length g.Dmll_data.Rmat.edges)
+    (Array.length s.Dmll_data.Rmat.edges)
+
+let test_csr () =
+  let g = Dmll_graph.Csr.of_edges (Dmll_data.Rmat.generate ~scale:8 ~edge_factor:4 ()) in
+  (* offsets are monotone and bound the target array *)
+  let nv = g.Dmll_graph.Csr.nv in
+  for v = 0 to nv - 1 do
+    if g.Dmll_graph.Csr.out_offsets.(v) > g.Dmll_graph.Csr.out_offsets.(v + 1) then
+      Alcotest.fail "non-monotone offsets"
+  done;
+  check tint "offsets end" (Array.length g.Dmll_graph.Csr.out_targets)
+    g.Dmll_graph.Csr.out_offsets.(nv);
+  (* neighbor lists sorted + deduplicated, no self loops *)
+  for v = 0 to nv - 1 do
+    let prev = ref (-1) in
+    Dmll_graph.Csr.out_neighbors g v (fun w ->
+        if w <= !prev then Alcotest.fail "not sorted/deduped";
+        if w = v then Alcotest.fail "self loop";
+        prev := w)
+  done;
+  (* every out-edge appears as an in-edge *)
+  let in_count = Array.length g.Dmll_graph.Csr.in_sources in
+  check tint "in edges = out edges" (Array.length g.Dmll_graph.Csr.out_targets) in_count;
+  (* has_out_edge agrees with the lists *)
+  Dmll_graph.Csr.out_neighbors g 0 (fun w ->
+      check tbool "membership" true (Dmll_graph.Csr.has_out_edge g 0 w));
+  check tbool "non-membership" false (Dmll_graph.Csr.has_out_edge g 0 0)
+
+(* ---------------- factor graphs ---------------- *)
+
+let test_factor_graph () =
+  let g = Dmll_data.Factor_graph.generate ~vars:500 ~factors:1500 () in
+  check tint "factor count" 1500 g.Dmll_data.Factor_graph.nfactors;
+  (* adjacency covers every factor endpoint exactly once *)
+  check tint "adjacency size" (2 * 1500)
+    g.Dmll_data.Factor_graph.adj_offsets.(500);
+  let seen = Array.make 1500 0 in
+  Array.iter
+    (fun f -> seen.(f) <- seen.(f) + 1)
+    g.Dmll_data.Factor_graph.adj_factors;
+  Array.iter (fun c -> check tint "each factor twice" 2 c) seen;
+  (* adjacency is consistent: factor f is adjacent to exactly its vars *)
+  for v = 0 to 499 do
+    for k = g.Dmll_data.Factor_graph.adj_offsets.(v)
+        to g.Dmll_data.Factor_graph.adj_offsets.(v + 1) - 1 do
+      let f = g.Dmll_data.Factor_graph.adj_factors.(k) in
+      if g.Dmll_data.Factor_graph.var_a.(f) <> v && g.Dmll_data.Factor_graph.var_b.(f) <> v
+      then Alcotest.fail "adjacency inconsistent"
+    done
+  done;
+  let st = Dmll_data.Factor_graph.initial_state g in
+  Array.iter (fun x -> check tbool "state is 0/1" true (x = 0.0 || x = 1.0)) st
+
+(* ---------------- properties ---------------- *)
+
+let prop_prng_uniform =
+  QCheck.Test.make ~count:50 ~name:"Prng.int is roughly uniform"
+    QCheck.(int_range 2 64)
+    (fun bound ->
+      let r = Prng.create 123 in
+      let counts = Array.make bound 0 in
+      let draws = 2000 * bound in
+      for _ = 1 to draws do
+        let i = Prng.int r bound in
+        counts.(i) <- counts.(i) + 1
+      done;
+      let expected = float_of_int draws /. float_of_int bound in
+      Array.for_all
+        (fun c -> Float.abs (float_of_int c -. expected) < 0.25 *. expected)
+        counts)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "data"
+    [ ( "prng",
+        [ Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "split" `Quick test_prng_split;
+          Alcotest.test_case "gaussian" `Quick test_prng_gaussian;
+          qt prop_prng_uniform;
+        ] );
+      ("stats", [ Alcotest.test_case "helpers" `Quick test_stats ]);
+      ( "generators",
+        [ Alcotest.test_case "tpch" `Quick test_tpch;
+          Alcotest.test_case "genes" `Quick test_genes;
+          Alcotest.test_case "gaussian" `Quick test_gaussian_data;
+          Alcotest.test_case "rmat" `Quick test_rmat;
+          Alcotest.test_case "csr" `Quick test_csr;
+          Alcotest.test_case "factor graph" `Quick test_factor_graph;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* Tests of the staged DSL front-end: combinators must build the intended
+   IR shapes and evaluate to the intended values; sharing (let$) must
+   produce one binding, not duplicated subtrees. *)
+
+open Dmll_ir
+open Dmll_interp
+module D = Dmll_dsl.Dsl
+
+let check = Alcotest.check
+let tint = Alcotest.int
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable (fun fmt v -> Fmt.string fmt (Value.to_string v)) Value.equal
+
+let run ?(inputs = []) e = Interp.run ~inputs (D.reveal e)
+
+let xs = D.input_farr "xs"
+let xs_val = Value.of_float_array [| 1.0; 2.0; 3.0; 4.0 |]
+
+let test_scalars () =
+  check value "arith" (Value.Vfloat 7.0) (run D.(float 1.0 +. (float 2.0 *. float 3.0)));
+  check value "int arith" (Value.Vint 7) (run D.(int 25 mod int 9));
+  check value "compare" (Value.Vbool true) (run D.(float 1.0 < float 2.0));
+  check value "if" (Value.Vint 1) (run D.(if_ (bool true) (int 1) (int 2)));
+  check value "min/max" (Value.Vint 3) (run D.(imin (int 3) (imax (int 1) (int 5))))
+
+let test_sharing () =
+  (* let$ computes the bound expression once: the IR has one Let whose
+     bound is the sum, and the body references it twice *)
+  let e =
+    D.(
+      let$ s = sum_float xs in
+      s +. s)
+  in
+  (match D.reveal e with
+  | Exp.Let (sym, Exp.Loop _, body) -> check tint "two refs" 2 (Exp.count_occ sym body)
+  | _ -> Alcotest.fail "expected a let of a loop");
+  check value "sharing value" (Value.Vfloat 20.0) (run ~inputs:[ ("xs", xs_val) ] e)
+
+let test_collections () =
+  let inputs = [ ("xs", xs_val) ] in
+  check value "map" (Value.of_float_array [| 2.0; 4.0; 6.0; 8.0 |])
+    (run ~inputs D.(map xs (fun v -> v *. float 2.0)));
+  check value "filter"
+    (Value.of_float_array [| 3.0; 4.0 |])
+    (run ~inputs D.(filter xs (fun v -> v > float 2.0)));
+  check value "zip_with"
+    (Value.of_float_array [| 2.0; 4.0; 6.0; 8.0 |])
+    (run ~inputs D.(zip_with xs xs (fun a b -> a +. b)));
+  check value "mean" (Value.Vfloat 2.5) (run ~inputs (D.mean xs));
+  check value "sum_range" (Value.Vfloat 6.0)
+    (run D.(sum_range (int 4) (fun i -> to_float i)));
+  check value "count_range_if" (Value.Vint 2)
+    (run D.(count_range_if (int 4) (fun i -> i < int 2)));
+  (* f(v) = v^2 - 5v over [1;2;3;4] is minimized (ties -> first) at v=2 *)
+  check value "min_index" (Value.Vint 1)
+    (run ~inputs D.(min_index (int 4) (fun i -> D.get xs i *. D.get xs i -. D.get xs i *. float 5.0)))
+
+let test_flat_map () =
+  let inputs = [ ("xs", xs_val) ] in
+  (* each element expands to (v, v*10): widths are fixed so the encoding is
+     one affine Collect *)
+  let e =
+    D.(
+      flat_map_fixed xs ~width:(int 2) (fun v k ->
+          if_ (k = int 0) v (v *. float 10.0)))
+  in
+  check value "flat_map_fixed"
+    (Value.of_float_array [| 1.; 10.; 2.; 20.; 3.; 30.; 4.; 40. |])
+    (run ~inputs e);
+  (* it is a single loop, and the stencil of xs stays affine *)
+  (match D.reveal e with
+  | Exp.Loop _ -> ()
+  | _ -> Alcotest.fail "expected a single collect");
+  check tint "one loop" 1 (List.length (Exp.loops_of (D.reveal e)))
+
+let test_grouping () =
+  let m =
+    D.(
+      group_reduce (int 10)
+        ~key:(fun i -> i mod int 3)
+        ~value:(fun i -> i)
+        ~init:(int 0)
+        ~combine:(fun a b -> a + b))
+  in
+  (match run m with
+  | Value.Vmap vm ->
+      check tint "three buckets" 3 (Array.length vm.Value.mkeys);
+      check value "bucket 0" (Value.Vint 18) vm.Value.mvals.(0)
+  | v -> Alcotest.failf "expected map, got %s" (Value.to_string v));
+  check value "lookup_or hit" (Value.Vint 18)
+    (run D.(let$ g = m in lookup_or g (int 0) ~default:(int (-1))));
+  check value "lookup_or miss" (Value.Vint (-1))
+    (run D.(let$ g = m in lookup_or g (int 99) ~default:(int (-1))));
+  check value "bucket_key" (Value.Vint 1)
+    (run D.(let$ g = m in bucket_key g (int 1)));
+  check value "map_buckets" (Value.of_int_array [| 19; 13; 16 |])
+    (run D.(let$ g = m in map_buckets g (fun v -> v + int 1)))
+
+let test_group_by () =
+  let g = D.(group_by xs ~key:(fun v -> to_int v mod int 2)) in
+  match run ~inputs:[ ("xs", xs_val) ] g with
+  | Value.Vmap vm ->
+      check tint "two buckets" 2 (Array.length vm.Value.mkeys);
+      check value "bucket of odds" (Value.of_float_array [| 1.0; 3.0 |]) vm.Value.mvals.(0)
+  | v -> Alcotest.failf "expected map, got %s" (Value.to_string v)
+
+let test_vectors () =
+  let inputs = [ ("xs", xs_val) ] in
+  check value "vzero" (Value.of_float_array [| 0.0; 0.0 |]) (run D.(vzero (int 2)));
+  check value "vadd" (Value.of_float_array [| 2.0; 4.0; 6.0; 8.0 |])
+    (run ~inputs D.(vadd xs xs));
+  check value "vscale" (Value.of_float_array [| 3.0; 6.0; 9.0; 12.0 |])
+    (run ~inputs D.(vscale (float 3.0) xs));
+  check value "dot" (Value.Vfloat 30.0) (run ~inputs D.(dot xs xs))
+
+let test_matrix () =
+  (* 2x3 row-major matrix [[1 2 3];[4 5 6]] *)
+  let m_val = Value.of_float_array [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let inputs = [ ("m", m_val) ] in
+  let m = D.Mat.input "m" ~rows:(D.int 2) ~cols:(D.int 3) in
+  check value "get" (Value.Vfloat 6.0) (run ~inputs (D.Mat.get m (D.int 1) (D.int 2)));
+  check value "row" (Value.of_float_array [| 4.; 5.; 6. |])
+    (run ~inputs (D.Mat.row m (D.int 1)));
+  check value "row sums" (Value.of_float_array [| 6.0; 15.0 |])
+    (run ~inputs
+       (D.Mat.map_rows m (fun _ get -> D.sum_range (D.int 3) (fun j -> get j))));
+  check value "dist2 between rows" (Value.Vfloat 27.0)
+    (run ~inputs (D.Mat.dist2_rows m (D.int 0) m (D.int 1)));
+  check value "dot row with vec" (Value.Vfloat 32.0)
+    (run
+       ~inputs:(inputs @ [ ("v", Value.of_float_array [| 1.; 2.; 3. |]) ])
+       (D.Mat.dot_row m (D.int 1) (D.input_farr "v")))
+
+let test_staged_types_check () =
+  (* anything the DSL builds must type check *)
+  let progs =
+    [ D.reveal D.(map xs (fun v -> exp v));
+      D.reveal D.(let$ s = sum_float xs in map xs (fun v -> v /. s));
+      D.reveal
+        D.(
+          group_reduce (int 6)
+            ~key:(fun i -> i mod int 2)
+            ~value:(fun i -> to_float i)
+            ~init:(float 0.0)
+            ~combine:(fun a b -> a +. b));
+    ]
+  in
+  List.iter
+    (fun p ->
+      match Typecheck.check_closed p with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "ill-typed DSL output: %s" (Fmt.str "%a" Typecheck.pp_error e))
+    progs
+
+let () =
+  Alcotest.run "dsl"
+    [ ( "dsl",
+        [ Alcotest.test_case "scalars" `Quick test_scalars;
+          Alcotest.test_case "sharing" `Quick test_sharing;
+          Alcotest.test_case "collections" `Quick test_collections;
+          Alcotest.test_case "flat_map_fixed" `Quick test_flat_map;
+          Alcotest.test_case "grouping" `Quick test_grouping;
+          Alcotest.test_case "group_by" `Quick test_group_by;
+          Alcotest.test_case "vectors" `Quick test_vectors;
+          Alcotest.test_case "matrix" `Quick test_matrix;
+          Alcotest.test_case "well-typed" `Quick test_staged_types_check;
+        ] );
+    ]

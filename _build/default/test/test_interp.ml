@@ -1,0 +1,286 @@
+(* Tests of the reference interpreter: generator semantics (paper Figure 2),
+   nested loops, inputs, externs, and failure behaviour. *)
+
+open Dmll_ir
+open Dmll_interp
+open Exp
+open Builder
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable (fun fmt v -> Fmt.string fmt (Value.to_string v)) Value.equal
+
+let run = Interp.run
+
+let farr xs = Value.of_float_array (Array.of_list xs)
+let iarr xs = Value.of_int_array (Array.of_list xs)
+
+(* ---------------- scalars ---------------- *)
+
+let test_scalars () =
+  check value "int arith" (Value.Vint 7) (run (int_ 1 +! (int_ 2 *! int_ 3)));
+  check value "float arith" (Value.Vfloat 2.5) (run (float_ 1.0 +. (float_ 3.0 /. float_ 2.0)));
+  check value "comparison" (Value.Vbool true) (run (int_ 3 <! int_ 5));
+  check value "string concat"
+    (Value.Vstr "ab")
+    (run (Prim (Prim.Strcat, [ str_ "a"; str_ "b" ])));
+  check value "if" (Value.Vint 1) (run (if_ (bool_ true) (int_ 1) (int_ 2)));
+  check value "let" (Value.Vfloat 4.0)
+    (run (bind ~ty:Types.Float (float_ 2.0) (fun v -> v *. v)))
+
+let test_tuples_structs () =
+  check value "proj" (Value.Vint 2) (run (Proj (Tuple [ int_ 1; int_ 2 ], 1)));
+  let pt = Types.Struct ("pt", [ ("x", Types.Float); ("y", Types.Float) ]) in
+  let e = Field (Record (pt, [ ("x", float_ 1.5); ("y", float_ 2.5) ]), "y") in
+  check value "field" (Value.Vfloat 2.5) (run e)
+
+(* ---------------- Collect ---------------- *)
+
+let test_collect () =
+  check value "map square" (iarr [ 0; 1; 4; 9 ])
+    (run (collect ~size:(int_ 4) (fun i -> i *! i)));
+  check value "collect specializes floats"
+    (farr [ 0.0; 1.0; 2.0 ])
+    (run (collect ~size:(int_ 3) (fun i -> i2f i)));
+  check value "empty collect" (Value.Varr (Value.Ga [||])) (run (collect ~size:(int_ 0) (fun i -> i)))
+
+let test_filter () =
+  let e =
+    collect
+      ~cond:(fun i -> i %! int_ 2 =! int_ 0)
+      ~size:(int_ 6)
+      (fun i -> i)
+  in
+  check value "filter evens" (iarr [ 0; 2; 4 ]) (run e)
+
+(* ---------------- Reduce ---------------- *)
+
+let test_reduce () =
+  check value "sum 0..9" (Value.Vint 45) (run (isum ~size:(int_ 10) (fun i -> i)));
+  check value "empty reduce returns init" (Value.Vfloat 0.0)
+    (run (fsum ~size:(int_ 0) (fun _ -> float_ 1.0)));
+  let conditional =
+    isum ~cond:(fun i -> i >! int_ 5) ~size:(int_ 10) (fun i -> i)
+  in
+  check value "conditional reduce" (Value.Vint 30) (run conditional)
+
+let test_min_index () =
+  let arr = farr [ 3.0; 1.0; 2.0; 1.0 ] in
+  let a = Sym.fresh ~name:"arr" (Types.Arr Types.Float) in
+  let e = Let (a, Input ("data", Types.Arr Types.Float, Local),
+               min_index ~size:(len (Var a)) (fun i -> read (Var a) i)) in
+  (* min-by keeps the first occurrence on ties *)
+  check value "argmin" (Value.Vint 1) (Interp.run ~inputs:[ ("data", arr) ] e)
+
+(* ---------------- Buckets ---------------- *)
+
+let test_bucket_collect () =
+  let e =
+    bucket_collect ~size:(int_ 6) ~key:(fun i -> i %! int_ 2) (fun i -> i)
+  in
+  match Interp.run e with
+  | Value.Vmap m ->
+      check value "keys first-seen order" (iarr [ 0; 2; 4 ]) m.mvals.(0);
+      check value "second bucket" (iarr [ 1; 3; 5 ]) m.mvals.(1);
+      check value "key 0" (Value.Vint 0) m.mkeys.(0)
+  | v -> Alcotest.failf "expected map, got %s" (Value.to_string v)
+
+let test_bucket_reduce () =
+  let e =
+    bucket_reduce ~size:(int_ 10) ~ty:Types.Int
+      ~key:(fun i -> i %! int_ 3)
+      ~init:(int_ 0)
+      (fun i -> i)
+      (fun a b -> a +! b)
+  in
+  match Interp.run e with
+  | Value.Vmap m ->
+      (* buckets: 0: 0+3+6+9=18, 1: 1+4+7=12, 2: 2+5+8=15 *)
+      check value "bucket 0" (Value.Vint 18) m.mvals.(0);
+      check value "bucket 1" (Value.Vint 12) m.mvals.(1);
+      check value "bucket 2" (Value.Vint 15) m.mvals.(2)
+  | v -> Alcotest.failf "expected map, got %s" (Value.to_string v)
+
+let test_bucket_string_keys () =
+  let names = Value.Varr (Value.Ga [| Value.Vstr "a"; Value.Vstr "b"; Value.Vstr "a" |]) in
+  let a = Sym.fresh ~name:"names" (Types.Arr Types.Str) in
+  let e =
+    Let (a, Input ("names", Types.Arr Types.Str, Local),
+         bucket_reduce ~size:(len (Var a)) ~ty:Types.Int
+           ~key:(fun i -> read (Var a) i)
+           ~init:(int_ 0)
+           (fun _ -> int_ 1)
+           (fun x y -> x +! y))
+  in
+  match Interp.run ~inputs:[ ("names", names) ] e with
+  | Value.Vmap m ->
+      check value "count a" (Value.Vint 2) m.mvals.(0);
+      check value "count b" (Value.Vint 1) m.mvals.(1);
+      check value "key a" (Value.Vstr "a") m.mkeys.(0)
+  | v -> Alcotest.failf "expected map, got %s" (Value.to_string v)
+
+(* ---------------- map reads ---------------- *)
+
+let test_map_read () =
+  let buckets =
+    bucket_reduce ~size:(int_ 6) ~ty:Types.Int
+      ~key:(fun i -> i %! int_ 2)
+      ~init:(int_ 0)
+      (fun _ -> int_ 1)
+      (fun a b -> a +! b)
+  in
+  let e =
+    bind ~ty:(Types.Map (Types.Int, Types.Int)) buckets (fun m ->
+        MapRead (m, int_ 1, None) +! MapRead (m, int_ 7, Some (int_ 100)))
+  in
+  check value "keyed read + default" (Value.Vint 103) (run e);
+  let k =
+    bind ~ty:(Types.Map (Types.Int, Types.Int)) buckets (fun m -> KeyAt (m, int_ 1))
+  in
+  check value "keyAt" (Value.Vint 1) (run k)
+
+(* ---------------- nesting & multi-generator ---------------- *)
+
+let test_nested_loops () =
+  (* outer product row sums: for i in 0..2, sum_j (i*j) for j in 0..3 *)
+  let e =
+    collect ~size:(int_ 3) (fun i ->
+        isum ~size:(int_ 4) (fun j -> i *! j))
+  in
+  check value "nested" (iarr [ 0; 6; 12 ]) (run e)
+
+let test_multi_generator () =
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let a = Sym.fresh Types.Int and b = Sym.fresh Types.Int in
+  let ml =
+    Loop
+      { size = int_ 5;
+        idx;
+        gens =
+          [ Collect { cond = None; value = Var idx *! int_ 2 };
+            Reduce
+              { cond = None; value = Var idx; a; b; rfun = Var a +! Var b;
+                init = int_ 0 };
+          ];
+      }
+  in
+  check value "horizontal pair"
+    (Value.Vtup [| iarr [ 0; 2; 4; 6; 8 ]; Value.Vint 10 |])
+    (run ml)
+
+(* ---------------- errors ---------------- *)
+
+let expect_error e =
+  match Interp.run e with
+  | exception Interp.Runtime_error _ -> ()
+  | v -> Alcotest.failf "expected runtime error, got %s" (Value.to_string v)
+
+let test_errors () =
+  expect_error (int_ 1 /! int_ 0);
+  expect_error (Read (collect ~size:(int_ 2) (fun i -> i), int_ 5));
+  expect_error (Var (Sym.fresh Types.Int));
+  expect_error (Input ("missing", Types.Int, Local));
+  expect_error (Extern { ename = "nope"; eargs = []; ety = Types.Unit; whitelisted = false })
+
+let test_extern () =
+  Interp.register_extern "double" (function
+    | [ Value.Vint i ] -> Value.Vint (2 * i)
+    | _ -> failwith "double");
+  check value "custom extern" (Value.Vint 8)
+    (run (Extern { ename = "double"; eargs = [ int_ 4 ]; ety = Types.Int; whitelisted = false }));
+  check value "size_hint whitelisted extern" (Value.Vint 3)
+    (run
+       (Extern
+          { ename = "size_hint";
+            eargs = [ collect ~size:(int_ 3) (fun i -> i) ];
+            ety = Types.Int;
+            whitelisted = true;
+          }))
+
+(* ---------------- value helpers ---------------- *)
+
+let test_value_helpers () =
+  check tbool "approx equal tolerates rounding" true
+    (Value.approx_equal (Value.Vfloat 1.0) (Value.Vfloat (Float.add 1.0 1e-12)));
+  check tbool "approx not sloppy" false
+    (Value.approx_equal (Value.Vfloat 1.0) (Value.Vfloat 1.1));
+  let m1 = Value.Vmap { mkeys = [| Value.Vint 0; Value.Vint 1 |];
+                        mvals = [| Value.Vfloat 1.0; Value.Vfloat 2.0 |] } in
+  let m2 = Value.Vmap { mkeys = [| Value.Vint 1; Value.Vint 0 |];
+                        mvals = [| Value.Vfloat 2.0; Value.Vfloat 1.0 |] } in
+  check tbool "maps compared as keyed sets" true (Value.approx_equal m1 m2);
+  check tbool "strict equal is ordered" false (Value.equal m1 m2)
+
+(* ---------------- properties ---------------- *)
+
+(* Evaluation is deterministic. *)
+let prop_deterministic =
+  QCheck.Test.make ~count:100 ~name:"evaluation is deterministic"
+    Dmll_testgen.Gen_ir.arbitrary_program (fun e ->
+      Value.equal (Interp.run e) (Interp.run e))
+
+(* Refreshing binders never changes the result. *)
+let prop_refresh_semantics =
+  QCheck.Test.make ~count:100 ~name:"refresh_binders preserves semantics"
+    Dmll_testgen.Gen_ir.arbitrary_program (fun e ->
+      Value.equal (Interp.run e) (Interp.run (refresh_binders e)))
+
+(* Bucket programs: total of bucket sums equals the unbucketed sum. *)
+let prop_bucket_total =
+  QCheck.Test.make ~count:100 ~name:"bucket sums partition the total"
+    Dmll_testgen.Gen_ir.arbitrary_bucket_program (fun e ->
+      match (Interp.run e, e) with
+      | Value.Vmap m, Loop { size; idx; gens = [ BucketReduce br ] } ->
+          let total =
+            Interp.run
+              (Loop
+                 { size;
+                   idx;
+                   gens =
+                     [ Reduce
+                         { cond = br.cond; value = br.value; a = br.a; b = br.b;
+                           rfun = br.rfun; init = br.init };
+                     ];
+                 })
+          in
+          let bucket_total =
+            Array.fold_left (fun acc v -> Float.add acc (Value.as_float v)) 0.0 m.mvals
+          in
+          Value.approx_equal ~eps:1e-6 (Value.Vfloat bucket_total) total
+      | _ -> false)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "interp"
+    [ ( "scalars",
+        [ Alcotest.test_case "arith" `Quick test_scalars;
+          Alcotest.test_case "tuples/structs" `Quick test_tuples_structs;
+        ] );
+      ( "collect",
+        [ Alcotest.test_case "map" `Quick test_collect;
+          Alcotest.test_case "filter" `Quick test_filter;
+        ] );
+      ( "reduce",
+        [ Alcotest.test_case "sum" `Quick test_reduce;
+          Alcotest.test_case "argmin" `Quick test_min_index;
+        ] );
+      ( "buckets",
+        [ Alcotest.test_case "bucket_collect" `Quick test_bucket_collect;
+          Alcotest.test_case "bucket_reduce" `Quick test_bucket_reduce;
+          Alcotest.test_case "string keys" `Quick test_bucket_string_keys;
+          Alcotest.test_case "map reads" `Quick test_map_read;
+        ] );
+      ( "nesting",
+        [ Alcotest.test_case "nested loops" `Quick test_nested_loops;
+          Alcotest.test_case "multi-generator" `Quick test_multi_generator;
+        ] );
+      ( "errors",
+        [ Alcotest.test_case "runtime errors" `Quick test_errors;
+          Alcotest.test_case "externs" `Quick test_extern;
+        ] );
+      ("values", [ Alcotest.test_case "helpers" `Quick test_value_helpers ]);
+      ( "properties",
+        [ qt prop_deterministic; qt prop_refresh_semantics; qt prop_bucket_total ] );
+    ]

@@ -1,0 +1,231 @@
+(* Unit and property tests for the DMLL IR: types, symbols, expression
+   utilities, the type checker, and the pretty printer. *)
+
+open Dmll_ir
+open Exp
+open Builder
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* ---------------- Types ---------------- *)
+
+let test_type_equal () =
+  check tbool "arr float = arr float" true Types.(equal (Arr Float) (Arr Float));
+  check tbool "arr float <> arr int" false Types.(equal (Arr Float) (Arr Int));
+  check tbool "tuple equality" true
+    Types.(equal (Tup [ Int; Float ]) (Tup [ Int; Float ]));
+  check tbool "struct name matters" false
+    Types.(equal (Struct ("a", [ ("x", Int) ])) (Struct ("b", [ ("x", Int) ])));
+  check tbool "map equality" true Types.(equal (Map (Int, Float)) (Map (Int, Float)))
+
+let test_type_predicates () =
+  check tbool "float is scalar" true (Types.is_scalar Types.Float);
+  check tbool "arr is not scalar" false (Types.is_scalar (Types.Arr Types.Float));
+  check tbool "int is key" true (Types.is_key_ty Types.Int);
+  check tbool "str is key" true (Types.is_key_ty Types.Str);
+  check tbool "tuple of ints is key" true
+    (Types.is_key_ty (Types.Tup [ Types.Int; Types.Str ]));
+  check tbool "arr is not key" false (Types.is_key_ty (Types.Arr Types.Int));
+  check tint "float bytes" 8 (Types.byte_size Types.Float);
+  check tint "struct bytes" 16
+    (Types.byte_size (Types.Struct ("p", [ ("x", Types.Float); ("y", Types.Float) ])))
+
+(* ---------------- Symbols ---------------- *)
+
+let test_sym_fresh () =
+  let a = Sym.fresh Types.Int and b = Sym.fresh Types.Int in
+  check tbool "distinct ids" false (Sym.equal a b);
+  let a' = Sym.refresh a in
+  check tbool "refresh distinct" false (Sym.equal a a');
+  check tbool "refresh keeps type" true (Types.equal (Sym.ty a) (Sym.ty a'))
+
+(* ---------------- Expression utilities ---------------- *)
+
+let test_free_vars () =
+  let x = Sym.fresh ~name:"x" Types.Float in
+  let e = Var x +. float_ 1.0 in
+  check tbool "x free" true (Sym.Set.mem x (free_vars e));
+  let bound = bind ~ty:Types.Float (float_ 2.0) (fun v -> v +. Var x) in
+  check tbool "x still free under let" true (Sym.Set.mem x (free_vars bound));
+  (* the loop index must not escape *)
+  let arr = Sym.fresh ~name:"arr" (Types.Arr Types.Float) in
+  let l = map_arr (Var arr) (fun e -> e +. Var x) in
+  let fv = free_vars l in
+  check tbool "arr free in loop" true (Sym.Set.mem arr fv);
+  check tbool "x free in loop" true (Sym.Set.mem x fv);
+  check tint "only arr and x free" 2 (Sym.Set.cardinal fv)
+
+let test_reduce_binders_not_free () =
+  let arr = Sym.fresh ~name:"arr" (Types.Arr Types.Float) in
+  let s = fsum ~size:(len (Var arr)) (fun i -> read (Var arr) i) in
+  let fv = free_vars s in
+  check tint "only arr free in sum" 1 (Sym.Set.cardinal fv);
+  check tbool "arr is the free one" true (Sym.Set.mem arr fv)
+
+let test_subst () =
+  let x = Sym.fresh ~name:"x" Types.Int in
+  let e = Var x +! int_ 1 in
+  let e' = subst1 x (int_ 41) e in
+  check tbool "substituted" true (alpha_equal e' (int_ 41 +! int_ 1));
+  (* substitution does not cross a binder for the same symbol *)
+  let inner = Let (x, int_ 5, Var x) in
+  let e2 = subst1 x (int_ 0) inner in
+  check tbool "let-bound occurrence preserved" true (alpha_equal e2 inner)
+
+let test_count_occ () =
+  let x = Sym.fresh ~name:"x" Types.Float in
+  let e = (Var x +. Var x) *. float_ 2.0 in
+  check tint "two occurrences" 2 (count_occ x e);
+  check tint "zero occurrences" 0 (count_occ (Sym.fresh Types.Float) e)
+
+let test_refresh_binders () =
+  let arr = Sym.fresh ~name:"arr" (Types.Arr Types.Float) in
+  let l = map_arr (Var arr) (fun e -> e +. float_ 1.0) in
+  let l' = refresh_binders l in
+  check tbool "alpha-equal after refresh" true (alpha_equal l l');
+  (* binders got fresh identities *)
+  match (l, l') with
+  | Loop { idx = i1; _ }, Loop { idx = i2; _ } ->
+      check tbool "fresh loop index" false (Sym.equal i1 i2)
+  | _ -> Alcotest.fail "expected loops"
+
+let test_alpha_equal_distinguishes () =
+  let a = collect ~size:(int_ 3) (fun i -> i +! int_ 1) in
+  let b = collect ~size:(int_ 3) (fun i -> i +! int_ 1) in
+  let c = collect ~size:(int_ 3) (fun i -> i +! int_ 2) in
+  check tbool "same shape alpha-equal" true (alpha_equal a b);
+  check tbool "different body not equal" false (alpha_equal a c)
+
+let test_node_count_and_loops () =
+  let e = collect ~size:(int_ 4) (fun i -> i *! i) in
+  check tbool "node_count positive" true (node_count e > 3);
+  check tint "one loop" 1 (List.length (loops_of e));
+  let nested = collect ~size:(int_ 2) (fun _ -> fsum ~size:(int_ 3) (fun _ -> float_ 1.0)) in
+  check tint "two loops" 2 (List.length (loops_of nested));
+  check tbool "loop_free scalar" true (loop_free (int_ 1 +! int_ 2));
+  check tbool "not loop_free" false (loop_free nested)
+
+(* ---------------- Type checker ---------------- *)
+
+let test_typecheck_ok () =
+  let e = fsum ~size:(int_ 10) (fun i -> i2f i *. float_ 2.0) in
+  check tbool "sum : float" true (Types.equal (Typecheck.ty_of e) Types.Float);
+  let c = collect ~size:(int_ 5) (fun i -> i =! int_ 2) in
+  check tbool "collect : arr bool" true
+    (Types.equal (Typecheck.ty_of c) (Types.Arr Types.Bool));
+  let g =
+    bucket_reduce ~size:(int_ 10) ~ty:Types.Int
+      ~key:(fun i -> i %! int_ 3)
+      ~init:(int_ 0)
+      (fun _ -> int_ 1)
+      (fun a b -> a +! b)
+  in
+  check tbool "bucket_reduce : map int int" true
+    (Types.equal (Typecheck.ty_of g) (Types.Map (Types.Int, Types.Int)))
+
+let expect_type_error e =
+  match Typecheck.check_closed e with
+  | Error _ -> ()
+  | Ok t -> Alcotest.failf "expected type error, got %s" (Types.to_string t)
+
+let test_typecheck_errors () =
+  expect_type_error (int_ 1 +. float_ 2.0);
+  expect_type_error (If (int_ 1, int_ 2, int_ 3));
+  expect_type_error (Var (Sym.fresh Types.Int));
+  expect_type_error (Read (int_ 5, int_ 0));
+  expect_type_error (Proj (Tuple [ int_ 1 ], 3));
+  (* bucket key must be a key type *)
+  expect_type_error
+    (bucket_reduce ~size:(int_ 4) ~ty:Types.Int
+       ~key:(fun _ -> collect ~size:(int_ 1) (fun _ -> int_ 0))
+       ~init:(int_ 0)
+       (fun _ -> int_ 1)
+       (fun a b -> a +! b));
+  (* multi-generator loop types as a tuple *)
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let a = Sym.fresh Types.Int and b = Sym.fresh Types.Int in
+  let ml =
+    Loop
+      { size = int_ 3;
+        idx;
+        gens =
+          [ Collect { cond = None; value = Var idx };
+            Reduce
+              { cond = None; value = Var idx; a; b;
+                rfun = Var a +! Var b; init = int_ 0 };
+          ];
+      }
+  in
+  check tbool "multiloop : tuple" true
+    (Types.equal (Typecheck.ty_of ml) (Types.Tup [ Types.Arr Types.Int; Types.Int ]))
+
+(* ---------------- Pretty printer ---------------- *)
+
+let test_pp_shapes () =
+  let e = fsum ~size:(int_ 3) (fun i -> i2f i) in
+  let s = Pp.to_string e in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check tbool "mentions Reduce" true (contains s "Reduce");
+  let c = filter (collect ~size:(int_ 4) (fun i -> i)) (fun e -> e >! int_ 1) in
+  check tbool "filter prints Collect with condition" true
+    (contains (Pp.to_string c) "Collect")
+
+(* ---------------- Properties ---------------- *)
+
+let prop_generated_well_typed =
+  QCheck.Test.make ~count:200 ~name:"generated programs are well-typed"
+    Dmll_testgen.Gen_ir.arbitrary_program (fun e ->
+      match Typecheck.check_closed e with
+      | Ok _ -> true
+      | Error err ->
+          QCheck.Test.fail_reportf "ill-typed: %s" (Fmt.str "%a" Typecheck.pp_error err))
+
+let prop_refresh_preserves_alpha =
+  QCheck.Test.make ~count:200 ~name:"refresh_binders preserves alpha-equality"
+    Dmll_testgen.Gen_ir.arbitrary_program (fun e ->
+      alpha_equal e (refresh_binders e))
+
+let prop_alpha_equal_reflexive =
+  QCheck.Test.make ~count:200 ~name:"alpha_equal is reflexive"
+    Dmll_testgen.Gen_ir.arbitrary_program (fun e -> alpha_equal e e)
+
+let prop_node_count_refresh_invariant =
+  QCheck.Test.make ~count:200 ~name:"node_count invariant under refresh"
+    Dmll_testgen.Gen_ir.arbitrary_program (fun e ->
+      node_count e = node_count (refresh_binders e))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ir"
+    [ ( "types",
+        [ Alcotest.test_case "equality" `Quick test_type_equal;
+          Alcotest.test_case "predicates" `Quick test_type_predicates;
+        ] );
+      ("sym", [ Alcotest.test_case "fresh/refresh" `Quick test_sym_fresh ]);
+      ( "exp",
+        [ Alcotest.test_case "free_vars" `Quick test_free_vars;
+          Alcotest.test_case "reduce binders" `Quick test_reduce_binders_not_free;
+          Alcotest.test_case "subst" `Quick test_subst;
+          Alcotest.test_case "count_occ" `Quick test_count_occ;
+          Alcotest.test_case "refresh_binders" `Quick test_refresh_binders;
+          Alcotest.test_case "alpha_equal" `Quick test_alpha_equal_distinguishes;
+          Alcotest.test_case "node_count/loops" `Quick test_node_count_and_loops;
+        ] );
+      ( "typecheck",
+        [ Alcotest.test_case "well-typed" `Quick test_typecheck_ok;
+          Alcotest.test_case "errors" `Quick test_typecheck_errors;
+        ] );
+      ("pp", [ Alcotest.test_case "shapes" `Quick test_pp_shapes ]);
+      ( "properties",
+        [ qt prop_generated_well_typed;
+          qt prop_refresh_preserves_alpha;
+          qt prop_alpha_equal_reflexive;
+          qt prop_node_count_refresh_invariant;
+        ] );
+    ]

@@ -1,0 +1,532 @@
+(* Tests of the optimization library: simplification, CSE, code motion,
+   fusion, the Figure-3 nested pattern rules, and data structure
+   optimizations.  Every structural assertion is paired with a semantic
+   check against the reference interpreter. *)
+
+open Dmll_ir
+open Dmll_interp
+open Dmll_opt
+open Exp
+open Builder
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable (fun fmt v -> Fmt.string fmt (Value.to_string v)) Value.equal
+
+let value_approx : Value.t Alcotest.testable =
+  Alcotest.testable
+    (fun fmt v -> Fmt.string fmt (Value.to_string v))
+    (Value.approx_equal ~eps:1e-9)
+
+let n_loops e = List.length (loops_of e)
+
+(* A float-array input occurring in most fixtures. *)
+let xs_sym = Sym.fresh ~name:"xs" (Types.Arr Types.Float)
+let with_xs body = Let (xs_sym, Input ("xs", Types.Arr Types.Float, Local), body)
+let xs_val = Value.of_float_array [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |]
+let run_xs e = Interp.run ~inputs:[ ("xs", xs_val) ] e
+
+(* ---------------- simplify ---------------- *)
+
+let test_constant_fold () =
+  let e = int_ 2 +! (int_ 3 *! int_ 4) in
+  let e' = Simplify.simplify e in
+  check tbool "folds to 14" true (alpha_equal e' (int_ 14));
+  let f = float_ 1.0 +. (float_ 2.0 *. float_ 3.0) in
+  check tbool "float fold" true (alpha_equal (Simplify.simplify f) (float_ 7.0));
+  (* division by zero is not folded *)
+  let d = int_ 1 /! int_ 0 in
+  check tbool "div-by-zero preserved" true (alpha_equal (Simplify.simplify d) d)
+
+let test_identities () =
+  let x = Sym.fresh ~name:"x" Types.Float in
+  let e = Let (x, Input ("xs0", Types.Float, Local), (Var x +. float_ 0.0) *. float_ 1.0) in
+  let e' = Simplify.simplify e in
+  check tbool "x+0*1 simplifies to x" true
+    (alpha_equal e' (Input ("xs0", Types.Float, Local)))
+
+let test_if_and_proj_fold () =
+  check tbool "if true" true
+    (alpha_equal (Simplify.simplify (if_ (bool_ true) (int_ 1) (int_ 2))) (int_ 1));
+  check tbool "proj of tuple" true
+    (alpha_equal (Simplify.simplify (Proj (Tuple [ int_ 1; int_ 2 ], 1))) (int_ 2))
+
+let test_dead_let () =
+  let s = Sym.fresh ~name:"dead" Types.Float in
+  let e = Let (s, fsum ~size:(int_ 100) (fun i -> i2f i), int_ 7) in
+  check tbool "dead loop removed" true (alpha_equal (Simplify.simplify e) (int_ 7))
+
+let test_len_of_collect () =
+  let e = Len (collect ~size:(int_ 9) (fun i -> i)) in
+  check tbool "len of unconditional collect" true
+    (alpha_equal (Simplify.simplify e) (int_ 9));
+  (* conditional collect length is dynamic and must not fold *)
+  let f = Len (collect ~cond:(fun i -> i >! int_ 4) ~size:(int_ 9) (fun i -> i)) in
+  check tbool "len of filter not folded" true (n_loops (Simplify.simplify f) = 1)
+
+(* ---------------- cse ---------------- *)
+
+let test_cse_let_reuse () =
+  let expensive e = (e +. float_ 1.0) *. (e +. float_ 2.0) in
+  let s = Sym.fresh ~name:"s" Types.Float in
+  let x = Input ("x0", Types.Float, Local) in
+  let e = Let (s, expensive x, Var s +. expensive x) in
+  let e' = Cse.run e in
+  (* the duplicate computation collapses onto the let *)
+  check tbool "duplicate eliminated" true (node_count e' < node_count e);
+  check value "semantics kept" (Interp.run ~inputs:[ ("x0", Value.Vfloat 3.0) ] e)
+    (Interp.run ~inputs:[ ("x0", Value.Vfloat 3.0) ] e')
+
+let test_cse_introduce () =
+  let big e = (e +. float_ 1.0) *. (e +. float_ 1.0) in
+  let x = Input ("x0", Types.Float, Local) in
+  let s = Sym.fresh ~name:"s" Types.Float in
+  (* same subexpression twice with no existing let naming it *)
+  let e = Let (s, big x +. big x, Var s) in
+  let e' = Cse.run e in
+  let inputs = [ ("x0", Value.Vfloat 2.0) ] in
+  check value "cse-introduce semantics" (Interp.run ~inputs e) (Interp.run ~inputs e')
+
+(* ---------------- motion ---------------- *)
+
+let test_code_motion () =
+  (* hoist the invariant (expensive) scalar out of the loop *)
+  let inv = (float_ 3.0 +. float_ 4.0) *. (float_ 5.0 +. float_ 6.0) in
+  let e = collect ~size:(int_ 8) (fun i -> i2f i *. inv) in
+  let trace = Rewrite.new_trace () in
+  let e' = Motion.run ~trace e in
+  check tbool "motion fired" true (Rewrite.fired trace "code-motion");
+  (match e' with
+  | Let (_, _, Loop _) -> ()
+  | _ -> Alcotest.fail "expected hoisted let above loop");
+  check value "motion semantics" (Interp.run e) (Interp.run e')
+
+let test_motion_refuses_partial () =
+  (* a division must not be speculated out of the loop *)
+  let d = Input ("d", Types.Int, Local) in
+  let e = collect ~size:(int_ 4) (fun i -> i +! (int_ 100 /! d) +! (int_ 100 /! d)) in
+  let trace = Rewrite.new_trace () in
+  ignore (Motion.run ~trace e);
+  check tbool "no speculation of division" false (Rewrite.fired trace "code-motion")
+
+(* ---------------- fusion ---------------- *)
+
+let test_map_map_fusion () =
+  let e =
+    with_xs
+      (bind ~ty:(Types.Arr Types.Float)
+         (map_arr (Var xs_sym) (fun v -> v *. float_ 2.0))
+         (fun s -> map_arr s (fun v -> v +. float_ 1.0)))
+  in
+  let r = Pipeline.optimize e in
+  check tbool "pipeline-fusion fired" true (List.mem "pipeline-fusion" r.applied);
+  check tint "single traversal" 1 (n_loops r.program);
+  check value "map-map semantics" (run_xs e) (run_xs r.program)
+
+let test_map_reduce_fusion () =
+  let e =
+    with_xs
+      (bind ~ty:(Types.Arr Types.Float)
+         (map_arr (Var xs_sym) (fun v -> exp_ v))
+         (fun s -> fsum ~size:(len s) (fun i -> read s i)))
+  in
+  let r = Pipeline.optimize e in
+  check tint "fused to one reduce" 1 (n_loops r.program);
+  check value_approx "map-reduce semantics" (run_xs e) (run_xs r.program)
+
+let test_filter_groupby_fusion () =
+  let e =
+    with_xs
+      (bind ~ty:(Types.Arr Types.Float)
+         (filter (Var xs_sym) (fun v -> v >=! float_ 2.5))
+         (fun s ->
+           bucket_reduce ~size:(len s) ~ty:Types.Float
+             ~key:(fun i -> f2i (read s i) %! int_ 2)
+             ~init:(float_ 0.0)
+             (fun i -> read s i)
+             (fun a b -> a +. b)))
+  in
+  let r = Pipeline.optimize e in
+  check tint "filter fused into bucket reduce" 1 (n_loops r.program);
+  check value "filter-groupBy semantics" (run_xs e) (run_xs r.program)
+
+let test_horizontal_fusion () =
+  let e =
+    with_xs
+      (bind ~ty:Types.Float
+         (fsum ~size:(len (Var xs_sym)) (fun i -> read (Var xs_sym) i))
+         (fun s1 ->
+           bind ~ty:Types.Float
+             (fsum ~size:(len (Var xs_sym)) (fun i ->
+                  read (Var xs_sym) i *. read (Var xs_sym) i))
+             (fun s2 -> Tuple [ s1; s2 ])))
+  in
+  let r = Pipeline.optimize e in
+  check tbool "horizontal-fusion fired" true (List.mem "horizontal-fusion" r.applied);
+  check tint "one multiloop" 1 (n_loops r.program);
+  (match List.nth_opt (loops_of r.program) 0 with
+  | Some l -> check tint "two generators" 2 (List.length l.gens)
+  | None -> Alcotest.fail "no loop");
+  check value_approx "horizontal semantics" (run_xs e) (run_xs r.program)
+
+let test_dead_generator () =
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let l =
+    Loop
+      { size = int_ 6;
+        idx;
+        gens =
+          [ Collect { cond = None; value = Var idx };
+            Collect { cond = None; value = Var idx *! int_ 10 };
+          ];
+      }
+  in
+  let s = Sym.fresh ~name:"p" (Types.Tup [ Types.Arr Types.Int; Types.Arr Types.Int ]) in
+  let e = Let (s, l, Read (Proj (Var s, 1), int_ 2)) in
+  let r = Pipeline.optimize e in
+  let remaining = loops_of r.program in
+  check tbool "dead generator dropped" true
+    (List.for_all (fun l -> List.length l.gens = 1) remaining);
+  check value "dead-gen semantics" (Interp.run e) (Interp.run r.program)
+
+(* ---------------- nested rules: GroupBy-Reduce ---------------- *)
+
+let groupby_reduce_fixture () =
+  (* lineItems.groupBy(status).map(g => g.sum) over int keys *)
+  with_xs
+    (bind ~ty:(Types.Map (Types.Int, Types.Arr Types.Float))
+       (bucket_collect ~size:(len (Var xs_sym))
+          ~key:(fun i -> f2i (read (Var xs_sym) i) %! int_ 3)
+          (fun i -> read (Var xs_sym) i))
+       (fun a ->
+         collect ~size:(len a) (fun j ->
+             fsum ~size:(len (read a j)) (fun l -> read (read a j) l))))
+
+let test_groupby_reduce () =
+  let e = groupby_reduce_fixture () in
+  let trace = Rewrite.new_trace () in
+  let e' = Rewrite.fixpoint [ Rules_nested.groupby_reduce ] trace e in
+  check tbool "groupby-reduce fired" true (Rewrite.fired trace "groupby-reduce");
+  check tbool "no bucket-collect remains" true
+    (not
+       (exists
+          (function
+            | Loop { gens; _ } ->
+                List.exists (function BucketCollect _ -> true | _ -> false) gens
+            | _ -> false)
+          e'));
+  check value "groupby-reduce semantics" (run_xs e) (run_xs e');
+  (* the full pipeline then removes the identity collect *)
+  let r = Pipeline.optimize_with ~extra_rules:[ Rules_nested.groupby_reduce ] e in
+  check value "pipeline + rule semantics" (run_xs e) (run_xs r.program)
+
+let test_groupby_reduce_with_context () =
+  (* averaging keeps the division in the untransformed context *)
+  let e =
+    with_xs
+      (bind ~ty:(Types.Map (Types.Int, Types.Arr Types.Float))
+         (bucket_collect ~size:(len (Var xs_sym))
+            ~key:(fun i -> f2i (read (Var xs_sym) i) %! int_ 2)
+            (fun i -> read (Var xs_sym) i))
+         (fun a ->
+           collect ~size:(len a) (fun j ->
+               fsum ~size:(len (read a j)) (fun l -> read (read a j) l)
+               /. i2f (len (read a j)))))
+  in
+  (* len(bucket) becomes a count generator (the paper's "as.count") and the
+     division stays in the untransformed context *)
+  let trace = Rewrite.new_trace () in
+  let e' = Rewrite.fixpoint [ Rules_nested.groupby_reduce ] trace e in
+  check tbool "rule fires with count in context" true
+    (Rewrite.fired trace "groupby-reduce");
+  check value "context semantics preserved" (run_xs e) (run_xs e')
+
+let test_groupby_reduce_multi_aggregate () =
+  (* several aggregates per group, Q1-style: one traversal with one
+     generator per aggregate must result *)
+  let e =
+    with_xs
+      (bind ~ty:(Types.Map (Types.Int, Types.Arr Types.Float))
+         (bucket_collect ~size:(len (Var xs_sym))
+            ~key:(fun i -> f2i (read (Var xs_sym) i) %! int_ 2)
+            (fun i -> read (Var xs_sym) i))
+         (fun a ->
+           collect ~size:(len a) (fun j ->
+               Tuple
+                 [ fsum ~size:(len (read a j)) (fun l -> read (read a j) l);
+                   fsum ~size:(len (read a j)) (fun l ->
+                       read (read a j) l *. read (read a j) l);
+                   i2f (len (read a j));
+                 ])))
+  in
+  let trace = Rewrite.new_trace () in
+  let e' = Rewrite.fixpoint [ Rules_nested.groupby_reduce ] trace e in
+  check tbool "multi-aggregate fires" true (Rewrite.fired trace "groupby-reduce");
+  check value "multi-aggregate semantics" (run_xs e) (run_xs e');
+  (* a single multiloop with three bucket-reduce generators *)
+  check tbool "three generators in one traversal" true
+    (exists
+       (function
+         | Loop { gens; _ } ->
+             List.length gens = 3
+             && List.for_all (function BucketReduce _ -> true | _ -> false) gens
+         | _ -> false)
+       e')
+
+(* ---------------- nested rules: Conditional Reduce ---------------- *)
+
+let conditional_reduce_fixture ~k =
+  (* for each cluster i: sum of data(j) where assigned(j) == i *)
+  let asg = Sym.fresh ~name:"assigned" (Types.Arr Types.Int) in
+  Let
+    ( asg,
+      Input ("assigned", Types.Arr Types.Int, Local),
+      with_xs
+        (collect ~size:(int_ k) (fun i ->
+             fsum
+               ~cond:(fun j -> read (Var asg) j =! i)
+               ~size:(len (Var xs_sym))
+               (fun j -> read (Var xs_sym) j))) )
+
+let test_conditional_reduce () =
+  let e = conditional_reduce_fixture ~k:3 in
+  let trace = Rewrite.new_trace () in
+  let e' = Rewrite.fixpoint [ Rules_nested.conditional_reduce ] trace e in
+  check tbool "conditional-reduce fired" true (Rewrite.fired trace "conditional-reduce");
+  let inputs =
+    [ ("xs", xs_val); ("assigned", Value.of_int_array [| 0; 1; 0; 2; 1; 0 |]) ]
+  in
+  check value "conditional-reduce semantics" (Interp.run ~inputs e)
+    (Interp.run ~inputs e');
+  (* a bucket reduce over the data must now exist *)
+  check tbool "bucket reduce introduced" true
+    (exists
+       (function
+         | Loop { gens; _ } ->
+             List.exists (function BucketReduce _ -> true | _ -> false) gens
+         | _ -> false)
+       e')
+
+let test_conditional_reduce_empty_bucket () =
+  (* cluster 3 receives no points: the MapRead default must kick in *)
+  let e = conditional_reduce_fixture ~k:4 in
+  let e' = Rewrite.fixpoint [ Rules_nested.conditional_reduce ] (Rewrite.new_trace ()) e in
+  let inputs =
+    [ ("xs", xs_val); ("assigned", Value.of_int_array [| 0; 1; 0; 2; 1; 0 |]) ]
+  in
+  check value "empty bucket defaults to init" (Interp.run ~inputs e)
+    (Interp.run ~inputs e')
+
+(* ---------------- nested rules: Column-to-Row / Row-to-Column -------- *)
+
+let logreg_fixture ~rows ~cols =
+  (* newTheta(j) = theta(j) + sum_i x(i*cols + j) : the imperfectly nested
+     loop of the paper's logistic regression example (§3.2), with the
+     gradient's data-dependent factor simplified away *)
+  let x = Sym.fresh ~name:"x" (Types.Arr Types.Float) in
+  let th = Sym.fresh ~name:"theta" (Types.Arr Types.Float) in
+  Let
+    ( x,
+      Input ("x", Types.Arr Types.Float, Local),
+      Let
+        ( th,
+          Input ("theta", Types.Arr Types.Float, Local),
+          collect ~size:(int_ cols) (fun j ->
+              read (Var th) j
+              +. fsum ~size:(int_ rows) (fun i ->
+                     read (Var x) ((i *! int_ cols) +! j))) ) )
+
+let logreg_inputs ~rows ~cols =
+  [ ("x", Value.of_float_array (Array.init (rows * cols) (fun i -> float_of_int i)));
+    ("theta", Value.of_float_array (Array.init cols (fun j -> float_of_int (100 * j))));
+  ]
+
+let test_column_to_row () =
+  let e = logreg_fixture ~rows:4 ~cols:3 in
+  let trace = Rewrite.new_trace () in
+  let e' = Rewrite.fixpoint [ Rules_nested.column_to_row ] trace e in
+  check tbool "column-to-row fired" true (Rewrite.fired trace "column-to-row");
+  let inputs = logreg_inputs ~rows:4 ~cols:3 in
+  check value_approx "column-to-row semantics" (Interp.run ~inputs e)
+    (Interp.run ~inputs e');
+  (* the transformed program reduces vectors: its Reduce value is an Arr *)
+  check tbool "vector reduce introduced" true
+    (exists
+       (function
+         | Loop { gens = [ Reduce { value = Loop _; _ } ]; _ } -> true
+         | _ -> false)
+       e')
+
+let test_row_to_column_roundtrip () =
+  let e = logreg_fixture ~rows:4 ~cols:3 in
+  let c2r = Rewrite.fixpoint [ Rules_nested.column_to_row ] (Rewrite.new_trace ()) e in
+  let trace = Rewrite.new_trace () in
+  let back = Rewrite.fixpoint [ Rules_nested.row_to_column ] trace c2r in
+  check tbool "row-to-column fired" true (Rewrite.fired trace "row-to-column");
+  let inputs = logreg_inputs ~rows:4 ~cols:3 in
+  check value_approx "roundtrip semantics" (Interp.run ~inputs e)
+    (Interp.run ~inputs back);
+  (* after the roundtrip no vector-valued reduce remains *)
+  check tbool "scalar reduces restored" true
+    (not
+       (exists
+          (function
+            | Loop { gens = [ Reduce { value = Loop _; _ } ]; _ } -> true
+            | _ -> false)
+          back))
+
+(* ---------------- soa ---------------- *)
+
+let pt_ty = Types.Struct ("pt", [ ("px", Types.Float); ("py", Types.Float) ])
+
+let test_struct_unwrap () =
+  let s = Sym.fresh ~name:"p" pt_ty in
+  let e =
+    Let
+      ( s,
+        Record (pt_ty, [ ("px", float_ 1.0 +. float_ 2.0); ("py", float_ 4.0) ]),
+        Field (Var s, "px") *. Field (Var s, "py") )
+  in
+  let trace = Rewrite.new_trace () in
+  let e' = Rewrite.fixpoint Soa.rules trace e in
+  check tbool "struct-unwrap fired" true (Rewrite.fired trace "struct-unwrap");
+  check value "unwrap semantics" (Interp.run e) (Interp.run (Simplify.simplify e'))
+
+let test_collect_soa_and_dfe () =
+  let e =
+    with_xs
+      (bind ~ty:(Types.Arr pt_ty)
+         (collect ~size:(len (Var xs_sym)) (fun i ->
+              Record
+                ( pt_ty,
+                  [ ("px", read (Var xs_sym) i *. float_ 2.0);
+                    ("py", read (Var xs_sym) i *. float_ 3.0);
+                  ] )))
+         (fun pts ->
+           (* reversed (non-positional) reads defeat pipeline fusion, so the
+              array of structs must be materialized — as columns *)
+           fsum ~size:(len pts) (fun i ->
+               Field (read pts (len pts -! int_ 1 -! i), "px"))))
+  in
+  let r = Pipeline.optimize e in
+  check tbool "aos-to-soa fired" true (List.mem "aos-to-soa" r.applied);
+  (* the py column is dead: nothing in the residual program computes *3.0 *)
+  check tbool "dead field eliminated" true
+    (not
+       (exists
+          (function
+            | Prim (Prim.Fmul, [ _; Const (Cfloat 3.0) ]) -> true
+            | _ -> false)
+          r.program));
+  check value_approx "soa semantics" (run_xs e) (run_xs r.program)
+
+let test_input_soa () =
+  let item_ty =
+    Types.Struct ("item", [ ("qty", Types.Float); ("price", Types.Float); ("tag", Types.Int) ])
+  in
+  let items = Input ("items", Types.Arr item_ty, Partitioned) in
+  let e = fsum ~size:(Len items) (fun i -> Field (Read (items, i), "qty")) in
+  let e', report = Soa.soa_inputs e in
+  check tbool "items transformed" true (List.mem_assoc "items" report);
+  check tbool "only qty needed" true (List.assoc "items" report = [ "qty" ]);
+  let cols = Soa.columns_needed e' in
+  check tbool "columnar input introduced" true (List.mem_assoc "items.qty" cols);
+  let inputs = [ ("items.qty", Value.of_float_array [| 1.5; 2.5; 3.0 |]) ] in
+  check value "columnar semantics" (Value.Vfloat 7.0) (Interp.run ~inputs e')
+
+(* ---------------- whole-pipeline properties ---------------- *)
+
+let preserves name opt =
+  QCheck.Test.make ~count:120 ~name Dmll_testgen.Gen_ir.arbitrary_program (fun e ->
+      match Interp.run e with
+      | exception Interp.Runtime_error _ -> QCheck.assume_fail ()
+      | expected ->
+          let e' = opt e in
+          (match Typecheck.check_closed e' with
+          | Error err ->
+              QCheck.Test.fail_reportf "optimized program ill-typed: %s"
+                (Fmt.str "%a" Typecheck.pp_error err)
+          | Ok _ -> ());
+          let got = Interp.run e' in
+          if Value.approx_equal ~eps:1e-6 expected got then true
+          else
+            QCheck.Test.fail_reportf "semantics changed:@.%s@.->@.%s@.%s vs %s"
+              (Pp.to_string e) (Pp.to_string e') (Value.to_string expected)
+              (Value.to_string got))
+
+let prop_simplify = preserves "simplify preserves semantics" (fun e -> Simplify.simplify e)
+let prop_cse = preserves "cse preserves semantics" (fun e -> Cse.run e)
+let prop_motion = preserves "motion preserves semantics" (fun e -> Motion.run e)
+let prop_fusion = preserves "fusion preserves semantics" (fun e -> Fusion.run e)
+
+let prop_pipeline =
+  preserves "full pipeline preserves semantics" (fun e ->
+      (Pipeline.optimize e).program)
+
+let prop_pipeline_nested =
+  preserves "pipeline + nested rules preserves semantics" (fun e ->
+      (Pipeline.optimize_with ~extra_rules:Rules_nested.cpu_rules e).program)
+
+let prop_bucket_pipeline =
+  QCheck.Test.make ~count:120 ~name:"pipeline preserves bucket programs"
+    Dmll_testgen.Gen_ir.arbitrary_bucket_program (fun e ->
+      match Interp.run e with
+      | exception Interp.Runtime_error _ -> QCheck.assume_fail ()
+      | expected ->
+          let r = Pipeline.optimize_with ~extra_rules:Rules_nested.cpu_rules e in
+          Value.approx_equal ~eps:1e-6 expected (Interp.run r.program))
+
+let prop_pipeline_no_growth =
+  QCheck.Test.make ~count:80 ~name:"pipeline does not blow up program size"
+    Dmll_testgen.Gen_ir.arbitrary_program (fun e ->
+      let r = Pipeline.optimize e in
+      node_count r.program <= (4 * node_count e) + 64)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "opt"
+    [ ( "simplify",
+        [ Alcotest.test_case "constant folding" `Quick test_constant_fold;
+          Alcotest.test_case "identities" `Quick test_identities;
+          Alcotest.test_case "if/proj folding" `Quick test_if_and_proj_fold;
+          Alcotest.test_case "dead let" `Quick test_dead_let;
+          Alcotest.test_case "len of collect" `Quick test_len_of_collect;
+        ] );
+      ( "cse",
+        [ Alcotest.test_case "let reuse" `Quick test_cse_let_reuse;
+          Alcotest.test_case "introduction" `Quick test_cse_introduce;
+        ] );
+      ( "motion",
+        [ Alcotest.test_case "hoists invariants" `Quick test_code_motion;
+          Alcotest.test_case "refuses partial ops" `Quick test_motion_refuses_partial;
+        ] );
+      ( "fusion",
+        [ Alcotest.test_case "map-map" `Quick test_map_map_fusion;
+          Alcotest.test_case "map-reduce" `Quick test_map_reduce_fusion;
+          Alcotest.test_case "filter-groupBy" `Quick test_filter_groupby_fusion;
+          Alcotest.test_case "horizontal" `Quick test_horizontal_fusion;
+          Alcotest.test_case "dead generator" `Quick test_dead_generator;
+        ] );
+      ( "nested-rules",
+        [ Alcotest.test_case "groupby-reduce" `Quick test_groupby_reduce;
+          Alcotest.test_case "groupby-reduce context" `Quick test_groupby_reduce_with_context;
+          Alcotest.test_case "groupby-reduce multi-aggregate" `Quick test_groupby_reduce_multi_aggregate;
+          Alcotest.test_case "conditional-reduce" `Quick test_conditional_reduce;
+          Alcotest.test_case "empty bucket default" `Quick test_conditional_reduce_empty_bucket;
+          Alcotest.test_case "column-to-row" `Quick test_column_to_row;
+          Alcotest.test_case "row-to-column roundtrip" `Quick test_row_to_column_roundtrip;
+        ] );
+      ( "soa",
+        [ Alcotest.test_case "struct unwrap" `Quick test_struct_unwrap;
+          Alcotest.test_case "collect soa + dfe" `Quick test_collect_soa_and_dfe;
+          Alcotest.test_case "input soa" `Quick test_input_soa;
+        ] );
+      ( "properties",
+        [ qt prop_simplify; qt prop_cse; qt prop_motion; qt prop_fusion;
+          qt prop_pipeline; qt prop_pipeline_nested; qt prop_bucket_pipeline;
+          qt prop_pipeline_no_growth;
+        ] );
+    ]

@@ -1,0 +1,417 @@
+(* Tests of the runtime: chunking, distributed arrays, the Domain-based
+   parallel executor (must equal sequential execution), and the sanity of
+   the NUMA/GPU/cluster simulators' time models. *)
+
+open Dmll_ir
+open Dmll_interp
+open Dmll_runtime
+open Exp
+open Builder
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable (fun fmt v -> Fmt.string fmt (Value.to_string v)) Value.equal
+
+(* ---------------- chunking ---------------- *)
+
+let test_chunk_split () =
+  let cs = Chunk.split ~k:4 10 in
+  check tint "4 chunks" 4 (List.length cs);
+  check tint "total covered" 10 (List.fold_left (fun a c -> a + Chunk.size c) 0 cs);
+  (* contiguous and ordered *)
+  ignore
+    (List.fold_left
+       (fun expected c ->
+         check tint "contiguous" expected c.Chunk.lo;
+         c.Chunk.hi)
+       0 cs);
+  check tint "never more chunks than elements" 3 (List.length (Chunk.split ~k:8 3));
+  check tint "empty range" 0 (List.length (Chunk.split ~k:4 0))
+
+let prop_chunk_cover =
+  QCheck.Test.make ~count:200 ~name:"chunks partition the range"
+    QCheck.(pair (int_range 1 64) (int_range 0 1000))
+    (fun (k, n) ->
+      let cs = Chunk.split ~k n in
+      let total = List.fold_left (fun a c -> a + Chunk.size c) 0 cs in
+      let contiguous =
+        fst
+          (List.fold_left
+             (fun (ok, expected) c -> (ok && c.Chunk.lo = expected, c.Chunk.hi))
+             (true, 0) cs)
+      in
+      total = n && contiguous
+      && List.for_all (fun c -> Chunk.size c > 0) cs)
+
+let test_chunk_boundaries () =
+  let cs = Chunk.split_on_boundaries ~boundaries:[ 3; 7 ] 10 in
+  check tint "three pieces" 3 (List.length cs);
+  check tbool "boundaries respected" true
+    (List.for_all (fun c -> List.mem c.Chunk.lo [ 0; 3; 7 ]) cs)
+
+let test_chunk_imbalance () =
+  check tbool "balanced" true (Chunk.imbalance ~k:4 100 <= 1.04);
+  check tbool "imbalanced small n" true (Chunk.imbalance ~k:4 5 > 1.0)
+
+(* ---------------- distributed arrays ---------------- *)
+
+let test_directory () =
+  let d = Dist_array.make_directory ~n:100 ~nodes:4 ~sockets_per_node:2 in
+  check tint "8 locations" 8 (Dist_array.location_count d);
+  check tint "owner of 0" 0 (Dist_array.owner d 0);
+  check tint "owner of 99" 7 (Dist_array.owner d 99);
+  (* ownership is consistent with ranges *)
+  for i = 0 to 99 do
+    let l = Dist_array.owner d i in
+    let r = Dist_array.range_of d l in
+    if not (i >= r.Chunk.lo && i < r.Chunk.hi) then
+      Alcotest.failf "index %d not in its owner's range" i
+  done
+
+let test_scatter_gather () =
+  let v = Value.of_float_array (Array.init 37 float_of_int) in
+  let d = Dist_array.make_directory ~n:37 ~nodes:3 ~sockets_per_node:1 in
+  let t = Dist_array.scatter d v in
+  check value "gather restores" v (Dist_array.gather t);
+  (* local read from owner is not counted; remote is *)
+  let _ = Dist_array.read t ~from_loc:0 1 in
+  check tint "local read free" 0 (Dist_array.remote_read_count t);
+  let r = Dist_array.read t ~from_loc:0 36 in
+  check value "remote read value" (Value.Vfloat 36.0) r;
+  check tint "remote read counted" 1 (Dist_array.remote_read_count t)
+
+let test_dist_array_stencil_integration () =
+  (* the paper's runtime story end-to-end: partition an array along a
+     directory, schedule a loop on the directory boundaries, and count
+     trapped remote reads — Interval-stencil access patterns stay local,
+     gathers do not *)
+  let n = 1000 in
+  let v = Value.of_float_array (Array.init n float_of_int) in
+  let d = Dist_array.make_directory ~n ~nodes:4 ~sockets_per_node:1 in
+  let t = Dist_array.scatter d v in
+  let boundaries =
+    List.init (Dist_array.location_count d) (fun l -> (Dist_array.range_of d l).Chunk.lo)
+  in
+  let units = Schedule.plan ~boundaries ~nodes:4 ~sockets:1 ~cores:1 n in
+  (* Interval pattern: each location reads its own chunk positionally *)
+  List.iter
+    (fun (u : Schedule.unit_of_work) ->
+      for i = u.Schedule.range.Chunk.lo to u.Schedule.range.Chunk.hi - 1 do
+        ignore (Dist_array.read t ~from_loc:u.Schedule.node i)
+      done)
+    units;
+  check tint "interval access is fully local" 0 (Dist_array.remote_read_count t);
+  (* gather pattern: a permuted read from location 0 traps remote fetches *)
+  for i = 0 to n - 1 do
+    ignore (Dist_array.read t ~from_loc:0 ((i * 7919) mod n))
+  done;
+  check tbool "gather traps remote reads" true (Dist_array.remote_read_count t > n / 2)
+
+(* ---------------- Domain executor ---------------- *)
+
+let xs_input = Input ("xs", Types.Arr Types.Float, Partitioned)
+let xs_val n = Value.of_float_array (Array.init n (fun i -> float_of_int (i mod 17)))
+
+let par_equals_seq ?(inputs = []) e =
+  let seq = Interp.run ~inputs e in
+  let par = Exec_domains.run ~domains:4 ~inputs e in
+  check value "parallel = sequential" seq par
+
+let test_domains_collect () =
+  par_equals_seq
+    ~inputs:[ ("xs", xs_val 103) ]
+    (collect ~size:(Len xs_input) (fun i -> Read (xs_input, i) *. float_ 2.0))
+
+let test_domains_filter () =
+  par_equals_seq
+    ~inputs:[ ("xs", xs_val 103) ]
+    (collect
+       ~cond:(fun i -> Read (xs_input, i) >! float_ 8.0)
+       ~size:(Len xs_input)
+       (fun i -> Read (xs_input, i)))
+
+let test_domains_reduce () =
+  par_equals_seq
+    ~inputs:[ ("xs", xs_val 1000) ]
+    (isum ~size:(Len xs_input) (fun i -> f2i (Read (xs_input, i))));
+  (* float sums only match approximately across chunkings *)
+  let e = fsum ~size:(Len xs_input) (fun i -> Read (xs_input, i)) in
+  let inputs = [ ("xs", xs_val 1000) ] in
+  check tbool "float reduce approx" true
+    (Value.approx_equal ~eps:1e-9 (Interp.run ~inputs e)
+       (Exec_domains.run ~domains:4 ~inputs e))
+
+let test_domains_buckets () =
+  par_equals_seq
+    ~inputs:[ ("xs", xs_val 200) ]
+    (bucket_reduce ~size:(Len xs_input) ~ty:Types.Int
+       ~key:(fun i -> f2i (Read (xs_input, i)) %! int_ 5)
+       ~init:(int_ 0)
+       (fun _ -> int_ 1)
+       (fun a b -> a +! b));
+  par_equals_seq
+    ~inputs:[ ("xs", xs_val 60) ]
+    (bucket_collect ~size:(Len xs_input)
+       ~key:(fun i -> f2i (Read (xs_input, i)) %! int_ 3)
+       (fun i -> Read (xs_input, i)))
+
+let test_domains_multi_gen () =
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let a = Sym.fresh Types.Int and b = Sym.fresh Types.Int in
+  par_equals_seq
+    (Loop
+       { size = int_ 97;
+         idx;
+         gens =
+           [ Collect { cond = None; value = Var idx *! int_ 2 };
+             Reduce
+               { cond = None; value = Var idx; a; b; rfun = Var a +! Var b;
+                 init = int_ 0 };
+           ];
+       })
+
+let test_domains_spine () =
+  (* a multi-step program: map, then a reduction over the result *)
+  par_equals_seq
+    ~inputs:[ ("xs", xs_val 128) ]
+    (bind ~ty:(Types.Arr Types.Float)
+       (map_arr xs_input (fun v -> v +. float_ 1.0))
+       (fun m -> isum ~size:(len m) (fun i -> f2i (read m i))))
+
+let prop_domains_random =
+  QCheck.Test.make ~count:60 ~name:"domain executor = interpreter"
+    Dmll_testgen.Gen_ir.arbitrary_program (fun e ->
+      match Interp.run e with
+      | exception Interp.Runtime_error _ -> QCheck.assume_fail ()
+      | expected ->
+          Value.approx_equal ~eps:1e-6 expected (Exec_domains.run ~domains:3 e))
+
+let test_domains_dynamic () =
+  (* dynamic scheduling must equal static & sequential *)
+  let e =
+    bucket_reduce ~size:(Len xs_input) ~ty:Types.Int
+      ~key:(fun i -> f2i (Read (xs_input, i)) %! int_ 4)
+      ~init:(int_ 0)
+      (fun _ -> int_ 1)
+      (fun a b -> a +! b)
+  in
+  let inputs = [ ("xs", xs_val 500) ] in
+  let seq = Interp.run ~inputs e in
+  check value "dynamic schedule" seq
+    (Exec_domains.run ~domains:3 ~schedule:Exec_domains.Dynamic ~inputs e);
+  check value "static schedule" seq
+    (Exec_domains.run ~domains:3 ~schedule:Exec_domains.Static ~inputs e)
+
+(* ---------------- hierarchical scheduler ---------------- *)
+
+let test_schedule_plan () =
+  let m = Dmll_machine.Machine.stanford_numa in
+  let units = Schedule.plan_numa m 10_000 in
+  check tbool "covers the range" true (Schedule.covers units 10_000);
+  check tint "48 work units" 48 (List.length units);
+  (* directory-aligned planning cuts only at boundaries *)
+  let boundaries = [ 2500; 5000; 7500 ] in
+  let units =
+    Schedule.plan ~boundaries ~nodes:4 ~sockets:1 ~cores:1 10_000
+  in
+  check tbool "aligned plan covers" true (Schedule.covers units 10_000);
+  List.iter
+    (fun (u : Schedule.unit_of_work) ->
+      check tbool "cut on a boundary" true
+        (List.mem u.Schedule.range.Chunk.lo (0 :: boundaries)))
+    units;
+  (* cluster plan shape *)
+  let cu = Schedule.plan_cluster Dmll_machine.Machine.gpu_cluster 999 in
+  check tbool "cluster plan covers" true (Schedule.covers cu 999);
+  check tbool "empty plan" true (Schedule.plan_numa m 0 = [])
+
+let prop_schedule_covers =
+  QCheck.Test.make ~count:200 ~name:"plans cover exactly"
+    QCheck.(quad (int_range 1 8) (int_range 1 4) (int_range 1 16) (int_range 0 5000))
+    (fun (nodes, sockets, cores, n) ->
+      Schedule.covers (Schedule.plan ~nodes ~sockets ~cores n) n)
+
+(* ---------------- NUMA simulator ---------------- *)
+
+let streaming_program =
+  (* low arithmetic intensity: bandwidth bound *)
+  fsum ~size:(Len xs_input) (fun i -> Read (xs_input, i))
+
+let compute_program =
+  (* high arithmetic intensity per element *)
+  fsum ~size:(Len xs_input) (fun i ->
+      let v = Read (xs_input, i) in
+      exp_ v *. exp_ (v +. float_ 1.0) *. exp_ (v +. float_ 2.0))
+
+let numa_time ?(mode = Sim_numa.Numa_aware) ~threads e =
+  let config = { Sim_numa.machine = Dmll_machine.Machine.stanford_numa; threads; mode } in
+  Sim_numa.time ~config ~inputs:[ ("xs", xs_val 100_000) ] e
+
+let test_numa_value_exact () =
+  let r =
+    Sim_numa.run
+      ~config:{ machine = Dmll_machine.Machine.stanford_numa; threads = 48; mode = Numa_aware }
+      ~inputs:[ ("xs", xs_val 1000) ]
+      streaming_program
+  in
+  check value "simulator computes the real value"
+    (Interp.run ~inputs:[ ("xs", xs_val 1000) ] streaming_program)
+    r.Sim_common.value;
+  check tbool "positive time" true (r.Sim_common.seconds > 0.0)
+
+let test_numa_compute_scales () =
+  let t1 = numa_time ~threads:1 compute_program in
+  let t48 = numa_time ~threads:48 compute_program in
+  check tbool "compute-bound scales well" true (Float.div t1 t48 > 20.0)
+
+let test_numa_streaming_separates_modes () =
+  (* streaming at 48 threads: NUMA-aware must beat pin-only must beat Delite *)
+  let aware = numa_time ~mode:Sim_numa.Numa_aware ~threads:48 streaming_program in
+  let pin = numa_time ~mode:Sim_numa.Pin_only ~threads:48 streaming_program in
+  let delite = numa_time ~mode:Sim_numa.Delite ~threads:48 streaming_program in
+  check tbool "numa-aware fastest" true (aware < pin);
+  check tbool "pin-only beats delite" true (pin <= delite);
+  (* and at one socket the three modes are close *)
+  let a12 = numa_time ~mode:Sim_numa.Numa_aware ~threads:12 streaming_program in
+  let d12 = numa_time ~mode:Sim_numa.Delite ~threads:12 streaming_program in
+  check tbool "one socket: modes comparable" true (Float.div d12 a12 < 1.5)
+
+let test_numa_parallelism_limited_by_loop_size () =
+  (* a loop of 8 iterations cannot use 48 threads *)
+  let small = collect ~size:(int_ 8) (fun _ -> fsum ~size:(Len xs_input) (fun i -> Read (xs_input, i))) in
+  let t8 = numa_time ~threads:8 small in
+  let t48 = numa_time ~threads:48 small in
+  check tbool "no speedup beyond loop size" true (t48 > Float.mul t8 0.8)
+
+(* ---------------- GPU simulator ---------------- *)
+
+let matrix_sum_rows ~rows ~cols =
+  (* vector-valued reduction over rows, as k-means/logreg are written *)
+  reduce ~size:(int_ rows) ~ty:(Types.Arr Types.Float) ~init:(zero_vec (int_ cols))
+    (fun i -> collect ~size:(int_ cols) (fun j -> Read (xs_input, (i *! int_ cols) +! j)))
+    (fun a b -> vec_fadd a b)
+
+let test_gpu_penalties () =
+  let e = matrix_sum_rows ~rows:400 ~cols:50 in
+  let inputs = [ ("xs", xs_val 20_000) ] in
+  let base = Sim_gpu.run ~inputs e in
+  let transposed = Sim_gpu.run ~options:{ Sim_gpu.default_options with transpose = true } ~inputs e in
+  let scalar =
+    Sim_gpu.run ~options:{ Sim_gpu.transpose = true; row_to_column = true } ~inputs e
+  in
+  check tbool "transpose helps" true
+    (transposed.Sim_gpu.kernel_seconds < base.Sim_gpu.kernel_seconds);
+  check tbool "row-to-column lowering applied" true scalar.Sim_gpu.lowering_applied;
+  check tbool "both transforms fastest" true
+    (scalar.Sim_gpu.kernel_seconds < transposed.Sim_gpu.kernel_seconds);
+  (* values are exact in all configurations *)
+  check tbool "values agree" true
+    (Value.approx_equal ~eps:1e-6 base.Sim_gpu.value scalar.Sim_gpu.value)
+
+let test_gpu_transfer_amortization () =
+  let e = streaming_program in
+  let inputs = [ ("xs", xs_val 100_000) ] in
+  let r = Sim_gpu.run ~inputs e in
+  check tbool "transfer reported" true (r.Sim_gpu.transfer_seconds > 0.0);
+  let once = Sim_gpu.amortized_seconds ~iterations:1 r in
+  let many = Sim_gpu.amortized_seconds ~iterations:100 r in
+  check tbool "amortization reduces cost" true (many < once)
+
+(* ---------------- cluster simulator ---------------- *)
+
+let test_cluster_value_and_shape () =
+  let inputs = [ ("xs", xs_val 50_000) ] in
+  let r = Sim_cluster.run ~inputs streaming_program in
+  check value "cluster simulator computes the real value"
+    (Interp.run ~inputs streaming_program)
+    r.Sim_common.value;
+  (* more nodes reduce time for a compute-heavy partitioned loop (for a
+     tiny streaming loop, per-message latency legitimately dominates) *)
+  let big_inputs = [ ("xs", xs_val 2_000_000) ] in
+  let t_at nodes =
+    let config =
+      { Sim_cluster.default_config with
+        cluster = Dmll_machine.Machine.with_nodes nodes Dmll_machine.Machine.ec2_cluster
+      }
+    in
+    (Sim_cluster.run ~config ~inputs:big_inputs compute_program).Sim_common.seconds
+  in
+  check tbool "scales with nodes" true (t_at 2 > t_at 16)
+
+let test_cluster_replication_penalty () =
+  (* a gather (Unknown stencil) forces whole-dataset replication *)
+  let perm = Input ("perm", Types.Arr Types.Int, Local) in
+  let gathered =
+    collect ~size:(Len xs_input) (fun i -> Read (xs_input, Read (perm, i)))
+  in
+  let n = 50_000 in
+  let inputs =
+    [ ("xs", xs_val n);
+      ("perm", Value.of_int_array (Array.init n (fun i -> (i * 7919) mod n)));
+    ]
+  in
+  let good = (Sim_cluster.run ~inputs streaming_program).Sim_common.seconds in
+  let bad = (Sim_cluster.run ~inputs gathered).Sim_common.seconds in
+  check tbool "replication much slower" true (bad > Float.mul 5.0 good)
+
+let test_cluster_local_loop_on_master () =
+  let local = Input ("small", Types.Arr Types.Float, Local) in
+  let e = fsum ~size:(Len local) (fun i -> Read (local, i)) in
+  let r =
+    Sim_cluster.run ~inputs:[ ("small", xs_val 100) ] e
+  in
+  check tbool "master-only breakdown" true
+    (List.exists
+       (fun (n, _) ->
+         String.length n >= 11
+         && String.sub n (String.length n - 11) 11 = "master-only")
+       r.Sim_common.breakdown)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "runtime"
+    [ ( "chunk",
+        [ Alcotest.test_case "split" `Quick test_chunk_split;
+          Alcotest.test_case "boundaries" `Quick test_chunk_boundaries;
+          Alcotest.test_case "imbalance" `Quick test_chunk_imbalance;
+          qt prop_chunk_cover;
+        ] );
+      ( "dist-array",
+        [ Alcotest.test_case "directory" `Quick test_directory;
+          Alcotest.test_case "scatter/gather/remote reads" `Quick test_scatter_gather;
+          Alcotest.test_case "stencil-aligned scheduling" `Quick
+            test_dist_array_stencil_integration;
+        ] );
+      ( "domains",
+        [ Alcotest.test_case "collect" `Quick test_domains_collect;
+          Alcotest.test_case "filter" `Quick test_domains_filter;
+          Alcotest.test_case "reduce" `Quick test_domains_reduce;
+          Alcotest.test_case "buckets" `Quick test_domains_buckets;
+          Alcotest.test_case "multi-generator" `Quick test_domains_multi_gen;
+          Alcotest.test_case "spine" `Quick test_domains_spine;
+          Alcotest.test_case "dynamic schedule" `Quick test_domains_dynamic;
+          qt prop_domains_random;
+        ] );
+      ( "schedule",
+        [ Alcotest.test_case "hierarchical plans" `Quick test_schedule_plan;
+          qt prop_schedule_covers;
+        ] );
+      ( "sim-numa",
+        [ Alcotest.test_case "exact values" `Quick test_numa_value_exact;
+          Alcotest.test_case "compute scaling" `Quick test_numa_compute_scales;
+          Alcotest.test_case "mode separation" `Quick test_numa_streaming_separates_modes;
+          Alcotest.test_case "parallelism limit" `Quick test_numa_parallelism_limited_by_loop_size;
+        ] );
+      ( "sim-gpu",
+        [ Alcotest.test_case "penalties" `Quick test_gpu_penalties;
+          Alcotest.test_case "transfer amortization" `Quick test_gpu_transfer_amortization;
+        ] );
+      ( "sim-cluster",
+        [ Alcotest.test_case "value & scaling" `Quick test_cluster_value_and_shape;
+          Alcotest.test_case "replication penalty" `Quick test_cluster_replication_penalty;
+          Alcotest.test_case "master-only loops" `Quick test_cluster_local_loop_on_master;
+        ] );
+    ]
