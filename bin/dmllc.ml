@@ -24,10 +24,20 @@ open Cmdliner
 
 let app_arg =
   let doc =
-    Printf.sprintf "Application to compile. One of: %s."
+    Printf.sprintf "Application to compile. One of: %s; or $(b,all) (with --lint)."
       (String.concat ", " (List.map fst apps))
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let lint =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Run the parallel-safety verifier over the fully optimized program \
+           and print its diagnostics (rule ids are documented in DESIGN.md \
+           §8). Exits 1 when any Error-severity finding is reported. With APP \
+           = $(b,all), lints every registered application.")
 
 let show_source =
   Arg.(value & flag & info [ "source" ] ~doc:"Print the source (staged) IR.")
@@ -43,7 +53,40 @@ let gpu =
 
 let header title = Printf.printf "\n=== %s ===\n" title
 
-let main app show_src emit gpu =
+(* Compile one app and print its lint report; returns true when any
+   Error-severity diagnostic was produced. *)
+let lint_one target (name, build) =
+  let c = Dmll.compile ~target (build ()) in
+  let diags = Dmll.lint c in
+  header (Printf.sprintf "lint: %s" name);
+  if diags = [] then print_endline "  no findings";
+  List.iter (fun d -> Fmt.pr "  @[<v>%a@]@." Dmll_analysis.Diag.pp_full d) diags;
+  Dmll_analysis.Diag.has_errors diags
+
+let run_lint target app =
+  let selected =
+    if String.equal app "all" then Some apps
+    else Option.map (fun b -> [ (app, b) ]) (List.assoc_opt app apps)
+  in
+  match selected with
+  | None ->
+      Printf.eprintf "unknown app %S; try one of: %s, all\n" app
+        (String.concat ", " (List.map fst apps));
+      exit 1
+  | Some selected ->
+      let any_error =
+        List.fold_left (fun acc ab -> lint_one target ab || acc) false selected
+      in
+      if any_error then exit 1
+
+let main app show_src emit gpu lint =
+  let target_of_gpu gpu =
+    if gpu then
+      Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true }
+    else Dmll.Sequential
+  in
+  if lint then run_lint (target_of_gpu gpu) app
+  else
   match List.assoc_opt app apps with
   | None ->
       Printf.eprintf "unknown app %S; try one of: %s\n" app
@@ -51,11 +94,7 @@ let main app show_src emit gpu =
       exit 1
   | Some build ->
       let source = build () in
-      let target =
-        if gpu then
-          Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true }
-        else Dmll.Sequential
-      in
+      let target = target_of_gpu gpu in
       let c = Dmll.compile ~target source in
       if show_src then begin
         header "Source IR";
@@ -94,6 +133,6 @@ let cmd =
   let doc = "explore the DMLL compilation pipeline for a benchmark application" in
   Cmd.v
     (Cmd.info "dmllc" ~doc)
-    Term.(const main $ app_arg $ show_source $ show_codegen $ gpu)
+    Term.(const main $ app_arg $ show_source $ show_codegen $ gpu $ lint)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,92 @@
+(** Structured diagnostics for the static-analysis layer.
+
+    Every analysis that can complain about a program — the parallel-safety
+    verifier ({!Verify}), the partitioning analysis ({!Partition}), the
+    debug-mode pass checks installed by the driver — produces values of
+    this one type, so tooling ([dmllc --lint], the test suite, the
+    fail-fast pass driver) can filter by severity and match on stable rule
+    identifiers instead of scraping message strings.
+
+    A diagnostic carries:
+    - a {!severity} ([Error] means the program must not be run in parallel:
+      the pipeline's debug mode fails fast on these);
+    - a stable [rule] identifier (e.g. ["V-REDUCE-NONASSOC"]; the full
+      catalogue is documented in DESIGN.md §8);
+    - a human-readable message;
+    - optionally the offending sub-expression, printed via {!Dmll_ir.Pp} in
+      the paper's surface notation. *)
+
+open Dmll_ir
+
+type severity = Info | Warning | Error
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+type t = {
+  severity : severity;
+  rule : string;  (** stable rule identifier, e.g. ["V-SCOPE-UNBOUND"] *)
+  message : string;
+  context : Exp.exp option;  (** offending sub-expression, when localized *)
+}
+
+(** Raised by fail-fast consumers (the debug-mode pass driver); [stage]
+    names the pass or pipeline stage that produced the bad program. *)
+exception Failed of { stage : string; diags : t list }
+
+let make ?context severity ~rule fmt =
+  Fmt.kstr (fun message -> { severity; rule; message; context }) fmt
+
+let info ?context ~rule fmt = make ?context Info ~rule fmt
+let warning ?context ~rule fmt = make ?context Warning ~rule fmt
+let error ?context ~rule fmt = make ?context Error ~rule fmt
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+let has_errors ds = List.exists is_error ds
+
+(** Does any diagnostic in [ds] carry rule id [rule]? *)
+let has_rule ds rule = List.exists (fun d -> String.equal d.rule rule) ds
+
+(** Most severe first; stable within one severity, so a rule's diagnostics
+    keep program order. *)
+let sort ds =
+  List.stable_sort
+    (fun a b -> Int.compare (severity_rank b.severity) (severity_rank a.severity))
+    ds
+
+(* Context expressions can be whole programs; print one line, truncated, so
+   a lint report stays readable. *)
+let context_snippet ?(limit = 120) (e : Exp.exp) : string =
+  let s = Pp.to_string e in
+  let s = String.map (function '\n' -> ' ' | c -> c) s in
+  if String.length s <= limit then s else String.sub s 0 limit ^ " ..."
+
+let pp fmt d =
+  Fmt.pf fmt "%s[%s] %s" (severity_to_string d.severity) d.rule d.message
+
+let pp_full fmt d =
+  pp fmt d;
+  match d.context with
+  | Some e -> Fmt.pf fmt "@,    in: %s" (context_snippet e)
+  | None -> ()
+
+let to_string d = Fmt.str "%a" pp d
+
+(** Drop diagnostics identical in (severity, rule, message) — nested loops
+    can report the same underlying problem once per nesting level. *)
+let dedup (ds : t list) : t list =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      let k = (severity_rank d.severity, d.rule, d.message) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    ds

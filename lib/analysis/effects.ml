@@ -1,0 +1,65 @@
+(** Effect and purity analysis over DMLL IR.
+
+    The whole optimizer rests on the component functions of a multiloop
+    being pure: fusion inlines a producer's value function into several
+    consumers (duplicating its evaluation), code motion hoists expressions
+    across iterations, and the chunked runtime evaluates iterations in an
+    unspecified order.  Any of those transformations is wrong for an
+    expression with observable effects.
+
+    In this IR the only effect carriers are externs: a non-whitelisted
+    [Extern] may perform I/O or mutate the collections it receives
+    (whitelisted externs are known-safe reads, e.g. size fields — paper
+    §4.3).  Primitives are all pure ({!Dmll_ir.Prim.pure}), and the
+    purely functional core (loops, lets, reads) cannot mutate anything.
+    This module classifies expressions accordingly and, for the
+    parallel-safety verifier's race check, over-approximates the set of
+    collections an expression may {e write}: every collection-typed
+    argument of a non-whitelisted extern. *)
+
+open Dmll_ir
+open Exp
+
+(** One effectful program point: a non-whitelisted extern call. *)
+type site = { ename : string; context : exp }
+
+(** Every effectful site anywhere in [e], in program (pre-)order. *)
+let effectful_sites (e : exp) : site list =
+  List.rev
+    (fold
+       (fun acc n ->
+         match n with
+         | Extern { whitelisted = false; ename; _ } -> { ename; context = n } :: acc
+         | _ -> acc)
+       [] e)
+
+(** Pure = re-evaluating zero or more times has no observable effect
+    besides the value.  Agrees with {!Dmll_opt.Rewrite.pure}. *)
+let pure (e : exp) : bool = effectful_sites e = []
+
+let is_collection_ty = function Types.Arr _ | Types.Map _ -> true | _ -> false
+
+(* The collection target named by [e], when [e] is a collection. *)
+let collection_target (e : exp) : Stencil.target option =
+  match e with
+  | Var s when is_collection_ty (Sym.ty s) -> Some (Stencil.Tsym s)
+  | Input (n, ty, _) when is_collection_ty ty -> Some (Stencil.Tinput n)
+  | _ -> None
+
+(** Collections that [e] may mutate: the collection-typed arguments of its
+    non-whitelisted externs.  An over-approximation — an extern that only
+    reads its argument is still reported — which is the right direction for
+    a safety verifier. *)
+let write_targets (e : exp) : Stencil.target list =
+  fold
+    (fun acc n ->
+      match n with
+      | Extern { whitelisted = false; eargs; _ } ->
+          List.fold_left
+            (fun acc a ->
+              match collection_target a with
+              | Some t when not (List.exists (Stencil.target_equal t) acc) -> t :: acc
+              | _ -> acc)
+            acc eargs
+      | _ -> acc)
+    [] e

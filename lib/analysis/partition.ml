@@ -30,13 +30,19 @@ type warning =
           be made local by any available rewrite; the runtime will fetch
           remotely (§4.2 fallback) *)
 
-let warning_to_string = function
+(** Partition warnings in the shared diagnostic type, so [dmllc --lint]
+    and the verifier report through one formatter. *)
+let warning_to_diag = function
   | Sequential_on_partitioned t ->
-      Printf.sprintf "sequential access to partitioned collection %s"
+      Diag.warning ~rule:"P-SEQ-ON-PARTITIONED"
+        "sequential access to partitioned collection %s"
         (Stencil.target_to_string t)
   | Remote_access (t, s) ->
-      Printf.sprintf "partitioned collection %s has %s stencil: runtime data movement"
+      Diag.warning ~rule:"P-REMOTE-ACCESS"
+        "partitioned collection %s has %s stencil: runtime data movement"
         (Stencil.target_to_string t) (Stencil.to_string s)
+
+let warning_to_string w = Diag.to_string (warning_to_diag w)
 
 type report = {
   program : exp;  (** possibly rewritten by stencil-triggered transforms *)
@@ -175,11 +181,14 @@ let analyze ?(transforms = Dmll_opt.Rules_nested.cpu_rules)
         let trace = R.new_trace () in
         let e' = R.sweep [ rule ] trace e in
         if trace.R.applied = [] then None
-        else
+        else begin
+          (* debug mode: verify the stencil-triggered rewrite itself *)
+          Dmll_opt.Pipeline.run_check ("partition-rule:" ^ rule.R.rname) e';
           let e' = reoptimize e' in
           let layouts', _ = propagate e' in
           let bad' = bad_accesses e' layouts' in
           if List.length bad' < List.length bad then Some (e', rule.R.rname) else None
+        end
       in
       let rec first = function
         | [] -> None
@@ -201,3 +210,6 @@ let analyze ?(transforms = Dmll_opt.Rules_nested.cpu_rules)
     warnings;
     rewrites_applied = !rewrites;
   }
+
+(** All of a report's warnings as structured diagnostics. *)
+let diags (r : report) : Diag.t list = List.map warning_to_diag r.warnings

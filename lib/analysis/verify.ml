@@ -1,0 +1,336 @@
+(** Parallel-safety verifier: the DMLL IR lint.
+
+    The compiler's licence to recompose a multiloop's component functions
+    per target — and the runtime's licence to evaluate iterations in
+    chunks, in any order — rests on invariants that {!Dmll_ir.Typecheck}
+    does not see: components must be pure, reductions associative, binders
+    globally unique, and no iteration may read a collection another
+    iteration writes.  A transformation bug that violates one of these
+    produces a program that still type checks but silently diverges under
+    parallel execution.  This pass re-establishes the invariants after
+    every optimization (in the driver's debug mode) and on demand via
+    [dmllc --lint].
+
+    Rules (stable ids; catalogue also in DESIGN.md §8):
+
+    {b Well-formedness}
+    - [V-SCOPE-UNBOUND] (error): use of a symbol with no enclosing binder —
+      e.g. a loop index escaping its multiloop.
+    - [V-SCOPE-REBOUND] (error): a symbol bound at two program points,
+      violating the global-uniqueness invariant {!Dmll_ir.Sym} guarantees
+      and every substitution-based rewrite relies on.
+    - [V-LOOP-EMPTY] (error): multiloop with no generators.
+    - [V-LOOP-INDEX-IN-SIZE] (error): a loop's size expression mentions its
+      own index.
+    - [V-ACC-SHARED] (error): a reduction's two accumulator binders are the
+      same symbol.
+
+    {b Effects} (see {!Effects})
+    - [V-EFFECT-COMPONENT] (error): a non-whitelisted extern inside a
+      generator component (condition, key, value, reduction, init): fusion
+      duplicates components into multiple consumers and code motion
+      reorders them, so effects there are unsound.
+    - [V-EFFECT-SIZE] (error): effectful loop size.
+
+    {b Reduction soundness}
+    - [V-REDUCE-NONASSOC] (error): the reduction function is a recognized
+      {e non-associative} operation (sub, div, ...): chunked execution
+      changes the result.
+    - [V-REDUCE-IDX] (error): the reduction function depends on the loop
+      index — a cross-iteration dependence, since the reduction tree's
+      shape is unspecified.
+    - [V-REDUCE-UNKNOWN] (warning): unrecognized reduction shape;
+      associativity cannot be verified.
+    - [V-REDUCE-FLOAT] (warning): float reduction — reassociation under
+      chunking perturbs low-order bits (determinism warning).
+    - [V-REDUCE-INIT] (warning): the init element is a constant that is not
+      the identity of the recognized reduction, so folding the init into
+      every chunk (as the chunked runtime does) changes the result.
+
+    {b Cross-iteration dependence}
+    - [V-RACE-READ-WRITE] (error): a multiloop reads a collection it may
+      also write (via an effectful extern argument) — a race under chunked
+      execution.  Read sets come from {!Stencil}; write sets from
+      {!Effects.write_targets}. *)
+
+open Dmll_ir
+open Exp
+
+(** The rule catalogue: (id, worst severity, one-line description).  Kept
+    in code so [dmllc --lint --rules], the docs, and the tests stay in
+    sync. *)
+let rules : (string * Diag.severity * string) list =
+  [ ("V-SCOPE-UNBOUND", Diag.Error, "use of a symbol with no enclosing binder");
+    ("V-SCOPE-REBOUND", Diag.Error, "symbol bound at two program points");
+    ("V-LOOP-EMPTY", Diag.Error, "multiloop with no generators");
+    ("V-LOOP-INDEX-IN-SIZE", Diag.Error, "loop size mentions the loop's own index");
+    ("V-ACC-SHARED", Diag.Error, "reduction accumulators are the same symbol");
+    ("V-EFFECT-COMPONENT", Diag.Error, "effectful extern inside a generator component");
+    ("V-EFFECT-SIZE", Diag.Error, "effectful loop size");
+    ("V-REDUCE-NONASSOC", Diag.Error, "non-associative reduction function");
+    ("V-REDUCE-IDX", Diag.Error, "reduction function depends on the loop index");
+    ("V-REDUCE-UNKNOWN", Diag.Warning, "unrecognized reduction shape");
+    ("V-REDUCE-FLOAT", Diag.Warning, "float reduction: reassociation is non-deterministic");
+    ("V-REDUCE-INIT", Diag.Warning, "reduce init is not the reduction's identity");
+    ("V-RACE-READ-WRITE", Diag.Error, "loop reads a collection it may write");
+  ]
+
+let rule_ids = List.map (fun (id, _, _) -> id) rules
+
+(* ------------------------------------------------------------------ *)
+(* Reduction-shape recognition                                          *)
+(* ------------------------------------------------------------------ *)
+
+type reducer_shape =
+  | Assoc of { prim : Prim.t option; float_reassoc : bool }
+      (** recognized associative (and commutative) shape; [prim] is the
+          top-level operation when there is a single one (for the identity
+          check) *)
+  | NonAssoc of Prim.t  (** recognized, and definitely not associative *)
+  | Unrecognized
+
+let assoc_prim =
+  Prim.(
+    function
+    | Add | Mul | Min | Max | Fadd | Fmul | Fmin | Fmax | And | Or -> true
+    | _ -> false)
+
+let nonassoc_prim =
+  Prim.(function Sub | Fsub | Div | Fdiv | Mod | Pow -> true | _ -> false)
+
+let float_reassoc_prim = Prim.(function Fadd | Fmul -> true | _ -> false)
+
+(** Identity element of a recognized associative prim, when it has a
+    representable one ([Min]/[Max] over unbounded ints do not). *)
+let identity_of =
+  Prim.(
+    function
+    | Add -> Some (int_ 0)
+    | Mul -> Some (int_ 1)
+    | Fadd -> Some (float_ 0.0)
+    | Fmul -> Some (float_ 1.0)
+    | Fmin -> Some (float_ infinity)
+    | Fmax -> Some (float_ neg_infinity)
+    | And -> Some (bool_ true)
+    | Or -> Some (bool_ false)
+    | _ -> None)
+
+(** Classify a reduction function whose two operands are [opa] and [opb]
+    (initially the accumulator variables; recursion refines them to
+    projections for componentwise tuples and to element reads for the
+    vectorized reductions introduced by Column-to-Row). *)
+let rec classify_rfun ~(opa : exp) ~(opb : exp) (rfun : exp) : reducer_shape =
+  let is_a e = alpha_equal e opa and is_b e = alpha_equal e opb in
+  match rfun with
+  | Prim (p, [ x; y ]) when (is_a x && is_b y) || (is_a y && is_b x) ->
+      if assoc_prim p then Assoc { prim = Some p; float_reassoc = float_reassoc_prim p }
+      else if nonassoc_prim p then NonAssoc p
+      else Unrecognized
+  | Tuple es ->
+      (* componentwise reduction over a tuple of accumulators *)
+      let shapes =
+        List.mapi
+          (fun k ek -> classify_rfun ~opa:(Proj (opa, k)) ~opb:(Proj (opb, k)) ek)
+          es
+      in
+      if es = [] then Unrecognized
+      else begin
+        match List.find_opt (function NonAssoc _ -> true | _ -> false) shapes with
+        | Some (NonAssoc p) -> NonAssoc p
+        | _ ->
+            if List.exists (function Unrecognized -> true | _ -> false) shapes then
+              Unrecognized
+            else
+              Assoc
+                { prim = None;
+                  float_reassoc =
+                    List.exists
+                      (function Assoc { float_reassoc = f; _ } -> f | _ -> false)
+                      shapes;
+                }
+      end
+  | If (Prim ((Prim.Lt | Prim.Le | Prim.Gt | Prim.Ge), [ kx; ky ]), tx, ty)
+    when (is_a tx && is_b ty) || (is_b tx && is_a ty) ->
+      (* min-by / max-by selection (the argmin pattern of k-means/kNN):
+         associative when both keys are the same function of each operand *)
+      let swap e =
+        let rec sw e =
+          if alpha_equal e opa then opb
+          else if alpha_equal e opb then opa
+          else map_sub sw e
+        in
+        sw e
+      in
+      if alpha_equal (swap kx) ky then Assoc { prim = None; float_reassoc = false }
+      else Unrecognized
+  | Loop { size; idx; gens = [ Collect { cond = None; value } ] }
+    when alpha_equal size (Len opa) || alpha_equal size (Len opb) ->
+      (* elementwise lift (zipWith r): the vector reduction produced by
+         Column-to-Row — associative iff the scalar reduction is *)
+      classify_rfun ~opa:(Read (opa, Var idx)) ~opb:(Read (opb, Var idx)) value
+  | _ -> Unrecognized
+
+(* ------------------------------------------------------------------ *)
+(* The checking traversal                                               *)
+(* ------------------------------------------------------------------ *)
+
+type state = { mutable diags : Diag.t list; seen : unit Sym.Tbl.t }
+
+let add st d = st.diags <- d :: st.diags
+
+(* Record a binder; complains when the symbol was already bound somewhere
+   else in the program. *)
+let bind st (context : exp) (scope : Sym.Set.t) (s : Sym.t) : Sym.Set.t =
+  if Sym.Tbl.mem st.seen s then
+    add st
+      (Diag.error ~context ~rule:"V-SCOPE-REBOUND"
+         "symbol %a is bound at more than one program point" Sym.pp s)
+  else Sym.Tbl.replace st.seen s ();
+  Sym.Set.add s scope
+
+let rec go st (scope : Sym.Set.t) (e : exp) : unit =
+  match e with
+  | Var s ->
+      if not (Sym.Set.mem s scope) then
+        add st
+          (Diag.error ~context:e ~rule:"V-SCOPE-UNBOUND"
+             "use of unbound symbol %a (a loop index or accumulator escaping its binder?)"
+             Sym.pp s)
+  | Const _ | Input _ -> ()
+  | Let (s, a, b) ->
+      go st scope a;
+      let scope = bind st e scope s in
+      go st scope b
+  | Loop l -> check_loop st scope l
+  | _ -> fold_sub (fun () sub -> go st scope sub) () e
+
+and check_loop st (scope : Sym.Set.t) (l : loop) : unit =
+  let loop_e = Loop l in
+  if l.gens = [] then
+    add st
+      (Diag.error ~context:loop_e ~rule:"V-LOOP-EMPTY" "multiloop %a has no generators"
+         Sym.pp l.idx);
+  if occurs l.idx l.size then
+    add st
+      (Diag.error ~context:l.size ~rule:"V-LOOP-INDEX-IN-SIZE"
+         "size of multiloop %a mentions its own index" Sym.pp l.idx);
+  List.iter
+    (fun (s : Effects.site) ->
+      add st
+        (Diag.error ~context:s.Effects.context ~rule:"V-EFFECT-SIZE"
+           "effectful extern %S in the size of multiloop %a" s.Effects.ename Sym.pp
+           l.idx))
+    (Effects.effectful_sites l.size);
+  let scope_idx = bind st loop_e scope l.idx in
+  go st scope_idx l.size;
+  List.iter (check_gen st ~scope ~scope_idx l) l.gens;
+  race_check st l
+
+and check_gen st ~scope ~scope_idx (l : loop) (g : gen) : unit =
+  let gname = gen_name g in
+  (* scope-check one component and flag effectful externs inside it *)
+  let part ~name ~sc e =
+    go st sc e;
+    List.iter
+      (fun (s : Effects.site) ->
+        add st
+          (Diag.error ~context:s.Effects.context ~rule:"V-EFFECT-COMPONENT"
+             "effectful extern %S in the %s of a %s generator (multiloop %a): fusion and code motion may duplicate or reorder it"
+             s.Effects.ename name gname Sym.pp l.idx))
+      (Effects.effectful_sites e)
+  in
+  Option.iter (part ~name:"condition" ~sc:scope_idx) (gen_cond g);
+  Option.iter (part ~name:"key" ~sc:scope_idx) (gen_key g);
+  part ~name:"value" ~sc:scope_idx (gen_value g);
+  match g with
+  | Collect _ | BucketCollect _ -> ()
+  | Reduce { a; b; rfun; init; _ } | BucketReduce { a; b; rfun; init; _ } ->
+      let sc_acc =
+        if Sym.equal a b then begin
+          add st
+            (Diag.error ~context:rfun ~rule:"V-ACC-SHARED"
+               "reduction of multiloop %a uses the same symbol %a for both accumulators"
+               Sym.pp l.idx Sym.pp a);
+          bind st (Loop l) scope_idx a
+        end
+        else bind st (Loop l) (bind st (Loop l) scope_idx a) b
+      in
+      part ~name:"reduction function" ~sc:sc_acc rfun;
+      if occurs l.idx rfun then
+        add st
+          (Diag.error ~context:rfun ~rule:"V-REDUCE-IDX"
+             "reduction function of multiloop %a depends on the loop index %a: cross-iteration dependence"
+             Sym.pp l.idx Sym.pp l.idx);
+      (* the identity element is evaluated outside the loop body *)
+      part ~name:"init" ~sc:scope init;
+      reduce_checks st ~gname ~idx:l.idx ~a ~b ~rfun ~init
+
+and reduce_checks st ~gname ~idx ~a ~b ~rfun ~init : unit =
+  match classify_rfun ~opa:(Var a) ~opb:(Var b) rfun with
+  | NonAssoc p ->
+      add st
+        (Diag.error ~context:rfun ~rule:"V-REDUCE-NONASSOC"
+           "%s of multiloop %a reduces with non-associative %s: chunked execution changes the result"
+           gname Sym.pp idx (Prim.name p))
+  | Unrecognized ->
+      add st
+        (Diag.warning ~context:rfun ~rule:"V-REDUCE-UNKNOWN"
+           "unrecognized reduction shape in %s of multiloop %a: associativity cannot be verified"
+           gname Sym.pp idx)
+  | Assoc { prim; float_reassoc } -> (
+      if float_reassoc then
+        add st
+          (Diag.warning ~context:rfun ~rule:"V-REDUCE-FLOAT"
+             "float reduction in %s of multiloop %a: chunked reassociation may perturb low-order bits"
+             gname Sym.pp idx);
+      match prim with
+      | Some p -> (
+          match (identity_of p, init) with
+          | Some id, Const _ when not (alpha_equal init id) ->
+              add st
+                (Diag.warning ~context:init ~rule:"V-REDUCE-INIT"
+                   "init %s is not the identity of %s: chunked execution folds the init into every chunk"
+                   (Pp.to_string init) (Prim.name p))
+          | _ -> ())
+      | None -> ())
+
+and race_check st (l : loop) : unit =
+  let reads = List.map fst (Stencil.of_loop l) in
+  let parts =
+    List.concat_map
+      (fun g ->
+        let ps = List.filter_map Fun.id [ gen_cond g; Some (gen_value g); gen_key g ] in
+        match g with
+        | Reduce { rfun; init; _ } | BucketReduce { rfun; init; _ } -> rfun :: init :: ps
+        | _ -> ps)
+      l.gens
+  in
+  let writes = List.concat_map Effects.write_targets parts in
+  List.iter
+    (fun t ->
+      if List.exists (Stencil.target_equal t) reads then
+        add st
+          (Diag.error ~context:(Loop l) ~rule:"V-RACE-READ-WRITE"
+             "multiloop %a reads collection %s that it may also write: race under chunked execution"
+             Sym.pp l.idx
+             (Stencil.target_to_string t)))
+    writes
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Run every rule over [e].  [declared] names symbols that are legally
+    free (used when verifying open program fragments, e.g. the per-rule
+    checks of the debug-mode pass driver); a closed program needs none. *)
+let run ?(declared = Sym.Set.empty) (e : exp) : Diag.t list =
+  let st = { diags = []; seen = Sym.Tbl.create 64 } in
+  go st declared e;
+  Diag.dedup (List.rev st.diags)
+
+(** Fail-fast entry for the debug-mode pass driver: raises {!Diag.Failed}
+    carrying the Error-severity diagnostics, if any. *)
+let check_exn ?declared ~(stage : string) (e : exp) : unit =
+  let diags = run ?declared e in
+  if Diag.has_errors diags then
+    raise (Diag.Failed { stage; diags = Diag.errors diags })

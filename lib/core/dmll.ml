@@ -38,8 +38,54 @@ type compiled = {
   gpu_lowered : bool;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Debug-mode verification                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** In debug mode, every optimizer stage — and every individual rule
+    application — re-runs the type checker and the parallel-safety
+    verifier ({!Analysis.Verify}) on its result, failing fast with
+    {!Analysis.Diag.Failed} on any Error-severity diagnostic, so a
+    transformation bug is caught at the rule that introduced it rather
+    than as a silently divergent answer.  Enabled per call
+    ([compile ~debug:true]) or globally with [DMLL_DEBUG=1]. *)
+let debug_default =
+  match Sys.getenv_opt "DMLL_DEBUG" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* Typecheck + Verify one (possibly open) program; free symbols are
+   treated as bound at their annotated types. *)
+let verify_stage (stage : string) (e : Exp.exp) : unit =
+  let declared = Exp.free_vars e in
+  let env =
+    Sym.Set.fold (fun s acc -> Sym.Map.add s (Sym.ty s) acc) declared Sym.Map.empty
+  in
+  (try ignore (Typecheck.infer env e)
+   with Typecheck.Type_error err ->
+     raise
+       (Analysis.Diag.Failed
+          { stage;
+            diags =
+              [ Analysis.Diag.error ~context:err.Typecheck.context ~rule:"V-TYPE" "%s"
+                  err.Typecheck.message;
+              ];
+          }));
+  Analysis.Verify.check_exn ~declared ~stage e
+
+let with_debug_checks (debug : bool) (f : unit -> 'a) : 'a =
+  if not debug then f ()
+  else begin
+    let saved = !Opt.Pipeline.post_stage_check in
+    Opt.Pipeline.post_stage_check := Some verify_stage;
+    Fun.protect ~finally:(fun () -> Opt.Pipeline.post_stage_check := saved) f
+  end
+
 (** Compile a staged program for [target]. *)
-let compile ?(target = Sequential) (source : Exp.exp) : compiled =
+let compile ?(target = Sequential) ?(debug = debug_default) (source : Exp.exp) :
+    compiled =
+  with_debug_checks debug @@ fun () ->
+  if debug then verify_stage "source" source;
   (* 1. target-independent optimizations, including the CPU-beneficial
      nested rules (GroupBy-Reduce and friends, §3.2) *)
   let r = Opt.Pipeline.optimize_with ~extra_rules:Opt.Rules_nested.cpu_rules source in
@@ -54,6 +100,7 @@ let compile ?(target = Sequential) (source : Exp.exp) : compiled =
         Backend.Gpu.lower after_partition
     | _ -> (after_partition, false)
   in
+  if debug then verify_stage "final" final;
   { source;
     generic;
     final;
@@ -135,3 +182,10 @@ let iterate (c : compiled) ~(inputs : (string * V.t) list)
 (** Warnings from the partitioning analysis, human-readable. *)
 let warnings (c : compiled) : string list =
   List.map Analysis.Partition.warning_to_string c.partition.Analysis.Partition.warnings
+
+(** Parallel-safety diagnostics for a compiled program: the verifier's
+    findings on the fully optimized IR plus the partitioning analysis's
+    warnings, most severe first.  Backs [dmllc --lint]. *)
+let lint (c : compiled) : Analysis.Diag.t list =
+  Analysis.Diag.sort
+    (Analysis.Verify.run c.final @ Analysis.Partition.diags c.partition)

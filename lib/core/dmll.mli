@@ -45,8 +45,22 @@ type compiled = {
   gpu_lowered : bool;  (** Row-to-Column applied for a GPU target *)
 }
 
-val compile : ?target:target -> Exp.exp -> compiled
-(** Compile a staged program (default target: {!Sequential}). *)
+val debug_default : bool
+(** Default of [compile]'s [?debug]: [true] when the [DMLL_DEBUG]
+    environment variable is set to [1]/[true]/[yes]. *)
+
+val verify_stage : string -> Exp.exp -> unit
+(** [verify_stage stage e] typechecks [e] (free symbols assume their
+    annotated types) and runs the parallel-safety verifier
+    ({!Dmll_analysis.Verify}), raising {!Dmll_analysis.Diag.Failed} on any
+    Error-severity finding.  This is the check [compile ~debug:true]
+    installs behind every optimizer rule and pipeline stage. *)
+
+val compile : ?target:target -> ?debug:bool -> Exp.exp -> compiled
+(** Compile a staged program (default target: {!Sequential}).  With
+    [~debug:true] (or [DMLL_DEBUG=1]), every optimizer stage and rule
+    application is re-verified with {!verify_stage}, failing fast on the
+    first unsafe program a transformation produces. *)
 
 val optimizations : compiled -> string list
 (** Distinct optimizations that fired, in first-fired order — the
@@ -76,3 +90,8 @@ val iterate :
 val warnings : compiled -> string list
 (** Partitioning-analysis warnings (sequential access to partitioned data,
     runtime data movement fallbacks), human-readable. *)
+
+val lint : compiled -> Dmll_analysis.Diag.t list
+(** Parallel-safety diagnostics: the verifier's findings on the fully
+    optimized IR plus the partitioning analysis's warnings, most severe
+    first.  Backs [dmllc --lint]. *)

@@ -29,17 +29,58 @@ let distinct_applied (r : report) : string list =
 let standard_rules : Rewrite.rule list =
   Simplify.rules @ Cse.rules @ Fusion.rules @ Soa.rules @ Motion.rules
 
+(* ------------------------------------------------------------------ *)
+(* Debug-mode verification hook                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Verification hook installed by the driver in debug mode
+    ([Dmll.compile ~debug:true] wires it to typecheck + the
+    parallel-safety verifier, failing fast on Error-severity findings).
+    When set, it is called with a stage label and the current program
+    after every individual rule application and after each pipeline
+    stage.  [None] (the default) costs nothing.
+
+    The hook lives here rather than in the analysis library because the
+    optimizer cannot depend on [Dmll_analysis] (the analyses are its
+    clients); the driver, which sees both, closes the loop. *)
+let post_stage_check : (string -> Exp.exp -> unit) option ref = ref None
+
+let run_check stage e =
+  match !post_stage_check with Some f -> f stage e | None -> ()
+
+(* With a hook installed, every rule verifies its own (possibly open)
+   rewritten sub-expression, so a transformation bug is caught at the
+   exact rule that introduced it. *)
+let instrument_rules (rules : Rewrite.rule list) : Rewrite.rule list =
+  match !post_stage_check with
+  | None -> rules
+  | Some f ->
+      List.map
+        (fun (r : Rewrite.rule) ->
+          { r with
+            Rewrite.apply =
+              (fun e ->
+                match r.Rewrite.apply e with
+                | Some e' ->
+                    f ("rule:" ^ r.Rewrite.rname) e';
+                    Some e'
+                | None -> None);
+          })
+        rules
+
 (** Optimize with the standard shared-memory pipeline plus [extra_rules]
     (e.g. a subset of [Rules_nested.all] chosen by the driver). *)
 let optimize_with ?(extra_rules = []) (e : Exp.exp) : report =
   let trace = Rewrite.new_trace () in
-  let rules = standard_rules @ extra_rules in
+  let rules = instrument_rules (standard_rules @ extra_rules) in
   let rec go i e =
     if i >= 12 then (e, i)
     else
       let before = List.length trace.Rewrite.applied in
       let e = Rewrite.fixpoint rules trace e in
+      run_check (Printf.sprintf "rewrite-fixpoint:%d" i) e;
       let e = fst (Soa.soa_inputs ~trace e) in
+      run_check (Printf.sprintf "soa-inputs:%d" i) e;
       if List.length trace.Rewrite.applied = before then (e, i + 1) else go (i + 1) e
   in
   let program, iterations = go 0 e in

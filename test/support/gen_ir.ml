@@ -157,6 +157,15 @@ and gen_collect env elt fuel =
 
 and gen_fsum env fuel =
   let* n = QCheck.Gen.int_range 1 8 in
+  (* any associative-commutative float reduction with its identity: chunked
+     parallel evaluation stays equivalent to sequential evaluation *)
+  let* op, init =
+    QCheck.Gen.oneofl
+      [ (Prim.Fadd, float_ 0.0);
+        (Prim.Fmin, float_ infinity);
+        (Prim.Fmax, float_ neg_infinity);
+      ]
+  in
   let idx = Sym.fresh ~name:"i" Types.Int in
   let env' = (idx, Types.Int) :: env in
   let* value = gen_exp env' Types.Float (fuel / 2) in
@@ -167,13 +176,7 @@ and gen_fsum env fuel =
          idx;
          gens =
            [ Reduce
-               { cond = None;
-                 value;
-                 a;
-                 b;
-                 rfun = Prim (Prim.Fadd, [ Var a; Var b ]);
-                 init = float_ 0.0;
-               };
+               { cond = None; value; a; b; rfun = Prim (op, [ Var a; Var b ]); init };
            ];
        })
 

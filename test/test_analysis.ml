@@ -275,6 +275,305 @@ let test_size_evaluator () =
   check tbool "product" true (ev (Len xs *! int_ 2) = Some 84);
   check tbool "unknown" true (ev (Var (Sym.fresh Types.Int)) = None)
 
+(* ---------------- verifier: rule triggers ---------------- *)
+
+(* Each hand-written bad program must trigger exactly its rule id. *)
+
+let has_rule = Diag.has_rule
+
+let errors_with rule ds =
+  List.exists (fun d -> Diag.is_error d && String.equal d.Diag.rule rule) ds
+
+let eff ?(ename = "log_row") ?(ety = Types.Float) eargs =
+  Extern { ename; eargs; ety; whitelisted = false }
+
+let test_verify_clean_program () =
+  let ds = Verify.run (mini_kmeans ~k:3) in
+  check tbool "no errors on a good program" false (Diag.has_errors ds);
+  check tbool "float-reduce warning present" true (has_rule ds "V-REDUCE-FLOAT")
+
+let test_verify_unbound () =
+  let ds = Verify.run (Var (Sym.fresh ~name:"ghost" Types.Int)) in
+  check tbool "unbound symbol" true (errors_with "V-SCOPE-UNBOUND" ds);
+  (* declaring the symbol silences the rule *)
+  let s = Sym.fresh ~name:"fine" Types.Int in
+  let ds' = Verify.run ~declared:(Sym.Set.singleton s) (Var s) in
+  check tbool "declared symbol ok" false (Diag.has_errors ds')
+
+let test_verify_rebound () =
+  let s = Sym.fresh ~name:"x" Types.Int in
+  let ds = Verify.run (Let (s, int_ 1, Let (s, int_ 2, Var s))) in
+  check tbool "rebound symbol" true (errors_with "V-SCOPE-REBOUND" ds)
+
+let test_verify_empty_loop () =
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let ds = Verify.run (Loop { size = int_ 3; idx; gens = [] }) in
+  check tbool "empty multiloop" true (errors_with "V-LOOP-EMPTY" ds)
+
+let test_verify_index_in_size () =
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let e =
+    Loop { size = Var idx +! int_ 1; idx; gens = [ Collect { cond = None; value = int_ 0 } ] }
+  in
+  check tbool "index escapes into size" true
+    (errors_with "V-LOOP-INDEX-IN-SIZE" (Verify.run e))
+
+let test_verify_acc_shared () =
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let a = Sym.fresh ~name:"a" Types.Float in
+  let e =
+    Loop
+      { size = int_ 4;
+        idx;
+        gens =
+          [ Reduce
+              { cond = None;
+                value = float_ 1.0;
+                a;
+                b = a;
+                rfun = Var a +. Var a;
+                init = float_ 0.0;
+              };
+          ];
+      }
+  in
+  check tbool "shared accumulators" true (errors_with "V-ACC-SHARED" (Verify.run e))
+
+let test_verify_effectful_component () =
+  (* an effectful f inside a multiloop component is unsafe to parallelize *)
+  let e = fsum ~size:(int_ 4) (fun i -> eff [ i ]) in
+  check tbool "effectful value" true
+    (errors_with "V-EFFECT-COMPONENT" (Verify.run e));
+  (* the same extern whitelisted is accepted *)
+  let ok =
+    fsum ~size:(int_ 4) (fun i ->
+        Extern { ename = "log_row"; eargs = [ i ]; ety = Types.Float; whitelisted = true })
+  in
+  check tbool "whitelisted extern ok" false
+    (errors_with "V-EFFECT-COMPONENT" (Verify.run ok))
+
+let test_verify_effectful_size () =
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let e =
+    Loop
+      { size = eff ~ename:"next_batch_size" ~ety:Types.Int [];
+        idx;
+        gens = [ Collect { cond = None; value = int_ 0 } ];
+      }
+  in
+  check tbool "effectful size" true (errors_with "V-EFFECT-SIZE" (Verify.run e))
+
+let test_verify_nonassoc_reduce () =
+  (* r = (-.) is recognized and rejected: chunked evaluation diverges *)
+  let e =
+    reduce ~size:(int_ 8) ~ty:Types.Float ~init:(float_ 0.0)
+      (fun _ -> float_ 1.0)
+      (fun a b -> a -. b)
+  in
+  check tbool "subtraction reducer" true
+    (errors_with "V-REDUCE-NONASSOC" (Verify.run e))
+
+let test_verify_reduce_uses_index () =
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let a = Sym.fresh ~name:"a" Types.Float and b = Sym.fresh ~name:"b" Types.Float in
+  let e =
+    Loop
+      { size = int_ 8;
+        idx;
+        gens =
+          [ Reduce
+              { cond = None;
+                value = float_ 1.0;
+                a;
+                b;
+                rfun = if_ (Var idx =! int_ 0) (Var a) (Var b);
+                init = float_ 0.0;
+              };
+          ];
+      }
+  in
+  check tbool "index-dependent reducer" true
+    (errors_with "V-REDUCE-IDX" (Verify.run e))
+
+let test_verify_unknown_reduce () =
+  (* ignores one accumulator: not a reduction we can vouch for — warning *)
+  let e =
+    reduce ~size:(int_ 8) ~ty:Types.Float ~init:(float_ 0.0)
+      (fun _ -> float_ 1.0)
+      (fun a _ -> a *. a)
+  in
+  let ds = Verify.run e in
+  check tbool "unknown shape warned" true (has_rule ds "V-REDUCE-UNKNOWN");
+  check tbool "unknown shape is not an error" false (Diag.has_errors ds)
+
+let test_verify_float_and_init_warnings () =
+  let ds = Verify.run (fsum ~size:(int_ 4) (fun _ -> float_ 1.0)) in
+  check tbool "float reassociation warned" true (has_rule ds "V-REDUCE-FLOAT");
+  check tbool "identity init accepted" false (has_rule ds "V-REDUCE-INIT");
+  let bad_init =
+    reduce ~size:(int_ 4) ~ty:Types.Float ~init:(float_ 1.0)
+      (fun _ -> float_ 1.0)
+      (fun a b -> a +. b)
+  in
+  check tbool "non-identity init warned" true
+    (has_rule (Verify.run bad_init) "V-REDUCE-INIT")
+
+let test_verify_race () =
+  (* the loop reads xs while an effectful extern takes xs as an argument:
+     a cross-iteration read/write race *)
+  let e =
+    collect ~size:(Len xs) (fun i ->
+        read xs i +. eff ~ename:"scatter_update" [ xs; i ])
+  in
+  let ds = Verify.run e in
+  check tbool "read/write race" true (errors_with "V-RACE-READ-WRITE" ds)
+
+let test_verify_argmin_recognized () =
+  (* the k-means/kNN argmin encoding is an associative min-by selection *)
+  let e = min_index ~size:(Len xs) (fun i -> read xs i) in
+  let ds = Verify.run e in
+  check tbool "argmin not flagged unknown" false (has_rule ds "V-REDUCE-UNKNOWN");
+  check tbool "argmin has no errors" false (Diag.has_errors ds)
+
+let test_verify_vectorized_reduce_recognized () =
+  (* the elementwise-lifted reduce produced by Column-to-Row *)
+  let idx = Sym.fresh ~name:"i" Types.Int in
+  let a = Sym.fresh ~name:"a" (Types.Arr Types.Float) in
+  let b = Sym.fresh ~name:"b" (Types.Arr Types.Float) in
+  let e =
+    Loop
+      { size = Len xs;
+        idx;
+        gens =
+          [ Reduce
+              { cond = None;
+                value = map_arr xs (fun v -> v);
+                a;
+                b;
+                rfun = vec_fadd (Var a) (Var b);
+                init = zero_vec (int_ 4);
+              };
+          ];
+      }
+  in
+  let ds = Verify.run e in
+  check tbool "vector reduce not flagged unknown" false (has_rule ds "V-REDUCE-UNKNOWN");
+  check tbool "vector reduce has no errors" false (Diag.has_errors ds)
+
+let test_verify_rule_catalogue () =
+  (* every diagnostic the verifier can emit carries a catalogued rule id *)
+  check tbool "catalogue is non-empty" true (List.length Verify.rule_ids >= 13);
+  List.iter
+    (fun (id, _, descr) ->
+      check tbool (id ^ " has a description") true (String.length descr > 0))
+    Verify.rules
+
+(* ---------------- verifier: the benchmark apps stay clean ----------- *)
+
+let all_apps : (string * (unit -> exp)) list =
+  [ ("kmeans", fun () -> Dmll_apps.Kmeans.program ~rows:1000 ~cols:16 ~k:8 ());
+    ("logreg", fun () -> Dmll_apps.Logreg.program ~rows:1000 ~cols:16 ~alpha:0.01 ());
+    ("gda", fun () -> Dmll_apps.Gda.program ~rows:1000 ~cols:8 ());
+    ("tpch_q1", fun () -> Dmll_apps.Tpch_q1.program ());
+    ("gene", fun () -> Dmll_apps.Gene.program ());
+    ("pagerank_pull", fun () -> Dmll_apps.Pagerank.program_pull ~nv:1024 ());
+    ("pagerank_push", fun () -> Dmll_apps.Pagerank.program_push ~nv:1024 ());
+    ("tricount", fun () -> Dmll_apps.Tricount.program ());
+    ("knn", fun () -> Dmll_apps.Knn.program ~train_rows:1000 ~test_rows:100 ~cols:8 ());
+    ("naive_bayes", fun () -> Dmll_apps.Naive_bayes.program ~rows:1000 ~cols:8 ());
+    ("gibbs", fun () -> Dmll_apps.Gibbs.program ~nvars:1000 ~replicas:4 ());
+    ("ridge", fun () -> Dmll_apps.Ridge.program ~rows:1000 ~cols:16 ~alpha:0.001 ~lambda:0.1 ());
+  ]
+
+let test_apps_lint_clean () =
+  List.iter
+    (fun (name, build) ->
+      let c = Dmll.compile (build ()) in
+      let ds = Dmll.lint c in
+      check tbool (name ^ ": no lint errors after full optimization") false
+        (Diag.has_errors ds))
+    all_apps
+
+let test_apps_debug_verified () =
+  (* debug mode re-verifies after every rule application and stage; it must
+     accept the whole pipeline on every app *)
+  List.iter
+    (fun (name, build) ->
+      match Dmll.compile ~debug:true (build ()) with
+      | (_ : Dmll.compiled) -> ()
+      | exception Diag.Failed { stage; diags } ->
+          Alcotest.failf "%s: debug verification failed at %s: %s" name stage
+            (String.concat "; " (List.map Diag.to_string diags)))
+    all_apps;
+  (* and across the GPU lowering too *)
+  match
+    Dmll.compile ~debug:true
+      ~target:(Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true })
+      (Dmll_apps.Kmeans.program ~rows:200 ~cols:8 ~k:4 ())
+  with
+  | (_ : Dmll.compiled) -> ()
+  | exception Diag.Failed { stage; diags } ->
+      Alcotest.failf "kmeans/gpu: debug verification failed at %s: %s" stage
+        (String.concat "; " (List.map Diag.to_string diags))
+
+(* ---------------- partition warnings as diagnostics ----------------- *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_partition_diag_remote () =
+  (* the Figure-3 fallback case: a gather no rewrite can fix *)
+  let perm = Input ("perm", Types.Arr Types.Int, Local) in
+  let r = Partition.analyze (collect ~size:(Len xs) (fun i -> read xs (Read (perm, i)))) in
+  let ds = Partition.diags r in
+  check tbool "P-REMOTE-ACCESS fires" true (has_rule ds "P-REMOTE-ACCESS");
+  check tbool "remote diags are warnings" false (Diag.has_errors ds);
+  check tbool "message text preserved" true
+    (List.exists
+       (fun w -> contains (Partition.warning_to_string w) "runtime data movement")
+       r.Partition.warnings)
+
+let test_partition_diag_sequential () =
+  let r = Partition.analyze ~transforms:[] (Read (xs, int_ 0)) in
+  let ds = Partition.diags r in
+  check tbool "P-SEQ-ON-PARTITIONED fires" true (has_rule ds "P-SEQ-ON-PARTITIONED");
+  check tbool "sequential diags are warnings" false (Diag.has_errors ds);
+  (* the fixed case draws neither rule *)
+  let r2 = Partition.analyze (mini_kmeans ~k:3) in
+  check tbool "conditional-reduce case is clean" true (Partition.diags r2 = [])
+
+(* ---------------- verifier properties over random programs ---------- *)
+
+let clean e =
+  (match Typecheck.check_closed e with Ok _ -> true | Error _ -> false)
+  && not (Diag.has_errors (Verify.run e))
+
+let fixpoint_with rules e =
+  let trace = Dmll_opt.Rewrite.new_trace () in
+  Dmll_opt.Rewrite.fixpoint rules trace e
+
+(* every optimizer pass preserves both well-typedness and a clean verifier
+   report on random well-typed programs *)
+let prop_pass_clean ?(count = 100) (pname, transform) =
+  QCheck.Test.make ~count ~name:(pname ^ " preserves typing + verifier cleanliness")
+    Dmll_testgen.Gen_ir.arbitrary_program (fun e ->
+      clean e && clean (transform e))
+
+let pass_props =
+  List.map (fun p -> prop_pass_clean p)
+    [ ("simplify", fixpoint_with Dmll_opt.Simplify.rules);
+      ("cse", fixpoint_with Dmll_opt.Cse.rules);
+      ("fusion", fixpoint_with Dmll_opt.Fusion.rules);
+      ("motion", fixpoint_with Dmll_opt.Motion.rules);
+      ("soa", fixpoint_with Dmll_opt.Soa.rules);
+      ("pipeline", fun e -> (Dmll_opt.Pipeline.optimize e).Dmll_opt.Pipeline.program);
+    ]
+  @ [ prop_pass_clean ~count:50
+        ("driver (debug mode)", fun e -> (Dmll.compile ~debug:true e).Dmll.final);
+    ]
+
 let () =
   Alcotest.run "analysis"
     [ ("linear", [ Alcotest.test_case "affine forms" `Quick test_linear_forms ]);
@@ -302,4 +601,34 @@ let () =
           Alcotest.test_case "scaling" `Quick test_cost_scaling;
           Alcotest.test_case "size evaluator" `Quick test_size_evaluator;
         ] );
+      ( "verify",
+        [ Alcotest.test_case "clean program" `Quick test_verify_clean_program;
+          Alcotest.test_case "unbound symbol" `Quick test_verify_unbound;
+          Alcotest.test_case "rebound symbol" `Quick test_verify_rebound;
+          Alcotest.test_case "empty loop" `Quick test_verify_empty_loop;
+          Alcotest.test_case "index in size" `Quick test_verify_index_in_size;
+          Alcotest.test_case "shared accumulators" `Quick test_verify_acc_shared;
+          Alcotest.test_case "effectful component" `Quick test_verify_effectful_component;
+          Alcotest.test_case "effectful size" `Quick test_verify_effectful_size;
+          Alcotest.test_case "non-associative reduce" `Quick test_verify_nonassoc_reduce;
+          Alcotest.test_case "reduce uses index" `Quick test_verify_reduce_uses_index;
+          Alcotest.test_case "unknown reduce shape" `Quick test_verify_unknown_reduce;
+          Alcotest.test_case "float + init warnings" `Quick
+            test_verify_float_and_init_warnings;
+          Alcotest.test_case "read/write race" `Quick test_verify_race;
+          Alcotest.test_case "argmin recognized" `Quick test_verify_argmin_recognized;
+          Alcotest.test_case "vectorized reduce recognized" `Quick
+            test_verify_vectorized_reduce_recognized;
+          Alcotest.test_case "rule catalogue" `Quick test_verify_rule_catalogue;
+        ] );
+      ( "verify-apps",
+        [ Alcotest.test_case "lint clean" `Quick test_apps_lint_clean;
+          Alcotest.test_case "debug-mode pipeline verified" `Quick
+            test_apps_debug_verified;
+        ] );
+      ( "partition-diag",
+        [ Alcotest.test_case "remote access" `Quick test_partition_diag_remote;
+          Alcotest.test_case "sequential access" `Quick test_partition_diag_sequential;
+        ] );
+      ("verify-props", List.map (fun p -> QCheck_alcotest.to_alcotest p) pass_props);
     ]
