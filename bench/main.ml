@@ -20,6 +20,8 @@ let experiments : (string * string * (unit -> unit)) list =
       fun () -> ignore (Fig8.run ()));
     ("ablation", "per-optimization-group impact (native backend, real time)",
       fun () -> Ablation.run ());
+    ("fault_sweep", "recovery overhead vs fault rate (cluster model, JSON)",
+      fun () -> Fault_sweep.run ());
   ]
 
 let () =

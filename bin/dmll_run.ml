@@ -78,8 +78,33 @@ let target_arg =
 let scale_arg =
   Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Dataset scale multiplier.")
 
-let main app target scale =
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ]
+        ~env:(Cmd.Env.info "DMLL_FAULTS")
+        ~docv:"SPEC"
+        ~doc:
+          "Inject deterministic faults and recover from them (multicore and \
+           cluster targets).  SPEC is comma-separated key=value pairs, e.g. \
+           $(b,seed=42,crash=0.05,straggler=0.1); keys: seed, crash, \
+           transient, straggler, slow, drop, delay, delay_us, retries, \
+           backoff_us, heartbeat_ms.  An empty value for a key keeps the \
+           default.  Results are identical to the fault-free run.")
+
+let main app target scale faults =
   let { program; inputs } = prepare app ~scale in
+  let injector =
+    match faults with
+    | None -> None
+    | Some s -> (
+        match Dmll_runtime.Fault.parse s with
+        | Ok spec -> Some (Dmll_runtime.Fault.create spec)
+        | Error msg ->
+            Printf.eprintf "bad --faults spec: %s\n" msg;
+            exit 2)
+  in
   let target =
     match target with
     | `Seq -> Dmll.Sequential
@@ -91,12 +116,31 @@ let main app target scale =
             mode = Dmll_runtime.Sim_numa.Numa_aware;
           }
     | `Gpu -> Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true }
-    | `Cluster -> Dmll.Cluster Dmll_runtime.Sim_cluster.default_config
+    | `Cluster ->
+        Dmll.Cluster
+          { Dmll_runtime.Sim_cluster.default_config with faults = injector }
   in
+  (match (injector, target) with
+  | Some _, (Dmll.Sequential | Dmll.Numa _ | Dmll.Gpu _) ->
+      Printf.eprintf
+        "note: --faults only affects the multicore and cluster targets\n%!"
+  | _ -> ());
   let c = Dmll.compile ~target program in
   Printf.printf "optimizations: %s\n%!"
     (String.concat ", " (Dmll.optimizations c));
-  let value, seconds = Dmll.timed_run c ~inputs in
+  let value, seconds =
+    (* the Multicore target takes the injector at run time (real
+       retry/backoff and lineage recovery on OCaml domains) *)
+    match (target, injector) with
+    | Dmll.Multicore domains, Some f ->
+        Dmll_util.Timing.time (fun () ->
+            Dmll_runtime.Exec_domains.run ~domains ~faults:f ~inputs c.Dmll.final)
+    | _ -> Dmll.timed_run c ~inputs
+  in
+  (match injector with
+  | Some f ->
+      Printf.printf "faults: %s\n" (Dmll_runtime.Fault.stats_to_string f)
+  | None -> ());
   let kind =
     match target with
     | Dmll.Sequential | Dmll.Multicore _ -> "wall-clock"
@@ -109,6 +153,7 @@ let main app target scale =
 
 let cmd =
   let doc = "compile and run a DMLL benchmark application" in
-  Cmd.v (Cmd.info "dmll_run" ~doc) Term.(const main $ app_arg $ target_arg $ scale_arg)
+  Cmd.v (Cmd.info "dmll_run" ~doc)
+    Term.(const main $ app_arg $ target_arg $ scale_arg $ faults_arg)
 
 let () = exit (Cmd.eval cmd)

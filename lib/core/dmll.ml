@@ -77,9 +77,22 @@ let with_debug_checks (debug : bool) (f : unit -> 'a) : 'a =
   if not debug then f ()
   else begin
     let saved = !Opt.Pipeline.post_stage_check in
+    let saved_replan = !Runtime.Fault.post_replan_check in
     Opt.Pipeline.post_stage_check := Some verify_stage;
-    Fun.protect ~finally:(fun () -> Opt.Pipeline.post_stage_check := saved) f
+    Runtime.Fault.post_replan_check := Some verify_stage;
+    Fun.protect
+      ~finally:(fun () ->
+        Opt.Pipeline.post_stage_check := saved;
+        Runtime.Fault.post_replan_check := saved_replan)
+      f
   end
+
+(* Replanned chunk programs are built at {e run} time, outside any
+   [with_debug_checks] scope around [compile] — so [DMLL_DEBUG=1] arms the
+   recovery-path verification for the whole process, mirroring how it arms
+   the optimizer-stage checks. *)
+let () =
+  if debug_default then Runtime.Fault.post_replan_check := Some verify_stage
 
 (** Compile a staged program for [target]. *)
 let compile ?(target = Sequential) ?(debug = debug_default) (source : Exp.exp) :

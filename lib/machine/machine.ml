@@ -131,6 +131,53 @@ let ec2_cluster : cluster =
     ser_gbs = 0.8;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Fault model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Failure characteristics of an execution platform (DESIGN.md §9).
+
+    The paper's runtime assumes a healthy cluster; production clusters are
+    not.  A [fault_model] describes a failure regime — crash rates,
+    straggler slowdowns, lossy remote reads — as a handful of numbers, the
+    same way the records above describe bandwidths and latencies.  Every
+    injected schedule is a pure function of [fault_seed] and the fault
+    site's coordinates (see [Dmll_runtime.Fault]), so runs are
+    bit-reproducible regardless of scheduling. *)
+type fault_model = {
+  fault_seed : int;  (** same seed => same injected fault schedule *)
+  crash_prob : float;  (** per-node (or per-chunk), per-multiloop crash probability *)
+  crash_transient_frac : float;
+      (** fraction of crashes that are transient (process restart, socket
+          loss) rather than permanent node loss *)
+  straggler_prob : float;  (** per-node, per-multiloop straggling probability *)
+  straggler_slowdown : float;  (** execution-rate divisor of a straggling node *)
+  read_drop_prob : float;  (** probability a remote read is dropped *)
+  read_delay_prob : float;  (** probability a remote read sees a latency spike *)
+  read_delay_us : float;  (** size of that latency spike *)
+  max_retries : int;  (** bounded retries for transient faults *)
+  backoff_us : float;  (** base of the exponential retry backoff *)
+  heartbeat_ms : float;
+      (** failure-detection heartbeat interval; a node is declared dead
+          after three missed heartbeats *)
+}
+
+(** A mildly unreliable commodity cluster; override fields per experiment
+    (e.g. [{ default_faults with crash_prob = 0.05 }]). *)
+let default_faults : fault_model =
+  { fault_seed = 0x5EED;
+    crash_prob = 0.02;
+    crash_transient_frac = 0.5;
+    straggler_prob = 0.05;
+    straggler_slowdown = 4.0;
+    read_drop_prob = 0.01;
+    read_delay_prob = 0.02;
+    read_delay_us = 500.0;
+    max_retries = 3;
+    backoff_us = 200.0;
+    heartbeat_ms = 100.0;
+  }
+
 (** A single-socket laptop-class reference machine, handy for tests. *)
 let small_smp : numa =
   { sockets = 1;

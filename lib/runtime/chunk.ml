@@ -38,6 +38,22 @@ let split_on_boundaries ~boundaries n =
   in
   if n <= 0 then [] else go 0 bs
 
+(** Coalesce ranges: sort and merge adjacent or overlapping ranges into
+    maximal contiguous runs.  Used by re-planning after a failure, where a
+    dead node's many per-core units become one recovery region. *)
+let coalesce (rs : range list) : range list =
+  let rs = List.filter (fun r -> size r > 0) rs in
+  match List.sort (fun a b -> compare a.lo b.lo) rs with
+  | [] -> []
+  | first :: rest ->
+      let rec go acc cur = function
+        | [] -> List.rev (cur :: acc)
+        | r :: rest ->
+            if r.lo <= cur.hi then go acc { cur with hi = Stdlib.max cur.hi r.hi } rest
+            else go (cur :: acc) r rest
+      in
+      go [] first rest
+
 (** Largest chunk size relative to ideal — the load-imbalance factor used
     by the simulators ([1.0] = perfectly balanced). *)
 let imbalance ~k n =

@@ -8,6 +8,7 @@
     them to the interconnect. *)
 
 module V = Dmll_interp.Value
+module M = Dmll_machine.Machine
 
 type location = { node : int; socket : int }
 
@@ -21,6 +22,11 @@ type t = {
   local_of : int -> V.t;  (** location-id -> that location's chunk *)
   my_location : int;
   remote_reads : int Atomic.t;  (** trapped non-local accesses *)
+  faults : Fault.t option;  (** remote-read fault injection (DESIGN.md §9) *)
+  retried_reads : int Atomic.t;  (** dropped remote reads that were retried *)
+  degraded_reads : int Atomic.t;
+      (** reads that exhausted retries and fell back to a replicated copy *)
+  delay_us : int Atomic.t;  (** accumulated injected latency + backoff, µs *)
 }
 
 let location_count (d : directory) = Array.length d.ranges
@@ -56,8 +62,11 @@ let owner (d : directory) (i : int) : int =
 (** The index range a location holds. *)
 let range_of (d : directory) (loc : int) : Chunk.range = fst d.ranges.(loc)
 
-(** Partition a concrete array value across a directory. *)
-let scatter (dir : directory) (v : V.t) : t =
+(** Partition a concrete array value across a directory.  [?faults] arms
+    deterministic remote-read fault injection: dropped reads retry with
+    exponential backoff and degrade to a replicated read when retries run
+    out (see {!read}). *)
+let scatter ?faults (dir : directory) (v : V.t) : t =
   if V.length v <> dir.total then
     invalid_arg "Dist_array.scatter: directory size mismatch";
   let pieces =
@@ -74,17 +83,66 @@ let scatter (dir : directory) (v : V.t) : t =
     local_of = (fun loc -> pieces.(loc));
     my_location = 0;
     remote_reads = Atomic.make 0;
+    faults;
+    retried_reads = Atomic.make 0;
+    degraded_reads = Atomic.make 0;
+    delay_us = Atomic.make 0;
   }
 
+let add_delay_us (t : t) (us : float) =
+  ignore (Atomic.fetch_and_add t.delay_us (int_of_float (ceil us)))
+
+(* Counted warning: the degradation path must be loud but not flood. *)
+let warn_degraded (t : t) (i : int) =
+  let n = Atomic.get t.degraded_reads in
+  if n = 1 || n mod 1000 = 0 then
+    Logs.warn (fun m ->
+        m "Dist_array: remote read of index %d exhausted retries; served from \
+           replica (%d degraded reads so far)" i n)
+
 (** Read element [i] from the perspective of [from_loc]: local if owned,
-    otherwise a trapped remote fetch (counted). *)
+    otherwise a trapped remote fetch (counted).  Under fault injection a
+    dropped fetch is retried with exponential backoff (accounted, not
+    slept: the charge lands in {!injected_delay_us}); when retries run
+    out, the read gracefully degrades to the master's replicated copy —
+    counted and warned — instead of failing the loop. *)
 let read (t : t) ~(from_loc : int) (i : int) : V.t =
   let loc = owner t.dir i in
   let r = range_of t.dir loc in
-  if loc <> from_loc then Atomic.incr t.remote_reads;
+  if loc <> from_loc then begin
+    Atomic.incr t.remote_reads;
+    match t.faults with
+    | None -> ()
+    | Some f ->
+        let spec = Fault.spec f in
+        let rec fetch attempt =
+          match Fault.read_fate f ~from_loc ~index:i ~attempt with
+          | Fault.Read_ok -> ()
+          | Fault.Read_delay { us } -> add_delay_us t us
+          | Fault.Read_drop ->
+              if attempt < spec.M.max_retries then begin
+                Atomic.incr t.retried_reads;
+                Fault.record_read_retry f;
+                add_delay_us t (Fault.backoff_us spec ~attempt);
+                fetch (attempt + 1)
+              end
+              else begin
+                Atomic.incr t.degraded_reads;
+                Fault.record_degraded f;
+                warn_degraded t i
+              end
+        in
+        fetch 0
+  end;
   V.get (t.local_of loc) (i - r.Chunk.lo)
 
 let remote_read_count (t : t) = Atomic.get t.remote_reads
+let remote_retry_count (t : t) = Atomic.get t.retried_reads
+let degraded_read_count (t : t) = Atomic.get t.degraded_reads
+
+(** Injected remote-read latency plus retry backoff, microseconds — the
+    simulators charge this to the interconnect. *)
+let injected_delay_us (t : t) = float_of_int (Atomic.get t.delay_us)
 
 (** Reassemble the logical array (gather). *)
 let gather (t : t) : V.t =

@@ -6,10 +6,20 @@
     domain compiles its own chunk closure (keeping the backend's generator
     state domain-private) and the partial results are merged with the
     loop's own generators (see {!Merge}).  Tests verify the results equal
-    sequential execution. *)
+    sequential execution.
+
+    With a {!Fault} injector supplied ([?faults]), the executor becomes
+    fault-tolerant for real: a chunk whose domain draws an injected fault
+    is retried with exponential backoff (transient faults), a permanent
+    fault kills its worker domain — shrinking the pool — and the dead
+    worker's chunk is recomputed from lineage by the master after the
+    join.  Because the injected schedule is keyed by (loop, chunk,
+    attempt) and chunk partials merge in index order, results are
+    identical to the fault-free run under every injected schedule. *)
 
 open Dmll_ir
 module V = Dmll_interp.Value
+module M = Dmll_machine.Machine
 
 (* Build the chunk program for [lo, hi): a loop of size hi-lo whose parts
    see the original index as [idx' + lo]. *)
@@ -37,15 +47,43 @@ let chunk_loop (l : Exp.loop) (r : Chunk.range) : Exp.exp =
     much better scaling for irregular applications" (§5). *)
 type schedule = Static | Dynamic
 
-(* Evaluate one loop in parallel across [domains] chunks. *)
+let chunks_of ~(domains : int) ~(schedule : schedule) (n : int) : Chunk.range list =
+  match schedule with
+  | Static -> Chunk.split ~k:domains n
+  | Dynamic -> Chunk.split ~k:(8 * domains) n
+
+(* Merge indexed chunk partials with the loop's generators; single-chunk
+   loops pass the (sole) value through. *)
+let merge_parts ~(env : Evalenv.env) ~(inputs : (string * V.t) list) (l : Exp.loop)
+    ~(nchunks : int) (parts : (int * V.t) list) : V.t =
+  let ordered = Merge.in_chunk_order parts in
+  if nchunks <= 1 then List.hd ordered
+  else
+    match l.Exp.gens with
+    | [ g ] -> Merge.merge_gen ~env ~inputs g ordered
+    | gens ->
+        (* multi-generator loop: merge per generator *)
+        let per_gen =
+          List.mapi
+            (fun k g ->
+              let parts_k =
+                List.map
+                  (fun p ->
+                    match p with
+                    | V.Vtup vs -> vs.(k)
+                    | _ -> invalid_arg "Exec_domains: expected tuple of partials")
+                  ordered
+              in
+              Merge.merge_gen ~env ~inputs g parts_k)
+            gens
+        in
+        V.Vtup (Array.of_list per_gen)
+
+(* Evaluate one loop in parallel across [domains] chunks (healthy path). *)
 let run_loop ~(domains : int) ~(schedule : schedule)
     ~(inputs : (string * V.t) list) (env : Evalenv.env) (l : Exp.loop) : V.t =
   let n = Evalenv.eval_int ~inputs env l.Exp.size in
-  let chunks =
-    match schedule with
-    | Static -> Chunk.split ~k:domains n
-    | Dynamic -> Chunk.split ~k:(8 * domains) n
-  in
+  let chunks = chunks_of ~domains ~schedule n in
   let parts =
     match chunks with
     | [] | [ _ ] ->
@@ -83,32 +121,101 @@ let run_loop ~(domains : int) ~(schedule : schedule)
         List.iter Domain.join spawned;
         Array.to_list results
   in
-  match (l.Exp.gens, chunks) with
-  | _, ([] | [ _ ]) -> List.hd parts
-  | [ g ], _ -> Merge.merge_gen ~env ~inputs g parts
-  | gens, _ ->
-      (* multi-generator loop: merge per generator *)
-      let per_gen =
-        List.mapi
-          (fun k g ->
-            let parts_k =
-              List.map
-                (fun p ->
-                  match p with
-                  | V.Vtup vs -> vs.(k)
-                  | _ -> invalid_arg "Exec_domains: expected tuple of partials")
-                parts
-            in
-            Merge.merge_gen ~env ~inputs g parts_k)
-          gens
+  merge_parts ~env ~inputs l ~nchunks:(List.length chunks)
+    (List.mapi (fun i p -> (i, p)) parts)
+
+(* Backoffs and injected straggler delays are real sleeps, capped so fault
+   tests stay fast. *)
+let capped_sleep s = Unix.sleepf (Float.min 2e-3 s)
+
+(* Evaluate one loop under fault injection.  A shared queue hands chunks
+   to workers regardless of [schedule] (the chunking itself still follows
+   the policy, so partials — and hence merged values — match the healthy
+   run bit for bit).  The calling domain is the master: it drains the
+   queue too, is immune to injection (it models the driver, not an
+   executor), and recomputes any chunk a dead worker left behind. *)
+let run_loop_faulty ~(fault : Fault.t) ~(loop_no : int) ~(domains : int)
+    ~(schedule : schedule) ~(inputs : (string * V.t) list) (env : Evalenv.env)
+    (l : Exp.loop) : V.t =
+  let n = Evalenv.eval_int ~inputs env l.Exp.size in
+  let chunks = chunks_of ~domains ~schedule n in
+  match chunks with
+  | [] | [ _ ] -> Evalenv.eval ~inputs env (Exp.Loop l)
+  | _ ->
+      let spec = Fault.spec fault in
+      let chunk_arr = Array.of_list chunks in
+      let nres = Array.length chunk_arr in
+      let results = Array.make nres V.Vunit in
+      let done_ = Array.init nres (fun _ -> Atomic.make false) in
+      let next = Atomic.make 0 in
+      let eval_chunk i =
+        results.(i) <- Evalenv.eval ~inputs env (chunk_loop l chunk_arr.(i));
+        Atomic.set done_.(i) true
       in
-      V.Vtup (Array.of_list per_gen)
+      let worker ~immune () =
+        let alive = ref true in
+        while !alive do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= nres then alive := false
+          else begin
+            let rec attempt k =
+              match
+                if immune then Fault.Chunk_ok
+                else Fault.chunk_fate fault ~loop:loop_no ~chunk:i ~attempt:k
+              with
+              | Fault.Chunk_ok -> eval_chunk i
+              | Fault.Chunk_slow { slowdown } ->
+                  (* injected straggler: a real (bounded) delay, then the
+                     work — the master's speculative copy is not needed
+                     in-process, the delay just exercises out-of-order
+                     completion *)
+                  capped_sleep (slowdown *. 1e-4);
+                  eval_chunk i
+              | Fault.Chunk_fail { transient }
+                when transient && k < spec.M.max_retries ->
+                  capped_sleep (Fault.backoff_s spec ~attempt:k);
+                  attempt (k + 1)
+              | Fault.Chunk_fail { transient } ->
+                  (* permanent fault (or transient with retries exhausted):
+                     this worker is dead; the chunk stays undone for the
+                     master's lineage recovery after the join *)
+                  raise
+                    (Fault.Injected
+                       { transient; site = Printf.sprintf "chunk %d of loop %d" i loop_no })
+            in
+            try attempt 0 with Fault.Injected _ -> alive := false
+          end
+        done
+      in
+      let spawned = List.init (domains - 1) (fun _ -> Domain.spawn (worker ~immune:false)) in
+      worker ~immune:true ();
+      List.iter Domain.join spawned;
+      (* lineage recovery: any chunk a dead worker claimed but never
+         finished is deterministically recomputed here — same range, same
+         inputs, same value *)
+      Array.iteri
+        (fun i d ->
+          if not (Atomic.get d) then begin
+            Fault.check_replan "domains-recover" (chunk_loop l chunk_arr.(i));
+            Fault.record_recovered fault;
+            eval_chunk i
+          end)
+        done_;
+      merge_parts ~env ~inputs l ~nchunks:nres
+        (Array.to_list (Array.mapi (fun i v -> (i, v)) results))
 
 (** Execute a program with outer multiloops parallelized across [domains]
     OCaml domains (default: the host's recommended domain count, capped at
-    8 for container friendliness). *)
+    8 for container friendliness).  [?faults] arms deterministic fault
+    injection with retry/backoff and lineage recovery (see {!Fault}). *)
 let run ?(domains = Stdlib.min 8 (Domain.recommended_domain_count ()))
-    ?(schedule = Static) ?(inputs = []) (program : Exp.exp) : V.t =
+    ?(schedule = Static) ?faults ?(inputs = []) (program : Exp.exp) : V.t =
+  let loop_no = ref 0 in
   Spine.exec ~inputs
-    ~on_loop:(fun env _ l -> run_loop ~domains ~schedule ~inputs env l)
+    ~on_loop:(fun env _ l ->
+      incr loop_no;
+      match faults with
+      | None -> run_loop ~domains ~schedule ~inputs env l
+      | Some fault ->
+          run_loop_faulty ~fault ~loop_no:!loop_no ~domains ~schedule ~inputs env l)
     program

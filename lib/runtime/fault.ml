@@ -1,0 +1,273 @@
+(** Deterministic fault injection and recovery bookkeeping (DESIGN.md §9).
+
+    The executors assume a healthy machine; this module takes that
+    assumption away on purpose.  A {!Dmll_machine.Machine.fault_model}
+    describes a failure regime (crash rates, straggler slowdowns, lossy
+    remote reads); {!create} turns it into an injector whose every
+    decision is a pure function of the model's seed and the fault site's
+    coordinates (multiloop number, node/chunk id, retry attempt) — never
+    of wall-clock time or scheduling order.  Determinism matters twice
+    over: a faulty run can be replayed exactly, and the domain executor's
+    injected schedule is independent of which domain happens to claim
+    which chunk.
+
+    Recovery everywhere leans on the lineage property of multiloops
+    (paper §5: a multiloop is agnostic to its bounds, so any chunk is
+    recomputable from its range and inputs alone).  The injector only
+    decides {e when} to hurt and counts what happened; the executors
+    recover by deterministic recomputation, which is why injected faults
+    never change computed values. *)
+
+module M = Dmll_machine.Machine
+module Prng = Dmll_util.Prng
+
+type spec = M.fault_model
+
+(** Raised by an executor worker when the injector fails its current
+    chunk: transient faults are retried with exponential backoff, a
+    permanent fault kills the worker and leaves the chunk for lineage
+    recovery. *)
+exception Injected of { transient : bool; site : string }
+
+(* ------------------------------------------------------------------ *)
+(* Injector state: the spec plus domain-safe event counters             *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  crashes : int Atomic.t;  (** injected crash events (nodes or chunks) *)
+  permanent : int Atomic.t;
+  transient : int Atomic.t;
+  stragglers : int Atomic.t;
+  read_drops : int Atomic.t;
+  read_retries : int Atomic.t;
+  degraded_reads : int Atomic.t;  (** remote reads served from a replica *)
+  recovered_chunks : int Atomic.t;  (** chunks recomputed from lineage *)
+  speculative : int Atomic.t;  (** speculative straggler re-executions *)
+  replans : int Atomic.t;
+}
+
+type t = { spec : spec; stats : stats }
+
+let create (spec : spec) : t =
+  { spec;
+    stats =
+      { crashes = Atomic.make 0;
+        permanent = Atomic.make 0;
+        transient = Atomic.make 0;
+        stragglers = Atomic.make 0;
+        read_drops = Atomic.make 0;
+        read_retries = Atomic.make 0;
+        degraded_reads = Atomic.make 0;
+        recovered_chunks = Atomic.make 0;
+        speculative = Atomic.make 0;
+        replans = Atomic.make 0;
+      };
+  }
+
+let spec (t : t) = t.spec
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic draws                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A uniform draw in [0,1) that is a pure function of (seed, site, ids):
+   independent of scheduling order and of every other site.  SplitMix64's
+   output mixing decorrelates the structured seeds. *)
+let draw (t : t) ~(site : string) (ids : int list) : float =
+  let h = List.fold_left (fun acc i -> (acc * 1000003) lxor (i + 0x9E3779B9)) (Hashtbl.hash site) ids in
+  Prng.float (Prng.create (h lxor (t.spec.M.fault_seed * 0x2545F491))) 1.0
+
+(** The fate of a cluster node for one multiloop — drawn fresh per loop,
+    so a transient crash hurts one phase while a permanent one is the
+    caller's to remember (the injector is stateless about topology). *)
+type node_fate =
+  | Healthy
+  | Crashed of { permanent : bool }
+  | Straggling of { slowdown : float }
+
+let node_fate (t : t) ~(loop : int) ~(node : int) : node_fate =
+  let s = t.spec in
+  let u = draw t ~site:"node" [ loop; node ] in
+  if u < s.M.crash_prob then begin
+    Atomic.incr t.stats.crashes;
+    let permanent = draw t ~site:"crash-kind" [ loop; node ] >= s.M.crash_transient_frac in
+    Atomic.incr (if permanent then t.stats.permanent else t.stats.transient);
+    Crashed { permanent }
+  end
+  else if u < s.M.crash_prob +. s.M.straggler_prob then begin
+    Atomic.incr t.stats.stragglers;
+    Straggling { slowdown = Float.max 1.0 s.M.straggler_slowdown }
+  end
+  else Healthy
+
+(** The fate of executing one chunk of one multiloop for the [attempt]-th
+    time.  Keyed by the chunk, not the worker: the injected schedule is
+    identical no matter which domain claims the chunk, and each retry
+    draws afresh (so transient faults clear with retries). *)
+type chunk_fate =
+  | Chunk_ok
+  | Chunk_fail of { transient : bool }
+  | Chunk_slow of { slowdown : float }
+
+let chunk_fate (t : t) ~(loop : int) ~(chunk : int) ~(attempt : int) : chunk_fate =
+  let s = t.spec in
+  let u = draw t ~site:"chunk" [ loop; chunk; attempt ] in
+  if u < s.M.crash_prob then begin
+    Atomic.incr t.stats.crashes;
+    let transient = draw t ~site:"chunk-kind" [ loop; chunk; attempt ] < s.M.crash_transient_frac in
+    Atomic.incr (if transient then t.stats.transient else t.stats.permanent);
+    Chunk_fail { transient }
+  end
+  else if u < s.M.crash_prob +. s.M.straggler_prob then begin
+    Atomic.incr t.stats.stragglers;
+    Chunk_slow { slowdown = Float.max 1.0 s.M.straggler_slowdown }
+  end
+  else Chunk_ok
+
+(** The fate of one remote read, keyed by reader location, index, and
+    attempt. *)
+type read_fate = Read_ok | Read_drop | Read_delay of { us : float }
+
+let read_fate (t : t) ~(from_loc : int) ~(index : int) ~(attempt : int) : read_fate =
+  let s = t.spec in
+  let u = draw t ~site:"read" [ from_loc; index; attempt ] in
+  if u < s.M.read_drop_prob then begin
+    Atomic.incr t.stats.read_drops;
+    Read_drop
+  end
+  else if u < s.M.read_drop_prob +. s.M.read_delay_prob then
+    Read_delay { us = s.M.read_delay_us }
+  else Read_ok
+
+(** Exponential backoff before retry [attempt] (0-based). *)
+let backoff_us (s : spec) ~(attempt : int) : float =
+  s.M.backoff_us *. (2.0 ** float_of_int attempt)
+
+let backoff_s (s : spec) ~(attempt : int) : float = backoff_us s ~attempt *. 1e-6
+
+(* Counters the executors bump as they recover. *)
+let record_read_retry t = Atomic.incr t.stats.read_retries
+let record_degraded t = Atomic.incr t.stats.degraded_reads
+let record_recovered t = Atomic.incr t.stats.recovered_chunks
+let record_speculation t = Atomic.incr t.stats.speculative
+let record_replan t = Atomic.incr t.stats.replans
+
+(** Total injected fault events of any kind. *)
+let total_injected (t : t) : int =
+  Atomic.get t.stats.crashes + Atomic.get t.stats.stragglers
+  + Atomic.get t.stats.read_drops
+
+let stats_to_string (t : t) : string =
+  let g = Atomic.get in
+  let s = t.stats in
+  Printf.sprintf
+    "crashes=%d (permanent=%d, transient=%d) stragglers=%d speculated=%d \
+     replans=%d recovered_chunks=%d read_drops=%d read_retries=%d degraded_reads=%d"
+    (g s.crashes) (g s.permanent) (g s.transient) (g s.stragglers)
+    (g s.speculative) (g s.replans) (g s.recovered_chunks) (g s.read_drops)
+    (g s.read_retries) (g s.degraded_reads)
+
+(* ------------------------------------------------------------------ *)
+(* Spec syntax: the DMLL_FAULTS / --faults grammar                      *)
+(* ------------------------------------------------------------------ *)
+
+let to_string (s : spec) : string =
+  Printf.sprintf
+    "seed=%d,crash=%g,transient=%g,straggler=%g,slow=%g,drop=%g,delay=%g,delay_us=%g,retries=%d,backoff_us=%g,heartbeat_ms=%g"
+    s.M.fault_seed s.M.crash_prob s.M.crash_transient_frac s.M.straggler_prob
+    s.M.straggler_slowdown s.M.read_drop_prob s.M.read_delay_prob
+    s.M.read_delay_us s.M.max_retries s.M.backoff_us s.M.heartbeat_ms
+
+(** Parse a comma-separated [key=value] spec; unset keys keep
+    {!Dmll_machine.Machine.default_faults}.  Keys: [seed], [crash],
+    [transient], [straggler], [slow], [drop], [delay], [delay_us],
+    [retries], [backoff_us], [heartbeat_ms]. *)
+let parse (str : string) : (spec, string) result =
+  let parts =
+    String.split_on_char ',' str |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let ( let* ) = Result.bind in
+  let rec go (spec : spec) = function
+    | [] -> Ok spec
+    | kv :: rest -> (
+        match String.index_opt kv '=' with
+        | None -> Error (Printf.sprintf "expected key=value, got %S" kv)
+        | Some i ->
+            let key = String.sub kv 0 i in
+            let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            let fl () =
+              match float_of_string_opt v with
+              | Some f -> Ok f
+              | None -> Error (Printf.sprintf "bad number %S for key %s" v key)
+            in
+            let it () =
+              match int_of_string_opt v with
+              | Some n -> Ok n
+              | None -> Error (Printf.sprintf "bad integer %S for key %s" v key)
+            in
+            let* spec =
+              match key with
+              | "seed" ->
+                  let* n = it () in
+                  Ok { spec with M.fault_seed = n }
+              | "crash" ->
+                  let* f = fl () in
+                  Ok { spec with M.crash_prob = f }
+              | "transient" ->
+                  let* f = fl () in
+                  Ok { spec with M.crash_transient_frac = f }
+              | "straggler" ->
+                  let* f = fl () in
+                  Ok { spec with M.straggler_prob = f }
+              | "slow" ->
+                  let* f = fl () in
+                  Ok { spec with M.straggler_slowdown = f }
+              | "drop" ->
+                  let* f = fl () in
+                  Ok { spec with M.read_drop_prob = f }
+              | "delay" ->
+                  let* f = fl () in
+                  Ok { spec with M.read_delay_prob = f }
+              | "delay_us" ->
+                  let* f = fl () in
+                  Ok { spec with M.read_delay_us = f }
+              | "retries" ->
+                  let* n = it () in
+                  Ok { spec with M.max_retries = n }
+              | "backoff_us" ->
+                  let* f = fl () in
+                  Ok { spec with M.backoff_us = f }
+              | "heartbeat_ms" ->
+                  let* f = fl () in
+                  Ok { spec with M.heartbeat_ms = f }
+              | other -> Error (Printf.sprintf "unknown fault key %S" other)
+            in
+            go spec rest)
+  in
+  go M.default_faults parts
+
+(** The [DMLL_FAULTS] environment spec as an injector, if set.  Malformed
+    specs raise [Invalid_argument] loudly rather than silently running
+    healthy. *)
+let from_env () : t option =
+  match Sys.getenv_opt "DMLL_FAULTS" with
+  | None | Some "" -> None
+  | Some s -> (
+      match parse s with
+      | Ok spec -> Some (create spec)
+      | Error msg -> invalid_arg (Printf.sprintf "DMLL_FAULTS: %s" msg))
+
+(* ------------------------------------------------------------------ *)
+(* Debug re-verification                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Debug hook mirroring [Dmll_opt.Pipeline.post_stage_check]: when armed
+    (DMLL_DEBUG=1 arms it with [Dmll.verify_stage]), the executors
+    re-typecheck and re-verify the chunk program induced by every replan
+    and lineage recovery before running it — the same proof obligation
+    PR 1 places behind every optimizer stage. *)
+let post_replan_check : (string -> Dmll_ir.Exp.exp -> unit) option ref = ref None
+
+let check_replan (site : string) (e : Dmll_ir.Exp.exp) : unit =
+  match !post_replan_check with None -> () | Some f -> f site e

@@ -84,6 +84,14 @@ let merge_bucket_collects (parts : V.t list) : V.t =
   (* first pass as reduce with array concatenation *)
   merge_bucket_maps ~combine:(fun a b -> concat_arrays [ a; b ]) parts
 
+(** Restore chunk order for partials that completed out of order.  The
+    retry and speculative re-execution paths finish chunks in whatever
+    order recovery allows; tagging each partial with its chunk index and
+    sorting here restores the sequential merge order that collects and
+    first-seen bucket merging depend on. *)
+let in_chunk_order (parts : (int * V.t) list) : V.t list =
+  List.map snd (List.sort (fun (i, _) (j, _) -> Stdlib.compare i j) parts)
+
 (** Merge one generator's partial results. *)
 let merge_gen ~(env : Evalenv.env) ~(inputs : (string * V.t) list) (g : Exp.gen)
     (parts : V.t list) : V.t =

@@ -82,6 +82,60 @@ let plan_cluster ?(boundaries = []) (c : M.cluster) (n : int) : unit_of_work lis
   plan ~boundaries ~nodes:c.M.nodes ~sockets:c.M.node.M.numa.M.sockets
     ~cores:c.M.node.M.numa.M.socket.M.cores n
 
+(** Re-plan after node failures (paper §5's lineage property: a multiloop
+    chunk is recomputable from its range and inputs alone).  Work units
+    owned by nodes in [dead] are coalesced into recovery regions and
+    re-split across the surviving nodes — cutting at [boundaries] where
+    the directory subdivides a region finely enough, exactly like the
+    original {!plan} — while survivors keep their own units untouched.
+    Replacement units are issued at node granularity (socket/core 0): the
+    receiving machine re-partitions its extra chunk locally, as §5's
+    hierarchical scheduling always does.  Raises [Invalid_argument] when
+    every node owning work is dead (nothing can recover the lost ranges). *)
+let replan ?(boundaries = []) ~(dead : int list) (units : unit_of_work list) :
+    unit_of_work list =
+  let is_dead u = List.mem u.node dead in
+  let kept, lost = List.partition (fun u -> not (is_dead u)) units in
+  if lost = [] then units
+  else begin
+    let survivors =
+      List.sort_uniq compare (List.map (fun (u : unit_of_work) -> u.node) kept)
+    in
+    if survivors = [] then invalid_arg "Schedule.replan: no surviving nodes";
+    let ns = List.length survivors in
+    let regions = Chunk.coalesce (List.map (fun u -> u.range) lost) in
+    (* with a directory, re-split only at its boundaries — a region that
+       no boundary subdivides moves whole to one survivor, keeping every
+       replacement chunk directory-aligned; without one, balance evenly *)
+    let pieces_of region =
+      match boundaries with
+      | [] -> split_range ~k:ns ~boundaries:[] region
+      | _ ->
+          let inner =
+            List.filter
+              (fun b -> b > region.Chunk.lo && b < region.Chunk.hi)
+              boundaries
+          in
+          List.map
+            (fun p ->
+              { Chunk.lo = p.Chunk.lo + region.Chunk.lo;
+                hi = p.Chunk.hi + region.Chunk.lo })
+            (Chunk.split_on_boundaries
+               ~boundaries:(List.map (fun b -> b - region.Chunk.lo) inner)
+               (Chunk.size region))
+    in
+    let replacement =
+      List.concat_map
+        (fun region ->
+          List.mapi
+            (fun j r ->
+              { node = List.nth survivors (j mod ns); socket = 0; core = 0; range = r })
+            (pieces_of region))
+        regions
+    in
+    kept @ replacement
+  end
+
 (** Does the plan cover [0, n) exactly, in order, without overlap? *)
 let covers (units : unit_of_work list) (n : int) : bool =
   let ranges = List.map (fun u -> u.range) units in

@@ -15,7 +15,28 @@
       dataset crosses the network — the §4.2 fallback, and the reason the
       Figure-3 rewrites are "not simply performance optimizations";
     - {e gather}: [Local]-result generators (reduce, buckets) return each
-      node's partial to the master, which merges them. *)
+      node's partial to the master, which merges them.
+
+    With a {!Fault} injector in the config, execution becomes
+    failure-aware (DESIGN.md §9).  Each multiloop additionally draws a
+    fate per live node; crashes and stragglers charge three new phases:
+
+    - {e detect}: heartbeat-based failure detection (a node is declared
+      dead after three missed heartbeats);
+    - {e recompute}: dead nodes' chunks are re-planned onto the survivors
+      along directory boundaries ({!Schedule.replan}) and recomputed from
+      lineage — the phase is bounded by the survivor that received the
+      most re-planned work.  Stragglers are speculatively re-executed, so
+      a slowed node bounds the compute phase by at most the speculative
+      copy's completion, not its full slowdown;
+    - {e rebalance}: the dead nodes' partitions are re-materialized on the
+      survivors, and restarted (transient) nodes re-receive the loop's
+      broadcast data.
+
+    Permanent crashes shrink the live-node set for the rest of the run;
+    transient ones hurt a single loop.  Values are exact in every case:
+    the program is still executed by the closure backend, faults only
+    shape the charged time. *)
 
 open Dmll_ir
 module V = Dmll_interp.Value
@@ -29,10 +50,17 @@ type config = {
   cluster : M.cluster;
   device : device;  (** run node chunks on cores or on the node's GPU *)
   gpu_options : Sim_gpu.options;
+  faults : Fault.t option;
+      (** fault injection + recovery accounting; [None] is the exact
+          healthy model of the paper *)
 }
 
 let default_config =
-  { cluster = M.ec2_cluster; device = Cpu; gpu_options = Sim_gpu.default_options }
+  { cluster = M.ec2_cluster;
+    device = Cpu;
+    gpu_options = Sim_gpu.default_options;
+    faults = None;
+  }
 
 let net_seconds (c : M.cluster) ~bytes ~messages =
   (bytes /. (c.M.net_bw_gbs *. 1e9))
@@ -42,16 +70,23 @@ let ser_seconds (c : M.cluster) ~bytes = bytes /. (c.M.ser_gbs *. 1e9)
 
 (* Collective phases (broadcast / gather) run as pipelined trees: latency
    scales with log2(nodes), and the wire carries ~2x the payload end to
-   end rather than one copy per receiver. *)
-let tree_depth nodes = Stdlib.max 1 (int_of_float (ceil (log (float_of_int (Stdlib.max 2 nodes)) /. log 2.0)))
+   end rather than one copy per receiver.  A 1-node cluster has no tree —
+   and no collective — at all. *)
+let tree_depth nodes =
+  if nodes <= 1 then 0
+  else Stdlib.max 1 (int_of_float (ceil (log (float_of_int nodes) /. log 2.0)))
 
-(* Simulated time of one outer loop on the cluster. *)
+(* Simulated time of one outer loop on the cluster.  [alive] holds the
+   ids of the currently live nodes; with faults enabled this loop's
+   events may remove permanently crashed nodes from it. *)
 let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
     ~(inputs_ty : (string * Types.ty) list) ~(eval_size : Exp.exp -> int option)
-    ~(env : Evalenv.env) ~(inputs : (string * V.t) list) (l : Exp.loop) ~(n : int) :
-    float * (string * float) list =
+    ~(env : Evalenv.env) ~(inputs : (string * V.t) list)
+    ?(fault : (Fault.t * int) option) ~(alive : int list ref) (l : Exp.loop)
+    ~(n : int) : float * (string * float) list =
   let c = config.cluster in
-  let nodes = c.M.nodes in
+  let nodes_alive = !alive in
+  let na = List.length nodes_alive in
   let stencils = Stencil.of_loop l in
   let partitioned =
     List.filter (fun (t, _) -> layout_of t = Exp.Partitioned) stencils
@@ -62,7 +97,8 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
     | Stencil.Tsym s -> Sym.Map.find_opt s env
   in
   if partitioned = [] then begin
-    (* no distributed data: the loop runs on the master node alone *)
+    (* no distributed data: the loop runs on the master node alone, which
+       is immune to injected faults (it models the driver) *)
     let numa_cfg =
       { Sim_numa.machine = config.cluster.M.node.M.numa;
         threads = M.total_cores config.cluster.M.node.M.numa;
@@ -78,8 +114,7 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
   end
   else begin
     (* per-node compute on a 1/nodes chunk *)
-    let chunk_n = (n + nodes - 1) / nodes in
-    let compute_s =
+    let compute_for chunk_n =
       match config.device with
       | Cpu ->
           Sim_numa.loop_time ~machine:c.M.node.M.numa
@@ -100,6 +135,8 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
                     ~n:chunk_n k
               | [] -> 0.0))
     in
+    let chunk_n = (n + na - 1) / na in
+    let compute_s = compute_for chunk_n in
     (* broadcast every Local collection the loop consumes *)
     let broadcast_bytes =
       List.fold_left
@@ -111,10 +148,17 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
           else acc)
         0.0 stencils
     in
-    let broadcast_s =
-      ser_seconds c ~bytes:broadcast_bytes
-      +. net_seconds c ~bytes:(broadcast_bytes *. 2.0) ~messages:(tree_depth nodes)
+    (* a collective over the live nodes; free on a 1-node "cluster".  The
+       broadcast keeps its tree-latency floor even for empty payloads (the
+       control round-trip that launches the loop); replication is skipped
+       entirely when nothing needs replicating. *)
+    let collective ?(skip_empty = false) bytes =
+      if na <= 1 || (skip_empty && bytes = 0.0) then 0.0
+      else
+        ser_seconds c ~bytes
+        +. net_seconds c ~bytes:(bytes *. 2.0) ~messages:(tree_depth na)
     in
+    let broadcast_s = collective broadcast_bytes in
     (* replication fallback for non-local-friendly partitioned stencils *)
     let replicate_bytes =
       List.fold_left
@@ -126,12 +170,7 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
             | None -> acc)
         0.0 partitioned
     in
-    let replicate_s =
-      if replicate_bytes = 0.0 then 0.0
-      else
-        ser_seconds c ~bytes:replicate_bytes
-        +. net_seconds c ~bytes:(replicate_bytes *. 2.0) ~messages:(tree_depth nodes)
-    in
+    let replicate_s = collective ~skip_empty:true replicate_bytes in
     (* gather Local results (reduce / bucket partials) from every node *)
     let gather_bytes =
       List.fold_left
@@ -147,15 +186,137 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
         0.0 l.Exp.gens
     in
     let gather_s =
-      ser_seconds c ~bytes:(gather_bytes *. float_of_int nodes)
-      +. net_seconds c
-           ~bytes:(gather_bytes *. float_of_int (nodes - 1))
-           ~messages:(tree_depth nodes)
+      if na <= 1 then 0.0
+      else
+        ser_seconds c ~bytes:(gather_bytes *. float_of_int na)
+        +. net_seconds c
+             ~bytes:(gather_bytes *. float_of_int (na - 1))
+             ~messages:(tree_depth na)
     in
-    let total = compute_s +. broadcast_s +. replicate_s +. gather_s in
-    ( total,
-      [ ("compute", compute_s); ("broadcast", broadcast_s);
-        ("replicate", replicate_s); ("gather", gather_s) ] )
+    match fault with
+    | None ->
+        let total = compute_s +. broadcast_s +. replicate_s +. gather_s in
+        ( total,
+          [ ("compute", compute_s); ("broadcast", broadcast_s);
+            ("replicate", replicate_s); ("gather", gather_s) ] )
+    | Some (inj, loop_no) ->
+        let spec = Fault.spec inj in
+        let fates =
+          List.map (fun node -> (node, Fault.node_fate inj ~loop:loop_no ~node)) nodes_alive
+        in
+        let crashed =
+          List.filter_map
+            (function nd, Fault.Crashed { permanent } -> Some (nd, permanent) | _ -> None)
+            fates
+        in
+        (* never let the whole cluster die: if every live node crashed,
+           the master restarts the first in place *)
+        let crashed = if List.length crashed = na then List.tl crashed else crashed in
+        let stragglers =
+          List.filter_map
+            (function nd, Fault.Straggling { slowdown } -> Some (nd, slowdown) | _ -> None)
+            fates
+        in
+        let stragglers =
+          List.filter (fun (nd, _) -> not (List.mem_assoc nd crashed)) stragglers
+        in
+        let nc = List.length crashed in
+        (* detection: three missed heartbeats declare a node dead; slow
+           tasks are spotted by progress comparison at the same cadence *)
+        let detect_s =
+          if nc > 0 || stragglers <> [] then 3.0 *. spec.M.heartbeat_ms *. 1e-3
+          else 0.0
+        in
+        (* stragglers: the phase is bounded by the speculative copy, which
+           starts when the healthy nodes finish — never worse than 2x the
+           healthy chunk time, however slow the straggler *)
+        let compute_s =
+          match stragglers with
+          | [] -> compute_s
+          | ss ->
+              List.iter (fun _ -> Fault.record_speculation inj) ss;
+              let worst = List.fold_left (fun m (_, s) -> Float.max m s) 1.0 ss in
+              compute_s *. Float.min worst 2.0
+        in
+        (* crashes: re-plan the dead nodes' chunks onto the survivors and
+           recompute them from lineage; the phase is bounded by the
+           survivor that received the most re-planned work *)
+        let recompute_s =
+          if nc = 0 then 0.0
+          else begin
+            Fault.record_replan inj;
+            let units = Schedule.plan ~nodes:na ~sockets:1 ~cores:1 n in
+            let dead_idx =
+              List.filteri (fun i _ -> List.mem_assoc (List.nth nodes_alive i) crashed)
+                (List.init na (fun i -> i))
+            in
+            let replanned = Schedule.replan ~dead:dead_idx units in
+            let extra =
+              List.filter (fun u -> not (List.memq u units)) replanned
+            in
+            if !Fault.post_replan_check <> None then
+              List.iter
+                (fun (u : Schedule.unit_of_work) ->
+                  Fault.check_replan "cluster-replan"
+                    (Exec_domains.chunk_loop l u.Schedule.range))
+                extra;
+            let max_extra =
+              List.fold_left
+                (fun acc (survivor : int) ->
+                  let mine =
+                    List.fold_left
+                      (fun a (u : Schedule.unit_of_work) ->
+                        if u.Schedule.node = survivor then a + Chunk.size u.Schedule.range
+                        else a)
+                      0 extra
+                  in
+                  Stdlib.max acc mine)
+                0
+                (List.sort_uniq compare
+                   (List.map (fun (u : Schedule.unit_of_work) -> u.Schedule.node) extra))
+            in
+            if max_extra = 0 then 0.0 else compute_for max_extra
+          end
+        in
+        (* rebalance: re-materialize the lost partitions on the survivors,
+           and re-send the loop's broadcast data to restarted nodes *)
+        let rebalance_s =
+          if nc = 0 then 0.0
+          else begin
+            let part_bytes =
+              List.fold_left
+                (fun acc (t, _) ->
+                  match value_of_target t with
+                  | Some v -> acc +. Sim_common.value_bytes v
+                  | None -> acc)
+                0.0 partitioned
+            in
+            let lost_bytes = part_bytes *. float_of_int nc /. float_of_int na in
+            let survivors = Stdlib.max 1 (na - nc) in
+            let restarts =
+              List.length (List.filter (fun (_, permanent) -> not permanent) crashed)
+            in
+            ser_seconds c ~bytes:lost_bytes
+            +. net_seconds c ~bytes:(lost_bytes *. 2.0)
+                 ~messages:(Stdlib.max 1 (tree_depth survivors))
+            +. float_of_int restarts
+               *. (ser_seconds c ~bytes:broadcast_bytes
+                  +. net_seconds c ~bytes:broadcast_bytes ~messages:1)
+          end
+        in
+        (* permanent crashes leave the cluster for good *)
+        let perms = List.filter_map (fun (nd, p) -> if p then Some nd else None) crashed in
+        if perms <> [] then
+          alive := List.filter (fun nd -> not (List.mem nd perms)) nodes_alive;
+        let total =
+          compute_s +. broadcast_s +. replicate_s +. gather_s +. detect_s
+          +. recompute_s +. rebalance_s
+        in
+        ( total,
+          [ ("compute", compute_s); ("broadcast", broadcast_s);
+            ("replicate", replicate_s); ("gather", gather_s);
+            ("detect", detect_s); ("recompute", recompute_s);
+            ("rebalance", rebalance_s) ] )
   end
 
 (** Execute [program] exactly; charge simulated time on the cluster. *)
@@ -172,13 +333,18 @@ let run ?(config = default_config) ?layouts ~(inputs : (string * V.t) list)
   let inputs_ty = Sim_common.program_input_tys program in
   let time = ref 0.0 in
   let breakdown = ref [] in
+  let alive = ref (List.init config.cluster.M.nodes (fun i -> i)) in
+  let loop_no = ref 0 in
   let value =
     Spine.exec ~inputs
       ~on_loop:(fun env sym l ->
+        incr loop_no;
         let eval_size = Sim_common.live_size_evaluator ~inputs env in
         let n = match eval_size l.Exp.size with Some n -> n | None -> 0 in
+        let fault = Option.map (fun f -> (f, !loop_no)) config.faults in
         let dt, parts =
-          loop_time ~config ~layout_of ~inputs_ty ~eval_size ~env ~inputs l ~n
+          loop_time ~config ~layout_of ~inputs_ty ~eval_size ~env ~inputs ?fault
+            ~alive l ~n
         in
         time := !time +. dt;
         let name = match sym with Some s -> Sym.to_string s | None -> "result" in
@@ -187,6 +353,10 @@ let run ?(config = default_config) ?layouts ~(inputs : (string * V.t) list)
       program
   in
   { Sim_common.value; seconds = !time; breakdown = List.rev !breakdown }
+
+(** The live nodes remaining after a faulty [run] are not reported here —
+    the injector's {!Fault.stats_to_string} carries the event counts; a
+    fresh [run] always starts from the full cluster. *)
 
 (** Simulated seconds to load/scatter the partitioned dataset initially
     (reported separately, as the paper separates load from compute). *)

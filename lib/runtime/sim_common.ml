@@ -18,6 +18,23 @@ type result = {
   breakdown : (string * float) list;  (** per-phase simulated seconds *)
 }
 
+(** The per-loop phases the fault-aware cluster executor appends to the
+    breakdown: failure detection, lineage recomputation of lost chunks,
+    and data re-distribution to the replanned topology. *)
+let recovery_phases = [ "detect"; "recompute"; "rebalance" ]
+
+(** Sum of breakdown entries for one phase name (per-loop entries are
+    recorded as ["<loop>/<phase>"]). *)
+let phase_total (r : result) (phase : string) : float =
+  let suffix = "/" ^ phase in
+  let slen = String.length suffix in
+  List.fold_left
+    (fun acc (nm, s) ->
+      let nlen = String.length nm in
+      if nlen >= slen && String.sub nm (nlen - slen) slen = suffix then acc +. s
+      else acc)
+    0.0 r.breakdown
+
 (** Approximate in-memory size of a value, for communication costs. *)
 let rec value_bytes (v : V.t) : float =
   match v with

@@ -1,0 +1,345 @@
+(* Fault-tolerance tests (DESIGN.md §9).
+
+   The contract under test everywhere: injected faults — crashes,
+   stragglers, dropped remote reads, up to half the cluster failing
+   permanently — change the clock and the event counters but NEVER the
+   computed values.  Recovery is deterministic lineage recomputation, so
+   every faulty run is checked bit-identical (or float-merge-identical)
+   to fault-free sequential execution, and the simulated breakdown must
+   show the recovery being paid for. *)
+
+open Dmll_ir
+open Dmll_interp
+open Dmll_runtime
+open Exp
+open Builder
+module M = Dmll_machine.Machine
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable (fun fmt v -> Fmt.string fmt (Value.to_string v)) Value.equal
+
+let xs_input = Exp.Input ("xs", Types.Arr Types.Float, Exp.Partitioned)
+let xs_val n = Value.of_float_array (Array.init n (fun i -> float_of_int (i mod 17)))
+
+(* An aggressive but transient-heavy regime: lots of injected events, all
+   recoverable within the retry budget or by lineage recomputation. *)
+let stress_spec =
+  { M.default_faults with
+    M.fault_seed = 42;
+    crash_prob = 0.25;
+    crash_transient_frac = 0.5;
+    straggler_prob = 0.1;
+    max_retries = 2;
+    backoff_us = 1.0;
+  }
+
+(* ---------------- spec syntax ---------------- *)
+
+let test_spec_parse () =
+  (match Fault.parse "seed=7,crash=0.25,straggler=0.1,retries=5" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok s ->
+      check tint "seed" 7 s.M.fault_seed;
+      check (Alcotest.float 0.0) "crash" 0.25 s.M.crash_prob;
+      check (Alcotest.float 0.0) "straggler" 0.1 s.M.straggler_prob;
+      check tint "retries" 5 s.M.max_retries;
+      (* unset keys keep the defaults *)
+      check (Alcotest.float 0.0) "default backoff" M.default_faults.M.backoff_us
+        s.M.backoff_us);
+  (* print/parse round-trip *)
+  (match Fault.parse (Fault.to_string stress_spec) with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok s -> check tbool "round-trip" true (s = stress_spec));
+  let bad s = match Fault.parse s with Error _ -> true | Ok _ -> false in
+  check tbool "garbage rejected" true (bad "bogus");
+  check tbool "unknown key rejected" true (bad "crashes=0.5");
+  check tbool "bad number rejected" true (bad "crash=often")
+
+(* ---------------- deterministic draws ---------------- *)
+
+let test_draw_determinism () =
+  let f1 = Fault.create stress_spec in
+  let f2 = Fault.create stress_spec in
+  for loop = 1 to 5 do
+    for node = 0 to 19 do
+      if Fault.node_fate f1 ~loop ~node <> Fault.node_fate f2 ~loop ~node then
+        Alcotest.failf "node fate diverged at loop %d node %d" loop node
+    done
+  done;
+  (* a different seed gives a different schedule *)
+  let f3 = Fault.create { stress_spec with M.fault_seed = 43 } in
+  let differs = ref false in
+  for loop = 1 to 5 do
+    for node = 0 to 19 do
+      if Fault.node_fate f1 ~loop ~node <> Fault.node_fate f3 ~loop ~node then
+        differs := true
+    done
+  done;
+  check tbool "seed changes the schedule" true !differs
+
+(* ---------------- coalesce + replan ---------------- *)
+
+let test_coalesce () =
+  let r lo hi = { Chunk.lo; hi } in
+  check tbool "merges adjacent" true
+    (Chunk.coalesce [ r 5 10; r 0 5 ] = [ r 0 10 ]);
+  check tbool "keeps gaps" true
+    (Chunk.coalesce [ r 7 9; r 0 3 ] = [ r 0 3; r 7 9 ]);
+  check tbool "absorbs overlap" true (Chunk.coalesce [ r 0 8; r 4 6 ] = [ r 0 8 ]);
+  check tbool "drops empties" true (Chunk.coalesce [ r 3 3 ] = [])
+
+let prop_replan_covers =
+  (* removing ANY strict subset of nodes leaves a plan that still covers
+     [0,n) exactly *)
+  QCheck.Test.make ~count:200 ~name:"replanned schedule still covers"
+    QCheck.(
+      quad (int_range 2 8) (int_range 1 4) (int_range 1 8) (int_range 0 5000))
+    (fun (nodes, sockets, cores, n) ->
+      let units = Schedule.plan ~nodes ~sockets ~cores n in
+      let dead = List.init (nodes - 1) (fun i -> i * 2 mod nodes) in
+      let dead = List.sort_uniq compare dead in
+      let replanned = Schedule.replan ~dead units in
+      Schedule.covers replanned n
+      && List.for_all
+           (fun (u : Schedule.unit_of_work) ->
+             Chunk.size u.Schedule.range = 0 || not (List.mem u.Schedule.node dead))
+           replanned)
+
+let test_replan_boundaries () =
+  let boundaries = [ 250; 500; 750 ] in
+  let units = Schedule.plan ~boundaries ~nodes:4 ~sockets:1 ~cores:1 1000 in
+  let replanned = Schedule.replan ~boundaries ~dead:[ 1 ] units in
+  check tbool "covers after replan" true (Schedule.covers replanned 1000);
+  (* re-split work still cuts on directory boundaries *)
+  List.iter
+    (fun (u : Schedule.unit_of_work) ->
+      check tbool "cut on a boundary" true
+        (List.mem u.Schedule.range.Chunk.lo (0 :: boundaries)))
+    replanned;
+  (* no-op cases *)
+  check tbool "no dead nodes" true (Schedule.replan ~dead:[] units == units);
+  check tbool "all dead rejected" true
+    (match Schedule.replan ~dead:[ 0; 1; 2; 3 ] units with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------------- domain executor under injection ---------------- *)
+
+let test_domains_bit_identical () =
+  (* integer reduction: merge order cannot hide behind float rounding, so
+     the faulty runs must match bit for bit under both schedules — for
+     every seed, including ones whose schedule injects nothing *)
+  let e =
+    isum ~size:(Exp.Len xs_input) (fun i -> f2i (Exp.Read (xs_input, i)) *! int_ 3)
+  in
+  let inputs = [ ("xs", xs_val 1009) ] in
+  let expected = Interp.run ~inputs e in
+  let injected = ref 0 in
+  for seed = 0 to 9 do
+    List.iter
+      (fun schedule ->
+        let fault = Fault.create { stress_spec with M.fault_seed = seed } in
+        let got = Exec_domains.run ~domains:3 ~schedule ~faults:fault ~inputs e in
+        check value "faulty = sequential" expected got;
+        injected := !injected + Fault.total_injected fault)
+      [ Exec_domains.Static; Exec_domains.Dynamic ]
+  done;
+  check tbool "faults actually injected" true (!injected > 0)
+
+let prop_domains_faulty_random =
+  QCheck.Test.make ~count:100 ~name:"faulty domain executor = interpreter"
+    Dmll_testgen.Gen_ir.arbitrary_program (fun e ->
+      match Interp.run e with
+      | exception Interp.Runtime_error _ -> QCheck.assume_fail ()
+      | expected ->
+          let fault = Fault.create stress_spec in
+          Value.approx_equal ~eps:1e-6 expected
+            (Exec_domains.run ~domains:3 ~faults:fault e))
+
+(* ---------------- remote-read retry and degradation ---------------- *)
+
+let test_read_retry_and_degradation () =
+  let v = Value.of_float_array (Array.init 40 float_of_int) in
+  let d = Dist_array.make_directory ~n:40 ~nodes:4 ~sockets_per_node:1 in
+  (* every remote read drops, retries exhaust, degraded replica serves *)
+  let always_drop =
+    Fault.create
+      { stress_spec with M.read_drop_prob = 1.0; read_delay_prob = 0.0; max_retries = 2 }
+  in
+  let t = Dist_array.scatter ~faults:always_drop d v in
+  check value "degraded read still correct" (Value.Vfloat 39.0)
+    (Dist_array.read t ~from_loc:0 39);
+  check tint "retried to the cap" 2 (Dist_array.remote_retry_count t);
+  check tint "then degraded" 1 (Dist_array.degraded_read_count t);
+  check tbool "backoff charged" true (Dist_array.injected_delay_us t > 0.0);
+  (* local reads never touch the fault machinery *)
+  ignore (Dist_array.read t ~from_loc:0 0);
+  check tint "local read unaffected" 1 (Dist_array.degraded_read_count t);
+  (* latency spikes delay but neither retry nor degrade *)
+  let always_slow =
+    Fault.create { stress_spec with M.read_drop_prob = 0.0; read_delay_prob = 1.0 }
+  in
+  let t2 = Dist_array.scatter ~faults:always_slow d v in
+  check value "delayed read correct" (Value.Vfloat 25.0)
+    (Dist_array.read t2 ~from_loc:0 25);
+  check tint "no retries" 0 (Dist_array.remote_retry_count t2);
+  check tint "no degradation" 0 (Dist_array.degraded_read_count t2);
+  check tbool "latency charged" true (Dist_array.injected_delay_us t2 > 0.0)
+
+(* ---------------- cluster simulator under injection ---------------- *)
+
+let multiloop_program =
+  (* two partitioned multiloops, so permanent failures in the first shape
+     the second's planning *)
+  bind ~ty:(Types.Arr Types.Float)
+    (collect ~size:(Exp.Len xs_input) (fun i ->
+         Exp.Read (xs_input, i) *. float_ 2.0))
+    (fun m -> fsum ~size:(len m) (fun i -> read m i))
+
+let cluster_run ?faults inputs =
+  let config =
+    { Sim_cluster.default_config with
+      cluster = M.ec2_cluster;
+      faults = Option.map Fault.create faults;
+    }
+  in
+  (config, Sim_cluster.run ~config ~inputs multiloop_program)
+
+let test_cluster_recovery_phases () =
+  let inputs = [ ("xs", xs_val 200_000) ] in
+  let expected = Interp.run ~inputs multiloop_program in
+  let _, healthy = cluster_run inputs in
+  check value "healthy value exact" expected healthy.Sim_common.value;
+  (* a harsh regime: with 20 nodes and crash=0.5, ~half the cluster dies
+     on the first loop (the spec's transient fraction keeps some back) *)
+  let harsh =
+    { stress_spec with M.crash_prob = 0.5; crash_transient_frac = 0.3 }
+  in
+  let config, faulty = cluster_run ~faults:harsh inputs in
+  check value "faulty value bit-identical" expected faulty.Sim_common.value;
+  let phase = Sim_common.phase_total faulty in
+  List.iter
+    (fun p -> check tbool (p ^ " phase charged") true (phase p > 0.0))
+    Sim_common.recovery_phases;
+  check tbool "recovery costs simulated time" true
+    (faulty.Sim_common.seconds > healthy.Sim_common.seconds);
+  (match config.Sim_cluster.faults with
+  | None -> assert false
+  | Some f ->
+      check tbool "events recorded" true (Fault.total_injected f > 0);
+      check tbool "replans recorded" true
+        (String.length (Fault.stats_to_string f) > 0));
+  (* healthy breakdown carries no recovery phases at all *)
+  List.iter
+    (fun p -> check (Alcotest.float 0.0) (p ^ " absent when healthy") 0.0
+        (Sim_common.phase_total healthy p))
+    Sim_common.recovery_phases
+
+let test_cluster_fault_determinism () =
+  let inputs = [ ("xs", xs_val 100_000) ] in
+  let _, r1 = cluster_run ~faults:stress_spec inputs in
+  let _, r2 = cluster_run ~faults:stress_spec inputs in
+  check (Alcotest.float 0.0) "same seed, same clock" r1.Sim_common.seconds
+    r2.Sim_common.seconds;
+  check value "same seed, same value" r1.Sim_common.value r2.Sim_common.value;
+  let _, r3 =
+    cluster_run ~faults:{ stress_spec with M.fault_seed = 99 } inputs
+  in
+  check value "different seed, same value" r1.Sim_common.value r3.Sim_common.value
+
+(* ---------------- degenerate 1-node cluster ---------------- *)
+
+let test_single_node_no_collectives () =
+  check tint "no tree on 1 node" 0 (Sim_cluster.tree_depth 1);
+  check tint "no tree on 0 nodes" 0 (Sim_cluster.tree_depth 0);
+  check tint "2 nodes, depth 1" 1 (Sim_cluster.tree_depth 2);
+  check tint "20 nodes, depth 5" 5 (Sim_cluster.tree_depth 20);
+  let inputs = [ ("xs", xs_val 50_000) ] in
+  let config =
+    { Sim_cluster.default_config with cluster = M.with_nodes 1 M.ec2_cluster }
+  in
+  let r = Sim_cluster.run ~config ~inputs multiloop_program in
+  check value "1-node value exact" (Interp.run ~inputs multiloop_program)
+    r.Sim_common.value;
+  (* no broadcast tree, no replication, no gather: communication-free *)
+  List.iter
+    (fun p ->
+      check (Alcotest.float 0.0) (p ^ " free on 1 node") 0.0
+        (Sim_common.phase_total r p))
+    [ "broadcast"; "replicate"; "gather" ];
+  check tbool "compute still charged" true
+    (Sim_common.phase_total r "compute" > 0.0)
+
+(* ---------------- DMLL_DEBUG-style replan re-verification ---------------- *)
+
+let test_replan_check_hook () =
+  let count = ref 0 in
+  let saved = !Fault.post_replan_check in
+  Fault.post_replan_check :=
+    Some
+      (fun site e ->
+        incr count;
+        Dmll.verify_stage site e);
+  Fun.protect
+    ~finally:(fun () -> Fault.post_replan_check := saved)
+    (fun () ->
+      let inputs = [ ("xs", xs_val 4096) ] in
+      let e =
+        isum ~size:(Exp.Len xs_input) (fun i -> f2i (Exp.Read (xs_input, i)))
+      in
+      let expected = Interp.run ~inputs e in
+      (* permanent-only chunk faults force lineage recovery on the domain
+         executor, which must re-verify every recovered chunk program; the
+         dynamic schedule's many chunks guarantee the deterministic draws
+         include a permanent fault *)
+      let perm_only =
+        Fault.create
+          { stress_spec with M.crash_prob = 0.5; crash_transient_frac = 0.0 }
+      in
+      check value "recovered run still exact" expected
+        (Exec_domains.run ~domains:3 ~schedule:Exec_domains.Dynamic
+           ~faults:perm_only ~inputs e);
+      let domains_checks = !count in
+      check tbool "domain recovery re-verified" true (domains_checks > 0);
+      (* cluster replans re-verify their replacement chunk programs too *)
+      let harsh = { stress_spec with M.crash_prob = 0.5 } in
+      let _, r = cluster_run ~faults:harsh [ ("xs", xs_val 100_000) ] in
+      ignore r;
+      check tbool "cluster replan re-verified" true (!count > domains_checks))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "fault"
+    [ ( "spec",
+        [ Alcotest.test_case "parse & round-trip" `Quick test_spec_parse;
+          Alcotest.test_case "deterministic draws" `Quick test_draw_determinism;
+        ] );
+      ( "replan",
+        [ Alcotest.test_case "coalesce" `Quick test_coalesce;
+          Alcotest.test_case "boundary-aligned replan" `Quick test_replan_boundaries;
+          qt prop_replan_covers;
+        ] );
+      ( "domains",
+        [ Alcotest.test_case "bit-identical under injection" `Quick
+            test_domains_bit_identical;
+          qt prop_domains_faulty_random;
+        ] );
+      ( "dist-array",
+        [ Alcotest.test_case "retry & degradation" `Quick
+            test_read_retry_and_degradation;
+        ] );
+      ( "cluster",
+        [ Alcotest.test_case "recovery phases" `Quick test_cluster_recovery_phases;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_cluster_fault_determinism;
+          Alcotest.test_case "1-node degenerate" `Quick
+            test_single_node_no_collectives;
+        ] );
+      ( "debug",
+        [ Alcotest.test_case "replan re-verification" `Quick test_replan_check_hook ];
+      );
+    ]
