@@ -1,0 +1,108 @@
+(* Prediction-vs-measurement cross-validation of the static communication
+   plans (DESIGN.md §10).
+
+   For kmeans, pagerank, and TPC-H Q1 at 1/4/16 cluster nodes: resolve
+   each program's comm plan against the real input sizes, run the cluster
+   simulator, and compare the predicted per-phase byte volumes with the
+   traffic the simulator actually charged.  The contract — measured <=
+   slack * predicted + floor, per loop and phase — is additionally
+   enforced inline by arming {!Dmll_analysis.Comm.validate_enabled}, so
+   the sweep hard-fails if any plan misses a transfer.
+
+   Emits one JSON line per (app, nodes, phase):
+
+     {"app":"kmeans","nodes":4,"phase":"broadcast",
+      "predicted_bytes":...,"measured_bytes":...,"ratio":...}
+*)
+
+module R = Dmll_runtime
+module M = Dmll_machine.Machine
+module V = Dmll_interp.Value
+module Comm = Dmll_analysis.Comm
+module Partition = Dmll_analysis.Partition
+
+let node_counts = [ 1; 4; 16 ]
+let phases = [ ("broadcast", `Broadcast); ("replicate", `Replicate); ("gather", `Gather) ]
+
+let apps () =
+  let q1 = Lazy.force Datasets.q1_table in
+  let ml = Lazy.force Datasets.ml_small in
+  let cents = Lazy.force Datasets.centroids_small in
+  let pr = Lazy.force Datasets.pr_graph in
+  [ ( "kmeans",
+      Dmll_apps.Kmeans.program ~rows:Datasets.ml_rows_small ~cols:Datasets.ml_cols
+        ~k:Datasets.kmeans_k (),
+      Dmll_apps.Kmeans.inputs ml ~centroids:cents );
+    ( "pagerank",
+      Dmll_apps.Pagerank.program_pull ~nv:pr.Dmll_graph.Csr.nv (),
+      Dmll_apps.Pagerank.inputs pr ~ranks:(Dmll_apps.Pagerank.initial_ranks pr) );
+    ( "tpch_q1",
+      Dmll_apps.Tpch_q1.program (),
+      Dmll_apps.Tpch_q1.aos_inputs q1 @ Dmll_apps.Tpch_q1.soa_inputs q1 );
+  ]
+
+(* Real element counts of the array inputs, so the static resolver works
+   with the same sizes the simulator will serialize. *)
+let input_lens_of (inputs : (string * V.t) list) : (string * int) list =
+  List.filter_map
+    (fun (n, v) ->
+      match v with V.Varr _ -> Some (n, V.length v) | _ -> None)
+    inputs
+
+let traffic_total (r : R.Sim_common.result) (phase : string) : float =
+  let suffix = "/" ^ phase in
+  let slen = String.length suffix in
+  List.fold_left
+    (fun acc (nm, b) ->
+      let nlen = String.length nm in
+      if nlen >= slen && String.sub nm (nlen - slen) slen = suffix then acc +. b
+      else acc)
+    0.0 r.R.Sim_common.traffic
+
+let run () =
+  Printf.printf
+    "Static comm-plan prediction vs measured simulator traffic\n\
+     (contract: measured <= %.2fx predicted + %.0fB, per loop and phase;\n\
+     \ enforced inline while the sweep runs).\n\n"
+    Comm.slack Comm.slack_floor_bytes;
+  let saved = !Comm.validate_enabled in
+  Comm.validate_enabled := true;
+  Fun.protect
+    ~finally:(fun () -> Comm.validate_enabled := saved)
+    (fun () ->
+      List.iter
+        (fun (name, program, inputs) ->
+          let c = Dmll.compile ~target:Dmll.Sequential program in
+          let input_lens = input_lens_of inputs in
+          (* the simulator derives layouts the same way *)
+          let layouts =
+            (Partition.analyze ~transforms:[] ~reoptimize:Fun.id c.Dmll.final)
+              .Partition.layouts
+          in
+          let layout_of t = Partition.layout_of t layouts in
+          let resolver = Comm.static_resolver ~input_lens c.Dmll.final in
+          let plans = Comm.of_program ~layout_of c.Dmll.final in
+          List.iter
+            (fun n ->
+              let machine = M.with_nodes n M.ec2_cluster in
+              let config = { R.Sim_cluster.default_config with cluster = machine } in
+              let r = R.Sim_cluster.run ~config ~inputs c.Dmll.final in
+              List.iter
+                (fun (pname, p) ->
+                  let predicted =
+                    List.fold_left
+                      (fun acc plan ->
+                        acc
+                        +. Comm.phase_bytes ~nodes:n ~layout_of resolver plan p)
+                      0.0 plans
+                  in
+                  let measured = traffic_total r pname in
+                  let ratio =
+                    if predicted > 0.0 then measured /. predicted else 0.0
+                  in
+                  Printf.printf
+                    "{\"app\":%S,\"nodes\":%d,\"phase\":%S,\"predicted_bytes\":%.0f,\"measured_bytes\":%.0f,\"ratio\":%.3f}\n%!"
+                    name n pname predicted measured ratio)
+                phases)
+            node_counts)
+        (apps ()))

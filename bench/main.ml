@@ -22,6 +22,8 @@ let experiments : (string * string * (unit -> unit)) list =
       fun () -> Ablation.run ());
     ("fault_sweep", "recovery overhead vs fault rate (cluster model, JSON)",
       fun () -> Fault_sweep.run ());
+    ("comm_validate", "static comm plans vs measured cluster traffic (JSON)",
+      fun () -> Comm_validate.run ());
   ]
 
 let () =

@@ -3,29 +3,70 @@
    Shows what the compiler does to a named application, stage by stage —
    the tooling equivalent of the paper's walk through k-means (Figures
    1/4/5): source IR, optimized IR, partitioning layouts and stencils,
-   applied rules, and (optionally) generated C++/CUDA/Scala. *)
+   applied rules, and (optionally) generated C++/CUDA/Scala.
 
-let apps : (string * (unit -> Dmll_ir.Exp.exp)) list =
-  [ ("kmeans", fun () -> Dmll_apps.Kmeans.program ~rows:1000 ~cols:16 ~k:8 ());
-    ("logreg", fun () -> Dmll_apps.Logreg.program ~rows:1000 ~cols:16 ~alpha:0.01 ());
-    ("gda", fun () -> Dmll_apps.Gda.program ~rows:1000 ~cols:8 ());
-    ("tpch_q1", fun () -> Dmll_apps.Tpch_q1.program ());
-    ("gene", fun () -> Dmll_apps.Gene.program ());
-    ("pagerank_pull", fun () -> Dmll_apps.Pagerank.program_pull ~nv:1024 ());
-    ("pagerank_push", fun () -> Dmll_apps.Pagerank.program_push ~nv:1024 ());
-    ("tricount", fun () -> Dmll_apps.Tricount.program ());
-    ("knn", fun () -> Dmll_apps.Knn.program ~train_rows:1000 ~test_rows:100 ~cols:8 ());
-    ("naive_bayes", fun () -> Dmll_apps.Naive_bayes.program ~rows:1000 ~cols:8 ());
-    ("gibbs", fun () -> Dmll_apps.Gibbs.program ~nvars:1000 ~replicas:4 ());
-    ("ridge", fun () -> Dmll_apps.Ridge.program ~rows:1000 ~cols:16 ~alpha:0.001 ~lambda:0.1 ());
+   --explain-comm adds the static communication-volume analysis
+   (DESIGN.md §10): per-loop comm plans, per-collection totals, and the
+   cost-guided rewrite decisions with every rejected alternative. *)
+
+module Comm = Dmll_analysis.Comm
+module Partition = Dmll_analysis.Partition
+module M = Dmll_machine.Machine
+
+(* Each app registers its builder plus the element counts of its named
+   inputs (matching the builder's dimensions), so the static comm plans
+   resolve against real sizes instead of the default length. *)
+let apps : (string * (unit -> Dmll_ir.Exp.exp) * (string * int) list) list =
+  [ ( "kmeans",
+      (fun () -> Dmll_apps.Kmeans.program ~rows:1000 ~cols:16 ~k:8 ()),
+      [ ("matrix", 16000); ("clusters", 128) ] );
+    ( "kmeans_tiny",
+      (* small enough that accepting remote reads beats every rewrite's
+         gather volume: the cost-guided search keeps the program *)
+      (fun () -> Dmll_apps.Kmeans.program ~rows:64 ~cols:4 ~k:4 ()),
+      [ ("matrix", 256); ("clusters", 16) ] );
+    ( "logreg",
+      (fun () -> Dmll_apps.Logreg.program ~rows:1000 ~cols:16 ~alpha:0.01 ()),
+      [ ("matrix", 16000); ("y", 1000); ("theta", 16) ] );
+    ( "gda",
+      (fun () -> Dmll_apps.Gda.program ~rows:1000 ~cols:8 ()),
+      [ ("matrix", 8000); ("y", 1000) ] );
+    ("tpch_q1", (fun () -> Dmll_apps.Tpch_q1.program ()), []);
+    ("gene", (fun () -> Dmll_apps.Gene.program ()), []);
+    ( "pagerank_pull",
+      (fun () -> Dmll_apps.Pagerank.program_pull ~nv:1024 ()),
+      [ ("ranks", 1024); ("g.in_offsets", 1025); ("g.out_deg", 1024) ] );
+    ( "pagerank_push",
+      (fun () -> Dmll_apps.Pagerank.program_push ~nv:1024 ()),
+      [ ("ranks", 1024); ("g.out_deg", 1024) ] );
+    ("tricount", (fun () -> Dmll_apps.Tricount.program ()), []);
+    ( "knn",
+      (fun () ->
+        Dmll_apps.Knn.program ~train_rows:1000 ~test_rows:100 ~cols:8 ()),
+      [ ("train", 8000); ("test", 800) ] );
+    ( "naive_bayes",
+      (fun () -> Dmll_apps.Naive_bayes.program ~rows:1000 ~cols:8 ()),
+      [ ("matrix", 8000); ("labels", 1000) ] );
+    ( "gibbs",
+      (fun () -> Dmll_apps.Gibbs.program ~nvars:1000 ~replicas:4 ()),
+      [] );
+    ( "ridge",
+      (fun () ->
+        Dmll_apps.Ridge.program ~rows:1000 ~cols:16 ~alpha:0.001 ~lambda:0.1 ()),
+      [ ("matrix", 16000); ("y", 1000); ("theta", 16) ] );
   ]
+
+let app_names = List.map (fun (n, _, _) -> n) apps
+let find_app name = List.find_opt (fun (n, _, _) -> String.equal n name) apps
 
 open Cmdliner
 
 let app_arg =
   let doc =
-    Printf.sprintf "Application to compile. One of: %s; or $(b,all) (with --lint)."
-      (String.concat ", " (List.map fst apps))
+    Printf.sprintf
+      "Application to compile. One of: %s; or $(b,all) (with --lint or \
+       --explain-comm)."
+      (String.concat ", " app_names)
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
 
@@ -38,6 +79,33 @@ let lint =
            and print its diagnostics (rule ids are documented in DESIGN.md \
            §8). Exits 1 when any Error-severity finding is reported. With APP \
            = $(b,all), lints every registered application.")
+
+let explain_comm =
+  Arg.(
+    value & flag
+    & info [ "explain-comm" ]
+        ~doc:
+          "Print the static communication-volume analysis (DESIGN.md §10): \
+           the cost-guided rewrite decisions (chosen vs rejected, with \
+           predicted bytes), each outer loop's comm plan, and per-collection \
+           totals. With APP = $(b,all), explains every registered \
+           application.")
+
+let json =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"With --explain-comm, emit machine-readable JSON (one object \
+              per application).")
+
+let nodes =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "nodes" ] ~docv:"N"
+        ~doc:
+          "With --explain-comm, predict for an $(docv)-node cluster instead \
+           of the paper's 20-node EC2 preset.")
 
 let show_source =
   Arg.(value & flag & info [ "source" ] ~doc:"Print the source (staged) IR.")
@@ -53,9 +121,22 @@ let gpu =
 
 let header title = Printf.printf "\n=== %s ===\n" title
 
+let select_apps ~flag app =
+  let selected =
+    if String.equal app "all" then Some apps
+    else Option.map (fun a -> [ a ]) (find_app app)
+  in
+  match selected with
+  | Some sel -> sel
+  | None ->
+      Printf.eprintf "unknown app %S; try one of: %s%s\n" app
+        (String.concat ", " app_names)
+        (if flag then ", all" else "");
+      exit 1
+
 (* Compile one app and print its lint report; returns true when any
    Error-severity diagnostic was produced. *)
-let lint_one target (name, build) =
+let lint_one target (name, build, _) =
   let c = Dmll.compile ~target (build ()) in
   let diags = Dmll.lint c in
   header (Printf.sprintf "lint: %s" name);
@@ -64,35 +145,88 @@ let lint_one target (name, build) =
   Dmll_analysis.Diag.has_errors diags
 
 let run_lint target app =
-  let selected =
-    if String.equal app "all" then Some apps
-    else Option.map (fun b -> [ (app, b) ]) (List.assoc_opt app apps)
+  let selected = select_apps ~flag:true app in
+  let any_error =
+    List.fold_left (fun acc ab -> lint_one target ab || acc) false selected
   in
-  match selected with
-  | None ->
-      Printf.eprintf "unknown app %S; try one of: %s, all\n" app
-        (String.concat ", " (List.map fst apps));
-      exit 1
-  | Some selected ->
-      let any_error =
-        List.fold_left (fun acc ab -> lint_one target ab || acc) false selected
-      in
-      if any_error then exit 1
+  if any_error then exit 1
 
-let main app show_src emit gpu lint =
+(* ---------------- --explain-comm ---------------- *)
+
+let decisions_json (ds : Partition.decision list) : string =
+  let one (d : Partition.decision) =
+    Printf.sprintf "{\"iteration\":%d,\"chosen\":\"%s\",\"candidates\":[%s]}"
+      d.Partition.iteration d.Partition.chosen
+      (String.concat ","
+         (List.map
+            (fun (n, v) -> Printf.sprintf "{\"rule\":\"%s\",\"bytes\":%.0f}" n v)
+            d.Partition.candidates))
+  in
+  "[" ^ String.concat "," (List.map one ds) ^ "]"
+
+(* Run the cost-guided partitioning analysis on the generically optimized
+   program — crucially WITHOUT the CPU nested rules, so the Figure-3
+   rewrites are chosen (or rejected) here, by predicted volume, and every
+   alternative shows up in the decision log. *)
+let explain_one ~json:as_json ~machine (name, build, input_lens) =
+  let source = build () in
+  let generic =
+    (Dmll_opt.Pipeline.optimize_with ~extra_rules:[] source)
+      .Dmll_opt.Pipeline.program
+  in
+  let report =
+    Partition.analyze ~transforms:Dmll_opt.Rules_nested.cpu_rules ~machine
+      ~input_lens generic
+  in
+  let layout_of t = Partition.layout_of t report.Partition.layouts in
+  let summary =
+    Comm.summarize ~input_lens ~machine ~layout_of report.Partition.program
+  in
+  if as_json then
+    Printf.printf "{\"app\":\"%s\",\"decisions\":%s,\"comm\":%s}\n" name
+      (decisions_json report.Partition.decisions)
+      (Comm.summary_to_json summary)
+  else begin
+    header (Printf.sprintf "comm: %s (%d nodes)" name machine.M.nodes);
+    (match report.Partition.decisions with
+    | [] -> print_endline "  no stencil-triggered rewrite was applicable"
+    | ds ->
+        print_endline "  cost-guided rewrite decisions:";
+        List.iter
+          (fun (d : Partition.decision) ->
+            Printf.printf "    iteration %d:\n" d.Partition.iteration;
+            List.iter
+              (fun (n, v) ->
+                Printf.printf "      %-28s %-10s%s\n" n (Comm.fmt_bytes v)
+                  (if String.equal n d.Partition.chosen then "<- chosen" else ""))
+              d.Partition.candidates)
+          ds);
+    Fmt.pr "%a" Comm.pp_summary summary
+  end
+
+let run_explain ~json ~nodes app =
+  let machine =
+    match nodes with
+    | Some n -> M.with_nodes n M.ec2_cluster
+    | None -> M.ec2_cluster
+  in
+  List.iter (explain_one ~json ~machine) (select_apps ~flag:true app)
+
+let main app show_src emit gpu lint explain json nodes =
   let target_of_gpu gpu =
     if gpu then
       Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true }
     else Dmll.Sequential
   in
-  if lint then run_lint (target_of_gpu gpu) app
+  if explain then run_explain ~json ~nodes app
+  else if lint then run_lint (target_of_gpu gpu) app
   else
-  match List.assoc_opt app apps with
+  match find_app app with
   | None ->
       Printf.eprintf "unknown app %S; try one of: %s\n" app
-        (String.concat ", " (List.map fst apps));
+        (String.concat ", " app_names);
       exit 1
-  | Some build ->
+  | Some (_, build, _) ->
       let source = build () in
       let target = target_of_gpu gpu in
       let c = Dmll.compile ~target source in
@@ -133,6 +267,8 @@ let cmd =
   let doc = "explore the DMLL compilation pipeline for a benchmark application" in
   Cmd.v
     (Cmd.info "dmllc" ~doc)
-    Term.(const main $ app_arg $ show_source $ show_codegen $ gpu $ lint)
+    Term.(
+      const main $ app_arg $ show_source $ show_codegen $ gpu $ lint
+      $ explain_comm $ json $ nodes)
 
 let () = exit (Cmd.eval cmd)

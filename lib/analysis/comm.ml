@@ -1,0 +1,586 @@
+(** Static communication-volume analysis (DESIGN.md §10).
+
+    The partitioning analysis ({!Partition}, paper §4.2) decides {e
+    whether} data moves; this module predicts {e how much}.  For every
+    outer multiloop it derives a {b comm plan}: a list of transfer terms,
+    each naming the kind of collective the runtime will issue and the
+    payload whose bytes cross the wire.  The volume of a term is kept
+    symbolic (a payload description) and resolved against a {!resolver} —
+    either statically (declared element types, known or defaulted
+    collection lengths) when the plan is an optimizer objective, or
+    live (actual runtime values) when the plan is cross-validated against
+    the cluster simulator's measured traffic.
+
+    Term kinds mirror the phases the cluster executor charges
+    ({!Dmll_runtime.Sim_cluster.loop_time}):
+
+    - [Broadcast]: a [Local] collection consumed by a distributed loop is
+      serialized once and sent to every node, and a partitioned
+      collection with an [All] stencil is replicated the same way;
+    - [Halo]: a partitioned collection read at [i + c] exchanges [|c|]
+      border elements per chunk boundary — bounded, layout-preserving;
+    - [Remote_read]: the §4.2 fallback — an [Unknown] stencil survived
+      every rewrite, so in the worst case the whole collection crosses
+      the network (element-granular fetches through {!Dist_array});
+    - [Gather]: each node returns one reduction partial to the master;
+    - [Shuffle]: bucket generators exchange per-node bucket tables.
+
+    The prediction-vs-measurement contract: for every loop, measured
+    simulator traffic must not exceed the resolved plan by more than
+    {!slack} (checked under [DMLL_DEBUG=1], see {!check_measured}) —
+    the static analysis is falsifiable against the runtime. *)
+
+open Dmll_ir
+open Exp
+module M = Dmll_machine.Machine
+
+(* ------------------------------------------------------------------ *)
+(* The term language                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type kind = Broadcast | Gather | Shuffle | Remote_read | Halo
+
+let kind_to_string = function
+  | Broadcast -> "broadcast"
+  | Gather -> "gather"
+  | Shuffle -> "shuffle"
+  | Remote_read -> "remote-read"
+  | Halo -> "halo"
+
+(** What crosses the wire.  [Whole] and [Halo_of] are collection
+    payloads; [Partials] is a per-node partial result (one reduction
+    accumulator, or a bucket table when [init] is [None]). *)
+type payload =
+  | Whole of Stencil.target
+  | Halo_of of { target : Stencil.target; width : int }
+  | Partials of { gname : string; init : exp option }
+
+type term = { kind : kind; payload : payload; note : string }
+
+type loop_plan = {
+  label : string;  (** binder name of the loop's result, or ["result"] *)
+  distributed : bool;
+      (** [false]: no partitioned input — the loop runs on the master
+          alone and moves nothing *)
+  terms : term list;
+}
+
+let target_of_term (t : term) : Stencil.target option =
+  match t.payload with
+  | Whole tg | Halo_of { target = tg; _ } -> Some tg
+  | Partials _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Volume resolution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Byte size of each node's bucket table returned by a bucket generator
+    — matches the cluster simulator's charge exactly. *)
+let bucket_table_bytes = 4096.0
+
+(** Fallback length for collections whose size the static analysis cannot
+    resolve (an input with no registered length). *)
+let default_collection_len = 65536
+
+type resolver = {
+  collection_bytes : Stencil.target -> float;
+      (** the whole collection, serialized *)
+  elem_bytes : Stencil.target -> float;
+  init_bytes : exp -> float;  (** one reduction partial (the init's type) *)
+}
+
+(** Predicted bytes a partitioned collection with stencil [s] moves, per
+    consuming loop.  This is the volume function the optimizer ranks
+    rewrites with; it is monotone in the stencil lattice: coarser stencil,
+    no less traffic. *)
+let stencil_bytes ~(nodes : int) ~(elem_bytes : float)
+    ~(collection_bytes : float) (s : Stencil.t) : float =
+  match s with
+  | Stencil.Const | Stencil.Interval -> 0.0
+  | Stencil.Interval_shifted c ->
+      Float.min
+        (float_of_int (abs c * nodes) *. elem_bytes)
+        collection_bytes
+  | Stencil.All | Stencil.Unknown -> collection_bytes
+
+let term_bytes ~(nodes : int) (r : resolver) (t : term) : float =
+  match t.payload with
+  | Whole tg -> r.collection_bytes tg
+  | Halo_of { target; width } ->
+      stencil_bytes ~nodes ~elem_bytes:(r.elem_bytes target)
+        ~collection_bytes:(r.collection_bytes target)
+        (Stencil.Interval_shifted width)
+  | Partials { init = Some i; _ } -> r.init_bytes i *. float_of_int nodes
+  | Partials { init = None; _ } -> bucket_table_bytes *. float_of_int nodes
+
+(** Which simulator phase a term's bytes land in: a broadcast of a
+    [Local] collection is the broadcast phase; every collection payload
+    on a partitioned collection (replication, halo exchange, remote
+    reads) lands in the replicate phase; partial returns are gathers. *)
+let phase_of_term ~(layout_of : Stencil.target -> Exp.layout) (t : term) :
+    [ `Broadcast | `Replicate | `Gather ] =
+  match (t.kind, t.payload) with
+  | Broadcast, Whole tg when layout_of tg = Exp.Local -> `Broadcast
+  | (Broadcast | Remote_read | Halo), _ -> `Replicate
+  | (Gather | Shuffle), _ -> `Gather
+
+(** Resolved bytes of one plan restricted to a simulator phase. *)
+let phase_bytes ~(nodes : int) ~(layout_of : Stencil.target -> Exp.layout)
+    (r : resolver) (p : loop_plan)
+    (phase : [ `Broadcast | `Replicate | `Gather ]) : float =
+  List.fold_left
+    (fun acc t ->
+      if phase_of_term ~layout_of t = phase then acc +. term_bytes ~nodes r t
+      else acc)
+    0.0 p.terms
+
+(* ------------------------------------------------------------------ *)
+(* Plan derivation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The comm term (if any) for one partitioned collection, from its
+   stencil.  Const costs nothing (a single element, amortized into the
+   loop-launch control message, as the simulator models it); Interval is
+   the paper's happy path — aligned partitions, zero movement. *)
+let partitioned_term (tg : Stencil.target) (s : Stencil.t) : term option =
+  match s with
+  | Stencil.Const | Stencil.Interval -> None
+  | Stencil.Interval_shifted c ->
+      Some
+        { kind = Halo;
+          payload = Halo_of { target = tg; width = abs c };
+          note = Printf.sprintf "bounded halo, offset %+d" c;
+        }
+  | Stencil.All ->
+      Some
+        { kind = Broadcast;
+          payload = Whole tg;
+          note = "replicate: All stencil (every iteration sweeps it)";
+        }
+  | Stencil.Unknown ->
+      Some
+        { kind = Remote_read;
+          payload = Whole tg;
+          note = "fallback: data-dependent subscript (worst case)";
+        }
+
+let gen_term (g : gen) : term option =
+  match g with
+  | Collect _ -> None (* output stays partitioned in place *)
+  | Reduce { init; _ } ->
+      Some
+        { kind = Gather;
+          payload = Partials { gname = "reduce"; init = Some init };
+          note = "one partial per node";
+        }
+  | BucketCollect _ ->
+      Some
+        { kind = Shuffle;
+          payload = Partials { gname = "bucketCollect"; init = None };
+          note = "per-node bucket tables";
+        }
+  | BucketReduce _ ->
+      Some
+        { kind = Shuffle;
+          payload = Partials { gname = "bucketReduce"; init = None };
+          note = "per-node bucket tables";
+        }
+
+(** The comm plan of one outer multiloop under the given layouts. *)
+let of_loop ~(layout_of : Stencil.target -> Exp.layout) ?(label = "loop")
+    (l : loop) : loop_plan =
+  (* only collections free in the loop cross the network; symbols bound
+     inside it (combiner parameters, per-iteration temporaries) are
+     node-local by construction *)
+  let free = free_vars (Loop l) in
+  let stencils =
+    List.filter
+      (fun (t, _) ->
+        match t with
+        | Stencil.Tsym s -> Sym.Set.mem s free
+        | Stencil.Tinput _ -> true)
+      (Stencil.of_loop l)
+  in
+  let distributed =
+    List.exists (fun (t, _) -> layout_of t = Exp.Partitioned) stencils
+  in
+  if not distributed then { label; distributed = false; terms = [] }
+  else
+    let input_terms =
+      List.filter_map
+        (fun (t, s) ->
+          if layout_of t = Exp.Partitioned then partitioned_term t s
+          else
+            (* the simulator serializes every Local collection the loop
+               consumes, whatever its stencil *)
+            Some
+              { kind = Broadcast;
+                payload = Whole t;
+                note = "local collection consumed by a distributed loop";
+              })
+        stencils
+    in
+    let result_terms = List.filter_map gen_term l.gens in
+    { label; distributed = true; terms = input_terms @ result_terms }
+
+(* Outer loops with the binder that names their result, for readable
+   plans ([Stencil.outer_loops] finds the same loops, unlabeled). *)
+let labeled_outer_loops (e : exp) : (string * loop) list =
+  let acc = ref [] in
+  let rec go label e =
+    match e with
+    | Loop l -> acc := (label, l) :: !acc
+    | Let (s, rhs, body) ->
+        go (Sym.name s) rhs;
+        go "result" body
+    | _ ->
+        ignore
+          (map_sub
+             (fun sub ->
+               go "result" sub;
+               sub)
+             e)
+  in
+  go "result" e;
+  List.rev !acc
+
+(** Per-loop comm plans of a whole program. *)
+let of_program ~(layout_of : Stencil.target -> Exp.layout) (e : exp) :
+    loop_plan list =
+  List.map (fun (label, l) -> of_loop ~layout_of ~label l) (labeled_outer_loops e)
+
+(* ------------------------------------------------------------------ *)
+(* Static resolution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Integer evaluation of size expressions against known input lengths and
+   spine-derived symbol lengths. *)
+let rec eval_len ~(input_lens : (string * int) list)
+    ~(sym_lens : int Sym.Map.t) (e : exp) : int option =
+  let ev = eval_len ~input_lens ~sym_lens in
+  match e with
+  | Const (Cint n) -> Some n
+  | Len (Input (n, _, _)) -> List.assoc_opt n input_lens
+  | Len (Var s) -> Sym.Map.find_opt s sym_lens
+  | Prim (Prim.Add, [ a; b ]) -> (
+      match (ev a, ev b) with Some x, Some y -> Some (x + y) | _ -> None)
+  | Prim (Prim.Sub, [ a; b ]) -> (
+      match (ev a, ev b) with Some x, Some y -> Some (x - y) | _ -> None)
+  | Prim (Prim.Mul, [ a; b ]) -> (
+      match (ev a, ev b) with Some x, Some y -> Some (x * y) | _ -> None)
+  | Prim (Prim.Div, [ a; b ]) -> (
+      match (ev a, ev b) with
+      | Some x, Some y when y <> 0 -> Some (x / y)
+      | _ -> None)
+  | _ -> None
+
+(* Walk the let-spine accumulating element counts for collection-valued
+   symbols: input aliases and single-collect loop results (a conditional
+   collect's size is an upper bound, which is the right direction for a
+   "measured <= predicted" contract). *)
+let spine_lens ~(input_lens : (string * int) list) (e : exp) : int Sym.Map.t =
+  let rec spine env e =
+    match e with
+    | Let (s, rhs, body) ->
+        let env =
+          match rhs with
+          | Input (n, (Types.Arr _ | Types.Map _), _) -> (
+              match List.assoc_opt n input_lens with
+              | Some n -> Sym.Map.add s n env
+              | None -> env)
+          | Var s' -> (
+              match Sym.Map.find_opt s' env with
+              | Some n -> Sym.Map.add s n env
+              | None -> env)
+          | Loop { size; gens = [ Collect _ ]; _ } -> (
+              match eval_len ~input_lens ~sym_lens:env size with
+              | Some n -> Sym.Map.add s n env
+              | None -> env)
+          | _ -> env
+        in
+        spine env body
+    | _ -> env
+  in
+  spine Sym.Map.empty e
+
+(* Element wire size from declared types.  Map entries carry key and
+   value; nested collections degrade to the pointer size of the static
+   type (the live resolver measures them exactly). *)
+let static_elem_bytes (inputs_ty : (string * Types.ty) list)
+    (t : Stencil.target) : float =
+  let ty =
+    match t with
+    | Stencil.Tinput n -> List.assoc_opt n inputs_ty
+    | Stencil.Tsym s -> Some (Sym.ty s)
+  in
+  match ty with
+  | Some (Types.Arr t) -> float_of_int (Types.byte_size t)
+  | Some (Types.Map (k, v)) ->
+      float_of_int (Types.byte_size k + Types.byte_size v)
+  | _ -> 8.0
+
+let program_input_tys (e : exp) : (string * Types.ty) list =
+  let tbl = Hashtbl.create 8 in
+  ignore
+    (fold
+       (fun () n ->
+         match n with
+         | Input (name, ty, _) -> Hashtbl.replace tbl name ty
+         | _ -> ())
+       () e);
+  Hashtbl.fold (fun n t acc -> (n, t) :: acc) tbl []
+
+(* Static bytes of one reduction partial: a single-collect init (the
+   vectorized accumulators Column-to-Row builds) is its element count
+   times the element size; anything else is the byte size of its static
+   type. *)
+let static_init_bytes ~(input_lens : (string * int) list)
+    ~(sym_lens : int Sym.Map.t) (init : exp) : float =
+  match init with
+  | Loop { size; gens = [ Collect _ ]; _ } -> (
+      match eval_len ~input_lens ~sym_lens size with
+      | Some n -> 8.0 *. float_of_int n
+      | None -> 64.0)
+  | _ -> (
+      let ty =
+        try
+          Some
+            (Typecheck.infer
+               (Sym.Set.fold
+                  (fun s acc -> Sym.Map.add s (Sym.ty s) acc)
+                  (free_vars init) Sym.Map.empty)
+               init)
+        with Typecheck.Type_error _ -> None
+      in
+      match ty with
+      | Some t -> float_of_int (Types.byte_size t)
+      | None -> 8.0)
+
+(** A resolver from static program information alone: declared element
+    types, registered input lengths ([input_lens], element counts), and
+    [default_len] for everything unresolved.  This is what the optimizer
+    ranks candidate programs with — no runtime values involved. *)
+let static_resolver ?(input_lens = []) ?(default_len = default_collection_len)
+    (e : exp) : resolver =
+  let inputs_ty = program_input_tys e in
+  let sym_lens = spine_lens ~input_lens e in
+  let len (t : Stencil.target) : float =
+    let n =
+      match t with
+      | Stencil.Tinput n -> List.assoc_opt n input_lens
+      | Stencil.Tsym s -> Sym.Map.find_opt s sym_lens
+    in
+    float_of_int (match n with Some n -> n | None -> default_len)
+  in
+  let elem = static_elem_bytes inputs_ty in
+  { collection_bytes = (fun t -> len t *. elem t);
+    elem_bytes = elem;
+    init_bytes = static_init_bytes ~input_lens ~sym_lens;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Program summary                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  nodes : int;
+  loops : (loop_plan * (term * float) list) list;
+      (** each plan with its terms resolved to bytes *)
+  per_collection : (Stencil.target * float) list;
+      (** total predicted bytes per collection, over all loops *)
+  partials_bytes : float;  (** gather + shuffle volume (no collection) *)
+  total_bytes : float;
+  link_gbs : float;  (** the machine's per-link bandwidth, for display *)
+  est_seconds : float;  (** total volume over one link's bandwidth *)
+}
+
+(** Resolve every loop plan of [e] and total the volumes. *)
+let summarize ?input_lens ?default_len ?(machine = M.ec2_cluster)
+    ~(layout_of : Stencil.target -> Exp.layout) (e : exp) : summary =
+  let r = static_resolver ?input_lens ?default_len e in
+  let nodes = machine.M.nodes in
+  let loops =
+    List.map
+      (fun p -> (p, List.map (fun t -> (t, term_bytes ~nodes r t)) p.terms))
+      (of_program ~layout_of e)
+  in
+  let per_collection =
+    List.fold_left
+      (fun acc (_, resolved) ->
+        List.fold_left
+          (fun acc (t, b) ->
+            match target_of_term t with
+            | None -> acc
+            | Some tg -> (
+                match
+                  List.find_opt (fun (tg', _) -> Stencil.target_equal tg tg') acc
+                with
+                | Some (_, b0) ->
+                    (tg, b0 +. b)
+                    :: List.filter
+                         (fun (tg', _) -> not (Stencil.target_equal tg tg'))
+                         acc
+                | None -> acc @ [ (tg, b) ]))
+          acc resolved)
+      [] loops
+  in
+  let partials_bytes =
+    List.fold_left
+      (fun acc (_, resolved) ->
+        List.fold_left
+          (fun acc (t, b) ->
+            match target_of_term t with None -> acc +. b | Some _ -> acc)
+          acc resolved)
+      0.0 loops
+  in
+  let total_bytes =
+    List.fold_left
+      (fun acc (_, resolved) ->
+        List.fold_left (fun acc (_, b) -> acc +. b) acc resolved)
+      0.0 loops
+  in
+  { nodes;
+    loops;
+    per_collection;
+    partials_bytes;
+    total_bytes;
+    link_gbs = machine.M.net_bw_gbs;
+    est_seconds = total_bytes /. M.net_bytes_per_sec machine;
+  }
+
+(** Total predicted communication volume of a program, in bytes — the
+    scalar objective the optimizer compares candidate programs by. *)
+let static_total ?input_lens ?default_len ?machine
+    ~(layout_of : Stencil.target -> Exp.layout) (e : exp) : float =
+  (summarize ?input_lens ?default_len ?machine ~layout_of e).total_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let payload_formula (t : term) : string =
+  match t.payload with
+  | Whole tg -> Printf.sprintf "|%s| * elem" (Stencil.target_to_string tg)
+  | Halo_of { target; width } ->
+      Printf.sprintf "min(%d * nodes * elem, |%s| * elem)" width
+        (Stencil.target_to_string target)
+  | Partials { gname; init = Some _ } ->
+      Printf.sprintf "sizeof(%s init) * nodes" gname
+  | Partials { gname; init = None } ->
+      Printf.sprintf "%.0fB table * nodes (%s)" bucket_table_bytes gname
+
+let fmt_bytes (b : float) : string =
+  if b >= 1048576.0 then Printf.sprintf "%.1fMB" (b /. 1048576.0)
+  else if b >= 1024.0 then Printf.sprintf "%.1fKB" (b /. 1024.0)
+  else Printf.sprintf "%.0fB" b
+
+let pp_summary fmt (s : summary) =
+  Fmt.pf fmt "comm plan (%d nodes):@." s.nodes;
+  List.iter
+    (fun ((p : loop_plan), resolved) ->
+      if not p.distributed then
+        Fmt.pf fmt "  %-12s master-only: no traffic@." p.label
+      else if resolved = [] then
+        Fmt.pf fmt "  %-12s distributed: perfectly partitioned, no traffic@."
+          p.label
+      else begin
+        Fmt.pf fmt "  %-12s distributed:@." p.label;
+        List.iter
+          (fun ((t : term), b) ->
+            Fmt.pf fmt "    %-12s %-10s %-42s ~%s  (%s)@." (kind_to_string t.kind)
+              (match target_of_term t with
+              | Some tg -> Stencil.target_to_string tg
+              | None -> "-")
+              (payload_formula t) (fmt_bytes b) t.note)
+          resolved
+      end)
+    s.loops;
+  Fmt.pf fmt "  per-collection totals:@.";
+  List.iter
+    (fun (tg, b) ->
+      Fmt.pf fmt "    %-24s %s@." (Stencil.target_to_string tg) (fmt_bytes b))
+    s.per_collection;
+  if s.partials_bytes > 0.0 then
+    Fmt.pf fmt "    %-24s %s@." "(reduction partials)" (fmt_bytes s.partials_bytes);
+  Fmt.pf fmt "  total: %s (~%.2gs on one %g GB/s link)@." (fmt_bytes s.total_bytes)
+    s.est_seconds s.link_gbs
+
+(* Minimal JSON escaping: the strings we emit are identifiers and fixed
+   notes, but stay safe anyway. *)
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let summary_to_json (s : summary) : string =
+  let term_json ((t : term), b) =
+    Printf.sprintf
+      "{\"kind\":\"%s\",\"target\":%s,\"formula\":\"%s\",\"bytes\":%.0f,\"note\":\"%s\"}"
+      (kind_to_string t.kind)
+      (match target_of_term t with
+      | Some tg -> Printf.sprintf "\"%s\"" (json_escape (Stencil.target_to_string tg))
+      | None -> "null")
+      (json_escape (payload_formula t))
+      b (json_escape t.note)
+  in
+  let loop_json ((p : loop_plan), resolved) =
+    Printf.sprintf "{\"loop\":\"%s\",\"distributed\":%b,\"terms\":[%s]}"
+      (json_escape p.label) p.distributed
+      (String.concat "," (List.map term_json resolved))
+  in
+  let coll_json (tg, b) =
+    Printf.sprintf "{\"collection\":\"%s\",\"bytes\":%.0f}"
+      (json_escape (Stencil.target_to_string tg))
+      b
+  in
+  Printf.sprintf
+    "{\"nodes\":%d,\"loops\":[%s],\"per_collection\":[%s],\"partials_bytes\":%.0f,\"total_bytes\":%.0f,\"est_seconds\":%.6g}"
+    s.nodes
+    (String.concat "," (List.map loop_json s.loops))
+    (String.concat "," (List.map coll_json s.per_collection))
+    s.partials_bytes s.total_bytes s.est_seconds
+
+(* ------------------------------------------------------------------ *)
+(* Prediction-vs-measurement contract                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Is runtime cross-validation armed?  Seeded from [DMLL_DEBUG] like the
+    rest of the debug-mode checks; tests flip it directly. *)
+let validate_enabled =
+  ref
+    (match Sys.getenv_opt "DMLL_DEBUG" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
+(** Multiplicative slack of the contract: serialization framing, the Ga
+    per-element boxing overhead the static type sizes cannot see, and
+    rounding of chunk boundaries. *)
+let slack = 1.5
+
+(** Additive floor, so empty payloads with fixed-size control messages
+    never trip the check. *)
+let slack_floor_bytes = 4096.0
+
+(** Assert [measured <= slack * predicted + floor].  Raises
+    {!Diag.Failed} with rule [C-COMM-OVERRUN] otherwise: the plan missed
+    a transfer the runtime actually performs. *)
+let check_measured ~(site : string) ~(phase : string) ~(predicted : float)
+    ~(measured : float) : unit =
+  if measured > (slack *. predicted) +. slack_floor_bytes then
+    raise
+      (Diag.Failed
+         { stage = site;
+           diags =
+             [ Diag.error ~rule:"C-COMM-OVERRUN"
+                 "%s: measured %s exceeds predicted %s (slack %.2fx + %.0fB): \
+                  the comm plan is missing a transfer"
+                 phase (fmt_bytes measured) (fmt_bytes predicted) slack
+                 slack_floor_bytes;
+             ];
+         })

@@ -69,5 +69,10 @@ and simp' e = simp e
 let is_zero e = alpha_equal (simp e) (int_ 0)
 let is_one e = alpha_equal (simp e) (int_ 1)
 
+(** [const_offset e] is [Some c] when [e] simplifies to the integer
+    literal [c] — the bounded-halo case of the stencil analysis ([i + c]
+    reads a neighbor at a statically known distance). *)
+let const_offset e = match simp e with Const (Cint c) -> Some c | _ -> None
+
 (** Coefficient equality up to the local simplifier. *)
 let coeff_equal a b = alpha_equal (simp a) (simp b)

@@ -44,6 +44,18 @@ let warning_to_diag = function
 
 let warning_to_string w = Diag.to_string (warning_to_diag w)
 
+(** One cost-guided choice made during the stencil-triggered rewrite
+    search: every applicable candidate (plus ["keep"], the no-rewrite
+    alternative) with its predicted communication volume, and which one
+    won.  The search stays linear and order-independent (§4.2); the comm
+    plan is the objective, not a new search space. *)
+type decision = {
+  iteration : int;
+  chosen : string;  (** winning rule name, or ["keep"] *)
+  candidates : (string * float) list;
+      (** every alternative considered, with predicted total bytes *)
+}
+
 type report = {
   program : exp;  (** possibly rewritten by stencil-triggered transforms *)
   layouts : (Stencil.target * layout) list;
@@ -51,6 +63,9 @@ type report = {
   co_partitioned : (Stencil.target * Stencil.target) list;
   warnings : warning list;
   rewrites_applied : string list;
+  decisions : decision list;
+      (** chosen-vs-rejected alternatives, one entry per search iteration
+          where any rewrite was applicable *)
 }
 
 let layout_of (t : Stencil.target) (layouts : (Stencil.target * layout) list) : layout =
@@ -163,20 +178,55 @@ let bad_accesses (e : exp) (layouts : (Stencil.target * layout) list) :
         (Stencil.of_loop l))
     (Stencil.outer_loops e)
 
+(** Predicted total communication volume of [e] under its own propagated
+    layouts — the objective the rewrite search minimizes.  Also the
+    tie-break objective the driver installs into horizontal fusion for
+    cluster targets ({!Dmll_opt.Fusion.comm_objective}). *)
+let predicted_volume ?input_lens ?(machine = Dmll_machine.Machine.ec2_cluster)
+    (e : exp) : float =
+  let layouts, _ = propagate e in
+  Comm.static_total ?input_lens ~machine
+    ~layout_of:(fun t -> layout_of t layouts)
+    e
+
+let warning_equal (a : warning) (b : warning) : bool =
+  match (a, b) with
+  | Sequential_on_partitioned t1, Sequential_on_partitioned t2 ->
+      Stencil.target_equal t1 t2
+  | Remote_access (t1, s1), Remote_access (t2, s2) ->
+      Stencil.target_equal t1 t2 && s1 = s2
+  | _ -> false
+
+let dedup_warnings (ws : warning list) : warning list =
+  List.fold_left
+    (fun acc w -> if List.exists (warning_equal w) acc then acc else acc @ [ w ])
+    [] ws
+
 (** Run the full analysis.  [transforms] defaults to the CPU set of
     Figure-3 rules; [reoptimize] is applied after any accepted rewrite so
     fusion can clean up (the paper's pipeline does the same for k-means:
-    Conditional Reduce is followed by re-fusion). *)
+    Conditional Reduce is followed by re-fusion).
+
+    Rewrite selection is cost-guided: at each iteration every applicable
+    rule is evaluated on the same program (linear, order-independent) and
+    the candidate with the lowest predicted communication volume — which
+    may be "keep", accepting remote reads when they are cheaper than the
+    rewrite's gathers — wins; strict improvement is required, so the
+    search terminates.  [machine] and [input_lens] parameterize the
+    volume prediction ({!Comm}). *)
 let analyze ?(transforms = Dmll_opt.Rules_nested.cpu_rules)
     ?(reoptimize = fun e -> (Dmll_opt.Pipeline.optimize e).Dmll_opt.Pipeline.program)
-    (e : exp) : report =
+    ?input_lens ?machine (e : exp) : report =
+  let volume e = predicted_volume ?input_lens ?machine e in
   let rewrites = ref [] in
+  let decisions = ref [] in
   let rec fix e iters =
     let layouts, warnings = propagate e in
     let bad = bad_accesses e layouts in
     if bad = [] || iters >= 8 then (e, layouts, warnings, bad)
     else
-      (* try each rewrite rule, one at a time, linear search (§4.2) *)
+      (* try each rewrite rule, one at a time, linear search (§4.2);
+         every applicable candidate is scored on the same program *)
       let try_rule rule =
         let trace = R.new_trace () in
         let e' = R.sweep [ rule ] trace e in
@@ -185,23 +235,43 @@ let analyze ?(transforms = Dmll_opt.Rules_nested.cpu_rules)
           (* debug mode: verify the stencil-triggered rewrite itself *)
           Dmll_opt.Pipeline.run_check ("partition-rule:" ^ rule.R.rname) e';
           let e' = reoptimize e' in
-          let layouts', _ = propagate e' in
-          let bad' = bad_accesses e' layouts' in
-          if List.length bad' < List.length bad then Some (e', rule.R.rname) else None
+          Some (rule.R.rname, e', volume e')
         end
       in
-      let rec first = function
-        | [] -> None
-        | r :: rest -> ( match try_rule r with Some x -> Some x | None -> first rest)
-      in
-      match first transforms with
-      | Some (e', name) ->
-          rewrites := !rewrites @ [ name ];
-          fix e' (iters + 1)
-      | None -> (e, layouts, warnings, bad)
+      let applicable = List.filter_map try_rule transforms in
+      if applicable = [] then (e, layouts, warnings, bad)
+      else begin
+        let v_keep = volume e in
+        let best_name, best_e, best_v =
+          List.fold_left
+            (fun ((_, _, bv) as best) ((_, _, v) as cand) ->
+              if v < bv then cand else best)
+            (List.hd applicable) (List.tl applicable)
+        in
+        let candidates =
+          ("keep", v_keep) :: List.map (fun (n, _, v) -> (n, v)) applicable
+        in
+        if best_v < v_keep then begin
+          decisions :=
+            !decisions @ [ { iteration = iters; chosen = best_name; candidates } ];
+          rewrites := !rewrites @ [ best_name ];
+          fix best_e (iters + 1)
+        end
+        else begin
+          (* every rewrite moves at least as much data as the remote
+             reads it removes: keep the program, fall back to the
+             runtime's remote fetches *)
+          decisions :=
+            !decisions @ [ { iteration = iters; chosen = "keep"; candidates } ];
+          ignore best_e;
+          (e, layouts, warnings, bad)
+        end
+      end
   in
   let program, layouts, warnings, bad = fix e 0 in
-  let warnings = warnings @ List.map (fun (t, s) -> Remote_access (t, s)) bad in
+  let warnings =
+    dedup_warnings (warnings @ List.map (fun (t, s) -> Remote_access (t, s)) bad)
+  in
   let is_partitioned t = layout_of t layouts = Partitioned in
   { program;
     layouts;
@@ -209,6 +279,7 @@ let analyze ?(transforms = Dmll_opt.Rules_nested.cpu_rules)
     co_partitioned = Stencil.co_partition_pairs program ~is_partitioned;
     warnings;
     rewrites_applied = !rewrites;
+    decisions = !decisions;
   }
 
 (** All of a report's warnings as structured diagnostics. *)

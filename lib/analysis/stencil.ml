@@ -6,6 +6,11 @@
     - [Interval]: iteration [i] reads element [i] (or row [i] of a
       flattened matrix).  The runtime partitions on these boundaries and
       every access is local.
+    - [Interval_shifted c]: iteration [i] reads element [i + c] for a
+      statically known constant [c] — a bounded halo (1-D convolution,
+      CSR offset pairs).  Partitioning on interval boundaries keeps all
+      but at most [|c|] border elements per chunk local, so the stencil
+      stays local-friendly; the runtime exchanges only the halo.
     - [Const]: a fixed element; the runtime broadcasts it.
     - [All]: the whole collection per iteration; the runtime broadcasts the
       collection.
@@ -22,25 +27,47 @@ open Exp
 
 type t =
   | Interval
+  | Interval_shifted of int  (** [i + c]: a halo of width [|c|] *)
   | Const
   | All
   | Unknown
 
 let to_string = function
   | Interval -> "Interval"
+  | Interval_shifted c -> Printf.sprintf "Interval%+d" c
   | Const -> "Const"
   | All -> "All"
   | Unknown -> "Unknown"
 
 let pp fmt s = Fmt.string fmt (to_string s)
 
-(* Lattice: Const ⊑ Interval ⊑ All ⊑ Unknown; join = max. *)
-let rank = function Const -> 0 | Interval -> 1 | All -> 2 | Unknown -> 3
-let join a b = if rank a >= rank b then a else b
+(* Lattice: Const ⊑ Interval ⊑ Interval+c ⊑ All ⊑ Unknown; join = max.
+   Two shifted stencils join to the wider halo (ties broken towards the
+   positive offset so the join stays commutative and associative). *)
+let rank = function
+  | Const -> 0
+  | Interval -> 1
+  | Interval_shifted _ -> 2
+  | All -> 3
+  | Unknown -> 4
+
+let join a b =
+  match (a, b) with
+  | Interval_shifted x, Interval_shifted y ->
+      if abs x > abs y || (abs x = abs y && x >= y) then a else b
+  | _ -> if rank a >= rank b then a else b
+
 let join_all = List.fold_left join Const
 
-(** Does partitioning the collection on this stencil avoid remote reads? *)
-let local_friendly = function Interval | Const -> true | All | Unknown -> false
+(** Does partitioning the collection on this stencil avoid remote reads?
+    A bounded halo qualifies: only [|c|] border elements per chunk cross
+    the network, not the dataset. *)
+let local_friendly = function
+  | Interval | Interval_shifted _ | Const -> true
+  | All | Unknown -> false
+
+(** Halo width in elements: non-zero only for the shifted case. *)
+let halo_width = function Interval_shifted c -> abs c | _ -> 0
 
 (* ------------------------------------------------------------------ *)
 (* Access collection                                                   *)
@@ -166,7 +193,16 @@ let classify_site (site : site) : t =
                     if List.for_all (fun j -> Option.is_some (Linear.in_index j b)) b_inner
                     then All
                     else Unknown
-              else if Linear.is_one a && b_inner = [] then Interval
+              else if Linear.is_one a && b_inner = [] then (
+                (* unit coefficient: i + b.  b = 0 is the pure interval;
+                   a non-zero constant is a bounded halo; a symbolic
+                   offset has no static width bound, so it is data
+                   movement we cannot budget — Unknown (previously this
+                   case was unsoundly classified Interval) *)
+                match Linear.const_offset b with
+                | Some 0 -> Interval
+                | Some c -> Interval_shifted c
+                | None -> Unknown)
               else
                 (* row pattern: a*i + j with one inner index j of extent a *)
                 match b_inner with
@@ -235,19 +271,30 @@ let global (e : exp) : (target * t) list =
     [] (outer_loops e)
 
 (** Pairs of partitioned collections consumed by the same loop, which the
-    runtime must co-partition (paper §4.2). *)
+    runtime must co-partition (paper §4.2).  Each pair is reported once,
+    regardless of orientation or how many loops consume it. *)
 let co_partition_pairs (e : exp) ~(is_partitioned : target -> bool) :
     (target * target) list =
-  List.concat_map
-    (fun l ->
-      let ts =
-        List.filter_map
-          (fun (t, s) -> if is_partitioned t && s = Interval then Some t else None)
-          (of_loop l)
-      in
-      let rec pairs = function
-        | [] | [ _ ] -> []
-        | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
-      in
-      pairs ts)
-    (outer_loops e)
+  let aligned = function Interval | Interval_shifted _ -> true | _ -> false in
+  let pair_equal (a1, b1) (a2, b2) =
+    (target_equal a1 a2 && target_equal b1 b2)
+    || (target_equal a1 b2 && target_equal b1 a2)
+  in
+  let all =
+    List.concat_map
+      (fun l ->
+        let ts =
+          List.filter_map
+            (fun (t, s) -> if is_partitioned t && aligned s then Some t else None)
+            (of_loop l)
+        in
+        let rec pairs = function
+          | [] | [ _ ] -> []
+          | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+        in
+        pairs ts)
+      (outer_loops e)
+  in
+  List.fold_left
+    (fun acc p -> if List.exists (pair_equal p) acc then acc else acc @ [ p ])
+    [] all

@@ -87,7 +87,7 @@ let gen_access ~(transposed : bool) (l : loop) : access =
         let sev = function
           | Stencil.Const -> 0
           | Stencil.All -> 1 (* broadcast: cached, reasonably fast *)
-          | Stencil.Interval -> 2
+          | Stencil.Interval | Stencil.Interval_shifted _ -> 2
           | Stencil.Unknown -> 3
         in
         if sev s > sev acc then s else acc)
@@ -95,7 +95,7 @@ let gen_access ~(transposed : bool) (l : loop) : access =
   in
   match worst with
   | Stencil.Unknown -> Gather
-  | Stencil.Interval ->
+  | Stencil.Interval | Stencil.Interval_shifted _ ->
       (* element-stencil accesses are contiguous across threads; row-block
          stencils are strided unless the input was transposed.  We
          distinguish them by re-deriving the affine coefficient: a row

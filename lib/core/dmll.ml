@@ -94,17 +94,40 @@ let with_debug_checks (debug : bool) (f : unit -> 'a) : 'a =
 let () =
   if debug_default then Runtime.Fault.post_replan_check := Some verify_stage
 
+(* On cluster targets, horizontal fusion is tie-broken by predicted
+   communication volume: a fusion that would force extra broadcasts (e.g.
+   merging a master-only loop into a distributed one) is declined.  The
+   objective is installed only for the duration of the compile, mirroring
+   [with_debug_checks]. *)
+let with_comm_objective (target : target) (f : unit -> 'a) : 'a =
+  match target with
+  | Cluster config ->
+      let saved = !Opt.Fusion.comm_objective in
+      let machine = config.Runtime.Sim_cluster.cluster in
+      Opt.Fusion.comm_objective :=
+        Some (fun e -> Analysis.Partition.predicted_volume ~machine e);
+      Fun.protect ~finally:(fun () -> Opt.Fusion.comm_objective := saved) f
+  | _ -> f ()
+
 (** Compile a staged program for [target]. *)
 let compile ?(target = Sequential) ?(debug = debug_default) (source : Exp.exp) :
     compiled =
   with_debug_checks debug @@ fun () ->
+  with_comm_objective target @@ fun () ->
   if debug then verify_stage "source" source;
   (* 1. target-independent optimizations, including the CPU-beneficial
      nested rules (GroupBy-Reduce and friends, §3.2) *)
   let r = Opt.Pipeline.optimize_with ~extra_rules:Opt.Rules_nested.cpu_rules source in
   let generic = r.Opt.Pipeline.program in
   (* 2. partitioning analysis with stencil-triggered rewrites (§4) *)
-  let partition = Analysis.Partition.analyze generic in
+  let partition =
+    Analysis.Partition.analyze
+      ?machine:
+        (match target with
+        | Cluster config -> Some config.Runtime.Sim_cluster.cluster
+        | _ -> None)
+      generic
+  in
   let after_partition = partition.Analysis.Partition.program in
   (* 3. target-specific lowering *)
   let final, gpu_lowered =

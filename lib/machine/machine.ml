@@ -131,6 +131,11 @@ let ec2_cluster : cluster =
     ser_gbs = 0.8;
   }
 
+(** Per-link network bandwidth in bytes/second — the conversion every
+    byte-volume consumer (communication planning, the cluster simulator)
+    needs when turning predicted volume into wire seconds. *)
+let net_bytes_per_sec (c : cluster) : float = c.net_bw_gbs *. 1e9
+
 (* ------------------------------------------------------------------ *)
 (* Fault model                                                         *)
 (* ------------------------------------------------------------------ *)

@@ -211,6 +211,37 @@ let vertical : Rewrite.rule =
 (* Horizontal fusion                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(** Communication tie-break for horizontal fusion.  When set (the driver
+    installs the partitioning analysis's predicted-volume objective for
+    cluster targets), a fusion candidate that would move {e more} bytes
+    than the unfused pair is declined: merging a master-only loop into a
+    distributed one forces broadcasts of its inputs, which can dwarf the
+    saved traversal.  [None] (the default) keeps fusion unconditional —
+    shared-memory targets have no communication to lose.  The hook lives
+    here (not in the analysis layer) so [dmll_opt] stays below
+    [dmll_analysis] in the library order; only the closure crosses. *)
+let comm_objective : (exp -> float) option ref = ref None
+
+(** Fusions declined by the objective since the counter was last reset —
+    observable by tools ([dmllc --explain-comm]) and tests. *)
+let comm_rejections : int ref = ref 0
+
+(* Does the objective veto replacing [before] with [after]?  Strict
+   increase only: equal-volume fusions keep firing, preserving the
+   shared-memory behavior whenever communication is unaffected. *)
+let objective_vetoes ~(before : exp) ~(after : exp) : bool =
+  match !comm_objective with
+  | None -> false
+  | Some vol ->
+      if vol after > vol before then begin
+        incr comm_rejections;
+        Logs.debug (fun m ->
+            m "horizontal-fusion declined: predicted comm %.0fB -> %.0fB"
+              (vol before) (vol after));
+        true
+      end
+      else false
+
 (* Substitute the index of loop [l] by [idx] in all generator parts. *)
 let retarget_gens ~(from_idx : Sym.t) ~(to_idx : Sym.t) (gens : gen list) : gen list =
   let rw e = refresh_binders (subst1 from_idx (Var to_idx) e) in
@@ -234,7 +265,7 @@ let horizontal : Rewrite.rule =
   { rname = "horizontal-fusion";
     apply =
       (function
-      | Let (s1, Loop l1, Let (s2, Loop l2, body))
+      | Let (s1, Loop l1, Let (s2, Loop l2, body)) as before
         when alpha_equal l1.size l2.size
              && Rewrite.pure l1.size
              && not (Sym.Set.mem s1 (free_vars (Loop l2)))
@@ -265,12 +296,14 @@ let horizontal : Rewrite.rule =
           | None -> None
           | Some tys ->
               let fused = Sym.fresh ~name:"fz" (Types.Tup tys) in
-              Some
-                (Let
-                   ( fused,
-                     fused_loop,
-                     rebind_result fused s1 ~off:0 ~n:n1
-                       (rebind_result fused s2 ~off:n1 ~n:n2 body) )))
+              let after =
+                Let
+                  ( fused,
+                    fused_loop,
+                    rebind_result fused s1 ~off:0 ~n:n1
+                      (rebind_result fused s2 ~off:n1 ~n:n2 body) )
+              in
+              if objective_vetoes ~before ~after then None else Some after)
       | _ -> None);
   }
 

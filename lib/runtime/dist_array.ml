@@ -22,6 +22,9 @@ type t = {
   local_of : int -> V.t;  (** location-id -> that location's chunk *)
   my_location : int;
   remote_reads : int Atomic.t;  (** trapped non-local accesses *)
+  remote_bytes : float Atomic.t;
+      (** bytes those accesses moved — the element-granular side of the
+          measured traffic the comm plans are validated against *)
   faults : Fault.t option;  (** remote-read fault injection (DESIGN.md §9) *)
   retried_reads : int Atomic.t;  (** dropped remote reads that were retried *)
   degraded_reads : int Atomic.t;
@@ -83,6 +86,7 @@ let scatter ?faults (dir : directory) (v : V.t) : t =
     local_of = (fun loc -> pieces.(loc));
     my_location = 0;
     remote_reads = Atomic.make 0;
+    remote_bytes = Atomic.make 0.0;
     faults;
     retried_reads = Atomic.make 0;
     degraded_reads = Atomic.make 0;
@@ -91,6 +95,14 @@ let scatter ?faults (dir : directory) (v : V.t) : t =
 
 let add_delay_us (t : t) (us : float) =
   ignore (Atomic.fetch_and_add t.delay_us (int_of_float (ceil us)))
+
+(* Atomic float accumulation (no fetch_and_add for boxed floats). *)
+let add_remote_bytes (t : t) (b : float) =
+  let rec go () =
+    let cur = Atomic.get t.remote_bytes in
+    if not (Atomic.compare_and_set t.remote_bytes cur (cur +. b)) then go ()
+  in
+  go ()
 
 (* Counted warning: the degradation path must be loud but not flood. *)
 let warn_degraded (t : t) (i : int) =
@@ -134,9 +146,12 @@ let read (t : t) ~(from_loc : int) (i : int) : V.t =
         in
         fetch 0
   end;
-  V.get (t.local_of loc) (i - r.Chunk.lo)
+  let v = V.get (t.local_of loc) (i - r.Chunk.lo) in
+  if loc <> from_loc then add_remote_bytes t (Sim_common.value_bytes v);
+  v
 
 let remote_read_count (t : t) = Atomic.get t.remote_reads
+let remote_read_bytes (t : t) = Atomic.get t.remote_bytes
 let remote_retry_count (t : t) = Atomic.get t.retried_reads
 let degraded_read_count (t : t) = Atomic.get t.degraded_reads
 

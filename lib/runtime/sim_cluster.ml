@@ -42,6 +42,7 @@ open Dmll_ir
 module V = Dmll_interp.Value
 module Stencil = Dmll_analysis.Stencil
 module Partition = Dmll_analysis.Partition
+module Comm = Dmll_analysis.Comm
 module M = Dmll_machine.Machine
 
 type device = Cpu | Gpu_device
@@ -78,12 +79,16 @@ let tree_depth nodes =
 
 (* Simulated time of one outer loop on the cluster.  [alive] holds the
    ids of the currently live nodes; with faults enabled this loop's
-   events may remove permanently crashed nodes from it. *)
+   events may remove permanently crashed nodes from it.  Returns
+   (seconds, per-phase seconds, per-phase measured network bytes); the
+   byte parts feed the prediction-vs-measurement contract
+   ({!Dmll_analysis.Comm.check_measured}, armed by [DMLL_DEBUG=1]). *)
 let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
     ~(inputs_ty : (string * Types.ty) list) ~(eval_size : Exp.exp -> int option)
     ~(env : Evalenv.env) ~(inputs : (string * V.t) list)
-    ?(fault : (Fault.t * int) option) ~(alive : int list ref) (l : Exp.loop)
-    ~(n : int) : float * (string * float) list =
+    ?(fault : (Fault.t * int) option) ?(label = "loop") ~(alive : int list ref)
+    (l : Exp.loop) ~(n : int) :
+    float * (string * float) list * (string * float) list =
   let c = config.cluster in
   let nodes_alive = !alive in
   let na = List.length nodes_alive in
@@ -110,7 +115,7 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
         ~threads:numa_cfg.Sim_numa.threads ~mode:numa_cfg.Sim_numa.mode ~layout_of
         ~inputs_ty ~eval_size l ~n
     in
-    (dt, [ ("master-only", dt) ])
+    (dt, [ ("master-only", dt) ], [])
   end
   else begin
     (* per-node compute on a 1/nodes chunk *)
@@ -159,15 +164,28 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
         +. net_seconds c ~bytes:(bytes *. 2.0) ~messages:(tree_depth na)
     in
     let broadcast_s = collective broadcast_bytes in
-    (* replication fallback for non-local-friendly partitioned stencils *)
+    (* replication fallback for non-local-friendly partitioned stencils,
+       plus the halo exchange for shifted-interval stencils: each chunk
+       boundary trades |c| border elements, never more than the whole
+       collection *)
     let replicate_bytes =
       List.fold_left
         (fun acc (t, s) ->
-          if Stencil.local_friendly s then acc
-          else
+          let coll =
             match value_of_target t with
-            | Some v -> acc +. Sim_common.value_bytes v
-            | None -> acc)
+            | Some v -> Sim_common.value_bytes v
+            | None -> 0.0
+          in
+          if not (Stencil.local_friendly s) then acc +. coll
+          else
+            let w = Stencil.halo_width s in
+            if w = 0 then acc
+            else
+              acc
+              +. Float.min
+                   (float_of_int (w * na)
+                   *. Sim_common.target_elem_bytes ~inputs_ty t)
+                   coll)
         0.0 partitioned
     in
     let replicate_s = collective ~skip_empty:true replicate_bytes in
@@ -193,12 +211,51 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
              ~bytes:(gather_bytes *. float_of_int (na - 1))
              ~messages:(tree_depth na)
     in
+    (* measured wire bytes per phase; na <= 1 means no network at all *)
+    let traffic =
+      if na <= 1 then []
+      else
+        [ ("broadcast", broadcast_bytes); ("replicate", replicate_bytes);
+          ("gather", gather_bytes *. float_of_int na) ]
+    in
+    (* prediction-vs-measurement: the loop's comm plan, resolved against
+       the live values the simulator itself just charged for, must bound
+       the measured traffic (up to serialization slack).  Predictions use
+       the full configured node count, an upper bound on [na]. *)
+    if !Comm.validate_enabled then begin
+      let plan = Comm.of_loop ~layout_of ~label l in
+      let resolver =
+        { Comm.collection_bytes =
+            (fun t ->
+              match value_of_target t with
+              | Some v -> Sim_common.value_bytes v
+              | None -> 0.0);
+          elem_bytes = Sim_common.target_elem_bytes ~inputs_ty;
+          init_bytes =
+            (fun i ->
+              match Evalenv.eval ~inputs env i with
+              | v -> Sim_common.value_bytes v
+              | exception _ -> 64.0);
+        }
+      in
+      let predicted p =
+        Comm.phase_bytes ~nodes:c.M.nodes ~layout_of resolver plan p
+      in
+      let site = "cluster:" ^ label in
+      List.iter
+        (fun (phase, measured, p) ->
+          Comm.check_measured ~site ~phase ~predicted:(predicted p) ~measured)
+        [ ("broadcast", broadcast_bytes, `Broadcast);
+          ("replicate", replicate_bytes, `Replicate);
+          ("gather", gather_bytes *. float_of_int na, `Gather) ]
+    end;
     match fault with
     | None ->
         let total = compute_s +. broadcast_s +. replicate_s +. gather_s in
         ( total,
           [ ("compute", compute_s); ("broadcast", broadcast_s);
-            ("replicate", replicate_s); ("gather", gather_s) ] )
+            ("replicate", replicate_s); ("gather", gather_s) ],
+          traffic )
     | Some (inj, loop_no) ->
         let spec = Fault.spec inj in
         let fates =
@@ -316,7 +373,8 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
           [ ("compute", compute_s); ("broadcast", broadcast_s);
             ("replicate", replicate_s); ("gather", gather_s);
             ("detect", detect_s); ("recompute", recompute_s);
-            ("rebalance", rebalance_s) ] )
+            ("rebalance", rebalance_s) ],
+          traffic )
   end
 
 (** Execute [program] exactly; charge simulated time on the cluster. *)
@@ -333,26 +391,32 @@ let run ?(config = default_config) ?layouts ~(inputs : (string * V.t) list)
   let inputs_ty = Sim_common.program_input_tys program in
   let time = ref 0.0 in
   let breakdown = ref [] in
+  let traffic = ref [] in
   let alive = ref (List.init config.cluster.M.nodes (fun i -> i)) in
   let loop_no = ref 0 in
   let value =
     Spine.exec ~inputs
       ~on_loop:(fun env sym l ->
         incr loop_no;
+        let name = match sym with Some s -> Sym.to_string s | None -> "result" in
         let eval_size = Sim_common.live_size_evaluator ~inputs env in
         let n = match eval_size l.Exp.size with Some n -> n | None -> 0 in
         let fault = Option.map (fun f -> (f, !loop_no)) config.faults in
-        let dt, parts =
+        let dt, parts, bytes =
           loop_time ~config ~layout_of ~inputs_ty ~eval_size ~env ~inputs ?fault
-            ~alive l ~n
+            ~label:name ~alive l ~n
         in
         time := !time +. dt;
-        let name = match sym with Some s -> Sym.to_string s | None -> "result" in
         breakdown := (name, dt) :: List.map (fun (p, s) -> (name ^ "/" ^ p, s)) parts @ !breakdown;
+        traffic := List.rev_map (fun (p, b) -> (name ^ "/" ^ p, b)) bytes @ !traffic;
         Evalenv.eval ~inputs env (Exp.Loop l))
       program
   in
-  { Sim_common.value; seconds = !time; breakdown = List.rev !breakdown }
+  { Sim_common.value;
+    seconds = !time;
+    breakdown = List.rev !breakdown;
+    traffic = List.rev !traffic;
+  }
 
 (** The live nodes remaining after a faulty [run] are not reported here —
     the injector's {!Fault.stats_to_string} carries the event counts; a

@@ -16,6 +16,11 @@ type result = {
   value : V.t;
   seconds : float;
   breakdown : (string * float) list;  (** per-phase simulated seconds *)
+  traffic : (string * float) list;
+      (** measured network bytes, recorded per loop and phase as
+          ["<loop>/<phase>"] — the cluster executor's side of the
+          prediction-vs-measurement contract ({!Dmll_analysis.Comm});
+          empty for executors with no network *)
 }
 
 (** The per-loop phases the fault-aware cluster executor appends to the

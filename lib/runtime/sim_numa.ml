@@ -147,7 +147,7 @@ let run ?(config =
         Evalenv.eval ~inputs env (Exp.Loop l))
       program
   in
-  { Sim_common.value; seconds = !time; breakdown = List.rev !breakdown }
+  { Sim_common.value; seconds = !time; breakdown = List.rev !breakdown; traffic = [] }
 
 (** Simulated time only (value discarded). *)
 let time ?config ?layouts ~inputs program =

@@ -109,13 +109,66 @@ let test_stencil_column () =
   check tbool "column access is not Interval" true
     (stencil_of_xs l <> Stencil.Interval)
 
+let test_stencil_shifted () =
+  (* i + c: a bounded halo — still partition-friendly, unlike All *)
+  let l = loop_of (collect ~size:(Len xs) (fun i -> read xs (i +! int_ 2))) in
+  check stencil "i+2" (Stencil.Interval_shifted 2) (stencil_of_xs l);
+  let l2 = loop_of (collect ~size:(Len xs) (fun i -> read xs (i -! int_ 1))) in
+  check stencil "i-1" (Stencil.Interval_shifted (-1)) (stencil_of_xs l2);
+  check tbool "halo is local-friendly" true
+    (Stencil.local_friendly (Stencil.Interval_shifted 2));
+  check tint "halo width is |c|" 3 (Stencil.halo_width (Stencil.Interval_shifted (-3)))
+
+let test_stencil_golden_table () =
+  (* one row per subscript shape the classifier distinguishes *)
+  let c = Sym.fresh ~name:"c" Types.Int in
+  let cols = int_ 10 in
+  let cases =
+    [ ("i", collect ~size:(Len xs) (fun i -> read xs i), Stencil.Interval);
+      ("constant", collect ~size:(int_ 10) (fun _ -> read xs (int_ 3)), Stencil.Const);
+      ("i+2", collect ~size:(Len xs) (fun i -> read xs (i +! int_ 2)),
+        Stencil.Interval_shifted 2);
+      ("i-1", collect ~size:(Len xs) (fun i -> read xs (i -! int_ 1)),
+        Stencil.Interval_shifted (-1));
+      (* symbolic offset: no static halo bound, must stay Unknown *)
+      ("i+c (symbolic)", collect ~size:(Len xs) (fun i -> read xs (i +! Var c)),
+        Stencil.Unknown);
+      ("covering row",
+        collect ~size:(int_ 50) (fun i ->
+            fsum ~size:cols (fun j -> read xs ((i *! cols) +! j))),
+        Stencil.Interval);
+      ("partial row",
+        collect ~size:(int_ 50) (fun i ->
+            fsum ~size:(int_ 5) (fun j -> read xs ((i *! cols) +! j))),
+        Stencil.Unknown);
+      ("inner sweep",
+        collect ~size:(int_ 4) (fun _ -> fsum ~size:(Len xs) (fun j -> read xs j)),
+        Stencil.All);
+      ("data-dependent",
+        collect ~size:(Len xs) (fun i ->
+            read xs (Read (Input ("perm", Types.Arr Types.Int, Local), i))),
+        Stencil.Unknown);
+    ]
+  in
+  List.iter
+    (fun (name, e, expect) -> check stencil name expect (stencil_of_xs (loop_of e)))
+    cases
+
 let test_stencil_join () =
   check stencil "join const interval" Stencil.Interval
     (Stencil.join Stencil.Const Stencil.Interval);
   check stencil "join interval unknown" Stencil.Unknown
     (Stencil.join Stencil.Interval Stencil.Unknown);
+  check stencil "join shifted widens" (Stencil.Interval_shifted (-3))
+    (Stencil.join (Stencil.Interval_shifted (-3)) (Stencil.Interval_shifted 1));
+  check stencil "join shifted absorbs interval" (Stencil.Interval_shifted 1)
+    (Stencil.join Stencil.Interval (Stencil.Interval_shifted 1));
   (* join is commutative, associative, idempotent *)
-  let all = Stencil.[ Interval; Const; All; Unknown ] in
+  let all =
+    Stencil.
+      [ Interval; Const; All; Unknown; Interval_shifted 1; Interval_shifted (-1);
+        Interval_shifted 2 ]
+  in
   List.iter
     (fun a ->
       check stencil "idempotent" a (Stencil.join a a);
@@ -246,6 +299,108 @@ let test_co_partitioning () =
          let n = Stencil.target_to_string in
          (n a = "xs" && n b = "ys") || (n a = "ys" && n b = "xs"))
        r.Partition.co_partitioned)
+
+let test_co_partitioning_dedup () =
+  (* two loops consume the same aligned pair: the requirement is reported
+     once, not once per consuming loop *)
+  let ys = Input ("ys", Types.Arr Types.Float, Partitioned) in
+  let e =
+    bind ~ty:(Types.Arr Types.Float)
+      (zip_with xs ys ( +. ))
+      (fun _ -> zip_with xs ys ( *. ))
+  in
+  let r = Partition.analyze ~transforms:[] ~reoptimize:(fun e -> e) e in
+  check tint "pair reported once" 1 (List.length r.Partition.co_partitioned)
+
+(* ---------------- cost-guided rewrite decisions ---------------- *)
+
+let test_partition_decisions_recorded () =
+  (* default lengths: the conditional-reduce rewrite wins, and the decision
+     log records the rejected "keep" alternative with a strictly larger
+     predicted communication volume *)
+  let r = Partition.analyze (mini_kmeans ~k:3) in
+  match r.Partition.decisions with
+  | [] -> Alcotest.fail "no decision recorded"
+  | d :: _ ->
+      check tbool "conditional-reduce chosen" true
+        (String.equal d.Partition.chosen "conditional-reduce");
+      check tbool "keep was a candidate" true
+        (List.mem_assoc "keep" d.Partition.candidates);
+      check tbool "chosen strictly cheaper than keep" true
+        (List.assoc "conditional-reduce" d.Partition.candidates
+        < List.assoc "keep" d.Partition.candidates)
+
+let test_partition_cost_guided_keep () =
+  (* with real (tiny) input sizes the rewrite's per-node bucket shuffles
+     cost more than just replicating the small collections: the cost-guided
+     search keeps the program, where the old first-improvement search would
+     have rewritten unconditionally — and the rejected rewrite is recorded *)
+  let r = Partition.analyze ~input_lens:[ ("data", 32) ] (mini_kmeans ~k:3) in
+  check tbool "no rewrite applied on tiny data" true
+    (r.Partition.rewrites_applied = []);
+  match r.Partition.decisions with
+  | [] -> Alcotest.fail "no decision recorded"
+  | d :: _ ->
+      check tbool "keep chosen" true (String.equal d.Partition.chosen "keep");
+      check tbool "a rejected rewrite is recorded" true
+        (List.exists (fun (n, _) -> not (String.equal n "keep")) d.Partition.candidates)
+
+let fixpoint_fusion e =
+  let trace = Dmll_opt.Rewrite.new_trace () in
+  Dmll_opt.Rewrite.fixpoint Dmll_opt.Fusion.rules trace e
+
+let test_fusion_comm_tiebreak () =
+  (* a master-only loop over a Local collection next to a distributed loop:
+     fusing them forces a broadcast of the local collection *)
+  let lc = Input ("lc", Types.Arr Types.Float, Local) in
+  let pc = Input ("pc", Types.Arr Types.Float, Partitioned) in
+  let a = Sym.fresh ~name:"a" (Types.Arr Types.Float) in
+  let b = Sym.fresh ~name:"b" (Types.Arr Types.Float) in
+  let e =
+    Let
+      ( a,
+        collect ~size:(int_ 8) (fun i -> read lc i *. float_ 2.0),
+        Let
+          ( b,
+            collect ~size:(int_ 8) (fun i -> read pc i +. float_ 1.0),
+            Tuple [ Var a; Var b ] ) )
+  in
+  let count_loops e = List.length (Stencil.outer_loops e) in
+  (* no objective installed (shared-memory targets): the loops fuse *)
+  check tint "no objective: loops fuse" 1 (count_loops (fixpoint_fusion e));
+  (* the predicted-volume objective vetoes the volume-increasing fusion *)
+  let saved = !Dmll_opt.Fusion.comm_objective in
+  Dmll_opt.Fusion.comm_objective := Some (fun e -> Partition.predicted_volume e);
+  Dmll_opt.Fusion.comm_rejections := 0;
+  Fun.protect
+    ~finally:(fun () -> Dmll_opt.Fusion.comm_objective := saved)
+    (fun () ->
+      check tint "objective: fusion declined" 2 (count_loops (fixpoint_fusion e));
+      check tbool "rejection counted" true (!Dmll_opt.Fusion.comm_rejections > 0))
+
+(* predicted volume never decreases as the stencil coarsens: the optimizer
+   may rank rewrites by it without a coarser classification ever looking
+   cheaper *)
+let arb_stencil =
+  QCheck.make
+    ~print:Stencil.to_string
+    (QCheck.Gen.oneof
+       [ QCheck.Gen.oneofl Stencil.[ Const; Interval; All; Unknown ];
+         QCheck.Gen.map
+           (fun c -> Stencil.Interval_shifted c)
+           (QCheck.Gen.int_range (-8) 8);
+       ])
+
+let prop_stencil_bytes_monotone =
+  QCheck.Test.make ~count:500
+    ~name:"predicted comm volume is monotone under the stencil join"
+    (QCheck.pair arb_stencil arb_stencil)
+    (fun (a, b) ->
+      let bytes s =
+        Comm.stencil_bytes ~nodes:4 ~elem_bytes:8.0 ~collection_bytes:4096.0 s
+      in
+      let j = Stencil.join a b in
+      bytes a <= bytes j && bytes b <= bytes j)
 
 (* ---------------- cost ---------------- *)
 
@@ -584,6 +739,9 @@ let () =
           Alcotest.test_case "unknown" `Quick test_stencil_unknown;
           Alcotest.test_case "row" `Quick test_stencil_row;
           Alcotest.test_case "column" `Quick test_stencil_column;
+          Alcotest.test_case "shifted interval" `Quick test_stencil_shifted;
+          Alcotest.test_case "golden classification table" `Quick
+            test_stencil_golden_table;
           Alcotest.test_case "join lattice" `Quick test_stencil_join;
           Alcotest.test_case "global join" `Quick test_global_join;
         ] );
@@ -595,6 +753,15 @@ let () =
           Alcotest.test_case "fallback warning" `Quick test_partition_fallback_warning;
           Alcotest.test_case "sequential warning" `Quick test_partition_sequential_warning;
           Alcotest.test_case "co-partitioning" `Quick test_co_partitioning;
+          Alcotest.test_case "co-partitioning dedup" `Quick test_co_partitioning_dedup;
+        ] );
+      ( "comm",
+        [ Alcotest.test_case "decisions recorded" `Quick
+            test_partition_decisions_recorded;
+          Alcotest.test_case "cost-guided keep on tiny data" `Quick
+            test_partition_cost_guided_keep;
+          Alcotest.test_case "fusion tie-break" `Quick test_fusion_comm_tiebreak;
+          QCheck_alcotest.to_alcotest prop_stencil_bytes_monotone;
         ] );
       ( "cost",
         [ Alcotest.test_case "basics" `Quick test_cost_basics;
