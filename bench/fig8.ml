@@ -107,10 +107,10 @@ let gpu_cluster () =
     { R.Sim_cluster.default_config with cluster = M.gpu_cluster }
   in
   let gpu_config =
-    { R.Sim_cluster.cluster = M.gpu_cluster;
+    { R.Sim_cluster.default_config with
+      cluster = M.gpu_cluster;
       device = R.Sim_cluster.Gpu_device;
       gpu_options = { R.Sim_gpu.transpose = true; row_to_column = true };
-      faults = None;
     }
   in
   (* Spark on the same 4 high-end nodes *)

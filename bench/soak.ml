@@ -1,0 +1,205 @@
+(* Chaos soak (DESIGN.md §11): the headline robustness artifact.
+
+   Generates a stream of random well-typed DMLL programs (the property-test
+   generator, wrapped so every program owns a partitioned input and hence
+   at least one distributed loop), then runs each on the simulated cluster
+   under a randomized chaos regime — crashes, stragglers, lossy remote
+   reads, membership churn (joins + graceful leaves), tight memory budgets,
+   and periodic checkpoints with the restore-vs-replay recovery policy
+   armed.  Every run's value must be bit-identical to the reference
+   interpreter: chaos may only move the simulated clock, never the answer.
+
+   Everything is seeded: same seed, same programs, same chaos, same
+   decisions.  Exits nonzero on the first mismatch.  Emits a JSON
+   recovery-cost profile at the end:
+
+     {"programs":N,"checked":N,"skipped":K,"seed":S,
+      "phases":{"detect":...,"recompute":...,"rebalance":...,
+                "restore":...,"checkpoint":...,"churn":...,"spill":...},
+      "events":{"injected":...,"joins":...,"leaves":...,
+                "restores":...,"replays":...,"checkpoints":...},
+      "decisions":[{"at_loop":...,"chosen":"restore",...},...]}
+
+   Usage: soak.exe [--programs N] [--seed S] [--verbose]
+   The `dune build @soak` alias runs the short pinned configuration. *)
+
+open Dmll_ir
+module R = Dmll_runtime
+module M = Dmll_machine.Machine
+module V = Dmll_interp.Value
+module Interp = Dmll_interp.Interp
+
+let default_programs = 120
+let default_seed = 20260807
+
+(* ------------------------------------------------------------------ *)
+(* Program generation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Every program owns a partitioned input ("xs"), so the wrapper loop is
+   distributed and the cluster's fault/churn/pressure machinery is always
+   exercised.  Shared with the recovery-equivalence property tests. *)
+let gen_soak_program : Exp.exp QCheck.Gen.t =
+  Dmll_testgen.Gen_ir.partitioned_program
+
+(* ------------------------------------------------------------------ *)
+(* Chaos regimes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* All chaos parameters are drawn from a private SplitMix64 stream keyed
+   by the soak seed and the program number — reproducible and independent
+   of generation order. *)
+let chaos_config ~(seed : int) ~(program_no : int) =
+  let rng = Dmll_util.Prng.create (seed lxor (program_no * 0x9E3779B9)) in
+  let f bound = Dmll_util.Prng.float rng bound in
+  let pick xs = List.nth xs (int_of_float (f (float_of_int (List.length xs)))) in
+  let nodes = pick [ 2; 3; 5; 8 ] in
+  let spec =
+    { M.default_faults with
+      M.fault_seed = seed + program_no;
+      crash_prob = f 0.3;
+      crash_transient_frac = 0.3 +. f 0.5;
+      straggler_prob = f 0.2;
+      read_drop_prob = f 0.05;
+      read_delay_prob = f 0.05;
+      join_prob = f 0.3;
+      leave_prob = f 0.15;
+      spare_nodes = pick [ 2; 3; 4 ];
+      max_retries = 2;
+      backoff_us = 1.0;
+    }
+  in
+  let mem_budget_gb =
+    (* every third program runs with a ~2KB budget, tight enough that its
+       partition share spills and remote reads see backpressure *)
+    if program_no mod 3 = 0 then Some 2e-6 else None
+  in
+  let injector = R.Fault.create spec in
+  let store = R.Checkpoint.create ~cadence:(pick [ 1; 2; 3 ]) in
+  let config =
+    { R.Sim_cluster.default_config with
+      cluster = M.with_nodes nodes M.ec2_cluster;
+      faults = Some injector;
+      mem_budget_gb;
+    }
+  in
+  (config, injector, store)
+
+(* ------------------------------------------------------------------ *)
+(* The soak loop                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let phase_names =
+  R.Sim_common.recovery_phases @ R.Sim_common.elastic_phases
+  @ [ "compute"; "broadcast"; "replicate"; "gather" ]
+
+let run ?(programs = default_programs) ?(seed = default_seed)
+    ?(verbose = false) () : int =
+  let rand = Random.State.make [| seed |] in
+  let progs = QCheck.Gen.generate ~n:programs ~rand gen_soak_program in
+  let phase_totals = Hashtbl.create 16 in
+  let add_phase p s =
+    Hashtbl.replace phase_totals p
+      (s +. Option.value ~default:0.0 (Hashtbl.find_opt phase_totals p))
+  in
+  let checked = ref 0 and skipped = ref 0 and mismatches = ref 0 in
+  let injected = ref 0 and joins = ref 0 and leaves = ref 0 in
+  let restores = ref 0 and replays = ref 0 and checkpoints = ref 0 in
+  let all_decisions = ref [] in
+  List.iteri
+    (fun pno program ->
+      let n = 256 + ((pno * 37) mod 512) in
+      let inputs =
+        [ ("xs", V.of_float_array (Array.init n (fun i -> float_of_int (i mod 23))))
+        ]
+      in
+      match Interp.run ~inputs program with
+      | exception Interp.Runtime_error _ -> incr skipped
+      | expected ->
+          let config, injector, store = chaos_config ~seed ~program_no:pno in
+          let result =
+            R.Sim_cluster.run ~config ~checkpoint:store ~inputs program
+          in
+          incr checked;
+          if not (V.equal expected result.R.Sim_common.value) then begin
+            incr mismatches;
+            Printf.eprintf
+              "MISMATCH program %d (seed %d):\n%s\nexpected %s\ngot      %s\n"
+              pno seed
+              (Dmll_ir.Pp.to_string program)
+              (V.to_string expected)
+              (V.to_string result.R.Sim_common.value)
+          end;
+          List.iter (fun p -> add_phase p (R.Sim_common.phase_total result p)) phase_names;
+          injected := !injected + R.Fault.total_injected injector;
+          joins := !joins + R.Fault.join_count injector;
+          leaves := !leaves + R.Fault.leave_count injector;
+          restores := !restores + R.Fault.restore_count injector;
+          replays := !replays + R.Fault.replay_count injector;
+          checkpoints := !checkpoints + R.Fault.checkpoint_count injector;
+          all_decisions := !all_decisions @ R.Checkpoint.decisions store;
+          if verbose then
+            Printf.printf "program %3d: nodes=%d %s\n%!" pno
+              config.R.Sim_cluster.cluster.M.nodes
+              (R.Fault.stats_to_string injector))
+    progs;
+  let phases_json =
+    String.concat ", "
+      (List.map
+         (fun p ->
+           Printf.sprintf "\"%s\": %.6g" p
+             (Option.value ~default:0.0 (Hashtbl.find_opt phase_totals p)))
+         phase_names)
+  in
+  let decisions_json =
+    String.concat ", "
+      (List.map
+         (fun (d : R.Checkpoint.decision) ->
+           Printf.sprintf
+             "{\"at_loop\": %d, \"chosen\": \"%s\", \"restore_cost_s\": \
+              %.6g, \"replay_cost_s\": %.6g}"
+             d.R.Checkpoint.decided_at_loop
+             (R.Checkpoint.choice_to_string d.R.Checkpoint.chosen)
+             d.R.Checkpoint.restore_cost d.R.Checkpoint.replay_cost)
+         !all_decisions)
+  in
+  Printf.printf
+    "{\"programs\": %d, \"checked\": %d, \"skipped\": %d, \"mismatches\": %d, \
+     \"seed\": %d, \"phases\": {%s}, \"events\": {\"injected\": %d, \
+     \"joins\": %d, \"leaves\": %d, \"restores\": %d, \"replays\": %d, \
+     \"checkpoints\": %d}, \"decisions\": [%s]}\n"
+    programs !checked !skipped !mismatches seed phases_json !injected !joins
+    !leaves !restores !replays !checkpoints decisions_json;
+  if !mismatches > 0 then 1
+  else if !checked < 100 && programs >= 100 then begin
+    Printf.eprintf
+      "soak: only %d of %d programs were checkable (need >= 100)\n" !checked
+      programs;
+    1
+  end
+  else 0
+
+let () =
+  let programs = ref default_programs in
+  let seed = ref default_seed in
+  let verbose = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--programs" :: v :: rest ->
+        programs := int_of_string v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "--verbose" :: rest ->
+        verbose := true;
+        parse rest
+    | a :: _ ->
+        Printf.eprintf
+          "soak: unknown argument %S\nusage: soak.exe [--programs N] [--seed \
+           S] [--verbose]\n"
+          a;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  exit (run ~programs:!programs ~seed:!seed ~verbose:!verbose ())

@@ -88,12 +88,34 @@ let faults_arg =
         ~doc:
           "Inject deterministic faults and recover from them (multicore and \
            cluster targets).  SPEC is comma-separated key=value pairs, e.g. \
-           $(b,seed=42,crash=0.05,straggler=0.1); keys: seed, crash, \
-           transient, straggler, slow, drop, delay, delay_us, retries, \
-           backoff_us, heartbeat_ms.  An empty value for a key keeps the \
-           default.  Results are identical to the fault-free run.")
+           $(b,seed=42,crash=0.05,straggler=0.1,join=0.2,leave=0.1); keys: \
+           seed, crash, transient, straggler, slow, drop, delay, delay_us, \
+           retries, backoff_us, heartbeat_ms, join, leave, spares.  An \
+           unknown key is rejected with the list of valid keys.  Results \
+           are identical to the fault-free run.")
 
-let main app target scale faults =
+let checkpoint_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Snapshot the spine bindings every $(docv) outer loops \
+           (checksummed; 0 disables).  On a crash the runtime prices \
+           restore-from-checkpoint against lineage replay and takes the \
+           cheaper path (multicore and cluster targets).")
+
+let mem_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "mem-budget" ] ~docv:"GB"
+        ~doc:
+          "Per-node memory budget in GB (cluster target).  Defaults to \
+           the machine model's per-node memory.  Loops whose resident set \
+           exceeds the budget spill to disk and see remote-read \
+           backpressure — the clock slows, the values never change.")
+
+let main app target scale faults checkpoint_every mem_budget =
   let { program; inputs } = prepare app ~scale in
   let injector =
     match faults with
@@ -104,6 +126,11 @@ let main app target scale faults =
         | Error msg ->
             Printf.eprintf "bad --faults spec: %s\n" msg;
             exit 2)
+  in
+  let store =
+    if checkpoint_every > 0 then
+      Some (Dmll_runtime.Checkpoint.create ~cadence:checkpoint_every)
+    else None
   in
   let target =
     match target with
@@ -118,29 +145,62 @@ let main app target scale faults =
     | `Gpu -> Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true }
     | `Cluster ->
         Dmll.Cluster
-          { Dmll_runtime.Sim_cluster.default_config with faults = injector }
+          { Dmll_runtime.Sim_cluster.default_config with
+            faults = injector;
+            checkpoint_cadence = checkpoint_every;
+            mem_budget_gb = mem_budget;
+          }
   in
   (match (injector, target) with
   | Some _, (Dmll.Sequential | Dmll.Numa _ | Dmll.Gpu _) ->
       Printf.eprintf
         "note: --faults only affects the multicore and cluster targets\n%!"
   | _ -> ());
+  (match (store, target) with
+  | Some _, (Dmll.Sequential | Dmll.Numa _ | Dmll.Gpu _) ->
+      Printf.eprintf
+        "note: --checkpoint-every only affects the multicore and cluster \
+         targets\n%!"
+  | _ -> ());
   let c = Dmll.compile ~target program in
   Printf.printf "optimizations: %s\n%!"
     (String.concat ", " (Dmll.optimizations c));
   let value, seconds =
-    (* the Multicore target takes the injector at run time (real
-       retry/backoff and lineage recovery on OCaml domains) *)
+    (* the Multicore target takes the injector and the checkpoint store at
+       run time (real retry/backoff and lineage recovery on OCaml domains) *)
     match (target, injector) with
     | Dmll.Multicore domains, Some f ->
         Dmll_util.Timing.time (fun () ->
-            Dmll_runtime.Exec_domains.run ~domains ~faults:f ~inputs c.Dmll.final)
+            Dmll_runtime.Exec_domains.run ~domains ~faults:f ?checkpoint:store
+              ~inputs c.Dmll.final)
+    | Dmll.Multicore domains, None when store <> None ->
+        Dmll_util.Timing.time (fun () ->
+            Dmll_runtime.Exec_domains.run ~domains ?checkpoint:store ~inputs
+              c.Dmll.final)
     | _ -> Dmll.timed_run c ~inputs
   in
   (match injector with
   | Some f ->
       Printf.printf "faults: %s\n" (Dmll_runtime.Fault.stats_to_string f)
   | None -> ());
+  (match store with
+  | Some s when Dmll_runtime.Checkpoint.taken s > 0 ->
+      Printf.printf "checkpoints: %d taken, %.0f bytes written%s\n"
+        (Dmll_runtime.Checkpoint.taken s)
+        (Dmll_runtime.Checkpoint.written_bytes s)
+        (match Dmll_runtime.Checkpoint.decisions s with
+        | [] -> ""
+        | ds ->
+            Printf.sprintf "; recovery decisions: %s"
+              (String.concat ", "
+                 (List.map
+                    (fun (d : Dmll_runtime.Checkpoint.decision) ->
+                      Printf.sprintf "loop %d -> %s"
+                        d.Dmll_runtime.Checkpoint.decided_at_loop
+                        (Dmll_runtime.Checkpoint.choice_to_string
+                           d.Dmll_runtime.Checkpoint.chosen))
+                    ds)))
+  | _ -> ());
   let kind =
     match target with
     | Dmll.Sequential | Dmll.Multicore _ -> "wall-clock"
@@ -154,6 +214,8 @@ let main app target scale faults =
 let cmd =
   let doc = "compile and run a DMLL benchmark application" in
   Cmd.v (Cmd.info "dmll_run" ~doc)
-    Term.(const main $ app_arg $ target_arg $ scale_arg $ faults_arg)
+    Term.(
+      const main $ app_arg $ target_arg $ scale_arg $ faults_arg
+      $ checkpoint_arg $ mem_budget_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -153,17 +153,6 @@ let run_lint target app =
 
 (* ---------------- --explain-comm ---------------- *)
 
-let decisions_json (ds : Partition.decision list) : string =
-  let one (d : Partition.decision) =
-    Printf.sprintf "{\"iteration\":%d,\"chosen\":\"%s\",\"candidates\":[%s]}"
-      d.Partition.iteration d.Partition.chosen
-      (String.concat ","
-         (List.map
-            (fun (n, v) -> Printf.sprintf "{\"rule\":\"%s\",\"bytes\":%.0f}" n v)
-            d.Partition.candidates))
-  in
-  "[" ^ String.concat "," (List.map one ds) ^ "]"
-
 (* Run the cost-guided partitioning analysis on the generically optimized
    program — crucially WITHOUT the CPU nested rules, so the Figure-3
    rewrites are chosen (or rejected) here, by predicted volume, and every
@@ -183,9 +172,9 @@ let explain_one ~json:as_json ~machine (name, build, input_lens) =
     Comm.summarize ~input_lens ~machine ~layout_of report.Partition.program
   in
   if as_json then
-    Printf.printf "{\"app\":\"%s\",\"decisions\":%s,\"comm\":%s}\n" name
-      (decisions_json report.Partition.decisions)
-      (Comm.summary_to_json summary)
+    print_endline
+      (Partition.explain_to_json ~app:name
+         ~decisions:report.Partition.decisions summary)
   else begin
     header (Printf.sprintf "comm: %s (%d nodes)" name machine.M.nodes);
     (match report.Partition.decisions with

@@ -284,3 +284,25 @@ let analyze ?(transforms = Dmll_opt.Rules_nested.cpu_rules)
 
 (** All of a report's warnings as structured diagnostics. *)
 let diags (r : report) : Diag.t list = List.map warning_to_diag r.warnings
+
+(** The decision log in the machine-readable schema [dmllc --explain-comm
+    --json] emits (field names/types are golden-tested — downstream
+    tooling relies on them). *)
+let decisions_to_json (ds : decision list) : string =
+  let one (d : decision) =
+    Printf.sprintf "{\"iteration\":%d,\"chosen\":\"%s\",\"candidates\":[%s]}"
+      d.iteration d.chosen
+      (String.concat ","
+         (List.map
+            (fun (n, v) -> Printf.sprintf "{\"rule\":\"%s\",\"bytes\":%.0f}" n v)
+            d.candidates))
+  in
+  "[" ^ String.concat "," (List.map one ds) ^ "]"
+
+(** One application's complete [--explain-comm --json] object. *)
+let explain_to_json ~(app : string) ~(decisions : decision list)
+    (summary : Comm.summary) : string =
+  Printf.sprintf "{\"app\":\"%s\",\"decisions\":%s,\"comm\":%s}"
+    (Comm.json_escape app)
+    (decisions_to_json decisions)
+    (Comm.summary_to_json summary)

@@ -45,8 +45,10 @@ type gpu = {
           shared memory (non-scalar reductions go through global memory) *)
 }
 
-(** One cluster node. *)
-type node = { numa : numa; gpu : gpu option }
+(** One cluster node.  [mem_gb] is the node's memory capacity — the
+    budget the memory-pressure model (DESIGN.md §11) charges spills and
+    remote-read backpressure against. *)
+type node = { numa : numa; gpu : gpu option; mem_gb : float }
 
 (** A cluster of identical nodes. *)
 type cluster = {
@@ -57,6 +59,9 @@ type cluster = {
   ser_gbs : float;
       (** serialization/deserialization throughput per core — the dominant
           cost of JVM-based shuffles *)
+  disk_gbs : float;
+      (** per-node stable-storage bandwidth: checkpoint writes/restores and
+          memory-pressure spills are charged against it (DESIGN.md §11) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -100,6 +105,7 @@ let gpu_cluster_node : node =
         malloc_numa_aware = true;
       };
     gpu = Some tesla_c2050;
+    mem_gb = 48.0;
   }
 
 (** The paper's 4-node GPU cluster, 1 GbE within a rack (§6.2). *)
@@ -109,6 +115,7 @@ let gpu_cluster : cluster =
     net_bw_gbs = 0.125;  (* 1 Gb Ethernet *)
     net_lat_us = 50.0;  (* within a single rack (§6.2) *)
     ser_gbs = 1.0;
+    disk_gbs = 0.3;  (* local SATA disk *)
   }
 
 (** Amazon EC2 m1.xlarge (paper §6.2): 4 virtual cores, 15 GB, 1 GbE. *)
@@ -120,6 +127,7 @@ let ec2_m1_xlarge_node : node =
         malloc_numa_aware = true;
       };
     gpu = None;
+    mem_gb = 15.0;  (* m1.xlarge memory *)
   }
 
 (** The paper's 20-node EC2 cluster. *)
@@ -129,6 +137,7 @@ let ec2_cluster : cluster =
     net_bw_gbs = 0.125;
     net_lat_us = 250.0;  (* virtualized network *)
     ser_gbs = 0.8;
+    disk_gbs = 0.1;  (* EBS-era magnetic storage *)
   }
 
 (** Per-link network bandwidth in bytes/second — the conversion every
@@ -165,6 +174,15 @@ type fault_model = {
   heartbeat_ms : float;
       (** failure-detection heartbeat interval; a node is declared dead
           after three missed heartbeats *)
+  join_prob : float;
+      (** per-loop probability a spare node joins the cluster mid-job
+          (elastic membership, DESIGN.md §11); joining triggers a
+          directory-aligned rebalance onto the new live set *)
+  leave_prob : float;
+      (** per-node, per-loop probability of a {e graceful} permanent
+          departure: the node drains its partitions before leaving, so no
+          lineage is lost — unlike a crash *)
+  spare_nodes : int;  (** pool of standby nodes available to join *)
 }
 
 (** A mildly unreliable commodity cluster; override fields per experiment
@@ -181,6 +199,9 @@ let default_faults : fault_model =
     max_retries = 3;
     backoff_us = 200.0;
     heartbeat_ms = 100.0;
+    join_prob = 0.0;
+    leave_prob = 0.0;
+    spare_nodes = 4;
   }
 
 (** A single-socket laptop-class reference machine, handy for tests. *)

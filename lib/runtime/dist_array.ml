@@ -34,6 +34,16 @@ type t = {
 
 let location_count (d : directory) = Array.length d.ranges
 
+(* Process-wide remote-read byte total, accumulated across every instance.
+   The cluster simulator folds it into measured traffic for the
+   C-COMM-OVERRUN contract, and resets it at the start of each run —
+   back-to-back simulations in one process must not inherit each other's
+   bytes (see {!global_remote_bytes} / {!reset_global}). *)
+let global_bytes : float Atomic.t = Atomic.make 0.0
+
+let global_remote_bytes () : float = Atomic.get global_bytes
+let reset_global () : unit = Atomic.set global_bytes 0.0
+
 (** Build a directory by splitting [n] elements across [locations]
     round-robin over nodes and sockets. *)
 let make_directory ~n ~nodes ~sockets_per_node : directory =
@@ -43,6 +53,22 @@ let make_directory ~n ~nodes ~sockets_per_node : directory =
     List.mapi
       (fun i r ->
         (r, { node = i / sockets_per_node; socket = i mod sockets_per_node }))
+      chunks
+  in
+  { ranges = Array.of_list ranges; total = n }
+
+(** Build a directory over an explicit live node-id set (elastic
+    membership: after joins/leaves the live ids are not contiguous). *)
+let make_directory_on ~n ~(live : int list) ~sockets_per_node : directory =
+  let live = List.sort_uniq compare live in
+  if live = [] then invalid_arg "Dist_array.make_directory_on: no live nodes";
+  let nodes = Array.of_list live in
+  let locs = Array.length nodes * sockets_per_node in
+  let chunks = Chunk.split ~k:locs n in
+  let ranges =
+    List.mapi
+      (fun i r ->
+        (r, { node = nodes.(i / sockets_per_node); socket = i mod sockets_per_node }))
       chunks
   in
   { ranges = Array.of_list ranges; total = n }
@@ -97,12 +123,16 @@ let add_delay_us (t : t) (us : float) =
   ignore (Atomic.fetch_and_add t.delay_us (int_of_float (ceil us)))
 
 (* Atomic float accumulation (no fetch_and_add for boxed floats). *)
-let add_remote_bytes (t : t) (b : float) =
+let atomic_add_float (a : float Atomic.t) (b : float) =
   let rec go () =
-    let cur = Atomic.get t.remote_bytes in
-    if not (Atomic.compare_and_set t.remote_bytes cur (cur +. b)) then go ()
+    let cur = Atomic.get a in
+    if not (Atomic.compare_and_set a cur (cur +. b)) then go ()
   in
   go ()
+
+let add_remote_bytes (t : t) (b : float) =
+  atomic_add_float t.remote_bytes b;
+  atomic_add_float global_bytes b
 
 (* Counted warning: the degradation path must be loud but not flood. *)
 let warn_degraded (t : t) (i : int) =
@@ -176,3 +206,19 @@ let gather (t : t) : V.t =
              pieces)
       in
       V.Varr (V.Ga (Array.concat parts))
+
+(** Rebalance onto a new live node set (elastic membership, DESIGN.md
+    §11): gather the logical array, rebuild the directory across [live],
+    and re-scatter.  Traffic and fault counters carry over — the
+    rebalance is part of the same run, and the bytes it moves are charged
+    by the executor's rebalance phase, not by this bookkeeping. *)
+let rebalance (t : t) ~(live : int list) ~(sockets_per_node : int) : t =
+  let v = gather t in
+  let dir = make_directory_on ~n:t.dir.total ~live ~sockets_per_node in
+  let t' = scatter ?faults:t.faults dir v in
+  Atomic.set t'.remote_reads (Atomic.get t.remote_reads);
+  Atomic.set t'.remote_bytes (Atomic.get t.remote_bytes);
+  Atomic.set t'.retried_reads (Atomic.get t.retried_reads);
+  Atomic.set t'.degraded_reads (Atomic.get t.degraded_reads);
+  Atomic.set t'.delay_us (Atomic.get t.delay_us);
+  t'

@@ -204,18 +204,110 @@ let run_loop_faulty ~(fault : Fault.t) ~(loop_no : int) ~(domains : int)
       merge_parts ~env ~inputs l ~nchunks:nres
         (Array.to_list (Array.mapi (fun i v -> (i, v)) results))
 
+let default_domains () = Stdlib.min 8 (Domain.recommended_domain_count ())
+
+(* One spine loop, healthy or fault-injected. *)
+let eval_loop ~domains ~schedule ~faults ~inputs ~loop_no env l =
+  match faults with
+  | None -> run_loop ~domains ~schedule ~inputs env l
+  | Some fault -> run_loop_faulty ~fault ~loop_no ~domains ~schedule ~inputs env l
+
+(* Snapshot every live spine binding plus the one just computed, with the
+   driver's loop counter (DESIGN.md §11). *)
+let take_checkpoint ~(store : Checkpoint.t) ~faults ~(chunks : int)
+    ~(loop_no : int) (env : Evalenv.env) (sym : Sym.t option) (v : V.t) : unit =
+  let name = match sym with Some s -> Sym.to_string s | None -> "result" in
+  let bindings =
+    Sym.Map.fold (fun s bv acc -> (Sym.to_string s, bv) :: acc) env []
+    @ [ (name, v) ]
+  in
+  ignore
+    (Checkpoint.record store ~at_loop:loop_no ~chunks ~bindings
+       ~driver:[ ("loop_no", V.Vint loop_no) ]);
+  match faults with Some f -> Fault.record_checkpoint f | None -> ()
+
 (** Execute a program with outer multiloops parallelized across [domains]
     OCaml domains (default: the host's recommended domain count, capped at
     8 for container friendliness).  [?faults] arms deterministic fault
-    injection with retry/backoff and lineage recovery (see {!Fault}). *)
-let run ?(domains = Stdlib.min 8 (Domain.recommended_domain_count ()))
-    ?(schedule = Static) ?faults ?(inputs = []) (program : Exp.exp) : V.t =
+    injection with retry/backoff and lineage recovery (see {!Fault});
+    [?checkpoint] snapshots the spine bindings at the store's cadence so a
+    later {!run_with_recovery} can resume instead of replaying. *)
+let run ?(domains = default_domains ()) ?(schedule = Static) ?faults
+    ?checkpoint ?(inputs = []) (program : Exp.exp) : V.t =
   let loop_no = ref 0 in
   Spine.exec ~inputs
-    ~on_loop:(fun env _ l ->
+    ~on_loop:(fun env sym l ->
       incr loop_no;
-      match faults with
-      | None -> run_loop ~domains ~schedule ~inputs env l
-      | Some fault ->
-          run_loop_faulty ~fault ~loop_no:!loop_no ~domains ~schedule ~inputs env l)
+      let v = eval_loop ~domains ~schedule ~faults ~inputs ~loop_no:!loop_no env l in
+      (match checkpoint with
+      | Some store when Checkpoint.due store ~loop:!loop_no ->
+          take_checkpoint ~store ~faults ~chunks:domains ~loop_no:!loop_no env
+            sym v
+      | _ -> ());
+      v)
     program
+
+exception Simulated_crash of int
+
+(** Run [program] checkpointing at [store]'s cadence, simulate a driver
+    crash once [crash_after] loops have completed, then recover and
+    finish: from the latest {e verified} checkpoint when one exists —
+    every spine binding the snapshot covers is restored (deep-copied)
+    instead of recomputed — or by lineage replay of the whole spine when
+    there is no usable snapshot (none taken, or checksum mismatch).  The
+    recovery path taken is recorded on the injector.  Results are
+    bit-identical to a healthy {!run} either way; only the work differs. *)
+let run_with_recovery ?(domains = default_domains ()) ?(schedule = Static)
+    ?faults ~(store : Checkpoint.t) ~(crash_after : int) ?(inputs = [])
+    (program : Exp.exp) : V.t =
+  (* phase 1: the doomed attempt — checkpoints survive the crash *)
+  let loop_no = ref 0 in
+  (try
+     ignore
+       (Spine.exec ~inputs
+          ~on_loop:(fun env sym l ->
+            if !loop_no >= crash_after then raise (Simulated_crash !loop_no);
+            incr loop_no;
+            let v =
+              eval_loop ~domains ~schedule ~faults ~inputs ~loop_no:!loop_no
+                env l
+            in
+            (if Checkpoint.due store ~loop:!loop_no then
+               take_checkpoint ~store ~faults ~chunks:domains
+                 ~loop_no:!loop_no env sym v);
+            v)
+          program)
+   with Simulated_crash _ -> ());
+  (* phase 2: recovery *)
+  match Checkpoint.restore store with
+  | Checkpoint.Available snap ->
+      (match faults with Some f -> Fault.record_restore f | None -> ());
+      let loop_no = ref 0 in
+      Spine.exec ~inputs
+        ~on_loop:(fun env sym l ->
+          incr loop_no;
+          let restored =
+            if !loop_no > snap.Checkpoint.at_loop then None
+            else
+              let name =
+                match sym with Some s -> Sym.to_string s | None -> "result"
+              in
+              Option.map
+                (fun (e : Checkpoint.entry) ->
+                  Checkpoint.copy_value e.Checkpoint.value)
+                (List.assoc_opt name snap.Checkpoint.bindings)
+          in
+          match restored with
+          | Some v -> v
+          | None ->
+              eval_loop ~domains ~schedule ~faults ~inputs ~loop_no:!loop_no
+                env l)
+        program
+  | Checkpoint.Corrupt msg ->
+      Logs.warn (fun m ->
+          m "Exec_domains: %s; replaying the whole spine from lineage" msg);
+      (match faults with Some f -> Fault.record_replay f | None -> ());
+      run ~domains ~schedule ?faults ~inputs program
+  | Checkpoint.None_taken ->
+      (match faults with Some f -> Fault.record_replay f | None -> ());
+      run ~domains ~schedule ?faults ~inputs program

@@ -44,6 +44,11 @@ type stats = {
   recovered_chunks : int Atomic.t;  (** chunks recomputed from lineage *)
   speculative : int Atomic.t;  (** speculative straggler re-executions *)
   replans : int Atomic.t;
+  joins : int Atomic.t;  (** spare nodes that joined mid-job *)
+  leaves : int Atomic.t;  (** graceful permanent departures *)
+  restores : int Atomic.t;  (** recoveries served from a checkpoint *)
+  replays : int Atomic.t;  (** recoveries served by lineage replay *)
+  checkpoints : int Atomic.t;  (** snapshots written *)
 }
 
 type t = { spec : spec; stats : stats }
@@ -61,6 +66,11 @@ let create (spec : spec) : t =
         recovered_chunks = Atomic.make 0;
         speculative = Atomic.make 0;
         replans = Atomic.make 0;
+        joins = Atomic.make 0;
+        leaves = Atomic.make 0;
+        restores = Atomic.make 0;
+        replays = Atomic.make 0;
+        checkpoints = Atomic.make 0;
       };
   }
 
@@ -124,6 +134,43 @@ let chunk_fate (t : t) ~(loop : int) ~(chunk : int) ~(attempt : int) : chunk_fat
   end
   else Chunk_ok
 
+(* ------------------------------------------------------------------ *)
+(* Elastic membership (DESIGN.md §11)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** One membership-churn event for one multiloop.  Joins and leaves are
+    drawn like every other fault — pure functions of (seed, loop, node)
+    — so an elastic run replays exactly.  A [Leave] is a {e graceful}
+    permanent departure (the node drains its partitions first, losing no
+    lineage); a crash is the violent version handled by {!node_fate}. *)
+type membership_event = Join of { node : int } | Leave of { node : int }
+
+(** Membership events for one multiloop, given the current [alive] set
+    and the remaining [spares] pool.  At most one spare joins per loop
+    (cluster managers serialize admissions); any number may leave, but
+    never the last live node. *)
+let membership_events (t : t) ~(loop : int) ~(alive : int list)
+    ~(spares : int list) : membership_event list =
+  let s = t.spec in
+  let joins =
+    match spares with
+    | spare :: _ when draw t ~site:"join" [ loop; spare ] < s.M.join_prob ->
+        Atomic.incr t.stats.joins;
+        [ Join { node = spare } ]
+    | _ -> []
+  in
+  let leaves =
+    List.filter
+      (fun node -> draw t ~site:"leave" [ loop; node ] < s.M.leave_prob)
+      alive
+  in
+  (* never let every live node walk away (joins land after leaves drain,
+     so they don't loosen the bound) *)
+  let max_leaves = List.length alive - 1 in
+  let leaves = List.filteri (fun i _ -> i < max_leaves) leaves in
+  List.iter (fun _ -> Atomic.incr t.stats.leaves) leaves;
+  joins @ List.map (fun node -> Leave { node }) leaves
+
 (** The fate of one remote read, keyed by reader location, index, and
     attempt. *)
 type read_fate = Read_ok | Read_drop | Read_delay of { us : float }
@@ -151,6 +198,14 @@ let record_degraded t = Atomic.incr t.stats.degraded_reads
 let record_recovered t = Atomic.incr t.stats.recovered_chunks
 let record_speculation t = Atomic.incr t.stats.speculative
 let record_replan t = Atomic.incr t.stats.replans
+let record_restore t = Atomic.incr t.stats.restores
+let record_replay t = Atomic.incr t.stats.replays
+let record_checkpoint t = Atomic.incr t.stats.checkpoints
+let join_count t = Atomic.get t.stats.joins
+let leave_count t = Atomic.get t.stats.leaves
+let restore_count t = Atomic.get t.stats.restores
+let replay_count t = Atomic.get t.stats.replays
+let checkpoint_count t = Atomic.get t.stats.checkpoints
 
 (** Total injected fault events of any kind. *)
 let total_injected (t : t) : int =
@@ -162,90 +217,131 @@ let stats_to_string (t : t) : string =
   let s = t.stats in
   Printf.sprintf
     "crashes=%d (permanent=%d, transient=%d) stragglers=%d speculated=%d \
-     replans=%d recovered_chunks=%d read_drops=%d read_retries=%d degraded_reads=%d"
+     replans=%d recovered_chunks=%d read_drops=%d read_retries=%d \
+     degraded_reads=%d joins=%d leaves=%d restores=%d replays=%d checkpoints=%d"
     (g s.crashes) (g s.permanent) (g s.transient) (g s.stragglers)
     (g s.speculative) (g s.replans) (g s.recovered_chunks) (g s.read_drops)
-    (g s.read_retries) (g s.degraded_reads)
+    (g s.read_retries) (g s.degraded_reads) (g s.joins) (g s.leaves)
+    (g s.restores) (g s.replays) (g s.checkpoints)
 
 (* ------------------------------------------------------------------ *)
 (* Spec syntax: the DMLL_FAULTS / --faults grammar                      *)
 (* ------------------------------------------------------------------ *)
 
-let to_string (s : spec) : string =
-  Printf.sprintf
-    "seed=%d,crash=%g,transient=%g,straggler=%g,slow=%g,drop=%g,delay=%g,delay_us=%g,retries=%d,backoff_us=%g,heartbeat_ms=%g"
-    s.M.fault_seed s.M.crash_prob s.M.crash_transient_frac s.M.straggler_prob
-    s.M.straggler_slowdown s.M.read_drop_prob s.M.read_delay_prob
-    s.M.read_delay_us s.M.max_retries s.M.backoff_us s.M.heartbeat_ms
+(* One row per key — name, printer, parser — so the grammar, the
+   pp_spec/parse_spec round-trip, and the unknown-key diagnostic can
+   never drift apart.  Floats print with 17 significant digits, enough
+   for every double to survive the round trip exactly. *)
+let keys :
+    (string * (spec -> string) * (spec -> string -> (spec, string) result)) list
+    =
+  let fl set spec v =
+    match float_of_string_opt v with
+    | Some f -> Ok (set spec f)
+    | None -> Error (Printf.sprintf "bad number %S" v)
+  in
+  let it set spec v =
+    match int_of_string_opt v with
+    | Some n -> Ok (set spec n)
+    | None -> Error (Printf.sprintf "bad integer %S" v)
+  in
+  let pf get s = Printf.sprintf "%.17g" (get s) in
+  let pi get s = string_of_int (get s) in
+  [ ( "seed",
+      pi (fun s -> s.M.fault_seed),
+      it (fun s n -> { s with M.fault_seed = n }) );
+    ( "crash",
+      pf (fun s -> s.M.crash_prob),
+      fl (fun s f -> { s with M.crash_prob = f }) );
+    ( "transient",
+      pf (fun s -> s.M.crash_transient_frac),
+      fl (fun s f -> { s with M.crash_transient_frac = f }) );
+    ( "straggler",
+      pf (fun s -> s.M.straggler_prob),
+      fl (fun s f -> { s with M.straggler_prob = f }) );
+    ( "slow",
+      pf (fun s -> s.M.straggler_slowdown),
+      fl (fun s f -> { s with M.straggler_slowdown = f }) );
+    ( "drop",
+      pf (fun s -> s.M.read_drop_prob),
+      fl (fun s f -> { s with M.read_drop_prob = f }) );
+    ( "delay",
+      pf (fun s -> s.M.read_delay_prob),
+      fl (fun s f -> { s with M.read_delay_prob = f }) );
+    ( "delay_us",
+      pf (fun s -> s.M.read_delay_us),
+      fl (fun s f -> { s with M.read_delay_us = f }) );
+    ( "retries",
+      pi (fun s -> s.M.max_retries),
+      it (fun s n -> { s with M.max_retries = n }) );
+    ( "backoff_us",
+      pf (fun s -> s.M.backoff_us),
+      fl (fun s f -> { s with M.backoff_us = f }) );
+    ( "heartbeat_ms",
+      pf (fun s -> s.M.heartbeat_ms),
+      fl (fun s f -> { s with M.heartbeat_ms = f }) );
+    ( "join",
+      pf (fun s -> s.M.join_prob),
+      fl (fun s f -> { s with M.join_prob = f }) );
+    ( "leave",
+      pf (fun s -> s.M.leave_prob),
+      fl (fun s f -> { s with M.leave_prob = f }) );
+    ( "spares",
+      pi (fun s -> s.M.spare_nodes),
+      it (fun s n -> { s with M.spare_nodes = n }) );
+  ]
+
+let valid_keys : string list = List.map (fun (k, _, _) -> k) keys
+
+(** Print a spec in the grammar {!parse_spec} accepts; the round trip is
+    exact (QCheck-verified). *)
+let pp_spec fmt (s : spec) : unit =
+  Fmt.string fmt
+    (String.concat "," (List.map (fun (k, pr, _) -> k ^ "=" ^ pr s) keys))
+
+let to_string (s : spec) : string = Fmt.str "%a" pp_spec s
 
 (** Parse a comma-separated [key=value] spec; unset keys keep
-    {!Dmll_machine.Machine.default_faults}.  Keys: [seed], [crash],
-    [transient], [straggler], [slow], [drop], [delay], [delay_us],
-    [retries], [backoff_us], [heartbeat_ms]. *)
-let parse (str : string) : (spec, string) result =
+    {!Dmll_machine.Machine.default_faults}.  Rejections — unknown keys,
+    malformed numbers, missing [=] — come back as a structured [Diag]
+    error (rule [F-SPEC]) listing every valid key, so a typo'd
+    [DMLL_FAULTS] fails loudly instead of silently running some other
+    fault regime. *)
+let parse_spec (str : string) : (spec, Dmll_analysis.Diag.t) result =
   let parts =
     String.split_on_char ',' str |> List.map String.trim
     |> List.filter (fun s -> s <> "")
   in
-  let ( let* ) = Result.bind in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Error
+          (Dmll_analysis.Diag.error ~rule:"F-SPEC"
+             "%s; valid keys: %s" msg
+             (String.concat ", " valid_keys)))
+      fmt
+  in
   let rec go (spec : spec) = function
     | [] -> Ok spec
     | kv :: rest -> (
         match String.index_opt kv '=' with
-        | None -> Error (Printf.sprintf "expected key=value, got %S" kv)
-        | Some i ->
+        | None -> fail "expected key=value, got %S" kv
+        | Some i -> (
             let key = String.sub kv 0 i in
             let v = String.sub kv (i + 1) (String.length kv - i - 1) in
-            let fl () =
-              match float_of_string_opt v with
-              | Some f -> Ok f
-              | None -> Error (Printf.sprintf "bad number %S for key %s" v key)
-            in
-            let it () =
-              match int_of_string_opt v with
-              | Some n -> Ok n
-              | None -> Error (Printf.sprintf "bad integer %S for key %s" v key)
-            in
-            let* spec =
-              match key with
-              | "seed" ->
-                  let* n = it () in
-                  Ok { spec with M.fault_seed = n }
-              | "crash" ->
-                  let* f = fl () in
-                  Ok { spec with M.crash_prob = f }
-              | "transient" ->
-                  let* f = fl () in
-                  Ok { spec with M.crash_transient_frac = f }
-              | "straggler" ->
-                  let* f = fl () in
-                  Ok { spec with M.straggler_prob = f }
-              | "slow" ->
-                  let* f = fl () in
-                  Ok { spec with M.straggler_slowdown = f }
-              | "drop" ->
-                  let* f = fl () in
-                  Ok { spec with M.read_drop_prob = f }
-              | "delay" ->
-                  let* f = fl () in
-                  Ok { spec with M.read_delay_prob = f }
-              | "delay_us" ->
-                  let* f = fl () in
-                  Ok { spec with M.read_delay_us = f }
-              | "retries" ->
-                  let* n = it () in
-                  Ok { spec with M.max_retries = n }
-              | "backoff_us" ->
-                  let* f = fl () in
-                  Ok { spec with M.backoff_us = f }
-              | "heartbeat_ms" ->
-                  let* f = fl () in
-                  Ok { spec with M.heartbeat_ms = f }
-              | other -> Error (Printf.sprintf "unknown fault key %S" other)
-            in
-            go spec rest)
+            match List.find_opt (fun (k, _, _) -> String.equal k key) keys with
+            | None -> fail "unknown fault key %S" key
+            | Some (_, _, set) -> (
+                match set spec v with
+                | Ok spec -> go spec rest
+                | Error msg -> fail "%s for key %s" msg key)))
   in
   go M.default_faults parts
+
+(** [parse_spec] with the diagnostic flattened to a string, for callers
+    that only print it. *)
+let parse (str : string) : (spec, string) result =
+  Result.map_error Dmll_analysis.Diag.to_string (parse_spec str)
 
 (** The [DMLL_FAULTS] environment spec as an injector, if set.  Malformed
     specs raise [Invalid_argument] loudly rather than silently running

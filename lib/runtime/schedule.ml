@@ -136,6 +136,26 @@ let replan ?(boundaries = []) ~(dead : int list) (units : unit_of_work list) :
     kept @ replacement
   end
 
+(** Re-plan the whole iteration space across an explicit live node-id
+    set (elastic membership, DESIGN.md §11): after a join or a graceful
+    leave the live ids are neither contiguous nor the original count, so
+    {!plan}'s positional node numbering no longer applies.  The space is
+    split across the live nodes — directory-aligned, like {!plan} — and
+    units are issued at node granularity (socket/core 0): each machine
+    re-partitions its chunk locally, as §5's hierarchical scheduling
+    always does.  Raises [Invalid_argument] on an empty live set. *)
+let rebalance ?(boundaries = []) ~(live : int list) (n : int) :
+    unit_of_work list =
+  let live = List.sort_uniq compare live in
+  if live = [] then invalid_arg "Schedule.rebalance: no live nodes";
+  if n <= 0 then []
+  else
+    let whole = { Chunk.lo = 0; hi = n } in
+    let node_of = Array.of_list live in
+    List.mapi
+      (fun i r -> { node = node_of.(i); socket = 0; core = 0; range = r })
+      (split_range ~k:(Array.length node_of) ~boundaries whole)
+
 (** Does the plan cover [0, n) exactly, in order, without overlap? *)
 let covers (units : unit_of_work list) (n : int) : bool =
   let ranges = List.map (fun u -> u.range) units in

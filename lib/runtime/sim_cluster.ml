@@ -54,6 +54,14 @@ type config = {
   faults : Fault.t option;
       (** fault injection + recovery accounting; [None] is the exact
           healthy model of the paper *)
+  checkpoint_cadence : int;
+      (** snapshot the spine bindings every this-many loops ([<= 0]
+          disables); arms the restore-vs-replay recovery policy
+          (DESIGN.md §11) *)
+  mem_budget_gb : float option;
+      (** per-node memory budget override; [None] uses the node's
+          [mem_gb].  Over-budget loops spill to disk and see remote-read
+          backpressure. *)
 }
 
 let default_config =
@@ -61,7 +69,18 @@ let default_config =
     device = Cpu;
     gpu_options = Sim_gpu.default_options;
     faults = None;
+    checkpoint_cadence = 0;
+    mem_budget_gb = None;
   }
+
+(* Accumulated compute charged so far — the burden a pure lineage replay
+   re-pays.  [since_ckpt] resets whenever a snapshot is taken, so the
+   restore arm only re-pays the tail (DESIGN.md §11). *)
+type recovery_ctx = {
+  store : Checkpoint.t;
+  mutable compute_total_s : float;
+  mutable compute_since_ckpt_s : float;
+}
 
 let net_seconds (c : M.cluster) ~bytes ~messages =
   (bytes /. (c.M.net_bw_gbs *. 1e9))
@@ -86,10 +105,58 @@ let tree_depth nodes =
 let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
     ~(inputs_ty : (string * Types.ty) list) ~(eval_size : Exp.exp -> int option)
     ~(env : Evalenv.env) ~(inputs : (string * V.t) list)
-    ?(fault : (Fault.t * int) option) ?(label = "loop") ~(alive : int list ref)
-    (l : Exp.loop) ~(n : int) :
+    ?(fault : (Fault.t * int) option) ?(label = "loop")
+    ?(spares = ref ([] : int list)) ?(recovery : recovery_ctx option)
+    ~(alive : int list ref) (l : Exp.loop) ~(n : int) :
     float * (string * float) list * (string * float) list =
   let c = config.cluster in
+  (* elastic membership first: joins and graceful leaves take effect
+     before this loop is scheduled, so the plan below already targets the
+     new live set.  The moved-ownership fraction prices the
+     directory-aligned rebalance ({!Schedule.rebalance}) as the churn
+     phase once the loop's partitioned bytes are known. *)
+  let churn_moved_frac =
+    match fault with
+    | Some (inj, loop_no) when n > 0 ->
+        let before = !alive in
+        let events =
+          Fault.membership_events inj ~loop:loop_no ~alive:before
+            ~spares:!spares
+        in
+        if events = [] then 0.0
+        else begin
+          List.iter
+            (function
+              | Fault.Join { node } ->
+                  alive := !alive @ [ node ];
+                  spares := List.filter (fun s -> s <> node) !spares
+              | Fault.Leave { node } ->
+                  alive := List.filter (fun s -> s <> node) !alive)
+            events;
+          let owner_of units i =
+            List.find_map
+              (fun (u : Schedule.unit_of_work) ->
+                if i >= u.Schedule.range.Chunk.lo && i < u.Schedule.range.Chunk.hi
+                then Some u.Schedule.node
+                else None)
+              units
+          in
+          let old_plan = Schedule.rebalance ~live:before n in
+          let new_plan = Schedule.rebalance ~live:!alive n in
+          let moved = ref 0 in
+          List.iter
+            (fun (u : Schedule.unit_of_work) ->
+              let r = u.Schedule.range in
+              (* ownership changes at plan-piece granularity; sampling the
+                 piece's first element is exact because both plans are
+                 directory-aligned splits of the same space *)
+              if owner_of old_plan r.Chunk.lo <> Some u.Schedule.node then
+                moved := !moved + Chunk.size r)
+            new_plan;
+          float_of_int !moved /. float_of_int n
+        end
+    | _ -> 0.0
+  in
   let nodes_alive = !alive in
   let na = List.length nodes_alive in
   let stencils = Stencil.of_loop l in
@@ -211,6 +278,51 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
              ~bytes:(gather_bytes *. float_of_int (na - 1))
              ~messages:(tree_depth na)
     in
+    (* total partitioned bytes this loop touches — the payload churn
+       rebalances, crashes re-materialize, and checkpoints image *)
+    let part_bytes =
+      List.fold_left
+        (fun acc (t, _) ->
+          match value_of_target t with
+          | Some v -> acc +. Sim_common.value_bytes v
+          | None -> acc)
+        0.0 partitioned
+    in
+    (* membership churn: ship the re-owned share to its new homes *)
+    let churn_s =
+      let moved = part_bytes *. churn_moved_frac in
+      if moved <= 0.0 then 0.0
+      else ser_seconds c ~bytes:moved +. net_seconds c ~bytes:moved ~messages:na
+    in
+    (* memory pressure (DESIGN.md §11): estimate the per-node resident
+       set this loop needs — its partition share plus every broadcast
+       copy and its reduction partials.  Over budget, the overshoot
+       spills to local disk and remote reads see backpressure. *)
+    let budget_bytes =
+      (match config.mem_budget_gb with
+      | Some g -> g
+      | None -> c.M.node.M.mem_gb)
+      *. 1e9
+    in
+    let resident =
+      (part_bytes /. float_of_int (Stdlib.max 1 na))
+      +. broadcast_bytes +. gather_bytes
+    in
+    let spill_s =
+      let b = Sim_common.spill_bytes ~resident ~budget:budget_bytes in
+      if b <= 0.0 then 0.0
+      else ser_seconds c ~bytes:b +. (b /. (c.M.disk_gbs *. 1e9))
+    in
+    let replicate_s =
+      replicate_s *. Sim_common.backpressure ~resident ~budget:budget_bytes
+    in
+    (* nonzero elastic phases, appended to whichever arm returns *)
+    let elastic_parts =
+      List.filter
+        (fun (_, s) -> s > 0.0)
+        [ ("churn", churn_s); ("spill", spill_s) ]
+    in
+    let elastic_s = churn_s +. spill_s in
     (* measured wire bytes per phase; na <= 1 means no network at all *)
     let traffic =
       if na <= 1 then []
@@ -251,10 +363,13 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
     end;
     match fault with
     | None ->
-        let total = compute_s +. broadcast_s +. replicate_s +. gather_s in
+        let total =
+          compute_s +. broadcast_s +. replicate_s +. gather_s +. elastic_s
+        in
         ( total,
           [ ("compute", compute_s); ("broadcast", broadcast_s);
-            ("replicate", replicate_s); ("gather", gather_s) ],
+            ("replicate", replicate_s); ("gather", gather_s) ]
+          @ elastic_parts,
           traffic )
     | Some (inj, loop_no) ->
         let spec = Fault.spec inj in
@@ -307,7 +422,26 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
               List.filteri (fun i _ -> List.mem_assoc (List.nth nodes_alive i) crashed)
                 (List.init na (fun i -> i))
             in
-            let replanned = Schedule.replan ~dead:dead_idx units in
+            (* a loop smaller than the cluster plans onto a prefix of the
+               nodes; if every node holding work died, {!Schedule.replan}
+               has no in-plan survivor to shift onto — re-plan the whole
+               space across the remaining live nodes instead (the same
+               directory-aligned rebalance elastic membership uses) *)
+            let replanned =
+              let unit_nodes =
+                List.sort_uniq compare
+                  (List.map (fun (u : Schedule.unit_of_work) -> u.Schedule.node) units)
+              in
+              if List.exists (fun nd -> not (List.mem nd dead_idx)) unit_nodes
+              then Schedule.replan ~dead:dead_idx units
+              else
+                Schedule.rebalance
+                  ~live:
+                    (List.filter
+                       (fun i -> not (List.mem i dead_idx))
+                       (List.init na (fun i -> i)))
+                  n
+            in
             let extra =
               List.filter (fun u -> not (List.memq u units)) replanned
             in
@@ -335,19 +469,60 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
             if max_extra = 0 then 0.0 else compute_for max_extra
           end
         in
+        (* restore-vs-replay (DESIGN.md §11): with a checkpoint store
+           armed, a crash prices both recovery paths and takes the
+           cheaper.  Replay re-pays the lost share of every compute
+           second since job start (lineage bottoms out at the inputs);
+           restore ships the lost share of the snapshot and re-pays only
+           the tail since it was taken.  Without a store this reduces to
+           the pure lineage model of DESIGN.md §9. *)
+        let recompute_s, restore_s =
+          if nc = 0 then (recompute_s, 0.0)
+          else
+            match recovery with
+            | None -> (recompute_s, 0.0)
+            | Some ctx ->
+                let lost_frac = float_of_int nc /. float_of_int na in
+                let replay_cost =
+                  recompute_s +. (lost_frac *. ctx.compute_total_s)
+                in
+                let restorable =
+                  match Checkpoint.restore ctx.store with
+                  | Checkpoint.Available s ->
+                      Some
+                        (Checkpoint.restore_seconds ~cluster:c ~nodes:na
+                           ~lost_nodes:nc
+                           ~bytes:(Checkpoint.snapshot_bytes s)
+                        +. (lost_frac *. ctx.compute_since_ckpt_s)
+                        +. recompute_s)
+                  | Checkpoint.Corrupt msg ->
+                      Logs.warn (fun m ->
+                          m "Sim_cluster: %s; falling back to lineage replay"
+                            msg);
+                      None
+                  | Checkpoint.None_taken -> None
+                in
+                (match restorable with
+                | None ->
+                    Fault.record_replay inj;
+                    (replay_cost, 0.0)
+                | Some restore_cost -> (
+                    match
+                      Checkpoint.record_decision ctx.store
+                        ~decided_at_loop:loop_no ~restore_cost ~replay_cost
+                    with
+                    | Checkpoint.Restore ->
+                        Fault.record_restore inj;
+                        (recompute_s, restore_cost -. recompute_s)
+                    | Checkpoint.Replay ->
+                        Fault.record_replay inj;
+                        (replay_cost, 0.0)))
+        in
         (* rebalance: re-materialize the lost partitions on the survivors,
            and re-send the loop's broadcast data to restarted nodes *)
         let rebalance_s =
           if nc = 0 then 0.0
           else begin
-            let part_bytes =
-              List.fold_left
-                (fun acc (t, _) ->
-                  match value_of_target t with
-                  | Some v -> acc +. Sim_common.value_bytes v
-                  | None -> acc)
-                0.0 partitioned
-            in
             let lost_bytes = part_bytes *. float_of_int nc /. float_of_int na in
             let survivors = Stdlib.max 1 (na - nc) in
             let restarts =
@@ -367,19 +542,24 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
           alive := List.filter (fun nd -> not (List.mem nd perms)) nodes_alive;
         let total =
           compute_s +. broadcast_s +. replicate_s +. gather_s +. detect_s
-          +. recompute_s +. rebalance_s
+          +. recompute_s +. rebalance_s +. restore_s +. elastic_s
         in
         ( total,
           [ ("compute", compute_s); ("broadcast", broadcast_s);
             ("replicate", replicate_s); ("gather", gather_s);
             ("detect", detect_s); ("recompute", recompute_s);
-            ("rebalance", rebalance_s) ],
+            ("rebalance", rebalance_s) ]
+          @ (if restore_s > 0.0 then [ ("restore", restore_s) ] else [])
+          @ elastic_parts,
           traffic )
   end
 
-(** Execute [program] exactly; charge simulated time on the cluster. *)
-let run ?(config = default_config) ?layouts ~(inputs : (string * V.t) list)
-    (program : Exp.exp) : Sim_common.result =
+(** Execute [program] exactly; charge simulated time on the cluster.
+    [?checkpoint] supplies an external store (so the caller can inspect
+    snapshots and restore-vs-replay decisions afterwards); otherwise a
+    private store is created when [config.checkpoint_cadence > 0]. *)
+let run ?(config = default_config) ?checkpoint ?layouts
+    ~(inputs : (string * V.t) list) (program : Exp.exp) : Sim_common.result =
   let layouts =
     match layouts with
     | Some ls -> ls
@@ -389,10 +569,32 @@ let run ?(config = default_config) ?layouts ~(inputs : (string * V.t) list)
   in
   let layout_of t = Partition.layout_of t layouts in
   let inputs_ty = Sim_common.program_input_tys program in
+  (* back-to-back simulations in one process must each start from a clean
+     element-granular traffic ledger, or the second run's measured bytes
+     inherit the first's and trip C-COMM-OVERRUN spuriously *)
+  Dist_array.reset_global ();
   let time = ref 0.0 in
   let breakdown = ref [] in
   let traffic = ref [] in
   let alive = ref (List.init config.cluster.M.nodes (fun i -> i)) in
+  let spares =
+    ref
+      (match config.faults with
+      | Some inj ->
+          let spec = Fault.spec inj in
+          List.init spec.M.spare_nodes (fun i -> config.cluster.M.nodes + i)
+      | None -> [])
+  in
+  let recovery =
+    let with_store store =
+      Some { store; compute_total_s = 0.0; compute_since_ckpt_s = 0.0 }
+    in
+    match checkpoint with
+    | Some store -> with_store store
+    | None when config.checkpoint_cadence > 0 ->
+        with_store (Checkpoint.create ~cadence:config.checkpoint_cadence)
+    | None -> None
+  in
   let loop_no = ref 0 in
   let value =
     Spine.exec ~inputs
@@ -404,18 +606,58 @@ let run ?(config = default_config) ?layouts ~(inputs : (string * V.t) list)
         let fault = Option.map (fun f -> (f, !loop_no)) config.faults in
         let dt, parts, bytes =
           loop_time ~config ~layout_of ~inputs_ty ~eval_size ~env ~inputs ?fault
-            ~label:name ~alive l ~n
+            ~label:name ~spares ?recovery ~alive l ~n
         in
         time := !time +. dt;
         breakdown := (name, dt) :: List.map (fun (p, s) -> (name ^ "/" ^ p, s)) parts @ !breakdown;
         traffic := List.rev_map (fun (p, b) -> (name ^ "/" ^ p, b)) bytes @ !traffic;
-        Evalenv.eval ~inputs env (Exp.Loop l))
+        let v = Evalenv.eval ~inputs env (Exp.Loop l) in
+        (match recovery with
+        | None -> ()
+        | Some ctx ->
+            let compute_s =
+              try List.assoc "compute" parts with Not_found -> dt
+            in
+            ctx.compute_total_s <- ctx.compute_total_s +. compute_s;
+            ctx.compute_since_ckpt_s <- ctx.compute_since_ckpt_s +. compute_s;
+            if Checkpoint.due ctx.store ~loop:!loop_no then begin
+              let bindings =
+                Sym.Map.fold
+                  (fun s bv acc -> (Sym.to_string s, bv) :: acc)
+                  env []
+                @ [ (name, v) ]
+              in
+              let snap =
+                Checkpoint.record ctx.store ~at_loop:!loop_no
+                  ~chunks:(List.length !alive) ~bindings
+                  ~driver:[ ("loop_no", V.Vint !loop_no) ]
+              in
+              let ck_s =
+                Checkpoint.write_seconds ~cluster:config.cluster
+                  ~nodes:(List.length !alive)
+                  ~bytes:(Checkpoint.snapshot_bytes snap)
+              in
+              ctx.compute_since_ckpt_s <- 0.0;
+              (match config.faults with
+              | Some inj -> Fault.record_checkpoint inj
+              | None -> ());
+              time := !time +. ck_s;
+              breakdown := (name ^ "/checkpoint", ck_s) :: !breakdown
+            end);
+        v)
       program
+  in
+  (* element-granular remote reads made by distributed arrays during this
+     run (exactly this run's, thanks to the reset above) *)
+  let da_bytes = Dist_array.global_remote_bytes () in
+  let traffic =
+    if da_bytes > 0.0 then ("total/remote-read", da_bytes) :: !traffic
+    else !traffic
   in
   { Sim_common.value;
     seconds = !time;
     breakdown = List.rev !breakdown;
-    traffic = List.rev !traffic;
+    traffic = List.rev traffic;
   }
 
 (** The live nodes remaining after a faulty [run] are not reported here —

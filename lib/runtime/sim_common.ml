@@ -28,6 +28,30 @@ type result = {
     and data re-distribution to the replanned topology. *)
 let recovery_phases = [ "detect"; "recompute"; "rebalance" ]
 
+(** Phases the checkpointed elastic executor may additionally charge
+    (DESIGN.md §11): snapshot writes, checkpoint restores chosen over
+    lineage replay, over-budget spills to disk, and membership-churn
+    rebalances.  Kept separate from {!recovery_phases}, which every
+    crashy run charges — these appear only when their feature is armed. *)
+let elastic_phases = [ "checkpoint"; "restore"; "spill"; "churn" ]
+
+(* ------------------------------------------------------------------ *)
+(* Memory-pressure model (DESIGN.md §11)                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Bytes a node must push to disk when its resident set exceeds the
+    budget. *)
+let spill_bytes ~(resident : float) ~(budget : float) : float =
+  Float.max 0.0 (resident -. budget)
+
+(** Remote-read slowdown for an over-budget node: paging steals the
+    bandwidth remote fetches need.  Identity at or under budget, grows
+    with the overshoot, capped at 2x (beyond that the node would spill,
+    which is charged separately). *)
+let backpressure ~(resident : float) ~(budget : float) : float =
+  if budget <= 0.0 then 1.0
+  else Float.min 2.0 (Float.max 1.0 (resident /. budget))
+
 (** Sum of breakdown entries for one phase name (per-loop entries are
     recorded as ["<loop>/<phase>"]). *)
 let phase_total (r : result) (phase : string) : float =

@@ -243,3 +243,36 @@ let arbitrary_program =
 
 let arbitrary_bucket_program =
   QCheck.make ~print:(fun e -> Pp.to_string e) bucket_program
+
+(** A closed program that owns a partitioned input "xs": the wrapper loop
+    materializes [2 * xs] (an Interval sweep over the partitioned input,
+    hence a distributed loop under the cluster executors), and the
+    generated body may read the bound array.  Used by the recovery
+    property tests and the chaos-soak harness so that every program
+    exercises partitioned data, fault injection, and churn. *)
+let partitioned_program : exp QCheck.Gen.t =
+  let* ty =
+    QCheck.Gen.oneofl
+      [ Types.Int; Types.Float; Types.Arr Types.Float; Types.Arr Types.Int ]
+  in
+  let* fuel = QCheck.Gen.int_range 4 20 in
+  let xs = Sym.fresh ~name:"soakxs" (Types.Arr Types.Float) in
+  let* body = gen_exp [ (xs, Types.Arr Types.Float) ] ty fuel in
+  let input = Input ("xs", Types.Arr Types.Float, Partitioned) in
+  let i = Sym.fresh ~name:"i" Types.Int in
+  let materialize =
+    Loop
+      { size = Len input;
+        idx = i;
+        gens =
+          [ Collect
+              { cond = None;
+                value = Builder.( *. ) (Read (input, Var i)) (float_ 2.0);
+              }
+          ];
+      }
+  in
+  gen_return (Let (xs, materialize, body))
+
+let arbitrary_partitioned_program =
+  QCheck.make ~print:(fun e -> Pp.to_string e) partitioned_program

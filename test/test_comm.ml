@@ -192,6 +192,265 @@ let test_dist_array_counts_bytes () =
   ignore (R.Dist_array.read t ~from_loc:0 98);
   check tfloat "two remote floats" 16.0 (R.Dist_array.remote_read_bytes t)
 
+(* ---------------- counter hygiene between simulator runs ------------- *)
+
+(* PR-4 regression: Dist_array keeps a process-wide remote-read byte
+   counter (surfaced as the "total/remote-read" traffic row).  It must be
+   reset at the start of every Sim_cluster.run, so a second run — or any
+   manual Dist_array activity in between — can never inflate the next
+   run's reported traffic. *)
+let test_counter_reset_between_runs () =
+  let program =
+    let open Builder in
+    let input = Input ("xs", Types.Arr Types.Float, Partitioned) in
+    let i = Sym.fresh ~name:"i" Types.Int in
+    Loop
+      { size = Len input;
+        idx = i;
+        gens =
+          [ Collect { cond = None; value = Read (input, Var i) *. float_ 2.0 } ];
+      }
+  in
+  let inputs =
+    [ ("xs", V.of_float_array (Array.init 96 float_of_int)) ]
+  in
+  let run () = R.Sim_cluster.run ~config:(config_for 4) ~inputs program in
+  let r1 = run () in
+  (* pollute the global counter with manual remote reads between runs *)
+  let dir = R.Dist_array.make_directory ~n:100 ~nodes:4 ~sockets_per_node:1 in
+  let t =
+    R.Dist_array.scatter dir (V.of_float_array (Array.init 100 float_of_int))
+  in
+  ignore (R.Dist_array.read t ~from_loc:0 99);
+  check tbool "manual read bumped the global counter" true
+    (R.Dist_array.global_remote_bytes () > 0.0);
+  let r2 = run () in
+  check tbool "value identical across consecutive runs" true
+    (V.equal r1.R.Sim_common.value r2.R.Sim_common.value);
+  check
+    Alcotest.(list (pair string (float 1e-9)))
+    "traffic identical across consecutive runs (no inherited bytes)"
+    r1.R.Sim_common.traffic r2.R.Sim_common.traffic
+
+(* ---------------- --explain-comm --json golden schema ----------------- *)
+
+(* A dependency-free recursive-descent JSON reader, just enough to pin the
+   schema of the --explain-comm output so downstream tooling can rely on
+   it.  Symbol names inside the document are gensym-dependent, so the test
+   checks structure (exact key sets, value types) and the sym-independent
+   values, not the raw string. *)
+type j =
+  | Jobj of (string * j) list
+  | Jarr of j list
+  | Jstr of string
+  | Jnum of float
+  | Jbool of bool
+  | Jnull
+
+let parse_json (s : string) : j =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then
+      Alcotest.failf "json: expected %C at %d, got %C" c !pos (peek ());
+    advance ()
+  in
+  let lit word v =
+    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else Alcotest.failf "json: bad literal at %d" !pos
+  in
+  let string_body () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | 'n' -> Buffer.add_char b '\n'
+          | c -> Buffer.add_char b c);
+          advance ();
+          go ()
+      | '\000' -> Alcotest.fail "json: unterminated string"
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < len
+      && match s.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false
+    do
+      advance ()
+    done;
+    float_of_string (String.sub s start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin advance (); Jobj [] end
+        else
+          let rec fields acc =
+            let k = (skip_ws (); string_body ()) in
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            if peek () = ',' then begin advance (); fields ((k, v) :: acc) end
+            else begin expect '}'; List.rev ((k, v) :: acc) end
+          in
+          Jobj (fields [])
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin advance (); Jarr [] end
+        else
+          let rec items acc =
+            let v = value () in
+            skip_ws ();
+            if peek () = ',' then begin advance (); items (v :: acc) end
+            else begin expect ']'; List.rev (v :: acc) end
+          in
+          Jarr (items [])
+    | '"' -> Jstr (string_body ())
+    | 't' -> lit "true" (Jbool true)
+    | 'f' -> lit "false" (Jbool false)
+    | 'n' -> lit "null" Jnull
+    | _ -> Jnum (number ())
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> len then Alcotest.failf "json: trailing garbage at %d" !pos;
+  v
+
+let keys_of = function
+  | Jobj fields -> List.map fst fields
+  | _ -> Alcotest.fail "json: expected an object"
+
+let field o k =
+  match o with
+  | Jobj fields -> (
+      match List.assoc_opt k fields with
+      | Some v -> v
+      | None -> Alcotest.failf "json: missing key %S" k)
+  | _ -> Alcotest.failf "json: expected an object holding %S" k
+
+let num = function Jnum f -> f | _ -> Alcotest.fail "json: expected a number"
+let str = function Jstr s -> s | _ -> Alcotest.fail "json: expected a string"
+let arr = function Jarr l -> l | _ -> Alcotest.fail "json: expected an array"
+
+let tkeys = Alcotest.(list string)
+
+let test_explain_json_schema () =
+  (* reproduce dmllc --explain-comm kmeans_tiny --json --nodes 4
+     in-process *)
+  let machine = M.with_nodes 4 M.ec2_cluster in
+  let input_lens = [ ("matrix", 256); ("clusters", 16) ] in
+  let source = Dmll_apps.Kmeans.program ~rows:64 ~cols:4 ~k:4 () in
+  let generic =
+    (Dmll_opt.Pipeline.optimize_with ~extra_rules:[] source)
+      .Dmll_opt.Pipeline.program
+  in
+  let report =
+    Partition.analyze ~transforms:Dmll_opt.Rules_nested.cpu_rules ~machine
+      ~input_lens generic
+  in
+  let layout_of t = Partition.layout_of t report.Partition.layouts in
+  let summary =
+    Comm.summarize ~input_lens ~machine ~layout_of report.Partition.program
+  in
+  let json =
+    Partition.explain_to_json ~app:"kmeans_tiny"
+      ~decisions:report.Partition.decisions summary
+  in
+  let doc = parse_json json in
+  (* top level: exactly app/decisions/comm, in that order *)
+  check tkeys "top-level keys" [ "app"; "decisions"; "comm" ] (keys_of doc);
+  check Alcotest.string "app name" "kmeans_tiny" (str (field doc "app"));
+  (* decisions: the kmeans_tiny sizes are chosen so the cost-guided search
+     keeps the program over the conditional-reduce rewrite *)
+  (match arr (field doc "decisions") with
+  | [ d ] ->
+      check tkeys "decision keys" [ "iteration"; "chosen"; "candidates" ]
+        (keys_of d);
+      check Alcotest.string "chosen rule" "keep" (str (field d "chosen"));
+      List.iter
+        (fun c ->
+          check tkeys "candidate keys" [ "rule"; "bytes" ] (keys_of c);
+          ignore (num (field c "bytes")))
+        (arr (field d "candidates"))
+  | ds -> Alcotest.failf "expected exactly one decision, got %d" (List.length ds));
+  (* comm summary *)
+  let comm = field doc "comm" in
+  check tkeys "comm keys"
+    [ "nodes"; "loops"; "per_collection"; "partials_bytes"; "total_bytes";
+      "est_seconds" ]
+    (keys_of comm);
+  check (Alcotest.float 0.0) "nodes" 4.0 (num (field comm "nodes"));
+  let loops = arr (field comm "loops") in
+  check tbool "kmeans_tiny has two outer loops" true (List.length loops = 2);
+  List.iter
+    (fun l ->
+      check tkeys "loop keys" [ "loop"; "distributed"; "terms" ] (keys_of l);
+      (match field l "distributed" with
+      | Jbool _ -> ()
+      | _ -> Alcotest.fail "distributed must be a bool");
+      List.iter
+        (fun t ->
+          check tkeys "term keys"
+            [ "kind"; "target"; "formula"; "bytes"; "note" ]
+            (keys_of t);
+          check tbool "term kind is known" true
+            (List.mem (str (field t "kind"))
+               [ "broadcast"; "gather"; "shuffle"; "remote-read"; "halo" ]);
+          ignore (num (field t "bytes")))
+        (arr (field l "terms")))
+    loops;
+  List.iter
+    (fun pc ->
+      check tkeys "per_collection keys" [ "collection"; "bytes" ] (keys_of pc))
+    (arr (field comm "per_collection"));
+  (* sym-independent pinned values: total volume and the matrix/clusters
+     broadcast bytes are functions of the app sizes only *)
+  check (Alcotest.float 0.0) "partials_bytes" 0.0
+    (num (field comm "partials_bytes"));
+  check (Alcotest.float 0.0) "total_bytes" 2688.0
+    (num (field comm "total_bytes"));
+  let coll_bytes name =
+    List.fold_left
+      (fun acc pc ->
+        if str (field pc "collection") = name then num (field pc "bytes")
+        else acc)
+      Float.nan
+      (arr (field comm "per_collection"))
+  in
+  check (Alcotest.float 0.0) "matrix broadcast bytes" 2048.0
+    (coll_bytes "matrix");
+  check (Alcotest.float 0.0) "clusters broadcast bytes" 128.0
+    (coll_bytes "clusters")
+
 let () =
   Alcotest.run "comm"
     [ ( "contract",
@@ -202,7 +461,13 @@ let () =
       ( "cluster",
         [ Alcotest.test_case "kmeans per-phase bound" `Quick
             test_kmeans_phases_bounded;
+          Alcotest.test_case "counter reset between runs" `Quick
+            test_counter_reset_between_runs;
           Alcotest.test_case "all apps validated at 2 and 5 nodes" `Slow
             test_apps_validated;
+        ] );
+      ( "explain-json",
+        [ Alcotest.test_case "golden schema for kmeans_tiny" `Quick
+            test_explain_json_schema;
         ] );
     ]

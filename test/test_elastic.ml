@@ -1,0 +1,333 @@
+(* Checkpointed elastic runtime tests (DESIGN.md §11).
+
+   The contract everywhere: checkpoints, membership churn (joins and
+   graceful leaves), memory backpressure, and the restore-vs-replay
+   recovery policy change the simulated clock and the event counters but
+   NEVER the computed values.  Every run here is checked bit-identical to
+   the reference interpreter, and the breakdown must show the new elastic
+   phases being paid for exactly when their feature is armed. *)
+
+open Dmll_ir
+open Dmll_interp
+open Dmll_runtime
+open Exp
+open Builder
+module M = Dmll_machine.Machine
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable (fun fmt v -> Fmt.string fmt (Value.to_string v)) Value.equal
+
+let xs_input = Exp.Input ("xs", Types.Arr Types.Float, Exp.Partitioned)
+let xs_val n = Value.of_float_array (Array.init n (fun i -> float_of_int (i mod 17)))
+
+(* [depth] chained partitioned collects ending in a reduction: a spine
+   long enough that churn, cadenced checkpoints, and late crashes all get
+   several loops to land on. *)
+let chain_program depth =
+  let rec go d m =
+    if d = 0 then fsum ~size:(len m) (fun i -> read m i)
+    else
+      bind ~ty:(Types.Arr Types.Float)
+        (collect ~size:(len m) (fun i -> read m i *. float_ 1.5))
+        (go (d - 1))
+  in
+  go depth xs_input
+
+let run_config ?faults ?(nodes = 4) ?mem_budget_gb () =
+  { Sim_cluster.default_config with
+    cluster = M.with_nodes nodes M.ec2_cluster;
+    faults;
+    mem_budget_gb;
+  }
+
+(* ---------------- directory-aligned elastic rebalance ---------------- *)
+
+let test_schedule_rebalance () =
+  let n = 103 in
+  let live = [ 1; 3; 4; 9 ] in
+  let units = Schedule.rebalance ~live n in
+  check tbool "covers the index space" true (Schedule.covers units n);
+  List.iter
+    (fun (u : Schedule.unit_of_work) ->
+      check tbool "only live nodes receive work" true
+        (List.mem u.Schedule.node live))
+    units;
+  (* directory alignment: every unit edge sits on a boundary (or the
+     ends of the index space), so no partition chunk is torn in two *)
+  let boundaries = [ 40; 80 ] in
+  let units = Schedule.rebalance ~boundaries ~live:[ 0; 2 ] n in
+  check tbool "boundary-aligned plan covers" true (Schedule.covers units n);
+  let edges = 0 :: n :: boundaries in
+  List.iter
+    (fun (u : Schedule.unit_of_work) ->
+      check tbool "unit edges are directory-aligned" true
+        (List.mem u.Schedule.range.Chunk.lo edges
+        && List.mem u.Schedule.range.Chunk.hi edges))
+    units
+
+(* ---------------- membership churn ------------------------------------ *)
+
+let test_membership_churn () =
+  let inputs = [ ("xs", xs_val 4096) ] in
+  let program = chain_program 6 in
+  let expected = Interp.run ~inputs program in
+  let spec =
+    { M.default_faults with
+      M.fault_seed = 11;
+      join_prob = 0.9;
+      leave_prob = 0.6;
+      spare_nodes = 3;
+    }
+  in
+  let inj = Fault.create spec in
+  let r =
+    Sim_cluster.run ~config:(run_config ~faults:inj ~nodes:4 ()) ~inputs program
+  in
+  check value "churny value bit-identical" expected r.Sim_common.value;
+  check tbool "spares joined" true (Fault.join_count inj > 0);
+  check tbool "nodes left gracefully" true (Fault.leave_count inj > 0);
+  check tbool "churn phase was charged" true
+    (Sim_common.phase_total r "churn" > 0.0);
+  (* healthy baseline charges no churn at all *)
+  let healthy = Sim_cluster.run ~config:(run_config ~nodes:4 ()) ~inputs program in
+  check value "healthy value" expected healthy.Sim_common.value;
+  check (Alcotest.float 0.0) "no churn without membership events" 0.0
+    (Sim_common.phase_total healthy "churn")
+
+(* ---------------- memory backpressure --------------------------------- *)
+
+let test_memory_pressure () =
+  let inputs = [ ("xs", xs_val 8192) ] in
+  let program = chain_program 3 in
+  let expected = Interp.run ~inputs program in
+  let roomy = Sim_cluster.run ~config:(run_config ~nodes:4 ()) ~inputs program in
+  check value "roomy value" expected roomy.Sim_common.value;
+  check (Alcotest.float 0.0) "no spill within budget" 0.0
+    (Sim_common.phase_total roomy "spill");
+  (* a ~2KB budget: every partition share is over budget *)
+  let tight =
+    Sim_cluster.run
+      ~config:(run_config ~nodes:4 ~mem_budget_gb:2e-6 ())
+      ~inputs program
+  in
+  check value "over-budget value bit-identical" expected tight.Sim_common.value;
+  check tbool "spill phase was charged" true
+    (Sim_common.phase_total tight "spill" > 0.0);
+  check tbool "backpressure only slows the clock" true
+    (tight.Sim_common.seconds > roomy.Sim_common.seconds)
+
+(* ---------------- checkpoint integrity -------------------------------- *)
+
+let test_checkpoint_verify () =
+  let store = Checkpoint.create ~cadence:2 in
+  check tbool "cadence 2: loop 1 not due" false (Checkpoint.due store ~loop:1);
+  check tbool "cadence 2: loop 4 due" true (Checkpoint.due store ~loop:4);
+  let v = xs_val 1000 in
+  ignore
+    (Checkpoint.record store ~at_loop:4 ~chunks:4
+       ~bindings:[ ("m", v) ]
+       ~driver:[ ("loop_no", Value.Vint 4) ]);
+  check tint "one snapshot taken" 1 (Checkpoint.taken store);
+  (match Checkpoint.restore store with
+  | Checkpoint.Available s ->
+      check tint "snapshot is at loop 4" 4 s.Checkpoint.at_loop;
+      (* snapshots are deep copies: mutating the live value later must
+         not corrupt the snapshot *)
+      (match v with
+      | Value.Varr (Value.Fa a) -> a.(0) <- 12345.0
+      | _ -> Alcotest.fail "expected an unboxed float array");
+      (match Checkpoint.restore store with
+      | Checkpoint.Available _ -> ()
+      | _ -> Alcotest.fail "snapshot must be isolated from live mutation")
+  | _ -> Alcotest.fail "expected a verifiable snapshot");
+  (* bit-rot in the stored copy itself is caught by the chunk checksums *)
+  (match Checkpoint.latest store with
+  | Some s -> (
+      match List.assoc "m" s.Checkpoint.bindings with
+      | { Checkpoint.value = Value.Varr (Value.Fa a) } -> a.(17) <- 1e9
+      | _ -> Alcotest.fail "expected the stored float array")
+  | None -> Alcotest.fail "snapshot vanished");
+  match Checkpoint.restore store with
+  | Checkpoint.Corrupt _ -> ()
+  | Checkpoint.Available _ -> Alcotest.fail "corruption must not verify"
+  | Checkpoint.None_taken -> Alcotest.fail "snapshot vanished"
+
+(* ---------------- domain executor: crash, restore, resume ------------- *)
+
+let test_domains_checkpoint_resume () =
+  let inputs = [ ("xs", xs_val 5000) ] in
+  let program = chain_program 4 in
+  let expected = Exec_domains.run ~domains:4 ~inputs program in
+  (* crash after 3 loops with a cadence-1 store: recovery restores the
+     loop-3 snapshot and only recomputes the tail *)
+  let store = Checkpoint.create ~cadence:1 in
+  let inj = Fault.create M.default_faults in
+  let got =
+    Exec_domains.run_with_recovery ~domains:4 ~faults:inj ~store ~crash_after:3
+      ~inputs program
+  in
+  check value "restored run bit-identical" expected got;
+  check tint "restore was recorded" 1 (Fault.restore_count inj);
+  check tint "no replay" 0 (Fault.replay_count inj);
+  check tbool "snapshots were taken" true (Checkpoint.taken store >= 3)
+
+let test_domains_replay_fallbacks () =
+  let inputs = [ ("xs", xs_val 5000) ] in
+  let program = chain_program 4 in
+  let expected = Exec_domains.run ~domains:4 ~inputs program in
+  (* no store cadence: nothing to restore, whole-spine lineage replay *)
+  let store = Checkpoint.create ~cadence:0 in
+  let inj = Fault.create M.default_faults in
+  let got =
+    Exec_domains.run_with_recovery ~domains:4 ~faults:inj ~store ~crash_after:2
+      ~inputs program
+  in
+  check value "replayed run bit-identical" expected got;
+  check tint "replay was recorded" 1 (Fault.replay_count inj);
+  check tint "no restore" 0 (Fault.restore_count inj);
+  (* corrupt store: checksum rejects the snapshot, replay wins anyway *)
+  let store = Checkpoint.create ~cadence:1 in
+  let inj = Fault.create M.default_faults in
+  let corrupt_after_phase1 () =
+    match Checkpoint.latest store with
+    | Some s -> (
+        match s.Checkpoint.bindings with
+        | (_, { Checkpoint.value = Value.Varr (Value.Fa a) }) :: _ ->
+            a.(0) <- 12345.0
+        | _ -> ())
+    | None -> ()
+  in
+  (* populate the store with a healthy run, corrupt its snapshot, then
+     crash immediately (crash_after:0) so the doomed attempt cannot
+     overwrite the corrupted snapshot with a fresh one before recovery *)
+  ignore (Exec_domains.run ~domains:4 ~checkpoint:store ~inputs program);
+  corrupt_after_phase1 ();
+  let got =
+    Exec_domains.run_with_recovery ~domains:4 ~faults:inj ~store ~crash_after:0
+      ~inputs program
+  in
+  check value "corrupt-store run bit-identical" expected got;
+  check tbool "fell back to lineage replay" true (Fault.replay_count inj >= 1);
+  check tint "corrupt snapshot never restored" 0 (Fault.restore_count inj)
+
+(* ---------------- restore-vs-replay on the simulated cluster ---------- *)
+
+(* The acceptance scenario: a compute-heavy kmeans iteration crashes on
+   its late loop, after the cadence-1 store snapshotted the assignment
+   vector.  Replay would re-pay the lost share of the whole distance
+   computation; restoring ships the (small) snapshot instead.  The
+   cost-modeled policy must pick Restore, and the restore must be charged
+   to the simulated clock.  Everything is pinned: seed 0, permanent
+   crashes, 8 nodes. *)
+let test_kmeans_late_crash_restores () =
+  let rows = 8000 and cols = 32 and k = 32 in
+  let data = Dmll_data.Gaussian.generate ~rows ~cols ~classes:4 () in
+  let centroids = Dmll_data.Gaussian.random_centroids ~k data in
+  let program = Dmll_apps.Kmeans.program ~rows ~cols ~k () in
+  let inputs = Dmll_apps.Kmeans.inputs data ~centroids in
+  let expected = Interp.run ~inputs program in
+  let spec =
+    { M.default_faults with
+      M.fault_seed = 0;
+      crash_prob = 0.35;
+      crash_transient_frac = 0.0;
+    }
+  in
+  let inj = Fault.create spec in
+  let store = Checkpoint.create ~cadence:1 in
+  let r =
+    Sim_cluster.run
+      ~config:(run_config ~faults:inj ~nodes:8 ())
+      ~checkpoint:store ~inputs program
+  in
+  check value "crashed kmeans value bit-identical" expected r.Sim_common.value;
+  (match Checkpoint.decisions store with
+  | [ d ] ->
+      check tint "decided on the late loop" 2 d.Checkpoint.decided_at_loop;
+      check Alcotest.string "policy picked restore" "restore"
+        (Checkpoint.choice_to_string d.Checkpoint.chosen);
+      check tbool "restore was priced below replay" true
+        (d.Checkpoint.restore_cost <= d.Checkpoint.replay_cost)
+  | ds -> Alcotest.failf "expected exactly one decision, got %d" (List.length ds));
+  check tint "restore event recorded" 1 (Fault.restore_count inj);
+  check tbool "checkpoint phase on the simulated clock" true
+    (Sim_common.phase_total r "checkpoint" > 0.0);
+  check tbool "restore phase on the simulated clock" true
+    (Sim_common.phase_total r "restore" > 0.0);
+  check tbool "snapshot write bytes accounted" true
+    (Checkpoint.written_bytes store > 0.0)
+
+(* ---------------- recovery equivalence (property) --------------------- *)
+
+(* For random partitioned programs, at 2 and 5 nodes: a fault-free run, a
+   crashy run recovering via cadence-1 checkpoints, and a crashy run
+   recovering via pure lineage replay must all produce bit-identical
+   values.  Recovery strategy is a scheduling decision, never a semantic
+   one. *)
+let prop_recovery_equivalence =
+  QCheck.Test.make ~count:60 ~name:"no-fault = crash+restore = crash+replay"
+    Dmll_testgen.Gen_ir.arbitrary_partitioned_program (fun program ->
+      let inputs = [ ("xs", xs_val 384) ] in
+      match Interp.run ~inputs program with
+      | exception Interp.Runtime_error _ -> QCheck.assume_fail ()
+      | expected ->
+          List.for_all
+            (fun nodes ->
+              let crashy () =
+                Fault.create
+                  { M.default_faults with
+                    M.fault_seed = 7 + nodes;
+                    crash_prob = 0.5;
+                    crash_transient_frac = 0.2;
+                    max_retries = 2;
+                    backoff_us = 1.0;
+                  }
+              in
+              let healthy =
+                Sim_cluster.run ~config:(run_config ~nodes ()) ~inputs program
+              in
+              let restored =
+                Sim_cluster.run
+                  ~config:(run_config ~faults:(crashy ()) ~nodes ())
+                  ~checkpoint:(Checkpoint.create ~cadence:1)
+                  ~inputs program
+              in
+              let replayed =
+                Sim_cluster.run
+                  ~config:(run_config ~faults:(crashy ()) ~nodes ())
+                  ~inputs program
+              in
+              Value.equal expected healthy.Sim_common.value
+              && Value.equal expected restored.Sim_common.value
+              && Value.equal expected replayed.Sim_common.value)
+            [ 2; 5 ])
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "elastic"
+    [ ( "membership",
+        [ Alcotest.test_case "elastic rebalance" `Quick test_schedule_rebalance;
+          Alcotest.test_case "churn under join/leave" `Quick
+            test_membership_churn;
+        ] );
+      ( "memory",
+        [ Alcotest.test_case "spill & backpressure" `Quick test_memory_pressure ]
+      );
+      ( "checkpoint",
+        [ Alcotest.test_case "checksums & corruption" `Quick
+            test_checkpoint_verify;
+          Alcotest.test_case "domains crash/resume" `Quick
+            test_domains_checkpoint_resume;
+          Alcotest.test_case "domains replay fallbacks" `Quick
+            test_domains_replay_fallbacks;
+        ] );
+      ( "policy",
+        [ Alcotest.test_case "kmeans late crash restores" `Quick
+            test_kmeans_late_crash_restores;
+        ] );
+      ("equivalence", [ qt prop_recovery_equivalence ]);
+    ]

@@ -59,6 +59,72 @@ let test_spec_parse () =
   check tbool "unknown key rejected" true (bad "crashes=0.5");
   check tbool "bad number rejected" true (bad "crash=often")
 
+(* An unknown key must produce a structured Diag (stable rule F-SPEC)
+   whose message lists every valid key — so a typoed --faults value on the
+   CLI tells the user exactly what the grammar accepts. *)
+let test_spec_diag () =
+  match Fault.parse_spec "crash=0.5,crashes=0.5" with
+  | Ok _ -> Alcotest.fail "unknown key accepted"
+  | Error d ->
+      check Alcotest.string "rule id" "F-SPEC" d.Dmll_analysis.Diag.rule;
+      let msg = d.Dmll_analysis.Diag.message in
+      let contains sub =
+        let n = String.length sub and m = String.length msg in
+        let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+        go 0
+      in
+      check tbool "names the offender" true (contains "crashes");
+      check tbool "lists the valid keys" true (contains "valid keys");
+      List.iter
+        (fun k -> check tbool (Printf.sprintf "mentions %s" k) true (contains k))
+        Fault.valid_keys
+
+(* Property: pp_spec and parse_spec are exact inverses over arbitrary
+   specs.  Floats print as %.17g, which round-trips every finite double
+   bit-for-bit, so plain structural equality holds — not approximate. *)
+let spec_roundtrip_prop =
+  let gen =
+    let open QCheck.Gen in
+    let pf = float_range 0.0 1.0 in
+    let* fault_seed = int_range 0 1_000_000 in
+    let* crash_prob = pf in
+    let* crash_transient_frac = pf in
+    let* straggler_prob = pf in
+    let* straggler_slowdown = float_range 1.0 50.0 in
+    let* read_drop_prob = pf in
+    let* read_delay_prob = pf in
+    let* read_delay_us = float_range 0.0 5000.0 in
+    let* max_retries = int_range 0 9 in
+    let* backoff_us = float_range 0.0 1000.0 in
+    let* heartbeat_ms = float_range 0.1 100.0 in
+    let* join_prob = pf in
+    let* leave_prob = pf in
+    let* spare_nodes = int_range 0 8 in
+    return
+      { M.fault_seed;
+        crash_prob;
+        crash_transient_frac;
+        straggler_prob;
+        straggler_slowdown;
+        read_drop_prob;
+        read_delay_prob;
+        read_delay_us;
+        max_retries;
+        backoff_us;
+        heartbeat_ms;
+        join_prob;
+        leave_prob;
+        spare_nodes;
+      }
+  in
+  QCheck.Test.make ~count:300 ~name:"pp_spec/parse_spec round-trip"
+    (QCheck.make ~print:Fault.to_string gen) (fun spec ->
+      match Fault.parse_spec (Fmt.str "%a" Fault.pp_spec spec) with
+      | Error d ->
+          QCheck.Test.fail_reportf "rejected its own output: %s"
+            (Dmll_analysis.Diag.to_string d)
+      | Ok round -> round = spec)
+
 (* ---------------- deterministic draws ---------------- *)
 
 let test_draw_determinism () =
@@ -326,6 +392,8 @@ let () =
   Alcotest.run "fault"
     [ ( "spec",
         [ Alcotest.test_case "parse & round-trip" `Quick test_spec_parse;
+          Alcotest.test_case "unknown key diagnostics" `Quick test_spec_diag;
+          qt spec_roundtrip_prop;
           Alcotest.test_case "deterministic draws" `Quick test_draw_determinism;
         ] );
       ( "replan",
