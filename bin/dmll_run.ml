@@ -63,159 +63,59 @@ let prepare (app : string) ~(scale : int) : prepared =
       exit 1
 
 open Cmdliner
+module Config = Dmll.Config
 
 let app_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP"
          ~doc:"kmeans, logreg, gda, tpch_q1, gene, pagerank, tricount, or gibbs")
 
-let target_arg =
-  Arg.(
-    value
-    & opt (enum [ ("seq", `Seq); ("multicore", `Multicore); ("numa", `Numa);
-                  ("gpu", `Gpu); ("cluster", `Cluster) ]) `Seq
-    & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"Execution target.")
-
 let scale_arg =
   Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Dataset scale multiplier.")
 
-let faults_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "faults" ]
-        ~env:(Cmd.Env.info "DMLL_FAULTS")
-        ~docv:"SPEC"
-        ~doc:
-          "Inject deterministic faults and recover from them (multicore and \
-           cluster targets).  SPEC is comma-separated key=value pairs, e.g. \
-           $(b,seed=42,crash=0.05,straggler=0.1,join=0.2,leave=0.1); keys: \
-           seed, crash, transient, straggler, slow, drop, delay, delay_us, \
-           retries, backoff_us, heartbeat_ms, join, leave, spares.  An \
-           unknown key is rejected with the list of valid keys.  Results \
-           are identical to the fault-free run.")
-
-let checkpoint_arg =
-  Arg.(
-    value & opt int 0
-    & info [ "checkpoint-every" ] ~docv:"N"
-        ~doc:
-          "Snapshot the spine bindings every $(docv) outer loops \
-           (checksummed; 0 disables).  On a crash the runtime prices \
-           restore-from-checkpoint against lineage replay and takes the \
-           cheaper path (multicore and cluster targets).")
-
-let mem_budget_arg =
-  Arg.(
-    value
-    & opt (some float) None
-    & info [ "mem-budget" ] ~docv:"GB"
-        ~doc:
-          "Per-node memory budget in GB (cluster target).  Defaults to \
-           the machine model's per-node memory.  Loops whose resident set \
-           exceeds the budget spill to disk and see remote-read \
-           backpressure — the clock slows, the values never change.")
-
-let main app target scale faults checkpoint_every mem_budget =
+let main app target nodes scale faults checkpoint_every mem_budget debug trace
+    profile =
   let { program; inputs } = prepare app ~scale in
-  let injector =
-    match faults with
-    | None -> None
-    | Some s -> (
-        match Dmll_runtime.Fault.parse s with
-        | Ok spec -> Some (Dmll_runtime.Fault.create spec)
-        | Error msg ->
-            Printf.eprintf "bad --faults spec: %s\n" msg;
-            exit 2)
+  let cfg =
+    Common_cli.config ~debug ?faults ~checkpoint_every ?mem_budget ?trace
+      ~profile ()
   in
-  let store =
-    if checkpoint_every > 0 then
-      Some (Dmll_runtime.Checkpoint.create ~cadence:checkpoint_every)
-    else None
-  in
-  let target =
-    match target with
-    | `Seq -> Dmll.Sequential
-    | `Multicore -> Dmll.Multicore 4
-    | `Numa ->
-        Dmll.Numa
-          { Dmll_runtime.Sim_numa.machine = Dmll_machine.Machine.stanford_numa;
-            threads = 48;
-            mode = Dmll_runtime.Sim_numa.Numa_aware;
-          }
-    | `Gpu -> Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true }
-    | `Cluster ->
-        Dmll.Cluster
-          { Dmll_runtime.Sim_cluster.default_config with
-            faults = injector;
-            checkpoint_cadence = checkpoint_every;
-            mem_budget_gb = mem_budget;
-          }
-  in
-  (match (injector, target) with
+  let target = Common_cli.target_of ?nodes target in
+  let cfg = Config.with_target target cfg in
+  (match (cfg.Config.faults, target) with
   | Some _, (Dmll.Sequential | Dmll.Numa _ | Dmll.Gpu _) ->
       Printf.eprintf
         "note: --faults only affects the multicore and cluster targets\n%!"
   | _ -> ());
-  (match (store, target) with
-  | Some _, (Dmll.Sequential | Dmll.Numa _ | Dmll.Gpu _) ->
-      Printf.eprintf
-        "note: --checkpoint-every only affects the multicore and cluster \
-         targets\n%!"
-  | _ -> ());
-  let c = Dmll.compile ~target program in
+  (if cfg.Config.checkpoint_every > 0 then
+     match target with
+     | Dmll.Sequential | Dmll.Numa _ | Dmll.Gpu _ ->
+         Printf.eprintf
+           "note: --checkpoint-every only affects the multicore and cluster \
+            targets\n%!"
+     | _ -> ());
+  let c = Dmll.compile_with cfg program in
   Printf.printf "optimizations: %s\n%!"
     (String.concat ", " (Dmll.optimizations c));
-  let value, seconds =
-    (* the Multicore target takes the injector and the checkpoint store at
-       run time (real retry/backoff and lineage recovery on OCaml domains) *)
-    match (target, injector) with
-    | Dmll.Multicore domains, Some f ->
-        Dmll_util.Timing.time (fun () ->
-            Dmll_runtime.Exec_domains.run ~domains ~faults:f ?checkpoint:store
-              ~inputs c.Dmll.final)
-    | Dmll.Multicore domains, None when store <> None ->
-        Dmll_util.Timing.time (fun () ->
-            Dmll_runtime.Exec_domains.run ~domains ?checkpoint:store ~inputs
-              c.Dmll.final)
-    | _ -> Dmll.timed_run c ~inputs
-  in
-  (match injector with
+  let r = Dmll.execute cfg c ~inputs in
+  (match cfg.Config.faults with
   | Some f ->
       Printf.printf "faults: %s\n" (Dmll_runtime.Fault.stats_to_string f)
   | None -> ());
-  (match store with
-  | Some s when Dmll_runtime.Checkpoint.taken s > 0 ->
-      Printf.printf "checkpoints: %d taken, %.0f bytes written%s\n"
-        (Dmll_runtime.Checkpoint.taken s)
-        (Dmll_runtime.Checkpoint.written_bytes s)
-        (match Dmll_runtime.Checkpoint.decisions s with
-        | [] -> ""
-        | ds ->
-            Printf.sprintf "; recovery decisions: %s"
-              (String.concat ", "
-                 (List.map
-                    (fun (d : Dmll_runtime.Checkpoint.decision) ->
-                      Printf.sprintf "loop %d -> %s"
-                        d.Dmll_runtime.Checkpoint.decided_at_loop
-                        (Dmll_runtime.Checkpoint.choice_to_string
-                           d.Dmll_runtime.Checkpoint.chosen))
-                    ds)))
-  | _ -> ());
-  let kind =
-    match target with
-    | Dmll.Sequential | Dmll.Multicore _ -> "wall-clock"
-    | _ -> "simulated"
-  in
-  Printf.printf "%s time: %s\n" kind (Dmll_util.Table.fmt_time seconds);
-  Printf.printf "result: %s\n"
-    (let s = V.to_string value in
-     if String.length s > 200 then String.sub s 0 200 ^ "..." else s)
+  Common_cli.print_metrics r.Dmll.metrics;
+  let kind = if r.Dmll.wall_clock then "wall-clock" else "simulated" in
+  Printf.printf "%s time: %s\n" kind (Dmll_util.Table.fmt_time r.Dmll.seconds);
+  Printf.printf "result: %s\n%!"
+    (let s = V.to_string r.Dmll.value in
+     if String.length s > 200 then String.sub s 0 200 ^ "..." else s);
+  Common_cli.emit_observability cfg
 
 let cmd =
   let doc = "compile and run a DMLL benchmark application" in
   Cmd.v (Cmd.info "dmll_run" ~doc)
     Term.(
-      const main $ app_arg $ target_arg $ scale_arg $ faults_arg
-      $ checkpoint_arg $ mem_budget_arg)
+      const main $ app_arg $ Common_cli.target_arg $ Common_cli.nodes_arg
+      $ scale_arg $ Common_cli.faults_arg $ Common_cli.checkpoint_arg
+      $ Common_cli.mem_budget_arg $ Common_cli.debug_arg
+      $ Common_cli.trace_arg $ Common_cli.profile_arg)
 
 let () = exit (Cmd.eval cmd)

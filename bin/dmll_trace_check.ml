@@ -1,0 +1,25 @@
+(* dmll_trace_check: validate Chrome trace_event JSON files emitted by
+   dmllc/dmll_run --trace against the golden schema (Dmll_obs.Trace_json).
+   Used by the trace-smoke CI rule; exits non-zero naming the first file
+   that fails to parse or violates the schema. *)
+
+let check file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Dmll_obs.Trace_json.validate_chrome s with
+  | Ok () ->
+      Printf.printf "%s: ok\n" file;
+      true
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      false
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: dmll_trace_check FILE.json...";
+    exit 2
+  end;
+  exit (if List.for_all check files then 0 else 1)

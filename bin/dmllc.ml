@@ -60,6 +60,7 @@ let app_names = List.map (fun (n, _, _) -> n) apps
 let find_app name = List.find_opt (fun (n, _, _) -> String.equal n name) apps
 
 open Cmdliner
+module Config = Dmll.Config
 
 let app_arg =
   let doc =
@@ -98,15 +99,6 @@ let json =
         ~doc:"With --explain-comm, emit machine-readable JSON (one object \
               per application).")
 
-let nodes =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "nodes" ] ~docv:"N"
-        ~doc:
-          "With --explain-comm, predict for an $(docv)-node cluster instead \
-           of the paper's 20-node EC2 preset.")
-
 let show_source =
   Arg.(value & flag & info [ "source" ] ~doc:"Print the source (staged) IR.")
 
@@ -136,18 +128,18 @@ let select_apps ~flag app =
 
 (* Compile one app and print its lint report; returns true when any
    Error-severity diagnostic was produced. *)
-let lint_one target (name, build, _) =
-  let c = Dmll.compile ~target (build ()) in
+let lint_one cfg (name, build, _) =
+  let c = Dmll.compile_with cfg (build ()) in
   let diags = Dmll.lint c in
   header (Printf.sprintf "lint: %s" name);
   if diags = [] then print_endline "  no findings";
   List.iter (fun d -> Fmt.pr "  @[<v>%a@]@." Dmll_analysis.Diag.pp_full d) diags;
   Dmll_analysis.Diag.has_errors diags
 
-let run_lint target app =
+let run_lint cfg app =
   let selected = select_apps ~flag:true app in
   let any_error =
-    List.fold_left (fun acc ab -> lint_one target ab || acc) false selected
+    List.fold_left (fun acc ab -> lint_one cfg ab || acc) false selected
   in
   if any_error then exit 1
 
@@ -194,31 +186,29 @@ let explain_one ~json:as_json ~machine (name, build, input_lens) =
   end
 
 let run_explain ~json ~nodes app =
-  let machine =
-    match nodes with
-    | Some n -> M.with_nodes n M.ec2_cluster
-    | None -> M.ec2_cluster
-  in
+  let machine = Common_cli.cluster_machine ?nodes () in
   List.iter (explain_one ~json ~machine) (select_apps ~flag:true app)
 
-let main app show_src emit gpu lint explain json nodes =
-  let target_of_gpu gpu =
+let main app show_src emit gpu lint explain json nodes debug trace profile =
+  let target =
     if gpu then
       Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true }
     else Dmll.Sequential
   in
+  let cfg =
+    Config.with_target target (Common_cli.config ~debug ?trace ~profile ())
+  in
   if explain then run_explain ~json ~nodes app
-  else if lint then run_lint (target_of_gpu gpu) app
-  else
-  match find_app app with
+  else if lint then run_lint cfg app
+  else begin
+  (match find_app app with
   | None ->
       Printf.eprintf "unknown app %S; try one of: %s\n" app
         (String.concat ", " app_names);
       exit 1
   | Some (_, build, _) ->
       let source = build () in
-      let target = target_of_gpu gpu in
-      let c = Dmll.compile ~target source in
+      let c = Dmll.compile_with cfg source in
       if show_src then begin
         header "Source IR";
         print_endline (Dmll_ir.Pp.to_string c.Dmll.source)
@@ -250,7 +240,9 @@ let main app show_src emit gpu lint explain json nodes =
       | Some lang ->
           header "Generated code";
           print_endline (Dmll.codegen lang c)
-      | None -> ())
+      | None -> ()));
+  Common_cli.emit_observability cfg
+  end
 
 let cmd =
   let doc = "explore the DMLL compilation pipeline for a benchmark application" in
@@ -258,6 +250,7 @@ let cmd =
     (Cmd.info "dmllc" ~doc)
     Term.(
       const main $ app_arg $ show_source $ show_codegen $ gpu $ lint
-      $ explain_comm $ json $ nodes)
+      $ explain_comm $ json $ Common_cli.nodes_arg $ Common_cli.debug_arg
+      $ Common_cli.trace_arg $ Common_cli.profile_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -550,13 +550,11 @@ let summary_to_json (s : summary) : string =
 (* Prediction-vs-measurement contract                                  *)
 (* ------------------------------------------------------------------ *)
 
-(** Is runtime cross-validation armed?  Seeded from [DMLL_DEBUG] like the
-    rest of the debug-mode checks; tests flip it directly. *)
-let validate_enabled =
-  ref
-    (match Sys.getenv_opt "DMLL_DEBUG" with
-    | Some ("1" | "true" | "yes") -> true
-    | _ -> false)
+(** Is runtime cross-validation armed?  Off by default; [Dmll.Config]
+    arms it alongside the rest of the debug-mode checks (the only env-var
+    reader is [Dmll.Config.of_env], which maps [DMLL_DEBUG=1] here at
+    startup); tests flip it directly. *)
+let validate_enabled = ref false
 
 (** Multiplicative slack of the contract: serialization framing, the Ga
     per-element boxing overhead the static type sizes cannot see, and

@@ -19,6 +19,7 @@
 open Dmll_ir
 open Exp
 module R = Dmll_opt.Rewrite
+module Span = Dmll_obs.Span
 
 type warning =
   | Sequential_on_partitioned of Stencil.target
@@ -213,16 +214,54 @@ let dedup_warnings (ws : warning list) : warning list =
     may be "keep", accepting remote reads when they are cheaper than the
     rewrite's gathers — wins; strict improvement is required, so the
     search terminates.  [machine] and [input_lens] parameterize the
-    volume prediction ({!Comm}). *)
-let analyze ?(transforms = Dmll_opt.Rules_nested.cpu_rules)
+    volume prediction ({!Comm}).
+
+    [?tracer] records the analysis on the compile timeline: one span per
+    stencil-classification pass (cat ["partition"], with partitioned and
+    non-local-friendly access counts) and one span per cost-guided
+    rewrite decision (with the chosen rule and the predicted volumes of
+    the winner and of keeping the program). *)
+let analyze ?tracer ?(transforms = Dmll_opt.Rules_nested.cpu_rules)
     ?(reoptimize = fun e -> (Dmll_opt.Pipeline.optimize e).Dmll_opt.Pipeline.program)
     ?input_lens ?machine (e : exp) : report =
   let volume e = predicted_volume ?input_lens ?machine e in
   let rewrites = ref [] in
   let decisions = ref [] in
+  let trace_decision (d : decision) =
+    match tracer with
+    | None -> ()
+    | Some tr ->
+        let now = Span.now_us tr in
+        Span.emit tr ~cat:"partition" ~name:"rewrite-decision"
+          ~args:
+            ([ ("iteration", Span.Int d.iteration);
+               ("chosen", Span.Str d.chosen);
+             ]
+            @ List.map
+                (fun (n, v) -> ("bytes:" ^ n, Span.Float v))
+                d.candidates)
+          ~ts_us:now ~dur_us:0.0 ()
+  in
   let rec fix e iters =
-    let layouts, warnings = propagate e in
-    let bad = bad_accesses e layouts in
+    let layouts, warnings, bad =
+      Span.with_span ?tracer ~cat:"partition" "stencil-classification"
+        (fun () ->
+          let layouts, warnings = propagate e in
+          (layouts, warnings, bad_accesses e layouts))
+    in
+    (match tracer with
+    | None -> ()
+    | Some tr ->
+        Span.emit tr ~cat:"partition" ~name:"classification-result"
+          ~args:
+            [ ("iteration", Span.Int iters);
+              ( "partitioned",
+                Span.Int
+                  (List.length
+                     (List.filter (fun (_, l) -> l = Partitioned) layouts)) );
+              ("non_local_friendly", Span.Int (List.length bad));
+            ]
+          ~ts_us:(Span.now_us tr) ~dur_us:0.0 ());
     if bad = [] || iters >= 8 then (e, layouts, warnings, bad)
     else
       (* try each rewrite rule, one at a time, linear search (§4.2);
@@ -252,8 +291,9 @@ let analyze ?(transforms = Dmll_opt.Rules_nested.cpu_rules)
           ("keep", v_keep) :: List.map (fun (n, _, v) -> (n, v)) applicable
         in
         if best_v < v_keep then begin
-          decisions :=
-            !decisions @ [ { iteration = iters; chosen = best_name; candidates } ];
+          let d = { iteration = iters; chosen = best_name; candidates } in
+          decisions := !decisions @ [ d ];
+          trace_decision d;
           rewrites := !rewrites @ [ best_name ];
           fix best_e (iters + 1)
         end
@@ -261,8 +301,9 @@ let analyze ?(transforms = Dmll_opt.Rules_nested.cpu_rules)
           (* every rewrite moves at least as much data as the remote
              reads it removes: keep the program, fall back to the
              runtime's remote fetches *)
-          decisions :=
-            !decisions @ [ { iteration = iters; chosen = "keep"; candidates } ];
+          let d = { iteration = iters; chosen = "keep"; candidates } in
+          decisions := !decisions @ [ d ];
+          trace_decision d;
           ignore best_e;
           (e, layouts, warnings, bad)
         end

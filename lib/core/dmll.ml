@@ -20,8 +20,11 @@ module Opt = Dmll_opt
 module Analysis = Dmll_analysis
 module Runtime = Dmll_runtime
 module Backend = Dmll_backend
+module Config = Config
+module Span = Dmll_obs.Span
+module Metrics = Dmll_obs.Metrics
 
-type target =
+type target = Config.target =
   | Sequential  (** closure backend, one core — the Table 2 configuration *)
   | Multicore of int  (** real OCaml domains *)
   | Numa of Runtime.Sim_numa.config  (** simulated NUMA machine *)
@@ -48,11 +51,13 @@ type compiled = {
     {!Analysis.Diag.Failed} on any Error-severity diagnostic, so a
     transformation bug is caught at the rule that introduced it rather
     than as a silently divergent answer.  Enabled per call
-    ([compile ~debug:true]) or globally with [DMLL_DEBUG=1]. *)
+    ([compile ~debug:true]) or globally with [DMLL_DEBUG=1], read once
+    here through {!Config.of_env} — the single environment reader.
+    (A malformed [DMLL_FAULTS] is ignored at library load; tools that
+    call [Config.of_env] themselves still fail loudly on it.) *)
 let debug_default =
-  match Sys.getenv_opt "DMLL_DEBUG" with
-  | Some ("1" | "true" | "yes") -> true
-  | _ -> false
+  (try Config.of_env () with Invalid_argument _ -> Config.default)
+    .Config.debug
 
 (* Typecheck + Verify one (possibly open) program; free symbols are
    treated as bound at their annotated types. *)
@@ -90,9 +95,31 @@ let with_debug_checks (debug : bool) (f : unit -> 'a) : 'a =
 (* Replanned chunk programs are built at {e run} time, outside any
    [with_debug_checks] scope around [compile] — so [DMLL_DEBUG=1] arms the
    recovery-path verification for the whole process, mirroring how it arms
-   the optimizer-stage checks. *)
+   the optimizer-stage checks.  The same switch arms the runtime's
+   prediction-vs-measurement contract (C-COMM-OVERRUN) and the span/clock
+   contract (O-SPAN-CLOCK), which used to be armed by an environment read
+   inside the analysis library. *)
 let () =
-  if debug_default then Runtime.Fault.post_replan_check := Some verify_stage
+  if debug_default then begin
+    Runtime.Fault.post_replan_check := Some verify_stage;
+    Analysis.Comm.validate_enabled := true
+  end
+
+(* Per-run arming of the same runtime validations, for [execute ~debug]
+   without the environment switch. *)
+let with_run_checks (debug : bool) (f : unit -> 'a) : 'a =
+  if not debug then f ()
+  else begin
+    let saved_comm = !Analysis.Comm.validate_enabled in
+    let saved_replan = !Runtime.Fault.post_replan_check in
+    Analysis.Comm.validate_enabled := true;
+    Runtime.Fault.post_replan_check := Some verify_stage;
+    Fun.protect
+      ~finally:(fun () ->
+        Analysis.Comm.validate_enabled := saved_comm;
+        Runtime.Fault.post_replan_check := saved_replan)
+      f
+  end
 
 (* On cluster targets, horizontal fusion is tie-broken by predicted
    communication volume: a fusion that would force extra broadcasts (e.g.
@@ -109,34 +136,46 @@ let with_comm_objective (target : target) (f : unit -> 'a) : 'a =
       Fun.protect ~finally:(fun () -> Opt.Fusion.comm_objective := saved) f
   | _ -> f ()
 
-(** Compile a staged program for [target]. *)
-let compile ?(target = Sequential) ?(debug = debug_default) (source : Exp.exp) :
-    compiled =
+(** Compile a staged program under [cfg]: target from [cfg.target], debug
+    verification from [cfg.debug], and — when [cfg.tracer] is set — one
+    span per driver stage (cat ["compile"]), per pipeline stage
+    (["pipeline"]), per rule firing (["rule"], with before/after IR
+    sizes), and per partitioning-analysis step (["partition"]). *)
+let compile_with (cfg : Config.t) (source : Exp.exp) : compiled =
+  let target = cfg.Config.target in
+  let debug = cfg.Config.debug in
+  let tracer = cfg.Config.tracer in
+  let stage name f = Span.with_span ?tracer ~cat:"compile" name f in
   with_debug_checks debug @@ fun () ->
   with_comm_objective target @@ fun () ->
-  if debug then verify_stage "source" source;
+  if debug then stage "verify-source" (fun () -> verify_stage "source" source);
   (* 1. target-independent optimizations, including the CPU-beneficial
      nested rules (GroupBy-Reduce and friends, §3.2) *)
-  let r = Opt.Pipeline.optimize_with ~extra_rules:Opt.Rules_nested.cpu_rules source in
+  let r =
+    stage "generic-optimize" (fun () ->
+        Opt.Pipeline.optimize_with ?tracer
+          ~extra_rules:Opt.Rules_nested.cpu_rules source)
+  in
   let generic = r.Opt.Pipeline.program in
   (* 2. partitioning analysis with stencil-triggered rewrites (§4) *)
   let partition =
-    Analysis.Partition.analyze
-      ?machine:
-        (match target with
-        | Cluster config -> Some config.Runtime.Sim_cluster.cluster
-        | _ -> None)
-      generic
+    stage "partition-analyze" (fun () ->
+        Analysis.Partition.analyze ?tracer
+          ?machine:
+            (match target with
+            | Cluster config -> Some config.Runtime.Sim_cluster.cluster
+            | _ -> None)
+          generic)
   in
   let after_partition = partition.Analysis.Partition.program in
   (* 3. target-specific lowering *)
   let final, gpu_lowered =
     match target with
     | Gpu opts when opts.Runtime.Sim_gpu.row_to_column ->
-        Backend.Gpu.lower after_partition
+        stage "gpu-lower" (fun () -> Backend.Gpu.lower after_partition)
     | _ -> (after_partition, false)
   in
-  if debug then verify_stage "final" final;
+  if debug then stage "verify-final" (fun () -> verify_stage "final" final);
   { source;
     generic;
     final;
@@ -148,44 +187,135 @@ let compile ?(target = Sequential) ?(debug = debug_default) (source : Exp.exp) :
     gpu_lowered;
   }
 
+(** Compile a staged program for [target].
+
+    Deprecated entry point, kept as a thin wrapper: the optional
+    arguments are exactly [Config.default] overridden with [?target] and
+    [?debug].  New code should build a {!Config.t} and call
+    {!compile_with}. *)
+let compile ?(target = Sequential) ?(debug = debug_default) (source : Exp.exp) :
+    compiled =
+  compile_with { Config.default with Config.target; debug } source
+
 (** Distinct optimizations that fired, in first-fired order (Table 2's
     "Optimizations" column). *)
 let optimizations (c : compiled) : string list =
   List.fold_left (fun acc n -> if List.mem n acc then acc else acc @ [ n ]) [] c.applied
 
-(** Execute a compiled program.  All targets return the exact program
-    value; the simulated targets additionally model time, retrievable via
-    {!timed_run}. *)
-let run (c : compiled) ~(inputs : (string * V.t) list) : V.t =
-  match c.target with
-  | Sequential -> Backend.Closure.run ~inputs c.final
-  | Multicore domains -> Runtime.Exec_domains.run ~domains ~inputs c.final
-  | Numa config -> (Runtime.Sim_numa.run ~config ~inputs c.final).Runtime.Sim_common.value
-  | Gpu options -> (Runtime.Sim_gpu.run ~options ~inputs c.final).Runtime.Sim_gpu.value
-  | Cluster config ->
-      (Runtime.Sim_cluster.run ~config ~inputs c.final).Runtime.Sim_common.value
+(** What one execution produced: the exact value, the time (wall-clock
+    for the real targets, modeled for the simulated ones), the
+    simulators' per-phase breakdown and measured traffic, and the run's
+    metrics ledger. *)
+type run_result = {
+  value : V.t;
+  seconds : float;
+  wall_clock : bool;  (** measured wall time vs. modeled simulator time *)
+  breakdown : (string * float) list;  (** per-phase seconds (simulators) *)
+  traffic : (string * float) list;  (** measured network bytes (cluster) *)
+  metrics : Metrics.t;  (** this run's counters — never shared by default *)
+}
 
-(** Execute and return (value, simulated seconds).  For the real targets
-    (Sequential / Multicore) the time is measured wall-clock. *)
-let timed_run (c : compiled) ~(inputs : (string * V.t) list) : V.t * float =
-  match c.target with
+(* The runtime knobs of [cfg] overlaid onto a cluster target whose config
+   left them unset — so [dmll_run --faults ... --checkpoint-every ...]
+   composes with a target the caller built directly. *)
+let overlay (cfg : Config.t) (t : target) : target =
+  match t with
+  | Cluster cc ->
+      let keep a b = match a with Some _ -> a | None -> b in
+      Cluster
+        { cc with
+          Runtime.Sim_cluster.faults =
+            keep cc.Runtime.Sim_cluster.faults cfg.Config.faults;
+          checkpoint_cadence =
+            (if cc.Runtime.Sim_cluster.checkpoint_cadence > 0 then
+               cc.Runtime.Sim_cluster.checkpoint_cadence
+             else cfg.Config.checkpoint_every);
+          mem_budget_gb =
+            keep cc.Runtime.Sim_cluster.mem_budget_gb cfg.Config.mem_budget_gb;
+          obs = keep cc.Runtime.Sim_cluster.obs cfg.Config.tracer;
+          metrics = keep cc.Runtime.Sim_cluster.metrics cfg.Config.metrics;
+        }
+  | t -> t
+
+(** Execute a compiled program under [cfg]: the compiled target runs with
+    [cfg]'s fault/checkpoint/memory knobs and observability sinks.  A
+    fresh metrics ledger is created when [cfg.metrics] is [None]; with
+    [cfg.debug], the runtime validation contracts (replan verification,
+    C-COMM-OVERRUN, O-SPAN-CLOCK) are armed for the duration. *)
+let execute (cfg : Config.t) (c : compiled) ~(inputs : (string * V.t) list) :
+    run_result =
+  let metrics =
+    match cfg.Config.metrics with Some m -> m | None -> Metrics.create ()
+  in
+  let cfg = { cfg with Config.metrics = Some metrics } in
+  let wall value seconds =
+    { value; seconds; wall_clock = true; breakdown = []; traffic = []; metrics }
+  in
+  with_run_checks cfg.Config.debug @@ fun () ->
+  match overlay cfg c.target with
   | Sequential ->
-      let v, t = Dmll_util.Timing.time (fun () -> Backend.Closure.run ~inputs c.final) in
-      (v, t)
-  | Multicore domains ->
       let v, t =
-        Dmll_util.Timing.time (fun () -> Runtime.Exec_domains.run ~domains ~inputs c.final)
+        Dmll_util.Timing.time (fun () -> Backend.Closure.run ~inputs c.final)
       in
-      (v, t)
+      wall v t
+  | Multicore domains ->
+      let checkpoint =
+        if cfg.Config.checkpoint_every > 0 then
+          Some (Runtime.Checkpoint.create ~cadence:cfg.Config.checkpoint_every)
+        else None
+      in
+      let v, t =
+        Dmll_util.Timing.time (fun () ->
+            Runtime.Exec_domains.run ?obs:cfg.Config.tracer ~metrics ~domains
+              ?faults:cfg.Config.faults ?checkpoint ~inputs c.final)
+      in
+      wall v t
   | Numa config ->
       let r = Runtime.Sim_numa.run ~config ~inputs c.final in
-      (r.Runtime.Sim_common.value, r.Runtime.Sim_common.seconds)
+      { value = r.Runtime.Sim_common.value;
+        seconds = r.Runtime.Sim_common.seconds;
+        wall_clock = false;
+        breakdown = r.Runtime.Sim_common.breakdown;
+        traffic = r.Runtime.Sim_common.traffic;
+        metrics;
+      }
   | Gpu options ->
       let r = Runtime.Sim_gpu.run ~options ~inputs c.final in
-      (r.Runtime.Sim_gpu.value, r.Runtime.Sim_gpu.kernel_seconds)
+      { value = r.Runtime.Sim_gpu.value;
+        seconds = r.Runtime.Sim_gpu.kernel_seconds;
+        wall_clock = false;
+        breakdown = [];
+        traffic = [];
+        metrics;
+      }
   | Cluster config ->
       let r = Runtime.Sim_cluster.run ~config ~inputs c.final in
-      (r.Runtime.Sim_common.value, r.Runtime.Sim_common.seconds)
+      { value = r.Runtime.Sim_common.value;
+        seconds = r.Runtime.Sim_common.seconds;
+        wall_clock = false;
+        breakdown = r.Runtime.Sim_common.breakdown;
+        traffic = r.Runtime.Sim_common.traffic;
+        metrics = r.Runtime.Sim_common.metrics;
+      }
+
+(** Execute a compiled program.  All targets return the exact program
+    value; the simulated targets additionally model time, retrievable via
+    {!timed_run}.
+
+    Deprecated entry point: equivalent to
+    [(execute Config.default c ~inputs).value] (the compiled target is
+    what runs; [Config.default] adds no knobs).  New code should call
+    {!execute}. *)
+let run (c : compiled) ~(inputs : (string * V.t) list) : V.t =
+  (execute Config.default c ~inputs).value
+
+(** Execute and return (value, simulated seconds).  For the real targets
+    (Sequential / Multicore) the time is measured wall-clock.
+
+    Deprecated entry point: projects {!execute}'s result. *)
+let timed_run (c : compiled) ~(inputs : (string * V.t) list) : V.t * float =
+  let r = execute Config.default c ~inputs in
+  (r.value, r.seconds)
 
 (** Emit target source text from the compiled program. *)
 let codegen (lang : [ `Cpp | `Cuda | `Scala ]) (c : compiled) : string =

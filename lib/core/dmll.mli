@@ -13,19 +13,32 @@
     Typical use:
 
     {[
-      let compiled = Dmll.compile ~target:Dmll.Sequential program in
+      let cfg = Dmll.Config.(of_env () |> with_target Dmll.Sequential) in
+      let compiled = Dmll.compile_with cfg program in
       List.iter print_endline (Dmll.optimizations compiled);
-      let value = Dmll.run compiled ~inputs in
+      let r = Dmll.execute cfg compiled ~inputs in
       ...
-    ]} *)
+    ]}
+
+    The historical [compile ?target ?debug] / [run] / [timed_run] entry
+    points remain as thin wrappers over the [Config]-based API. *)
 
 open Dmll_ir
 module V = Dmll_interp.Value
 
-(** Execution targets.  All targets compute exact values; [Sequential] and
-    [Multicore] measure real wall-clock in {!timed_run}, the others model
-    the paper's testbeds (see [Dmll_machine.Machine]). *)
-type target =
+module Config : module type of Config
+(** Run configuration — targets, debug verification, fault/checkpoint
+    knobs, and observability sinks; see {!Config.of_env}, the single
+    [DMLL_*] environment reader. *)
+
+module Span = Dmll_obs.Span
+module Metrics = Dmll_obs.Metrics
+
+(** Execution targets ([= Config.target]).  All targets compute exact
+    values; [Sequential] and [Multicore] measure real wall-clock in
+    {!timed_run}, the others model the paper's testbeds (see
+    [Dmll_machine.Machine]). *)
+type target = Config.target =
   | Sequential  (** closure backend, one core — the Table 2 configuration *)
   | Multicore of int  (** real OCaml domains *)
   | Numa of Dmll_runtime.Sim_numa.config  (** modeled NUMA machine *)
@@ -56,22 +69,60 @@ val verify_stage : string -> Exp.exp -> unit
     Error-severity finding.  This is the check [compile ~debug:true]
     installs behind every optimizer rule and pipeline stage. *)
 
+val compile_with : Config.t -> Exp.exp -> compiled
+(** Compile a staged program under a configuration: target from
+    [cfg.target], debug verification from [cfg.debug], and — when
+    [cfg.tracer] is set — one span per driver stage (cat ["compile"]),
+    pipeline stage (["pipeline"]), rule firing (["rule"], with
+    before/after IR sizes), and partitioning-analysis step
+    (["partition"]). *)
+
 val compile : ?target:target -> ?debug:bool -> Exp.exp -> compiled
 (** Compile a staged program (default target: {!Sequential}).  With
     [~debug:true] (or [DMLL_DEBUG=1]), every optimizer stage and rule
     application is re-verified with {!verify_stage}, failing fast on the
-    first unsafe program a transformation produces. *)
+    first unsafe program a transformation produces.
+
+    {b Deprecated}: thin wrapper over {!compile_with} with
+    [Config.default] overridden by [?target]/[?debug]; produces
+    identical results.  New code should build a {!Config.t}. *)
 
 val optimizations : compiled -> string list
 (** Distinct optimizations that fired, in first-fired order — the
     "Optimizations" column of the paper's Table 2. *)
 
+(** What one execution produced: the exact value, the time (wall-clock
+    for the real targets, modeled for the simulated ones), the
+    simulators' per-phase breakdown and measured traffic, and the run's
+    metrics ledger. *)
+type run_result = {
+  value : V.t;
+  seconds : float;
+  wall_clock : bool;  (** measured wall time vs. modeled simulator time *)
+  breakdown : (string * float) list;  (** per-phase seconds (simulators) *)
+  traffic : (string * float) list;  (** measured network bytes (cluster) *)
+  metrics : Metrics.t;  (** this run's counters — never shared by default *)
+}
+
+val execute : Config.t -> compiled -> inputs:(string * V.t) list -> run_result
+(** Execute a compiled program under [cfg]: the compiled target runs with
+    [cfg]'s fault/checkpoint/memory knobs and observability sinks
+    (tracer spans on the runtime timeline, counters into the metrics
+    ledger).  A fresh ledger is created when [cfg.metrics] is [None];
+    with [cfg.debug], the runtime validation contracts (replan
+    verification, C-COMM-OVERRUN, O-SPAN-CLOCK) are armed for the
+    duration of the run. *)
+
 val run : compiled -> inputs:(string * V.t) list -> V.t
-(** Execute on the compiled target; always returns the exact value. *)
+(** Execute on the compiled target; always returns the exact value.
+
+    {b Deprecated}: [(execute Config.default c ~inputs).value]. *)
 
 val timed_run : compiled -> inputs:(string * V.t) list -> V.t * float
 (** Execute and return (value, seconds): wall-clock for the real targets,
-    modeled time for the simulated ones. *)
+    modeled time for the simulated ones.
+
+    {b Deprecated}: projects {!execute}'s result. *)
 
 val codegen : [ `Cpp | `Cuda | `Scala ] -> compiled -> string
 (** Emit target source text (for inspection; the executable backends are

@@ -1,0 +1,113 @@
+(** Per-run metrics registry (DESIGN.md §12).
+
+    A [Metrics.t] is a handle to a named set of event counters and byte
+    ledgers for {e one} run: the executors bump it as they work, and the
+    caller who created the handle reads it afterwards.  This replaces the
+    process-wide counters earlier PRs accreted (notably [Dist_array]'s
+    global remote-read byte total, which had to be reset at the start of
+    every [Sim_cluster.run] so back-to-back runs would not inherit each
+    other's traffic): two runs with two handles can never observe each
+    other, so there is nothing to reset.
+
+    Counters are keyed by plain strings; the conventional key set is
+    documented in DESIGN.md §12 ([remote_reads], [remote_read_bytes],
+    [retried_reads], [degraded_reads], [broadcast_bytes],
+    [replicate_bytes], [gather_bytes], [churn_bytes], [spill_bytes],
+    [loops], [speculations], [replans], [restores], [replays],
+    [checkpoints], [snapshot_verifications], [recovered_chunks]).
+    Unknown keys are fine — the registry is a measurement surface, not a
+    schema.
+
+    All operations are thread-safe: the domain executor bumps counters
+    from worker domains. *)
+
+type t = {
+  lock : Mutex.t;
+  counts : (string, int) Hashtbl.t;
+  bytes : (string, float) Hashtbl.t;
+}
+
+let create () : t =
+  { lock = Mutex.create ();
+    counts = Hashtbl.create 16;
+    bytes = Hashtbl.create 16;
+  }
+
+let locked (t : t) (f : unit -> 'a) : 'a =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(** Bump counter [key] by [by] (default 1). *)
+let incr ?(by = 1) (t : t) (key : string) : unit =
+  locked t (fun () ->
+      Hashtbl.replace t.counts key
+        (by + Option.value ~default:0 (Hashtbl.find_opt t.counts key)))
+
+(** Add [b] bytes to byte ledger [key]. *)
+let add_bytes (t : t) (key : string) (b : float) : unit =
+  if b <> 0.0 then
+    locked t (fun () ->
+        Hashtbl.replace t.bytes key
+          (b +. Option.value ~default:0.0 (Hashtbl.find_opt t.bytes key)))
+
+(** Current value of counter [key] (0 when never bumped). *)
+let count (t : t) (key : string) : int =
+  locked t (fun () -> Option.value ~default:0 (Hashtbl.find_opt t.counts key))
+
+(** Current value of byte ledger [key] (0 when never bumped). *)
+let bytes (t : t) (key : string) : float =
+  locked t (fun () -> Option.value ~default:0.0 (Hashtbl.find_opt t.bytes key))
+
+(** All counters, sorted by key. *)
+let counters (t : t) : (string * int) list =
+  locked t (fun () ->
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []))
+
+(** All byte ledgers, sorted by key. *)
+let byte_counters (t : t) : (string * float) list =
+  locked t (fun () ->
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.bytes []))
+
+(** Is the handle still empty (nothing recorded)? *)
+let is_empty (t : t) : bool =
+  locked t (fun () ->
+      Hashtbl.length t.counts = 0 && Hashtbl.length t.bytes = 0)
+
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json (t : t) : string =
+  let cs =
+    List.map
+      (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v)
+      (counters t)
+  in
+  let bs =
+    List.map
+      (fun (k, v) -> Printf.sprintf "\"%s\":%.0f" (json_escape k) v)
+      (byte_counters t)
+  in
+  Printf.sprintf "{\"counters\":{%s},\"bytes\":{%s}}" (String.concat "," cs)
+    (String.concat "," bs)
+
+let pp (fmt : Format.formatter) (t : t) : unit =
+  let pairs =
+    List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (counters t)
+    @ List.map (fun (k, v) -> Printf.sprintf "%s=%.0fB" k v) (byte_counters t)
+  in
+  Format.pp_print_string fmt (String.concat " " pairs)
+
+let to_string (t : t) : string = Format.asprintf "%a" pp t

@@ -1,0 +1,288 @@
+(** Span-based tracer (DESIGN.md §12).
+
+    A [Span.t] collects {e complete spans}: named, categorized intervals
+    on one of two timelines —
+
+    - the {e compile} timeline ([compile_tid]): wall-clock spans recorded
+      with {!with_span} / {!emit_now} around compiler work (pipeline
+      stages, optimizer rule firings, partition-analysis decisions);
+    - the {e runtime} timeline ([runtime_tid]): spans on an
+      externally-modeled clock (the cluster simulator's simulated
+      seconds), recorded with explicit timestamps via {!emit}.
+
+    The collected spans export as Chrome [trace_event] JSON
+    ({!to_chrome_json}, load in [chrome://tracing] or Perfetto) and as a
+    text self-time profile ({!profile} / {!pp_profile}).  Well-nestedness
+    of the span tree is checked by {!well_nested} (property-tested, and
+    relied on by the self-time computation).
+
+    All recording operations are thread-safe. *)
+
+type arg = Str of string | Int of int | Float of float | Bool of bool
+
+type span = {
+  name : string;
+  cat : string;  (** span taxonomy: see DESIGN.md §12 *)
+  tid : int;
+  ts_us : float;  (** start, microseconds on the span's timeline *)
+  dur_us : float;
+  args : (string * arg) list;
+}
+
+type t = {
+  lock : Mutex.t;
+  mutable recorded : span list;  (** reverse recording order *)
+  mutable threads : (int * string) list;
+  t0 : float;  (** wall-clock origin of the compile timeline *)
+}
+
+(** The two conventional timelines. *)
+let compile_tid = 1
+
+let runtime_tid = 2
+
+let create () : t =
+  { lock = Mutex.create ();
+    recorded = [];
+    threads = [ (compile_tid, "compile"); (runtime_tid, "runtime") ];
+    t0 = Unix.gettimeofday ();
+  }
+
+let locked (t : t) (f : unit -> 'a) : 'a =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(** Microseconds elapsed on the wall-clock (compile) timeline. *)
+let now_us (t : t) : float = (Unix.gettimeofday () -. t.t0) *. 1e6
+
+(** Record a complete span with explicit timestamps (the runtime spans'
+    entry point: [ts_us]/[dur_us] are simulated-clock microseconds). *)
+let emit (t : t) ?(tid = compile_tid) ~(cat : string) ~(name : string)
+    ?(args = []) ~(ts_us : float) ~(dur_us : float) () : unit =
+  locked t (fun () ->
+      t.recorded <- { name; cat; tid; ts_us; dur_us; args } :: t.recorded)
+
+(** Record a span that started at wall-clock offset [started_us] and ends
+    now. *)
+let emit_now (t : t) ?(tid = compile_tid) ~(cat : string) ~(name : string)
+    ?(args = []) ~(started_us : float) () : unit =
+  emit t ~tid ~cat ~name ~args ~ts_us:started_us
+    ~dur_us:(Float.max 0.0 (now_us t -. started_us))
+    ()
+
+(** [with_span ?tracer ~cat name f] runs [f ()] inside a wall-clock span
+    when a tracer is supplied; with [?tracer:None] it is exactly [f ()].
+    The span is recorded even when [f] raises. *)
+let with_span ?tracer ?(tid = compile_tid) ~(cat : string) ?(args = [])
+    (name : string) (f : unit -> 'a) : 'a =
+  match tracer with
+  | None -> f ()
+  | Some t ->
+      let started_us = now_us t in
+      let finish () = emit_now t ~tid ~cat ~name ~args ~started_us () in
+      (match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e)
+
+let name_thread (t : t) ~(tid : int) (name : string) : unit =
+  locked t (fun () ->
+      t.threads <- (tid, name) :: List.remove_assoc tid t.threads)
+
+(** All recorded spans in chronological order (parents before their
+    children: ties on start time break by longer duration first). *)
+let spans (t : t) : span list =
+  let ss = locked t (fun () -> List.rev t.recorded) in
+  List.stable_sort
+    (fun a b ->
+      match compare (a.tid, a.ts_us) (b.tid, b.ts_us) with
+      | 0 -> compare b.dur_us a.dur_us
+      | c -> c)
+    ss
+
+let span_count (t : t) : int = locked t (fun () -> List.length t.recorded)
+
+(* ------------------------------------------------------------------ *)
+(* Well-nestedness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Tolerance for float accumulation at the microsecond scale: phase
+   offsets are running sums of the same doubles the clock sums, so any
+   drift is rounding noise, orders below a nanosecond. *)
+let eps_us = 1e-3
+
+(** Are the spans of every timeline properly nested — every pair either
+    disjoint or one containing the other?  This is the shape Chrome's
+    flame view assumes and the invariant {!profile}'s self-time
+    computation relies on. *)
+let well_nested (t : t) : bool =
+  let check_tid ss =
+    let stack = ref [] in
+    List.for_all
+      (fun (s : span) ->
+        let rec pop () =
+          match !stack with
+          | top :: rest when top.ts_us +. top.dur_us <= s.ts_us +. eps_us ->
+              stack := rest;
+              pop ()
+          | _ -> ()
+        in
+        pop ();
+        let ok =
+          match !stack with
+          | [] -> true
+          | top :: _ -> s.ts_us +. s.dur_us <= top.ts_us +. top.dur_us +. eps_us
+        in
+        stack := s :: !stack;
+        ok)
+      ss
+  in
+  let by_tid = Hashtbl.create 4 in
+  List.iter
+    (fun (s : span) ->
+      Hashtbl.replace by_tid s.tid
+        (s :: Option.value ~default:[] (Hashtbl.find_opt by_tid s.tid)))
+    (spans t);
+  Hashtbl.fold (fun _ ss acc -> acc && check_tid (List.rev ss)) by_tid true
+
+(* ------------------------------------------------------------------ *)
+(* Self-time profile                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type stat = { count : int; total_us : float; self_us : float }
+
+(** Aggregate spans by name: firing count, total (inclusive) time, and
+    self time (total minus the time of directly nested spans), sorted by
+    self time, largest first. *)
+let profile (t : t) : (string * stat) list =
+  let table : (string, stat) Hashtbl.t = Hashtbl.create 32 in
+  let account (s : span) ~(child_us : float) =
+    let prev =
+      Option.value
+        ~default:{ count = 0; total_us = 0.0; self_us = 0.0 }
+        (Hashtbl.find_opt table s.name)
+    in
+    Hashtbl.replace table s.name
+      { count = prev.count + 1;
+        total_us = prev.total_us +. s.dur_us;
+        self_us = prev.self_us +. Float.max 0.0 (s.dur_us -. child_us);
+      }
+  in
+  let by_tid = Hashtbl.create 4 in
+  List.iter
+    (fun (s : span) ->
+      Hashtbl.replace by_tid s.tid
+        (s :: Option.value ~default:[] (Hashtbl.find_opt by_tid s.tid)))
+    (spans t);
+  Hashtbl.iter
+    (fun _ rev_ss ->
+      (* stack of (span, accumulated direct-child time) *)
+      let stack : (span * float ref) list ref = ref [] in
+      let pop_one () =
+        match !stack with
+        | (top, child) :: rest ->
+            account top ~child_us:!child;
+            (match rest with
+            | (_, parent_child) :: _ -> parent_child := !parent_child +. top.dur_us
+            | [] -> ());
+            stack := rest
+        | [] -> ()
+      in
+      List.iter
+        (fun (s : span) ->
+          let rec drain () =
+            match !stack with
+            | (top, _) :: _ when top.ts_us +. top.dur_us <= s.ts_us +. eps_us ->
+                pop_one ();
+                drain ()
+            | _ -> ()
+          in
+          drain ();
+          stack := (s, ref 0.0) :: !stack)
+        (List.rev rev_ss);
+      while !stack <> [] do
+        pop_one ()
+      done)
+    by_tid;
+  let rows = Hashtbl.fold (fun name st acc -> (name, st) :: acc) table [] in
+  List.sort
+    (fun (na, a) (nb, b) ->
+      match compare b.self_us a.self_us with 0 -> compare na nb | c -> c)
+    rows
+
+let fmt_us (us : float) : string =
+  if us >= 1e6 then Printf.sprintf "%.3fs" (us /. 1e6)
+  else if us >= 1e3 then Printf.sprintf "%.3fms" (us /. 1e3)
+  else Printf.sprintf "%.3fus" us
+
+(** The text profile behind [--profile]. *)
+let pp_profile (fmt : Format.formatter) (t : t) : unit =
+  let rows = profile t in
+  let grand = List.fold_left (fun acc (_, s) -> acc +. s.self_us) 0.0 rows in
+  Format.fprintf fmt "%-32s %8s %12s %12s %6s@." "span" "count" "self" "total"
+    "self%";
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf fmt "%-32s %8d %12s %12s %5.1f%%@." name s.count
+        (fmt_us s.self_us) (fmt_us s.total_us)
+        (if grand > 0.0 then 100.0 *. s.self_us /. grand else 0.0))
+    rows
+
+let profile_to_string (t : t) : string = Format.asprintf "%a" pp_profile t
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                           *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape = Metrics.json_escape
+
+let arg_to_json = function
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Int i -> string_of_int i
+  | Float f ->
+      if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+  | Bool b -> if b then "true" else "false"
+
+let args_to_json (args : (string * arg) list) : string =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":%s" (json_escape k) (arg_to_json v))
+         args)
+  ^ "}"
+
+let span_to_json (s : span) : string =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":%s}"
+    (json_escape s.name) (json_escape s.cat) s.ts_us s.dur_us s.tid
+    (args_to_json s.args)
+
+let metadata_json (t : t) : string list =
+  Printf.sprintf
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"dmll\"}}"
+  :: List.map
+       (fun (tid, name) ->
+         Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           tid (json_escape name))
+       (List.sort compare (locked t (fun () -> t.threads)))
+
+(** The whole trace as Chrome [trace_event] JSON (the object form, with a
+    [traceEvents] array of [ph:"X"] complete events plus [ph:"M"]
+    process/thread metadata).  Schema is golden-tested; open the file in
+    [chrome://tracing] or [https://ui.perfetto.dev]. *)
+let to_chrome_json (t : t) : string =
+  let events = metadata_json t @ List.map span_to_json (spans t) in
+  Printf.sprintf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[%s]}"
+    (String.concat ",\n" events)
+
+(** Write {!to_chrome_json} to [path]. *)
+let write_chrome (t : t) (path : string) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json t))

@@ -1,0 +1,226 @@
+(** A dependency-free JSON reader and the Chrome [trace_event] schema
+    check (DESIGN.md §12).
+
+    Just enough JSON to validate what {!Span.to_chrome_json} emits — and
+    what any Chrome-compatible viewer requires — without pulling a JSON
+    library into the dependency set.  Used by the golden trace test and
+    the [trace-smoke] rule of [dune build @check] (via
+    [dmll_trace_check]). *)
+
+type t =
+  | Obj of (string * t) list
+  | Arr of t list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let parse_exn (s : string) : t =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let peek () = if !pos < len then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < len
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then fail "expected %C at offset %d, got %C" c !pos (peek ());
+    advance ()
+  in
+  let lit word v =
+    if
+      !pos + String.length word <= len
+      && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "bad literal at offset %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= len then fail "unterminated escape";
+           match s.[!pos] with
+           | '"' -> Buffer.add_char b '"'; advance ()
+           | '\\' -> Buffer.add_char b '\\'; advance ()
+           | '/' -> Buffer.add_char b '/'; advance ()
+           | 'n' -> Buffer.add_char b '\n'; advance ()
+           | 't' -> Buffer.add_char b '\t'; advance ()
+           | 'r' -> Buffer.add_char b '\r'; advance ()
+           | 'b' -> Buffer.add_char b '\b'; advance ()
+           | 'f' -> Buffer.add_char b '\012'; advance ()
+           | 'u' ->
+               if !pos + 4 >= len then fail "truncated \\u escape";
+               let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+               (* non-ASCII escapes round-trip as '?' — schema checks only *)
+               Buffer.add_char b (if code < 128 then Char.chr code else '?');
+               pos := !pos + 5
+           | c -> fail "bad escape \\%C" c);
+          go ()
+      | c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < len && numchar s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number at offset %d" start
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            let key = (skip_ws (); parse_string ()) in
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            if peek () = ',' then begin
+              advance ();
+              members ((key, v) :: acc)
+            end
+            else begin
+              expect '}';
+              List.rev ((key, v) :: acc)
+            end
+          in
+          Obj (members [])
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            if peek () = ',' then begin
+              advance ();
+              elems (v :: acc)
+            end
+            else begin
+              expect ']';
+              List.rev (v :: acc)
+            end
+          in
+          Arr (elems [])
+        end
+    | '"' -> Str (parse_string ())
+    | 't' -> lit "true" (Bool true)
+    | 'f' -> lit "false" (Bool false)
+    | 'n' -> lit "null" Null
+    | _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage at offset %d" !pos;
+  v
+
+let parse (s : string) : (t, string) result =
+  match parse_exn s with v -> Ok v | exception Bad m -> Error m
+
+let member (key : string) (j : t) : t option =
+  match j with Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let keys (j : t) : string list =
+  match j with Obj kvs -> List.map fst kvs | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event schema                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Validate a Chrome trace: a top-level object with a [traceEvents]
+    array; every event an object with [name] (string), [ph] (string),
+    [pid]/[tid] (numbers); [ph:"X"] complete events additionally carry
+    numeric [ts] and non-negative [dur], and [args], when present, is an
+    object.  [Error] pinpoints the first offending event. *)
+let validate_chrome (text : string) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let* j = parse text in
+  let* events =
+    match member "traceEvents" j with
+    | Some (Arr es) -> Ok es
+    | Some _ -> Error "traceEvents is not an array"
+    | None -> Error "missing traceEvents"
+  in
+  let check_event i e =
+    let want_str k =
+      match member k e with
+      | Some (Str _) -> Ok ()
+      | _ -> Error (Printf.sprintf "event %d: missing string %S" i k)
+    in
+    let want_num k =
+      match member k e with
+      | Some (Num _) -> Ok ()
+      | _ -> Error (Printf.sprintf "event %d: missing number %S" i k)
+    in
+    let* () =
+      match e with
+      | Obj _ -> Ok ()
+      | _ -> Error (Printf.sprintf "event %d: not an object" i)
+    in
+    let* () = want_str "name" in
+    let* () = want_str "ph" in
+    let* () = want_num "pid" in
+    let* () = want_num "tid" in
+    let* () =
+      match member "args" e with
+      | None | Some (Obj _) -> Ok ()
+      | Some _ -> Error (Printf.sprintf "event %d: args is not an object" i)
+    in
+    match member "ph" e with
+    | Some (Str "X") ->
+        let* () = want_num "ts" in
+        let* () = want_num "dur" in
+        (match member "dur" e with
+        | Some (Num d) when d >= 0.0 -> Ok ()
+        | _ -> Error (Printf.sprintf "event %d: negative dur" i))
+    | _ -> Ok ()
+  in
+  let rec go i = function
+    | [] -> Ok ()
+    | e :: rest ->
+        let* () = check_event i e in
+        go (i + 1) rest
+  in
+  go 0 events

@@ -12,6 +12,7 @@
     the core driver).  {!optimize_with} lets the driver splice them in. *)
 
 open Dmll_ir
+module Span = Dmll_obs.Span
 
 type report = {
   program : Exp.exp;
@@ -68,18 +69,68 @@ let instrument_rules (rules : Rewrite.rule list) : Rewrite.rule list =
           })
         rules
 
+(* With a tracer armed, every rule firing becomes a span (cat ["rule"])
+   carrying the node count of the rewritten sub-expression before and
+   after — the per-decision attribution [dmllc --trace] renders.  A rule
+   attempt that declines ([None]) records nothing. *)
+let trace_rules (tracer : Span.t option) (rules : Rewrite.rule list) :
+    Rewrite.rule list =
+  match tracer with
+  | None -> rules
+  | Some tr ->
+      List.map
+        (fun (r : Rewrite.rule) ->
+          { r with
+            Rewrite.apply =
+              (fun e ->
+                let started_us = Span.now_us tr in
+                match r.Rewrite.apply e with
+                | Some e' ->
+                    Span.emit_now tr ~cat:"rule" ~name:r.Rewrite.rname
+                      ~args:
+                        [ ("ir_before", Span.Int (Exp.node_count e));
+                          ("ir_after", Span.Int (Exp.node_count e'));
+                        ]
+                      ~started_us ();
+                    Some e'
+                | None -> None);
+          })
+        rules
+
 (** Optimize with the standard shared-memory pipeline plus [extra_rules]
-    (e.g. a subset of [Rules_nested.all] chosen by the driver). *)
-let optimize_with ?(extra_rules = []) (e : Exp.exp) : report =
+    (e.g. a subset of [Rules_nested.all] chosen by the driver).
+    [?tracer] records one span per pipeline stage (cat ["pipeline"]) and
+    one per rule firing (cat ["rule"]), with before/after IR sizes. *)
+let optimize_with ?tracer ?(extra_rules = []) (e : Exp.exp) : report =
   let trace = Rewrite.new_trace () in
-  let rules = instrument_rules (standard_rules @ extra_rules) in
+  let rules = trace_rules tracer (instrument_rules (standard_rules @ extra_rules)) in
+  let stage name input f =
+    match tracer with
+    | None -> f ()
+    | Some tr ->
+        let started_us = Span.now_us tr in
+        let e' = f () in
+        Span.emit_now tr ~cat:"pipeline" ~name
+          ~args:
+            [ ("ir_before", Span.Int (Exp.node_count input));
+              ("ir_after", Span.Int (Exp.node_count e'));
+            ]
+          ~started_us ();
+        e'
+  in
   let rec go i e =
     if i >= 12 then (e, i)
     else
       let before = List.length trace.Rewrite.applied in
-      let e = Rewrite.fixpoint rules trace e in
+      let e =
+        stage (Printf.sprintf "rewrite-fixpoint:%d" i) e (fun () ->
+            Rewrite.fixpoint rules trace e)
+      in
       run_check (Printf.sprintf "rewrite-fixpoint:%d" i) e;
-      let e = fst (Soa.soa_inputs ~trace e) in
+      let e =
+        stage (Printf.sprintf "soa-inputs:%d" i) e (fun () ->
+            fst (Soa.soa_inputs ~trace e))
+      in
       run_check (Printf.sprintf "soa-inputs:%d" i) e;
       if List.length trace.Rewrite.applied = before then (e, i + 1) else go (i + 1) e
   in

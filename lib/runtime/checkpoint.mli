@@ -1,0 +1,100 @@
+(** Checkpoint store: periodic deep-copied, chunk-checksummed snapshots
+    of the spine bindings, with a cost model for choosing between
+    checkpoint restore and lineage replay after a crash (DESIGN.md §11).
+
+    The store's mutable internals (latest snapshot slot, written-byte
+    accumulator, decision log) are private; callers observe them through
+    {!latest}, {!taken}, {!written_bytes}, and {!decisions}. *)
+
+module V = Dmll_interp.Value
+module M = Dmll_machine.Machine
+
+val copy_value : V.t -> V.t
+(** Deep copy via marshalling — snapshot entries never alias live data. *)
+
+val value_bytes : V.t -> int
+(** Marshalled size, the snapshot's unit of account. *)
+
+type chunk_sum
+(** Per-chunk checksum of a snapshot entry (content-addressed
+    verification at restore time). *)
+
+type entry = {
+  value : V.t;  (** deep-copied binding value *)
+  bytes : int;  (** marshalled size *)
+  sums : chunk_sum list;  (** per-chunk checksums, verified on restore *)
+}
+
+type snapshot = {
+  at_loop : int;  (** spine loop number the snapshot was taken after *)
+  bindings : (string * entry) list;
+      (** live spine bindings: distributed partitions and scalars alike *)
+  driver : (string * V.t) list;
+      (** iterative-driver state — iteration counter, accumulators —
+          that lives outside the spine environment *)
+}
+
+val snapshot_bytes : snapshot -> float
+
+val verify : snapshot -> (unit, string) result
+(** Re-hash every chunk of every entry and compare against the sums taken
+    at record time.  [Error] names the first mismatching binding/range. *)
+
+type choice = Restore | Replay
+
+val choice_to_string : choice -> string
+
+type decision = {
+  decided_at_loop : int;
+  chosen : choice;
+  restore_cost : float;  (** predicted seconds for checkpoint restore *)
+  replay_cost : float;  (** predicted seconds for lineage replay *)
+}
+
+type t
+(** A checkpoint store; created with a cadence, mutated by {!record} and
+    {!record_decision}. *)
+
+val create : cadence:int -> t
+val enabled : t -> bool
+val due : t -> loop:int -> bool
+val latest : t -> snapshot option
+val taken : t -> int
+val written_bytes : t -> float
+val decisions : t -> decision list
+(** Restore-vs-replay decisions, oldest first. *)
+
+val record :
+  t ->
+  at_loop:int ->
+  chunks:int ->
+  bindings:(string * V.t) list ->
+  driver:(string * V.t) list ->
+  snapshot
+(** Snapshot the given bindings (deep-copied, chunk-checksummed) as the
+    new latest checkpoint.  [chunks] should be the live node count so
+    checksum granularity matches the unit of restore traffic. *)
+
+type restore_result =
+  | Available of snapshot  (** latest snapshot, checksums verified *)
+  | Corrupt of string  (** a checksum failed: fall back to lineage *)
+  | None_taken
+
+val restore : t -> restore_result
+(** The latest snapshot, verified.  A corrupt checkpoint is reported, not
+    returned — the caller falls back to lineage replay, which needs no
+    stored bytes at all. *)
+
+val record_decision :
+  t -> decided_at_loop:int -> restore_cost:float -> replay_cost:float -> choice
+(** Pick the cheaper recovery arm and log the decision. *)
+
+val write_seconds : cluster:M.cluster -> nodes:int -> bytes:float -> float
+(** Simulated seconds to write a snapshot of [bytes] from [nodes]. *)
+
+val restore_seconds :
+  cluster:M.cluster -> nodes:int -> lost_nodes:int -> bytes:float -> float
+(** Simulated seconds to re-ship the lost share of a snapshot. *)
+
+val decisions_to_json : t -> string
+(** The decision log as a JSON array (for tools and tests). *)

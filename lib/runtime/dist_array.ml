@@ -9,6 +9,7 @@
 
 module V = Dmll_interp.Value
 module M = Dmll_machine.Machine
+module Metrics = Dmll_obs.Metrics
 
 type location = { node : int; socket : int }
 
@@ -30,19 +31,15 @@ type t = {
   degraded_reads : int Atomic.t;
       (** reads that exhausted retries and fell back to a replicated copy *)
   delay_us : int Atomic.t;  (** accumulated injected latency + backoff, µs *)
+  metrics : Metrics.t option;
+      (** per-run observability handle: every trapped read also lands in
+          the owning run's ledger ([remote_reads], [remote_read_bytes],
+          [retried_reads], [degraded_reads]), so back-to-back simulations
+          in one process never see each other's traffic — there is no
+          process-global counter to reset. *)
 }
 
 let location_count (d : directory) = Array.length d.ranges
-
-(* Process-wide remote-read byte total, accumulated across every instance.
-   The cluster simulator folds it into measured traffic for the
-   C-COMM-OVERRUN contract, and resets it at the start of each run —
-   back-to-back simulations in one process must not inherit each other's
-   bytes (see {!global_remote_bytes} / {!reset_global}). *)
-let global_bytes : float Atomic.t = Atomic.make 0.0
-
-let global_remote_bytes () : float = Atomic.get global_bytes
-let reset_global () : unit = Atomic.set global_bytes 0.0
 
 (** Build a directory by splitting [n] elements across [locations]
     round-robin over nodes and sockets. *)
@@ -94,8 +91,10 @@ let range_of (d : directory) (loc : int) : Chunk.range = fst d.ranges.(loc)
 (** Partition a concrete array value across a directory.  [?faults] arms
     deterministic remote-read fault injection: dropped reads retry with
     exponential backoff and degrade to a replicated read when retries run
-    out (see {!read}). *)
-let scatter ?faults (dir : directory) (v : V.t) : t =
+    out (see {!read}).  [?metrics] is the owning run's observability
+    ledger; remote-read counts and bytes accumulate there as well as in
+    the per-instance counters. *)
+let scatter ?faults ?metrics (dir : directory) (v : V.t) : t =
   if V.length v <> dir.total then
     invalid_arg "Dist_array.scatter: directory size mismatch";
   let pieces =
@@ -117,6 +116,7 @@ let scatter ?faults (dir : directory) (v : V.t) : t =
     retried_reads = Atomic.make 0;
     degraded_reads = Atomic.make 0;
     delay_us = Atomic.make 0;
+    metrics;
   }
 
 let add_delay_us (t : t) (us : float) =
@@ -132,7 +132,12 @@ let atomic_add_float (a : float Atomic.t) (b : float) =
 
 let add_remote_bytes (t : t) (b : float) =
   atomic_add_float t.remote_bytes b;
-  atomic_add_float global_bytes b
+  match t.metrics with
+  | Some m -> Metrics.add_bytes m "remote_read_bytes" b
+  | None -> ()
+
+let bump (t : t) key =
+  match t.metrics with Some m -> Metrics.incr m key | None -> ()
 
 (* Counted warning: the degradation path must be loud but not flood. *)
 let warn_degraded (t : t) (i : int) =
@@ -153,6 +158,7 @@ let read (t : t) ~(from_loc : int) (i : int) : V.t =
   let r = range_of t.dir loc in
   if loc <> from_loc then begin
     Atomic.incr t.remote_reads;
+    bump t "remote_reads";
     match t.faults with
     | None -> ()
     | Some f ->
@@ -164,12 +170,14 @@ let read (t : t) ~(from_loc : int) (i : int) : V.t =
           | Fault.Read_drop ->
               if attempt < spec.M.max_retries then begin
                 Atomic.incr t.retried_reads;
+                bump t "retried_reads";
                 Fault.record_read_retry f;
                 add_delay_us t (Fault.backoff_us spec ~attempt);
                 fetch (attempt + 1)
               end
               else begin
                 Atomic.incr t.degraded_reads;
+                bump t "degraded_reads";
                 Fault.record_degraded f;
                 warn_degraded t i
               end
@@ -215,7 +223,7 @@ let gather (t : t) : V.t =
 let rebalance (t : t) ~(live : int list) ~(sockets_per_node : int) : t =
   let v = gather t in
   let dir = make_directory_on ~n:t.dir.total ~live ~sockets_per_node in
-  let t' = scatter ?faults:t.faults dir v in
+  let t' = scatter ?faults:t.faults ?metrics:t.metrics dir v in
   Atomic.set t'.remote_reads (Atomic.get t.remote_reads);
   Atomic.set t'.remote_bytes (Atomic.get t.remote_bytes);
   Atomic.set t'.retried_reads (Atomic.get t.retried_reads);

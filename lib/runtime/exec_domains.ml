@@ -20,6 +20,8 @@
 open Dmll_ir
 module V = Dmll_interp.Value
 module M = Dmll_machine.Machine
+module Span = Dmll_obs.Span
+module Metrics = Dmll_obs.Metrics
 
 (* Build the chunk program for [lo, hi): a loop of size hi-lo whose parts
    see the original index as [idx' + lo]. *)
@@ -231,18 +233,39 @@ let take_checkpoint ~(store : Checkpoint.t) ~faults ~(chunks : int)
     8 for container friendliness).  [?faults] arms deterministic fault
     injection with retry/backoff and lineage recovery (see {!Fault});
     [?checkpoint] snapshots the spine bindings at the store's cadence so a
-    later {!run_with_recovery} can resume instead of replaying. *)
-let run ?(domains = default_domains ()) ?(schedule = Static) ?faults
-    ?checkpoint ?(inputs = []) (program : Exp.exp) : V.t =
+    later {!run_with_recovery} can resume instead of replaying.
+
+    [?obs] records one wall-clock span per spine loop (cat ["runtime"])
+    and per checkpoint (cat ["phase"]); [?metrics] accumulates [loops]
+    and [checkpoints] counts into the run's ledger (DESIGN.md §12). *)
+let run ?obs ?metrics ?(domains = default_domains ()) ?(schedule = Static)
+    ?faults ?checkpoint ?(inputs = []) (program : Exp.exp) : V.t =
+  let bump key =
+    match metrics with Some m -> Metrics.incr m key | None -> ()
+  in
   let loop_no = ref 0 in
   Spine.exec ~inputs
     ~on_loop:(fun env sym l ->
       incr loop_no;
-      let v = eval_loop ~domains ~schedule ~faults ~inputs ~loop_no:!loop_no env l in
+      let name = match sym with Some s -> Sym.to_string s | None -> "result" in
+      let v =
+        Span.with_span ?tracer:obs ~tid:Span.runtime_tid ~cat:"runtime"
+          ~args:[ ("loop", Span.Int !loop_no) ]
+          name
+          (fun () ->
+            eval_loop ~domains ~schedule ~faults ~inputs ~loop_no:!loop_no env
+              l)
+      in
+      bump "loops";
       (match checkpoint with
       | Some store when Checkpoint.due store ~loop:!loop_no ->
-          take_checkpoint ~store ~faults ~chunks:domains ~loop_no:!loop_no env
-            sym v
+          Span.with_span ?tracer:obs ~tid:Span.runtime_tid ~cat:"phase"
+            ~args:[ ("at_loop", Span.Int !loop_no) ]
+            "checkpoint"
+            (fun () ->
+              take_checkpoint ~store ~faults ~chunks:domains
+                ~loop_no:!loop_no env sym v);
+          bump "checkpoints"
       | _ -> ());
       v)
     program
@@ -257,9 +280,12 @@ exception Simulated_crash of int
     there is no usable snapshot (none taken, or checksum mismatch).  The
     recovery path taken is recorded on the injector.  Results are
     bit-identical to a healthy {!run} either way; only the work differs. *)
-let run_with_recovery ?(domains = default_domains ()) ?(schedule = Static)
-    ?faults ~(store : Checkpoint.t) ~(crash_after : int) ?(inputs = [])
-    (program : Exp.exp) : V.t =
+let run_with_recovery ?metrics ?(domains = default_domains ())
+    ?(schedule = Static) ?faults ~(store : Checkpoint.t) ~(crash_after : int)
+    ?(inputs = []) (program : Exp.exp) : V.t =
+  let bump key =
+    match metrics with Some m -> Metrics.incr m key | None -> ()
+  in
   (* phase 1: the doomed attempt — checkpoints survive the crash *)
   let loop_no = ref 0 in
   (try
@@ -282,6 +308,8 @@ let run_with_recovery ?(domains = default_domains ()) ?(schedule = Static)
   match Checkpoint.restore store with
   | Checkpoint.Available snap ->
       (match faults with Some f -> Fault.record_restore f | None -> ());
+      bump "snapshot_verifications";
+      bump "restores";
       let loop_no = ref 0 in
       Spine.exec ~inputs
         ~on_loop:(fun env sym l ->
@@ -307,7 +335,10 @@ let run_with_recovery ?(domains = default_domains ()) ?(schedule = Static)
       Logs.warn (fun m ->
           m "Exec_domains: %s; replaying the whole spine from lineage" msg);
       (match faults with Some f -> Fault.record_replay f | None -> ());
-      run ~domains ~schedule ?faults ~inputs program
+      bump "snapshot_verifications";
+      bump "replays";
+      run ?metrics ~domains ~schedule ?faults ~inputs program
   | Checkpoint.None_taken ->
       (match faults with Some f -> Fault.record_replay f | None -> ());
-      run ~domains ~schedule ?faults ~inputs program
+      bump "replays";
+      run ?metrics ~domains ~schedule ?faults ~inputs program

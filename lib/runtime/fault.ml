@@ -343,16 +343,8 @@ let parse_spec (str : string) : (spec, Dmll_analysis.Diag.t) result =
 let parse (str : string) : (spec, string) result =
   Result.map_error Dmll_analysis.Diag.to_string (parse_spec str)
 
-(** The [DMLL_FAULTS] environment spec as an injector, if set.  Malformed
-    specs raise [Invalid_argument] loudly rather than silently running
-    healthy. *)
-let from_env () : t option =
-  match Sys.getenv_opt "DMLL_FAULTS" with
-  | None | Some "" -> None
-  | Some s -> (
-      match parse s with
-      | Ok spec -> Some (create spec)
-      | Error msg -> invalid_arg (Printf.sprintf "DMLL_FAULTS: %s" msg))
+(* The DMLL_FAULTS environment variable is read by [Dmll.Config.of_env]
+   (the single env reader); this module only parses specs. *)
 
 (* ------------------------------------------------------------------ *)
 (* Debug re-verification                                               *)

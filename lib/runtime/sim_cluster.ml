@@ -43,7 +43,10 @@ module V = Dmll_interp.Value
 module Stencil = Dmll_analysis.Stencil
 module Partition = Dmll_analysis.Partition
 module Comm = Dmll_analysis.Comm
+module Diag = Dmll_analysis.Diag
 module M = Dmll_machine.Machine
+module Span = Dmll_obs.Span
+module Metrics = Dmll_obs.Metrics
 
 type device = Cpu | Gpu_device
 
@@ -62,6 +65,15 @@ type config = {
       (** per-node memory budget override; [None] uses the node's
           [mem_gb].  Over-budget loops spill to disk and see remote-read
           backpressure. *)
+  obs : Span.t option;
+      (** span tracer: every loop and its phases become spans on the
+          simulated clock (1 s of modeled time = 1e6 µs of trace time),
+          exportable as Chrome [trace_event] JSON (DESIGN.md §12) *)
+  metrics : Metrics.t option;
+      (** per-run observability ledger to accumulate into; a private
+          fresh one is used when [None].  The handle also reaches any
+          {!Dist_array} the caller scattered with it, so element-granular
+          remote-read bytes land in the run that caused them. *)
 }
 
 let default_config =
@@ -71,6 +83,8 @@ let default_config =
     faults = None;
     checkpoint_cadence = 0;
     mem_budget_gb = None;
+    obs = None;
+    metrics = None;
   }
 
 (* Accumulated compute charged so far — the burden a pure lineage replay
@@ -107,9 +121,15 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
     ~(env : Evalenv.env) ~(inputs : (string * V.t) list)
     ?(fault : (Fault.t * int) option) ?(label = "loop")
     ?(spares = ref ([] : int list)) ?(recovery : recovery_ctx option)
-    ~(alive : int list ref) (l : Exp.loop) ~(n : int) :
-    float * (string * float) list * (string * float) list =
+    ?(metrics : Metrics.t option) ~(alive : int list ref) (l : Exp.loop)
+    ~(n : int) : float * (string * float) list * (string * float) list =
   let c = config.cluster in
+  let bump ?by key =
+    match metrics with Some m -> Metrics.incr ?by m key | None -> ()
+  in
+  let addb key b =
+    match metrics with Some m -> Metrics.add_bytes m key b | None -> ()
+  in
   (* elastic membership first: joins and graceful leaves take effect
      before this loop is scheduled, so the plan below already targets the
      new live set.  The moved-ownership fraction prices the
@@ -292,7 +312,10 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
     let churn_s =
       let moved = part_bytes *. churn_moved_frac in
       if moved <= 0.0 then 0.0
-      else ser_seconds c ~bytes:moved +. net_seconds c ~bytes:moved ~messages:na
+      else begin
+        addb "churn_bytes" moved;
+        ser_seconds c ~bytes:moved +. net_seconds c ~bytes:moved ~messages:na
+      end
     in
     (* memory pressure (DESIGN.md §11): estimate the per-node resident
        set this loop needs — its partition share plus every broadcast
@@ -311,7 +334,10 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
     let spill_s =
       let b = Sim_common.spill_bytes ~resident ~budget:budget_bytes in
       if b <= 0.0 then 0.0
-      else ser_seconds c ~bytes:b +. (b /. (c.M.disk_gbs *. 1e9))
+      else begin
+        addb "spill_bytes" b;
+        ser_seconds c ~bytes:b +. (b /. (c.M.disk_gbs *. 1e9))
+      end
     in
     let replicate_s =
       replicate_s *. Sim_common.backpressure ~resident ~budget:budget_bytes
@@ -330,6 +356,7 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
         [ ("broadcast", broadcast_bytes); ("replicate", replicate_bytes);
           ("gather", gather_bytes *. float_of_int na) ]
     in
+    List.iter (fun (p, b) -> addb (p ^ "_bytes") b) traffic;
     (* prediction-vs-measurement: the loop's comm plan, resolved against
        the live values the simulator itself just charged for, must bound
        the measured traffic (up to serialization slack).  Predictions use
@@ -407,6 +434,7 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
           | [] -> compute_s
           | ss ->
               List.iter (fun _ -> Fault.record_speculation inj) ss;
+              bump ~by:(List.length ss) "speculations";
               let worst = List.fold_left (fun m (_, s) -> Float.max m s) 1.0 ss in
               compute_s *. Float.min worst 2.0
         in
@@ -417,6 +445,7 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
           if nc = 0 then 0.0
           else begin
             Fault.record_replan inj;
+            bump "replans";
             let units = Schedule.plan ~nodes:na ~sockets:1 ~cores:1 n in
             let dead_idx =
               List.filteri (fun i _ -> List.mem_assoc (List.nth nodes_alive i) crashed)
@@ -489,6 +518,7 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
                 let restorable =
                   match Checkpoint.restore ctx.store with
                   | Checkpoint.Available s ->
+                      bump "snapshot_verifications";
                       Some
                         (Checkpoint.restore_seconds ~cluster:c ~nodes:na
                            ~lost_nodes:nc
@@ -496,6 +526,7 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
                         +. (lost_frac *. ctx.compute_since_ckpt_s)
                         +. recompute_s)
                   | Checkpoint.Corrupt msg ->
+                      bump "snapshot_verifications";
                       Logs.warn (fun m ->
                           m "Sim_cluster: %s; falling back to lineage replay"
                             msg);
@@ -505,6 +536,7 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
                 (match restorable with
                 | None ->
                     Fault.record_replay inj;
+                    bump "replays";
                     (replay_cost, 0.0)
                 | Some restore_cost -> (
                     match
@@ -513,9 +545,11 @@ let loop_time ~(config : config) ~(layout_of : Stencil.target -> Exp.layout)
                     with
                     | Checkpoint.Restore ->
                         Fault.record_restore inj;
+                        bump "restores";
                         (recompute_s, restore_cost -. recompute_s)
                     | Checkpoint.Replay ->
                         Fault.record_replay inj;
+                        bump "replays";
                         (replay_cost, 0.0)))
         in
         (* rebalance: re-materialize the lost partitions on the survivors,
@@ -569,10 +603,17 @@ let run ?(config = default_config) ?checkpoint ?layouts
   in
   let layout_of t = Partition.layout_of t layouts in
   let inputs_ty = Sim_common.program_input_tys program in
-  (* back-to-back simulations in one process must each start from a clean
-     element-granular traffic ledger, or the second run's measured bytes
-     inherit the first's and trip C-COMM-OVERRUN spuriously *)
-  Dist_array.reset_global ();
+  (* the run's observability ledger: callers that pass their own handle
+     (via config) see the same counters the result carries; otherwise a
+     fresh one keeps back-to-back runs in one process fully isolated —
+     the per-process counter (and its per-run reset) is gone *)
+  let metrics =
+    match config.metrics with Some m -> m | None -> Metrics.create ()
+  in
+  (* element-granular remote-read bytes already in the ledger before this
+     run (a caller-shared handle may carry earlier activity); the run's
+     own traffic row is the delta *)
+  let da_bytes0 = Metrics.bytes metrics "remote_read_bytes" in
   let time = ref 0.0 in
   let breakdown = ref [] in
   let traffic = ref [] in
@@ -606,8 +647,46 @@ let run ?(config = default_config) ?checkpoint ?layouts
         let fault = Option.map (fun f -> (f, !loop_no)) config.faults in
         let dt, parts, bytes =
           loop_time ~config ~layout_of ~inputs_ty ~eval_size ~env ~inputs ?fault
-            ~label:name ~spares ?recovery ~alive l ~n
+            ~label:name ~spares ?recovery ~metrics ~alive l ~n
         in
+        Metrics.incr metrics "loops";
+        (* spans live on the simulated clock: 1 s of modeled time is 1e6 µs
+           of trace time.  The loop span covers [clock, clock+dt); its
+           phase children tile it back to back, which is exact because
+           loop_time's parts sum to dt by construction — the O-SPAN-CLOCK
+           contract below holds the model to that. *)
+        let clock_us = !time *. 1e6 in
+        (match config.obs with
+        | None -> ()
+        | Some tr ->
+            Span.emit tr ~tid:Span.runtime_tid ~cat:"runtime" ~name
+              ~args:[ ("loop", Span.Int !loop_no); ("n", Span.Int n) ]
+              ~ts_us:clock_us ~dur_us:(dt *. 1e6) ();
+            ignore
+              (List.fold_left
+                 (fun at (p, s) ->
+                   Span.emit tr ~tid:Span.runtime_tid ~cat:"phase" ~name:p
+                     ~ts_us:at ~dur_us:(s *. 1e6) ();
+                   at +. (s *. 1e6))
+                 clock_us parts));
+        (* O-SPAN-CLOCK (DESIGN.md §12): per-phase span times must tile
+           the loop's modeled time exactly, or the trace would lie about
+           where the seconds went.  Armed with the other debug-mode
+           validations. *)
+        if !Comm.validate_enabled then begin
+          let parts_sum = List.fold_left (fun a (_, s) -> a +. s) 0.0 parts in
+          let tol = 1e-9 +. (1e-6 *. Float.max 1.0 dt) in
+          if Float.abs (parts_sum -. dt) > tol then
+            raise
+              (Diag.Failed
+                 { stage = "obs:" ^ name;
+                   diags =
+                     [ Diag.error ~rule:"O-SPAN-CLOCK"
+                         "loop %s: phase spans sum to %.9fs but the loop \
+                          took %.9fs on the simulated clock"
+                         name parts_sum dt ];
+                 })
+        end;
         time := !time +. dt;
         breakdown := (name, dt) :: List.map (fun (p, s) -> (name ^ "/" ^ p, s)) parts @ !breakdown;
         traffic := List.rev_map (fun (p, b) -> (name ^ "/" ^ p, b)) bytes @ !traffic;
@@ -641,6 +720,18 @@ let run ?(config = default_config) ?checkpoint ?layouts
               (match config.faults with
               | Some inj -> Fault.record_checkpoint inj
               | None -> ());
+              Metrics.incr metrics "checkpoints";
+              (match config.obs with
+              | None -> ()
+              | Some tr ->
+                  Span.emit tr ~tid:Span.runtime_tid ~cat:"phase"
+                    ~name:"checkpoint"
+                    ~args:
+                      [ ("at_loop", Span.Int !loop_no);
+                        ("bytes",
+                         Span.Float (Checkpoint.snapshot_bytes snap));
+                      ]
+                    ~ts_us:(!time *. 1e6) ~dur_us:(ck_s *. 1e6) ());
               time := !time +. ck_s;
               breakdown := (name ^ "/checkpoint", ck_s) :: !breakdown
             end);
@@ -648,8 +739,9 @@ let run ?(config = default_config) ?checkpoint ?layouts
       program
   in
   (* element-granular remote reads made by distributed arrays during this
-     run (exactly this run's, thanks to the reset above) *)
-  let da_bytes = Dist_array.global_remote_bytes () in
+     run — the ledger delta, so a caller-shared handle never leaks an
+     earlier run's bytes into this one's traffic *)
+  let da_bytes = Metrics.bytes metrics "remote_read_bytes" -. da_bytes0 in
   let traffic =
     if da_bytes > 0.0 then ("total/remote-read", da_bytes) :: !traffic
     else !traffic
@@ -658,6 +750,7 @@ let run ?(config = default_config) ?checkpoint ?layouts
     seconds = !time;
     breakdown = List.rev !breakdown;
     traffic = List.rev traffic;
+    metrics;
   }
 
 (** The live nodes remaining after a faulty [run] are not reported here —

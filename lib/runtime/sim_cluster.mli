@@ -1,0 +1,66 @@
+(** Cluster executor/simulator (paper §6.2, Figure 8).
+
+    Executes the program exactly (closure backend) while charging
+    simulated time on a modeled cluster: per-loop compute, broadcast,
+    replication, and gather phases, plus failure detection / lineage
+    recomputation / rebalance under fault injection and the
+    checkpoint/restore/spill/churn phases of the elastic runtime
+    (DESIGN.md §9 and §11).  Internal phase accounting ([loop_time],
+    recovery bookkeeping) is private to the implementation. *)
+
+module M = Dmll_machine.Machine
+module Span = Dmll_obs.Span
+module Metrics = Dmll_obs.Metrics
+
+type device = Cpu | Gpu_device
+
+type config = {
+  cluster : M.cluster;
+  device : device;  (** run node chunks on cores or on the node's GPU *)
+  gpu_options : Sim_gpu.options;
+  faults : Fault.t option;
+      (** fault injection + recovery accounting; [None] is the exact
+          healthy model of the paper *)
+  checkpoint_cadence : int;
+      (** snapshot the spine bindings every this-many loops ([<= 0]
+          disables); arms the restore-vs-replay recovery policy
+          (DESIGN.md §11) *)
+  mem_budget_gb : float option;
+      (** per-node memory budget override; [None] uses the node's
+          [mem_gb].  Over-budget loops spill to disk and see remote-read
+          backpressure. *)
+  obs : Span.t option;
+      (** span tracer: every loop and its phases become spans on the
+          simulated clock (1 s of modeled time = 1e6 µs of trace time),
+          exportable as Chrome [trace_event] JSON (DESIGN.md §12) *)
+  metrics : Metrics.t option;
+      (** per-run observability ledger to accumulate into; a private
+          fresh one is used when [None] *)
+}
+
+val default_config : config
+(** The paper's EC2 cluster, CPU device, no faults, no checkpoints, no
+    observability sinks. *)
+
+val tree_depth : int -> int
+(** Depth of the pipelined collective tree over [n] nodes: [0] for a
+    single node, else [ceil (log2 n)] — the latency multiplier of the
+    broadcast/gather phases. *)
+
+val run :
+  ?config:config ->
+  ?checkpoint:Checkpoint.t ->
+  ?layouts:(Dmll_analysis.Stencil.target * Dmll_ir.Exp.layout) list ->
+  inputs:(string * Dmll_interp.Value.t) list ->
+  Dmll_ir.Exp.exp ->
+  Sim_common.result
+(** Execute [program] exactly; charge simulated time on the cluster.
+    [?checkpoint] supplies an external store (so the caller can inspect
+    snapshots and restore-vs-replay decisions afterwards); otherwise a
+    private store is created when [config.checkpoint_cadence > 0].  The
+    result's per-phase breakdown sums to its [seconds], a contract
+    enforced under debug validation (rule [O-SPAN-CLOCK]). *)
+
+val scatter_seconds : ?config:config -> bytes:float -> unit -> float
+(** Simulated seconds to load/scatter the partitioned dataset initially
+    (reported separately, as the paper separates load from compute). *)

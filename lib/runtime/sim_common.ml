@@ -21,6 +21,11 @@ type result = {
           ["<loop>/<phase>"] — the cluster executor's side of the
           prediction-vs-measurement contract ({!Dmll_analysis.Comm});
           empty for executors with no network *)
+  metrics : Dmll_obs.Metrics.t;
+      (** this run's observability ledger: remote reads/bytes, retries,
+          replans, checkpoints, spills, … (see DESIGN.md §12).  Always a
+          fresh handle per run unless the caller supplied one — there is
+          no process-global state to reset between runs *)
 }
 
 (** The per-loop phases the fault-aware cluster executor appends to the

@@ -147,7 +147,12 @@ let run ?(config =
         Evalenv.eval ~inputs env (Exp.Loop l))
       program
   in
-  { Sim_common.value; seconds = !time; breakdown = List.rev !breakdown; traffic = [] }
+  { Sim_common.value;
+    seconds = !time;
+    breakdown = List.rev !breakdown;
+    traffic = [];
+    metrics = Dmll_obs.Metrics.create ();
+  }
 
 (** Simulated time only (value discarded). *)
 let time ?config ?layouts ~inputs program =

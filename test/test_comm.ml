@@ -194,12 +194,12 @@ let test_dist_array_counts_bytes () =
 
 (* ---------------- counter hygiene between simulator runs ------------- *)
 
-(* PR-4 regression: Dist_array keeps a process-wide remote-read byte
-   counter (surfaced as the "total/remote-read" traffic row).  It must be
-   reset at the start of every Sim_cluster.run, so a second run — or any
-   manual Dist_array activity in between — can never inflate the next
-   run's reported traffic. *)
-let test_counter_reset_between_runs () =
+(* PR-5: Dist_array charges remote-read bytes to a per-run
+   Obs.Metrics.t handle instead of a process-wide counter, so the
+   "total/remote-read" traffic row of one Sim_cluster.run can never see
+   another run's bytes — no reset hack required.  Manual Dist_array
+   activity between runs lands on its own handle and must not leak. *)
+let test_per_run_metrics_isolation () =
   let program =
     let open Builder in
     let input = Input ("xs", Types.Arr Types.Float, Partitioned) in
@@ -216,21 +216,28 @@ let test_counter_reset_between_runs () =
   in
   let run () = R.Sim_cluster.run ~config:(config_for 4) ~inputs program in
   let r1 = run () in
-  (* pollute the global counter with manual remote reads between runs *)
+  (* manual remote reads between runs charge their own metrics handle *)
+  let side = Dmll_obs.Metrics.create () in
   let dir = R.Dist_array.make_directory ~n:100 ~nodes:4 ~sockets_per_node:1 in
   let t =
-    R.Dist_array.scatter dir (V.of_float_array (Array.init 100 float_of_int))
+    R.Dist_array.scatter dir ~metrics:side
+      (V.of_float_array (Array.init 100 float_of_int))
   in
   ignore (R.Dist_array.read t ~from_loc:0 99);
-  check tbool "manual read bumped the global counter" true
-    (R.Dist_array.global_remote_bytes () > 0.0);
+  check tbool "manual read bumped its own handle" true
+    (Dmll_obs.Metrics.bytes side "remote_read_bytes" > 0.0);
   let r2 = run () in
   check tbool "value identical across consecutive runs" true
     (V.equal r1.R.Sim_common.value r2.R.Sim_common.value);
   check
     Alcotest.(list (pair string (float 1e-9)))
     "traffic identical across consecutive runs (no inherited bytes)"
-    r1.R.Sim_common.traffic r2.R.Sim_common.traffic
+    r1.R.Sim_common.traffic r2.R.Sim_common.traffic;
+  (* the two runs carry independent ledgers with identical charges *)
+  let tfloat = Alcotest.float 1e-9 in
+  check tfloat "per-run ledgers agree"
+    (Dmll_obs.Metrics.bytes r1.R.Sim_common.metrics "remote_read_bytes")
+    (Dmll_obs.Metrics.bytes r2.R.Sim_common.metrics "remote_read_bytes")
 
 (* ---------------- --explain-comm --json golden schema ----------------- *)
 
@@ -461,8 +468,8 @@ let () =
       ( "cluster",
         [ Alcotest.test_case "kmeans per-phase bound" `Quick
             test_kmeans_phases_bounded;
-          Alcotest.test_case "counter reset between runs" `Quick
-            test_counter_reset_between_runs;
+          Alcotest.test_case "per-run metrics isolation" `Quick
+            test_per_run_metrics_isolation;
           Alcotest.test_case "all apps validated at 2 and 5 nodes" `Slow
             test_apps_validated;
         ] );

@@ -1,0 +1,286 @@
+(* Tests of the observability layer (DESIGN.md §12): the golden Chrome
+   trace_event schema, the span-tree/simulated-clock invariants of the
+   cluster runtime (property-tested), and the deprecation contract of
+   the pre-Config compile entry points. *)
+
+module V = Dmll_interp.Value
+module R = Dmll_runtime
+module Obs = Dmll_obs
+module Span = Dmll_obs.Span
+module Trace_json = Dmll_obs.Trace_json
+module M = Dmll_machine.Machine
+module Config = Dmll.Config
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+(* a partitioned map-style loop: enough to exercise broadcast, remote
+   reads, and the per-loop phase breakdown of the cluster simulator *)
+let program ~n () =
+  let open Dmll_ir.Exp in
+  let open Dmll_ir.Builder in
+  let input = Input ("xs", Dmll_ir.Types.Arr Dmll_ir.Types.Float, Partitioned) in
+  let i = Dmll_ir.Sym.fresh ~name:"i" Dmll_ir.Types.Int in
+  ignore n;
+  Loop
+    { size = Len input;
+      idx = i;
+      gens =
+        [ Collect { cond = None; value = Read (input, Var i) *. float_ 2.0 } ];
+    }
+
+let inputs ~n = [ ("xs", V.of_float_array (Array.init n float_of_int)) ]
+
+let cluster_config ?obs ?metrics nodes =
+  { R.Sim_cluster.default_config with
+    cluster = M.with_nodes nodes M.ec2_cluster;
+    obs;
+    metrics;
+  }
+
+(* ---------------- golden Chrome trace_event schema ------------------- *)
+
+(* Pin the exact shape downstream viewers (chrome://tracing, Perfetto)
+   and dmll_trace_check rely on: top-level keys, metadata events, and the
+   key set of every complete event. *)
+let km_data = Dmll_data.Gaussian.generate ~rows:60 ~cols:6 ~classes:3 ()
+let km_centroids = Dmll_data.Gaussian.random_centroids ~k:3 km_data
+
+let test_chrome_schema () =
+  let cfg =
+    Config.armed
+      { Config.default with
+        Config.target = Dmll.Cluster (cluster_config 4);
+        trace_file = Some "unused";
+      }
+  in
+  (* k-means: fires the Figure-3 rewrites, so rule spans appear *)
+  let c =
+    Dmll.compile_with cfg (Dmll_apps.Kmeans.program ~rows:60 ~cols:6 ~k:3 ())
+  in
+  ignore
+    (Dmll.execute cfg c
+       ~inputs:(Dmll_apps.Kmeans.inputs km_data ~centroids:km_centroids));
+  let tracer = Option.get cfg.Config.tracer in
+  let text = Span.to_chrome_json tracer in
+  (match Trace_json.validate_chrome text with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "trace fails Chrome schema: %s" msg);
+  let j = Trace_json.parse_exn text in
+  check
+    Alcotest.(list string)
+    "top-level keys"
+    [ "displayTimeUnit"; "traceEvents" ]
+    (Trace_json.keys j);
+  let events =
+    match Trace_json.member "traceEvents" j with
+    | Some (Trace_json.Arr es) -> es
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  check tbool "has events" true (List.length events > 3);
+  let ph e =
+    match Trace_json.member "ph" e with
+    | Some (Trace_json.Str s) -> s
+    | _ -> Alcotest.fail "event without ph"
+  in
+  let metadata, complete = List.partition (fun e -> ph e = "M") events in
+  check tbool "process_name + two thread_name metadata events" true
+    (List.length metadata = 3);
+  check tbool "everything else is a complete event" true
+    (List.for_all (fun e -> ph e = "X") complete);
+  List.iter
+    (fun e ->
+      check
+        Alcotest.(list string)
+        "complete-event keys"
+        [ "name"; "cat"; "ph"; "ts"; "dur"; "pid"; "tid"; "args" ]
+        (Trace_json.keys e))
+    complete;
+  let cats =
+    List.filter_map
+      (fun e ->
+        match Trace_json.member "cat" e with
+        | Some (Trace_json.Str s) -> Some s
+        | _ -> None)
+      complete
+  in
+  List.iter
+    (fun want ->
+      check tbool (Printf.sprintf "cat %S present" want) true
+        (List.mem want cats))
+    [ "compile"; "pipeline"; "rule"; "partition"; "runtime"; "phase" ]
+
+(* every optimizer rule firing the report names shows up as a rule span *)
+let test_rule_spans () =
+  let cfg =
+    Config.armed { Config.default with Config.trace_file = Some "unused" }
+  in
+  let c =
+    Dmll.compile_with cfg (Dmll_apps.Kmeans.program ~rows:60 ~cols:6 ~k:3 ())
+  in
+  check tbool "kmeans fires optimizations" true (Dmll.optimizations c <> []);
+  let tracer = Option.get cfg.Config.tracer in
+  let rule_spans =
+    List.filter_map
+      (fun (s : Span.span) ->
+        if s.Span.cat = "rule" then Some s.Span.name else None)
+      (Span.spans tracer)
+  in
+  List.iter
+    (fun opt ->
+      check tbool
+        (Printf.sprintf "optimization %S has a rule span" opt)
+        true (List.mem opt rule_spans))
+    (Dmll.optimizations c)
+
+(* ---------------- span-tree / simulated-clock properties ------------- *)
+
+(* For arbitrary (size, nodes): the trace is well-nested per timeline,
+   and the runtime spans tile the simulated clock — the sum of top-level
+   runtime duractions (loops plus checkpoint phases) equals the reported
+   modeled seconds, and each loop's phase children tile the loop span. *)
+let prop_spans_tile_clock =
+  QCheck.Test.make ~count:30 ~name:"runtime spans tile the simulated clock"
+    QCheck.(pair (int_range 16 256) (int_range 2 8))
+    (fun (n, nodes) ->
+      let tracer = Span.create () in
+      let r =
+        R.Sim_cluster.run
+          ~config:(cluster_config ~obs:tracer nodes)
+          ~inputs:(inputs ~n) (program ~n ())
+      in
+      if not (Span.well_nested tracer) then
+        QCheck.Test.fail_report "span tree is not well-nested";
+      let runtime_spans =
+        List.filter
+          (fun (s : Span.span) -> s.Span.tid = Span.runtime_tid)
+          (Span.spans tracer)
+      in
+      if runtime_spans = [] then
+        QCheck.Test.fail_report "no runtime spans recorded";
+      (* top-level runtime time: loop spans + checkpoint phases (none
+         here), i.e. everything not nested under a loop span *)
+      let top_us =
+        List.fold_left
+          (fun acc (s : Span.span) ->
+            if s.Span.cat = "runtime" then acc +. s.Span.dur_us else acc)
+          0.0 runtime_spans
+      in
+      let clock_us = r.R.Sim_common.seconds *. 1e6 in
+      if Float.abs (top_us -. clock_us) > 1e-6 +. (1e-9 *. clock_us) then
+        QCheck.Test.fail_reportf
+          "runtime spans sum to %.3fus but the clock reports %.3fus" top_us
+          clock_us;
+      (* each loop's phase children tile the loop span exactly *)
+      List.iter
+        (fun (loop : Span.span) ->
+          if loop.Span.cat = "runtime" then begin
+            let child_us =
+              List.fold_left
+                (fun acc (s : Span.span) ->
+                  if
+                    s.Span.cat = "phase"
+                    && s.Span.ts_us >= loop.Span.ts_us -. 1e-6
+                    && s.Span.ts_us +. s.Span.dur_us
+                       <= loop.Span.ts_us +. loop.Span.dur_us +. 1e-6
+                  then acc +. s.Span.dur_us
+                  else acc)
+                0.0 runtime_spans
+            in
+            if Float.abs (child_us -. loop.Span.dur_us) > 1e-6 then
+              QCheck.Test.fail_reportf
+                "loop %s: phases sum to %.3fus, loop span is %.3fus"
+                loop.Span.name child_us loop.Span.dur_us
+          end)
+        runtime_spans;
+      true)
+
+(* O-SPAN-CLOCK holds on a healthy run with validation armed: the run
+   completes without tripping the contract. *)
+let test_span_clock_contract_clean () =
+  let saved = !Dmll_analysis.Comm.validate_enabled in
+  Dmll_analysis.Comm.validate_enabled := true;
+  Fun.protect
+    ~finally:(fun () -> Dmll_analysis.Comm.validate_enabled := saved)
+    (fun () ->
+      let tracer = Span.create () in
+      match
+        R.Sim_cluster.run
+          ~config:(cluster_config ~obs:tracer 4)
+          ~inputs:(inputs ~n:128) (program ~n:128 ())
+      with
+      | _ -> ()
+      | exception Dmll_analysis.Diag.Failed { stage; _ } ->
+          Alcotest.failf "O-SPAN-CLOCK tripped on a healthy run at %s" stage)
+
+(* ---------------- deprecation contract ------------------------------- *)
+
+(* The pre-Config entry points are thin wrappers: compile ?target ?debug
+   must produce bit-for-bit the same compilation as compile_with on the
+   equivalent Config.t, and run must agree with execute. *)
+let test_deprecated_wrappers_agree () =
+  let targets =
+    [ Dmll.Sequential;
+      Dmll.Gpu { R.Sim_gpu.transpose = true; row_to_column = true };
+      Dmll.Cluster (cluster_config 4);
+    ]
+  in
+  (* one source expression: gensym numbering is part of the printed IR,
+     so both entry points must see the identical input *)
+  let source = program ~n:64 () in
+  List.iter
+    (fun target ->
+      let old_c = Dmll.compile ~target ~debug:false source in
+      let new_c =
+        Dmll.compile_with
+          { Config.default with Config.target; debug = false }
+          source
+      in
+      check Alcotest.string "final IR identical"
+        (Dmll_ir.Pp.to_string old_c.Dmll.final)
+        (Dmll_ir.Pp.to_string new_c.Dmll.final);
+      check
+        Alcotest.(list string)
+        "optimization list identical"
+        (Dmll.optimizations old_c) (Dmll.optimizations new_c);
+      let old_v = Dmll.run old_c ~inputs:(inputs ~n:64) in
+      let r = Dmll.execute Config.default new_c ~inputs:(inputs ~n:64) in
+      check tbool "run = execute value" true (V.equal old_v r.Dmll.value))
+    targets
+
+(* per-run metrics: execute hands back an isolated ledger per call *)
+let test_execute_metrics_isolated () =
+  let cfg =
+    Config.with_target (Dmll.Cluster (cluster_config 4)) Config.default
+  in
+  let c = Dmll.compile_with cfg (program ~n:64 ()) in
+  let r1 = Dmll.execute cfg c ~inputs:(inputs ~n:64) in
+  let r2 = Dmll.execute cfg c ~inputs:(inputs ~n:64) in
+  check tbool "separate handles" true (r1.Dmll.metrics != r2.Dmll.metrics);
+  check (Alcotest.float 1e-9) "identical remote-read charges"
+    (Obs.Metrics.bytes r1.Dmll.metrics "remote_read_bytes")
+    (Obs.Metrics.bytes r2.Dmll.metrics "remote_read_bytes");
+  check Alcotest.int "loops counted"
+    (Obs.Metrics.count r1.Dmll.metrics "loops")
+    (Obs.Metrics.count r2.Dmll.metrics "loops")
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [ ( "chrome-trace",
+        [ Alcotest.test_case "golden schema" `Quick test_chrome_schema;
+          Alcotest.test_case "rule spans cover the report" `Quick
+            test_rule_spans;
+        ] );
+      ( "clock",
+        [ qt prop_spans_tile_clock;
+          Alcotest.test_case "O-SPAN-CLOCK clean on healthy run" `Quick
+            test_span_clock_contract_clean;
+        ] );
+      ( "config-api",
+        [ Alcotest.test_case "deprecated wrappers agree" `Quick
+            test_deprecated_wrappers_agree;
+          Alcotest.test_case "execute metrics isolated per run" `Quick
+            test_execute_metrics_isolated;
+        ] );
+    ]
