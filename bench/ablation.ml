@@ -2,7 +2,7 @@
    real (native backend, ocamlopt-compiled generated code).
 
    Variants per application:
-     all        — the full pipeline (what Dmll.compile produces)
+     all        — the full pipeline (what Dmll.compile_with produces)
      -nested    — without the Figure-3 nested pattern rules
      -fusion    — additionally without pipeline/horizontal fusion
      -datastruct— additionally without AoS->SoA / struct unwrapping / DFE
@@ -32,7 +32,9 @@ let pipeline ?(input_soa = true) rules e =
   go 0 e
 
 let variants : variant list =
-  [ { vname = "all"; optimize = (fun e -> (Dmll.compile e).Dmll.final) };
+  [ { vname = "all";
+      optimize = (fun e -> (Dmll.compile_with Dmll.Config.default e).Dmll.final);
+    };
     { vname = "-nested";
       optimize = (fun e -> (Opt.Pipeline.optimize e).Opt.Pipeline.program);
     };

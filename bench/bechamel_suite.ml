@@ -10,7 +10,8 @@ open Toolkit
 module V = Dmll_interp.Value
 
 let compiled program =
-  Dmll_backend.Closure.compile (Dmll.compile program).Dmll.final
+  Dmll_backend.Closure.compile
+    (Dmll.compile_with Dmll.Config.default program).Dmll.final
 
 let tests () =
   (* small instances: bechamel wants many samples per test *)
@@ -56,9 +57,12 @@ let tests () =
     (* Figure 6 family: compiler passes themselves (the cost of the
        optimizer, not just the optimized code) *)
     Test.make ~name:"fig6/compile/kmeans"
-      (Staged.stage (fun () -> Dmll.compile (Dmll_apps.Kmeans.program ~rows ~cols ~k ())));
+      (Staged.stage (fun () ->
+           Dmll.compile_with Dmll.Config.default
+             (Dmll_apps.Kmeans.program ~rows ~cols ~k ())));
     Test.make ~name:"fig6/compile/q1"
-      (Staged.stage (fun () -> Dmll.compile (Dmll_apps.Tpch_q1.program ())));
+      (Staged.stage (fun () ->
+           Dmll.compile_with Dmll.Config.default (Dmll_apps.Tpch_q1.program ())));
   ]
 
 let run () =

@@ -72,7 +72,11 @@ let run () =
     (fun () ->
       List.iter
         (fun (name, program, inputs) ->
-          let c = Dmll.compile ~target:Dmll.Sequential program in
+          let c =
+            Dmll.compile_with
+              (Dmll.Config.with_target Dmll.Sequential Dmll.Config.default)
+              program
+          in
           let input_lens = input_lens_of inputs in
           (* the simulator derives layouts the same way *)
           let layouts =

@@ -60,7 +60,11 @@ let run () =
     R.Sim_cluster.default_config.R.Sim_cluster.cluster.M.nodes sweep_seed;
   List.iter
     (fun (name, program, inputs) ->
-      let c = Dmll.compile ~target:Dmll.Sequential program in
+      let c =
+        Dmll.compile_with
+          (Dmll.Config.with_target Dmll.Sequential Dmll.Config.default)
+          program
+      in
       let baseline =
         R.Sim_cluster.run ~config:(config_for 0.0) ~inputs c.Dmll.final
       in

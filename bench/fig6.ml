@@ -37,7 +37,7 @@ let gpu_rows () =
   List.map
     (fun (name, program, inputs) ->
       (* CPU-optimized program, as the GPU backend receives it *)
-      let base = (Dmll.compile program).Dmll.final in
+      let base = (Dmll.compile_with Dmll.Config.default program).Dmll.final in
       let t opts = gpu_time ~options:opts base inputs in
       let none = t { R.Sim_gpu.transpose = false; row_to_column = false } in
       let transpose = t { R.Sim_gpu.transpose = true; row_to_column = false } in
@@ -54,7 +54,7 @@ let gpu_rows () =
 let untransformed program =
   (Dmll_opt.Pipeline.optimize program).Dmll_opt.Pipeline.program
 
-let transformed program = (Dmll.compile program).Dmll.final
+let transformed program = (Dmll.compile_with Dmll.Config.default program).Dmll.final
 
 let numa_time ~threads program inputs =
   let config =

@@ -59,7 +59,7 @@ let make_apps () : app list =
   ignore labels;
   let app ?spark ?powergraph aname program inputs =
     { aname;
-      program = (Dmll.compile program).Dmll.final;
+      program = (Dmll.compile_with Dmll.Config.default program).Dmll.final;
       program_delite = (Dmll_opt.Pipeline.optimize program).Dmll_opt.Pipeline.program;
       inputs;
       spark;

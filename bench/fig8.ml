@@ -37,7 +37,7 @@ let ec2_compute () =
   let genes = Lazy.force Datasets.genes in
   let spark_p = B.Minispark.ec2_platform () in
   let case name program inputs spark_s =
-    let dmll_s = cluster_time ((Dmll.compile program).Dmll.final) inputs in
+    let dmll_s = cluster_time ((Dmll.compile_with Dmll.Config.default program).Dmll.final) inputs in
     (name, spark_s /. dmll_s)
   in
   [ (let _, ctx = B.Spark_apps.q1 spark_p q1 in
@@ -75,7 +75,7 @@ let ec2_iterative () =
       in
       let km_dmll =
         cluster_time
-          ((Dmll.compile (Dmll_apps.Kmeans.program ~rows ~cols ~k:Datasets.kmeans_k ()))
+          ((Dmll.compile_with Dmll.Config.default (Dmll_apps.Kmeans.program ~rows ~cols ~k:Datasets.kmeans_k ()))
              .Dmll.final)
           (Dmll_apps.Kmeans.inputs data ~centroids:cents)
       in
@@ -87,7 +87,7 @@ let ec2_iterative () =
       in
       let lr_dmll =
         cluster_time
-          ((Dmll.compile (Dmll_apps.Logreg.program ~rows ~cols ~alpha:0.01 ())).Dmll.final)
+          ((Dmll.compile_with Dmll.Config.default (Dmll_apps.Logreg.program ~rows ~cols ~alpha:0.01 ())).Dmll.final)
           (Dmll_apps.Logreg.inputs data ~theta:Datasets.theta0)
       in
       [ (Printf.sprintf "k-means (%s)" label, km_spark /. km_dmll);
@@ -124,7 +124,7 @@ let gpu_cluster () =
   let case name program inputs spark_s =
     (* the GPU path models the kernel from the CPU-scheduled loop nest:
        Row-to-Column is a policy flag of the device model (see Sim_gpu) *)
-    let prog = (Dmll.compile program).Dmll.final in
+    let prog = (Dmll.compile_with Dmll.Config.default program).Dmll.final in
     let cpu_s = cluster_time ~config:cpu_config prog inputs in
     let gpu_s = cluster_time ~config:gpu_config prog inputs in
     (name, spark_s /. cpu_s, spark_s /. gpu_s)
@@ -160,7 +160,7 @@ let graphs () =
   in
   let pr_dmll =
     cluster_time ~config
-      ((Dmll.compile (Dmll_apps.Pagerank.program_push ~nv:pr.Dmll_graph.Csr.nv ()))
+      ((Dmll.compile_with Dmll.Config.default (Dmll_apps.Pagerank.program_push ~nv:pr.Dmll_graph.Csr.nv ()))
          .Dmll.final)
       (Dmll_apps.Pagerank.inputs pr ~ranks:(Dmll_apps.Pagerank.initial_ranks pr))
   in
@@ -171,7 +171,7 @@ let graphs () =
   in
   let tri_dmll =
     cluster_time ~config
-      ((Dmll.compile (Dmll_apps.Tricount.program ())).Dmll.final)
+      ((Dmll.compile_with Dmll.Config.default (Dmll_apps.Tricount.program ())).Dmll.final)
       (Dmll_apps.Tricount.inputs tri)
   in
   [ ("PageRank", pr_pg /. pr_dmll); ("Triangle Ct", tri_pg /. tri_dmll) ]
@@ -208,7 +208,7 @@ let gibbs () =
   let base = dw_time 1 in
   (* GPU: a gather-bound kernel (random factor-graph access), modeled *)
   let gpu_prog =
-    (Dmll.compile (Dmll_apps.Gibbs.program ~nvars ~replicas:1 ())).Dmll.final
+    (Dmll.compile_with Dmll.Config.default (Dmll_apps.Gibbs.program ~nvars ~replicas:1 ())).Dmll.final
   in
   let gpu_r =
     R.Sim_gpu.run

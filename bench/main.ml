@@ -24,6 +24,8 @@ let experiments : (string * string * (unit -> unit)) list =
       fun () -> Fault_sweep.run ());
     ("comm_validate", "static comm plans vs measured cluster traffic (JSON)",
       fun () -> Comm_validate.run ());
+    ("mem_validate", "static footprint peaks vs measured cluster residents (JSON)",
+      fun () -> Mem_validate.run ());
   ]
 
 let () =

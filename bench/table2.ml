@@ -26,7 +26,7 @@ let measure = Dmll_util.Timing.measure
 
 let bench_app ~name ~dataset ~per_iter ~(program : Dmll_ir.Exp.exp)
     ~(inputs : (string * V.t) list) ~(reference : unit -> unit) ~runs : row =
-  let compiled = Dmll.compile program in
+  let compiled = Dmll.compile_with Dmll.Config.default program in
   let exe = Dmll_backend.Closure.compile compiled.Dmll.final in
   let reference_value = exe.Dmll_backend.Closure.run ~inputs () in
   let closure_s = measure ~runs (fun () -> exe.Dmll_backend.Closure.run ~inputs ()) in

@@ -10,6 +10,7 @@
    cost-guided rewrite decisions with every rejected alternative. *)
 
 module Comm = Dmll_analysis.Comm
+module Mem = Dmll_analysis.Mem
 module Partition = Dmll_analysis.Partition
 module M = Dmll_machine.Machine
 
@@ -25,8 +26,20 @@ let apps : (string * (unit -> Dmll_ir.Exp.exp) * (string * int) list) list =
          gather volume: the cost-guided search keeps the program *)
       (fun () -> Dmll_apps.Kmeans.program ~rows:64 ~cols:4 ~k:4 ()),
       [ ("matrix", 256); ("clusters", 16) ] );
+    ( "kmeans_iter",
+      (* three unrolled Lloyd iterations: each intermediate centroid set
+         dies as soon as the next one is computed — the early-free
+         showcase (--explain-mem shows the peak with and without it) *)
+      (fun () ->
+        Dmll_apps.Kmeans.program_iterated ~rows:1000 ~cols:16 ~k:8 ~iters:4 ()),
+      [ ("matrix", 16000); ("clusters", 128) ] );
     ( "logreg",
       (fun () -> Dmll_apps.Logreg.program ~rows:1000 ~cols:16 ~alpha:0.01 ()),
+      [ ("matrix", 16000); ("y", 1000); ("theta", 16) ] );
+    ( "logreg_iter",
+      (fun () ->
+        Dmll_apps.Logreg.program_iterated ~rows:1000 ~cols:16 ~alpha:0.01
+          ~iters:4 ()),
       [ ("matrix", 16000); ("y", 1000); ("theta", 16) ] );
     ( "gda",
       (fun () -> Dmll_apps.Gda.program ~rows:1000 ~cols:8 ()),
@@ -35,6 +48,9 @@ let apps : (string * (unit -> Dmll_ir.Exp.exp) * (string * int) list) list =
     ("gene", (fun () -> Dmll_apps.Gene.program ()), []);
     ( "pagerank_pull",
       (fun () -> Dmll_apps.Pagerank.program_pull ~nv:1024 ()),
+      [ ("ranks", 1024); ("g.in_offsets", 1025); ("g.out_deg", 1024) ] );
+    ( "pagerank_iter",
+      (fun () -> Dmll_apps.Pagerank.program_pull_iterated ~nv:1024 ~iters:4 ()),
       [ ("ranks", 1024); ("g.in_offsets", 1025); ("g.out_deg", 1024) ] );
     ( "pagerank_push",
       (fun () -> Dmll_apps.Pagerank.program_push ~nv:1024 ()),
@@ -92,12 +108,24 @@ let explain_comm =
            totals. With APP = $(b,all), explains every registered \
            application.")
 
+let explain_mem =
+  Arg.(
+    value & flag
+    & info [ "explain-mem" ]
+        ~doc:
+          "Print the static memory-footprint & liveness analysis (DESIGN.md \
+           §13): collection liveness windows, per-position resident sets \
+           (persistent chunk shares + transient buffers), the symbolic peak \
+           resident bytes — with and without liveness-driven early-free — \
+           and the pre-execution admission decision. With APP = $(b,all), \
+           explains every registered application.")
+
 let json =
   Arg.(
     value & flag
     & info [ "json" ]
-        ~doc:"With --explain-comm, emit machine-readable JSON (one object \
-              per application).")
+        ~doc:"With --explain-comm or --explain-mem, emit machine-readable \
+              JSON (one object per application).")
 
 let show_source =
   Arg.(value & flag & info [ "source" ] ~doc:"Print the source (staged) IR.")
@@ -189,7 +217,52 @@ let run_explain ~json ~nodes app =
   let machine = Common_cli.cluster_machine ?nodes () in
   List.iter (explain_one ~json ~machine) (select_apps ~flag:true app)
 
-let main app show_src emit gpu lint explain json nodes debug trace profile =
+(* ---------------- --explain-mem ---------------- *)
+
+(* Same compilation path as --explain-comm (generic optimize without the
+   CPU nested rules, then the cost-guided partitioning analysis), plus
+   the early-free pass — the summary shows the peak both with and
+   without it, so the liveness payoff is visible per app. *)
+let explain_mem_one ~json:as_json ~machine (name, build, input_lens) =
+  let source = build () in
+  let generic =
+    (Dmll_opt.Pipeline.optimize_with ~extra_rules:[] source)
+      .Dmll_opt.Pipeline.program
+  in
+  let report =
+    Partition.analyze ~transforms:Dmll_opt.Rules_nested.cpu_rules ~machine
+      ~input_lens generic
+  in
+  let layout_of t = Partition.layout_of t report.Partition.layouts in
+  let base = report.Partition.program in
+  let fr = Dmll_opt.Free_insertion.run base in
+  let summary =
+    Mem.summarize ~input_lens ~machine ~layout_of
+      fr.Dmll_opt.Free_insertion.program
+  in
+  let peak_no_free = Mem.static_peak ~input_lens ~machine ~layout_of base in
+  let admission = Mem.admit summary in
+  if as_json then
+    print_endline (Mem.summary_to_json ~app:name ~admission ~peak_no_free summary)
+  else begin
+    header (Printf.sprintf "mem: %s (%d nodes)" name machine.M.nodes);
+    (match fr.Dmll_opt.Free_insertion.freed with
+    | [] -> print_endline "  early-free: nothing to free"
+    | syms ->
+        Printf.printf "  early-free: %s\n"
+          (String.concat ", " (List.map Dmll_ir.Sym.to_string syms)));
+    Fmt.pr "%a" Mem.pp_summary summary;
+    Printf.printf "  peak without early-free: %s\n"
+      (Comm.fmt_bytes peak_no_free);
+    Printf.printf "  admission: %s\n" (Mem.admission_to_string admission)
+  end
+
+let run_explain_mem ~json ~nodes app =
+  let machine = Common_cli.cluster_machine ?nodes () in
+  List.iter (explain_mem_one ~json ~machine) (select_apps ~flag:true app)
+
+let main app show_src emit gpu lint explain explain_mem json nodes debug trace
+    profile =
   let target =
     if gpu then
       Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true }
@@ -199,6 +272,7 @@ let main app show_src emit gpu lint explain json nodes debug trace profile =
     Config.with_target target (Common_cli.config ~debug ?trace ~profile ())
   in
   if explain then run_explain ~json ~nodes app
+  else if explain_mem then run_explain_mem ~json ~nodes app
   else if lint then run_lint cfg app
   else begin
   (match find_app app with
@@ -250,7 +324,7 @@ let cmd =
     (Cmd.info "dmllc" ~doc)
     Term.(
       const main $ app_arg $ show_source $ show_codegen $ gpu $ lint
-      $ explain_comm $ json $ Common_cli.nodes_arg $ Common_cli.debug_arg
-      $ Common_cli.trace_arg $ Common_cli.profile_arg)
+      $ explain_comm $ explain_mem $ json $ Common_cli.nodes_arg
+      $ Common_cli.debug_arg $ Common_cli.trace_arg $ Common_cli.profile_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -24,7 +24,12 @@ let () =
   let program = Dmll_apps.Kmeans.program ~rows ~cols ~k () in
 
   (* --- what the compiler does ------------------------------------- *)
-  let compiled = Dmll.compile program in
+  let timed cfg c =
+    let r = Dmll.execute cfg c ~inputs in
+    (r.Dmll.value, r.Dmll.seconds)
+  in
+  let cfg_seq = Dmll.Config.default in
+  let compiled = Dmll.compile_with cfg_seq program in
   Printf.printf "Optimizations: %s\n"
     (String.concat ", " (Dmll.optimizations compiled));
   Printf.printf "Data layouts:\n";
@@ -39,13 +44,13 @@ let () =
        compiled.Dmll.partition.Dmll_analysis.Partition.layouts);
 
   (* --- run the same compiled program everywhere -------------------- *)
-  let seq, seq_t = Dmll.timed_run compiled ~inputs in
+  let seq, seq_t = timed cfg_seq compiled in
   Printf.printf "\nsequential (real):        %8s\n" (Dmll_util.Table.fmt_time seq_t);
 
   (* real OCaml-domains parallelism, scaled to this machine's cores *)
   let ndom = Stdlib.min 4 (Domain.recommended_domain_count ()) in
-  let mc = Dmll.compile ~target:(Dmll.Multicore ndom) program in
-  let par, par_t = Dmll.timed_run mc ~inputs in
+  let cfg_mc = Dmll.Config.with_target (Dmll.Multicore ndom) cfg_seq in
+  let par, par_t = timed cfg_mc (Dmll.compile_with cfg_mc program) in
   Printf.printf "%d domain(s) (real):       %8s\n" ndom (Dmll_util.Table.fmt_time par_t);
   assert (V.approx_equal ~eps:1e-9 seq par);
 
@@ -56,8 +61,8 @@ let () =
         mode = R.Sim_numa.Numa_aware;
       }
     in
-    let c = Dmll.compile ~target:(Dmll.Numa cfg) program in
-    let v, t = Dmll.timed_run c ~inputs in
+    let ncfg = Dmll.Config.with_target (Dmll.Numa cfg) cfg_seq in
+    let v, t = timed ncfg (Dmll.compile_with ncfg program) in
     assert (V.approx_equal ~eps:1e-9 seq v);
     t
   in
@@ -67,8 +72,8 @@ let () =
     (Dmll_util.Table.fmt_time t48) (t1 /. t48);
 
   let gpu_opts = { R.Sim_gpu.transpose = true; row_to_column = true } in
-  let gc = Dmll.compile ~target:(Dmll.Gpu gpu_opts) program in
-  let gv, gt = Dmll.timed_run gc ~inputs in
+  let cfg_gpu = Dmll.Config.with_target (Dmll.Gpu gpu_opts) cfg_seq in
+  let gv, gt = timed cfg_gpu (Dmll.compile_with cfg_gpu program) in
   assert (V.approx_equal ~eps:1e-6 seq gv);
   Printf.printf "GPU model (transformed):  %8s\n" (Dmll_util.Table.fmt_time gt);
 

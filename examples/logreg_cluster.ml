@@ -27,22 +27,27 @@ let () =
   let program = Dmll_apps.Logreg.program ~rows ~cols ~alpha () in
 
   (* ------- sequential reference ------------------------------------ *)
-  let seq = Dmll.compile program in
+  let cfg = Dmll.Config.default in
+  let timed cfg c =
+    let r = Dmll.execute cfg c ~inputs in
+    (r.Dmll.value, r.Dmll.seconds)
+  in
+  let seq = Dmll.compile_with cfg program in
   Printf.printf "CPU optimizations: %s\n" (String.concat ", " (Dmll.optimizations seq));
-  let v_seq, t_seq = Dmll.timed_run seq ~inputs in
+  let v_seq, t_seq = timed cfg seq in
   Printf.printf "sequential:        %8s\n" (Dmll_util.Table.fmt_time t_seq);
 
   (* ------- simulated 20-node EC2 cluster --------------------------- *)
-  let cluster = Dmll.compile ~target:(Dmll.Cluster R.Sim_cluster.default_config) program in
-  let v_cl, t_cl = Dmll.timed_run cluster ~inputs in
+  let cfg_cl = Dmll.Config.with_target (Dmll.Cluster R.Sim_cluster.default_config) cfg in
+  let v_cl, t_cl = timed cfg_cl (Dmll.compile_with cfg_cl program) in
   assert (V.approx_equal ~eps:1e-6 v_seq v_cl);
   Printf.printf "20-node cluster:   %8s (simulated, one step)\n"
     (Dmll_util.Table.fmt_time t_cl);
 
   (* ------- simulated GPU, with and without the transformations ----- *)
   let gpu opts =
-    let c = Dmll.compile ~target:(Dmll.Gpu opts) program in
-    let v, t = Dmll.timed_run c ~inputs in
+    let gcfg = Dmll.Config.with_target (Dmll.Gpu opts) cfg in
+    let v, t = timed gcfg (Dmll.compile_with gcfg program) in
     assert (V.approx_equal ~eps:1e-6 v_seq v);
     t
   in
@@ -58,7 +63,10 @@ let () =
 
   (* ------- peek at the generated CUDA ------------------------------- *)
   let gpu_compiled =
-    Dmll.compile ~target:(Dmll.Gpu { R.Sim_gpu.transpose = true; row_to_column = true })
+    Dmll.compile_with
+      (Dmll.Config.with_target
+         (Dmll.Gpu { R.Sim_gpu.transpose = true; row_to_column = true })
+         cfg)
       program
   in
   print_endline "\n--- generated CUDA (excerpt) ---";

@@ -22,11 +22,16 @@ let () =
   let ranks = Dmll_apps.Pagerank.initial_ranks g in
   let inputs = Dmll_apps.Pagerank.inputs g ~ranks in
 
-  let pull = Dmll.compile (Dmll_apps.Pagerank.program_pull ~nv:g.Dmll_graph.Csr.nv ()) in
-  let push = Dmll.compile (Dmll_apps.Pagerank.program_push ~nv:g.Dmll_graph.Csr.nv ()) in
+  let cfg = Dmll.Config.default in
+  let timed cfg c =
+    let r = Dmll.execute cfg c ~inputs in
+    (r.Dmll.value, r.Dmll.seconds)
+  in
+  let pull = Dmll.compile_with cfg (Dmll_apps.Pagerank.program_pull ~nv:g.Dmll_graph.Csr.nv ()) in
+  let push = Dmll.compile_with cfg (Dmll_apps.Pagerank.program_push ~nv:g.Dmll_graph.Csr.nv ()) in
 
-  let v_pull, t_pull = Dmll.timed_run pull ~inputs in
-  let v_push, t_push = Dmll.timed_run push ~inputs in
+  let v_pull, t_pull = timed cfg pull in
+  let v_push, t_push = timed cfg push in
   Printf.printf "pull iteration (sequential): %8s\n" (Dmll_util.Table.fmt_time t_pull);
   Printf.printf "push iteration (sequential): %8s\n" (Dmll_util.Table.fmt_time t_push);
   assert (V.approx_equal ~eps:1e-9 v_pull v_push);
@@ -53,18 +58,22 @@ let () =
       mode = R.Sim_numa.Numa_aware;
     }
   in
-  let c_numa = Dmll.compile ~target:(Dmll.Numa numa_cfg) (Dmll_apps.Pagerank.program_pull ~nv:g.Dmll_graph.Csr.nv ()) in
-  let _, t_numa = Dmll.timed_run c_numa ~inputs in
+  let cfg_numa = Dmll.Config.with_target (Dmll.Numa numa_cfg) cfg in
+  let c_numa = Dmll.compile_with cfg_numa (Dmll_apps.Pagerank.program_pull ~nv:g.Dmll_graph.Csr.nv ()) in
+  let _, t_numa = timed cfg_numa c_numa in
+  let cfg_cluster =
+    Dmll.Config.with_target
+      (Dmll.Cluster
+         { R.Sim_cluster.default_config with
+           cluster = Dmll_machine.Machine.gpu_cluster;
+         })
+      cfg
+  in
   let c_cluster =
-    Dmll.compile
-      ~target:
-        (Dmll.Cluster
-           { R.Sim_cluster.default_config with
-             cluster = Dmll_machine.Machine.gpu_cluster;
-           })
+    Dmll.compile_with cfg_cluster
       (Dmll_apps.Pagerank.program_push ~nv:g.Dmll_graph.Csr.nv ())
   in
-  let _, t_cluster = Dmll.timed_run c_cluster ~inputs in
+  let _, t_cluster = timed cfg_cluster c_cluster in
   Printf.printf "\nper-iteration, simulated:\n";
   Printf.printf "  48-core NUMA machine: %8s\n" (Dmll_util.Table.fmt_time t_numa);
   Printf.printf "  4-node cluster:       %8s\n" (Dmll_util.Table.fmt_time t_cluster);

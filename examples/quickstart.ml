@@ -69,7 +69,8 @@ let make_sales n =
 
 let () =
   let program = query () in
-  let compiled = Dmll.compile program in
+  let cfg = Dmll.Config.default in
+  let compiled = Dmll.compile_with cfg program in
   print_endline "The compiler applied:";
   List.iter (Printf.printf "  - %s\n") (Dmll.optimizations compiled);
   (* after AoS->SoA the program wants columnar inputs; for this demo we run
@@ -88,7 +89,7 @@ let () =
       col "sales.units" (fun s -> V.struct_field s "units");
     ]
   in
-  let fast = Dmll.run compiled ~inputs:columns in
+  let fast = (Dmll.execute cfg compiled ~inputs:columns).Dmll.value in
   assert (V.approx_equal reference fast);
   print_endline "\nRevenue by region (optimized single-traversal execution):";
   for r = 0 to V.length fast - 1 do

@@ -1,0 +1,596 @@
+(** Static memory-footprint & liveness analysis (DESIGN.md §13).
+
+    The communication analysis ({!Comm}, DESIGN.md §10) predicts what a
+    multiloop {e moves}; this module predicts what a node must {e hold}.
+    For every spine position it derives the per-node resident set as the
+    sum of two parts:
+
+    - {e persistent} bytes: every collection storage root that is live at
+      the position — partitioned collections count their chunk share
+      ([|coll| / nodes]), [Local] collections their whole size (they live
+      on the master, which is a node too).  Liveness comes from the IR's
+      last-use metadata ({!Dmll_ir.Exp.collection_live_ranges}): storage
+      is resident from its binding until its early-free marker
+      ({!Dmll_opt.Free_insertion}) or, absent one, the end of the
+      program — which is exactly why inserting frees shrinks the
+      predicted peak;
+    - {e transient} buffers of the loop at that position, reusing
+      {!Comm}'s term vocabulary: a broadcast copy of every [Local]
+      collection the loop consumes, a whole-collection replica for
+      non-local-friendly partitioned stencils, bounded halo buffers for
+      shifted intervals, and the master's per-node reduction partials /
+      bucket tables.  When checkpointing is armed, the serialized
+      snapshot image of the live set is charged on top.
+
+    The peak over all positions is the {b symbolic peak resident}: the
+    admission oracle ({!admit}) compares it against the node budget
+    {e before} execution and picks spill-ahead or smaller chunking, and
+    the cluster simulator's measured per-node resident demand must stay
+    within {!slack} of the per-loop prediction (rule [M-MEM-OVERRUN],
+    armed by [DMLL_DEBUG=1] — the analysis is falsifiable against the
+    runtime, like the comm plans). *)
+
+open Dmll_ir
+open Exp
+module M = Dmll_machine.Machine
+
+(* ------------------------------------------------------------------ *)
+(* The term language                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** A transient per-loop buffer on some node's heap. *)
+type buffer =
+  | Broadcast_copy of Stencil.target
+      (** worker-side copy of a [Local] collection the loop consumes *)
+  | Replica of Stencil.target
+      (** whole-collection buffer: an [All] stencil replica, or the
+          worst-case paging window of an [Unknown] stencil *)
+  | Halo_buf of { target : Stencil.target; width : int }
+      (** bounded border exchange buffer of a shifted-interval stencil *)
+  | Partials of { gname : string; init : exp option }
+      (** master-side merge scratch: one reduction partial (or bucket
+          table, when [init] is [None]) per node *)
+
+type term = { buffer : buffer; note : string }
+
+let kind_to_string (t : term) : string =
+  match t.buffer with
+  | Broadcast_copy _ -> "broadcast-copy"
+  | Replica _ -> "replica"
+  | Halo_buf _ -> "halo"
+  | Partials _ -> "partials"
+
+let target_of_term (t : term) : Stencil.target option =
+  match t.buffer with
+  | Broadcast_copy tg | Replica tg | Halo_buf { target = tg; _ } -> Some tg
+  | Partials _ -> None
+
+type loop_plan = {
+  label : string;  (** binder name of the loop's result, or ["result"] *)
+  position : int;  (** spine position of the loop step *)
+  distributed : bool;
+  terms : term list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Liveness over the spine                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** One collection storage root's residency window, in spine positions:
+    resident for [bound_at <= pos < dies_at].  [dies_at] is the position
+    of the early-free marker when one exists, else the spine length
+    (live to the end).  [read = false] marks a dead array — storage no
+    step ever consumes beyond aliasing it (rule [W-DEAD-ARRAY]). *)
+type live = {
+  target : Stencil.target;
+  ty : Types.ty;
+  layout : Exp.layout;
+  bound_at : int;
+  last_use : int;
+  dies_at : int;
+  read : bool;
+  freed : bool;
+}
+
+let target_of_storage = function
+  | Exp.Ssym s -> Stencil.Tsym s
+  | Exp.Sinput n -> Stencil.Tinput n
+
+let liveness ~(layout_of : Stencil.target -> Exp.layout) (e : exp) : live list =
+  let spine_len = List.length (spine e) in
+  List.map
+    (fun (r : live_range) ->
+      let target = target_of_storage r.storage in
+      { target;
+        ty = r.ty;
+        layout = layout_of target;
+        bound_at = r.bound_at;
+        last_use = r.last_use;
+        dies_at = (match r.freed_at with Some f -> f | None -> spine_len);
+        read = r.read;
+        freed = r.freed_at <> None;
+      })
+    (collection_live_ranges e)
+
+(** [W-DEAD-ARRAY] warnings: distributed (partitioned) collection storage
+    the program binds but never reads.  Reported by [dmllc --lint]
+    outside debug mode too. *)
+let dead_array_diags ~(layout_of : Stencil.target -> Exp.layout) (e : exp) :
+    Diag.t list =
+  List.filter_map
+    (fun (lv : live) ->
+      if (not lv.read) && lv.layout = Exp.Partitioned then
+        Some
+          (Diag.warning ~rule:"W-DEAD-ARRAY"
+             "distributed array %s is bound but never read: it occupies a \
+              chunk on every node for nothing (the early-free pass reclaims \
+              it immediately; better, delete the binding)"
+             (Stencil.target_to_string lv.target))
+      else None)
+    (liveness ~layout_of e)
+
+(* ------------------------------------------------------------------ *)
+(* Plan derivation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** The per-loop transient-buffer plan under the given layouts. *)
+let of_loop ~(layout_of : Stencil.target -> Exp.layout) ?(label = "loop")
+    ~(position : int) (l : loop) : loop_plan =
+  (* as in {!Comm.of_loop}: only collections free in the loop occupy node
+     memory beyond the chunk itself; symbols bound inside are
+     per-iteration temporaries *)
+  let free = free_vars (Loop l) in
+  let stencils =
+    List.filter
+      (fun (t, _) ->
+        match t with
+        | Stencil.Tsym s -> Sym.Set.mem s free
+        | Stencil.Tinput _ -> true)
+      (Stencil.of_loop l)
+  in
+  let distributed =
+    List.exists (fun (t, _) -> layout_of t = Exp.Partitioned) stencils
+  in
+  if not distributed then { label; position; distributed = false; terms = [] }
+  else
+    let input_terms =
+      List.filter_map
+        (fun (t, s) ->
+          if layout_of t = Exp.Partitioned then
+            if not (Stencil.local_friendly s) then
+              Some
+                { buffer = Replica t;
+                  note =
+                    (match s with
+                    | Stencil.All -> "replica: All stencil (every node sweeps it)"
+                    | _ -> "worst case: data-dependent subscript pages it all");
+                }
+            else
+              let w = Stencil.halo_width s in
+              if w = 0 then None
+              else
+                Some
+                  { buffer = Halo_buf { target = t; width = w };
+                    note = Printf.sprintf "bounded halo buffer, width %d" w;
+                  }
+          else
+            Some
+              { buffer = Broadcast_copy t;
+                note = "local collection copied to every node";
+              })
+        stencils
+    in
+    let gen_terms =
+      List.filter_map
+        (fun g ->
+          match g with
+          | Collect _ -> None (* the output chunk is persistent, not scratch *)
+          | Reduce { init; _ } ->
+              Some
+                { buffer = Partials { gname = "reduce"; init = Some init };
+                  note = "master merges one partial per node";
+                }
+          | BucketCollect _ ->
+              Some
+                { buffer = Partials { gname = "bucketCollect"; init = None };
+                  note = "master merges per-node bucket tables";
+                }
+          | BucketReduce _ ->
+              Some
+                { buffer = Partials { gname = "bucketReduce"; init = None };
+                  note = "master merges per-node bucket tables";
+                })
+        l.gens
+    in
+    { label; position; distributed = true; terms = input_terms @ gen_terms }
+
+(** The whole-program footprint plan: liveness windows plus one transient
+    plan per spine-step multiloop (the loops the cluster executor
+    schedules; loops nested inside sequential steps run on the master
+    inside one step's evaluation). *)
+type program_plan = {
+  spine_len : int;
+  labels : string array;  (** binder name per position; last is ["result"] *)
+  lives : live list;
+  loops : loop_plan list;
+}
+
+let plan_of_program ~(layout_of : Stencil.target -> Exp.layout) (e : exp) :
+    program_plan =
+  let steps = spine e in
+  let labels =
+    Array.of_list
+      (List.map
+         (fun (binder, _) ->
+           match binder with Some s -> Sym.name s | None -> "result")
+         steps)
+  in
+  let loops =
+    List.concat
+      (List.mapi
+         (fun position (binder, rhs) ->
+           match rhs with
+           | Loop l ->
+               let label =
+                 match binder with Some s -> Sym.to_string s | None -> "result"
+               in
+               [ of_loop ~layout_of ~label ~position l ]
+           | _ -> [])
+         steps)
+  in
+  { spine_len = List.length steps;
+    labels;
+    lives = liveness ~layout_of e;
+    loops;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Byte resolution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Volumes resolve against {!Comm}'s resolver — statically (declared
+    types, registered input lengths) or live (runtime values). *)
+type resolver = Comm.resolver
+
+let term_bytes ~(nodes : int) (r : resolver) (t : term) : float =
+  match t.buffer with
+  | Broadcast_copy tg | Replica tg -> r.Comm.collection_bytes tg
+  | Halo_buf { target; width } ->
+      Comm.stencil_bytes ~nodes ~elem_bytes:(r.Comm.elem_bytes target)
+        ~collection_bytes:(r.Comm.collection_bytes target)
+        (Stencil.Interval_shifted width)
+  | Partials { init = Some i; _ } -> r.Comm.init_bytes i *. float_of_int nodes
+  | Partials { init = None; _ } ->
+      Comm.bucket_table_bytes *. float_of_int nodes
+
+(** Per-node resident share of one live collection: partitioned storage
+    holds [1/(nodes * chunk_factor)] of its bytes per node
+    ([chunk_factor > 1] models the admission oracle's sub-chunked
+    execution); [Local] storage is whole. *)
+let live_bytes ~(nodes : int) ?(chunk_factor = 1) (r : resolver) (lv : live) :
+    float =
+  let b = r.Comm.collection_bytes lv.target in
+  match lv.layout with
+  | Exp.Partitioned -> b /. float_of_int (Stdlib.max 1 (nodes * chunk_factor))
+  | Exp.Local -> b
+
+let live_at (p : program_plan) ~(position : int) : live list =
+  List.filter
+    (fun lv -> lv.bound_at <= position && position < lv.dies_at)
+    p.lives
+
+let persistent_bytes ~nodes ?chunk_factor (r : resolver) (p : program_plan)
+    ~(position : int) : float =
+  List.fold_left
+    (fun acc lv -> acc +. live_bytes ~nodes ?chunk_factor r lv)
+    0.0
+    (live_at p ~position)
+
+let transient_bytes ~nodes (r : resolver) (p : program_plan)
+    ~(position : int) : float =
+  match List.find_opt (fun lp -> lp.position = position) p.loops with
+  | Some lp ->
+      List.fold_left (fun acc t -> acc +. term_bytes ~nodes r t) 0.0 lp.terms
+  | None -> 0.0
+
+(* The serialized snapshot image of the live set (checkpointing charges
+   full collection bytes: the image is not chunk-sharded on the writer). *)
+let checkpoint_bytes (r : resolver) (p : program_plan) ~(position : int) :
+    float =
+  List.fold_left
+    (fun acc (lv : live) -> acc +. r.Comm.collection_bytes lv.target)
+    0.0
+    (live_at p ~position)
+
+(** Predicted per-node resident bytes at one spine position: live
+    persistent shares + the position's transient buffers + (when
+    [checkpointed]) the snapshot image. *)
+let resident_bytes ~(nodes : int) ?(chunk_factor = 1) ?(checkpointed = false)
+    (r : resolver) (p : program_plan) ~(position : int) : float =
+  persistent_bytes ~nodes ~chunk_factor r p ~position
+  +. transient_bytes ~nodes r p ~position
+  +. (if checkpointed then checkpoint_bytes r p ~position else 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Program summary                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  position : int;
+  label : string;
+  plan : loop_plan option;  (** [None] for non-loop spine steps *)
+  persistent : float;
+  transient : float;
+  resident : float;
+  resolved : (term * float) list;
+}
+
+type summary = {
+  nodes : int;
+  plan : program_plan;
+  rows : row list;  (** one per spine position *)
+  lives : (live * float) list;  (** with per-node resident bytes *)
+  peak_bytes : float;
+  peak_label : string;
+  peak_position : int;
+  peak_fixed_bytes : float;
+      (** at the peak: buffers + [Local] residents — what smaller
+          chunking cannot shrink *)
+  peak_divisible_bytes : float;
+      (** at the peak: partitioned chunk shares — shrinks as [1/k] under
+          sub-chunked execution *)
+  budget_bytes : float;
+  over_budget : bool;
+  checkpointed : bool;
+}
+
+let summarize ?input_lens ?default_len ?(machine = M.ec2_cluster) ?budget_gb
+    ?(checkpointed = false) ~(layout_of : Stencil.target -> Exp.layout)
+    (e : exp) : summary =
+  let r = Comm.static_resolver ?input_lens ?default_len e in
+  let nodes = machine.M.nodes in
+  let p = plan_of_program ~layout_of e in
+  let rows =
+    List.init p.spine_len (fun position ->
+        let plan =
+          List.find_opt (fun (lp : loop_plan) -> lp.position = position) p.loops
+        in
+        let persistent = persistent_bytes ~nodes r p ~position in
+        let transient = transient_bytes ~nodes r p ~position in
+        let ck = if checkpointed then checkpoint_bytes r p ~position else 0.0 in
+        let resolved =
+          match plan with
+          | Some lp -> List.map (fun t -> (t, term_bytes ~nodes r t)) lp.terms
+          | None -> []
+        in
+        { position;
+          label = p.labels.(position);
+          plan;
+          persistent;
+          transient;
+          resident = persistent +. transient +. ck;
+          resolved;
+        })
+  in
+  let peak =
+    List.fold_left
+      (fun best row ->
+        match best with
+        | Some b when b.resident >= row.resident -> best
+        | _ -> Some row)
+      None rows
+  in
+  let peak_bytes, peak_label, peak_position =
+    match peak with
+    | Some row -> (row.resident, row.label, row.position)
+    | None -> (0.0, "empty", 0)
+  in
+  let peak_divisible_bytes =
+    List.fold_left
+      (fun acc (lv : live) ->
+        if lv.layout = Exp.Partitioned then
+          acc +. live_bytes ~nodes r lv
+        else acc)
+      0.0
+      (live_at p ~position:peak_position)
+  in
+  let budget_bytes =
+    (match budget_gb with Some g -> g | None -> machine.M.node.M.mem_gb) *. 1e9
+  in
+  { nodes;
+    plan = p;
+    rows;
+    lives = List.map (fun lv -> (lv, live_bytes ~nodes r lv)) p.lives;
+    peak_bytes;
+    peak_label;
+    peak_position;
+    peak_fixed_bytes = peak_bytes -. peak_divisible_bytes;
+    peak_divisible_bytes;
+    budget_bytes;
+    over_budget = peak_bytes > budget_bytes;
+    checkpointed;
+  }
+
+(** Predicted peak resident bytes per node — the scalar the admission
+    oracle and the early-free acceptance tests compare. *)
+let static_peak ?input_lens ?default_len ?machine ?budget_gb ?checkpointed
+    ~layout_of (e : exp) : float =
+  (summarize ?input_lens ?default_len ?machine ?budget_gb ?checkpointed
+     ~layout_of e)
+    .peak_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** The pre-execution admission decision (DESIGN.md §13): when the static
+    peak exceeds the node budget, either process each distributed loop in
+    [k] sub-chunks (the partitioned shares shrink to [1/k], at the price
+    of [k-1] extra loop launches) or accept the plan and spill the
+    overshoot to disk ahead of time.  Chunking cannot help when the fixed
+    part (broadcast copies, replicas, partials, [Local] residents)
+    already exceeds the budget. *)
+type admission = Admit | Chunk_smaller of int | Spill_ahead
+
+(** Beyond this sub-chunk factor the launch overhead dwarfs the memory
+    saved — spill instead. *)
+let max_chunk_factor = 64
+
+let admit (s : summary) : admission =
+  if s.peak_bytes <= s.budget_bytes then Admit
+  else
+    let headroom = s.budget_bytes -. s.peak_fixed_bytes in
+    if headroom <= 0.0 then Spill_ahead
+    else
+      let k = int_of_float (ceil (s.peak_divisible_bytes /. headroom)) in
+      if k <= 1 then Admit
+      else if k > max_chunk_factor then Spill_ahead
+      else Chunk_smaller k
+
+let admission_to_string = function
+  | Admit -> "admit"
+  | Chunk_smaller k -> Printf.sprintf "chunk:%d" k
+  | Spill_ahead -> "spill-ahead"
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let term_formula (t : term) : string =
+  match t.buffer with
+  | Broadcast_copy tg | Replica tg ->
+      Printf.sprintf "|%s| * elem" (Stencil.target_to_string tg)
+  | Halo_buf { target; width } ->
+      Printf.sprintf "min(%d * nodes * elem, |%s| * elem)" width
+        (Stencil.target_to_string target)
+  | Partials { gname; init = Some _ } ->
+      Printf.sprintf "sizeof(%s init) * nodes" gname
+  | Partials { gname; init = None } ->
+      Printf.sprintf "%.0fB table * nodes (%s)" Comm.bucket_table_bytes gname
+
+let pp_summary fmt (s : summary) =
+  Fmt.pf fmt "mem plan (%d nodes, budget %s):@." s.nodes
+    (Comm.fmt_bytes s.budget_bytes);
+  Fmt.pf fmt "  liveness (per-node resident shares):@.";
+  List.iter
+    (fun ((lv : live), b) ->
+      Fmt.pf fmt "    %-24s %-12s pos %d..%s %s%s~%s@."
+        (Stencil.target_to_string lv.target)
+        (match lv.layout with
+        | Exp.Partitioned -> "partitioned"
+        | Exp.Local -> "local")
+        lv.bound_at
+        (if lv.freed then Printf.sprintf "%d (freed)" (lv.dies_at - 1)
+         else "end")
+        (if lv.read then "" else "DEAD ")
+        ""
+        (Comm.fmt_bytes b))
+    s.lives;
+  Fmt.pf fmt "  per-position residents:@.";
+  List.iter
+    (fun row ->
+      Fmt.pf fmt "    pos %-3d %-14s %-12s persistent %s + buffers %s = %s%s@."
+        row.position row.label
+        (match row.plan with
+        | Some lp when lp.distributed -> "distributed"
+        | Some _ -> "master-only"
+        | None -> "sequential")
+        (Comm.fmt_bytes row.persistent)
+        (Comm.fmt_bytes row.transient)
+        (Comm.fmt_bytes row.resident)
+        (if row.position = s.peak_position then "   <- peak" else "");
+      List.iter
+        (fun ((t : term), b) ->
+          Fmt.pf fmt "      %-14s %-10s %-42s ~%s  (%s)@." (kind_to_string t)
+            (match target_of_term t with
+            | Some tg -> Stencil.target_to_string tg
+            | None -> "-")
+            (term_formula t) (Comm.fmt_bytes b) t.note)
+        row.resolved)
+    s.rows;
+  Fmt.pf fmt "  peak: %s at %s (pos %d) — %s budget %s@."
+    (Comm.fmt_bytes s.peak_bytes)
+    s.peak_label s.peak_position
+    (if s.over_budget then "OVER" else "under")
+    (Comm.fmt_bytes s.budget_bytes)
+
+let summary_to_json ~(app : string) ~(admission : admission)
+    ?(peak_no_free : float option) (s : summary) : string =
+  let esc = Comm.json_escape in
+  let live_json ((lv : live), b) =
+    Printf.sprintf
+      "{\"target\":\"%s\",\"layout\":\"%s\",\"bound_at\":%d,\"last_use\":%d,\"freed_at\":%s,\"dead\":%b,\"resident_bytes\":%.0f}"
+      (esc (Stencil.target_to_string lv.target))
+      (match lv.layout with
+      | Exp.Partitioned -> "partitioned"
+      | Exp.Local -> "local")
+      lv.bound_at lv.last_use
+      (if lv.freed then string_of_int (lv.dies_at) else "null")
+      (not lv.read) b
+  in
+  let term_json ((t : term), b) =
+    Printf.sprintf
+      "{\"kind\":\"%s\",\"target\":%s,\"formula\":\"%s\",\"bytes\":%.0f,\"note\":\"%s\"}"
+      (kind_to_string t)
+      (match target_of_term t with
+      | Some tg -> Printf.sprintf "\"%s\"" (esc (Stencil.target_to_string tg))
+      | None -> "null")
+      (esc (term_formula t))
+      b (esc t.note)
+  in
+  let row_json row =
+    Printf.sprintf
+      "{\"position\":%d,\"label\":\"%s\",\"distributed\":%s,\"persistent_bytes\":%.0f,\"transient_bytes\":%.0f,\"resident_bytes\":%.0f,\"terms\":[%s]}"
+      row.position (esc row.label)
+      (match row.plan with
+      | Some lp -> string_of_bool lp.distributed
+      | None -> "null")
+      row.persistent row.transient row.resident
+      (String.concat "," (List.map term_json row.resolved))
+  in
+  Printf.sprintf
+    "{\"app\":\"%s\",\"nodes\":%d,\"budget_bytes\":%.0f,\"liveness\":[%s],\"residents\":[%s],\"peak_bytes\":%.0f,\"peak_loop\":\"%s\",%s\"over_budget\":%b,\"admission\":\"%s\"}"
+    (esc app) s.nodes s.budget_bytes
+    (String.concat "," (List.map live_json s.lives))
+    (String.concat "," (List.map row_json s.rows))
+    s.peak_bytes (esc s.peak_label)
+    (match peak_no_free with
+    | Some b -> Printf.sprintf "\"peak_no_free_bytes\":%.0f," b
+    | None -> "")
+    s.over_budget
+    (admission_to_string admission)
+
+(* ------------------------------------------------------------------ *)
+(* Prediction-vs-measurement contract                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Is runtime cross-validation armed?  Off by default; [Dmll.Config]
+    arms it alongside the other debug-mode contracts ([DMLL_DEBUG=1] via
+    [Dmll.Config.of_env]); tests flip it directly. *)
+let validate_enabled = ref false
+
+(** Multiplicative slack: value boxing the static element sizes cannot
+    see, and chunk-boundary rounding. *)
+let slack = 1.25
+
+(** Additive floor, so scalar-only residents with fixed-size control
+    state never trip the check. *)
+let slack_floor_bytes = 4096.0
+
+(** Assert [measured <= slack * predicted + floor].  Raises
+    {!Diag.Failed} with rule [M-MEM-OVERRUN] otherwise: the footprint
+    plan missed a buffer the runtime actually holds. *)
+let check_measured ~(site : string) ~(label : string) ~(predicted : float)
+    ~(measured : float) : unit =
+  if measured > (slack *. predicted) +. slack_floor_bytes then
+    raise
+      (Diag.Failed
+         { stage = site;
+           diags =
+             [ Diag.error ~rule:"M-MEM-OVERRUN"
+                 "%s: measured resident %s exceeds predicted %s (slack %.2fx \
+                  + %.0fB): the footprint plan is missing a buffer"
+                 label (Comm.fmt_bytes measured) (Comm.fmt_bytes predicted)
+                 slack slack_floor_bytes;
+             ];
+         })

@@ -1,0 +1,183 @@
+(** Static memory-footprint & liveness analysis (DESIGN.md §13).
+
+    Predicts, per multiloop and per spine position, the symbolic peak
+    resident bytes a node must hold: live collection chunk shares
+    (liveness from {!Dmll_ir.Exp.collection_live_ranges}, shortened by
+    {!Dmll_opt.Free_insertion}'s early-free markers), transient
+    broadcast/replica/halo/partials buffers (reusing {!Comm}'s cost
+    terms), and optionally the checkpoint snapshot image.  The peak
+    drives the pre-execution admission decision ({!admit}) and is
+    cross-validated against the cluster simulator's measured residents
+    under rule [M-MEM-OVERRUN]. *)
+
+open Dmll_ir
+module M = Dmll_machine.Machine
+
+(** {1 Term language} *)
+
+type buffer =
+  | Broadcast_copy of Stencil.target
+      (** worker-side copy of a [Local] collection the loop consumes *)
+  | Replica of Stencil.target
+      (** whole-collection buffer ([All] or data-dependent stencil) *)
+  | Halo_buf of { target : Stencil.target; width : int }
+      (** bounded border-exchange buffer of a shifted interval *)
+  | Partials of { gname : string; init : Exp.exp option }
+      (** master-side merge scratch, one partial/table per node *)
+
+type term = { buffer : buffer; note : string }
+
+val kind_to_string : term -> string
+val target_of_term : term -> Stencil.target option
+val term_formula : term -> string
+
+type loop_plan = {
+  label : string;
+  position : int;
+  distributed : bool;
+  terms : term list;
+}
+
+(** {1 Liveness} *)
+
+(** A collection storage root's residency window over the let-spine:
+    resident for [bound_at <= pos < dies_at]. *)
+type live = {
+  target : Stencil.target;
+  ty : Types.ty;
+  layout : Exp.layout;
+  bound_at : int;
+  last_use : int;
+  dies_at : int;
+  read : bool;  (** [false] = dead array, never consumed *)
+  freed : bool;  (** an early-free marker ends its life *)
+}
+
+val liveness : layout_of:(Stencil.target -> Exp.layout) -> Exp.exp -> live list
+
+(** [W-DEAD-ARRAY]: partitioned storage bound but never read. *)
+val dead_array_diags :
+  layout_of:(Stencil.target -> Exp.layout) -> Exp.exp -> Diag.t list
+
+(** {1 Plan derivation} *)
+
+val of_loop :
+  layout_of:(Stencil.target -> Exp.layout) ->
+  ?label:string ->
+  position:int ->
+  Exp.loop ->
+  loop_plan
+
+type program_plan = {
+  spine_len : int;
+  labels : string array;
+  lives : live list;
+  loops : loop_plan list;  (** one per spine-step multiloop, spine order *)
+}
+
+val plan_of_program :
+  layout_of:(Stencil.target -> Exp.layout) -> Exp.exp -> program_plan
+
+(** {1 Byte resolution} *)
+
+type resolver = Comm.resolver
+
+val term_bytes : nodes:int -> resolver -> term -> float
+
+val live_bytes : nodes:int -> ?chunk_factor:int -> resolver -> live -> float
+
+val live_at : program_plan -> position:int -> live list
+
+val persistent_bytes :
+  nodes:int -> ?chunk_factor:int -> resolver -> program_plan ->
+  position:int -> float
+
+val transient_bytes :
+  nodes:int -> resolver -> program_plan -> position:int -> float
+
+(** Predicted per-node resident bytes at one spine position. *)
+val resident_bytes :
+  nodes:int ->
+  ?chunk_factor:int ->
+  ?checkpointed:bool ->
+  resolver ->
+  program_plan ->
+  position:int ->
+  float
+
+(** {1 Program summary} *)
+
+type row = {
+  position : int;
+  label : string;
+  plan : loop_plan option;
+  persistent : float;
+  transient : float;
+  resident : float;
+  resolved : (term * float) list;
+}
+
+type summary = {
+  nodes : int;
+  plan : program_plan;
+  rows : row list;
+  lives : (live * float) list;
+  peak_bytes : float;
+  peak_label : string;
+  peak_position : int;
+  peak_fixed_bytes : float;
+  peak_divisible_bytes : float;
+  budget_bytes : float;
+  over_budget : bool;
+  checkpointed : bool;
+}
+
+val summarize :
+  ?input_lens:(string * int) list ->
+  ?default_len:int ->
+  ?machine:M.cluster ->
+  ?budget_gb:float ->
+  ?checkpointed:bool ->
+  layout_of:(Stencil.target -> Exp.layout) ->
+  Exp.exp ->
+  summary
+
+(** Predicted peak resident bytes per node. *)
+val static_peak :
+  ?input_lens:(string * int) list ->
+  ?default_len:int ->
+  ?machine:M.cluster ->
+  ?budget_gb:float ->
+  ?checkpointed:bool ->
+  layout_of:(Stencil.target -> Exp.layout) ->
+  Exp.exp ->
+  float
+
+(** {1 Admission} *)
+
+(** Pre-execution decision when the static peak exceeds the node budget:
+    sub-chunk the distributed loops by [k] ([Chunk_smaller k]) or accept
+    and spill the overshoot ahead of time ([Spill_ahead]). *)
+type admission = Admit | Chunk_smaller of int | Spill_ahead
+
+val max_chunk_factor : int
+val admit : summary -> admission
+val admission_to_string : admission -> string
+
+(** {1 Rendering} *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val summary_to_json :
+  app:string -> admission:admission -> ?peak_no_free:float -> summary -> string
+
+(** {1 Prediction-vs-measurement contract (rule [M-MEM-OVERRUN])} *)
+
+val validate_enabled : bool ref
+val slack : float
+val slack_floor_bytes : float
+
+(** Assert [measured <= slack * predicted + floor]; raises {!Diag.Failed}
+    with rule [M-MEM-OVERRUN] otherwise. *)
+val check_measured :
+  site:string -> label:string -> predicted:float -> measured:float -> unit

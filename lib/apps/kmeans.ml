@@ -42,6 +42,63 @@ let program ~rows ~cols ~k () : Dmll_ir.Exp.exp =
   in
   reveal body
 
+(** [iters] unrolled Lloyd iterations in one program.  The first step
+    reads the flat [clusters] input like {!program}; every later step
+    reads the previous step's result (an array of [k] row-vectors), so
+    each intermediate centroid set — and its assignment histogram — is
+    dead as soon as the next step finishes.  The liveness-driven
+    early-free pass (DESIGN.md §13) reclaims them; without it they all
+    stay resident to the end of the pipeline. *)
+let program_iterated ~rows ~cols ~k ?(iters = 3) () : Dmll_ir.Exp.exp =
+  let open Dmll_dsl.Dsl in
+  let m = Mat.input ~layout:Dmll_ir.Exp.Partitioned "matrix" ~rows:(int rows) ~cols:(int cols) in
+  let c0 = Mat.input "clusters" ~rows:(int k) ~cols:(int cols) in
+  let average assigned =
+    tabulate (int k) (fun kk ->
+        let$ sum =
+          reduce_range
+            ~cond:(fun j -> get assigned j = kk)
+            (Mat.rows m)
+            ~init:(vzero (Mat.cols m))
+            (fun j -> Mat.row m j)
+            vadd
+        in
+        let$ cnt =
+          count_range_if (Mat.rows m) (fun j -> get assigned j = kk)
+        in
+        map sum (fun s -> if_ (cnt > int 0) (s /. to_float cnt) s))
+  in
+  let step_mat c =
+    let$ assigned =
+      tabulate (Mat.rows m) (fun i ->
+          min_index (int k) (fun kk -> Mat.dist2_rows m i c kk))
+    in
+    average assigned
+  in
+  let step_rows cv =
+    let$ assigned =
+      tabulate (Mat.rows m) (fun i ->
+          min_index (int k) (fun kk ->
+              sum_range (int cols) (fun j ->
+                  let d = Mat.get m i j -. get (get cv kk) j in
+                  d *. d)))
+    in
+    average assigned
+  in
+  let rec go cv i =
+    if Stdlib.( >= ) i iters then step_rows cv
+    else
+      let$ c = step_rows cv in
+      go c (Stdlib.( + ) i 1)
+  in
+  let body =
+    if Stdlib.( <= ) iters 1 then step_mat c0
+    else
+      let$ c1 = step_mat c0 in
+      go c1 2
+  in
+  reveal body
+
 (** The same iteration written the {e distributed-memory} way (Figure 1's
     second half): group the rows by their nearest centroid, then average
     each group.  Section 3.2's claim — "after transformation and fusion

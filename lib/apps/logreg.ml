@@ -33,6 +33,31 @@ let program ~rows ~cols ~alpha () : Dmll_ir.Exp.exp =
   in
   reveal body
 
+(** [iters] unrolled gradient-descent steps in one program: each theta
+    vector feeds only the next step and then dies — the early-free pass
+    (DESIGN.md §13) reclaims every intermediate (and its fused gradient
+    scratch) as the pipeline advances. *)
+let program_iterated ~rows ~cols ~alpha ?(iters = 3) () : Dmll_ir.Exp.exp =
+  let open Dmll_dsl.Dsl in
+  let x = Mat.input ~layout:Dmll_ir.Exp.Partitioned "matrix" ~rows:(int rows) ~cols:(int cols) in
+  let y = input_farr ~layout:Dmll_ir.Exp.Partitioned "y" in
+  let theta0 = input_farr "theta" in
+  let step theta =
+    tabulate (int cols) (fun j ->
+        let gradient =
+          sum_range (int rows) (fun i ->
+              Mat.get x i j *. (get y i -. sigmoid (Mat.dot_row x i theta)))
+        in
+        get theta j +. (float alpha *. gradient))
+  in
+  let rec go theta i =
+    if Stdlib.( >= ) i iters then step theta
+    else
+      let$ t = step theta in
+      go t (Stdlib.( + ) i 1)
+  in
+  reveal (go theta0 1)
+
 let inputs (d : Gaussian.dataset) ~(theta : float array) : (string * V.t) list =
   [ Gaussian.matrix_input d;
     ("y", V.of_float_array (Gaussian.binary_labels d));

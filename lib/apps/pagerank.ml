@@ -37,6 +37,38 @@ let program_pull ~nv () : Dmll_ir.Exp.exp =
   in
   reveal body
 
+(** [iters] unrolled pull iterations in one program: rank vector [i]
+    feeds only iteration [i+1] and then dies, so the liveness-driven
+    early-free pass (DESIGN.md §13) reclaims each one as soon as its
+    successor is computed — without it, every intermediate vector stays
+    resident to the end of the pipeline. *)
+let program_pull_iterated ~nv ?(iters = 3) () : Dmll_ir.Exp.exp =
+  let base_v = (1.0 -. damping) /. float_of_int nv in
+  let open Dmll_dsl.Dsl in
+  let in_offsets = input_iarr "g.in_offsets" in
+  let in_sources = input_iarr ~layout:Dmll_ir.Exp.Partitioned "g.in_sources" in
+  let out_deg = input_iarr "g.out_deg" in
+  let ranks0 = input_farr ~layout:Dmll_ir.Exp.Partitioned "ranks" in
+  let base = float base_v in
+  let step ranks =
+    tabulate (int nv) (fun v ->
+        let acc =
+          sum_range
+            (get in_offsets (v + int 1) - get in_offsets v)
+            (fun e ->
+              let$ u = get in_sources (get in_offsets v + e) in
+              get ranks u /. to_float (imax (get out_deg u) (int 1)))
+        in
+        base +. (float damping *. acc))
+  in
+  let rec go ranks i =
+    if Stdlib.( >= ) i iters then step ranks
+    else
+      let$ r = step ranks in
+      go r (Stdlib.( + ) i 1)
+  in
+  reveal (go ranks0 1)
+
 (** One push-model iteration: contributions shuffled by target vertex. *)
 let program_push ~nv () : Dmll_ir.Exp.exp =
   let base_v = (1.0 -. damping) /. float_of_int nv in

@@ -102,7 +102,8 @@ let with_debug_checks (debug : bool) (f : unit -> 'a) : 'a =
 let () =
   if debug_default then begin
     Runtime.Fault.post_replan_check := Some verify_stage;
-    Analysis.Comm.validate_enabled := true
+    Analysis.Comm.validate_enabled := true;
+    Analysis.Mem.validate_enabled := true
   end
 
 (* Per-run arming of the same runtime validations, for [execute ~debug]
@@ -111,12 +112,15 @@ let with_run_checks (debug : bool) (f : unit -> 'a) : 'a =
   if not debug then f ()
   else begin
     let saved_comm = !Analysis.Comm.validate_enabled in
+    let saved_mem = !Analysis.Mem.validate_enabled in
     let saved_replan = !Runtime.Fault.post_replan_check in
     Analysis.Comm.validate_enabled := true;
+    Analysis.Mem.validate_enabled := true;
     Runtime.Fault.post_replan_check := Some verify_stage;
     Fun.protect
       ~finally:(fun () ->
         Analysis.Comm.validate_enabled := saved_comm;
+        Analysis.Mem.validate_enabled := saved_mem;
         Runtime.Fault.post_replan_check := saved_replan)
       f
   end
@@ -168,12 +172,27 @@ let compile_with (cfg : Config.t) (source : Exp.exp) : compiled =
           generic)
   in
   let after_partition = partition.Analysis.Partition.program in
-  (* 3. target-specific lowering *)
+  (* 3. liveness-driven early-free (DESIGN.md §13): on cluster targets,
+     insert a free marker after the last use of every let-bound
+     intermediate collection, so the memory-footprint analysis — and the
+     executor's actual resident set — stop charging it for the rest of
+     the pipeline.  Semantics-preserving by construction (the marker sits
+     strictly after the last reachable mention). *)
+  let after_free, freed =
+    match target with
+    | Cluster _ ->
+        let fr =
+          stage "free-insertion" (fun () -> Opt.Free_insertion.run after_partition)
+        in
+        (fr.Opt.Free_insertion.program, fr.Opt.Free_insertion.freed <> [])
+    | _ -> (after_partition, false)
+  in
+  (* 4. target-specific lowering *)
   let final, gpu_lowered =
     match target with
     | Gpu opts when opts.Runtime.Sim_gpu.row_to_column ->
-        stage "gpu-lower" (fun () -> Backend.Gpu.lower after_partition)
-    | _ -> (after_partition, false)
+        stage "gpu-lower" (fun () -> Backend.Gpu.lower after_free)
+    | _ -> (after_free, false)
   in
   if debug then stage "verify-final" (fun () -> verify_stage "final" final);
   { source;
@@ -183,6 +202,7 @@ let compile_with (cfg : Config.t) (source : Exp.exp) : compiled =
     partition;
     applied =
       r.Opt.Pipeline.applied @ partition.Analysis.Partition.rewrites_applied
+      @ (if freed then [ "free-insertion" ] else [])
       @ (if gpu_lowered then [ "row-to-column" ] else []);
     gpu_lowered;
   }
@@ -353,5 +373,10 @@ let warnings (c : compiled) : string list =
     findings on the fully optimized IR plus the partitioning analysis's
     warnings, most severe first.  Backs [dmllc --lint]. *)
 let lint (c : compiled) : Analysis.Diag.t list =
+  let layout_of t =
+    Analysis.Partition.layout_of t c.partition.Analysis.Partition.layouts
+  in
   Analysis.Diag.sort
-    (Analysis.Verify.run c.final @ Analysis.Partition.diags c.partition)
+    (Analysis.Verify.run c.final
+    @ Analysis.Partition.diags c.partition
+    @ Analysis.Mem.dead_array_diags ~layout_of c.final)

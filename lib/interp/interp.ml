@@ -35,7 +35,11 @@ let () =
      without dereferencing collection data (paper §4.3). *)
   register_extern "size_hint" (function
     | [ v ] -> Value.Vint (Value.length v)
-    | _ -> error "size_hint: expected one argument")
+    | _ -> error "size_hint: expected one argument");
+  (* the optimizer's early-free marker (DESIGN.md §13): a no-op here — in
+     executors that track a value environment, reaching the marker drops
+     the freed binding, shrinking the resident set *)
+  register_extern Exp.free_ename (fun _ -> Value.Vunit)
 
 (* ------------------------------------------------------------------ *)
 (* Primitive evaluation                                                *)

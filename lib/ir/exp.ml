@@ -393,3 +393,168 @@ let loops_of e =
 
 (** Is [e] free of multiloops (i.e. straight-line scalar code)? *)
 let loop_free e = not (exists (function Loop _ -> true | _ -> false) e)
+
+(* ------------------------------------------------------------------ *)
+(* Let-spine liveness (last-use metadata)                              *)
+(* ------------------------------------------------------------------ *)
+
+(** The early-free marker: a whitelisted, effect-free extern the optimizer
+    inserts right after a collection's last use
+    ([Dmll_opt.Free_insertion]).  Whitelisting keeps it invisible to the
+    sequential-deref and write-effect analyses; executors that track a
+    value environment drop the freed binding when they reach the marker,
+    which is what makes the memory-footprint analysis's predicted peak
+    shrink {e and} the simulated resident set follow it (DESIGN.md §13). *)
+let free_ename = "dmll.free"
+
+let free_array (s : Sym.t) : exp =
+  Extern { ename = free_ename; eargs = [ Var s ]; ety = Types.Unit; whitelisted = true }
+
+(** [Some s] when [e] is the early-free marker for [s]. *)
+let freed_sym (e : exp) : Sym.t option =
+  match e with
+  | Extern { ename; eargs = [ Var s ]; _ } when String.equal ename free_ename ->
+      Some s
+  | _ -> None
+
+(** The outer let-spine as (binder, rhs) steps; the final expression is the
+    last step, with no binder.  Positions index this list. *)
+let spine (e : exp) : (Sym.t option * exp) list =
+  let rec go acc = function
+    | Let (s, rhs, body) -> go ((Some s, rhs) :: acc) body
+    | e -> List.rev ((None, e) :: acc)
+  in
+  go [] e
+
+(** Does this type hold collection storage anywhere (directly, or inside a
+    fusion-group tuple / struct)? *)
+let rec owns_collection = function
+  | Types.Arr _ | Types.Map _ -> true
+  | Types.Tup ts -> List.exists owns_collection ts
+  | Types.Struct (_, fs) -> List.exists (fun (_, t) -> owns_collection t) fs
+  | _ -> false
+
+(** A storage root: a spine binding that owns fresh collection storage, or
+    a named input.  Bindings whose right-hand side merely {e aliases}
+    existing storage — a [Var], an [Input], or a [Proj]/[Field] chain over
+    one (how fusion groups hand their components to later pipeline
+    positions) — share their root's storage and never own any. *)
+type storage = Ssym of Sym.t | Sinput of string
+
+let storage_to_string = function Ssym s -> Sym.to_string s | Sinput n -> n
+
+let storage_equal a b =
+  match (a, b) with
+  | Ssym x, Ssym y -> Sym.equal x y
+  | Sinput x, Sinput y -> String.equal x y
+  | _ -> false
+
+(** Liveness of one storage root over the spine, 0-based positions.
+    The storage is resident from [bound_at] through [freed_at - 1] when an
+    early-free marker exists, else to the end of the program.  [last_use]
+    is the last position whose step mentions the root through {e any}
+    alias (so inserting a free right after it is always safe); [read] is
+    false when no step ever consumes the collection beyond aliasing it —
+    a dead array (rule [W-DEAD-ARRAY]). *)
+type live_range = {
+  storage : storage;
+  ty : Types.ty;
+  bound_at : int;
+  last_use : int;
+  read : bool;
+  freed_at : int option;
+}
+
+(* The alias chain [rhs] follows, if it is a pure alias: Var / Input,
+   possibly under Proj / Field projections. *)
+let rec alias_base (e : exp) : [ `Sym of Sym.t | `Input of string ] option =
+  match e with
+  | Var s -> Some (`Sym s)
+  | Input (n, _, _) -> Some (`Input n)
+  | Proj (e, _) | Field (e, _) -> alias_base e
+  | _ -> None
+
+(** Live ranges of every collection-owning storage root of the spine
+    (inputs are resident from position 0 — they are scattered before the
+    first step runs). *)
+let collection_live_ranges (e : exp) : live_range list =
+  let steps = spine e in
+  (* root resolution for spine symbols; aliases point at their root *)
+  let roots : storage Sym.Map.t ref = ref Sym.Map.empty in
+  let ranges : live_range list ref = ref [] in
+  let find st = List.find_opt (fun r -> storage_equal r.storage st) !ranges in
+  let update st f =
+    match find st with
+    | None -> ()
+    | Some r ->
+        ranges :=
+          List.map (fun r' -> if storage_equal r'.storage st then f r else r') !ranges
+  in
+  let add_range storage ty bound_at =
+    if find storage = None && owns_collection ty then
+      ranges :=
+        !ranges
+        @ [ { storage; ty; bound_at; last_use = bound_at; read = false;
+              freed_at = None } ]
+  in
+  let input_root n ty =
+    add_range (Sinput n) ty 0;
+    Sinput n
+  in
+  let use ?(read = true) pos st =
+    update st (fun r ->
+        { r with last_use = Stdlib.max r.last_use pos; read = r.read || read })
+  in
+  (* every collection storage an expression mentions: free roots via the
+     alias map, plus Input nodes appearing anywhere inside *)
+  let mentions pos rhs =
+    Sym.Set.iter
+      (fun v ->
+        match Sym.Map.find_opt v !roots with
+        | Some st -> use pos st
+        | None -> ())
+      (free_vars rhs);
+    ignore
+      (fold
+         (fun () n ->
+           match n with
+           | Input (nm, ty, _) when owns_collection ty ->
+               use pos (input_root nm ty)
+           | _ -> ())
+         () rhs)
+  in
+  List.iteri
+    (fun pos (binder, rhs) ->
+      match freed_sym rhs with
+      | Some x -> (
+          (* an existing marker: record the free, not a use *)
+          match Sym.Map.find_opt x !roots with
+          | Some st -> update st (fun r -> { r with freed_at = Some pos })
+          | None -> ())
+      | None -> (
+          match binder with
+          | Some s -> (
+              match alias_base rhs with
+              | Some (`Sym s') when owns_collection (Sym.ty s) -> (
+                  (* alias binding: shares the root's storage; the binding
+                     itself must keep the root alive (the projection reads
+                     the root value when it evaluates) but is not a
+                     consuming read *)
+                  match Sym.Map.find_opt s' !roots with
+                  | Some st ->
+                      roots := Sym.Map.add s st !roots;
+                      use ~read:false pos st
+                  | None -> mentions pos rhs)
+              | Some (`Input n) when owns_collection (Sym.ty s) ->
+                  let st = input_root n (Sym.ty s) in
+                  roots := Sym.Map.add s st !roots;
+                  use ~read:false pos st
+              | _ ->
+                  if owns_collection (Sym.ty s) then begin
+                    add_range (Ssym s) (Sym.ty s) pos;
+                    roots := Sym.Map.add s (Ssym s) !roots
+                  end;
+                  mentions pos rhs)
+          | None -> mentions pos rhs))
+    steps;
+  !ranges

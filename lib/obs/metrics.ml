@@ -50,6 +50,14 @@ let add_bytes (t : t) (key : string) (b : float) : unit =
         Hashtbl.replace t.bytes key
           (b +. Option.value ~default:0.0 (Hashtbl.find_opt t.bytes key)))
 
+(** Raise byte ledger [key] to [b] if [b] exceeds its current value — a
+    high-water-mark gauge (e.g. [peak_resident_bytes], the cluster
+    executor's per-node resident-set peak, DESIGN.md §13). *)
+let record_max (t : t) (key : string) (b : float) : unit =
+  locked t (fun () ->
+      let cur = Option.value ~default:0.0 (Hashtbl.find_opt t.bytes key) in
+      if b > cur then Hashtbl.replace t.bytes key b)
+
 (** Current value of counter [key] (0 when never bumped). *)
 let count (t : t) (key : string) : int =
   locked t (fun () -> Option.value ~default:0 (Hashtbl.find_opt t.counts key))

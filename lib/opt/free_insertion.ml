@@ -1,0 +1,57 @@
+(** Liveness-driven early-free insertion (DESIGN.md §13).
+
+    The memory-footprint analysis ({!Dmll_analysis.Mem}) models a
+    collection as resident from its binding to its free — or, absent a
+    free, to the end of the program.  This pass computes last uses over
+    the let-spine ({!Dmll_ir.Exp.collection_live_ranges}, which follows
+    aliases through fusion-group tuples) and inserts the early-free
+    marker ({!Dmll_ir.Exp.free_array}) right after the last step that can
+    reach each let-bound collection, so intermediates stop being charged
+    against the node budget for the rest of the pipeline.
+
+    Only let-bound storage roots are freed: named inputs belong to the
+    caller, aliases own nothing, and anything alive into the result
+    position is the program's answer.  The pass is idempotent — storage
+    that already has a marker is left alone — and semantics-preserving by
+    construction: the marker sits after the last {e textual} occurrence
+    of the root or any of its aliases, so no later step can evaluate it
+    (the QCheck bit-identity property in [test/test_mem.ml] holds the
+    pass to that on random programs). *)
+
+open Dmll_ir
+
+type report = {
+  program : Exp.exp;
+  freed : Sym.t list;  (** storage roots given an early free, spine order *)
+}
+
+let run (e : Exp.exp) : report =
+  let last_pos = List.length (Exp.spine e) - 1 in
+  let frees =
+    List.filter_map
+      (fun (r : Exp.live_range) ->
+        match r.Exp.storage with
+        | Exp.Sinput _ -> None
+        | Exp.Ssym s ->
+            if r.Exp.freed_at <> None || r.Exp.last_use >= last_pos then None
+            else Some (s, r.Exp.last_use))
+      (Exp.collection_live_ranges e)
+  in
+  if frees = [] then { program = e; freed = [] }
+  else begin
+    let at i =
+      List.filter_map (fun (s, p) -> if p = i then Some s else None) frees
+    in
+    let wrap syms body =
+      List.fold_right
+        (fun s acc ->
+          Exp.Let (Sym.fresh ~name:"free" Types.Unit, Exp.free_array s, acc))
+        syms body
+    in
+    let rec rebuild i e =
+      match e with
+      | Exp.Let (s, rhs, body) -> Exp.Let (s, rhs, wrap (at i) (rebuild (i + 1) body))
+      | e -> e (* the result position never takes a free after it *)
+    in
+    { program = rebuild 0 e; freed = List.map fst frees }
+  end

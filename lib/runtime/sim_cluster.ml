@@ -43,6 +43,7 @@ module V = Dmll_interp.Value
 module Stencil = Dmll_analysis.Stencil
 module Partition = Dmll_analysis.Partition
 module Comm = Dmll_analysis.Comm
+module Mem = Dmll_analysis.Mem
 module Diag = Dmll_analysis.Diag
 module M = Dmll_machine.Machine
 module Span = Dmll_obs.Span
@@ -618,6 +619,60 @@ let run ?(config = default_config) ?checkpoint ?layouts
   let breakdown = ref [] in
   let traffic = ref [] in
   let alive = ref (List.init config.cluster.M.nodes (fun i -> i)) in
+  (* pre-execution admission (DESIGN.md §13): resolve the static
+     memory-footprint plan against the real input lengths and compare its
+     peak against the node budget BEFORE running anything.  Over budget,
+     either process every distributed chunk in [k] sub-chunks (partitioned
+     residents shrink to 1/k, each loop pays k-1 extra launch round-trips)
+     or accept the plan and spill the overshoot to local disk up front —
+     instead of discovering the pressure mid-loop. *)
+  let mem_plan = Mem.plan_of_program ~layout_of program in
+  let chunk_factor =
+    let input_lens =
+      List.filter_map
+        (fun (nm, v) ->
+          match v with
+          | V.Varr _ | V.Vmap _ -> Some (nm, V.length v)
+          | _ -> None)
+        inputs
+    in
+    let msum =
+      Mem.summarize ~input_lens ~machine:config.cluster
+        ?budget_gb:config.mem_budget_gb ~layout_of program
+    in
+    let decision = Mem.admit msum in
+    let spill_s =
+      match decision with
+      | Mem.Admit | Mem.Chunk_smaller _ -> 0.0
+      | Mem.Spill_ahead ->
+          let overshoot = msum.Mem.peak_bytes -. msum.Mem.budget_bytes in
+          Metrics.add_bytes metrics "spill_bytes" overshoot;
+          Metrics.incr metrics "admissions_spill_ahead";
+          ser_seconds config.cluster ~bytes:overshoot
+          +. (overshoot /. (config.cluster.M.disk_gbs *. 1e9))
+    in
+    (match decision with
+    | Mem.Chunk_smaller _ -> Metrics.incr metrics "admissions_chunked"
+    | _ -> ());
+    (match config.obs with
+    | None -> ()
+    | Some tr ->
+        Span.emit tr ~tid:Span.runtime_tid ~cat:"runtime" ~name:"admission"
+          ~args:
+            [ ("peak_bytes", Span.Float msum.Mem.peak_bytes);
+              ("budget_bytes", Span.Float msum.Mem.budget_bytes);
+              ("decision", Span.Str (Mem.admission_to_string decision));
+            ]
+          ~ts_us:0.0 ~dur_us:(spill_s *. 1e6) ());
+    if spill_s > 0.0 then begin
+      time := !time +. spill_s;
+      breakdown := ("admission/spill-ahead", spill_s) :: !breakdown
+    end;
+    match decision with Mem.Chunk_smaller k -> k | _ -> 1
+  in
+  (* the footprint plan's per-loop transient terms, popped in spine order
+     as [on_loop] fires (both walks visit spine-step loops in order) *)
+  let pending_mem_loops = ref mem_plan.Mem.loops in
   let spares =
     ref
       (match config.faults with
@@ -648,6 +703,18 @@ let run ?(config = default_config) ?checkpoint ?layouts
         let dt, parts, bytes =
           loop_time ~config ~layout_of ~inputs_ty ~eval_size ~env ~inputs ?fault
             ~label:name ~spares ?recovery ~metrics ~alive l ~n
+        in
+        (* sub-chunked execution (admission [Chunk_smaller k]): the node
+           processes its chunk in [k] passes, so partitioned residents
+           shrink to 1/k at the price of k-1 extra launch round-trips *)
+        let dt, parts =
+          if chunk_factor > 1 && List.mem_assoc "compute" parts then
+            let extra =
+              float_of_int (chunk_factor - 1)
+              *. config.cluster.M.net_lat_us *. 1e-6 *. 2.0
+            in
+            (dt +. extra, parts @ [ ("subchunk", extra) ])
+          else (dt, parts)
         in
         Metrics.incr metrics "loops";
         (* spans live on the simulated clock: 1 s of modeled time is 1e6 µs
@@ -691,6 +758,68 @@ let run ?(config = default_config) ?checkpoint ?layouts
         breakdown := (name, dt) :: List.map (fun (p, s) -> (name ^ "/" ^ p, s)) parts @ !breakdown;
         traffic := List.rev_map (fun (p, b) -> (name ^ "/" ^ p, b)) bytes @ !traffic;
         let v = Evalenv.eval ~inputs env (Exp.Loop l) in
+        (* measured per-node resident demand at this spine position: the
+           actual bytes of every live tracked collection (chunk share for
+           partitioned storage, whole for Local) plus this loop's measured
+           transient buffers — recorded as the run's high-water mark and,
+           in debug mode, held to the footprint plan's prediction under
+           rule M-MEM-OVERRUN (DESIGN.md §13) *)
+        (match !pending_mem_loops with
+        | [] -> ()
+        | lp :: rest ->
+            pending_mem_loops := rest;
+            let position = lp.Mem.position in
+            let env' =
+              match sym with Some s -> Sym.Map.add s v env | None -> env
+            in
+            let na = Stdlib.max 1 (List.length !alive) in
+            let value_of t =
+              match t with
+              | Stencil.Tinput nm -> List.assoc_opt nm inputs
+              | Stencil.Tsym s -> Sym.Map.find_opt s env'
+            in
+            let transient_measured =
+              List.fold_left (fun a (_, b) -> a +. b) 0.0 bytes
+            in
+            let measured =
+              List.fold_left
+                (fun acc (lv : Mem.live) ->
+                  match value_of lv.Mem.target with
+                  | None -> acc
+                  | Some bv ->
+                      let b = Sim_common.value_bytes bv in
+                      acc
+                      +.
+                      (match lv.Mem.layout with
+                      | Exp.Partitioned ->
+                          b /. float_of_int (na * chunk_factor)
+                      | Exp.Local -> b))
+                transient_measured
+                (Mem.live_at mem_plan ~position)
+            in
+            Metrics.record_max metrics "peak_resident_bytes" measured;
+            if !Mem.validate_enabled then begin
+              let live_r =
+                { Comm.collection_bytes =
+                    (fun t ->
+                      match value_of t with
+                      | Some bv -> Sim_common.value_bytes bv
+                      | None -> 0.0);
+                  elem_bytes = Sim_common.target_elem_bytes ~inputs_ty;
+                  init_bytes =
+                    (fun i ->
+                      match Evalenv.eval ~inputs env i with
+                      | bv -> Sim_common.value_bytes bv
+                      | exception _ -> 64.0);
+                }
+              in
+              let predicted =
+                Mem.resident_bytes ~nodes:na ~chunk_factor live_r mem_plan
+                  ~position
+              in
+              Mem.check_measured ~site:("cluster:" ^ name) ~label:name
+                ~predicted ~measured
+            end);
         (match recovery with
         | None -> ()
         | Some ctx ->

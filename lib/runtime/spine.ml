@@ -24,9 +24,15 @@ let exec ~(inputs : (string * V.t) list)
     | Exp.Let (s, Exp.Loop l, body) ->
         let v = on_loop env (Some s) l in
         go (Sym.Map.add s v env) body
-    | Exp.Let (s, rhs, body) ->
-        let v = Evalenv.eval ~inputs env rhs in
-        go (Sym.Map.add s v env) body
+    | Exp.Let (s, rhs, body) -> (
+        (* early-free marker (Free_insertion): drop the dead binding so the
+           executor's resident set actually shrinks — the liveness analysis
+           guarantees no later step mentions it *)
+        match Exp.freed_sym rhs with
+        | Some x -> go (Sym.Map.add s V.Vunit (Sym.Map.remove x env)) body
+        | None ->
+            let v = Evalenv.eval ~inputs env rhs in
+            go (Sym.Map.add s v env) body)
     | Exp.Loop l -> on_loop env None l
     | e -> Evalenv.eval ~inputs env e
   in
