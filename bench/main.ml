@@ -26,6 +26,8 @@ let experiments : (string * string * (unit -> unit)) list =
       fun () -> Comm_validate.run ());
     ("mem_validate", "static footprint peaks vs measured cluster residents (JSON)",
       fun () -> Mem_validate.run ());
+    ("proc_validate", "simulated vs real forked-worker wall-clock (JSON)",
+      fun () -> Proc_validate.run ());
   ]
 
 let () =

@@ -20,8 +20,21 @@
                 "restores":...,"replays":...,"checkpoints":...},
       "decisions":[{"at_loop":...,"chosen":"restore",...},...]}
 
-   Usage: soak.exe [--programs N] [--seed S] [--verbose]
-   The `dune build @soak` alias runs the short pinned configuration. *)
+   A second, real-process leg (--proc-programs N) runs the same program
+   stream on the forked-worker executor (DESIGN.md §14) under process
+   murder — real SIGKILLs, SIGSTOP straggling, severed pipes — and
+   asserts the murdered run bit-identical to the healthy process run
+   (and the healthy run equal to the interpreter, within float-merge
+   tolerance for reassociated float reductions).
+
+   --deadline-s S arms a hard wall-clock watchdog (SIGALRM): if the
+   whole soak exceeds S seconds it exits 124, so a wedged run can never
+   hang a CI gate.
+
+   Usage: soak.exe [--programs N] [--proc-programs N] [--seed S]
+                   [--deadline-s S] [--verbose]
+   The `dune build @soak` alias runs the short pinned simulated
+   configuration; `@proc-soak` runs the pinned real-process leg. *)
 
 open Dmll_ir
 module R = Dmll_runtime
@@ -179,27 +192,189 @@ let run ?(programs = default_programs) ?(seed = default_seed)
   end
   else 0
 
+(* ------------------------------------------------------------------ *)
+(* Real-process leg (DESIGN.md §14)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-program murder regime, drawn from a stream independent of the
+   simulated leg's: every worker count and fault probability reproduces
+   from (seed, program number) alone. *)
+let proc_chaos ~(seed : int) ~(program_no : int) =
+  let rng = Dmll_util.Prng.create ((seed + 77) lxor (program_no * 0x2545F491)) in
+  let f bound = Dmll_util.Prng.float rng bound in
+  let pick xs = List.nth xs (int_of_float (f (float_of_int (List.length xs)))) in
+  let workers = pick [ 2; 3; 4 ] in
+  let spec =
+    { M.default_faults with
+      M.fault_seed = seed + 1000 + program_no;
+      crash_prob = 0.1 +. f 0.2;
+      crash_transient_frac = 0.5 +. f 0.5;
+      straggler_prob = f 0.15;
+      straggler_slowdown = 20.0;
+      max_retries = 2;
+      backoff_us = 1.0;
+    }
+  in
+  (workers, spec)
+
+let proc_config ~workers ?faults () =
+  { R.Proc_cluster.default_config with
+    R.Proc_cluster.workers;
+    faults;
+    task_deadline_s = 2.0;
+    heartbeat_s = 0.05;
+  }
+
+(* Run [programs] random programs on real forked workers, healthy and
+   murdered, asserting the murdered value bit-identical to the healthy
+   one and the healthy one equal to the interpreter (1e-6 for
+   reassociated float merges).  Prints a JSON summary line; returns the
+   exit code. *)
+let run_proc ~(programs : int) ~(seed : int) ~(verbose : bool) () : int =
+  let rand = Random.State.make [| seed lxor 0x5DEECE66 |] in
+  let progs = QCheck.Gen.generate ~n:programs ~rand gen_soak_program in
+  let checked = ref 0 and skipped = ref 0 and mismatches = ref 0 in
+  let killed = ref 0 and pipe_cuts = ref 0 and stopped = ref 0 in
+  let deadline_kills = ref 0 and heartbeat_kills = ref 0 in
+  let respawned = ref 0 and recovered = ref 0 and master = ref 0 in
+  List.iteri
+    (fun pno program ->
+      let n = 256 + ((pno * 53) mod 512) in
+      let inputs =
+        [ ("xs", V.of_float_array (Array.init n (fun i -> float_of_int (i mod 23))))
+        ]
+      in
+      match Interp.run ~inputs program with
+      | exception Interp.Runtime_error _ -> incr skipped
+      | expected -> (
+          let workers, spec = proc_chaos ~seed ~program_no:pno in
+          let healthy =
+            R.Proc_cluster.run ~config:(proc_config ~workers ()) ~inputs program
+          in
+          incr checked;
+          if
+            not
+              (V.equal healthy.R.Proc_cluster.value expected
+              || V.approx_equal ~eps:1e-6 expected healthy.R.Proc_cluster.value)
+          then begin
+            incr mismatches;
+            Printf.eprintf
+              "PROC MISMATCH (healthy vs interp) program %d (seed %d):\n\
+               %s\nexpected %s\ngot      %s\n"
+              pno seed
+              (Dmll_ir.Pp.to_string program)
+              (V.to_string expected)
+              (V.to_string healthy.R.Proc_cluster.value)
+          end;
+          let injector = R.Fault.create spec in
+          match
+            R.Proc_cluster.run
+              ~config:(proc_config ~workers ~faults:injector ())
+              ~inputs program
+          with
+          | exception e ->
+              incr mismatches;
+              Printf.eprintf "PROC CRASH program %d (seed %d): %s\n" pno seed
+                (Printexc.to_string e)
+          | murdered ->
+              (* the headline assertion: murdering workers never moves
+                 the value — bit-identical, not approximately equal *)
+              if
+                not
+                  (V.equal murdered.R.Proc_cluster.value
+                     healthy.R.Proc_cluster.value)
+              then begin
+                incr mismatches;
+                Printf.eprintf
+                  "PROC MISMATCH (murdered vs healthy) program %d (seed %d):\n\
+                   %s\nhealthy  %s\nmurdered %s\n"
+                  pno seed
+                  (Dmll_ir.Pp.to_string program)
+                  (V.to_string healthy.R.Proc_cluster.value)
+                  (V.to_string murdered.R.Proc_cluster.value)
+              end;
+              let s = murdered.R.Proc_cluster.stats in
+              killed := !killed + s.R.Proc_cluster.killed;
+              pipe_cuts := !pipe_cuts + s.R.Proc_cluster.pipe_cuts;
+              stopped := !stopped + s.R.Proc_cluster.stopped;
+              deadline_kills := !deadline_kills + s.R.Proc_cluster.deadline_kills;
+              heartbeat_kills :=
+                !heartbeat_kills + s.R.Proc_cluster.heartbeat_kills;
+              respawned := !respawned + s.R.Proc_cluster.respawned;
+              recovered := !recovered + s.R.Proc_cluster.recovered_chunks;
+              master := !master + s.R.Proc_cluster.master_chunks;
+              if verbose then
+                Printf.printf "proc program %3d: workers=%d %s\n%!" pno workers
+                  (R.Proc_cluster.stats_to_string s)))
+    progs;
+  Printf.printf
+    "{\"proc_programs\": %d, \"checked\": %d, \"skipped\": %d, \
+     \"mismatches\": %d, \"seed\": %d, \"events\": {\"killed\": %d, \
+     \"pipe_cuts\": %d, \"stopped\": %d, \"deadline_kills\": %d, \
+     \"heartbeat_kills\": %d, \"respawned\": %d, \"recovered_chunks\": %d, \
+     \"master_chunks\": %d}}\n"
+    programs !checked !skipped !mismatches seed !killed !pipe_cuts !stopped
+    !deadline_kills !heartbeat_kills !respawned !recovered !master;
+  if !mismatches > 0 then 1
+  else if programs > 0 && !killed + !stopped + !pipe_cuts = 0 then begin
+    Printf.eprintf "proc soak: chaos regime injected no process murder\n";
+    1
+  end
+  else 0
+
+(* Hard wall-clock watchdog: a wedged soak exits 124 instead of hanging
+   the CI gate.  SIGALRM is delivered to the parent only; workers forked
+   later inherit the handler but never the pending alarm. *)
+let arm_watchdog (deadline_s : int) : unit =
+  if deadline_s > 0 then begin
+    Sys.set_signal Sys.sigalrm
+      (Sys.Signal_handle
+         (fun _ ->
+           Printf.eprintf "soak: wall-clock deadline (%ds) exceeded\n%!"
+             deadline_s;
+           exit 124));
+    ignore (Unix.alarm deadline_s)
+  end
+
 let () =
   let programs = ref default_programs in
+  let proc_programs = ref 0 in
   let seed = ref default_seed in
+  let deadline_s = ref 0 in
   let verbose = ref false in
   let rec parse = function
     | [] -> ()
     | "--programs" :: v :: rest ->
         programs := int_of_string v;
         parse rest
+    | "--proc-programs" :: v :: rest ->
+        proc_programs := int_of_string v;
+        parse rest
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
+        parse rest
+    | "--deadline-s" :: v :: rest ->
+        deadline_s := int_of_string v;
         parse rest
     | "--verbose" :: rest ->
         verbose := true;
         parse rest
     | a :: _ ->
         Printf.eprintf
-          "soak: unknown argument %S\nusage: soak.exe [--programs N] [--seed \
-           S] [--verbose]\n"
+          "soak: unknown argument %S\nusage: soak.exe [--programs N] \
+           [--proc-programs N] [--seed S] [--deadline-s S] [--verbose]\n"
           a;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  exit (run ~programs:!programs ~seed:!seed ~verbose:!verbose ())
+  arm_watchdog !deadline_s;
+  let sim_code =
+    if !programs > 0 then run ~programs:!programs ~seed:!seed ~verbose:!verbose ()
+    else 0
+  in
+  let proc_code =
+    if !proc_programs > 0 then
+      run_proc ~programs:!proc_programs ~seed:!seed ~verbose:!verbose ()
+    else 0
+  in
+  exit (max sim_code proc_code)

@@ -18,8 +18,21 @@ let target_arg =
   Arg.(
     value
     & opt (enum [ ("seq", `Seq); ("multicore", `Multicore); ("numa", `Numa);
-                  ("gpu", `Gpu); ("cluster", `Cluster) ]) `Seq
+                  ("gpu", `Gpu); ("cluster", `Cluster); ("proc", `Proc) ]) `Seq
     & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"Execution target.")
+
+let procs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "procs" ] ~docv:"N"
+        ~doc:
+          "Run the outer loops on $(docv) real forked worker processes \
+           (implies $(b,--target proc)).  Composes with $(b,--faults): \
+           injected crashes become real SIGKILLs, stragglers real \
+           SIGSTOPs, and some kills sever the worker's pipe; the \
+           supervisor replans onto survivors and the value matches the \
+           fault-free run bit-for-bit.")
 
 let nodes_arg =
   Arg.(
@@ -139,14 +152,29 @@ let cluster_machine ?nodes () : M.cluster =
   | Some n -> M.with_nodes n M.ec2_cluster
   | None -> M.ec2_cluster
 
-(** Build a {!Dmll.target} from the [--target]/[--nodes] flags.  The
-    cluster target carries only the machine model; fault, checkpoint,
-    memory, and observability knobs flow in from the {!Config.t} at
-    {!Dmll.execute} time. *)
-let target_of ?nodes (kind : [ `Seq | `Multicore | `Numa | `Gpu | `Cluster ]) :
+(** Build a {!Dmll.target} from the [--target]/[--nodes]/[--procs] flags.
+    The cluster and proc targets carry only their sizes; fault,
+    checkpoint, memory, and observability knobs flow in from the
+    {!Config.t} at {!Dmll.execute} time.  [--procs N] implies the proc
+    target at [N] workers. *)
+let target_of ?nodes ?procs
+    (kind : [ `Seq | `Multicore | `Numa | `Gpu | `Cluster | `Proc ]) :
     Dmll.target =
-  match kind with
-  | `Seq -> Dmll.Sequential
+  let proc_target () =
+    let d = Dmll_runtime.Proc_cluster.default_config in
+    Dmll.Proc_cluster
+      { d with
+        Dmll_runtime.Proc_cluster.workers =
+          (match procs with
+          | Some n -> n
+          | None -> d.Dmll_runtime.Proc_cluster.workers);
+      }
+  in
+  if procs <> None then proc_target ()
+  else
+    match kind with
+    | `Proc -> proc_target ()
+    | `Seq -> Dmll.Sequential
   | `Multicore -> Dmll.Multicore 4
   | `Numa ->
       Dmll.Numa

@@ -72,26 +72,27 @@ let app_arg =
 let scale_arg =
   Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Dataset scale multiplier.")
 
-let main app target nodes scale faults checkpoint_every mem_budget debug trace
-    profile =
+let main app target nodes procs scale faults checkpoint_every mem_budget debug
+    trace profile =
   let { program; inputs } = prepare app ~scale in
   let cfg =
     Common_cli.config ~debug ?faults ~checkpoint_every ?mem_budget ?trace
       ~profile ()
   in
-  let target = Common_cli.target_of ?nodes target in
+  let target = Common_cli.target_of ?nodes ?procs target in
   let cfg = Config.with_target target cfg in
   (match (cfg.Config.faults, target) with
   | Some _, (Dmll.Sequential | Dmll.Numa _ | Dmll.Gpu _) ->
       Printf.eprintf
-        "note: --faults only affects the multicore and cluster targets\n%!"
+        "note: --faults only affects the multicore, cluster, and proc \
+         targets\n%!"
   | _ -> ());
   (if cfg.Config.checkpoint_every > 0 then
      match target with
      | Dmll.Sequential | Dmll.Numa _ | Dmll.Gpu _ ->
          Printf.eprintf
-           "note: --checkpoint-every only affects the multicore and cluster \
-            targets\n%!"
+           "note: --checkpoint-every only affects the multicore, cluster, \
+            and proc targets\n%!"
      | _ -> ());
   let c = Dmll.compile_with cfg program in
   Printf.printf "optimizations: %s\n%!"
@@ -114,7 +115,8 @@ let cmd =
   Cmd.v (Cmd.info "dmll_run" ~doc)
     Term.(
       const main $ app_arg $ Common_cli.target_arg $ Common_cli.nodes_arg
-      $ scale_arg $ Common_cli.faults_arg $ Common_cli.checkpoint_arg
+      $ Common_cli.procs_arg $ scale_arg $ Common_cli.faults_arg
+      $ Common_cli.checkpoint_arg
       $ Common_cli.mem_budget_arg $ Common_cli.debug_arg
       $ Common_cli.trace_arg $ Common_cli.profile_arg)
 

@@ -19,6 +19,8 @@ type target =
   | Numa of Runtime.Sim_numa.config  (** modeled NUMA machine *)
   | Gpu of Runtime.Sim_gpu.options  (** modeled GPU *)
   | Cluster of Runtime.Sim_cluster.config  (** modeled cluster *)
+  | Proc_cluster of Runtime.Proc_cluster.config
+      (** real forked worker processes (DESIGN.md §14) *)
 
 type t = {
   target : target;

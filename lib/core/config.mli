@@ -18,15 +18,17 @@
 module Span = Dmll_obs.Span
 module Metrics = Dmll_obs.Metrics
 
-(** Execution targets.  All targets compute exact values; [Sequential]
-    and [Multicore] measure real wall-clock time, the others model the
-    paper's testbeds (see [Dmll_machine.Machine]). *)
+(** Execution targets.  All targets compute exact values; [Sequential],
+    [Multicore], and [Proc_cluster] measure real wall-clock time, the
+    others model the paper's testbeds (see [Dmll_machine.Machine]). *)
 type target =
   | Sequential  (** closure backend, one core — the Table 2 configuration *)
   | Multicore of int  (** real OCaml domains *)
   | Numa of Dmll_runtime.Sim_numa.config  (** modeled NUMA machine *)
   | Gpu of Dmll_runtime.Sim_gpu.options  (** modeled GPU *)
   | Cluster of Dmll_runtime.Sim_cluster.config  (** modeled cluster *)
+  | Proc_cluster of Dmll_runtime.Proc_cluster.config
+      (** real forked worker processes (DESIGN.md §14) *)
 
 type t = {
   target : target;

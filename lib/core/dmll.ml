@@ -30,6 +30,8 @@ type target = Config.target =
   | Numa of Runtime.Sim_numa.config  (** simulated NUMA machine *)
   | Gpu of Runtime.Sim_gpu.options  (** simulated GPU *)
   | Cluster of Runtime.Sim_cluster.config  (** simulated cluster *)
+  | Proc_cluster of Runtime.Proc_cluster.config
+      (** real forked worker processes (DESIGN.md §14) *)
 
 type compiled = {
   source : Exp.exp;
@@ -255,6 +257,19 @@ let overlay (cfg : Config.t) (t : target) : target =
           obs = keep cc.Runtime.Sim_cluster.obs cfg.Config.tracer;
           metrics = keep cc.Runtime.Sim_cluster.metrics cfg.Config.metrics;
         }
+  | Proc_cluster pc ->
+      let keep a b = match a with Some _ -> a | None -> b in
+      Proc_cluster
+        { pc with
+          Runtime.Proc_cluster.faults =
+            keep pc.Runtime.Proc_cluster.faults cfg.Config.faults;
+          checkpoint_cadence =
+            (if pc.Runtime.Proc_cluster.checkpoint_cadence > 0 then
+               pc.Runtime.Proc_cluster.checkpoint_cadence
+             else cfg.Config.checkpoint_every);
+          obs = keep pc.Runtime.Proc_cluster.obs cfg.Config.tracer;
+          metrics = keep pc.Runtime.Proc_cluster.metrics cfg.Config.metrics;
+        }
   | t -> t
 
 (** Execute a compiled program under [cfg]: the compiled target runs with
@@ -316,6 +331,15 @@ let execute (cfg : Config.t) (c : compiled) ~(inputs : (string * V.t) list) :
         breakdown = r.Runtime.Sim_common.breakdown;
         traffic = r.Runtime.Sim_common.traffic;
         metrics = r.Runtime.Sim_common.metrics;
+      }
+  | Proc_cluster config ->
+      let r = Runtime.Proc_cluster.run ~config ~inputs c.final in
+      { value = r.Runtime.Proc_cluster.value;
+        seconds = r.Runtime.Proc_cluster.seconds;
+        wall_clock = true;
+        breakdown = r.Runtime.Proc_cluster.breakdown;
+        traffic = [];
+        metrics = r.Runtime.Proc_cluster.metrics;
       }
 
 (** Execute a compiled program.  All targets return the exact program

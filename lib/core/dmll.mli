@@ -44,6 +44,8 @@ type target = Config.target =
   | Numa of Dmll_runtime.Sim_numa.config  (** modeled NUMA machine *)
   | Gpu of Dmll_runtime.Sim_gpu.options  (** modeled GPU *)
   | Cluster of Dmll_runtime.Sim_cluster.config  (** modeled cluster *)
+  | Proc_cluster of Dmll_runtime.Proc_cluster.config
+      (** real forked worker processes (DESIGN.md §14) *)
 
 (** A compiled program, carrying every intermediate so tools ([dmllc]) can
     display the compilation the way the paper's figures walk through

@@ -173,6 +173,77 @@ let restore (t : t) : restore_result =
   | None -> None_taken
   | Some s -> ( match verify s with Ok () -> Available s | Error m -> Corrupt m)
 
+(* ------------------------------------------------------------------ *)
+(* Crash-safe snapshot files (DESIGN.md §14)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Persistence protocol: marshal the snapshot behind a magic header into
+   "<dir>/ckpt-NNNNNN.snap.tmp", fsync the file, rename(2) it to its
+   final ".snap" name, then fsync the directory.  The rename is the
+   commit point — a worker (or the whole supervisor) dying at any moment
+   leaves either the previous complete snapshot or a stray ".tmp" that
+   {!latest_file} never considers, so a restore can never read a torn
+   image.  The checksums inside the snapshot still guard against storage
+   bit-rot on top. *)
+
+let magic = "DMLLCKPT1"
+let snap_name at_loop = Printf.sprintf "ckpt-%06d.snap" at_loop
+
+let write_file ~(dir : string) (s : snapshot) : string =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let final = Filename.concat dir (snap_name s.at_loop) in
+  let tmp = final ^ ".tmp" in
+  let payload = magic ^ Marshal.to_string s [] in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let n = String.length payload in
+      let written = ref 0 in
+      while !written < n do
+        written := !written + Unix.write_substring fd payload !written (n - !written)
+      done;
+      Unix.fsync fd);
+  Unix.rename tmp final;
+  (match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | dfd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ());
+  final
+
+let read_file (path : string) : restore_result =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Corrupt m
+  | raw -> (
+      let mlen = String.length magic in
+      if String.length raw < mlen || not (String.equal (String.sub raw 0 mlen) magic)
+      then Corrupt (path ^ ": bad or truncated snapshot header")
+      else
+        match
+          (Marshal.from_string (String.sub raw mlen (String.length raw - mlen)) 0
+            : snapshot)
+        with
+        | exception _ -> Corrupt (path ^ ": undecodable snapshot image")
+        | s -> ( match verify s with Ok () -> Available s | Error m -> Corrupt m))
+
+(* Highest-numbered committed snapshot; the zero-padded loop number makes
+   lexicographic order numeric.  ".tmp" leftovers are invisible here. *)
+let latest_file ~(dir : string) : string option =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> None
+  | entries -> (
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".snap")
+      |> List.sort (fun a b -> String.compare b a)
+      |> function [] -> None | f :: _ -> Some (Filename.concat dir f))
+
 let record_decision (t : t) ~(decided_at_loop : int) ~(restore_cost : float)
     ~(replay_cost : float) : choice =
   let chosen = if restore_cost <= replay_cost then Restore else Replay in

@@ -85,6 +85,23 @@ val restore : t -> restore_result
     returned — the caller falls back to lineage replay, which needs no
     stored bytes at all. *)
 
+val write_file : dir:string -> snapshot -> string
+(** Persist a snapshot crash-safely under [dir] and return the committed
+    path.  The image is written to a [".snap.tmp"] sibling, fsynced,
+    renamed to its final ["ckpt-NNNNNN.snap"] name, and the directory is
+    fsynced — the rename is the commit point, so a process dying at any
+    instant leaves either the previous complete snapshot or an ignorable
+    [".tmp"], never a torn image that fails its checksum at restore. *)
+
+val read_file : string -> restore_result
+(** Read back a snapshot written by {!write_file}, verifying the magic
+    header and every chunk checksum; any truncation, decode failure, or
+    checksum mismatch comes back as [Corrupt]. *)
+
+val latest_file : dir:string -> string option
+(** The highest-numbered committed [".snap"] in [dir], if any; in-flight
+    [".tmp"] files are never considered. *)
+
 val record_decision :
   t -> decided_at_loop:int -> restore_cost:float -> replay_cost:float -> choice
 (** Pick the cheaper recovery arm and log the decision. *)

@@ -135,6 +135,54 @@ let chunk_fate (t : t) ~(loop : int) ~(chunk : int) ~(attempt : int) : chunk_fat
   else Chunk_ok
 
 (* ------------------------------------------------------------------ *)
+(* Process mode (DESIGN.md §14)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Seed-derivation rule for process-mode workers: the worker occupying
+   slot [k] jitters its retry backoff from a SplitMix64 stream whose
+   seed is the first output of a SplitMix64 generator initialised with
+   (fault_seed * 0x3C6EF372) lxor (k + 1).  Keying by the *slot* (not
+   the pid, not the spawn order) means a respawned replacement for slot
+   k picks up exactly the stream its predecessor would have used, so a
+   whole faulty run replays bit-identically under --faults seed=K. *)
+let worker_seed (s : spec) ~(worker : int) : int =
+  let g = Prng.create ((s.M.fault_seed * 0x3C6EF372) lxor (worker + 1)) in
+  Prng.int g max_int
+
+(** What the supervisor does to a worker right after dispatching one
+    chunk of one multiloop to it.  Drawn once per (loop, chunk) — on the
+    first dispatch only, never on recovery re-dispatches, so an injected
+    murder cannot chase a chunk around the pool forever.  [Proc_kill]
+    with [close_pipe] severs the parent's pipe end instead of signalling
+    (the worker sees EOF/EPIPE and exits); otherwise it is a real
+    [SIGKILL].  [Proc_stop] SIGSTOPs the worker for [stop_s] seconds —
+    if the task deadline is shorter, the hung-worker path fires first. *)
+type proc_fate =
+  | Proc_ok
+  | Proc_kill of { permanent : bool; close_pipe : bool }
+  | Proc_stop of { stop_s : float }
+
+let proc_fate (t : t) ~(loop : int) ~(chunk : int) : proc_fate =
+  let s = t.spec in
+  let u = draw t ~site:"proc" [ loop; chunk ] in
+  if u < s.M.crash_prob then begin
+    Atomic.incr t.stats.crashes;
+    let permanent =
+      draw t ~site:"proc-kind" [ loop; chunk ] >= s.M.crash_transient_frac
+    in
+    Atomic.incr (if permanent then t.stats.permanent else t.stats.transient);
+    let close_pipe = draw t ~site:"proc-mode" [ loop; chunk ] < 0.3 in
+    Proc_kill { permanent; close_pipe }
+  end
+  else if u < s.M.crash_prob +. s.M.straggler_prob then begin
+    Atomic.incr t.stats.stragglers;
+    (* scaled down from the simulated slowdown so soaks stay fast, but
+       long enough that a short task deadline observes a real hang *)
+    Proc_stop { stop_s = Float.min 0.25 (0.01 *. Float.max 1.0 s.M.straggler_slowdown) }
+  end
+  else Proc_ok
+
+(* ------------------------------------------------------------------ *)
 (* Elastic membership (DESIGN.md §11)                                  *)
 (* ------------------------------------------------------------------ *)
 

@@ -47,6 +47,30 @@ type chunk_fate =
 
 val chunk_fate : t -> loop:int -> chunk:int -> attempt:int -> chunk_fate
 
+val worker_seed : spec -> worker:int -> int
+(** Seed-derivation rule for process-mode workers ([Proc_cluster]): the
+    worker occupying slot [k] derives every local random decision
+    (backoff jitter) from a SplitMix64 stream seeded with the first
+    output of a SplitMix64 generator initialised with
+    [(fault_seed * 0x3C6EF372) lxor (k + 1)].  The seed is a pure
+    function of the fault seed and the {e slot} — not the pid and not
+    the spawn order — so a respawned replacement for slot [k] resumes
+    its predecessor's stream and [--faults seed=K] replays identically
+    in process mode. *)
+
+(** What the supervisor does to a process-mode worker right after
+    dispatching one chunk to it — drawn once per (loop, chunk) on the
+    first dispatch only, never on recovery re-dispatches.  [Proc_kill]
+    either SIGKILLs the worker or (with [close_pipe]) severs the
+    parent's pipe end; [Proc_stop] SIGSTOPs it for [stop_s] seconds, and
+    a shorter task deadline turns that into a hung-worker kill. *)
+type proc_fate =
+  | Proc_ok
+  | Proc_kill of { permanent : bool; close_pipe : bool }
+  | Proc_stop of { stop_s : float }
+
+val proc_fate : t -> loop:int -> chunk:int -> proc_fate
+
 (** Elastic-membership events for one loop (DESIGN.md §11). *)
 type membership_event = Join of { node : int } | Leave of { node : int }
 

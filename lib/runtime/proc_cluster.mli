@@ -1,0 +1,85 @@
+(** Process-backed cluster executor: forked OS-process workers speaking
+    a length-prefixed [Marshal] protocol over socketpairs, under a
+    supervisor with heartbeat/deadline liveness detection, bounded
+    retry-with-backoff on transient I/O errors, {!Schedule.replan}-based
+    lineage recovery onto survivors, budgeted respawn with graceful
+    degradation, and guaranteed child reaping (DESIGN.md §14).
+
+    Determinism contract: the chunk plan depends only on the loop size
+    and the {e configured} worker count, never on the live set, so a run
+    under injected process murder merges the same chunk partials in the
+    same order as a healthy run — faulty and healthy values are
+    bit-identical.  Against the sequential interpreter, values are
+    bit-identical whenever the loop merges exactly (collects, int
+    reduces, bucket merges) and float-merge-identical (within 1e-6
+    relative) for floating-point reductions. *)
+
+module V = Dmll_interp.Value
+module Span = Dmll_obs.Span
+module Metrics = Dmll_obs.Metrics
+
+type config = {
+  workers : int;  (** forked worker processes (and the fixed chunk fan-out) *)
+  faults : Fault.t option;
+      (** arms worker-side injected chunk faults {e and} parent-side real
+          process murder: SIGKILL, SIGSTOP straggling, pipe close *)
+  task_deadline_s : float;
+      (** a dispatched chunk unanswered for this long marks the worker
+          hung: SIGKILL + replan *)
+  heartbeat_s : float;
+      (** idle-worker ping cadence at loop boundaries; three missed
+          pongs declare the worker dead *)
+  max_respawns : int;  (** replacement-worker budget for the whole run *)
+  checkpoint_cadence : int;  (** snapshot every N spine loops; [<=0] off *)
+  checkpoint_dir : string option;
+      (** where crash-safe snapshot files go ({!Checkpoint.write_file}) *)
+  resume : bool;
+      (** restore spine bindings from the latest verified snapshot in
+          [checkpoint_dir] instead of recomputing them *)
+  obs : Span.t option;
+  metrics : Metrics.t option;
+  on_spawn : (slot:int -> pid:int -> unit) option;
+      (** test hook, called by the parent after every fork *)
+}
+
+val default_config : config
+(** 2 workers, 5 s task deadline, 0.25 s heartbeat, 8 respawns, no
+    faults, no checkpointing. *)
+
+(** Supervision counters for one run, all observed from the parent. *)
+type stats = {
+  mutable spawned : int;  (** every fork, initial and replacement *)
+  mutable respawned : int;
+  mutable killed : int;  (** injected murders (SIGKILL or pipe cut) *)
+  mutable pipe_cuts : int;
+  mutable stopped : int;  (** injected SIGSTOP straggles *)
+  mutable deadline_kills : int;
+  mutable heartbeat_kills : int;
+  mutable io_retries : int;  (** transient I/O errors retried with backoff *)
+  mutable replans : int;
+  mutable recovered_chunks : int;  (** chunks redispatched after a death *)
+  mutable master_chunks : int;  (** degraded-mode chunks evaluated inline *)
+  mutable worker_retries : int;  (** worker-side transient-fault retries *)
+  mutable pings : int;
+  mutable pongs : int;
+  mutable checkpoints : int;
+  mutable restored_loops : int;
+  mutable degraded : bool;  (** ran short-handed after budget exhaustion *)
+  mutable pids : int list;  (** every child pid ever forked (for tests) *)
+}
+
+val stats_to_string : stats -> string
+
+type result = {
+  value : V.t;
+  seconds : float;  (** wall-clock *)
+  breakdown : (string * float) list;  (** per-spine-loop wall seconds *)
+  stats : stats;
+  metrics : Metrics.t;
+}
+
+val run : ?config:config -> ?inputs:(string * V.t) list -> Dmll_ir.Exp.exp -> result
+(** Execute a program with its outer multiloops distributed across
+    forked worker processes.  Always terminates with every child reaped
+    and every pipe closed — including when the program itself raises —
+    via a [Fun.protect]ed shutdown sweep over every pid ever forked. *)

@@ -1,0 +1,467 @@
+(* Process-backed executor tests (DESIGN.md §14).
+
+   The contract under test: forked workers murdered at random points —
+   real SIGKILLs, SIGSTOP straggling, severed pipes — change the
+   supervision counters but NEVER the computed value; recovery rides the
+   same lineage/replan path as every simulated executor; and the run
+   always terminates with every child reaped and every pipe closed, on
+   both the success and the parent-error paths. *)
+
+open Dmll_ir
+open Dmll_interp
+open Dmll_runtime
+open Exp
+open Builder
+module M = Dmll_machine.Machine
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable (fun fmt v -> Fmt.string fmt (Value.to_string v)) Value.equal
+
+let xs_input = Exp.Input ("xs", Types.Arr Types.Float, Exp.Partitioned)
+
+let xs_val n =
+  Value.of_float_array (Array.init n (fun i -> float_of_int (i mod 17)))
+
+(* Integer reduction: merge order cannot hide behind float rounding, so
+   every comparison below is bit-exact. *)
+let int_prog =
+  isum ~size:(Exp.Len xs_input) (fun i -> f2i (Exp.Read (xs_input, i)) *! int_ 3)
+
+(* A two-loop spine: a distributed collect feeding a distributed int
+   reduce, with scalar glue at the end. *)
+let spine_prog =
+  let ys = Sym.fresh ~name:"ys" (Types.Arr Types.Float) in
+  let s = Sym.fresh ~name:"s" Types.Int in
+  Exp.Let
+    ( ys,
+      collect ~size:(len xs_input) (fun i -> read xs_input i *. float_ 2.0),
+      Exp.Let
+        ( s,
+          isum ~size:(len (Exp.Var ys)) (fun i -> f2i (read (Exp.Var ys) i)),
+          Exp.Var s +! int_ 1 ) )
+
+(* A murder-heavy but fully recoverable regime: every injected kill is
+   transient (respawnable), no stragglers, so the schedule of deaths —
+   and therefore the counters — is deterministic. *)
+let murder_spec =
+  { M.default_faults with
+    M.fault_seed = 2026;
+    crash_prob = 0.3;
+    crash_transient_frac = 1.0;
+    straggler_prob = 0.0;
+    max_retries = 2;
+    backoff_us = 50.0;
+  }
+
+let proc_config ?faults ?(workers = 3) ?(heartbeat_s = 0.05) () =
+  { Proc_cluster.default_config with Proc_cluster.workers; faults; heartbeat_s }
+
+let open_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let pid_gone pid =
+  match Unix.kill pid 0 with
+  | () -> false
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> true
+  | exception _ -> true
+
+(* No child of this process is left — running or zombie.  If the
+   executor leaked one, waitpid either reports it or reaps a zombie;
+   both fail the assertion. *)
+let no_children () =
+  match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> true
+  | _ -> false
+
+let assert_clean (tag : string) (stats : Proc_cluster.stats) =
+  check tbool (tag ^ ": workers were forked") true (stats.Proc_cluster.pids <> []);
+  List.iter
+    (fun pid ->
+      check tbool (Printf.sprintf "%s: pid %d gone" tag pid) true (pid_gone pid))
+    stats.Proc_cluster.pids;
+  check tbool (tag ^ ": no zombies or stray children") true (no_children ())
+
+(* ---------------- healthy runs ---------------- *)
+
+let test_healthy_bit_identical () =
+  let inputs = [ ("xs", xs_val 1009) ] in
+  let fds_before = open_fds () in
+  let expected = Interp.run ~inputs int_prog in
+  let r = Proc_cluster.run ~config:(proc_config ()) ~inputs int_prog in
+  check value "proc = interpreter" expected r.Proc_cluster.value;
+  let r2 = Proc_cluster.run ~config:(proc_config ()) ~inputs spine_prog in
+  check value "spine proc = interpreter" (Interp.run ~inputs spine_prog)
+    r2.Proc_cluster.value;
+  assert_clean "healthy" r.Proc_cluster.stats;
+  assert_clean "healthy spine" r2.Proc_cluster.stats;
+  check tint "fds restored" fds_before (open_fds ());
+  (* idle workers answered the loop-boundary heartbeats *)
+  check tbool "pings sent" true (r2.Proc_cluster.stats.Proc_cluster.pings > 0)
+
+(* ---------------- murder mid-loop ---------------- *)
+
+let test_kill_recovers_bit_identical () =
+  let inputs = [ ("xs", xs_val 997) ] in
+  let healthy =
+    (Proc_cluster.run ~config:(proc_config ()) ~inputs spine_prog)
+      .Proc_cluster.value
+  in
+  let injected = ref 0 in
+  for seed = 0 to 4 do
+    let fault = Fault.create { murder_spec with M.fault_seed = 41 + seed } in
+    let r =
+      Proc_cluster.run ~config:(proc_config ~faults:fault ()) ~inputs spine_prog
+    in
+    check value
+      (Printf.sprintf "seed %d: murdered run = healthy run" seed)
+      healthy r.Proc_cluster.value;
+    let s = r.Proc_cluster.stats in
+    injected :=
+      !injected + s.Proc_cluster.killed + s.Proc_cluster.worker_retries;
+    (* recovery went through the lineage/replan path *)
+    if s.Proc_cluster.killed > 0 then
+      check tbool
+        (Printf.sprintf "seed %d: kills were replanned" seed)
+        true
+        (s.Proc_cluster.recovered_chunks > 0 || s.Proc_cluster.master_chunks > 0);
+    assert_clean (Printf.sprintf "murder seed %d" seed) s
+  done;
+  check tbool "murders actually happened" true (!injected > 0)
+
+(* ---------------- the twelve apps under process murder ---------------- *)
+
+let apps : (string * Exp.exp * (string * Value.t) list) list =
+  let open Dmll_apps in
+  let km_data = Dmll_data.Gaussian.generate ~rows:60 ~cols:6 ~classes:3 () in
+  let km_centroids = Dmll_data.Gaussian.random_centroids ~k:3 km_data in
+  let lr_data = Dmll_data.Gaussian.generate ~rows:50 ~cols:5 ~classes:2 () in
+  let q1_table = Dmll_data.Tpch.generate ~rows:500 () in
+  let gene_reads = Dmll_data.Genes.generate ~reads:500 ~barcodes:20 () in
+  let pr_graph =
+    Dmll_graph.Csr.of_edges (Dmll_data.Rmat.generate ~scale:6 ~edge_factor:4 ())
+  in
+  let tri_graph =
+    Dmll_graph.Csr.of_edges
+      (Dmll_data.Rmat.symmetrize
+         (Dmll_data.Rmat.generate ~scale:5 ~edge_factor:4 ()))
+  in
+  let knn_train =
+    Dmll_data.Gaussian.generate ~seed:1 ~rows:40 ~cols:4 ~classes:3 ()
+  in
+  let knn_test =
+    Dmll_data.Gaussian.generate ~seed:2 ~rows:12 ~cols:4 ~classes:3 ()
+  in
+  let nb_data = Dmll_data.Gaussian.generate ~rows:50 ~cols:4 ~classes:3 () in
+  let gibbs_graph = Dmll_data.Factor_graph.generate ~vars:50 ~factors:150 () in
+  let gibbs_state = Dmll_data.Factor_graph.initial_state gibbs_graph in
+  let gibbs_rand = Dmll_data.Factor_graph.sweep_randoms ~sweeps:2 gibbs_graph in
+  [ ( "kmeans",
+      Kmeans.program ~rows:60 ~cols:6 ~k:3 (),
+      Kmeans.inputs km_data ~centroids:km_centroids );
+    ( "logreg",
+      Logreg.program ~rows:50 ~cols:5 ~alpha:0.01 (),
+      Logreg.inputs lr_data ~theta:(Array.make 5 0.1) );
+    ("gda", Gda.program ~rows:50 ~cols:5 (), Gda.inputs lr_data);
+    ( "tpch_q1",
+      Tpch_q1.program (),
+      Tpch_q1.aos_inputs q1_table @ Tpch_q1.soa_inputs q1_table );
+    ( "gene",
+      Gene.program (),
+      Gene.aos_inputs gene_reads @ Gene.soa_inputs gene_reads );
+    ( "pagerank_pull",
+      Pagerank.program_pull ~nv:pr_graph.Dmll_graph.Csr.nv (),
+      Pagerank.inputs pr_graph ~ranks:(Pagerank.initial_ranks pr_graph) );
+    ( "pagerank_push",
+      Pagerank.program_push ~nv:pr_graph.Dmll_graph.Csr.nv (),
+      Pagerank.inputs pr_graph ~ranks:(Pagerank.initial_ranks pr_graph) );
+    ("tricount", Tricount.program (), Tricount.inputs tri_graph);
+    ( "knn",
+      Knn.program ~train_rows:40 ~test_rows:12 ~cols:4 (),
+      Knn.inputs ~train:knn_train ~test:knn_test );
+    ( "naive_bayes",
+      Naive_bayes.program ~rows:50 ~cols:4 (),
+      Naive_bayes.inputs nb_data );
+    ( "gibbs",
+      Gibbs.program ~nvars:50 ~replicas:2 (),
+      Gibbs.inputs gibbs_graph ~state:gibbs_state ~rand:gibbs_rand );
+    ( "ridge",
+      Ridge.program ~rows:50 ~cols:5 ~alpha:0.001 ~lambda:0.1 (),
+      Ridge.inputs lr_data ~theta:(Array.make 5 0.2) );
+  ]
+
+let test_apps_single_kill () =
+  let killed_total = ref 0 in
+  List.iteri
+    (fun i (name, program, inputs) ->
+      let c = Dmll.compile ~target:Dmll.Sequential program in
+      let reference = Dmll.run c ~inputs in
+      let healthy =
+        (Proc_cluster.run ~config:(proc_config ()) ~inputs c.Dmll.final)
+          .Proc_cluster.value
+      in
+      (* proc vs sequential: bit-identical for exact merges, float-merge
+         identical (1e-6) where chunked float reduces reassociate *)
+      check tbool
+        (name ^ ": proc matches sequential")
+        true
+        (Value.equal healthy reference
+        || Value.approx_equal ~eps:1e-6 reference healthy);
+      let fault =
+        Fault.create
+          { murder_spec with M.fault_seed = 100 + i; crash_prob = 0.2 }
+      in
+      let r =
+        Proc_cluster.run ~config:(proc_config ~faults:fault ()) ~inputs
+          c.Dmll.final
+      in
+      (* the robustness headline: killing workers never changes the value *)
+      check value (name ^ ": murdered = healthy, bit-identical") healthy
+        r.Proc_cluster.value;
+      killed_total := !killed_total + r.Proc_cluster.stats.Proc_cluster.killed;
+      assert_clean name r.Proc_cluster.stats)
+    apps;
+  check tbool "at least one worker was killed across the sweep" true
+    (!killed_total > 0)
+
+(* ---------------- hung workers: deadline detection ---------------- *)
+
+let test_hung_worker_deadline () =
+  let inputs = [ ("xs", xs_val 503) ] in
+  let healthy =
+    (Proc_cluster.run ~config:(proc_config ()) ~inputs spine_prog)
+      .Proc_cluster.value
+  in
+  (* every chunk's first dispatch SIGSTOPs its worker for ~0.25 s; the
+     80 ms task deadline must fire first, kill, and replan *)
+  let spec =
+    { M.default_faults with
+      M.fault_seed = 7;
+      crash_prob = 0.0;
+      straggler_prob = 1.0;
+      straggler_slowdown = 30.0;
+    }
+  in
+  let fault = Fault.create spec in
+  let config =
+    { (proc_config ~faults:fault ()) with Proc_cluster.task_deadline_s = 0.08 }
+  in
+  let r = Proc_cluster.run ~config ~inputs spine_prog in
+  check value "hung workers: value unchanged" healthy r.Proc_cluster.value;
+  let s = r.Proc_cluster.stats in
+  check tbool "workers were stopped" true (s.Proc_cluster.stopped > 0);
+  check tbool "deadline fired" true (s.Proc_cluster.deadline_kills > 0);
+  check tbool "hung chunks were replanned" true (s.Proc_cluster.replans > 0);
+  assert_clean "deadline" s
+
+(* ---------------- wedged-idle workers: heartbeat detection ------------ *)
+
+let test_heartbeat_kill () =
+  let inputs = [ ("xs", xs_val 401) ] in
+  let healthy =
+    (Proc_cluster.run ~config:(proc_config ()) ~inputs spine_prog)
+      .Proc_cluster.value
+  in
+  (* wedge slot 1 before it ever answers: the loop-boundary liveness
+     gate must miss three pongs, kill it, and respawn a replacement *)
+  let wedged = ref false in
+  let on_spawn ~slot ~pid =
+    if slot = 1 && not !wedged then begin
+      wedged := true;
+      Unix.kill pid Sys.sigstop
+    end
+  in
+  let config =
+    { (proc_config ~heartbeat_s:0.03 ()) with
+      Proc_cluster.on_spawn = Some on_spawn }
+  in
+  let r = Proc_cluster.run ~config ~inputs spine_prog in
+  check value "wedged idle worker: value unchanged" healthy
+    r.Proc_cluster.value;
+  let s = r.Proc_cluster.stats in
+  check tbool "heartbeat kill fired" true (s.Proc_cluster.heartbeat_kills > 0);
+  check tbool "replacement spawned" true (s.Proc_cluster.respawned > 0);
+  assert_clean "heartbeat" s
+
+(* ---------------- reaping on the parent-error path ---------------- *)
+
+let test_reaping_after_parent_error () =
+  let inputs = [ ("xs", xs_val 256) ] in
+  (* distributed loop succeeds, then the master's scalar glue reads out
+     of bounds: run raises, but children must still be reaped *)
+  let ys = Sym.fresh ~name:"ys" (Types.Arr Types.Float) in
+  let raising_prog =
+    Exp.Let
+      ( ys,
+        collect ~size:(len xs_input) (fun i -> read xs_input i *. float_ 2.0),
+        read (Exp.Var ys) (int_ 999_999_999) )
+  in
+  let fds_before = open_fds () in
+  (match Proc_cluster.run ~config:(proc_config ()) ~inputs raising_prog with
+  | _ -> Alcotest.fail "expected the program to raise"
+  | exception _ -> ());
+  check tbool "no zombies after parent error" true (no_children ());
+  check tint "fds restored after parent error" fds_before (open_fds ())
+
+(* ---------------- deterministic replay ---------------- *)
+
+let test_replay_determinism () =
+  let inputs = [ ("xs", xs_val 769) ] in
+  let go () =
+    let fault = Fault.create murder_spec in
+    let r =
+      Proc_cluster.run ~config:(proc_config ~faults:fault ()) ~inputs spine_prog
+    in
+    let s = r.Proc_cluster.stats in
+    ( r.Proc_cluster.value,
+      s.Proc_cluster.killed,
+      s.Proc_cluster.recovered_chunks,
+      s.Proc_cluster.respawned )
+  in
+  let v1, k1, r1, sp1 = go () in
+  let v2, k2, r2, sp2 = go () in
+  check value "replay: same value" v1 v2;
+  check tint "replay: same kill schedule" k1 k2;
+  check tint "replay: same recovered chunks" r1 r2;
+  check tint "replay: same respawns" sp1 sp2
+
+let test_worker_seed_rule () =
+  (* the documented derivation: pure in (fault_seed, slot), stable for a
+     respawned slot, distinct across slots, moved by the seed *)
+  check tint "stable for a slot"
+    (Fault.worker_seed murder_spec ~worker:3)
+    (Fault.worker_seed murder_spec ~worker:3);
+  let seeds = List.init 8 (fun k -> Fault.worker_seed murder_spec ~worker:k) in
+  check tint "distinct across slots" 8
+    (List.length (List.sort_uniq compare seeds));
+  check tbool "fault seed moves every slot" true
+    (List.for_all2 ( <> ) seeds
+       (List.init 8 (fun k ->
+            Fault.worker_seed { murder_spec with M.fault_seed = 1 } ~worker:k)))
+
+let test_proc_fate_deterministic () =
+  let f1 = Fault.create murder_spec in
+  let f2 = Fault.create murder_spec in
+  for loop = 1 to 5 do
+    for chunk = 0 to 19 do
+      if Fault.proc_fate f1 ~loop ~chunk <> Fault.proc_fate f2 ~loop ~chunk
+      then Alcotest.failf "proc fate diverged at loop %d chunk %d" loop chunk
+    done
+  done;
+  let f3 = Fault.create { murder_spec with M.fault_seed = 1 } in
+  let differs = ref false in
+  for loop = 1 to 5 do
+    for chunk = 0 to 19 do
+      if Fault.proc_fate f1 ~loop ~chunk <> Fault.proc_fate f3 ~loop ~chunk
+      then differs := true
+    done
+  done;
+  check tbool "seed changes the murder schedule" true !differs
+
+(* ---------------- crash-safe checkpoint files ---------------- *)
+
+let with_ckpt_dir (f : string -> unit) : unit =
+  let dir = Printf.sprintf "_proc_ckpt_%d" (Unix.getpid ()) in
+  let wipe () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  wipe ();
+  Fun.protect ~finally:wipe (fun () -> f dir)
+
+let test_checkpoint_files () =
+  with_ckpt_dir (fun dir ->
+      let inputs = [ ("xs", xs_val 333) ] in
+      let config =
+        { (proc_config ()) with
+          Proc_cluster.checkpoint_cadence = 1;
+          checkpoint_dir = Some dir }
+      in
+      let r = Proc_cluster.run ~config ~inputs spine_prog in
+      check tbool "snapshots taken" true
+        (r.Proc_cluster.stats.Proc_cluster.checkpoints >= 2);
+      let entries = Array.to_list (Sys.readdir dir) in
+      check tbool "committed snapshots on disk" true
+        (List.exists (fun f -> Filename.check_suffix f ".snap") entries);
+      check tbool "no torn .tmp left behind" true
+        (not (List.exists (fun f -> Filename.check_suffix f ".tmp") entries));
+      (* the newest committed snapshot verifies *)
+      let path =
+        match Checkpoint.latest_file ~dir with
+        | Some p -> p
+        | None -> Alcotest.fail "no committed snapshot found"
+      in
+      (match Checkpoint.read_file path with
+      | Checkpoint.Available s ->
+          check tbool "restored at the last loop" true
+            (s.Checkpoint.at_loop >= 2)
+      | Checkpoint.Corrupt m -> Alcotest.failf "snapshot corrupt: %s" m
+      | Checkpoint.None_taken -> Alcotest.fail "snapshot missing");
+      (* a truncated image — a worker dying mid-write before the rename
+         commit point — must be rejected, never half-restored *)
+      let torn = Filename.concat dir "ckpt-000099.snap" in
+      let whole = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin torn (fun oc ->
+          Out_channel.output_string oc
+            (String.sub whole 0 (String.length whole / 2)));
+      (match Checkpoint.read_file torn with
+      | Checkpoint.Corrupt _ -> ()
+      | _ -> Alcotest.fail "truncated snapshot was accepted");
+      Sys.remove torn;
+      (* in-flight .tmp files are invisible to latest_file *)
+      Out_channel.with_open_bin
+        (Filename.concat dir "ckpt-999999.snap.tmp")
+        (fun oc -> Out_channel.output_string oc "garbage");
+      check tbool "latest_file skips .tmp" true
+        (Checkpoint.latest_file ~dir = Some path);
+      (* resume: a second run restores the snapshotted loops instead of
+         recomputing them, and the value is bit-identical *)
+      let r2 =
+        Proc_cluster.run
+          ~config:{ config with Proc_cluster.resume = true }
+          ~inputs spine_prog
+      in
+      check value "resumed value identical" r.Proc_cluster.value
+        r2.Proc_cluster.value;
+      check tbool "loops restored from the snapshot" true
+        (r2.Proc_cluster.stats.Proc_cluster.restored_loops > 0))
+
+(* ---------------- runner ---------------- *)
+
+let () =
+  Alcotest.run "proc"
+    [ ( "healthy",
+        [ Alcotest.test_case "bit-identical, reaped, no fd leak" `Quick
+            test_healthy_bit_identical;
+        ] );
+      ( "murder",
+        [ Alcotest.test_case "kill mid-loop recovers bit-identical" `Quick
+            test_kill_recovers_bit_identical;
+          Alcotest.test_case "twelve apps under single kills" `Slow
+            test_apps_single_kill;
+        ] );
+      ( "supervision",
+        [ Alcotest.test_case "hung worker hits the deadline" `Quick
+            test_hung_worker_deadline;
+          Alcotest.test_case "wedged idle worker misses heartbeats" `Quick
+            test_heartbeat_kill;
+          Alcotest.test_case "children reaped after parent error" `Quick
+            test_reaping_after_parent_error;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "seeded murder replays exactly" `Quick
+            test_replay_determinism;
+          Alcotest.test_case "worker seed derivation rule" `Quick
+            test_worker_seed_rule;
+          Alcotest.test_case "proc fates are deterministic" `Quick
+            test_proc_fate_deterministic;
+        ] );
+      ( "checkpoint",
+        [ Alcotest.test_case "crash-safe files and resume" `Quick
+            test_checkpoint_files;
+        ] );
+    ]
