@@ -28,6 +28,8 @@ let experiments : (string * string * (unit -> unit)) list =
       fun () -> Mem_validate.run ());
     ("proc_validate", "simulated vs real forked-worker wall-clock (JSON)",
       fun () -> Proc_validate.run ());
+    ("plan_validate", "ILP vs greedy plan selection, predicted and measured (JSON)",
+      fun () -> Plan_validate.run ());
   ]
 
 let () =

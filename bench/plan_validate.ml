@@ -1,0 +1,130 @@
+(* ILP-vs-greedy cross-validation of the global plan selection
+   (DESIGN.md §15).
+
+   For kmeans, pagerank, and TPC-H Q1 at 1/4/16 cluster nodes: compile
+   the same program twice — once under [Config.plan_selector = Ilp]
+   (the default) and once under [Greedy] — then compare both the static
+   predicted volumes and the traffic the cluster simulator actually
+   charges.  The sweep hard-fails when the ILP plan moves more measured
+   bytes than the greedy plan (the selector's final guard promises it
+   never does), or when either plan's value diverges from the
+   sequential reference.  C-COMM-OVERRUN is armed inline, so each
+   plan's own static comm contract is enforced while it runs.
+
+   Emits one JSON line per (app, nodes) — mirrored into BENCH_plan.json:
+
+     {"app":"kmeans","nodes":4,"provenance":"ilp",
+      "predicted_ilp_bytes":...,"predicted_greedy_bytes":...,
+      "measured_ilp_bytes":...,"measured_greedy_bytes":...,
+      "value_ok":true}
+*)
+
+module R = Dmll_runtime
+module M = Dmll_machine.Machine
+module V = Dmll_interp.Value
+module Comm = Dmll_analysis.Comm
+module Partition = Dmll_analysis.Partition
+
+let node_counts = [ 1; 4; 16 ]
+
+let apps () =
+  let q1 = Lazy.force Datasets.q1_table in
+  let ml = Lazy.force Datasets.ml_small in
+  let cents = Lazy.force Datasets.centroids_small in
+  let pr = Lazy.force Datasets.pr_graph in
+  [ ( "kmeans",
+      Dmll_apps.Kmeans.program ~rows:Datasets.ml_rows_small ~cols:Datasets.ml_cols
+        ~k:Datasets.kmeans_k (),
+      Dmll_apps.Kmeans.inputs ml ~centroids:cents );
+    ( "pagerank",
+      Dmll_apps.Pagerank.program_pull ~nv:pr.Dmll_graph.Csr.nv (),
+      Dmll_apps.Pagerank.inputs pr ~ranks:(Dmll_apps.Pagerank.initial_ranks pr) );
+    ( "tpch_q1",
+      Dmll_apps.Tpch_q1.program (),
+      Dmll_apps.Tpch_q1.aos_inputs q1 @ Dmll_apps.Tpch_q1.soa_inputs q1 );
+  ]
+
+let input_lens_of (inputs : (string * V.t) list) : (string * int) list =
+  List.filter_map
+    (fun (n, v) ->
+      match v with V.Varr _ -> Some (n, V.length v) | _ -> None)
+    inputs
+
+let traffic_sum (r : Dmll.run_result) : float =
+  List.fold_left (fun acc (_, b) -> acc +. b) 0.0 r.Dmll.traffic
+
+(* Compile + run one plan-selector leg; returns (predicted, measured,
+   value, provenance of the last recorded decision). *)
+let leg selector ~machine ~input_lens program inputs =
+  let config = { R.Sim_cluster.default_config with cluster = machine } in
+  let cfg =
+    Dmll.Config.(
+      default
+      |> with_target (Dmll.Cluster config)
+      |> with_plan_selector selector)
+  in
+  let c = Dmll.compile_with cfg program in
+  let predicted =
+    Partition.predicted_volume ~input_lens ~machine c.Dmll.final
+  in
+  let r = Dmll.execute cfg c ~inputs in
+  let provenance =
+    match List.rev c.Dmll.partition.Partition.decisions with
+    | d :: _ -> d.Partition.provenance
+    | [] -> "greedy"
+  in
+  (predicted, traffic_sum r, r.Dmll.value, provenance)
+
+let run () =
+  Printf.printf
+    "Global plan selection: ILP vs greedy, predicted and measured\n\
+     (contract: the ILP-selected plan's measured simulator traffic is\n\
+     \ <= the greedy plan's; C-COMM-OVERRUN armed while the sweep runs).\n\n";
+  let out = open_out "BENCH_plan.json" in
+  let saved = !Comm.validate_enabled in
+  Comm.validate_enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Comm.validate_enabled := saved;
+      close_out out)
+    (fun () ->
+      List.iter
+        (fun (name, program, inputs) ->
+          let reference =
+            Dmll.run (Dmll.compile ~target:Dmll.Sequential program) ~inputs
+          in
+          let input_lens = input_lens_of inputs in
+          List.iter
+            (fun n ->
+              let machine = M.with_nodes n M.ec2_cluster in
+              let p_ilp, m_ilp, v_ilp, provenance =
+                leg Dmll.Config.Ilp ~machine ~input_lens program inputs
+              in
+              let p_greedy, m_greedy, v_greedy, _ =
+                leg Dmll.Config.Greedy ~machine ~input_lens program inputs
+              in
+              let value_ok v =
+                V.equal v reference || V.approx_equal ~eps:1e-6 reference v
+              in
+              let ok = value_ok v_ilp && value_ok v_greedy in
+              let line =
+                Printf.sprintf
+                  "{\"app\":%S,\"nodes\":%d,\"provenance\":%S,\"predicted_ilp_bytes\":%.0f,\"predicted_greedy_bytes\":%.0f,\"measured_ilp_bytes\":%.0f,\"measured_greedy_bytes\":%.0f,\"value_ok\":%b}"
+                  name n provenance p_ilp p_greedy m_ilp m_greedy ok
+              in
+              Printf.printf "%s\n%!" line;
+              output_string out (line ^ "\n");
+              if not ok then begin
+                Printf.eprintf "plan_validate: %s@%d nodes: value mismatch\n"
+                  name n;
+                exit 1
+              end;
+              if m_ilp > m_greedy then begin
+                Printf.eprintf
+                  "plan_validate: %s@%d nodes: ILP plan measured %.0fB > \
+                   greedy %.0fB\n"
+                  name n m_ilp m_greedy;
+                exit 1
+              end)
+            node_counts)
+        (apps ()))

@@ -12,6 +12,7 @@
 module Comm = Dmll_analysis.Comm
 module Mem = Dmll_analysis.Mem
 module Partition = Dmll_analysis.Partition
+module Plan = Dmll_analysis.Plan
 module M = Dmll_machine.Machine
 
 (* Each app registers its builder plus the element counts of its named
@@ -107,6 +108,18 @@ let explain_comm =
            predicted bytes), each outer loop's comm plan, and per-collection \
            totals. With APP = $(b,all), explains every registered \
            application.")
+
+let explain_plan =
+  Arg.(
+    value & flag
+    & info [ "explain-plan" ]
+        ~doc:
+          "Print the global plan-space analysis (DESIGN.md §15): the \
+           enumerated joint rewrite/fusion/partition configurations with \
+           their predicted volumes and memory penalties, the 0-1 ILP \
+           solver's statistics, and the chosen plan vs the greedy baseline \
+           (with solver provenance). With APP = $(b,all), explains every \
+           registered application.")
 
 let explain_mem =
   Arg.(
@@ -217,6 +230,33 @@ let run_explain ~json ~nodes app =
   let machine = Common_cli.cluster_machine ?nodes () in
   List.iter (explain_one ~json ~machine) (select_apps ~flag:true app)
 
+(* ---------------- --explain-plan ---------------- *)
+
+(* Generic optimization with horizontal fusion deferred, so the plan
+   analysis owns the fusion decision jointly with the Figure-3 rewrites
+   and partition-layout demotions — the same compilation split the
+   cluster driver uses under [Config.plan_selector = Ilp]. *)
+let explain_plan_one ~json:as_json ~machine (name, build, input_lens) =
+  let source = build () in
+  let generic =
+    (Dmll_opt.Pipeline.optimize_with ~extra_rules:[] ~horizontal_fusion:false
+       source)
+      .Dmll_opt.Pipeline.program
+  in
+  let r =
+    Plan.analyze ~transforms:Dmll_opt.Rules_nested.cpu_rules ~machine
+      ~input_lens generic
+  in
+  if as_json then print_endline (Plan.explain_to_json ~app:name r.Plan.explain)
+  else begin
+    header (Printf.sprintf "plan: %s (%d nodes)" name machine.M.nodes);
+    Fmt.pr "%a" Plan.pp_explain r.Plan.explain
+  end
+
+let run_explain_plan ~json ~nodes app =
+  let machine = Common_cli.cluster_machine ?nodes () in
+  List.iter (explain_plan_one ~json ~machine) (select_apps ~flag:true app)
+
 (* ---------------- --explain-mem ---------------- *)
 
 (* Same compilation path as --explain-comm (generic optimize without the
@@ -261,8 +301,8 @@ let run_explain_mem ~json ~nodes app =
   let machine = Common_cli.cluster_machine ?nodes () in
   List.iter (explain_mem_one ~json ~machine) (select_apps ~flag:true app)
 
-let main app show_src emit gpu lint explain explain_mem json nodes debug trace
-    profile =
+let main app show_src emit gpu lint explain explain_plan explain_mem json nodes
+    debug trace profile =
   let target =
     if gpu then
       Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true }
@@ -272,6 +312,7 @@ let main app show_src emit gpu lint explain explain_mem json nodes debug trace
     Config.with_target target (Common_cli.config ~debug ?trace ~profile ())
   in
   if explain then run_explain ~json ~nodes app
+  else if explain_plan then run_explain_plan ~json ~nodes app
   else if explain_mem then run_explain_mem ~json ~nodes app
   else if lint then run_lint cfg app
   else begin
@@ -324,7 +365,7 @@ let cmd =
     (Cmd.info "dmllc" ~doc)
     Term.(
       const main $ app_arg $ show_source $ show_codegen $ gpu $ lint
-      $ explain_comm $ explain_mem $ json $ Common_cli.nodes_arg
+      $ explain_comm $ explain_plan $ explain_mem $ json $ Common_cli.nodes_arg
       $ Common_cli.debug_arg $ Common_cli.trace_arg $ Common_cli.profile_arg)
 
 let () = exit (Cmd.eval cmd)

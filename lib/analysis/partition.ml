@@ -55,6 +55,10 @@ type decision = {
   chosen : string;  (** winning rule name, or ["keep"] *)
   candidates : (string * float) list;
       (** every alternative considered, with predicted total bytes *)
+  provenance : string;
+      (** which selector produced the decision: ["greedy"] for this
+          linear search, ["ilp"] / ["ilp-fallback:greedy"] /
+          ["ilp-tie:greedy"] for the global plan selector ({!Plan}) *)
 }
 
 type report = {
@@ -181,8 +185,9 @@ let bad_accesses (e : exp) (layouts : (Stencil.target * layout) list) :
 
 (** Predicted total communication volume of [e] under its own propagated
     layouts — the objective the rewrite search minimizes.  Also the
-    tie-break objective the driver installs into horizontal fusion for
-    cluster targets ({!Dmll_opt.Fusion.comm_objective}). *)
+    tie-break objective the driver threads into horizontal fusion for
+    cluster targets ({!Dmll_opt.Fusion.horizontal_with}) and the cost
+    the global plan selector ({!Plan}) minimizes. *)
 let predicted_volume ?input_lens ?(machine = Dmll_machine.Machine.ec2_cluster)
     (e : exp) : float =
   let layouts, _ = propagate e in
@@ -203,10 +208,37 @@ let dedup_warnings (ws : warning list) : warning list =
     (fun acc w -> if List.exists (warning_equal w) acc then acc else acc @ [ w ])
     [] ws
 
+(** Assemble a {!report} for a finished plan: propagate layouts on the
+    final [program], convert the remaining non-local-friendly accesses
+    into {!Remote_access} warnings, and attach the rewrite/decision
+    history.  Shared by the greedy search below and by the global plan
+    selector ({!Plan}), so both selectors produce reports with identical
+    shape. *)
+let finalize ~(rewrites_applied : string list) ~(decisions : decision list)
+    (program : exp) : report =
+  let layouts, warnings = propagate program in
+  let bad = bad_accesses program layouts in
+  let warnings =
+    dedup_warnings
+      (warnings @ List.map (fun (t, s) -> Remote_access (t, s)) bad)
+  in
+  let is_partitioned t = layout_of t layouts = Partitioned in
+  { program;
+    layouts;
+    stencils = Stencil.global program;
+    co_partitioned = Stencil.co_partition_pairs program ~is_partitioned;
+    warnings;
+    rewrites_applied;
+    decisions;
+  }
+
 (** Run the full analysis.  [transforms] defaults to the CPU set of
     Figure-3 rules; [reoptimize] is applied after any accepted rewrite so
     fusion can clean up (the paper's pipeline does the same for k-means:
-    Conditional Reduce is followed by re-fusion).
+    Conditional Reduce is followed by re-fusion); its default is the
+    shared-memory pipeline with [?fusion_objective] threaded into
+    horizontal fusion, so cluster-target re-fusion keeps honoring the
+    communication veto.
 
     Rewrite selection is cost-guided: at each iteration every applicable
     rule is evaluated on the same program (linear, order-independent) and
@@ -222,8 +254,15 @@ let dedup_warnings (ws : warning list) : warning list =
     rewrite decision (with the chosen rule and the predicted volumes of
     the winner and of keeping the program). *)
 let analyze ?tracer ?(transforms = Dmll_opt.Rules_nested.cpu_rules)
-    ?(reoptimize = fun e -> (Dmll_opt.Pipeline.optimize e).Dmll_opt.Pipeline.program)
-    ?input_lens ?machine (e : exp) : report =
+    ?fusion_objective ?reoptimize ?input_lens ?machine (e : exp) : report =
+  let reoptimize =
+    match reoptimize with
+    | Some f -> f
+    | None ->
+        fun e ->
+          (Dmll_opt.Pipeline.optimize_with ?fusion_objective e)
+            .Dmll_opt.Pipeline.program
+  in
   let volume e = predicted_volume ?input_lens ?machine e in
   let rewrites = ref [] in
   let decisions = ref [] in
@@ -291,7 +330,13 @@ let analyze ?tracer ?(transforms = Dmll_opt.Rules_nested.cpu_rules)
           ("keep", v_keep) :: List.map (fun (n, _, v) -> (n, v)) applicable
         in
         if best_v < v_keep then begin
-          let d = { iteration = iters; chosen = best_name; candidates } in
+          let d =
+            { iteration = iters;
+              chosen = best_name;
+              candidates;
+              provenance = "greedy";
+            }
+          in
           decisions := !decisions @ [ d ];
           trace_decision d;
           rewrites := !rewrites @ [ best_name ];
@@ -301,7 +346,13 @@ let analyze ?tracer ?(transforms = Dmll_opt.Rules_nested.cpu_rules)
           (* every rewrite moves at least as much data as the remote
              reads it removes: keep the program, fall back to the
              runtime's remote fetches *)
-          let d = { iteration = iters; chosen = "keep"; candidates } in
+          let d =
+            { iteration = iters;
+              chosen = "keep";
+              candidates;
+              provenance = "greedy";
+            }
+          in
           decisions := !decisions @ [ d ];
           trace_decision d;
           ignore best_e;
@@ -309,19 +360,8 @@ let analyze ?tracer ?(transforms = Dmll_opt.Rules_nested.cpu_rules)
         end
       end
   in
-  let program, layouts, warnings, bad = fix e 0 in
-  let warnings =
-    dedup_warnings (warnings @ List.map (fun (t, s) -> Remote_access (t, s)) bad)
-  in
-  let is_partitioned t = layout_of t layouts = Partitioned in
-  { program;
-    layouts;
-    stencils = Stencil.global program;
-    co_partitioned = Stencil.co_partition_pairs program ~is_partitioned;
-    warnings;
-    rewrites_applied = !rewrites;
-    decisions = !decisions;
-  }
+  let program, _layouts, _warnings, _bad = fix e 0 in
+  finalize ~rewrites_applied:!rewrites ~decisions:!decisions program
 
 (** All of a report's warnings as structured diagnostics. *)
 let diags (r : report) : Diag.t list = List.map warning_to_diag r.warnings
@@ -331,8 +371,9 @@ let diags (r : report) : Diag.t list = List.map warning_to_diag r.warnings
     tooling relies on them). *)
 let decisions_to_json (ds : decision list) : string =
   let one (d : decision) =
-    Printf.sprintf "{\"iteration\":%d,\"chosen\":\"%s\",\"candidates\":[%s]}"
-      d.iteration d.chosen
+    Printf.sprintf
+      "{\"iteration\":%d,\"chosen\":\"%s\",\"provenance\":\"%s\",\"candidates\":[%s]}"
+      d.iteration d.chosen d.provenance
       (String.concat ","
          (List.map
             (fun (n, v) -> Printf.sprintf "{\"rule\":\"%s\",\"bytes\":%.0f}" n v)

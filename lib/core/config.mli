@@ -30,6 +30,16 @@ type target =
   | Proc_cluster of Dmll_runtime.Proc_cluster.config
       (** real forked worker processes (DESIGN.md §14) *)
 
+(** How cluster compiles choose among interacting fusion / rewrite /
+    partition-layout decisions (re-export of
+    [Dmll_analysis.Plan.selector]): [Greedy] keeps the historical
+    per-decision linear searches; [Ilp] solves the joint plan space as a
+    0-1 ILP (DESIGN.md §15), falling back to greedy automatically when
+    the solver exhausts its node budget or its plan would move more
+    bytes than greedy's.  Only cluster-modeled targets consult this;
+    every other target always uses the greedy pipeline. *)
+type plan_selector = Dmll_analysis.Plan.selector = Greedy | Ilp
+
 type t = {
   target : target;
   debug : bool;
@@ -49,6 +59,9 @@ type t = {
   trace_file : string option;
       (** where tools write the Chrome [trace_event] JSON ([--trace]) *)
   profile : bool;  (** tools print a self-time profile ([--profile]) *)
+  plan_selector : plan_selector;
+      (** joint plan selection policy for cluster targets ([Ilp] by
+          default, with automatic greedy fallback) *)
 }
 
 val default : t
@@ -63,6 +76,7 @@ val with_tracer : Span.t -> t -> t
 val with_metrics : Metrics.t -> t -> t
 val with_trace_file : string -> t -> t
 val with_profile : bool -> t -> t
+val with_plan_selector : plan_selector -> t -> t
 
 val armed : t -> t
 (** Ensure live observability sinks: a tracer when [trace_file] or

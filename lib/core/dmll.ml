@@ -130,17 +130,14 @@ let with_run_checks (debug : bool) (f : unit -> 'a) : 'a =
 (* On cluster targets, horizontal fusion is tie-broken by predicted
    communication volume: a fusion that would force extra broadcasts (e.g.
    merging a master-only loop into a distributed one) is declined.  The
-   objective is installed only for the duration of the compile, mirroring
-   [with_debug_checks]. *)
-let with_comm_objective (target : target) (f : unit -> 'a) : 'a =
+   objective is a plain closure threaded through the pipeline and the
+   partitioning analysis — no global state, no set/reset dance. *)
+let fusion_objective_of (target : target) : (Exp.exp -> float) option =
   match target with
   | Cluster config ->
-      let saved = !Opt.Fusion.comm_objective in
       let machine = config.Runtime.Sim_cluster.cluster in
-      Opt.Fusion.comm_objective :=
-        Some (fun e -> Analysis.Partition.predicted_volume ~machine e);
-      Fun.protect ~finally:(fun () -> Opt.Fusion.comm_objective := saved) f
-  | _ -> f ()
+      Some (fun e -> Analysis.Partition.predicted_volume ~machine e)
+  | _ -> None
 
 (** Compile a staged program under [cfg]: target from [cfg.target], debug
     verification from [cfg.debug], and — when [cfg.tracer] is set — one
@@ -153,25 +150,42 @@ let compile_with (cfg : Config.t) (source : Exp.exp) : compiled =
   let tracer = cfg.Config.tracer in
   let stage name f = Span.with_span ?tracer ~cat:"compile" name f in
   with_debug_checks debug @@ fun () ->
-  with_comm_objective target @@ fun () ->
+  let fusion_objective = fusion_objective_of target in
+  let machine =
+    match target with
+    | Cluster config -> Some config.Runtime.Sim_cluster.cluster
+    | _ -> None
+  in
+  (* The global (ILP) plan selector owns horizontal fusion jointly with
+     the Figure-3 rewrites, so on cluster targets it runs the generic
+     pipeline with horizontal fusion deferred; everywhere else fusion
+     stays in the rewriter (with the comm veto threaded on clusters). *)
+  let use_ilp =
+    match (target, cfg.Config.plan_selector) with
+    | Cluster _, Analysis.Plan.Ilp -> true
+    | _ -> false
+  in
   if debug then stage "verify-source" (fun () -> verify_stage "source" source);
   (* 1. target-independent optimizations, including the CPU-beneficial
      nested rules (GroupBy-Reduce and friends, §3.2) *)
   let r =
     stage "generic-optimize" (fun () ->
         Opt.Pipeline.optimize_with ?tracer
-          ~extra_rules:Opt.Rules_nested.cpu_rules source)
+          ~extra_rules:Opt.Rules_nested.cpu_rules ?fusion_objective
+          ~horizontal_fusion:(not use_ilp) source)
   in
   let generic = r.Opt.Pipeline.program in
-  (* 2. partitioning analysis with stencil-triggered rewrites (§4) *)
+  (* 2. partitioning analysis with stencil-triggered rewrites (§4):
+     greedy per-decision search, or the global ILP plan selector *)
   let partition =
     stage "partition-analyze" (fun () ->
-        Analysis.Partition.analyze ?tracer
-          ?machine:
-            (match target with
-            | Cluster config -> Some config.Runtime.Sim_cluster.cluster
-            | _ -> None)
-          generic)
+        if use_ilp then
+          (Analysis.Plan.analyze ?tracer ?machine
+             ?budget_gb:cfg.Config.mem_budget_gb generic)
+            .Analysis.Plan.report
+        else
+          Analysis.Partition.analyze ?tracer ?fusion_objective ?machine
+            generic)
   in
   let after_partition = partition.Analysis.Partition.program in
   (* 3. liveness-driven early-free (DESIGN.md §13): on cluster targets,
@@ -400,7 +414,18 @@ let lint (c : compiled) : Analysis.Diag.t list =
   let layout_of t =
     Analysis.Partition.layout_of t c.partition.Analysis.Partition.layouts
   in
+  let fusion_missed =
+    (* W-FUSION-MISSED: adjacent fusible loops the compiled program kept
+       separate even though fusing them moves strictly fewer bytes.
+       Costed against the compile's own cluster model when it has one. *)
+    match c.target with
+    | Cluster config ->
+        Analysis.Plan.fusion_missed_diags
+          ~machine:config.Runtime.Sim_cluster.cluster c.final
+    | _ -> Analysis.Plan.fusion_missed_diags c.final
+  in
   Analysis.Diag.sort
     (Analysis.Verify.run c.final
     @ Analysis.Partition.diags c.partition
-    @ Analysis.Mem.dead_array_diags ~layout_of c.final)
+    @ Analysis.Mem.dead_array_diags ~layout_of c.final
+    @ fusion_missed)

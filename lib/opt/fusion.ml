@@ -211,36 +211,31 @@ let vertical : Rewrite.rule =
 (* Horizontal fusion                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(** Communication tie-break for horizontal fusion.  When set (the driver
-    installs the partitioning analysis's predicted-volume objective for
-    cluster targets), a fusion candidate that would move {e more} bytes
-    than the unfused pair is declined: merging a master-only loop into a
-    distributed one forces broadcasts of its inputs, which can dwarf the
-    saved traversal.  [None] (the default) keeps fusion unconditional —
-    shared-memory targets have no communication to lose.  The hook lives
-    here (not in the analysis layer) so [dmll_opt] stays below
-    [dmll_analysis] in the library order; only the closure crosses. *)
-let comm_objective : (exp -> float) option ref = ref None
+(** Communication tie-break for horizontal fusion.  The driver passes
+    the partitioning analysis's predicted-volume objective for cluster
+    targets ({!horizontal_with}); a fusion candidate that would move
+    {e more} bytes than the unfused pair is then declined: merging a
+    master-only loop into a distributed one forces broadcasts of its
+    inputs, which can dwarf the saved traversal.  Without an objective
+    fusion is unconditional — shared-memory targets have no
+    communication to lose.  The closure type lives here (not a concrete
+    analysis call) so [dmll_opt] stays below [dmll_analysis] in the
+    library order; only the closure crosses. *)
+type objective = exp -> float
 
-(** Fusions declined by the objective since the counter was last reset —
-    observable by tools ([dmllc --explain-comm]) and tests. *)
-let comm_rejections : int ref = ref 0
-
-(* Does the objective veto replacing [before] with [after]?  Strict
+(* Does [objective] veto replacing [before] with [after]?  Strict
    increase only: equal-volume fusions keep firing, preserving the
    shared-memory behavior whenever communication is unaffected. *)
-let objective_vetoes ~(before : exp) ~(after : exp) : bool =
-  match !comm_objective with
-  | None -> false
-  | Some vol ->
-      if vol after > vol before then begin
-        incr comm_rejections;
-        Logs.debug (fun m ->
-            m "horizontal-fusion declined: predicted comm %.0fB -> %.0fB"
-              (vol before) (vol after));
-        true
-      end
-      else false
+let objective_vetoes ?on_reject (objective : objective) ~(before : exp)
+    ~(after : exp) : bool =
+  let vb = objective before and va = objective after in
+  if va > vb then begin
+    Option.iter (fun f -> f ()) on_reject;
+    Logs.debug (fun m ->
+        m "horizontal-fusion declined: predicted comm %.0fB -> %.0fB" vb va);
+    true
+  end
+  else false
 
 (* Substitute the index of loop [l] by [idx] in all generator parts. *)
 let retarget_gens ~(from_idx : Sym.t) ~(to_idx : Sym.t) (gens : gen list) : gen list =
@@ -261,7 +256,12 @@ let rebind_result (fused : Sym.t) (s : Sym.t) ~(off : int) ~(n : int) (body : ex
   let bound = match projs with [ p ] -> p | ps -> Tuple ps in
   Let (s, bound, body)
 
-let horizontal : Rewrite.rule =
+(** The horizontal-fusion rule, parameterized by an optional
+    communication [objective] (and an [on_reject] observer counting the
+    candidates the objective declined).  {!horizontal} below is the
+    unconditional shared-memory instance. *)
+let horizontal_with ?(objective : objective option) ?on_reject () :
+    Rewrite.rule =
   { rname = "horizontal-fusion";
     apply =
       (function
@@ -303,9 +303,16 @@ let horizontal : Rewrite.rule =
                     rebind_result fused s1 ~off:0 ~n:n1
                       (rebind_result fused s2 ~off:n1 ~n:n2 body) )
               in
-              if objective_vetoes ~before ~after then None else Some after)
+              let vetoed =
+                match objective with
+                | None -> false
+                | Some obj -> objective_vetoes ?on_reject obj ~before ~after
+              in
+              if vetoed then None else Some after)
       | _ -> None);
   }
+
+let horizontal : Rewrite.rule = horizontal_with ()
 
 (* Float non-loop bindings above loop bindings so that independent loops
    become adjacent in the let-spine and horizontal fusion can see them. *)
@@ -469,5 +476,16 @@ let dedup_gen : Rewrite.rule =
   }
 
 let rules = [ vertical; let_float; horizontal; dead_gen; dedup_gen ]
+
+(** The fusion rule set with an explicitly threaded horizontal-fusion
+    policy: [objective] installs the communication veto (cluster
+    targets), [horizontal:false] removes horizontal fusion entirely so a
+    downstream planner ({!Dmll_analysis.Plan}) can own the decision.
+    With neither, identical to {!rules}. *)
+let rules_with ?objective ?on_reject ?(horizontal = true) () :
+    Rewrite.rule list =
+  [ vertical; let_float ]
+  @ (if horizontal then [ horizontal_with ?objective ?on_reject () ] else [])
+  @ [ dead_gen; dedup_gen ]
 
 let run ?(trace = Rewrite.new_trace ()) e = Rewrite.fixpoint rules trace e

@@ -99,11 +99,31 @@ let trace_rules (tracer : Span.t option) (rules : Rewrite.rule list) :
 
 (** Optimize with the standard shared-memory pipeline plus [extra_rules]
     (e.g. a subset of [Rules_nested.all] chosen by the driver).
+
+    [?fusion_objective] threads a communication objective into
+    horizontal fusion (the driver passes the partitioning analysis's
+    predicted-volume closure for cluster targets; candidates that would
+    move strictly more bytes are declined, [?on_fusion_reject] observes
+    each decline).  [~horizontal_fusion:false] removes horizontal fusion
+    from the pipeline entirely, so a global planner
+    ([Dmll_analysis.Plan]) can own the fusion decision instead of the
+    rewriter.
+
     [?tracer] records one span per pipeline stage (cat ["pipeline"]) and
     one per rule firing (cat ["rule"]), with before/after IR sizes. *)
-let optimize_with ?tracer ?(extra_rules = []) (e : Exp.exp) : report =
+let optimize_with ?tracer ?(extra_rules = []) ?fusion_objective
+    ?on_fusion_reject ?(horizontal_fusion = true) (e : Exp.exp) : report =
   let trace = Rewrite.new_trace () in
-  let rules = trace_rules tracer (instrument_rules (standard_rules @ extra_rules)) in
+  let base_rules =
+    match (fusion_objective, horizontal_fusion) with
+    | None, true -> standard_rules
+    | objective, horizontal ->
+        Simplify.rules @ Cse.rules
+        @ Fusion.rules_with ?objective ?on_reject:on_fusion_reject ~horizontal
+            ()
+        @ Soa.rules @ Motion.rules
+  in
+  let rules = trace_rules tracer (instrument_rules (base_rules @ extra_rules)) in
   let stage name input f =
     match tracer with
     | None -> f ()

@@ -368,15 +368,19 @@ let test_fusion_comm_tiebreak () =
   let count_loops e = List.length (Stencil.outer_loops e) in
   (* no objective installed (shared-memory targets): the loops fuse *)
   check tint "no objective: loops fuse" 1 (count_loops (fixpoint_fusion e));
-  (* the predicted-volume objective vetoes the volume-increasing fusion *)
-  let saved = !Dmll_opt.Fusion.comm_objective in
-  Dmll_opt.Fusion.comm_objective := Some (fun e -> Partition.predicted_volume e);
-  Dmll_opt.Fusion.comm_rejections := 0;
-  Fun.protect
-    ~finally:(fun () -> Dmll_opt.Fusion.comm_objective := saved)
-    (fun () ->
-      check tint "objective: fusion declined" 2 (count_loops (fixpoint_fusion e));
-      check tbool "rejection counted" true (!Dmll_opt.Fusion.comm_rejections > 0))
+  (* the predicted-volume objective, threaded as a plain closure, vetoes
+     the volume-increasing fusion and reports each decline *)
+  let rejections = ref 0 in
+  let rules =
+    Dmll_opt.Fusion.rules_with
+      ~objective:(fun e -> Partition.predicted_volume e)
+      ~on_reject:(fun () -> incr rejections)
+      ()
+  in
+  let trace = Dmll_opt.Rewrite.new_trace () in
+  let fused = Dmll_opt.Rewrite.fixpoint rules trace e in
+  check tint "objective: fusion declined" 2 (count_loops fused);
+  check tbool "rejection counted" true (!rejections > 0)
 
 (* predicted volume never decreases as the stencil coarsens: the optimizer
    may rank rewrites by it without a coarser classification ever looking

@@ -279,8 +279,10 @@ let test_explain_json_schema () =
      keeps the program over the conditional-reduce rewrite *)
   (match arr (field doc "decisions") with
   | [ d ] ->
-      check tkeys "decision keys" [ "iteration"; "chosen"; "candidates" ]
+      check tkeys "decision keys"
+        [ "iteration"; "chosen"; "provenance"; "candidates" ]
         (keys_of d);
+      check Alcotest.string "provenance" "greedy" (str (field d "provenance"));
       check Alcotest.string "chosen rule" "keep" (str (field d "chosen"));
       List.iter
         (fun c ->
