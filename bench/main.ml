@@ -28,6 +28,8 @@ let experiments : (string * string * (unit -> unit)) list =
       fun () -> Mem_validate.run ());
     ("proc_validate", "simulated vs real forked-worker wall-clock (JSON)",
       fun () -> Proc_validate.run ());
+    ("net_validate", "TCP-executor recovery overhead vs network-fault rate (JSON)",
+      fun () -> Net_validate.run ());
     ("plan_validate", "ILP vs greedy plan selection, predicted and measured (JSON)",
       fun () -> Plan_validate.run ());
   ]

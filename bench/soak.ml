@@ -27,14 +27,21 @@
    (and the healthy run equal to the interpreter, within float-merge
    tolerance for reassociated float reductions).
 
+   A third, TCP leg (--net-programs N) runs the stream on the
+   TCP-attached-worker executor (DESIGN.md §16) under network chaos —
+   real crashes plus blackholed links, mid-frame severs, CRC-failing
+   frame corruption, and delivery delays on live loopback sockets —
+   and asserts the faulted run bit-identical to the healthy TCP run.
+
    --deadline-s S arms a hard wall-clock watchdog (SIGALRM): if the
    whole soak exceeds S seconds it exits 124, so a wedged run can never
    hang a CI gate.
 
-   Usage: soak.exe [--programs N] [--proc-programs N] [--seed S]
-                   [--deadline-s S] [--verbose]
+   Usage: soak.exe [--programs N] [--proc-programs N] [--net-programs N]
+                   [--seed S] [--deadline-s S] [--verbose]
    The `dune build @soak` alias runs the short pinned simulated
-   configuration; `@proc-soak` runs the pinned real-process leg. *)
+   configuration; `@proc-soak` the pinned real-process leg; `@net-soak`
+   the pinned TCP leg. *)
 
 open Dmll_ir
 module R = Dmll_runtime
@@ -322,6 +329,155 @@ let run_proc ~(programs : int) ~(seed : int) ~(verbose : bool) () : int =
   end
   else 0
 
+(* ------------------------------------------------------------------ *)
+(* TCP leg (DESIGN.md §16)                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-program network-chaos regime: crashes and stragglers as in the
+   proc leg, plus the link fault classes — blackholed partitions,
+   mid-frame severs, CRC-failing corruption, delivery delays — drawn
+   from a stream independent of both other legs.  [heartbeat_ms] keys
+   the injected partition duration; keep it short so a blackholed link
+   costs milliseconds of soak wall-clock, not seconds. *)
+let net_chaos ~(seed : int) ~(program_no : int) =
+  let rng = Dmll_util.Prng.create ((seed + 131) lxor (program_no * 0x1B873593)) in
+  let f bound = Dmll_util.Prng.float rng bound in
+  let pick xs = List.nth xs (int_of_float (f (float_of_int (List.length xs)))) in
+  let workers = pick [ 2; 3 ] in
+  let spec =
+    { M.default_faults with
+      M.fault_seed = seed + 2000 + program_no;
+      crash_prob = f 0.15;
+      crash_transient_frac = 0.5 +. f 0.5;
+      straggler_prob = f 0.1;
+      straggler_slowdown = 20.0;
+      partition_prob = f 0.08;
+      sever_prob = f 0.08;
+      corrupt_prob = f 0.08;
+      link_delay_prob = f 0.1;
+      link_delay_ms = 0.3;
+      heartbeat_ms = 20.0;
+      max_retries = 2;
+      backoff_us = 1.0;
+    }
+  in
+  (workers, spec)
+
+let net_config ~workers ?faults () =
+  { R.Net_cluster.default_config with
+    R.Net_cluster.workers;
+    faults;
+    task_deadline_s = 0.6;
+    heartbeat_s = 0.04;
+    reconnect_grace_s = 0.1;
+    max_respawns = 64;
+  }
+
+(* Run [programs] random programs on the TCP executor, healthy and under
+   network chaos, asserting the chaos value bit-identical to the healthy
+   one and the healthy one equal to the interpreter (1e-6 for
+   reassociated float merges).  Hard-fails if the whole sweep delivered
+   no link faults — a silent injector would turn this gate into a no-op.
+   Prints a JSON summary line; returns the exit code. *)
+let run_net ~(programs : int) ~(seed : int) ~(verbose : bool) () : int =
+  let rand = Random.State.make [| seed lxor 0x2E1B2138 |] in
+  let progs = QCheck.Gen.generate ~n:programs ~rand gen_soak_program in
+  let checked = ref 0 and skipped = ref 0 and mismatches = ref 0 in
+  let link_faults = ref 0 and disconnects = ref 0 and reconnects = ref 0 in
+  let grace_expired = ref 0 and deadline_kills = ref 0 in
+  let heartbeat_kills = ref 0 and frame_resends = ref 0 in
+  let replans = ref 0 and respawned = ref 0 in
+  let recovered = ref 0 and master = ref 0 in
+  List.iteri
+    (fun pno program ->
+      let n = 256 + ((pno * 41) mod 512) in
+      let inputs =
+        [ ("xs", V.of_float_array (Array.init n (fun i -> float_of_int (i mod 23))))
+        ]
+      in
+      match Interp.run ~inputs program with
+      | exception Interp.Runtime_error _ -> incr skipped
+      | expected -> (
+          let workers, spec = net_chaos ~seed ~program_no:pno in
+          let healthy =
+            R.Net_cluster.run ~config:(net_config ~workers ()) ~inputs program
+          in
+          incr checked;
+          if
+            not
+              (V.equal healthy.R.Net_cluster.value expected
+              || V.approx_equal ~eps:1e-6 expected healthy.R.Net_cluster.value)
+          then begin
+            incr mismatches;
+            Printf.eprintf
+              "NET MISMATCH (healthy vs interp) program %d (seed %d):\n\
+               %s\nexpected %s\ngot      %s\n"
+              pno seed
+              (Dmll_ir.Pp.to_string program)
+              (V.to_string expected)
+              (V.to_string healthy.R.Net_cluster.value)
+          end;
+          let injector = R.Fault.create spec in
+          match
+            R.Net_cluster.run
+              ~config:(net_config ~workers ~faults:injector ())
+              ~inputs program
+          with
+          | exception e ->
+              incr mismatches;
+              Printf.eprintf "NET CRASH program %d (seed %d): %s\n" pno seed
+                (Printexc.to_string e)
+          | faulted ->
+              (* the headline assertion: network faults never move the
+                 value — bit-identical, not approximately equal *)
+              if
+                not
+                  (V.equal faulted.R.Net_cluster.value
+                     healthy.R.Net_cluster.value)
+              then begin
+                incr mismatches;
+                Printf.eprintf
+                  "NET MISMATCH (faulted vs healthy) program %d (seed %d):\n\
+                   %s\nhealthy %s\nfaulted %s\n"
+                  pno seed
+                  (Dmll_ir.Pp.to_string program)
+                  (V.to_string healthy.R.Net_cluster.value)
+                  (V.to_string faulted.R.Net_cluster.value)
+              end;
+              link_faults := !link_faults + R.Fault.link_fault_count injector;
+              let s = faulted.R.Net_cluster.stats in
+              disconnects := !disconnects + s.R.Net_cluster.disconnects;
+              reconnects := !reconnects + s.R.Net_cluster.reconnects;
+              grace_expired := !grace_expired + s.R.Net_cluster.grace_expired;
+              deadline_kills := !deadline_kills + s.R.Net_cluster.deadline_kills;
+              heartbeat_kills :=
+                !heartbeat_kills + s.R.Net_cluster.heartbeat_kills;
+              frame_resends := !frame_resends + s.R.Net_cluster.frame_resends;
+              replans := !replans + s.R.Net_cluster.replans;
+              respawned := !respawned + s.R.Net_cluster.respawned;
+              recovered := !recovered + s.R.Net_cluster.recovered_chunks;
+              master := !master + s.R.Net_cluster.master_chunks;
+              if verbose then
+                Printf.printf "net program %3d: workers=%d %s\n%!" pno workers
+                  (R.Net_cluster.stats_to_string s)))
+    progs;
+  Printf.printf
+    "{\"net_programs\": %d, \"checked\": %d, \"skipped\": %d, \
+     \"mismatches\": %d, \"seed\": %d, \"events\": {\"link_faults\": %d, \
+     \"disconnects\": %d, \"reconnects\": %d, \"grace_expired\": %d, \
+     \"deadline_kills\": %d, \"heartbeat_kills\": %d, \"frame_resends\": %d, \
+     \"replans\": %d, \"respawned\": %d, \"recovered_chunks\": %d, \
+     \"master_chunks\": %d}}\n"
+    programs !checked !skipped !mismatches seed !link_faults !disconnects
+    !reconnects !grace_expired !deadline_kills !heartbeat_kills !frame_resends
+    !replans !respawned !recovered !master;
+  if !mismatches > 0 then 1
+  else if programs > 0 && !link_faults = 0 then begin
+    Printf.eprintf "net soak: chaos regime delivered no link faults\n";
+    1
+  end
+  else 0
+
 (* Hard wall-clock watchdog: a wedged soak exits 124 instead of hanging
    the CI gate.  SIGALRM is delivered to the parent only; workers forked
    later inherit the handler but never the pending alarm. *)
@@ -339,6 +495,7 @@ let arm_watchdog (deadline_s : int) : unit =
 let () =
   let programs = ref default_programs in
   let proc_programs = ref 0 in
+  let net_programs = ref 0 in
   let seed = ref default_seed in
   let deadline_s = ref 0 in
   let verbose = ref false in
@@ -349,6 +506,9 @@ let () =
         parse rest
     | "--proc-programs" :: v :: rest ->
         proc_programs := int_of_string v;
+        parse rest
+    | "--net-programs" :: v :: rest ->
+        net_programs := int_of_string v;
         parse rest
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
@@ -362,7 +522,8 @@ let () =
     | a :: _ ->
         Printf.eprintf
           "soak: unknown argument %S\nusage: soak.exe [--programs N] \
-           [--proc-programs N] [--seed S] [--deadline-s S] [--verbose]\n"
+           [--proc-programs N] [--net-programs N] [--seed S] \
+           [--deadline-s S] [--verbose]\n"
           a;
         exit 2
   in
@@ -377,4 +538,9 @@ let () =
       run_proc ~programs:!proc_programs ~seed:!seed ~verbose:!verbose ()
     else 0
   in
-  exit (max sim_code proc_code)
+  let net_code =
+    if !net_programs > 0 then
+      run_net ~programs:!net_programs ~seed:!seed ~verbose:!verbose ()
+    else 0
+  in
+  exit (max sim_code (max proc_code net_code))

@@ -18,7 +18,8 @@ let target_arg =
   Arg.(
     value
     & opt (enum [ ("seq", `Seq); ("multicore", `Multicore); ("numa", `Numa);
-                  ("gpu", `Gpu); ("cluster", `Cluster); ("proc", `Proc) ]) `Seq
+                  ("gpu", `Gpu); ("cluster", `Cluster); ("proc", `Proc);
+                  ("net", `Net) ]) `Seq
     & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"Execution target.")
 
 let procs_arg =
@@ -33,6 +34,42 @@ let procs_arg =
            SIGSTOPs, and some kills sever the worker's pipe; the \
            supervisor replans onto survivors and the value matches the \
            fault-free run bit-for-bit.")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker count for the net target (implies $(b,--target net)): \
+           $(docv) TCP-attached worker processes, forked locally unless \
+           $(b,--listen) puts the master in multi-host mode.  Composes \
+           with $(b,--faults): crashes, SIGSTOP straggling, link \
+           partitions, mid-frame severs, and frame corruption are \
+           delivered for real, and the recovered value matches the \
+           fault-free run bit-for-bit.")
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Multi-host mode for the net target (implies $(b,--target \
+           net)): bind $(docv) and wait for external $(b,dmll_worker) \
+           processes to attach instead of forking local workers.  The \
+           master prints the address and session token to hand to each \
+           worker.")
+
+let token_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "token" ] ~docv:"TOKEN"
+        ~doc:
+          "Session token net workers must present in their handshake \
+           (default: generated per run and printed in $(b,--listen) \
+           mode).")
 
 let nodes_arg =
   Arg.(
@@ -55,7 +92,8 @@ let faults_arg =
            pairs, e.g. \
            $(b,seed=42,crash=0.05,straggler=0.1,join=0.2,leave=0.1); keys: \
            seed, crash, transient, straggler, slow, drop, delay, delay_us, \
-           retries, backoff_us, heartbeat_ms, join, leave, spares.  An \
+           retries, backoff_us, heartbeat_ms, join, leave, spares, \
+           partition, sever, corrupt, link_delay, link_delay_ms.  An \
            unknown key is rejected with the list of valid keys.  Results \
            are identical to the fault-free run.  The $(b,DMLL_FAULTS) \
            environment variable supplies a default spec.")
@@ -152,13 +190,17 @@ let cluster_machine ?nodes () : M.cluster =
   | Some n -> M.with_nodes n M.ec2_cluster
   | None -> M.ec2_cluster
 
-(** Build a {!Dmll.target} from the [--target]/[--nodes]/[--procs] flags.
-    The cluster and proc targets carry only their sizes; fault,
-    checkpoint, memory, and observability knobs flow in from the
-    {!Config.t} at {!Dmll.execute} time.  [--procs N] implies the proc
-    target at [N] workers. *)
-let target_of ?nodes ?procs
-    (kind : [ `Seq | `Multicore | `Numa | `Gpu | `Cluster | `Proc ]) :
+(** Build a {!Dmll.target} from the
+    [--target]/[--nodes]/[--procs]/[--workers]/[--listen]/[--token]
+    flags.  The cluster, proc, and net targets carry only their
+    size/address shape; fault, checkpoint, memory, and observability
+    knobs flow in from the {!Config.t} at {!Dmll.execute} time.
+    [--procs N] implies the proc target; [--workers N] and [--listen]
+    imply the net target, [--listen] switching it to multi-host mode
+    (external [dmll_worker] processes attach; the master prints the
+    address and token they need). *)
+let target_of ?nodes ?procs ?workers ?listen ?token
+    (kind : [ `Seq | `Multicore | `Numa | `Gpu | `Cluster | `Proc | `Net ]) :
     Dmll.target =
   let proc_target () =
     let d = Dmll_runtime.Proc_cluster.default_config in
@@ -170,10 +212,46 @@ let target_of ?nodes ?procs
           | None -> d.Dmll_runtime.Proc_cluster.workers);
       }
   in
+  let net_target () =
+    let d = Dmll_runtime.Net_cluster.default_config in
+    let spawn_local = listen = None in
+    let token =
+      match token with
+      | Some _ -> token
+      | None when not spawn_local ->
+          (* multi-host mode needs a token the user can hand to workers *)
+          Some (Printf.sprintf "dmll-%d" (Unix.getpid ()))
+      | None -> None
+    in
+    let on_listen =
+      if spawn_local then None
+      else
+        Some
+          (fun ~addr ->
+            Printf.printf
+              "net: listening on %s\nnet: attach workers with: dmll_worker \
+               --connect %s --token %s\n%!"
+              addr addr
+              (Option.value token ~default:""))
+    in
+    Dmll.Net_cluster
+      { d with
+        Dmll_runtime.Net_cluster.workers =
+          (match workers with
+          | Some n -> n
+          | None -> d.Dmll_runtime.Net_cluster.workers);
+        listen;
+        token;
+        spawn_local;
+        on_listen;
+      }
+  in
   if procs <> None then proc_target ()
+  else if workers <> None || listen <> None then net_target ()
   else
     match kind with
     | `Proc -> proc_target ()
+    | `Net -> net_target ()
     | `Seq -> Dmll.Sequential
   | `Multicore -> Dmll.Multicore 4
   | `Numa ->

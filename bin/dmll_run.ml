@@ -72,24 +72,26 @@ let app_arg =
 let scale_arg =
   Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Dataset scale multiplier.")
 
-let main app target nodes procs scale faults checkpoint_every mem_budget debug
-    trace profile =
+let main app target nodes procs workers listen token scale faults
+    checkpoint_every mem_budget debug trace profile =
   let { program; inputs } = prepare app ~scale in
   let cfg =
     Common_cli.config ~debug ?faults ~checkpoint_every ?mem_budget ?trace
       ~profile ()
   in
-  let target = Common_cli.target_of ?nodes ?procs target in
+  let target =
+    Common_cli.target_of ?nodes ?procs ?workers ?listen ?token target
+  in
   let cfg = Config.with_target target cfg in
   (match (cfg.Config.faults, target) with
   | Some _, (Dmll.Sequential | Dmll.Numa _ | Dmll.Gpu _) ->
       Printf.eprintf
-        "note: --faults only affects the multicore, cluster, and proc \
-         targets\n%!"
+        "note: --faults only affects the multicore, cluster, proc, and \
+         net targets\n%!"
   | _ -> ());
   (if cfg.Config.checkpoint_every > 0 then
      match target with
-     | Dmll.Sequential | Dmll.Numa _ | Dmll.Gpu _ ->
+     | Dmll.Sequential | Dmll.Numa _ | Dmll.Gpu _ | Dmll.Net_cluster _ ->
          Printf.eprintf
            "note: --checkpoint-every only affects the multicore, cluster, \
             and proc targets\n%!"
@@ -115,7 +117,8 @@ let cmd =
   Cmd.v (Cmd.info "dmll_run" ~doc)
     Term.(
       const main $ app_arg $ Common_cli.target_arg $ Common_cli.nodes_arg
-      $ Common_cli.procs_arg $ scale_arg $ Common_cli.faults_arg
+      $ Common_cli.procs_arg $ Common_cli.workers_arg $ Common_cli.listen_arg
+      $ Common_cli.token_arg $ scale_arg $ Common_cli.faults_arg
       $ Common_cli.checkpoint_arg
       $ Common_cli.mem_budget_arg $ Common_cli.debug_arg
       $ Common_cli.trace_arg $ Common_cli.profile_arg)

@@ -1,0 +1,46 @@
+(* dmll_worker: attach to a dmll_run --listen master from this (or any
+   other) host and serve chunk programs over TCP until the master shuts
+   the session down.  The master prints the exact command to run:
+
+     dmll_worker --connect HOST:PORT --token TOKEN
+
+   Exit codes mirror Net_cluster.worker_main: 0 orderly, 2 internal
+   error, 3 injected permanent crash, 4 never managed to join. *)
+
+open Cmdliner
+
+let connect_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"HOST:PORT"
+        ~doc:"Master address to dial (printed by $(b,dmll_run --listen)).")
+
+let token_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "token" ] ~docv:"TOKEN"
+        ~doc:
+          "Session token the master requires in the handshake (printed \
+           by $(b,dmll_run --listen)).")
+
+let redials_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "redials" ] ~docv:"N"
+        ~doc:
+          "How many times to redial and resume the session when the \
+           link drops before giving up.")
+
+let main connect token redials =
+  exit
+    (Dmll_runtime.Net_cluster.worker_main ~redials ~addr:connect ~token ())
+
+let cmd =
+  let doc = "serve DMLL chunk programs to a TCP master" in
+  Cmd.v
+    (Cmd.info "dmll_worker" ~doc)
+    Term.(const main $ connect_arg $ token_arg $ redials_arg)
+
+let () = exit (Cmd.eval cmd)

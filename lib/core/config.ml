@@ -21,6 +21,9 @@ type target =
   | Cluster of Runtime.Sim_cluster.config  (** modeled cluster *)
   | Proc_cluster of Runtime.Proc_cluster.config
       (** real forked worker processes (DESIGN.md §14) *)
+  | Net_cluster of Runtime.Net_cluster.config
+      (** TCP-attached worker processes, local or multi-host
+          (DESIGN.md §16) *)
 
 (** How cluster compiles choose among interacting fusion / rewrite /
     partition-layout decisions (re-export of

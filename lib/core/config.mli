@@ -19,8 +19,9 @@ module Span = Dmll_obs.Span
 module Metrics = Dmll_obs.Metrics
 
 (** Execution targets.  All targets compute exact values; [Sequential],
-    [Multicore], and [Proc_cluster] measure real wall-clock time, the
-    others model the paper's testbeds (see [Dmll_machine.Machine]). *)
+    [Multicore], [Proc_cluster], and [Net_cluster] measure real
+    wall-clock time, the others model the paper's testbeds (see
+    [Dmll_machine.Machine]). *)
 type target =
   | Sequential  (** closure backend, one core — the Table 2 configuration *)
   | Multicore of int  (** real OCaml domains *)
@@ -29,6 +30,9 @@ type target =
   | Cluster of Dmll_runtime.Sim_cluster.config  (** modeled cluster *)
   | Proc_cluster of Dmll_runtime.Proc_cluster.config
       (** real forked worker processes (DESIGN.md §14) *)
+  | Net_cluster of Dmll_runtime.Net_cluster.config
+      (** TCP-attached worker processes, local or multi-host
+          (DESIGN.md §16) *)
 
 (** How cluster compiles choose among interacting fusion / rewrite /
     partition-layout decisions (re-export of

@@ -32,6 +32,9 @@ type target = Config.target =
   | Cluster of Runtime.Sim_cluster.config  (** simulated cluster *)
   | Proc_cluster of Runtime.Proc_cluster.config
       (** real forked worker processes (DESIGN.md §14) *)
+  | Net_cluster of Runtime.Net_cluster.config
+      (** TCP-attached worker processes, local or multi-host
+          (DESIGN.md §16) *)
 
 type compiled = {
   source : Exp.exp;
@@ -284,6 +287,15 @@ let overlay (cfg : Config.t) (t : target) : target =
           obs = keep pc.Runtime.Proc_cluster.obs cfg.Config.tracer;
           metrics = keep pc.Runtime.Proc_cluster.metrics cfg.Config.metrics;
         }
+  | Net_cluster nc ->
+      let keep a b = match a with Some _ -> a | None -> b in
+      Net_cluster
+        { nc with
+          Runtime.Net_cluster.faults =
+            keep nc.Runtime.Net_cluster.faults cfg.Config.faults;
+          obs = keep nc.Runtime.Net_cluster.obs cfg.Config.tracer;
+          metrics = keep nc.Runtime.Net_cluster.metrics cfg.Config.metrics;
+        }
   | t -> t
 
 (** Execute a compiled program under [cfg]: the compiled target runs with
@@ -354,6 +366,18 @@ let execute (cfg : Config.t) (c : compiled) ~(inputs : (string * V.t) list) :
         breakdown = r.Runtime.Proc_cluster.breakdown;
         traffic = [];
         metrics = r.Runtime.Proc_cluster.metrics;
+      }
+  | Net_cluster config ->
+      let r = Runtime.Net_cluster.run ~config ~inputs c.final in
+      { value = r.Runtime.Net_cluster.value;
+        seconds = r.Runtime.Net_cluster.seconds;
+        wall_clock = true;
+        breakdown = r.Runtime.Net_cluster.breakdown;
+        traffic =
+          Metrics.byte_counters r.Runtime.Net_cluster.metrics
+          |> List.filter (fun (k, _) ->
+                 String.length k >= 4 && String.sub k 0 4 = "net_");
+        metrics = r.Runtime.Net_cluster.metrics;
       }
 
 (** Execute a compiled program.  All targets return the exact program

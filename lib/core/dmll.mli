@@ -46,6 +46,9 @@ type target = Config.target =
   | Cluster of Dmll_runtime.Sim_cluster.config  (** modeled cluster *)
   | Proc_cluster of Dmll_runtime.Proc_cluster.config
       (** real forked worker processes (DESIGN.md §14) *)
+  | Net_cluster of Dmll_runtime.Net_cluster.config
+      (** TCP-attached worker processes, local or multi-host
+          (DESIGN.md §16) *)
 
 (** A compiled program, carrying every intermediate so tools ([dmllc]) can
     display the compilation the way the paper's figures walk through

@@ -183,6 +183,16 @@ type fault_model = {
           departure: the node drains its partitions before leaving, so no
           lineage is lost — unlike a crash *)
   spare_nodes : int;  (** pool of standby nodes available to join *)
+  partition_prob : float;
+      (** per-frame probability a master→worker link blackholes (frames
+          dropped both ways) for roughly three heartbeat intervals —
+          the TCP executor's network-partition model (DESIGN.md §16) *)
+  sever_prob : float;  (** per-frame probability the link is cut mid-frame *)
+  corrupt_prob : float;
+      (** per-frame probability the frame payload is flipped on the wire
+          (the CRC32 check must catch it) *)
+  link_delay_prob : float;  (** per-frame probability of an injected link delay *)
+  link_delay_ms : float;  (** size of that injected delay *)
 }
 
 (** A mildly unreliable commodity cluster; override fields per experiment
@@ -202,6 +212,11 @@ let default_faults : fault_model =
     join_prob = 0.0;
     leave_prob = 0.0;
     spare_nodes = 4;
+    partition_prob = 0.0;
+    sever_prob = 0.0;
+    corrupt_prob = 0.0;
+    link_delay_prob = 0.0;
+    link_delay_ms = 2.0;
   }
 
 (** A single-socket laptop-class reference machine, handy for tests. *)

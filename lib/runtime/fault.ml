@@ -49,6 +49,10 @@ type stats = {
   restores : int Atomic.t;  (** recoveries served from a checkpoint *)
   replays : int Atomic.t;  (** recoveries served by lineage replay *)
   checkpoints : int Atomic.t;  (** snapshots written *)
+  partitions : int Atomic.t;  (** injected link partitions (net mode) *)
+  severs : int Atomic.t;  (** injected mid-frame link cuts *)
+  corrupts : int Atomic.t;  (** injected frame corruptions *)
+  link_delays : int Atomic.t;  (** injected link delays *)
 }
 
 type t = { spec : spec; stats : stats }
@@ -71,6 +75,10 @@ let create (spec : spec) : t =
         restores = Atomic.make 0;
         replays = Atomic.make 0;
         checkpoints = Atomic.make 0;
+        partitions = Atomic.make 0;
+        severs = Atomic.make 0;
+        corrupts = Atomic.make 0;
+        link_delays = Atomic.make 0;
       };
   }
 
@@ -183,6 +191,61 @@ let proc_fate (t : t) ~(loop : int) ~(chunk : int) : proc_fate =
   else Proc_ok
 
 (* ------------------------------------------------------------------ *)
+(* Network mode (DESIGN.md §16)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** What the fault-injecting transport wrapper does to one outgoing
+    master→worker frame on the TCP executor ([Net_cluster]).  Drawn per
+    (slot, frame number) using the {!worker_seed} slot-seed rule — the
+    stream belongs to the {e slot}, so a reconnected or respawned link
+    for slot [k] continues its predecessor's fate sequence and a seeded
+    chaos run replays.  [Link_partition] blackholes the link (sends
+    dropped, inbound frames discarded) for roughly three heartbeat
+    intervals; [Link_sever] cuts the connection mid-frame;
+    [Link_corrupt] flips a payload byte after the CRC is computed, so
+    the receiver's check fails exactly as for a real flipped bit;
+    [Link_delay] stalls the frame. *)
+type link_fate =
+  | Link_ok
+  | Link_partition of { for_s : float }
+  | Link_sever
+  | Link_corrupt
+  | Link_delay of { for_s : float }
+
+let link_fate (t : t) ~(slot : int) ~(frame : int) : link_fate =
+  let s = t.spec in
+  let g =
+    Prng.create ((worker_seed s ~worker:slot) lxor ((frame + 1) * 0x9E3779B9))
+  in
+  let u = Prng.float g 1.0 in
+  let p_part = s.M.partition_prob in
+  let p_sever = p_part +. s.M.sever_prob in
+  let p_corrupt = p_sever +. s.M.corrupt_prob in
+  let p_delay = p_corrupt +. s.M.link_delay_prob in
+  if u < p_part then begin
+    Atomic.incr t.stats.partitions;
+    Link_partition
+      { for_s = Float.min 0.3 (3.0 *. Float.max 1.0 s.M.heartbeat_ms *. 1e-3) }
+  end
+  else if u < p_sever then begin
+    Atomic.incr t.stats.severs;
+    Link_sever
+  end
+  else if u < p_corrupt then begin
+    Atomic.incr t.stats.corrupts;
+    Link_corrupt
+  end
+  else if u < p_delay then begin
+    Atomic.incr t.stats.link_delays;
+    Link_delay { for_s = Float.max 0.0 s.M.link_delay_ms *. 1e-3 }
+  end
+  else Link_ok
+
+let link_fault_count (t : t) : int =
+  Atomic.get t.stats.partitions + Atomic.get t.stats.severs
+  + Atomic.get t.stats.corrupts + Atomic.get t.stats.link_delays
+
+(* ------------------------------------------------------------------ *)
 (* Elastic membership (DESIGN.md §11)                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -266,11 +329,13 @@ let stats_to_string (t : t) : string =
   Printf.sprintf
     "crashes=%d (permanent=%d, transient=%d) stragglers=%d speculated=%d \
      replans=%d recovered_chunks=%d read_drops=%d read_retries=%d \
-     degraded_reads=%d joins=%d leaves=%d restores=%d replays=%d checkpoints=%d"
+     degraded_reads=%d joins=%d leaves=%d restores=%d replays=%d \
+     checkpoints=%d partitions=%d severs=%d corrupts=%d link_delays=%d"
     (g s.crashes) (g s.permanent) (g s.transient) (g s.stragglers)
     (g s.speculative) (g s.replans) (g s.recovered_chunks) (g s.read_drops)
     (g s.read_retries) (g s.degraded_reads) (g s.joins) (g s.leaves)
-    (g s.restores) (g s.replays) (g s.checkpoints)
+    (g s.restores) (g s.replays) (g s.checkpoints) (g s.partitions)
+    (g s.severs) (g s.corrupts) (g s.link_delays)
 
 (* ------------------------------------------------------------------ *)
 (* Spec syntax: the DMLL_FAULTS / --faults grammar                      *)
@@ -337,6 +402,21 @@ let keys :
     ( "spares",
       pi (fun s -> s.M.spare_nodes),
       it (fun s n -> { s with M.spare_nodes = n }) );
+    ( "partition",
+      pf (fun s -> s.M.partition_prob),
+      fl (fun s f -> { s with M.partition_prob = f }) );
+    ( "sever",
+      pf (fun s -> s.M.sever_prob),
+      fl (fun s f -> { s with M.sever_prob = f }) );
+    ( "corrupt",
+      pf (fun s -> s.M.corrupt_prob),
+      fl (fun s f -> { s with M.corrupt_prob = f }) );
+    ( "link_delay",
+      pf (fun s -> s.M.link_delay_prob),
+      fl (fun s f -> { s with M.link_delay_prob = f }) );
+    ( "link_delay_ms",
+      pf (fun s -> s.M.link_delay_ms),
+      fl (fun s f -> { s with M.link_delay_ms = f }) );
   ]
 
 let valid_keys : string list = List.map (fun (k, _, _) -> k) keys

@@ -71,6 +71,30 @@ type proc_fate =
 
 val proc_fate : t -> loop:int -> chunk:int -> proc_fate
 
+(** What the fault-injecting transport wrapper does to one outgoing
+    master→worker frame on the TCP executor (DESIGN.md §16).
+    [Link_partition] blackholes the link (sends dropped, inbound frames
+    discarded) for ~3 heartbeat intervals; [Link_sever] cuts the
+    connection mid-frame; [Link_corrupt] flips a payload byte after the
+    CRC is computed so the receiver rejects the frame; [Link_delay]
+    stalls the frame. *)
+type link_fate =
+  | Link_ok
+  | Link_partition of { for_s : float }
+  | Link_sever
+  | Link_corrupt
+  | Link_delay of { for_s : float }
+
+val link_fate : t -> slot:int -> frame:int -> link_fate
+(** Drawn per (slot, outgoing frame number) from the {!worker_seed}
+    slot-seed stream — pure in (fault_seed, slot, frame), so a
+    reconnected or respawned link for slot [k] continues its
+    predecessor's fate sequence and a seeded chaos run replays. *)
+
+val link_fault_count : t -> int
+(** Injected link faults of any kind (partitions + severs + corrupts +
+    delays). *)
+
 (** Elastic-membership events for one loop (DESIGN.md §11). *)
 type membership_event = Join of { node : int } | Leave of { node : int }
 

@@ -62,6 +62,10 @@ type config = {
   metrics : Metrics.t option;
   on_spawn : (slot:int -> pid:int -> unit) option;
       (** test hook, called by the parent after every fork *)
+  on_task_sent : (slot:int -> chunk:int -> unit) option;
+      (** test hook, called right after a task frame is written to a
+          worker and before its first reply can arrive — the window the
+          heartbeat/deadline edge-case tests target *)
 }
 
 let default_config =
@@ -76,6 +80,7 @@ let default_config =
     obs = None;
     metrics = None;
     on_spawn = None;
+    on_task_sent = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -131,8 +136,16 @@ type result = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Wire protocol: length-prefixed Marshal frames                       *)
+(* Wire protocol                                                       *)
 (* ------------------------------------------------------------------ *)
+
+(* Frames are the shared length-prefixed + CRC32 codec of [Transport]
+   (DESIGN.md §16) — one implementation for this executor's socketpair
+   pipes and [Net_cluster]'s TCP links.  A corrupt frame read by the
+   supervisor is a structured [Transport.Corrupt_frame] (Diag rule
+   T-FRAME), handled like a dead peer: the pipe carries no
+   retransmission protocol, so the worker is retired and its chunks
+   replanned. *)
 
 type task = {
   task_id : int;
@@ -152,68 +165,14 @@ type from_worker =
   | Refused of { task_id : int; chunk : int; msg : string }
   | Pong of int
 
-exception Worker_gone
+exception Worker_gone = Transport.Peer_gone
 (** The peer is dead: EOF, EPIPE, or connection reset. *)
 
-exception Frame_timeout
+exception Frame_timeout = Transport.Frame_timeout
 (** A frame did not complete within its deadline: the peer is hung. *)
 
-let rec write_all fd buf off len =
-  if len > 0 then
-    match Unix.write fd buf off len with
-    | n -> write_all fd buf (off + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd buf off len
-    | exception
-        Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
-        raise Worker_gone
-
-(* Pull exactly [len] bytes, optionally bounded by an absolute deadline
-   (a worker SIGSTOPed mid-frame must not wedge the supervisor). *)
-let read_exact ?deadline fd buf off len =
-  let rec go off len =
-    if len > 0 then begin
-      (match deadline with
-      | None -> ()
-      | Some d ->
-          let rec wait () =
-            let left = d -. Unix.gettimeofday () in
-            if left <= 0.0 then raise Frame_timeout;
-            match Unix.select [ fd ] [] [] left with
-            | [], _, _ -> raise Frame_timeout
-            | _ -> ()
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
-          in
-          wait ());
-      match Unix.read fd buf off len with
-      | 0 -> raise Worker_gone
-      | n -> go (off + n) (len - n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
-      | exception
-          Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
-        ->
-          raise Worker_gone
-    end
-  in
-  go off len
-
-let max_frame_bytes = 1 lsl 30
-
-let write_frame fd (msg : 'a) : unit =
-  let payload = Marshal.to_bytes msg [] in
-  let n = Bytes.length payload in
-  let hdr = Bytes.create 8 in
-  Bytes.set_int64_be hdr 0 (Int64.of_int n);
-  write_all fd hdr 0 8;
-  write_all fd payload 0 n
-
-let read_frame ?deadline fd : 'a =
-  let hdr = Bytes.create 8 in
-  read_exact ?deadline fd hdr 0 8;
-  let n = Int64.to_int (Bytes.get_int64_be hdr 0) in
-  if n <= 0 || n > max_frame_bytes then raise Worker_gone;
-  let payload = Bytes.create n in
-  read_exact ?deadline fd payload 0 n;
-  Marshal.from_bytes payload 0
+let write_frame = Transport.write_frame
+let read_frame = Transport.read_frame
 
 (* Bounded retry with exponential backoff on transient I/O errors —
    resource-pressure failures that clear on their own, as opposed to the
@@ -294,7 +253,14 @@ let worker_main ~(slot : int) ~(spec : M.fault_model option)
     attempt 0
   in
   let rec serve () =
-    match (try Some (read_frame fd) with Worker_gone | End_of_file -> None) with
+    match
+      (try Some (read_frame fd) with
+      | Worker_gone | End_of_file -> None
+      | Transport.Corrupt_frame _ ->
+          (* a corrupt frame on a trusted pipe is an internal error; the
+             supervisor recovers the in-flight chunk by deadline *)
+          Unix._exit 2)
+    with
     | None | Some Shutdown -> Unix._exit 0
     | Some (Ping k) ->
         (try write_frame fd (Pong k) with Worker_gone -> Unix._exit 0);
@@ -486,7 +452,9 @@ let liveness_gate (pool : pool) ~(loop_no : int) : unit =
                             suspects :=
                               List.filter (fun x -> x.pid <> w.pid) !suspects
                         | _ -> ()
-                        | exception (Worker_gone | Frame_timeout) ->
+                        | exception
+                            ( Worker_gone | Frame_timeout
+                            | Transport.Corrupt_frame _ ) ->
                             retire pool w;
                             pool.stats.heartbeat_kills <-
                               pool.stats.heartbeat_kills + 1;
@@ -680,6 +648,9 @@ let run_loop (pool : pool) (env : Evalenv.env) ~(loop_no : int) (l : Exp.loop)
                 | () -> (
                     w.task <-
                       Some (i, Unix.gettimeofday () +. cfg.task_deadline_s);
+                    (match cfg.on_task_sent with
+                    | Some f -> f ~slot:w.slot ~chunk:i
+                    | None -> ());
                     (* parent-side murder: drawn once per (loop, chunk),
                        on first dispatch only *)
                     match cfg.faults with
@@ -742,6 +713,11 @@ let run_loop (pool : pool) (env : Evalenv.env) ~(loop_no : int) (l : Exp.loop)
               dispatch w
           | Pong _ -> stats.pongs <- stats.pongs + 1
           | exception Worker_gone -> worker_dead w ~respawn:true
+          | exception Transport.Corrupt_frame _ ->
+              (* structured T-FRAME rejection: the pipe carries no
+                 retransmission protocol, so treat the link as dead *)
+              Metrics.incr pool.metrics "proc_corrupt_frames";
+              worker_dead w ~respawn:true
           | exception Frame_timeout ->
               stats.deadline_kills <- stats.deadline_kills + 1;
               Metrics.incr pool.metrics "proc_deadline_kills";

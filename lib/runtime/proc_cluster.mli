@@ -40,6 +40,10 @@ type config = {
   metrics : Metrics.t option;
   on_spawn : (slot:int -> pid:int -> unit) option;
       (** test hook, called by the parent after every fork *)
+  on_task_sent : (slot:int -> chunk:int -> unit) option;
+      (** test hook, called right after a task frame is written to a
+          worker and before its first reply can arrive — the window the
+          heartbeat/deadline edge-case tests target *)
 }
 
 val default_config : config

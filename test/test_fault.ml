@@ -100,6 +100,11 @@ let spec_roundtrip_prop =
     let* join_prob = pf in
     let* leave_prob = pf in
     let* spare_nodes = int_range 0 8 in
+    let* partition_prob = pf in
+    let* sever_prob = pf in
+    let* corrupt_prob = pf in
+    let* link_delay_prob = pf in
+    let* link_delay_ms = float_range 0.0 50.0 in
     return
       { M.fault_seed;
         crash_prob;
@@ -115,6 +120,11 @@ let spec_roundtrip_prop =
         join_prob;
         leave_prob;
         spare_nodes;
+        partition_prob;
+        sever_prob;
+        corrupt_prob;
+        link_delay_prob;
+        link_delay_ms;
       }
   in
   QCheck.Test.make ~count:300 ~name:"pp_spec/parse_spec round-trip"

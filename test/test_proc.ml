@@ -285,6 +285,45 @@ let test_heartbeat_kill () =
   check tbool "replacement spawned" true (s.Proc_cluster.respawned > 0);
   assert_clean "heartbeat" s
 
+(* ---------------- killed between task send and first reply ------------ *)
+
+let test_kill_between_send_and_reply () =
+  let inputs = [ ("xs", xs_val 601) ] in
+  let healthy =
+    (Proc_cluster.run ~config:(proc_config ()) ~inputs spine_prog)
+      .Proc_cluster.value
+  in
+  (* murder a worker in the race window the supervisor cannot see into:
+     its task frame has been written, but no reply — and no heartbeat —
+     has come back yet.  Detection must come from the dead pipe or the
+     deadline, and recovery must not change the value. *)
+  let pids = Array.make 8 0 in
+  let killed_once = ref false in
+  let on_spawn ~slot ~pid = pids.(slot) <- pid in
+  let on_task_sent ~slot ~chunk:_ =
+    if (not !killed_once) && pids.(slot) <> 0 then begin
+      killed_once := true;
+      Unix.kill pids.(slot) Sys.sigkill
+    end
+  in
+  let config =
+    { (proc_config ()) with
+      Proc_cluster.on_spawn = Some on_spawn;
+      on_task_sent = Some on_task_sent;
+    }
+  in
+  let r = Proc_cluster.run ~config ~inputs spine_prog in
+  check tbool "the kill landed in the race window" true !killed_once;
+  check value "kill between send and reply: value unchanged" healthy
+    r.Proc_cluster.value;
+  let s = r.Proc_cluster.stats in
+  check tbool "loss was detected and recovered" true
+    (s.Proc_cluster.respawned > 0
+    || s.Proc_cluster.replans > 0
+    || s.Proc_cluster.recovered_chunks > 0
+    || s.Proc_cluster.master_chunks > 0);
+  assert_clean "send-race" s
+
 (* ---------------- reaping on the parent-error path ---------------- *)
 
 let test_reaping_after_parent_error () =
@@ -449,6 +488,8 @@ let () =
             test_hung_worker_deadline;
           Alcotest.test_case "wedged idle worker misses heartbeats" `Quick
             test_heartbeat_kill;
+          Alcotest.test_case "kill between task send and first reply" `Quick
+            test_kill_between_send_and_reply;
           Alcotest.test_case "children reaped after parent error" `Quick
             test_reaping_after_parent_error;
         ] );
