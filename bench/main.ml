@@ -32,6 +32,8 @@ let experiments : (string * string * (unit -> unit)) list =
       fun () -> Net_validate.run ());
     ("plan_validate", "ILP vs greedy plan selection, predicted and measured (JSON)",
       fun () -> Plan_validate.run ());
+    ("jit_validate", "kernel cache cold vs warm on the native backend (JSON)",
+      fun () -> Jit_validate.run ());
   ]
 
 let () =

@@ -83,8 +83,8 @@ let run () =
   let rows = ref [] in
   List.iteri
     (fun i (name, program, inputs, items) ->
-      let c = Dmll.compile ~target:Dmll.Sequential program in
-      let reference = Dmll.run c ~inputs in
+      let c = Dmll.compile_with Dmll.Config.default program in
+      let reference = (Dmll.execute Dmll.Config.default c ~inputs).Dmll.value in
       let healthy =
         R.Net_cluster.run ~config:(config ()) ~inputs c.Dmll.final
       in

@@ -91,7 +91,10 @@ let run () =
       List.iter
         (fun (name, program, inputs) ->
           let reference =
-            Dmll.run (Dmll.compile ~target:Dmll.Sequential program) ~inputs
+            (Dmll.execute Dmll.Config.default
+               (Dmll.compile_with Dmll.Config.default program)
+               ~inputs)
+              .Dmll.value
           in
           let input_lens = input_lens_of inputs in
           List.iter

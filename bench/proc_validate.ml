@@ -42,8 +42,8 @@ let run () =
      merges).\n\n";
   List.iter
     (fun (name, program, inputs) ->
-      let c = Dmll.compile ~target:Dmll.Sequential program in
-      let reference = Dmll.run c ~inputs in
+      let c = Dmll.compile_with Dmll.Config.default program in
+      let reference = (Dmll.execute Dmll.Config.default c ~inputs).Dmll.value in
       List.iter
         (fun w ->
           let sim =

@@ -19,8 +19,11 @@ let target_arg =
     value
     & opt (enum [ ("seq", `Seq); ("multicore", `Multicore); ("numa", `Numa);
                   ("gpu", `Gpu); ("cluster", `Cluster); ("proc", `Proc);
-                  ("net", `Net) ]) `Seq
-    & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"Execution target.")
+                  ("net", `Net); ("native", `Native) ]) `Seq
+    & info [ "t"; "target" ] ~docv:"TARGET"
+        ~doc:
+          "Execution target; $(b,dmllc --explain backends) lists what \
+           each one can do.")
 
 let procs_arg =
   Arg.(
@@ -200,7 +203,8 @@ let cluster_machine ?nodes () : M.cluster =
     (external [dmll_worker] processes attach; the master prints the
     address and token they need). *)
 let target_of ?nodes ?procs ?workers ?listen ?token
-    (kind : [ `Seq | `Multicore | `Numa | `Gpu | `Cluster | `Proc | `Net ]) :
+    (kind :
+      [ `Seq | `Multicore | `Numa | `Gpu | `Cluster | `Proc | `Net | `Native ]) :
     Dmll.target =
   let proc_target () =
     let d = Dmll_runtime.Proc_cluster.default_config in
@@ -252,6 +256,7 @@ let target_of ?nodes ?procs ?workers ?listen ?token
     match kind with
     | `Proc -> proc_target ()
     | `Net -> net_target ()
+    | `Native -> Dmll.Native
     | `Seq -> Dmll.Sequential
   | `Multicore -> Dmll.Multicore 4
   | `Numa ->

@@ -83,10 +83,10 @@ let app_arg =
   let doc =
     Printf.sprintf
       "Application to compile. One of: %s; or $(b,all) (with --lint or \
-       --explain-comm)."
+       --explain).  Optional for $(b,--explain backends)."
       (String.concat ", " app_names)
   in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
 
 let lint =
   Arg.(
@@ -98,47 +98,57 @@ let lint =
            §8). Exits 1 when any Error-severity finding is reported. With APP \
            = $(b,all), lints every registered application.")
 
+let explain_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [ ("comm", `Comm); ("mem", `Mem); ("plan", `Plan);
+                ("backends", `Backends) ]))
+        None
+    & info [ "explain" ] ~docv:"WHAT"
+        ~doc:
+          "Print a compiler analysis instead of the compilation walkthrough.  \
+           $(b,comm): the static communication-volume analysis (DESIGN.md \
+           §10) — cost-guided rewrite decisions (chosen vs rejected, with \
+           predicted bytes), each outer loop's comm plan, and \
+           per-collection totals.  $(b,mem): the static memory-footprint & \
+           liveness analysis (DESIGN.md §13) — liveness windows, resident \
+           sets, the symbolic peak with and without early-free, and the \
+           admission decision.  $(b,plan): the global plan-space analysis \
+           (DESIGN.md §15) — joint rewrite/fusion/partition configurations, \
+           ILP solver statistics, and the chosen plan vs the greedy \
+           baseline.  $(b,backends): the backend registry (DESIGN.md §17) — \
+           every registered execution backend with its capabilities (no APP \
+           needed).  With APP = $(b,all), explains every registered \
+           application.  Composes with $(b,--json) and $(b,--nodes).")
+
+(* Historical spellings, kept as deprecated aliases of --explain. *)
 let explain_comm =
   Arg.(
     value & flag
-    & info [ "explain-comm" ]
-        ~doc:
-          "Print the static communication-volume analysis (DESIGN.md §10): \
-           the cost-guided rewrite decisions (chosen vs rejected, with \
-           predicted bytes), each outer loop's comm plan, and per-collection \
-           totals. With APP = $(b,all), explains every registered \
-           application.")
+    & info [ "explain-comm" ] ~deprecated:"use --explain comm"
+        ~doc:"Alias of $(b,--explain comm).")
 
 let explain_plan =
   Arg.(
     value & flag
-    & info [ "explain-plan" ]
-        ~doc:
-          "Print the global plan-space analysis (DESIGN.md §15): the \
-           enumerated joint rewrite/fusion/partition configurations with \
-           their predicted volumes and memory penalties, the 0-1 ILP \
-           solver's statistics, and the chosen plan vs the greedy baseline \
-           (with solver provenance). With APP = $(b,all), explains every \
-           registered application.")
+    & info [ "explain-plan" ] ~deprecated:"use --explain plan"
+        ~doc:"Alias of $(b,--explain plan).")
 
 let explain_mem =
   Arg.(
     value & flag
-    & info [ "explain-mem" ]
-        ~doc:
-          "Print the static memory-footprint & liveness analysis (DESIGN.md \
-           §13): collection liveness windows, per-position resident sets \
-           (persistent chunk shares + transient buffers), the symbolic peak \
-           resident bytes — with and without liveness-driven early-free — \
-           and the pre-execution admission decision. With APP = $(b,all), \
-           explains every registered application.")
+    & info [ "explain-mem" ] ~deprecated:"use --explain mem"
+        ~doc:"Alias of $(b,--explain mem).")
 
 let json =
   Arg.(
     value & flag
     & info [ "json" ]
-        ~doc:"With --explain-comm or --explain-mem, emit machine-readable \
-              JSON (one object per application).")
+        ~doc:"With --explain, emit machine-readable JSON (one object per \
+              application; one registry object for backends).")
 
 let show_source =
   Arg.(value & flag & info [ "source" ] ~doc:"Print the source (staged) IR.")
@@ -301,8 +311,34 @@ let run_explain_mem ~json ~nodes app =
   let machine = Common_cli.cluster_machine ?nodes () in
   List.iter (explain_mem_one ~json ~machine) (select_apps ~flag:true app)
 
-let main app show_src emit gpu lint explain explain_plan explain_mem json nodes
-    debug trace profile =
+(* ---------------- --explain backends ---------------- *)
+
+let run_explain_backends ~json =
+  Dmll.Backends.ensure_registered ();
+  if json then print_endline (Dmll_backend.Registry.to_json ())
+  else begin
+    header "backends";
+    print_string (Dmll_backend.Registry.describe_table ())
+  end
+
+let main app show_src emit gpu lint explain explain_comm explain_plan
+    explain_mem json nodes debug trace profile =
+  let explain =
+    match explain with
+    | Some _ -> explain
+    | None when explain_comm -> Some `Comm
+    | None when explain_plan -> Some `Plan
+    | None when explain_mem -> Some `Mem
+    | None -> None
+  in
+  let require_app () =
+    match app with
+    | Some a -> a
+    | None ->
+        Printf.eprintf "dmllc: an APP argument is required; one of: %s, all\n"
+          (String.concat ", " app_names);
+        exit 1
+  in
   let target =
     if gpu then
       Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true }
@@ -311,11 +347,15 @@ let main app show_src emit gpu lint explain explain_plan explain_mem json nodes
   let cfg =
     Config.with_target target (Common_cli.config ~debug ?trace ~profile ())
   in
-  if explain then run_explain ~json ~nodes app
-  else if explain_plan then run_explain_plan ~json ~nodes app
-  else if explain_mem then run_explain_mem ~json ~nodes app
-  else if lint then run_lint cfg app
+  match explain with
+  | Some `Backends -> run_explain_backends ~json
+  | Some `Comm -> run_explain ~json ~nodes (require_app ())
+  | Some `Plan -> run_explain_plan ~json ~nodes (require_app ())
+  | Some `Mem -> run_explain_mem ~json ~nodes (require_app ())
+  | None ->
+  if lint then run_lint cfg (require_app ())
   else begin
+  let app = require_app () in
   (match find_app app with
   | None ->
       Printf.eprintf "unknown app %S; try one of: %s\n" app
@@ -365,7 +405,8 @@ let cmd =
     (Cmd.info "dmllc" ~doc)
     Term.(
       const main $ app_arg $ show_source $ show_codegen $ gpu $ lint
-      $ explain_comm $ explain_plan $ explain_mem $ json $ Common_cli.nodes_arg
-      $ Common_cli.debug_arg $ Common_cli.trace_arg $ Common_cli.profile_arg)
+      $ explain_arg $ explain_comm $ explain_plan $ explain_mem $ json
+      $ Common_cli.nodes_arg $ Common_cli.debug_arg $ Common_cli.trace_arg
+      $ Common_cli.profile_arg)
 
 let () = exit (Cmd.eval cmd)

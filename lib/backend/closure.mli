@@ -1,0 +1,26 @@
+(** Closure backend: compile the multiloop IR to nested OCaml closures
+    over typed scalar frames — the in-process execution engine behind
+    the [closure] backend (Table 2's single-core configuration).
+
+    Scalars live in unboxed [float]/[int] frame arrays; only
+    collections and tuples are boxed.  Compilation is separated from
+    execution so one compile amortizes over many runs. *)
+
+module V = Dmll_interp.Value
+
+exception Compile_error of string
+
+type compiled = {
+  run : ?inputs:(string * V.t) list -> unit -> V.t;
+      (** execute with input bindings; a missing binding for a used
+          input raises {!Compile_error} *)
+  frame_sizes : int * int * int;
+      (** (float, int, boxed) slot counts, for diagnostics *)
+}
+
+val compile : Dmll_ir.Exp.exp -> compiled
+(** Compile a program once; [run] may be invoked many times (e.g. once
+    per benchmark repetition) with different inputs. *)
+
+val run : ?inputs:(string * V.t) list -> Dmll_ir.Exp.exp -> V.t
+(** One-shot convenience: [compile] then [run]. *)

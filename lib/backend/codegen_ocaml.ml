@@ -139,11 +139,15 @@ let ty_of_exp e =
     e
 
 let fconst f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  if Float.is_integer f && Float.abs f < 1e15 then
+    (* parenthesize negatives (and -0.0): a bare leading [-] would parse
+       as subtraction in argument position *)
+    let s = Printf.sprintf "%.1f" f in
+    if s.[0] = '-' then "(" ^ s ^ ")" else s
   else if Float.is_nan f then "Float.nan"
   else if f = Float.infinity then "Float.infinity"
   else if f = Float.neg_infinity then "Float.neg_infinity"
-  else Printf.sprintf "(Int64.float_of_bits %LdL)" (Int64.bits_of_float f)
+  else Printf.sprintf "(Int64.float_of_bits (%LdL))" (Int64.bits_of_float f)
 
 (* ------------------------------------------------------------------ *)
 (* Expressions                                                         *)
@@ -549,7 +553,11 @@ and strip_lets e =
 (* Program assembly                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let prelude =
+(* Shared runtime support of both emission modes (standalone program and
+   Dynlink kernel plugin): the [value] mirror type and the bucket / buf
+   helpers.  No I/O — the modes differ only in how inputs arrive and
+   results leave. *)
+let runtime_prelude =
   {|(* Generated by the DMLL native (OCaml) backend. Do not edit. *)
 (* The [value] type mirrors Dmll_interp.Value.t structurally, so Marshal
    round-trips between the host compiler and this program. *)
@@ -603,7 +611,11 @@ let buf_push b x =
   b.bn <- b.bn + 1
 
 let buf_contents b = Array.sub b.ba 0 b.bn
+|}
 
+let prelude =
+  runtime_prelude
+  ^ {|
 let raw_inputs : (string * value) list =
   let ic = open_in_bin Sys.argv.(1) in
   let v = (Marshal.from_channel ic : (string * value) list) in
@@ -614,6 +626,21 @@ let find_input name =
   try List.assoc name raw_inputs with Not_found -> failwith ("missing input " ^ name)
 |}
 
+(* The named inputs [e] reads, deduplicated. *)
+let inputs_of (e : exp) : (string * Types.ty) list =
+  let inputs = Hashtbl.create 8 in
+  let order = ref [] in
+  ignore
+    (fold
+       (fun () n ->
+         match n with
+         | Input (name, t, _) ->
+             if not (Hashtbl.mem inputs name) then order := name :: !order;
+             Hashtbl.replace inputs name t
+         | _ -> ())
+       () e);
+  List.rev_map (fun name -> (name, Hashtbl.find inputs name)) !order
+
 (** Emit the complete standalone program for [e]. *)
 let emit_program (e : exp) : string =
   let ty = ty_of_exp e in
@@ -621,21 +648,12 @@ let emit_program (e : exp) : string =
   let result = emit em e in
   let body = Buffer.contents em.buf in
   (* typed input bindings *)
-  let inputs = Hashtbl.create 8 in
-  ignore
-    (fold
-       (fun () n ->
-         match n with
-         | Input (name, t, _) -> Hashtbl.replace inputs name t
-         | _ -> ())
-       () e);
   let input_binds =
-    Hashtbl.fold
-      (fun name t acc ->
+    List.map
+      (fun (name, t) ->
         Printf.sprintf "let %s : %s = %s (find_input %S)\n" (mangle_input name)
-          (oty t) (unwrap t) name
-        :: acc)
-      inputs []
+          (oty t) (unwrap t) name)
+      (inputs_of e)
   in
   String.concat ""
     ([ prelude; "\n" ]
@@ -658,4 +676,43 @@ let emit_program (e : exp) : string =
 |};
         Printf.sprintf "  Marshal.to_channel oc (%s (program ())) [];\n" (wrap ty);
         "  close_out oc\n";
+      ])
+
+(** Emit a Dynlink kernel plugin for [e] (DESIGN.md §17): the same typed
+    program body as {!emit_program}, but wrapped as a
+    [string -> string] closure (marshalled inputs to marshalled result)
+    whose module initializer hands it to the host through
+    [Dmll_backend.Kernel_link.register] under [key].  No file I/O, no
+    timing main — the host owns both. *)
+let emit_kernel ~(key : string) (e : exp) : string =
+  let ty = ty_of_exp e in
+  let em = new_em () in
+  em.indent <- 2;
+  let result = emit em e in
+  let body = Buffer.contents em.buf in
+  let input_binds =
+    List.map
+      (fun (name, t) ->
+        Printf.sprintf "  let %s : %s = %s (find_input %S) in\n"
+          (mangle_input name) (oty t) (unwrap t) name)
+      (inputs_of e)
+  in
+  String.concat ""
+    ([ runtime_prelude;
+       "\nlet kernel (blob_ : string) : string =\n";
+       "  let raw_inputs : (string * value) list = Marshal.from_string blob_ 0 in\n";
+       "  let find_input name =\n";
+       "    try List.assoc name raw_inputs\n";
+       "    with Not_found -> failwith (\"missing input \" ^ name)\n";
+       "  in\n";
+       "  ignore (find_input : string -> value);\n";
+     ]
+    @ input_binds
+    @ [ Printf.sprintf "  let program () : %s =\n" (oty ty);
+        body;
+        Printf.sprintf "    %s\n" result;
+        "  in\n";
+        Printf.sprintf "  Marshal.to_string (%s (program ())) []\n" (wrap ty);
+        Printf.sprintf "\nlet () = Dmll_backend.Kernel_link.register ~key:%S kernel\n"
+          key;
       ])

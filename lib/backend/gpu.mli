@@ -1,0 +1,42 @@
+(** GPU lowering and kernel extraction (paper §5): classify each outer
+    multiloop as a GPU kernel — reduction shape, memory-access
+    coalescing, per-element cost — and apply the Row-to-Column Reduce
+    lowering the paper's GPU backend uses.  The simulated GPU
+    ([Dmll_runtime.Sim_gpu]) prices these kernels against a machine
+    model; [Codegen_cuda] emits them as CUDA source. *)
+
+open Dmll_ir
+
+type reduce_kind =
+  | No_reduce  (** pure collects: embarrassingly parallel writes *)
+  | Scalar_reduce  (** shared-memory tree reduction *)
+  | Vector_reduce  (** non-scalar temporaries: global-memory reduction *)
+
+type access = Coalesced | Strided | Gather
+
+type kernel = {
+  kname : string;
+  size : Exp.exp;  (** outer loop extent = thread count *)
+  per_elem : Dmll_analysis.Cost.t;
+  reduce : reduce_kind;
+  access : access;
+  inputs : Dmll_analysis.Stencil.target list;
+}
+
+val kernels_of :
+  ?transposed:bool ->
+  ?eval_size:(Exp.exp -> int option) ->
+  Exp.exp ->
+  kernel list
+(** The outer loops of a program as GPU kernels, in evaluation order.
+    [transposed] prices row accesses as coalesced (the transfer-time
+    transpose); [eval_size] resolves symbolic extents to element
+    counts when the caller knows them. *)
+
+val lower : Exp.exp -> Exp.exp * bool
+(** Apply the Row-to-Column Reduce lowering where profitable; returns
+    the (possibly unchanged) program and whether anything fired. *)
+
+val reduce_kind_to_string : reduce_kind -> string
+val access_to_string : access -> string
+val pp_kernel : Format.formatter -> kernel -> unit

@@ -1,0 +1,62 @@
+(** Backend registry (DESIGN.md §17): the string-keyed store of every
+    {!Backend.S} implementation.  [Config.target] resolution
+    ([Dmll.Backends.resolve]) goes through {!find}, and
+    [dmllc --explain backends] renders {!describe_table}/{!to_json} —
+    the registry is the single source of truth for what this build can
+    execute. *)
+
+let table : (string, (module Backend.S)) Hashtbl.t = Hashtbl.create 16
+
+exception Duplicate_id of string
+
+(** Register a backend under its [id].  Registering the same module
+    twice is idempotent; a {e different} module under an existing id
+    raises {!Duplicate_id} — two backends fighting over a name is a
+    wiring bug worth failing loudly on. *)
+let register (b : (module Backend.S)) : unit =
+  let module B = (val b) in
+  match Hashtbl.find_opt table B.id with
+  | Some existing when existing != b -> raise (Duplicate_id B.id)
+  | Some _ -> ()
+  | None -> Hashtbl.replace table B.id b
+
+let find (id : string) : (module Backend.S) option = Hashtbl.find_opt table id
+
+let ids () : string list =
+  Hashtbl.fold (fun id _ acc -> id :: acc) table [] |> List.sort String.compare
+
+let all () : (module Backend.S) list =
+  ids () |> List.filter_map (fun id -> Hashtbl.find_opt table id)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let describe_table () : string =
+  let buf = Buffer.create 512 in
+  let caps_summary c =
+    Backend.capability_names c
+    |> List.filter_map (fun (n, b) -> if b then Some n else None)
+    |> String.concat ","
+  in
+  List.iter
+    (fun b ->
+      let module B = (val b : Backend.S) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-12s %-52s %s\n" B.id B.describe
+           (caps_summary B.capabilities)))
+    (all ());
+  Buffer.contents buf
+
+let to_json () : string =
+  let entries =
+    all ()
+    |> List.map (fun b ->
+           let module B = (val b : Backend.S) in
+           Printf.sprintf
+             "{\"id\": \"%s\", \"describe\": \"%s\", \"capabilities\": %s}"
+             B.id
+             (Dmll_obs.Metrics.json_escape B.describe)
+             (Backend.capabilities_to_json B.capabilities))
+  in
+  Printf.sprintf "{\"backends\": [%s]}" (String.concat ", " entries)

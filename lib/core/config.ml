@@ -24,6 +24,10 @@ type target =
   | Net_cluster of Runtime.Net_cluster.config
       (** TCP-attached worker processes, local or multi-host
           (DESIGN.md §16) *)
+  | Native
+      (** generated OCaml compiled by [ocamlopt]: in-process Dynlink JIT
+          when available, child process otherwise, both behind the
+          content-addressed kernel cache (DESIGN.md §17) *)
 
 (** How cluster compiles choose among interacting fusion / rewrite /
     partition-layout decisions (re-export of
@@ -57,6 +61,10 @@ type t = {
   plan_selector : plan_selector;
       (** joint plan selection policy for cluster targets ([Ilp] by
           default, with automatic greedy fallback) *)
+  kernel_cache_dir : string option;
+      (** root of the on-disk kernel cache for the [Native] target
+          ([None] = the process-wide shared cache under the system temp
+          dir); set per run for isolation (tests, benchmarks) *)
 }
 
 let default =
@@ -70,6 +78,7 @@ let default =
     trace_file = None;
     profile = false;
     plan_selector = Ilp;
+    kernel_cache_dir = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -86,6 +95,7 @@ let with_metrics metrics t = { t with metrics = Some metrics }
 let with_trace_file f t = { t with trace_file = Some f }
 let with_profile profile t = { t with profile }
 let with_plan_selector plan_selector t = { t with plan_selector }
+let with_kernel_cache_dir d t = { t with kernel_cache_dir = Some d }
 
 (** Ensure the config carries live observability sinks: a tracer when
     tracing or profiling was requested, and always a metrics ledger.
@@ -111,8 +121,9 @@ let truthy = function Some ("1" | "true" | "yes") -> true | _ -> false
 
 (** The configuration the [DMLL_*] environment variables describe, on
     top of {!default}: [DMLL_DEBUG=1] sets [debug]; [DMLL_FAULTS] (same
-    key=value spec as [--faults]) arms a fault injector.  This is the
-    single environment reader in the tree; a malformed [DMLL_FAULTS]
+    key=value spec as [--faults]) arms a fault injector;
+    [DMLL_KERNEL_CACHE_DIR] relocates the native kernel cache.  This is
+    the single environment reader in the tree; a malformed [DMLL_FAULTS]
     raises [Invalid_argument] loudly rather than silently running
     healthy. *)
 let of_env () : t =
@@ -125,4 +136,9 @@ let of_env () : t =
         | Ok spec -> Some (Runtime.Fault.create spec)
         | Error msg -> invalid_arg (Printf.sprintf "DMLL_FAULTS: %s" msg))
   in
-  { default with debug; faults }
+  let kernel_cache_dir =
+    match Sys.getenv_opt "DMLL_KERNEL_CACHE_DIR" with
+    | None | Some "" -> None
+    | some -> some
+  in
+  { default with debug; faults; kernel_cache_dir }

@@ -33,6 +33,10 @@ type target =
   | Net_cluster of Dmll_runtime.Net_cluster.config
       (** TCP-attached worker processes, local or multi-host
           (DESIGN.md §16) *)
+  | Native
+      (** generated OCaml compiled by [ocamlopt]: in-process Dynlink JIT
+          when available, child process otherwise, both behind the
+          content-addressed kernel cache (DESIGN.md §17) *)
 
 (** How cluster compiles choose among interacting fusion / rewrite /
     partition-layout decisions (re-export of
@@ -66,6 +70,10 @@ type t = {
   plan_selector : plan_selector;
       (** joint plan selection policy for cluster targets ([Ilp] by
           default, with automatic greedy fallback) *)
+  kernel_cache_dir : string option;
+      (** root of the on-disk kernel cache for the [Native] target
+          ([None] = the process-wide shared cache under the system temp
+          dir); set per run for isolation (tests, benchmarks) *)
 }
 
 val default : t
@@ -81,6 +89,7 @@ val with_metrics : Metrics.t -> t -> t
 val with_trace_file : string -> t -> t
 val with_profile : bool -> t -> t
 val with_plan_selector : plan_selector -> t -> t
+val with_kernel_cache_dir : string -> t -> t
 
 val armed : t -> t
 (** Ensure live observability sinks: a tracer when [trace_file] or
@@ -90,7 +99,8 @@ val armed : t -> t
 val of_env : unit -> t
 (** The configuration the [DMLL_*] environment variables describe, on
     top of {!default}: [DMLL_DEBUG=1] sets [debug]; [DMLL_FAULTS] (same
-    key=value spec as [--faults]) arms a fault injector.  This is the
-    {e single} environment reader in the tree; a malformed [DMLL_FAULTS]
-    raises [Invalid_argument] loudly rather than silently running
-    healthy. *)
+    key=value spec as [--faults]) arms a fault injector;
+    [DMLL_KERNEL_CACHE_DIR] relocates the native kernel cache.  This is
+    the {e single} environment reader in the tree; a malformed
+    [DMLL_FAULTS] raises [Invalid_argument] loudly rather than silently
+    running healthy. *)

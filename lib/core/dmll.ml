@@ -35,6 +35,12 @@ type target = Config.target =
   | Net_cluster of Runtime.Net_cluster.config
       (** TCP-attached worker processes, local or multi-host
           (DESIGN.md §16) *)
+  | Native
+      (** generated OCaml compiled by [ocamlopt]: in-process Dynlink JIT
+          when available, child process otherwise, both behind the
+          content-addressed kernel cache (DESIGN.md §17) *)
+
+module Backends = Backends
 
 type compiled = {
   source : Exp.exp;
@@ -130,47 +136,37 @@ let with_run_checks (debug : bool) (f : unit -> 'a) : 'a =
       f
   end
 
-(* On cluster targets, horizontal fusion is tie-broken by predicted
-   communication volume: a fusion that would force extra broadcasts (e.g.
-   merging a master-only loop into a distributed one) is declined.  The
-   objective is a plain closure threaded through the pipeline and the
-   partitioning analysis — no global state, no set/reset dance. *)
-let fusion_objective_of (target : target) : (Exp.exp -> float) option =
-  match target with
-  | Cluster config ->
-      let machine = config.Runtime.Sim_cluster.cluster in
-      Some (fun e -> Analysis.Partition.predicted_volume ~machine e)
-  | _ -> None
-
 (** Compile a staged program under [cfg]: target from [cfg.target], debug
     verification from [cfg.debug], and — when [cfg.tracer] is set — one
     span per driver stage (cat ["compile"]), per pipeline stage
     (["pipeline"]), per rule firing (["rule"], with before/after IR
-    sizes), and per partitioning-analysis step (["partition"]). *)
+    sizes), and per partitioning-analysis step (["partition"]).
+
+    The target shapes compilation only through its backend's
+    {!Dmll_backend.Backend.plan} (resolved through the registry): the
+    fusion objective that tie-breaks horizontal fusion, the machine
+    model the partitioning analysis costs against, whether the global
+    ILP plan selector owns fusion jointly with the Figure-3 rewrites,
+    whether the liveness-driven early-free pass runs (DESIGN.md §13),
+    and the final target-specific lowering. *)
 let compile_with (cfg : Config.t) (source : Exp.exp) : compiled =
   let target = cfg.Config.target in
   let debug = cfg.Config.debug in
   let tracer = cfg.Config.tracer in
   let stage name f = Span.with_span ?tracer ~cat:"compile" name f in
   with_debug_checks debug @@ fun () ->
-  let fusion_objective = fusion_objective_of target in
-  let machine =
-    match target with
-    | Cluster config -> Some config.Runtime.Sim_cluster.cluster
-    | _ -> None
-  in
-  (* The global (ILP) plan selector owns horizontal fusion jointly with
-     the Figure-3 rewrites, so on cluster targets it runs the generic
-     pipeline with horizontal fusion deferred; everywhere else fusion
-     stays in the rewriter (with the comm veto threaded on clusters). *)
-  let use_ilp =
-    match (target, cfg.Config.plan_selector) with
-    | Cluster _, Analysis.Plan.Ilp -> true
-    | _ -> false
-  in
+  let (module Bx : Backend.Backend.S), payload = Backends.resolve cfg in
+  let plan = Bx.plan payload in
+  let fusion_objective = plan.Backend.Backend.fusion_objective in
+  let machine = plan.Backend.Backend.machine in
+  let use_ilp = plan.Backend.Backend.wants_ilp in
   if debug then stage "verify-source" (fun () -> verify_stage "source" source);
   (* 1. target-independent optimizations, including the CPU-beneficial
-     nested rules (GroupBy-Reduce and friends, §3.2) *)
+     nested rules (GroupBy-Reduce and friends, §3.2).  When the global
+     (ILP) plan selector owns horizontal fusion jointly with the
+     Figure-3 rewrites, the generic pipeline defers fusion; otherwise
+     fusion stays in the rewriter, tie-broken by the backend's
+     objective (predicted communication volume on clusters). *)
   let r =
     stage "generic-optimize" (fun () ->
         Opt.Pipeline.optimize_with ?tracer
@@ -191,27 +187,19 @@ let compile_with (cfg : Config.t) (source : Exp.exp) : compiled =
             generic)
   in
   let after_partition = partition.Analysis.Partition.program in
-  (* 3. liveness-driven early-free (DESIGN.md §13): on cluster targets,
-     insert a free marker after the last use of every let-bound
-     intermediate collection, so the memory-footprint analysis — and the
-     executor's actual resident set — stop charging it for the rest of
-     the pipeline.  Semantics-preserving by construction (the marker sits
-     strictly after the last reachable mention). *)
+  (* 3. liveness-driven early-free (DESIGN.md §13), where the backend's
+     plan asks for it *)
   let after_free, freed =
-    match target with
-    | Cluster _ ->
-        let fr =
-          stage "free-insertion" (fun () -> Opt.Free_insertion.run after_partition)
-        in
-        (fr.Opt.Free_insertion.program, fr.Opt.Free_insertion.freed <> [])
-    | _ -> (after_partition, false)
+    if plan.Backend.Backend.early_free then
+      let fr =
+        stage "free-insertion" (fun () -> Opt.Free_insertion.run after_partition)
+      in
+      (fr.Opt.Free_insertion.program, fr.Opt.Free_insertion.freed <> [])
+    else (after_partition, false)
   in
-  (* 4. target-specific lowering *)
-  let final, gpu_lowered =
-    match target with
-    | Gpu opts when opts.Runtime.Sim_gpu.row_to_column ->
-        stage "gpu-lower" (fun () -> Backend.Gpu.lower after_free)
-    | _ -> (after_free, false)
+  (* 4. target-specific lowering, from the backend's plan *)
+  let final, lower_applied =
+    stage "target-lower" (fun () -> plan.Backend.Backend.lower after_free)
   in
   if debug then stage "verify-final" (fun () -> verify_stage "final" final);
   { source;
@@ -222,19 +210,9 @@ let compile_with (cfg : Config.t) (source : Exp.exp) : compiled =
     applied =
       r.Opt.Pipeline.applied @ partition.Analysis.Partition.rewrites_applied
       @ (if freed then [ "free-insertion" ] else [])
-      @ (if gpu_lowered then [ "row-to-column" ] else []);
-    gpu_lowered;
+      @ lower_applied;
+    gpu_lowered = List.mem "row-to-column" lower_applied;
   }
-
-(** Compile a staged program for [target].
-
-    Deprecated entry point, kept as a thin wrapper: the optional
-    arguments are exactly [Config.default] overridden with [?target] and
-    [?debug].  New code should build a {!Config.t} and call
-    {!compile_with}. *)
-let compile ?(target = Sequential) ?(debug = debug_default) (source : Exp.exp) :
-    compiled =
-  compile_with { Config.default with Config.target; debug } source
 
 (** Distinct optimizations that fired, in first-fired order (Table 2's
     "Optimizations" column). *)
@@ -254,150 +232,34 @@ type run_result = {
   metrics : Metrics.t;  (** this run's counters — never shared by default *)
 }
 
-(* The runtime knobs of [cfg] overlaid onto a cluster target whose config
-   left them unset — so [dmll_run --faults ... --checkpoint-every ...]
-   composes with a target the caller built directly. *)
-let overlay (cfg : Config.t) (t : target) : target =
-  match t with
-  | Cluster cc ->
-      let keep a b = match a with Some _ -> a | None -> b in
-      Cluster
-        { cc with
-          Runtime.Sim_cluster.faults =
-            keep cc.Runtime.Sim_cluster.faults cfg.Config.faults;
-          checkpoint_cadence =
-            (if cc.Runtime.Sim_cluster.checkpoint_cadence > 0 then
-               cc.Runtime.Sim_cluster.checkpoint_cadence
-             else cfg.Config.checkpoint_every);
-          mem_budget_gb =
-            keep cc.Runtime.Sim_cluster.mem_budget_gb cfg.Config.mem_budget_gb;
-          obs = keep cc.Runtime.Sim_cluster.obs cfg.Config.tracer;
-          metrics = keep cc.Runtime.Sim_cluster.metrics cfg.Config.metrics;
-        }
-  | Proc_cluster pc ->
-      let keep a b = match a with Some _ -> a | None -> b in
-      Proc_cluster
-        { pc with
-          Runtime.Proc_cluster.faults =
-            keep pc.Runtime.Proc_cluster.faults cfg.Config.faults;
-          checkpoint_cadence =
-            (if pc.Runtime.Proc_cluster.checkpoint_cadence > 0 then
-               pc.Runtime.Proc_cluster.checkpoint_cadence
-             else cfg.Config.checkpoint_every);
-          obs = keep pc.Runtime.Proc_cluster.obs cfg.Config.tracer;
-          metrics = keep pc.Runtime.Proc_cluster.metrics cfg.Config.metrics;
-        }
-  | Net_cluster nc ->
-      let keep a b = match a with Some _ -> a | None -> b in
-      Net_cluster
-        { nc with
-          Runtime.Net_cluster.faults =
-            keep nc.Runtime.Net_cluster.faults cfg.Config.faults;
-          obs = keep nc.Runtime.Net_cluster.obs cfg.Config.tracer;
-          metrics = keep nc.Runtime.Net_cluster.metrics cfg.Config.metrics;
-        }
-  | t -> t
-
 (** Execute a compiled program under [cfg]: the compiled target runs with
-    [cfg]'s fault/checkpoint/memory knobs and observability sinks.  A
-    fresh metrics ledger is created when [cfg.metrics] is [None]; with
-    [cfg.debug], the runtime validation contracts (replan verification,
-    C-COMM-OVERRUN, O-SPAN-CLOCK) are armed for the duration. *)
+    [cfg]'s fault/checkpoint/memory knobs and observability sinks,
+    resolved through the backend registry ({!Backends.resolve}) — the
+    driver holds no per-target code.  A fresh metrics ledger is created
+    when [cfg.metrics] is [None]; with [cfg.debug], the runtime
+    validation contracts (replan verification, C-COMM-OVERRUN,
+    O-SPAN-CLOCK) are armed for the duration. *)
 let execute (cfg : Config.t) (c : compiled) ~(inputs : (string * V.t) list) :
     run_result =
   let metrics =
     match cfg.Config.metrics with Some m -> m | None -> Metrics.create ()
   in
-  let cfg = { cfg with Config.metrics = Some metrics } in
-  let wall value seconds =
-    { value; seconds; wall_clock = true; breakdown = []; traffic = []; metrics }
+  let cfg =
+    { cfg with Config.metrics = Some metrics; Config.target = c.target }
   in
   with_run_checks cfg.Config.debug @@ fun () ->
-  match overlay cfg c.target with
-  | Sequential ->
-      let v, t =
-        Dmll_util.Timing.time (fun () -> Backend.Closure.run ~inputs c.final)
-      in
-      wall v t
-  | Multicore domains ->
-      let checkpoint =
-        if cfg.Config.checkpoint_every > 0 then
-          Some (Runtime.Checkpoint.create ~cadence:cfg.Config.checkpoint_every)
-        else None
-      in
-      let v, t =
-        Dmll_util.Timing.time (fun () ->
-            Runtime.Exec_domains.run ?obs:cfg.Config.tracer ~metrics ~domains
-              ?faults:cfg.Config.faults ?checkpoint ~inputs c.final)
-      in
-      wall v t
-  | Numa config ->
-      let r = Runtime.Sim_numa.run ~config ~inputs c.final in
-      { value = r.Runtime.Sim_common.value;
-        seconds = r.Runtime.Sim_common.seconds;
-        wall_clock = false;
-        breakdown = r.Runtime.Sim_common.breakdown;
-        traffic = r.Runtime.Sim_common.traffic;
-        metrics;
-      }
-  | Gpu options ->
-      let r = Runtime.Sim_gpu.run ~options ~inputs c.final in
-      { value = r.Runtime.Sim_gpu.value;
-        seconds = r.Runtime.Sim_gpu.kernel_seconds;
-        wall_clock = false;
-        breakdown = [];
-        traffic = [];
-        metrics;
-      }
-  | Cluster config ->
-      let r = Runtime.Sim_cluster.run ~config ~inputs c.final in
-      { value = r.Runtime.Sim_common.value;
-        seconds = r.Runtime.Sim_common.seconds;
-        wall_clock = false;
-        breakdown = r.Runtime.Sim_common.breakdown;
-        traffic = r.Runtime.Sim_common.traffic;
-        metrics = r.Runtime.Sim_common.metrics;
-      }
-  | Proc_cluster config ->
-      let r = Runtime.Proc_cluster.run ~config ~inputs c.final in
-      { value = r.Runtime.Proc_cluster.value;
-        seconds = r.Runtime.Proc_cluster.seconds;
-        wall_clock = true;
-        breakdown = r.Runtime.Proc_cluster.breakdown;
-        traffic = [];
-        metrics = r.Runtime.Proc_cluster.metrics;
-      }
-  | Net_cluster config ->
-      let r = Runtime.Net_cluster.run ~config ~inputs c.final in
-      { value = r.Runtime.Net_cluster.value;
-        seconds = r.Runtime.Net_cluster.seconds;
-        wall_clock = true;
-        breakdown = r.Runtime.Net_cluster.breakdown;
-        traffic =
-          Metrics.byte_counters r.Runtime.Net_cluster.metrics
-          |> List.filter (fun (k, _) ->
-                 String.length k >= 4 && String.sub k 0 4 = "net_");
-        metrics = r.Runtime.Net_cluster.metrics;
-      }
-
-(** Execute a compiled program.  All targets return the exact program
-    value; the simulated targets additionally model time, retrievable via
-    {!timed_run}.
-
-    Deprecated entry point: equivalent to
-    [(execute Config.default c ~inputs).value] (the compiled target is
-    what runs; [Config.default] adds no knobs).  New code should call
-    {!execute}. *)
-let run (c : compiled) ~(inputs : (string * V.t) list) : V.t =
-  (execute Config.default c ~inputs).value
-
-(** Execute and return (value, simulated seconds).  For the real targets
-    (Sequential / Multicore) the time is measured wall-clock.
-
-    Deprecated entry point: projects {!execute}'s result. *)
-let timed_run (c : compiled) ~(inputs : (string * V.t) list) : V.t * float =
-  let r = execute Config.default c ~inputs in
-  (r.value, r.seconds)
+  let (module Bx : Backend.Backend.S), payload = Backends.resolve cfg in
+  let ctx =
+    { Backend.Backend.metrics; tracer = cfg.Config.tracer; inputs }
+  in
+  let r = Bx.execute payload ctx c.final in
+  { value = r.Backend.Backend.value;
+    seconds = r.Backend.Backend.seconds;
+    wall_clock = r.Backend.Backend.wall_clock;
+    breakdown = r.Backend.Backend.breakdown;
+    traffic = r.Backend.Backend.traffic;
+    metrics = r.Backend.Backend.metrics;
+  }
 
 (** Emit target source text from the compiled program. *)
 let codegen (lang : [ `Cpp | `Cuda | `Scala ]) (c : compiled) : string =
@@ -441,12 +303,11 @@ let lint (c : compiled) : Analysis.Diag.t list =
   let fusion_missed =
     (* W-FUSION-MISSED: adjacent fusible loops the compiled program kept
        separate even though fusing them moves strictly fewer bytes.
-       Costed against the compile's own cluster model when it has one. *)
-    match c.target with
-    | Cluster config ->
-        Analysis.Plan.fusion_missed_diags
-          ~machine:config.Runtime.Sim_cluster.cluster c.final
-    | _ -> Analysis.Plan.fusion_missed_diags c.final
+       Costed against the compile's own machine model when its backend
+       plans one. *)
+    match (Backends.plan_of_target c.target).Backend.Backend.machine with
+    | Some machine -> Analysis.Plan.fusion_missed_diags ~machine c.final
+    | None -> Analysis.Plan.fusion_missed_diags c.final
   in
   Analysis.Diag.sort
     (Analysis.Verify.run c.final

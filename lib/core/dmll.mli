@@ -20,8 +20,10 @@
       ...
     ]}
 
-    The historical [compile ?target ?debug] / [run] / [timed_run] entry
-    points remain as thin wrappers over the [Config]-based API. *)
+    Targets resolve through the backend registry
+    ({!Backends.resolve} → {!Dmll_backend.Registry}): the driver holds
+    no per-target code, and [dmllc --explain backends] enumerates what
+    this build can execute. *)
 
 open Dmll_ir
 module V = Dmll_interp.Value
@@ -35,9 +37,9 @@ module Span = Dmll_obs.Span
 module Metrics = Dmll_obs.Metrics
 
 (** Execution targets ([= Config.target]).  All targets compute exact
-    values; [Sequential] and [Multicore] measure real wall-clock in
-    {!timed_run}, the others model the paper's testbeds (see
-    [Dmll_machine.Machine]). *)
+    values; [Sequential], [Multicore], [Native], and the process/TCP
+    clusters measure real wall-clock time, the others model the paper's
+    testbeds (see [Dmll_machine.Machine]). *)
 type target = Config.target =
   | Sequential  (** closure backend, one core — the Table 2 configuration *)
   | Multicore of int  (** real OCaml domains *)
@@ -49,6 +51,16 @@ type target = Config.target =
   | Net_cluster of Dmll_runtime.Net_cluster.config
       (** TCP-attached worker processes, local or multi-host
           (DESIGN.md §16) *)
+  | Native
+      (** generated OCaml compiled by [ocamlopt]: in-process Dynlink JIT
+          when available, child process otherwise, both behind the
+          content-addressed kernel cache (DESIGN.md §17) *)
+
+module Backends : module type of Backends
+(** Backend resolution: [Config.target] → registered
+    {!Dmll_backend.Backend.S} implementation plus its run payload.
+    [Backends.ensure_registered ()] populates the registry for
+    enumeration ([dmllc --explain backends]). *)
 
 (** A compiled program, carrying every intermediate so tools ([dmllc]) can
     display the compilation the way the paper's figures walk through
@@ -80,17 +92,9 @@ val compile_with : Config.t -> Exp.exp -> compiled
     [cfg.tracer] is set — one span per driver stage (cat ["compile"]),
     pipeline stage (["pipeline"]), rule firing (["rule"], with
     before/after IR sizes), and partitioning-analysis step
-    (["partition"]). *)
-
-val compile : ?target:target -> ?debug:bool -> Exp.exp -> compiled
-(** Compile a staged program (default target: {!Sequential}).  With
-    [~debug:true] (or [DMLL_DEBUG=1]), every optimizer stage and rule
-    application is re-verified with {!verify_stage}, failing fast on the
-    first unsafe program a transformation produces.
-
-    {b Deprecated}: thin wrapper over {!compile_with} with
-    [Config.default] overridden by [?target]/[?debug]; produces
-    identical results.  New code should build a {!Config.t}. *)
+    (["partition"]).  The target shapes compilation only through its
+    backend's plan ({!Backends.resolve}): fusion objective, machine
+    model, ILP plan selection, early-free, and final lowering. *)
 
 val optimizations : compiled -> string list
 (** Distinct optimizations that fired, in first-fired order — the
@@ -113,21 +117,11 @@ val execute : Config.t -> compiled -> inputs:(string * V.t) list -> run_result
 (** Execute a compiled program under [cfg]: the compiled target runs with
     [cfg]'s fault/checkpoint/memory knobs and observability sinks
     (tracer spans on the runtime timeline, counters into the metrics
-    ledger).  A fresh ledger is created when [cfg.metrics] is [None];
-    with [cfg.debug], the runtime validation contracts (replan
+    ledger), resolved through the backend registry — the driver holds no
+    per-target code.  A fresh ledger is created when [cfg.metrics] is
+    [None]; with [cfg.debug], the runtime validation contracts (replan
     verification, C-COMM-OVERRUN, O-SPAN-CLOCK) are armed for the
     duration of the run. *)
-
-val run : compiled -> inputs:(string * V.t) list -> V.t
-(** Execute on the compiled target; always returns the exact value.
-
-    {b Deprecated}: [(execute Config.default c ~inputs).value]. *)
-
-val timed_run : compiled -> inputs:(string * V.t) list -> V.t * float
-(** Execute and return (value, seconds): wall-clock for the real targets,
-    modeled time for the simulated ones.
-
-    {b Deprecated}: projects {!execute}'s result. *)
 
 val codegen : [ `Cpp | `Cuda | `Scala ] -> compiled -> string
 (** Emit target source text (for inspection; the executable backends are

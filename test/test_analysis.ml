@@ -647,7 +647,7 @@ let all_apps : (string * (unit -> exp)) list =
 let test_apps_lint_clean () =
   List.iter
     (fun (name, build) ->
-      let c = Dmll.compile (build ()) in
+      let c = Dmll.compile_with Dmll.Config.default (build ()) in
       let ds = Dmll.lint c in
       check tbool (name ^ ": no lint errors after full optimization") false
         (Diag.has_errors ds))
@@ -658,7 +658,7 @@ let test_apps_debug_verified () =
      accept the whole pipeline on every app *)
   List.iter
     (fun (name, build) ->
-      match Dmll.compile ~debug:true (build ()) with
+      match Dmll.compile_with Dmll.Config.(default |> with_debug true) (build ()) with
       | (_ : Dmll.compiled) -> ()
       | exception Diag.Failed { stage; diags } ->
           Alcotest.failf "%s: debug verification failed at %s: %s" name stage
@@ -666,8 +666,12 @@ let test_apps_debug_verified () =
     all_apps;
   (* and across the GPU lowering too *)
   match
-    Dmll.compile ~debug:true
-      ~target:(Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true })
+    Dmll.compile_with
+      Dmll.Config.(
+        default |> with_debug true
+        |> with_target
+             (Dmll.Gpu
+                { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true }))
       (Dmll_apps.Kmeans.program ~rows:200 ~cols:8 ~k:4 ())
   with
   | (_ : Dmll.compiled) -> ()
@@ -730,7 +734,10 @@ let pass_props =
       ("pipeline", fun e -> (Dmll_opt.Pipeline.optimize e).Dmll_opt.Pipeline.program);
     ]
   @ [ prop_pass_clean ~count:50
-        ("driver (debug mode)", fun e -> (Dmll.compile ~debug:true e).Dmll.final);
+        ( "driver (debug mode)",
+          fun e ->
+            (Dmll.compile_with Dmll.Config.(default |> with_debug true) e)
+              .Dmll.final );
     ]
 
 let () =

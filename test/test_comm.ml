@@ -91,7 +91,7 @@ let test_apps_validated () =
   with_validation (fun () ->
       List.iter
         (fun (name, program, inputs) ->
-          let c = Dmll.compile ~target:Dmll.Sequential program in
+          let c = Dmll.compile_with Dmll.Config.default program in
           let reference =
             (R.Sim_cluster.run ~config:(config_for 1) ~inputs c.Dmll.final)
               .R.Sim_common.value
@@ -125,7 +125,7 @@ let traffic_total (r : R.Sim_common.result) (phase : string) : float =
 
 let test_kmeans_phases_bounded () =
   let _, program, inputs = List.find (fun (n, _, _) -> n = "kmeans") apps in
-  let c = Dmll.compile ~target:Dmll.Sequential program in
+  let c = Dmll.compile_with Dmll.Config.default program in
   let layouts =
     (Partition.analyze ~transforms:[] ~reoptimize:Fun.id c.Dmll.final)
       .Partition.layouts

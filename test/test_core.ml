@@ -8,6 +8,15 @@ module D = Dmll_dsl.Dsl
 let check = Alcotest.check
 let tbool = Alcotest.bool
 
+(* The Config-based driver API, specialized for tests: compile under a
+   target, run under default knobs. *)
+let compile_t target p =
+  Dmll.compile_with Dmll.Config.(default |> with_target target) p
+
+let compile_seq p = Dmll.compile_with Dmll.Config.default p
+
+let run_v c ~inputs = (Dmll.execute Dmll.Config.default c ~inputs).Dmll.value
+
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
@@ -32,7 +41,7 @@ let inputs =
   [ ("xs", V.of_float_array (Array.init 200 (fun i -> float_of_int (i mod 13)))) ]
 
 let test_compile_report () =
-  let c = Dmll.compile (program ()) in
+  let c = compile_seq (program ()) in
   let opts = Dmll.optimizations c in
   check tbool "fusion fired" true (List.mem "pipeline-fusion" opts);
   (* the partitioning analysis sees xs as partitioned *)
@@ -43,7 +52,7 @@ let test_compile_report () =
   check tbool "no warnings" true (Dmll.warnings c = [])
 
 let test_targets_agree () =
-  let reference = Dmll.run (Dmll.compile (program ())) ~inputs in
+  let reference = run_v (compile_seq (program ())) ~inputs in
   let targets =
     [ Dmll.Sequential;
       Dmll.Multicore 2;
@@ -58,27 +67,26 @@ let test_targets_agree () =
   in
   List.iter
     (fun t ->
-      let c = Dmll.compile ~target:t (program ()) in
-      let v = Dmll.run c ~inputs in
+      let c = compile_t t (program ()) in
+      let v = run_v c ~inputs in
       check tbool "target value agrees" true (V.approx_equal ~eps:1e-9 reference v))
     targets
 
 let test_timed_run () =
   let c =
-    Dmll.compile
-      ~target:
-        (Dmll.Numa
+    compile_t
+      (Dmll.Numa
            { R.Sim_numa.machine = Dmll_machine.Machine.stanford_numa;
              threads = 12;
              mode = R.Sim_numa.Pin_only;
-           })
+         })
       (program ())
   in
-  let _, t = Dmll.timed_run c ~inputs in
+  let t = (Dmll.execute Dmll.Config.default c ~inputs).Dmll.seconds in
   check tbool "simulated time positive" true (t > 0.0)
 
 let test_codegen () =
-  let c = Dmll.compile (program ()) in
+  let c = compile_seq (program ()) in
   check tbool "C++ emitted" true (contains (Dmll.codegen `Cpp c) "int64_t");
   check tbool "CUDA emitted" true (contains (Dmll.codegen `Cuda c) "__global__");
   check tbool "Scala emitted" true (contains (Dmll.codegen `Scala c) "object")
@@ -92,7 +100,7 @@ let test_warning_surface () =
         let perm = input_iarr "perm" in
         map perm (fun i -> get xs i))
   in
-  let c = Dmll.compile p in
+  let c = compile_seq p in
   check tbool "remote access surfaced" true
     (List.exists (fun w -> contains w "runtime data movement") (Dmll.warnings c))
 
@@ -103,7 +111,7 @@ let test_iterate () =
   let rows = 80 and cols = 4 and k = 3 and iters = 5 in
   let d = Dmll_data.Gaussian.generate ~rows ~cols ~classes:k () in
   let c0 = Dmll_data.Gaussian.random_centroids ~k d in
-  let compiled = Dmll.compile (Dmll_apps.Kmeans.program ~rows ~cols ~k ()) in
+  let compiled = compile_seq (Dmll_apps.Kmeans.program ~rows ~cols ~k ()) in
   let final =
     Dmll.iterate compiled
       ~inputs:(Dmll_apps.Kmeans.inputs d ~centroids:c0)
@@ -134,8 +142,8 @@ let prop_driver_preserves =
       | expected ->
           List.for_all
             (fun target ->
-              let c = Dmll.compile ~target e in
-              V.approx_equal ~eps:1e-6 expected (Dmll.run c ~inputs:[]))
+              let c = compile_t target e in
+              V.approx_equal ~eps:1e-6 expected (run_v c ~inputs:[]))
             [ Dmll.Sequential;
               Dmll.Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true };
             ])

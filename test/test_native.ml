@@ -13,7 +13,7 @@ let available = Lazy.force Backend.Native.available
 let native_matches ?(eps = 1e-9) name program inputs =
   if not available then ()
   else begin
-    let opt = (Dmll.compile program).Dmll.final in
+    let opt = (Dmll.compile_with Dmll.Config.default program).Dmll.final in
     let expected = Interp.run ~inputs program in
     let r = Backend.Native.run ~runs:1 ~inputs opt in
     check tbool
@@ -53,7 +53,7 @@ let test_q1 () =
      the source program on structs — compare through the optimized one *)
   let program = Dmll_apps.Tpch_q1.program () in
   if available then begin
-    let opt = (Dmll.compile program).Dmll.final in
+    let opt = (Dmll.compile_with Dmll.Config.default program).Dmll.final in
     let inputs = Dmll_apps.Tpch_q1.soa_inputs t in
     let expected = Backend.Closure.run ~inputs opt in
     let r = Backend.Native.run ~runs:1 ~inputs opt in
@@ -65,7 +65,7 @@ let test_gene () =
   let g = Dmll_data.Genes.generate ~reads:500 ~barcodes:20 () in
   let program = Dmll_apps.Gene.program () in
   if available then begin
-    let opt = (Dmll.compile program).Dmll.final in
+    let opt = (Dmll.compile_with Dmll.Config.default program).Dmll.final in
     let inputs = Dmll_apps.Gene.soa_inputs g in
     let expected = Backend.Closure.run ~inputs opt in
     let r = Backend.Native.run ~runs:1 ~inputs opt in

@@ -333,8 +333,8 @@ let test_apps_under_network_chaos () =
   let link_faults = ref 0 and murders = ref 0 in
   List.iteri
     (fun i (name, program, inputs) ->
-      let c = Dmll.compile ~target:Dmll.Sequential program in
-      let reference = Dmll.run c ~inputs in
+      let c = Dmll.compile_with Dmll.Config.default program in
+      let reference = (Dmll.execute Dmll.Config.default c ~inputs).Dmll.value in
       let healthy = NC.run ~config:(net_config ()) ~inputs c.Dmll.final in
       (* net vs sequential: bit-identical for exact merges, float-merge
          identical (1e-6) where chunked float reduces reassociate *)

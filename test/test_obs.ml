@@ -213,12 +213,13 @@ let test_span_clock_contract_clean () =
       | exception Dmll_analysis.Diag.Failed { stage; _ } ->
           Alcotest.failf "O-SPAN-CLOCK tripped on a healthy run at %s" stage)
 
-(* ---------------- deprecation contract ------------------------------- *)
+(* ---------------- compile determinism -------------------------------- *)
 
-(* The pre-Config entry points are thin wrappers: compile ?target ?debug
-   must produce bit-for-bit the same compilation as compile_with on the
-   equivalent Config.t, and run must agree with execute. *)
-let test_deprecated_wrappers_agree () =
+(* Two compile_with calls on the identical source under the identical
+   config must produce bit-for-bit the same compilation (the kernel
+   cache's content addressing builds on this), and execute must agree
+   with itself across the pair. *)
+let test_compile_deterministic () =
   let targets =
     [ Dmll.Sequential;
       Dmll.Gpu { R.Sim_gpu.transpose = true; row_to_column = true };
@@ -226,26 +227,23 @@ let test_deprecated_wrappers_agree () =
     ]
   in
   (* one source expression: gensym numbering is part of the printed IR,
-     so both entry points must see the identical input *)
+     so both compiles must see the identical input *)
   let source = program ~n:64 () in
   List.iter
     (fun target ->
-      let old_c = Dmll.compile ~target ~debug:false source in
-      let new_c =
-        Dmll.compile_with
-          { Config.default with Config.target; debug = false }
-          source
-      in
+      let cfg = { Config.default with Config.target } in
+      let c1 = Dmll.compile_with cfg source in
+      let c2 = Dmll.compile_with cfg source in
       check Alcotest.string "final IR identical"
-        (Dmll_ir.Pp.to_string old_c.Dmll.final)
-        (Dmll_ir.Pp.to_string new_c.Dmll.final);
+        (Dmll_ir.Pp.to_string c1.Dmll.final)
+        (Dmll_ir.Pp.to_string c2.Dmll.final);
       check
         Alcotest.(list string)
         "optimization list identical"
-        (Dmll.optimizations old_c) (Dmll.optimizations new_c);
-      let old_v = Dmll.run old_c ~inputs:(inputs ~n:64) in
-      let r = Dmll.execute Config.default new_c ~inputs:(inputs ~n:64) in
-      check tbool "run = execute value" true (V.equal old_v r.Dmll.value))
+        (Dmll.optimizations c1) (Dmll.optimizations c2);
+      let r1 = Dmll.execute Config.default c1 ~inputs:(inputs ~n:64) in
+      let r2 = Dmll.execute Config.default c2 ~inputs:(inputs ~n:64) in
+      check tbool "execute values agree" true (V.equal r1.Dmll.value r2.Dmll.value))
     targets
 
 (* per-run metrics: execute hands back an isolated ledger per call *)
@@ -278,8 +276,8 @@ let () =
             test_span_clock_contract_clean;
         ] );
       ( "config-api",
-        [ Alcotest.test_case "deprecated wrappers agree" `Quick
-            test_deprecated_wrappers_agree;
+        [ Alcotest.test_case "compile deterministic" `Quick
+            test_compile_deterministic;
           Alcotest.test_case "execute metrics isolated per run" `Quick
             test_execute_metrics_isolated;
         ] );

@@ -220,7 +220,10 @@ let test_apps_ilp_no_worse_measured () =
       List.iter
         (fun (name, program, inputs) ->
           let reference =
-            Dmll.run (Dmll.compile ~target:Dmll.Sequential program) ~inputs
+            (Dmll.execute Dmll.Config.default
+               (Dmll.compile_with Dmll.Config.default program)
+               ~inputs)
+              .Dmll.value
           in
           let value_ok v =
             V.equal v reference || V.approx_equal ~eps:1e-6 reference v

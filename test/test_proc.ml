@@ -196,8 +196,8 @@ let test_apps_single_kill () =
   let killed_total = ref 0 in
   List.iteri
     (fun i (name, program, inputs) ->
-      let c = Dmll.compile ~target:Dmll.Sequential program in
-      let reference = Dmll.run c ~inputs in
+      let c = Dmll.compile_with Dmll.Config.default program in
+      let reference = (Dmll.execute Dmll.Config.default c ~inputs).Dmll.value in
       let healthy =
         (Proc_cluster.run ~config:(proc_config ()) ~inputs c.Dmll.final)
           .Proc_cluster.value

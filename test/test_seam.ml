@@ -1,0 +1,507 @@
+(* Tests of the backend seam (DESIGN.md §17): the registry round-trip
+   (every target resolves through the same string-keyed store, duplicate
+   ids fail loudly, re-registration is idempotent), the --explain
+   backends JSON golden schema, the content-addressed kernel cache
+   (alpha-invariant keys, memory/disk tiers, atomic commit, corrupt and
+   torn entries rejected and recompiled), cache hit/miss determinism on
+   the twelve apps (the second execution of an identical plan does zero
+   codegen and zero compilation, and its value is bit-identical), and a
+   QCheck property that the Dynlink JIT and the child-process fallback
+   compute the same value on random programs. *)
+
+open Dmll_ir
+module Backend = Dmll_backend
+module B = Backend.Backend
+module Registry = Backend.Registry
+module Cache = Backend.Kernel_cache
+module Native = Backend.Native
+module V = Dmll_interp.Value
+module Interp = Dmll_interp.Interp
+module Metrics = Dmll_obs.Metrics
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+let tids = Alcotest.(list string)
+
+let () = Dmll.Backends.ensure_registered ()
+
+(* Registry.ids sorts, so this is the golden order. *)
+let expected_ids =
+  [ "closure"; "multicore"; "native"; "net-cluster"; "proc-cluster";
+    "sim-cluster"; "sim-gpu"; "sim-numa" ]
+
+(* A fresh private cache root per test: hit/miss accounting must never
+   leak between tests (or from a previous run of the suite).  All roots
+   are removed when the suite exits — the hygiene this PR is about. *)
+let roots : string list ref = ref []
+let () = at_exit (fun () -> List.iter Cache.rm_rf !roots)
+
+let fresh_root () =
+  let f = Filename.temp_file "dmll-seam-cache" "" in
+  Sys.remove f;
+  roots := f :: !roots;
+  f
+
+let write_file path payload =
+  let oc = open_out_bin path in
+  output_string oc payload;
+  close_out oc
+
+(* ---------------------- registry round-trip --------------------------- *)
+
+let no_caps =
+  { B.wall_clock = false;
+    parallel = false;
+    distributed = false;
+    fault_injection = false;
+    checkpointing = false;
+    mem_budget = false;
+    emits_source = false;
+    cacheable_kernels = false;
+  }
+
+let fake_backend fid : (module B.S) =
+  (module struct
+    let id = fid
+    let describe = "test stub"
+    let capabilities = no_caps
+    let plan _ = B.default_plan
+    let emit _ _ = None
+    let execute _ _ _ = failwith "stub backend executed"
+  end)
+
+let test_registry_roundtrip () =
+  check tids "all backends registered" expected_ids (Registry.ids ());
+  List.iter
+    (fun id ->
+      match Registry.find id with
+      | None -> Alcotest.failf "backend %s not found" id
+      | Some b ->
+          let module Bx = (val b : B.S) in
+          check tstr "module id matches its registry key" id Bx.id)
+    expected_ids;
+  (* re-registering the same module is idempotent *)
+  (match Registry.find "closure" with
+  | Some b -> Registry.register b
+  | None -> Alcotest.fail "closure backend missing");
+  check tids "re-register changes nothing" expected_ids (Registry.ids ());
+  (* a different module fighting over a taken id fails loudly *)
+  check tbool "duplicate id raises" true
+    (match Registry.register (fake_backend "closure") with
+    | () -> false
+    | exception Registry.Duplicate_id "closure" -> true
+    | exception _ -> false);
+  (* ensure_registered is callable any number of times *)
+  Dmll.Backends.ensure_registered ();
+  check tids "registry stable after re-ensure" expected_ids (Registry.ids ())
+
+let test_target_resolution () =
+  let open Dmll in
+  let cases =
+    [ (Sequential, "closure");
+      (Multicore 2, "multicore");
+      ( Numa
+          { Dmll_runtime.Sim_numa.machine = Dmll_machine.Machine.stanford_numa;
+            threads = 4;
+            mode = Dmll_runtime.Sim_numa.Numa_aware;
+          },
+        "sim-numa" );
+      (Gpu { Dmll_runtime.Sim_gpu.transpose = true; row_to_column = true },
+       "sim-gpu");
+      (Cluster Dmll_runtime.Sim_cluster.default_config, "sim-cluster");
+      (Proc_cluster Dmll_runtime.Proc_cluster.default_config, "proc-cluster");
+      (Net_cluster Dmll_runtime.Net_cluster.default_config, "net-cluster");
+      (Native, "native");
+    ]
+  in
+  List.iter
+    (fun (target, id) ->
+      check tstr "target maps to its backend id" id
+        (Dmll.Backends.id_of_target target);
+      check tbool "and that id resolves in the registry" true
+        (Registry.find id <> None))
+    cases;
+  (* the human table mentions every backend *)
+  let table = Registry.describe_table () in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun id -> check tbool ("describe_table lists " ^ id) true (contains table id))
+    expected_ids
+
+(* ---------------- capability golden JSON schema ----------------------- *)
+
+open Dmll_testgen.Json_check
+
+let cap_keys =
+  [ "wall_clock"; "parallel"; "distributed"; "fault_injection";
+    "checkpointing"; "mem_budget"; "emits_source"; "cacheable_kernels" ]
+
+let test_registry_json_schema () =
+  let doc = parse (Registry.to_json ()) in
+  check tids "top-level keys" [ "backends" ] (keys_of doc);
+  let backends = arr (field doc "backends") in
+  check tids "every backend present, sorted" expected_ids
+    (List.map (fun b -> str (field b "id")) backends);
+  List.iter
+    (fun b ->
+      check tids "entry keys" [ "id"; "describe"; "capabilities" ] (keys_of b);
+      check tbool "describe is non-empty" true
+        (String.length (str (field b "describe")) > 0);
+      let caps = field b "capabilities" in
+      check tids "exactly the eight capability flags" cap_keys (keys_of caps);
+      List.iter (fun k -> ignore (boolean (field caps k))) cap_keys)
+    backends;
+  let cap_of id k =
+    let b = List.find (fun b -> String.equal (str (field b "id")) id) backends in
+    boolean (field (field b "capabilities") k)
+  in
+  (* spot-check the contract the driver relies on *)
+  check tbool "native caches kernels" true (cap_of "native" "cacheable_kernels");
+  check tbool "native emits source" true (cap_of "native" "emits_source");
+  check tbool "native reports wall time" true (cap_of "native" "wall_clock");
+  check tbool "closure emits nothing" false (cap_of "closure" "emits_source");
+  check tbool "closure caches nothing" false (cap_of "closure" "cacheable_kernels");
+  check tbool "sim-cluster is distributed" true (cap_of "sim-cluster" "distributed");
+  check tbool "sim-cluster clock is modeled" false (cap_of "sim-cluster" "wall_clock");
+  check tbool "sim-cluster honors memory budgets" true (cap_of "sim-cluster" "mem_budget");
+  check tbool "net-cluster injects faults" true (cap_of "net-cluster" "fault_injection");
+  check tbool "proc-cluster is distributed" true (cap_of "proc-cluster" "distributed");
+  check tbool "sim-gpu emits source" true (cap_of "sim-gpu" "emits_source")
+
+(* ------------------------ cache key hygiene --------------------------- *)
+
+(* Two calls mint fresh gensyms, so the programs are alpha-equivalent but
+   textually different — the canonical blob must erase the difference. *)
+let letchain (k : int) : Exp.exp =
+  let x = Sym.fresh ~name:"x" Types.Int in
+  let y = Sym.fresh ~name:"y" Types.Int in
+  Exp.Let
+    (x, Exp.Const (Exp.Cint k),
+     Exp.Let (y, Exp.Var x, Exp.Tuple [ Exp.Var x; Exp.Var y ]))
+
+let test_cache_key () =
+  let key = Cache.key ~backend_id:"native" ~caps_fp:"fp" in
+  check tstr "alpha-equivalent programs share a key" (key (letchain 7))
+    (key (letchain 7));
+  check tbool "a different constant changes the key" true
+    (key (letchain 7) <> key (letchain 8));
+  check tbool "the backend id is part of the key" true
+    (Cache.key ~backend_id:"native" ~caps_fp:"fp" (letchain 7)
+    <> Cache.key ~backend_id:"other" ~caps_fp:"fp" (letchain 7));
+  check tbool "the capability fingerprint is part of the key" true
+    (Cache.key ~backend_id:"native" ~caps_fp:"fp" (letchain 7)
+    <> Cache.key ~backend_id:"native" ~caps_fp:"fp2" (letchain 7));
+  let m = Cache.module_name_of_key (key (letchain 7)) in
+  check tbool "module name is a valid compilation unit" true
+    (String.length m > 0
+    && m.[0] = 'D'
+    && String.for_all
+         (fun c ->
+           (c >= 'a' && c <= 'z')
+           || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9')
+           || c = '_')
+         m)
+
+(* ---------------------- cache tiers and commit ------------------------ *)
+
+let store_payload cache ~key payload =
+  Cache.store cache ~key ~kind:Cache.Exe ~source:"(* generated *)"
+    ~artifact:"a.bin"
+    ~build:(fun ~dir ->
+      write_file (Filename.concat dir "a.bin") payload;
+      Ok ())
+    ()
+
+let entry_of = function
+  | Ok (e : Cache.entry) -> e
+  | Error m -> Alcotest.failf "store failed: %s" m
+
+let test_cache_tiers () =
+  let cache = Cache.create ~root:(fresh_root ()) () in
+  let e = entry_of (store_payload cache ~key:"k1" "payload-1") in
+  check tstr "artifact committed with its payload" "payload-1"
+    (Cache.read_all e.Cache.artifact);
+  (match Cache.find cache "k1" with
+  | Some (_, Cache.Memory) -> ()
+  | Some (_, Cache.Disk) -> Alcotest.fail "fresh store should hit memory"
+  | None -> Alcotest.fail "stored entry not found");
+  Cache.drop_memory cache;
+  check tint "memory dropped" 0 (Cache.memory_size cache);
+  (match Cache.find cache "k1" with
+  | Some (e2, Cache.Disk) ->
+      check tstr "disk tier returns the committed artifact" "payload-1"
+        (Cache.read_all e2.Cache.artifact)
+  | Some (_, Cache.Memory) -> Alcotest.fail "memory tier should be empty"
+  | None -> Alcotest.fail "disk entry not found");
+  (match Cache.find cache "k1" with
+  | Some (_, Cache.Memory) -> ()
+  | _ -> Alcotest.fail "disk hit should repopulate the memory tier");
+  check tbool "unknown key misses" true (Cache.find cache "nope" = None);
+  Cache.remove cache "k1";
+  check tbool "removed key misses" true (Cache.find cache "k1" = None)
+
+let test_cache_lru () =
+  let cache = Cache.create ~root:(fresh_root ()) ~capacity:4 () in
+  for i = 1 to 10 do
+    ignore (entry_of (store_payload cache ~key:(Printf.sprintf "k%d" i)
+                        (Printf.sprintf "p%d" i)))
+  done;
+  check tbool "memory tier is capacity-bounded" true
+    (Cache.memory_size cache <= 4);
+  (* eviction drops only the handle: every key still answers from disk *)
+  for i = 1 to 10 do
+    match Cache.find cache (Printf.sprintf "k%d" i) with
+    | Some (e, _) ->
+        check tstr "evicted entries survive on disk"
+          (Printf.sprintf "p%d" i)
+          (Cache.read_all e.Cache.artifact)
+    | None -> Alcotest.failf "k%d lost by eviction" i
+  done
+
+let test_cache_corruption () =
+  let cache = Cache.create ~root:(fresh_root ()) () in
+  (* bit rot in the artifact: checksum mismatch rejects and deletes *)
+  let e = entry_of (store_payload cache ~key:"rot" "good-bytes") in
+  write_file e.Cache.artifact "evil-bytes";
+  Cache.drop_memory cache;
+  check tbool "corrupt artifact rejected" true (Cache.find cache "rot" = None);
+  check tbool "corrupt entry deleted from disk" false (Sys.file_exists e.Cache.dir);
+  (* ... and the key is immediately reusable: the recompile commits *)
+  let e2 = entry_of (store_payload cache ~key:"rot" "good-bytes") in
+  check tstr "recompiled entry readable" "good-bytes"
+    (Cache.read_all e2.Cache.artifact);
+  (* torn META (truncated mid-write without the atomic rename) *)
+  let e3 = entry_of (store_payload cache ~key:"torn" "torn-payload") in
+  write_file (Filename.concat e3.Cache.dir "META") "DMLLKERN1\nkind=exe\n";
+  Cache.drop_memory cache;
+  check tbool "torn META rejected" true (Cache.find cache "torn" = None);
+  check tbool "torn entry deleted" false (Sys.file_exists e3.Cache.dir);
+  (* missing META entirely *)
+  let e4 = entry_of (store_payload cache ~key:"bare" "bare-payload") in
+  Sys.remove (Filename.concat e4.Cache.dir "META");
+  Cache.drop_memory cache;
+  check tbool "entry without META rejected" true (Cache.find cache "bare" = None);
+  (* missing artifact with an intact META *)
+  let e5 = entry_of (store_payload cache ~key:"gone" "gone-payload") in
+  Sys.remove e5.Cache.artifact;
+  Cache.drop_memory cache;
+  check tbool "entry without artifact rejected" true
+    (Cache.find cache "gone" = None);
+  (* a failing build never commits *)
+  (match
+     Cache.store cache ~key:"fail" ~kind:Cache.Exe ~source:"s" ~artifact:"a"
+       ~build:(fun ~dir:_ -> Error "simulated compiler failure") ()
+   with
+  | Ok _ -> Alcotest.fail "failed build must not commit"
+  | Error _ -> ());
+  check tbool "failed build leaves no entry" true (Cache.find cache "fail" = None);
+  (* no tmp-* build directories linger after any of the above *)
+  let stray =
+    Sys.readdir (Cache.root cache)
+    |> Array.to_list
+    |> List.filter (fun f -> String.length f >= 4 && String.sub f 0 4 = "tmp-")
+  in
+  check tids "no stray build directories" [] stray
+
+(* -------------- twelve-app cache hit/miss determinism ----------------- *)
+
+let km_data = Dmll_data.Gaussian.generate ~rows:60 ~cols:6 ~classes:3 ()
+let km_centroids = Dmll_data.Gaussian.random_centroids ~k:3 km_data
+let lr_data = Dmll_data.Gaussian.generate ~rows:50 ~cols:5 ~classes:2 ()
+let q1_table = Dmll_data.Tpch.generate ~rows:200 ()
+let gene_reads = Dmll_data.Genes.generate ~reads:200 ~barcodes:10 ()
+
+let pr_graph =
+  Dmll_graph.Csr.of_edges (Dmll_data.Rmat.generate ~scale:5 ~edge_factor:4 ())
+
+let tri_graph =
+  Dmll_graph.Csr.of_edges
+    (Dmll_data.Rmat.symmetrize (Dmll_data.Rmat.generate ~scale:4 ~edge_factor:3 ()))
+
+let knn_train = Dmll_data.Gaussian.generate ~seed:1 ~rows:40 ~cols:4 ~classes:3 ()
+let knn_test = Dmll_data.Gaussian.generate ~seed:2 ~rows:12 ~cols:4 ~classes:3 ()
+let nb_data = Dmll_data.Gaussian.generate ~rows:50 ~cols:4 ~classes:3 ()
+let gibbs_graph = Dmll_data.Factor_graph.generate ~vars:30 ~factors:80 ()
+let gibbs_state = Dmll_data.Factor_graph.initial_state gibbs_graph
+let gibbs_rand = Dmll_data.Factor_graph.sweep_randoms ~sweeps:2 gibbs_graph
+
+(* The twelve apps (the test_plan/test_comm fixture table, small sizes). *)
+let apps : (string * Exp.exp * (string * V.t) list) list =
+  let open Dmll_apps in
+  [ ( "kmeans",
+      Kmeans.program ~rows:60 ~cols:6 ~k:3 (),
+      Kmeans.inputs km_data ~centroids:km_centroids );
+    ( "logreg",
+      Logreg.program ~rows:50 ~cols:5 ~alpha:0.01 (),
+      Logreg.inputs lr_data ~theta:(Array.make 5 0.1) );
+    ("gda", Gda.program ~rows:50 ~cols:5 (), Gda.inputs lr_data);
+    ( "tpch_q1",
+      Tpch_q1.program (),
+      Tpch_q1.aos_inputs q1_table @ Tpch_q1.soa_inputs q1_table );
+    ( "gene",
+      Gene.program (),
+      Gene.aos_inputs gene_reads @ Gene.soa_inputs gene_reads );
+    ( "pagerank_pull",
+      Pagerank.program_pull ~nv:pr_graph.Dmll_graph.Csr.nv (),
+      Pagerank.inputs pr_graph ~ranks:(Pagerank.initial_ranks pr_graph) );
+    ( "pagerank_push",
+      Pagerank.program_push ~nv:pr_graph.Dmll_graph.Csr.nv (),
+      Pagerank.inputs pr_graph ~ranks:(Pagerank.initial_ranks pr_graph) );
+    ("tricount", Tricount.program (), Tricount.inputs tri_graph);
+    ( "knn",
+      Knn.program ~train_rows:40 ~test_rows:12 ~cols:4 (),
+      Knn.inputs ~train:knn_train ~test:knn_test );
+    ( "naive_bayes",
+      Naive_bayes.program ~rows:50 ~cols:4 (),
+      Naive_bayes.inputs nb_data );
+    ( "gibbs",
+      Gibbs.program ~nvars:30 ~replicas:2 (),
+      Gibbs.inputs gibbs_graph ~state:gibbs_state ~rand:gibbs_rand );
+    ( "ridge",
+      Ridge.program ~rows:50 ~cols:5 ~alpha:0.001 ~lambda:0.1 (),
+      Ridge.inputs lr_data ~theta:(Array.make 5 0.2) );
+  ]
+
+(* The second execution of an identical plan must do zero codegen and
+   zero compilation (kernel_cache_hit, no kernel_cache_miss) and produce
+   a bit-identical value.  Apps the OCaml codegen cannot express yet are
+   skipped — but most must compile, or the test is vacuous. *)
+let test_twelve_app_determinism () =
+  if not (Lazy.force Native.available) then
+    Printf.printf "ocamlfind/ocamlopt unavailable; determinism test skipped\n"
+  else begin
+    let cache = Cache.create ~root:(fresh_root ()) () in
+    let compiled = ref 0 in
+    List.iter
+      (fun (name, program, inputs) ->
+        let opt = (Dmll.compile_with Dmll.Config.default program).Dmll.final in
+        let m1 = Metrics.create () in
+        match Native.run_best ~cache ~metrics:m1 ~runs:1 ~inputs opt with
+        | exception Backend.Codegen_ocaml.Unsupported _ -> ()
+        | r1 ->
+            incr compiled;
+            check tint (name ^ ": cold run compiles once") 1
+              (Metrics.count m1 "kernel_cache_miss");
+            check tint (name ^ ": cold run has no hit") 0
+              (Metrics.count m1 "kernel_cache_hit");
+            let m2 = Metrics.create () in
+            let r2 = Native.run_best ~cache ~metrics:m2 ~runs:1 ~inputs opt in
+            check tint (name ^ ": warm run hits the cache") 1
+              (Metrics.count m2 "kernel_cache_hit");
+            check tint (name ^ ": warm run does zero compilation") 0
+              (Metrics.count m2 "kernel_cache_miss");
+            check tbool (name ^ ": cached value bit-identical") true
+              (String.equal
+                 (Marshal.to_string r1.Native.value [])
+                 (Marshal.to_string r2.Native.value []));
+            (* and the cache never changed what was computed *)
+            check tbool (name ^ ": value matches the interpreter") true
+              (V.approx_equal ~eps:1e-9
+                 (Dmll_interp.Interp.run ~inputs opt)
+                 r1.Native.value))
+      apps;
+    check tbool
+      (Printf.sprintf "most apps natively compile (%d/12)" !compiled)
+      true
+      (!compiled >= 8)
+  end
+
+(* ----------------- corrupt entry recompiles end-to-end ---------------- *)
+
+let test_native_corrupt_recompile () =
+  if not (Lazy.force Native.available) then ()
+  else begin
+    let cache = Cache.create ~root:(fresh_root ()) () in
+    let program = Dmll_apps.Kmeans.program ~rows:16 ~cols:3 ~k:2 () in
+    let data = Dmll_data.Gaussian.generate ~rows:16 ~cols:3 ~classes:2 () in
+    let inputs =
+      Dmll_apps.Kmeans.inputs data
+        ~centroids:(Dmll_data.Gaussian.random_centroids ~k:2 data)
+    in
+    let opt = (Dmll.compile_with Dmll.Config.default program).Dmll.final in
+    let m1 = Metrics.create () in
+    (* force the child-process path: it shares the cache discipline and
+       keeps this test independent of Dynlink availability *)
+    let r1 = Native.run ~cache ~metrics:m1 ~runs:1 ~inputs opt in
+    check tint "first run compiles" 1 (Metrics.count m1 "kernel_cache_miss");
+    let key = Native.cache_key opt ^ "-exe" in
+    (match Cache.find cache key with
+    | None -> Alcotest.fail "compiled kernel not committed under its key"
+    | Some (e, _) ->
+        (* storage rot on the committed executable *)
+        write_file e.Cache.artifact "not an executable";
+        Cache.drop_memory cache;
+        check tbool "rotten kernel rejected" true (Cache.find cache key = None);
+        check tbool "rotten entry deleted" false (Sys.file_exists e.Cache.dir));
+    let m2 = Metrics.create () in
+    let r2 = Native.run ~cache ~metrics:m2 ~runs:1 ~inputs opt in
+    check tint "rejected entry forces a recompile" 1
+      (Metrics.count m2 "kernel_cache_miss");
+    check tbool "recompiled value identical" true
+      (String.equal
+         (Marshal.to_string r1.Native.value [])
+         (Marshal.to_string r2.Native.value []))
+  end
+
+(* ------------------- QCheck: Dynlink = child process ------------------ *)
+
+(* Both paths compile the same generated source, so their values must be
+   exactly equal — and both must agree with the interpreter.  Each leg
+   compiles with ocamlopt, so the count trades coverage against suite
+   wall-time; DMLL_SEAM_QCHECK overrides it. *)
+let qcheck_count =
+  match Sys.getenv_opt "DMLL_SEAM_QCHECK" with
+  | Some n -> ( match int_of_string_opt n with Some n -> n | None -> 100)
+  | None -> 100
+
+let prop_jit_equals_child =
+  let cache = Cache.create ~root:(fresh_root ()) () in
+  QCheck.Test.make ~count:qcheck_count
+    ~name:"Dynlink JIT = child process on random programs"
+    Dmll_testgen.Gen_ir.arbitrary_program (fun e ->
+      if not (Lazy.force Native.Jit.available) then QCheck.assume_fail ()
+      else
+        match Interp.run e with
+        | exception Interp.Runtime_error _ -> QCheck.assume_fail ()
+        | expected -> (
+            match
+              ( Native.Jit.run ~cache ~runs:1 ~inputs:[] e,
+                Native.run ~cache ~runs:1 ~inputs:[] e )
+            with
+            | exception Backend.Codegen_ocaml.Unsupported _ ->
+                QCheck.assume_fail ()
+            | jit, child ->
+                V.equal jit.Native.value child.Native.value
+                && V.approx_equal ~eps:1e-9 expected jit.Native.value))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "seam"
+    [ ( "registry",
+        [ Alcotest.test_case "round-trip" `Quick test_registry_roundtrip;
+          Alcotest.test_case "target resolution" `Quick test_target_resolution;
+          Alcotest.test_case "capability JSON schema" `Quick
+            test_registry_json_schema;
+        ] );
+      ( "kernel-cache",
+        [ Alcotest.test_case "key hygiene" `Quick test_cache_key;
+          Alcotest.test_case "tiers" `Quick test_cache_tiers;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru;
+          Alcotest.test_case "corruption" `Quick test_cache_corruption;
+        ] );
+      ( "native",
+        [ Alcotest.test_case "twelve-app determinism" `Slow
+            test_twelve_app_determinism;
+          Alcotest.test_case "corrupt kernel recompiles" `Slow
+            test_native_corrupt_recompile;
+          qcheck prop_jit_equals_child;
+        ] );
+    ]
